@@ -1,0 +1,506 @@
+//! The assembled, immutable architecture description.
+
+use crate::delay::DelayParams;
+use crate::error::BuildArchitectureError;
+use crate::geometry::Geometry;
+use crate::ids::{ChannelId, ColId, HSegId, TrackId, VSegId};
+use crate::segmentation::{build_channel_tracks, HSegment, SegmentationScheme, Track};
+use crate::vertical::{VSegment, VerticalScheme};
+
+/// Where a horizontal segment lives: its channel, track and position within
+/// the track.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct HSegLocation {
+    pub channel: ChannelId,
+    pub track: TrackId,
+    pub pos: u32,
+}
+
+/// A complete row-based FPGA fabric: geometry, segmented channels, vertical
+/// segment pools and electrical parameters.
+///
+/// `Architecture` is immutable once built; the layout engines treat it as a
+/// shared read-only resource graph. Construct one with
+/// [`Architecture::builder`], or derive a right-sized chip for a netlist with
+/// [`Architecture::builder`] plus your own sizing, and re-target an existing
+/// description to a different track count with [`Architecture::with_tracks`]
+/// (the operation behind the paper's Table 2 track-minimization experiment).
+#[derive(Clone, Debug)]
+pub struct Architecture {
+    geometry: Geometry,
+    delay: DelayParams,
+    segmentation: SegmentationScheme,
+    vertical_scheme: VerticalScheme,
+    tracks_per_channel: usize,
+    /// `channels[c]` = tracks of channel `c`.
+    channels: Vec<Vec<Track>>,
+    /// All horizontal segments, dense by [`HSegId`].
+    hsegs: Vec<HSegment>,
+    /// Location of each horizontal segment, dense by [`HSegId`].
+    hseg_locs: Vec<HSegLocation>,
+    /// `verticals[col]` = vertical segments of column `col`, ordered by
+    /// (track, channel) of generation.
+    verticals: Vec<Vec<VSegment>>,
+    /// All vertical segments, dense by [`VSegId`].
+    vsegs: Vec<VSegment>,
+}
+
+impl Architecture {
+    /// Starts building an architecture.
+    pub fn builder() -> ArchitectureBuilder {
+        ArchitectureBuilder::default()
+    }
+
+    /// The chip floorplan.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geometry
+    }
+
+    /// The fabric's electrical parameters.
+    pub fn delay(&self) -> &DelayParams {
+        &self.delay
+    }
+
+    /// The segmentation scheme the channels were generated from.
+    pub fn segmentation(&self) -> &SegmentationScheme {
+        &self.segmentation
+    }
+
+    /// The vertical-resource scheme the columns were generated from.
+    pub fn vertical_scheme(&self) -> VerticalScheme {
+        self.vertical_scheme
+    }
+
+    /// Tracks in every channel.
+    pub fn tracks_per_channel(&self) -> usize {
+        self.tracks_per_channel
+    }
+
+    /// The tracks of channel `chan`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chan` is out of range.
+    pub fn channel_tracks(&self, chan: ChannelId) -> &[Track] {
+        &self.channels[chan.index()]
+    }
+
+    /// Total number of horizontal segments on the chip.
+    pub fn num_hsegs(&self) -> usize {
+        self.hsegs.len()
+    }
+
+    /// Total number of vertical segments on the chip.
+    pub fn num_vsegs(&self) -> usize {
+        self.vsegs.len()
+    }
+
+    /// Looks up a horizontal segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn hseg(&self, id: HSegId) -> &HSegment {
+        &self.hsegs[id.index()]
+    }
+
+    /// The channel a horizontal segment belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn hseg_channel(&self, id: HSegId) -> ChannelId {
+        self.hseg_locs[id.index()].channel
+    }
+
+    /// The track (within its channel) a horizontal segment belongs to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn hseg_track(&self, id: HSegId) -> TrackId {
+        self.hseg_locs[id.index()].track
+    }
+
+    /// Position of the segment within its track (0 = leftmost).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn hseg_pos(&self, id: HSegId) -> usize {
+        self.hseg_locs[id.index()].pos as usize
+    }
+
+    /// Looks up a vertical segment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn vseg(&self, id: VSegId) -> &VSegment {
+        &self.vsegs[id.index()]
+    }
+
+    /// The vertical segments available in column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col` is out of range.
+    pub fn vsegs_at(&self, col: ColId) -> &[VSegment] {
+        &self.verticals[col.index()]
+    }
+
+    /// Iterates over all horizontal segments.
+    pub fn hsegs(&self) -> impl Iterator<Item = &HSegment> + '_ {
+        self.hsegs.iter()
+    }
+
+    /// Iterates over all vertical segments.
+    pub fn vsegs(&self) -> impl Iterator<Item = &VSegment> + '_ {
+        self.vsegs.iter()
+    }
+
+    /// Mean horizontal segment length in columns (used by delay estimation
+    /// for unembedded nets).
+    pub fn mean_hseg_len(&self) -> f64 {
+        self.segmentation.mean_segment_len(self.geometry.num_cols())
+    }
+
+    /// Rebuilds this architecture with a different number of tracks per
+    /// channel, keeping everything else identical.
+    ///
+    /// This is the knob the wirability experiment (paper Table 2) turns: the
+    /// minimum `tracks` at which a flow still achieves 100 % routing is its
+    /// required channel width.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `tracks` is zero.
+    pub fn with_tracks(&self, tracks: usize) -> Result<Architecture, BuildArchitectureError> {
+        ArchitectureBuilder {
+            rows: self.geometry.num_rows(),
+            cols: self.geometry.num_cols(),
+            io_columns: self.geometry.io_columns(),
+            tracks_per_channel: tracks,
+            segmentation: self.segmentation.clone(),
+            vertical_scheme: self.vertical_scheme,
+            delay: self.delay,
+        }
+        .build()
+    }
+
+    /// Summary statistics of the fabric's routing resources.
+    pub fn stats(&self) -> ArchitectureStats {
+        let total_track_len: usize = self.hsegs.iter().map(|s| s.len()).sum();
+        ArchitectureStats {
+            num_sites: self.geometry.num_sites(),
+            num_logic_sites: self.geometry.num_logic_sites(),
+            num_io_sites: self.geometry.num_io_sites(),
+            num_channels: self.geometry.num_channels(),
+            tracks_per_channel: self.tracks_per_channel,
+            num_hsegs: self.hsegs.len(),
+            num_vsegs: self.vsegs.len(),
+            mean_hseg_len: if self.hsegs.is_empty() {
+                0.0
+            } else {
+                total_track_len as f64 / self.hsegs.len() as f64
+            },
+        }
+    }
+}
+
+/// Aggregate resource counts of an [`Architecture`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArchitectureStats {
+    /// Total module sites.
+    pub num_sites: usize,
+    /// Logic-module sites.
+    pub num_logic_sites: usize,
+    /// I/O-module sites.
+    pub num_io_sites: usize,
+    /// Horizontal channels.
+    pub num_channels: usize,
+    /// Tracks per channel.
+    pub tracks_per_channel: usize,
+    /// Horizontal segments in total.
+    pub num_hsegs: usize,
+    /// Vertical segments in total.
+    pub num_vsegs: usize,
+    /// Mean horizontal segment length, in columns.
+    pub mean_hseg_len: f64,
+}
+
+/// Builder for [`Architecture`].
+///
+/// All knobs have workable defaults for a small chip; call
+/// [`ArchitectureBuilder::build`] to validate and assemble.
+#[derive(Clone, Debug)]
+pub struct ArchitectureBuilder {
+    rows: usize,
+    cols: usize,
+    io_columns: usize,
+    tracks_per_channel: usize,
+    segmentation: SegmentationScheme,
+    vertical_scheme: VerticalScheme,
+    delay: DelayParams,
+}
+
+impl Default for ArchitectureBuilder {
+    fn default() -> Self {
+        Self {
+            rows: 8,
+            cols: 16,
+            io_columns: 1,
+            tracks_per_channel: 12,
+            segmentation: SegmentationScheme::ActelLike { seed: 1 },
+            vertical_scheme: VerticalScheme::Uniform {
+                tracks_per_column: 3,
+                span: 3,
+            },
+            delay: DelayParams::default(),
+        }
+    }
+}
+
+impl ArchitectureBuilder {
+    /// Number of logic rows.
+    pub fn rows(mut self, rows: usize) -> Self {
+        self.rows = rows;
+        self
+    }
+
+    /// Number of columns.
+    pub fn cols(mut self, cols: usize) -> Self {
+        self.cols = cols;
+        self
+    }
+
+    /// I/O columns reserved at each end of every row.
+    pub fn io_columns(mut self, io_columns: usize) -> Self {
+        self.io_columns = io_columns;
+        self
+    }
+
+    /// Tracks per channel (overridden by an
+    /// [`SegmentationScheme::Explicit`] scheme's track count).
+    pub fn tracks_per_channel(mut self, tracks: usize) -> Self {
+        self.tracks_per_channel = tracks;
+        self
+    }
+
+    /// Segmentation scheme for every channel.
+    pub fn segmentation(mut self, scheme: SegmentationScheme) -> Self {
+        self.segmentation = scheme;
+        self
+    }
+
+    /// Vertical segment distribution.
+    pub fn verticals(mut self, scheme: VerticalScheme) -> Self {
+        self.vertical_scheme = scheme;
+        self
+    }
+
+    /// Electrical parameters.
+    pub fn delay(mut self, delay: DelayParams) -> Self {
+        self.delay = delay;
+        self
+    }
+
+    /// Validates the description and assembles the fabric.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildArchitectureError`] if the geometry has no rows or no
+    /// logic columns, a channel or column would carry no tracks, or the delay
+    /// parameters are invalid.
+    pub fn build(self) -> Result<Architecture, BuildArchitectureError> {
+        if self.rows == 0 {
+            return Err(BuildArchitectureError::NoRows);
+        }
+        if self.cols <= 2 * self.io_columns {
+            return Err(BuildArchitectureError::NoLogicColumns {
+                cols: self.cols,
+                io_columns: self.io_columns,
+            });
+        }
+        let tracks_per_channel = self
+            .segmentation
+            .forced_track_count()
+            .unwrap_or(self.tracks_per_channel);
+        if tracks_per_channel == 0 {
+            return Err(BuildArchitectureError::NoTracks);
+        }
+        if self.vertical_scheme.tracks_per_column() == 0 {
+            return Err(BuildArchitectureError::NoVerticalTracks);
+        }
+        if !self.delay.is_valid() {
+            return Err(BuildArchitectureError::InvalidDelayParams);
+        }
+
+        let geometry = Geometry::new(self.rows, self.cols, self.io_columns);
+        let num_channels = geometry.num_channels();
+
+        let mut channels = Vec::with_capacity(num_channels);
+        let mut hsegs = Vec::new();
+        let mut hseg_locs = Vec::new();
+        let mut next_id = 0usize;
+        for c in 0..num_channels {
+            let (tracks, next) = build_channel_tracks(
+                &self.segmentation,
+                c,
+                tracks_per_channel,
+                self.cols,
+                next_id,
+            );
+            next_id = next;
+            for (t, track) in tracks.iter().enumerate() {
+                for (pos, seg) in track.segments().iter().enumerate() {
+                    debug_assert_eq!(seg.id().index(), hsegs.len());
+                    hsegs.push(*seg);
+                    hseg_locs.push(HSegLocation {
+                        channel: ChannelId::new(c),
+                        track: TrackId::new(t),
+                        pos: pos as u32,
+                    });
+                }
+            }
+            channels.push(tracks);
+        }
+
+        let verticals = self.vertical_scheme.build(self.cols, num_channels);
+        let mut vsegs: Vec<VSegment> = verticals.iter().flatten().copied().collect();
+        vsegs.sort_by_key(|s| s.id());
+
+        Ok(Architecture {
+            geometry,
+            delay: self.delay,
+            segmentation: self.segmentation,
+            vertical_scheme: self.vertical_scheme,
+            tracks_per_channel,
+            channels,
+            hsegs,
+            hseg_locs,
+            verticals,
+            vsegs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Architecture {
+        Architecture::builder()
+            .rows(4)
+            .cols(12)
+            .io_columns(2)
+            .tracks_per_channel(6)
+            .segmentation(SegmentationScheme::Uniform { len: 4 })
+            .verticals(VerticalScheme::Uniform {
+                tracks_per_column: 2,
+                span: 3,
+            })
+            .build()
+            .expect("valid architecture")
+    }
+
+    #[test]
+    fn builds_and_counts_resources() {
+        let a = small();
+        let stats = a.stats();
+        assert_eq!(stats.num_sites, 48);
+        assert_eq!(stats.num_channels, 5);
+        assert_eq!(stats.tracks_per_channel, 6);
+        assert_eq!(stats.num_hsegs, a.num_hsegs());
+        assert_eq!(stats.num_vsegs, a.num_vsegs());
+        assert!(stats.mean_hseg_len > 0.0);
+    }
+
+    #[test]
+    fn hseg_lookup_round_trips() {
+        let a = small();
+        for chan in 0..a.geometry().num_channels() {
+            let cid = ChannelId::new(chan);
+            for (t, track) in a.channel_tracks(cid).iter().enumerate() {
+                for (pos, seg) in track.segments().iter().enumerate() {
+                    assert_eq!(a.hseg(seg.id()), seg);
+                    assert_eq!(a.hseg_channel(seg.id()), cid);
+                    assert_eq!(a.hseg_track(seg.id()).index(), t);
+                    assert_eq!(a.hseg_pos(seg.id()), pos);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn vseg_lookup_round_trips() {
+        let a = small();
+        for col in 0..a.geometry().num_cols() {
+            for seg in a.vsegs_at(ColId::new(col)) {
+                assert_eq!(a.vseg(seg.id()), seg);
+                assert_eq!(seg.col().index(), col);
+            }
+        }
+        assert_eq!(a.vsegs().count(), a.num_vsegs());
+    }
+
+    #[test]
+    fn with_tracks_changes_only_channel_capacity() {
+        let a = small();
+        let b = a.with_tracks(3).expect("rebuild");
+        assert_eq!(b.tracks_per_channel(), 3);
+        assert_eq!(b.geometry(), a.geometry());
+        assert_eq!(b.num_vsegs(), a.num_vsegs());
+        assert_eq!(b.num_hsegs(), a.num_hsegs() / 2);
+        assert!(a.with_tracks(0).is_err());
+    }
+
+    #[test]
+    fn rejects_degenerate_geometry() {
+        assert_eq!(
+            Architecture::builder().rows(0).build().unwrap_err(),
+            BuildArchitectureError::NoRows
+        );
+        assert!(matches!(
+            Architecture::builder()
+                .cols(4)
+                .io_columns(2)
+                .build()
+                .unwrap_err(),
+            BuildArchitectureError::NoLogicColumns { .. }
+        ));
+        assert_eq!(
+            Architecture::builder()
+                .tracks_per_channel(0)
+                .build()
+                .unwrap_err(),
+            BuildArchitectureError::NoTracks
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_delay_params() {
+        let mut p = DelayParams::default();
+        p.t_comb = f64::INFINITY;
+        assert_eq!(
+            Architecture::builder().delay(p).build().unwrap_err(),
+            BuildArchitectureError::InvalidDelayParams
+        );
+    }
+
+    #[test]
+    fn explicit_segmentation_forces_track_count() {
+        let a = Architecture::builder()
+            .rows(1)
+            .cols(8)
+            .io_columns(1)
+            .tracks_per_channel(99)
+            .segmentation(SegmentationScheme::Explicit {
+                tracks: vec![vec![4], vec![2, 6]],
+            })
+            .build()
+            .expect("explicit arch");
+        assert_eq!(a.tracks_per_channel(), 2);
+        assert_eq!(a.channel_tracks(ChannelId::new(0)).len(), 2);
+    }
+}

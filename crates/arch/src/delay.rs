@@ -1,0 +1,124 @@
+//! Electrical parameters of the fabric.
+//!
+//! Antifuse interconnect delay is dominated by the programmed antifuses'
+//! series resistance: each horizontal, cross or vertical antifuse on a path
+//! adds an RC stage. The timing crate evaluates Elmore delay over the exact
+//! RC tree of an embedded net (paper §3.5); these parameters define the tree
+//! element values.
+//!
+//! All times are in picoseconds, resistances in ohms and capacitances in
+//! femtofarads internally scaled so that `r * c` yields picoseconds
+//! (Ω·fF = 10⁻¹⁵·10³ s = 10⁻³ ps; we fold the scale into the constants so
+//! users can treat the products as picoseconds directly).
+
+/// Resistance, capacitance and intrinsic-delay constants of the fabric.
+///
+/// Defaults approximate a mid-1990s 1.0 µm antifuse process: antifuse on-state
+/// resistance of a few hundred ohms dominates metal wire resistance, and
+/// module intrinsic delays sit in the low nanoseconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DelayParams {
+    /// Wire resistance per column pitch (Ω).
+    pub r_wire: f64,
+    /// Wire capacitance per column pitch (such that Ω × unit = ps).
+    pub c_wire: f64,
+    /// On-state resistance of a programmed antifuse (Ω).
+    pub r_antifuse: f64,
+    /// Capacitance added by a programmed antifuse.
+    pub c_antifuse: f64,
+    /// Output driver resistance of a logic module (Ω).
+    pub r_driver: f64,
+    /// Input pin load of a logic module.
+    pub c_input: f64,
+    /// Intrinsic delay of a combinational module (ps).
+    pub t_comb: f64,
+    /// Clock-to-output delay of a sequential module (ps).
+    pub t_seq: f64,
+    /// Delay of an I/O module (pad driver / receiver) (ps).
+    pub t_io: f64,
+}
+
+impl DelayParams {
+    /// Parameters approximating a 1.0 µm antifuse process.
+    pub fn act_1um() -> Self {
+        Self {
+            r_wire: 2.0,
+            c_wire: 0.06,
+            r_antifuse: 500.0,
+            c_antifuse: 0.01,
+            r_driver: 1_500.0,
+            c_input: 0.02,
+            t_comb: 3_000.0,
+            t_seq: 3_500.0,
+            t_io: 2_000.0,
+        }
+    }
+
+    /// A fabric with slow (high-resistance) antifuses, exaggerating the
+    /// penalty of many-segment paths; useful in tests and ablations.
+    pub fn slow_antifuse() -> Self {
+        Self {
+            r_antifuse: 2_500.0,
+            ..Self::act_1um()
+        }
+    }
+
+    /// Validates that every constant is finite and non-negative and the
+    /// intrinsic delays are positive.
+    pub fn is_valid(&self) -> bool {
+        let all = [
+            self.r_wire,
+            self.c_wire,
+            self.r_antifuse,
+            self.c_antifuse,
+            self.r_driver,
+            self.c_input,
+            self.t_comb,
+            self.t_seq,
+            self.t_io,
+        ];
+        all.iter().all(|v| v.is_finite() && *v >= 0.0)
+            && self.t_comb > 0.0
+            && self.t_seq > 0.0
+            && self.t_io > 0.0
+    }
+}
+
+impl Default for DelayParams {
+    fn default() -> Self {
+        Self::act_1um()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(DelayParams::default().is_valid());
+        assert!(DelayParams::slow_antifuse().is_valid());
+    }
+
+    #[test]
+    fn antifuse_resistance_dominates_wire_resistance() {
+        // The premise of the paper's timing argument: antifuse count matters
+        // more than wire length. Sanity-check the default constants encode
+        // that (one antifuse is worth many columns of wire).
+        let p = DelayParams::default();
+        assert!(p.r_antifuse > 50.0 * p.r_wire);
+    }
+
+    #[test]
+    fn invalid_params_are_detected() {
+        let mut p = DelayParams::default();
+        p.t_comb = 0.0;
+        assert!(!p.is_valid());
+        let mut q = DelayParams::default();
+        q.r_wire = f64::NAN;
+        assert!(!q.is_valid());
+        let mut r = DelayParams::default();
+        r.c_input = -1.0;
+        assert!(!r.is_valid());
+    }
+}

@@ -1,0 +1,77 @@
+//! Errors raised while constructing an [`crate::Architecture`].
+
+use std::error::Error;
+use std::fmt;
+
+/// Reasons an architecture description can be rejected by
+/// [`crate::ArchitectureBuilder::build`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildArchitectureError {
+    /// The chip must have at least one row.
+    NoRows,
+    /// The chip must have at least one non-I/O column.
+    NoLogicColumns {
+        /// Total columns requested.
+        cols: usize,
+        /// I/O columns requested at each end.
+        io_columns: usize,
+    },
+    /// Channels must carry at least one track.
+    NoTracks,
+    /// Columns must carry at least one vertical track.
+    NoVerticalTracks,
+    /// The delay parameters contain non-finite or negative values.
+    InvalidDelayParams,
+}
+
+impl fmt::Display for BuildArchitectureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildArchitectureError::NoRows => write!(f, "chip must have at least one row"),
+            BuildArchitectureError::NoLogicColumns { cols, io_columns } => write!(
+                f,
+                "chip with {cols} columns and {io_columns} I/O columns per side has no logic columns"
+            ),
+            BuildArchitectureError::NoTracks => {
+                write!(f, "channels must carry at least one track")
+            }
+            BuildArchitectureError::NoVerticalTracks => {
+                write!(f, "columns must carry at least one vertical track")
+            }
+            BuildArchitectureError::InvalidDelayParams => {
+                write!(f, "delay parameters must be finite and non-negative")
+            }
+        }
+    }
+}
+
+impl Error for BuildArchitectureError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase_and_unpunctuated() {
+        for e in [
+            BuildArchitectureError::NoRows,
+            BuildArchitectureError::NoLogicColumns {
+                cols: 4,
+                io_columns: 2,
+            },
+            BuildArchitectureError::NoTracks,
+            BuildArchitectureError::NoVerticalTracks,
+            BuildArchitectureError::InvalidDelayParams,
+        ] {
+            let msg = e.to_string();
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<BuildArchitectureError>();
+    }
+}

@@ -1,0 +1,231 @@
+//! Chip geometry: rows, columns and module sites.
+
+use crate::ids::{ChannelId, ColId, RowId, SiteId};
+
+/// What kind of cell a site can legally hold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SiteKind {
+    /// A logic-module slot in the interior of a row; holds combinational or
+    /// sequential cells.
+    Logic,
+    /// An I/O-module slot at the ends of a row; holds primary input or
+    /// output cells.
+    Io,
+}
+
+/// One module slot at a fixed (row, column) position.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Site {
+    id: SiteId,
+    row: RowId,
+    col: ColId,
+    kind: SiteKind,
+}
+
+impl Site {
+    /// The site's identifier.
+    pub fn id(&self) -> SiteId {
+        self.id
+    }
+
+    /// The row the site belongs to.
+    pub fn row(&self) -> RowId {
+        self.row
+    }
+
+    /// The column the site occupies.
+    pub fn col(&self) -> ColId {
+        self.col
+    }
+
+    /// The kind of cell this site accepts.
+    pub fn kind(&self) -> SiteKind {
+        self.kind
+    }
+
+    /// The channel directly below this site's row.
+    pub fn channel_below(&self) -> ChannelId {
+        ChannelId::new(self.row.index())
+    }
+
+    /// The channel directly above this site's row.
+    pub fn channel_above(&self) -> ChannelId {
+        ChannelId::new(self.row.index() + 1)
+    }
+}
+
+/// The floorplan of the chip: a grid of sites with I/O slots at the ends of
+/// every row.
+///
+/// Row `r` is bounded by channel `r` below and channel `r + 1` above, so a
+/// chip with `rows` rows exposes `rows + 1` channels. The leftmost and
+/// rightmost `io_columns` columns of every row are [`SiteKind::Io`] sites;
+/// the interior columns are [`SiteKind::Logic`] sites.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Geometry {
+    rows: usize,
+    cols: usize,
+    io_columns: usize,
+    sites: Vec<Site>,
+}
+
+impl Geometry {
+    pub(crate) fn new(rows: usize, cols: usize, io_columns: usize) -> Self {
+        let mut sites = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let kind = if c < io_columns || c >= cols - io_columns {
+                    SiteKind::Io
+                } else {
+                    SiteKind::Logic
+                };
+                sites.push(Site {
+                    id: SiteId::new(r * cols + c),
+                    row: RowId::new(r),
+                    col: ColId::new(c),
+                    kind,
+                });
+            }
+        }
+        Self {
+            rows,
+            cols,
+            io_columns,
+            sites,
+        }
+    }
+
+    /// Number of logic rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of horizontal channels (`num_rows + 1`).
+    pub fn num_channels(&self) -> usize {
+        self.rows + 1
+    }
+
+    /// Number of I/O columns reserved at *each* end of every row.
+    pub fn io_columns(&self) -> usize {
+        self.io_columns
+    }
+
+    /// Total number of sites.
+    pub fn num_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Number of logic sites.
+    pub fn num_logic_sites(&self) -> usize {
+        self.rows * (self.cols - 2 * self.io_columns)
+    }
+
+    /// Number of I/O sites.
+    pub fn num_io_sites(&self) -> usize {
+        self.rows * 2 * self.io_columns
+    }
+
+    /// Looks up a site by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this geometry.
+    pub fn site(&self, id: SiteId) -> &Site {
+        &self.sites[id.index()]
+    }
+
+    /// The site at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is out of range.
+    pub fn site_at(&self, row: RowId, col: ColId) -> &Site {
+        assert!(row.index() < self.rows, "row out of range");
+        assert!(col.index() < self.cols, "col out of range");
+        &self.sites[row.index() * self.cols + col.index()]
+    }
+
+    /// Iterates over all sites in row-major order.
+    pub fn sites(&self) -> impl Iterator<Item = &Site> + '_ {
+        self.sites.iter()
+    }
+
+    /// Iterates over sites of a particular kind.
+    pub fn sites_of_kind(&self, kind: SiteKind) -> impl Iterator<Item = &Site> + '_ {
+        self.sites.iter().filter(move |s| s.kind == kind)
+    }
+
+    /// The channel below row `row`.
+    pub fn channel_below(&self, row: RowId) -> ChannelId {
+        ChannelId::new(row.index())
+    }
+
+    /// The channel above row `row`.
+    pub fn channel_above(&self, row: RowId) -> ChannelId {
+        ChannelId::new(row.index() + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn geom() -> Geometry {
+        Geometry::new(4, 10, 2)
+    }
+
+    #[test]
+    fn site_counts_partition_the_grid() {
+        let g = geom();
+        assert_eq!(g.num_sites(), 40);
+        assert_eq!(g.num_logic_sites(), 24);
+        assert_eq!(g.num_io_sites(), 16);
+        assert_eq!(g.num_logic_sites() + g.num_io_sites(), g.num_sites());
+    }
+
+    #[test]
+    fn io_sites_sit_at_row_ends() {
+        let g = geom();
+        for r in 0..4 {
+            let row = RowId::new(r);
+            assert_eq!(g.site_at(row, ColId::new(0)).kind(), SiteKind::Io);
+            assert_eq!(g.site_at(row, ColId::new(1)).kind(), SiteKind::Io);
+            assert_eq!(g.site_at(row, ColId::new(2)).kind(), SiteKind::Logic);
+            assert_eq!(g.site_at(row, ColId::new(7)).kind(), SiteKind::Logic);
+            assert_eq!(g.site_at(row, ColId::new(8)).kind(), SiteKind::Io);
+            assert_eq!(g.site_at(row, ColId::new(9)).kind(), SiteKind::Io);
+        }
+    }
+
+    #[test]
+    fn site_lookup_is_consistent_with_iteration() {
+        let g = geom();
+        for site in g.sites() {
+            assert_eq!(g.site(site.id()), site);
+            assert_eq!(g.site_at(site.row(), site.col()), site);
+        }
+    }
+
+    #[test]
+    fn rows_are_bracketed_by_channels() {
+        let g = geom();
+        assert_eq!(g.num_channels(), 5);
+        let s = g.site_at(RowId::new(2), ColId::new(3));
+        assert_eq!(s.channel_below(), ChannelId::new(2));
+        assert_eq!(s.channel_above(), ChannelId::new(3));
+        assert_eq!(g.channel_below(RowId::new(0)), ChannelId::new(0));
+        assert_eq!(g.channel_above(RowId::new(3)), ChannelId::new(4));
+    }
+
+    #[test]
+    fn sites_of_kind_filters() {
+        let g = geom();
+        assert_eq!(g.sites_of_kind(SiteKind::Logic).count(), 24);
+        assert_eq!(g.sites_of_kind(SiteKind::Io).count(), 16);
+    }
+}

@@ -1,0 +1,62 @@
+//! Row-based FPGA architecture model.
+//!
+//! This crate models the physical fabric of a row-based, antifuse-programmed
+//! FPGA in the style of the Actel ACT family, the target of Nag & Rutenbar,
+//! *Performance-Driven Simultaneous Place and Route for Row-Based FPGAs*
+//! (DAC 1994):
+//!
+//! * rows of logic-module **sites** separated by horizontal routing
+//!   **channels** (a chip with `R` rows has `R + 1` channels);
+//! * each channel contains a fixed number of **tracks**, each track divided
+//!   into **horizontal segments** by a [`SegmentationScheme`]; adjacent
+//!   segments on one track can be joined by programming a *horizontal
+//!   antifuse*;
+//! * each column carries **vertical segments** spanning ranges of channels
+//!   (feedthrough resources); vertical segments connect to horizontal
+//!   segments through *cross antifuses*, and consecutive vertical segments in
+//!   one column can be chained through a *vertical antifuse*;
+//! * every programmed antifuse adds series resistance and capacitance, so a
+//!   path's delay depends on the *number of antifuses*, not just its length
+//!   ([`DelayParams`]).
+//!
+//! The central type is [`Architecture`], an immutable description consumed by
+//! the placement, routing and timing crates. Build one with
+//! [`Architecture::builder`]:
+//!
+//! ```
+//! use rowfpga_arch::{Architecture, SegmentationScheme, VerticalScheme};
+//!
+//! # fn main() -> Result<(), rowfpga_arch::BuildArchitectureError> {
+//! let arch = Architecture::builder()
+//!     .rows(8)
+//!     .cols(20)
+//!     .io_columns(2)
+//!     .tracks_per_channel(12)
+//!     .segmentation(SegmentationScheme::ActelLike { seed: 7 })
+//!     .verticals(VerticalScheme::Uniform { tracks_per_column: 3, span: 3 })
+//!     .build()?;
+//! assert_eq!(arch.geometry().num_channels(), 9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod architecture;
+mod delay;
+mod error;
+mod file;
+mod geometry;
+mod ids;
+mod segmentation;
+mod vertical;
+
+pub use architecture::{Architecture, ArchitectureBuilder, ArchitectureStats};
+pub use delay::DelayParams;
+pub use error::BuildArchitectureError;
+pub use file::{parse_architecture, write_architecture, ParseArchitectureError};
+pub use geometry::{Geometry, Site, SiteKind};
+pub use ids::{ChannelId, ColId, HSegId, RowId, SiteId, TrackId, VSegId};
+pub use segmentation::{HSegment, SegmentationScheme, Track};
+pub use vertical::{VSegment, VerticalScheme};

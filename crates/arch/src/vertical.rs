@@ -1,0 +1,260 @@
+//! Vertical routing resources.
+//!
+//! Nets whose pins sit in different channels need vertical wire to cross the
+//! rows in between (the *feedthroughs* assigned by global routing, paper
+//! §3.3). We model a pool of vertical segments per column; each segment spans
+//! an inclusive range of channels and can be tapped, via a cross antifuse, by
+//! a horizontal segment in any channel of that range. Two vertical segments
+//! in the same column whose spans touch or overlap can be chained through a
+//! vertical antifuse, modelling Actel's segmented long vertical tracks.
+
+use crate::ids::{ChannelId, ColId, VSegId};
+
+/// A vertical wiring segment in one column, spanning an inclusive channel
+/// range.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VSegment {
+    id: VSegId,
+    col: u32,
+    chan_lo: u32,
+    chan_hi: u32,
+}
+
+impl VSegment {
+    pub(crate) fn new(id: VSegId, col: usize, chan_lo: usize, chan_hi: usize) -> Self {
+        assert!(chan_lo < chan_hi, "a vertical segment must cross a row");
+        Self {
+            id,
+            col: col as u32,
+            chan_lo: chan_lo as u32,
+            chan_hi: chan_hi as u32,
+        }
+    }
+
+    /// Global identifier of this segment.
+    pub fn id(&self) -> VSegId {
+        self.id
+    }
+
+    /// Column the segment runs in.
+    pub fn col(&self) -> ColId {
+        ColId::new(self.col as usize)
+    }
+
+    /// Lowest channel reachable (inclusive).
+    pub fn chan_lo(&self) -> ChannelId {
+        ChannelId::new(self.chan_lo as usize)
+    }
+
+    /// Highest channel reachable (inclusive).
+    pub fn chan_hi(&self) -> ChannelId {
+        ChannelId::new(self.chan_hi as usize)
+    }
+
+    /// Number of channels the segment can be tapped in.
+    pub fn span(&self) -> usize {
+        (self.chan_hi - self.chan_lo + 1) as usize
+    }
+
+    /// Whether the segment can be tapped in channel `chan`.
+    pub fn reaches(&self, chan: ChannelId) -> bool {
+        let c = chan.index() as u32;
+        self.chan_lo <= c && c <= self.chan_hi
+    }
+
+    /// Whether `other` can be chained to `self` with one vertical antifuse:
+    /// same column, spans touching or overlapping.
+    pub fn chains_with(&self, other: &VSegment) -> bool {
+        self.col == other.col && self.chan_lo <= other.chan_hi && other.chan_lo <= self.chan_hi
+    }
+}
+
+/// How vertical segments are distributed over the columns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerticalScheme {
+    /// Every column carries `tracks_per_column` vertical tracks, each cut
+    /// into segments spanning `span` channels, with the cut positions
+    /// staggered by column and track so that segment boundaries do not align.
+    Uniform {
+        /// Vertical tracks per column.
+        tracks_per_column: usize,
+        /// Channels spanned by each segment (≥ 2).
+        span: usize,
+    },
+    /// Like `Uniform` but the last track of each column is one full-height
+    /// segment (a long vertical track), trading capacity for antifuse-free
+    /// long hops.
+    WithLongLines {
+        /// Vertical tracks per column, including the long-line track.
+        tracks_per_column: usize,
+        /// Channels spanned by the segmented tracks' segments (≥ 2).
+        span: usize,
+    },
+}
+
+impl VerticalScheme {
+    /// Vertical tracks per column under this scheme.
+    pub fn tracks_per_column(&self) -> usize {
+        match *self {
+            VerticalScheme::Uniform {
+                tracks_per_column, ..
+            }
+            | VerticalScheme::WithLongLines {
+                tracks_per_column, ..
+            } => tracks_per_column,
+        }
+    }
+
+    /// Generates the vertical segments of all columns of a chip with
+    /// `num_channels` channels and `cols` columns, assigning consecutive ids
+    /// from 0. Returns a per-column list of segments.
+    pub(crate) fn build(&self, cols: usize, num_channels: usize) -> Vec<Vec<VSegment>> {
+        let (tracks, span, long_lines) = match *self {
+            VerticalScheme::Uniform {
+                tracks_per_column,
+                span,
+            } => (tracks_per_column, span.max(2), false),
+            VerticalScheme::WithLongLines {
+                tracks_per_column,
+                span,
+            } => (tracks_per_column, span.max(2), true),
+        };
+        let mut next = 0usize;
+        let mut by_col = Vec::with_capacity(cols);
+        for col in 0..cols {
+            let mut segs = Vec::new();
+            for t in 0..tracks {
+                if long_lines && t + 1 == tracks && num_channels >= 2 {
+                    segs.push(VSegment::new(VSegId::new(next), col, 0, num_channels - 1));
+                    next += 1;
+                    continue;
+                }
+                // Stagger the phase so cuts differ across columns and tracks.
+                let step = span - 1; // overlap consecutive segments by 1 channel
+                let phase = (col + t * 2) % step.max(1);
+                let mut lo = 0usize;
+                let mut first = true;
+                while lo + 1 < num_channels {
+                    let hi = if first && phase > 0 {
+                        (lo + phase).min(num_channels - 1).max(lo + 1)
+                    } else {
+                        (lo + span - 1).min(num_channels - 1)
+                    };
+                    first = false;
+                    segs.push(VSegment::new(VSegId::new(next), col, lo, hi));
+                    next += 1;
+                    if hi == num_channels - 1 {
+                        break;
+                    }
+                    lo = hi; // overlap by one channel so chaining is possible
+                }
+            }
+            by_col.push(segs);
+        }
+        by_col
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reaches_and_span() {
+        let v = VSegment::new(VSegId::new(0), 3, 1, 4);
+        assert_eq!(v.span(), 4);
+        assert!(v.reaches(ChannelId::new(1)));
+        assert!(v.reaches(ChannelId::new(4)));
+        assert!(!v.reaches(ChannelId::new(0)));
+        assert!(!v.reaches(ChannelId::new(5)));
+        assert_eq!(v.col(), ColId::new(3));
+    }
+
+    #[test]
+    fn chaining_requires_same_column_and_contact() {
+        let a = VSegment::new(VSegId::new(0), 2, 0, 2);
+        let b = VSegment::new(VSegId::new(1), 2, 2, 4);
+        let c = VSegment::new(VSegId::new(2), 2, 3, 5);
+        let d = VSegment::new(VSegId::new(3), 5, 2, 4);
+        assert!(a.chains_with(&b)); // touch at channel 2
+        assert!(b.chains_with(&a));
+        assert!(!a.chains_with(&c)); // gap
+        assert!(!a.chains_with(&d)); // different column
+    }
+
+    #[test]
+    fn uniform_covers_every_channel_in_every_column() {
+        let scheme = VerticalScheme::Uniform {
+            tracks_per_column: 2,
+            span: 3,
+        };
+        let by_col = scheme.build(6, 9);
+        assert_eq!(by_col.len(), 6);
+        for segs in &by_col {
+            for chan in 0..9 {
+                assert!(
+                    segs.iter().any(|s| s.reaches(ChannelId::new(chan))),
+                    "channel {chan} unreachable"
+                );
+            }
+            // chains_with must agree with span overlap for same-column pairs
+            for a in segs {
+                for b in segs {
+                    let overlap = a.chan_lo().index() <= b.chan_hi().index()
+                        && b.chan_lo().index() <= a.chan_hi().index();
+                    assert_eq!(a.chains_with(b), overlap);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segments_within_a_column_chain_into_full_height() {
+        // Each track's consecutive segments overlap by one channel, so a
+        // greedy chain can always cross the whole chip.
+        let scheme = VerticalScheme::Uniform {
+            tracks_per_column: 1,
+            span: 3,
+        };
+        for col_segs in scheme.build(4, 11) {
+            let mut reach = col_segs[0].chan_hi().index();
+            assert_eq!(col_segs[0].chan_lo().index(), 0);
+            for s in &col_segs[1..] {
+                assert!(s.chan_lo().index() <= reach, "gap in vertical track");
+                reach = reach.max(s.chan_hi().index());
+            }
+            assert_eq!(reach, 10);
+        }
+    }
+
+    #[test]
+    fn long_line_variant_adds_full_height_segment() {
+        let scheme = VerticalScheme::WithLongLines {
+            tracks_per_column: 3,
+            span: 3,
+        };
+        for segs in scheme.build(5, 7) {
+            assert!(segs
+                .iter()
+                .any(|s| s.chan_lo().index() == 0 && s.chan_hi().index() == 6));
+        }
+    }
+
+    #[test]
+    fn ids_are_globally_unique_and_dense() {
+        let scheme = VerticalScheme::Uniform {
+            tracks_per_column: 2,
+            span: 4,
+        };
+        let by_col = scheme.build(5, 9);
+        let mut ids: Vec<usize> = by_col
+            .iter()
+            .flatten()
+            .map(|s| s.id().index())
+            .collect();
+        ids.sort_unstable();
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(i, *id);
+        }
+    }
+}

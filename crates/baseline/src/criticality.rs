@@ -1,0 +1,125 @@
+//! Static (pre-layout) net criticality.
+//!
+//! The sequential flow prioritizes nets by unit-delay path depth: the
+//! longest boundary-to-boundary path through a net, normalized by the
+//! design's depth. This is the "initial critical path / net estimates to
+//! prioritize the nets" approach the paper describes traditional placers
+//! using (§2.1) — and whose blind spots (interconnect-dominated paths that
+//! only *become* critical after layout) motivate the simultaneous
+//! formulation.
+
+use rowfpga_netlist::{CellId, CombLoopError, Levels, Netlist};
+
+/// Computes a criticality in `[0, 1]` for every net: the length of the
+/// longest unit-delay path through the net, divided by the design depth.
+///
+/// # Errors
+///
+/// Returns [`CombLoopError`] if the netlist has a combinational loop.
+pub fn net_criticalities(netlist: &Netlist) -> Result<Vec<f64>, CombLoopError> {
+    let levels = Levels::compute(netlist)?;
+
+    // Backward depth: longest unit-delay suffix from a cell's output to an
+    // endpoint, over comb cells only (boundaries terminate).
+    let mut bdepth = vec![0u32; netlist.num_cells()];
+    for &cell in levels.order().iter().rev() {
+        let mut best = 0u32;
+        if let Some(net) = netlist.driven_net(cell) {
+            for s in netlist.net(net).sinks() {
+                let k = netlist.cell(s.cell).kind();
+                let via = if k.is_boundary() {
+                    0
+                } else {
+                    bdepth[s.cell.index()] + 1
+                };
+                best = best.max(via);
+            }
+        }
+        bdepth[cell.index()] = best;
+    }
+
+    let depth = |c: CellId| levels.level(c);
+    let max_depth = levels.max_level().max(1) as f64;
+    let crits = netlist
+        .nets()
+        .map(|(_, net)| {
+            let d = net.driver().cell;
+            let fwd = depth(d);
+            let back = net
+                .sinks()
+                .iter()
+                .map(|s| {
+                    let k = netlist.cell(s.cell).kind();
+                    if k.is_boundary() {
+                        0
+                    } else {
+                        bdepth[s.cell.index()] + 1
+                    }
+                })
+                .max()
+                .unwrap_or(0);
+            ((fwd + back) as f64 / max_depth).min(1.0)
+        })
+        .collect();
+    Ok(crits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowfpga_netlist::CellKind;
+
+    #[test]
+    fn chain_nets_grow_more_critical_toward_nothing_in_particular() {
+        // a -> g0 -> g1 -> g2 -> q : every net lies on the single longest
+        // path, so all are fully critical.
+        let mut b = Netlist::builder();
+        let a = b.add_cell("a", CellKind::Input);
+        let mut prev = a;
+        for i in 0..3 {
+            let g = b.add_cell(format!("g{i}"), CellKind::comb(1));
+            b.connect(format!("n{i}"), prev, [(g, 1)]).unwrap();
+            prev = g;
+        }
+        let q = b.add_cell("q", CellKind::Output);
+        b.connect("nq", prev, [(q, 0)]).unwrap();
+        let nl = b.build().unwrap();
+        for c in net_criticalities(&nl).unwrap() {
+            assert!((c - 1.0).abs() < 1e-9, "chain net criticality {c}");
+        }
+    }
+
+    #[test]
+    fn side_branches_are_less_critical() {
+        // a -> g0 -> g1 -> g2 -> q (deep) and a -> s -> q2 (shallow).
+        let mut b = Netlist::builder();
+        let a = b.add_cell("a", CellKind::Input);
+        let mut prev = a;
+        for i in 0..3 {
+            let g = b.add_cell(format!("g{i}"), CellKind::comb(if i == 0 { 1 } else { 1 }));
+            b.connect(format!("n{i}"), prev, [(g, 1)]).unwrap();
+            prev = g;
+        }
+        let q = b.add_cell("q", CellKind::Output);
+        b.connect("nq", prev, [(q, 0)]).unwrap();
+        let a2 = b.add_cell("a2", CellKind::Input);
+        let s = b.add_cell("s", CellKind::comb(1));
+        let q2 = b.add_cell("q2", CellKind::Output);
+        b.connect("ns", a2, [(s, 1)]).unwrap();
+        b.connect("nq2", s, [(q2, 0)]).unwrap();
+        let nl = b.build().unwrap();
+        let crits = net_criticalities(&nl).unwrap();
+        let deep = crits[nl.net_by_name("n1").unwrap().index()];
+        let shallow = crits[nl.net_by_name("ns").unwrap().index()];
+        assert!(deep > shallow, "deep {deep} vs shallow {shallow}");
+        assert!(shallow > 0.0);
+    }
+
+    #[test]
+    fn criticalities_are_bounded() {
+        let nl = rowfpga_netlist::generate(&rowfpga_netlist::GenerateConfig::default());
+        for c in net_criticalities(&nl).unwrap() {
+            assert!((0.0..=1.0).contains(&c));
+        }
+    }
+}

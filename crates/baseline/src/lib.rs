@@ -1,0 +1,32 @@
+//! The traditional sequential place-then-route flow for row-based FPGAs.
+//!
+//! This is a reconstruction of the comparison system of the paper's §4 — a
+//! production flow in the TimberWolfSC tradition \[6\]:
+//!
+//! 1. **Placement** by simulated annealing over estimated half-perimeter
+//!    wirelength plus channel-congestion overflow, with nets on deep
+//!    (statically critical) paths weighted heavier — exactly the kind of
+//!    placement-level prediction the paper argues is "especially prone to
+//!    error" for segmented fabrics, because the rigid routing resources and
+//!    their fine-grain connectivity constraints are invisible at this
+//!    level (§2.1);
+//! 2. **Global routing** of the frozen placement (feedthrough assignment,
+//!    after Rao \[7\]);
+//! 3. **Detailed routing** of every channel (segmented track assignment,
+//!    after Roy \[11\]) with rip-up-and-retry rounds.
+//!
+//! Both flows share the same routers, the same timing analyzer and the same
+//! [`rowfpga_core::LayoutResult`] type, so comparisons isolate the single variable the
+//! paper studies: whether routing runs *inside* the placement loop or
+//! *after* it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod criticality;
+mod placer;
+mod sequential;
+
+pub use criticality::net_criticalities;
+pub use placer::{PlacerConfig, PlacerProblem};
+pub use sequential::{SeqPrConfig, SequentialPlaceRoute};

@@ -1,0 +1,220 @@
+//! The complete sequential flow driver: place, then globally route, then
+//! detail route, then analyze.
+
+use std::time::Instant;
+
+use rowfpga_anneal::{anneal, AnnealConfig};
+use rowfpga_arch::Architecture;
+use rowfpga_netlist::Netlist;
+use rowfpga_place::MoveWeights;
+use rowfpga_route::{route_batch, RouterConfig, RoutingState};
+use rowfpga_timing::Sta;
+
+use rowfpga_core::{DynamicsTrace, LayoutError, LayoutResult};
+
+use crate::placer::{PlacerConfig, PlacerProblem};
+
+/// Configuration of the sequential flow.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeqPrConfig {
+    /// Placer cost knobs.
+    pub placer: PlacerConfig,
+    /// Annealing schedule of the placer. `moves_per_temp` of 0 selects the
+    /// automatic `n^(4/3)` budget.
+    pub anneal: AnnealConfig,
+    /// Router weights (shared with the simultaneous flow for fairness).
+    pub router: RouterConfig,
+    /// Move class mix of the placer.
+    pub move_weights: MoveWeights,
+    /// Seed of the initial random placement.
+    pub placement_seed: u64,
+    /// Rip-up-and-retry rounds of the batch router.
+    pub route_passes: usize,
+}
+
+impl Default for SeqPrConfig {
+    fn default() -> Self {
+        Self {
+            placer: PlacerConfig::default(),
+            anneal: AnnealConfig {
+                moves_per_temp: 0,
+                ..AnnealConfig::default()
+            },
+            router: RouterConfig::default(),
+            move_weights: MoveWeights::default(),
+            placement_seed: 1,
+            route_passes: 8,
+        }
+    }
+}
+
+impl SeqPrConfig {
+    /// A low-effort profile for tests and smoke runs.
+    pub fn fast() -> Self {
+        Self {
+            anneal: AnnealConfig {
+                moves_per_temp: 0,
+                max_temps: 40,
+                ..AnnealConfig::fast()
+            },
+            ..Self::default()
+        }
+    }
+
+    /// Sets the seeds (placement and annealing) together.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.placement_seed = seed;
+        self.anneal.seed = seed.wrapping_add(0x9e37);
+        self
+    }
+}
+
+/// The traditional place-then-route flow (the paper's TI comparison
+/// system, reconstructed).
+#[derive(Clone, Debug)]
+pub struct SequentialPlaceRoute {
+    config: SeqPrConfig,
+}
+
+impl SequentialPlaceRoute {
+    /// Creates a driver with the given configuration.
+    pub fn new(config: SeqPrConfig) -> SequentialPlaceRoute {
+        SequentialPlaceRoute { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SeqPrConfig {
+        &self.config
+    }
+
+    /// Lays out `netlist` on `arch`: annealing placement on estimated
+    /// wirelength and congestion, then batch global and detailed routing of
+    /// the frozen placement, then timing analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] if the design does not fit the chip or has a
+    /// combinational loop.
+    pub fn run(
+        &self,
+        arch: &Architecture,
+        netlist: &Netlist,
+    ) -> Result<LayoutResult, LayoutError> {
+        let start = Instant::now();
+        let mut problem = PlacerProblem::new(
+            arch,
+            netlist,
+            self.config.placer,
+            self.config.move_weights,
+            self.config.placement_seed,
+        )?;
+        let mut anneal_cfg = self.config.anneal.clone();
+        if anneal_cfg.moves_per_temp == 0 {
+            anneal_cfg.moves_per_temp = AnnealConfig::moves_for_cells(netlist.num_cells(), 1.0);
+        }
+        let outcome = anneal(&mut problem, &anneal_cfg, |_| {});
+        let placement = problem.into_placement();
+
+        let mut routing = RoutingState::new(arch, netlist);
+        route_batch(
+            &mut routing,
+            arch,
+            netlist,
+            &placement,
+            &self.config.router,
+            self.config.route_passes,
+        );
+
+        let sta = Sta::analyze(arch, netlist, &placement, &routing)
+            .map_err(LayoutError::CombLoop)?;
+        let critical_path = sta.critical_path(netlist);
+        Ok(LayoutResult {
+            fully_routed: routing.is_fully_routed(),
+            globally_unrouted: routing.globally_unrouted(),
+            incomplete: routing.incomplete(),
+            worst_delay: sta.worst_delay(),
+            critical_path,
+            dynamics: DynamicsTrace::new(),
+            temperatures: outcome.temperatures,
+            total_moves: outcome.total_moves,
+            runtime: start.elapsed(),
+            placement,
+            routing,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowfpga_netlist::{generate, GenerateConfig};
+    use rowfpga_place::Placement;
+    use rowfpga_route::verify_routing;
+
+    fn fixture() -> (Architecture, Netlist) {
+        let nl = generate(&GenerateConfig {
+            num_cells: 40,
+            num_inputs: 5,
+            num_outputs: 5,
+            num_seq: 3,
+            ..GenerateConfig::default()
+        });
+        let arch = Architecture::builder()
+            .rows(5)
+            .cols(12)
+            .io_columns(2)
+            .tracks_per_channel(16)
+            .build()
+            .unwrap();
+        (arch, nl)
+    }
+
+    #[test]
+    fn sequential_flow_routes_a_small_design() {
+        let (arch, nl) = fixture();
+        let result = SequentialPlaceRoute::new(SeqPrConfig::fast())
+            .run(&arch, &nl)
+            .unwrap();
+        assert!(result.fully_routed, "left {} incomplete", result.incomplete);
+        assert!(result.worst_delay > 0.0);
+        verify_routing(&result.routing, &arch, &nl, &result.placement).unwrap();
+        assert!(result.dynamics.is_empty(), "sequential flow has no dynamics");
+    }
+
+    #[test]
+    fn placement_improves_over_random_on_wirelength() {
+        let (arch, nl) = fixture();
+        let random = Placement::random(&arch, &nl, 1).unwrap();
+        let total_random: f64 = nl
+            .nets()
+            .map(|(id, _)| rowfpga_place::hpwl(&arch, &nl, &random, id))
+            .sum();
+        let result = SequentialPlaceRoute::new(SeqPrConfig::fast())
+            .run(&arch, &nl)
+            .unwrap();
+        let total_placed: f64 = nl
+            .nets()
+            .map(|(id, _)| rowfpga_place::hpwl(&arch, &nl, &result.placement, id))
+            .sum();
+        assert!(
+            total_placed < total_random,
+            "placed {total_placed} vs random {total_random}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_seed() {
+        let (arch, nl) = fixture();
+        let run = |seed| {
+            SequentialPlaceRoute::new(SeqPrConfig::fast().with_seed(seed))
+                .run(&arch, &nl)
+                .unwrap()
+        };
+        let a = run(4);
+        let b = run(4);
+        assert_eq!(a.worst_delay, b.worst_delay);
+        for (id, _) in nl.cells() {
+            assert_eq!(a.placement.site_of(id), b.placement.site_of(id));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Criterion benchmarks of the two end-to-end flows at smoke effort,
+//! measuring the runtime relationship the paper reports in §4 (the
+//! simultaneous flow pays a constant-factor slowdown for routing in the
+//! loop).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rowfpga_bench::{problem_for, run_flow, Effort, Flow};
+use rowfpga_core::SizingConfig;
+use rowfpga_netlist::PaperBenchmark;
+
+fn bench_flows(c: &mut Criterion) {
+    let problem = problem_for(PaperBenchmark::Cse, &SizingConfig::default());
+    let mut group = c.benchmark_group("flows_cse_fast");
+    group.sample_size(10);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            run_flow(
+                Flow::Sequential,
+                &problem.arch,
+                &problem.netlist,
+                Effort::Fast,
+                1,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("simultaneous", |b| {
+        b.iter(|| {
+            run_flow(
+                Flow::Simultaneous,
+                &problem.arch,
+                &problem.netlist,
+                Effort::Fast,
+                1,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_flows);
+criterion_main!(benches);

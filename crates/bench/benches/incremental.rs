@@ -1,0 +1,87 @@
+//! Criterion micro-benchmarks of the incremental machinery the paper's
+//! feasibility argument rests on (§3.1): the per-move rip-up/reroute
+//! cascade and the incremental timing update must be cheap enough to sit
+//! inside an annealing inner loop.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rowfpga_anneal::AnnealProblem;
+use rowfpga_core::{size_architecture, CostConfig, LayoutProblem, SizingConfig};
+use rowfpga_netlist::{generate, paper_preset, PaperBenchmark};
+use rowfpga_place::MoveWeights;
+use rowfpga_route::RouterConfig;
+
+fn bench_move_cascade(c: &mut Criterion) {
+    let netlist = generate(&paper_preset(PaperBenchmark::Cse));
+    let arch = size_architecture(&netlist, &SizingConfig::default()).unwrap();
+    let mut problem = LayoutProblem::new(
+        &arch,
+        &netlist,
+        RouterConfig::default(),
+        CostConfig::default(),
+        MoveWeights::default(),
+        7,
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(1);
+
+    c.bench_function("move_cascade_accept", |b| {
+        b.iter(|| {
+            let (applied, _) = problem.propose_and_apply(&mut rng);
+            problem.commit(applied);
+        })
+    });
+
+    c.bench_function("move_cascade_reject", |b| {
+        b.iter(|| {
+            let (applied, _) = problem.propose_and_apply(&mut rng);
+            problem.undo(applied);
+        })
+    });
+}
+
+fn bench_initial_route(c: &mut Criterion) {
+    let netlist = generate(&paper_preset(PaperBenchmark::Cse));
+    let arch = size_architecture(&netlist, &SizingConfig::default()).unwrap();
+    let placement = rowfpga_place::Placement::random(&arch, &netlist, 3).unwrap();
+    c.bench_function("batch_route_cse", |b| {
+        b.iter_batched(
+            || rowfpga_route::RoutingState::new(&arch, &netlist),
+            |mut st| {
+                rowfpga_route::route_batch(
+                    &mut st,
+                    &arch,
+                    &netlist,
+                    &placement,
+                    &RouterConfig::default(),
+                    4,
+                );
+                st
+            },
+            BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_sta(c: &mut Criterion) {
+    let netlist = generate(&paper_preset(PaperBenchmark::Cse));
+    let arch = size_architecture(&netlist, &SizingConfig::default()).unwrap();
+    let placement = rowfpga_place::Placement::random(&arch, &netlist, 3).unwrap();
+    let mut st = rowfpga_route::RoutingState::new(&arch, &netlist);
+    rowfpga_route::route_batch(
+        &mut st,
+        &arch,
+        &netlist,
+        &placement,
+        &RouterConfig::default(),
+        4,
+    );
+    c.bench_function("full_sta_cse", |b| {
+        b.iter(|| rowfpga_timing::Sta::analyze(&arch, &netlist, &placement, &st).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_move_cascade, bench_initial_route, bench_sta);
+criterion_main!(benches);

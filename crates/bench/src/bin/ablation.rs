@@ -1,0 +1,101 @@
+//! Ablations of the design choices the paper calls out (beyond its own
+//! evaluation):
+//!
+//! * **pinmap moves off** — §3.2 makes pinmap reassignment one of the two
+//!   move classes; how much does it buy?
+//! * **timing term off** — the `Wt·T` cost component (wirability-only
+//!   optimization);
+//! * **router antifuse pressure off** — the detailed router's
+//!   segments-used term is the constructive delay pressure (§3.4); drop it
+//!   and route purely for wastage.
+//!
+//! Usage: `ablation [--fast] [--seed N]`
+
+use rowfpga_bench::{problem_for, Effort};
+use rowfpga_core::{
+    CostConfig, SimPrConfig, SimultaneousPlaceRoute, SizingConfig,
+};
+use rowfpga_netlist::PaperBenchmark;
+use rowfpga_place::MoveWeights;
+use rowfpga_route::RouterConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let effort = if args.iter().any(|a| a == "--fast") {
+        Effort::Fast
+    } else {
+        Effort::Full
+    };
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64);
+
+    let problem = problem_for(PaperBenchmark::S1, &SizingConfig::default());
+    println!(
+        "Ablations of the simultaneous flow on {} (effort: {effort:?}, seed: {seed})\n",
+        problem.name
+    );
+    println!(
+        "{:<28} {:>10} {:>12} {:>8}",
+        "Variant", "T (ns)", "routed", "time"
+    );
+
+    let base = match effort {
+        Effort::Fast => SimPrConfig::fast(),
+        Effort::Full => SimPrConfig::default(),
+    }
+    .with_seed(seed);
+
+    let variants: Vec<(&str, SimPrConfig)> = vec![
+        ("full (paper)", base.clone()),
+        (
+            "no pinmap moves",
+            SimPrConfig {
+                move_weights: MoveWeights {
+                    exchange: 1.0,
+                    pinmap: 0.0,
+                },
+                ..base.clone()
+            },
+        ),
+        (
+            "no timing term (Wt=0)",
+            SimPrConfig {
+                cost: CostConfig::wirability_only(),
+                ..base.clone()
+            },
+        ),
+        (
+            "router: wastage only",
+            SimPrConfig {
+                router: RouterConfig::wirability_only(),
+                ..base.clone()
+            },
+        ),
+    ];
+
+    let mut baseline_t = None;
+    for (name, config) in variants {
+        let r = SimultaneousPlaceRoute::new(config)
+            .run(&problem.arch, &problem.netlist)
+            .expect("flow failed");
+        let t_ns = r.worst_delay / 1000.0;
+        let delta = baseline_t
+            .map(|b: f64| format!("  ({:+.1}% vs full)", 100.0 * (t_ns - b) / b))
+            .unwrap_or_default();
+        if baseline_t.is_none() {
+            baseline_t = Some(t_ns);
+        }
+        println!(
+            "{:<28} {:>10.1} {:>12} {:>8.2?}{}",
+            name,
+            t_ns,
+            if r.fully_routed { "100%" } else { "partial" },
+            r.runtime,
+            delta
+        );
+    }
+}

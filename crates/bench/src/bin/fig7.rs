@@ -1,0 +1,98 @@
+//! Reproduces **Figure 7** (a larger, 529-cell design completed with 100 %
+//! routing by the simultaneous tool).
+//!
+//! Usage: `fig7 [--fast] [--seed N] [--svg FILE] [--ascii]`
+//!
+//! `--svg FILE` writes the placed-and-routed chip as an SVG plot — the
+//! same kind of picture the paper prints as Figure 7.
+
+use rowfpga_bench::{problem_for, run_flow, Effort, Flow};
+use rowfpga_core::SizingConfig;
+use rowfpga_netlist::PaperBenchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let effort = if args.iter().any(|a| a == "--fast") {
+        Effort::Fast
+    } else {
+        Effort::Full
+    };
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64);
+
+    // The 529-cell design needs a taller, wider-channel fabric than the
+    // Table 1 benchmarks: channel demand grows roughly with the square root
+    // of the cell count (see DESIGN.md).
+    let sizing = SizingConfig {
+        aspect: 1.5,
+        tracks_per_channel: 52,
+        ..SizingConfig::default()
+    };
+    let problem = problem_for(PaperBenchmark::Big529, &sizing);
+    let stats = problem.arch.stats();
+    println!(
+        "Figure 7 reproduction: {} cells / {} nets on a {}x{} chip ({} tracks/channel, {} hsegs, {} vsegs)",
+        problem.netlist.num_cells(),
+        problem.netlist.num_nets(),
+        problem.arch.geometry().num_rows(),
+        problem.arch.geometry().num_cols(),
+        stats.tracks_per_channel,
+        stats.num_hsegs,
+        stats.num_vsegs,
+    );
+    let result = run_flow(
+        Flow::Simultaneous,
+        &problem.arch,
+        &problem.netlist,
+        effort,
+        seed,
+    )
+    .expect("flow failed");
+    println!(
+        "routing: {} ({} globally unrouted, {} incomplete)",
+        if result.fully_routed {
+            "100% COMPLETE"
+        } else {
+            "INCOMPLETE"
+        },
+        result.globally_unrouted,
+        result.incomplete,
+    );
+    println!(
+        "worst path: {:.1} ns over {} cells; {} temperatures, {} moves, wall clock {:.2?}",
+        result.worst_delay / 1000.0,
+        result.critical_path.elements.len(),
+        result.temperatures,
+        result.total_moves,
+        result.runtime
+    );
+    if let Some(path) = args
+        .iter()
+        .position(|a| a == "--svg")
+        .and_then(|i| args.get(i + 1))
+    {
+        let svg = rowfpga_core::render_svg(
+            &problem.arch,
+            &problem.netlist,
+            &result.placement,
+            &result.routing,
+        );
+        std::fs::write(path, svg).expect("write svg");
+        println!("layout plot written to {path}");
+    }
+    if args.iter().any(|a| a == "--ascii") {
+        println!(
+            "{}",
+            rowfpga_core::render_ascii(
+                &problem.arch,
+                &problem.netlist,
+                &result.placement,
+                &result.routing
+            )
+        );
+    }
+}

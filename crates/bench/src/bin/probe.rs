@@ -1,0 +1,47 @@
+//! Diagnostic probe: routing feasibility of one benchmark across track
+//! counts and vertical capacities. Not part of the paper's evaluation.
+
+use rowfpga_bench::{problem_for, run_flow, Effort, Flow};
+use rowfpga_core::SizingConfig;
+use rowfpga_netlist::PaperBenchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let name = args.get(1).map(String::as_str).unwrap_or("ex1");
+    let bench = PaperBenchmark::all()
+        .into_iter()
+        .find(|b| b.name() == name)
+        .expect("unknown benchmark");
+    for vtracks in [4usize, 6, 8] {
+        let sizing = SizingConfig {
+            verticals: rowfpga_arch::VerticalScheme::WithLongLines {
+                tracks_per_column: vtracks,
+                span: 3,
+            },
+            ..SizingConfig::default()
+        };
+        let problem = problem_for(bench, &sizing);
+        println!(
+            "{}: chip {}x{} ({} logic sites for {} logic cells), vtracks={}",
+            problem.name,
+            problem.arch.geometry().num_rows(),
+            problem.arch.geometry().num_cols(),
+            problem.arch.geometry().num_logic_sites(),
+            problem.netlist.stats().num_comb + problem.netlist.stats().num_seq,
+            vtracks
+        );
+        for tracks in [36usize, 44, 52, 60] {
+            let arch = problem.arch.with_tracks(tracks).unwrap();
+            for flow in [Flow::Sequential, Flow::Simultaneous] {
+                let r = run_flow(flow, &arch, &problem.netlist, Effort::Fast, 1).unwrap();
+                println!(
+                    "  tracks={tracks} {flow:?}: routed={} G={} D={} T={:.1}ns",
+                    r.fully_routed,
+                    r.globally_unrouted,
+                    r.incomplete,
+                    r.worst_delay / 1000.0
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Diagnostic probe for the Figure 7 design: sequential-flow feasibility
+//! across aspect ratios and track counts (cheap), to pick the fabric for
+//! the fig7 run. Not part of the paper's evaluation.
+
+use rowfpga_bench::{problem_for, run_flow, Effort, Flow};
+use rowfpga_core::SizingConfig;
+use rowfpga_netlist::PaperBenchmark;
+
+fn main() {
+    let sim = std::env::args().any(|a| a == "--sim");
+    for vtracks in [6usize, 8, 10, 12] {
+        let aspect = 1.5f64;
+        let sizing = SizingConfig {
+            aspect,
+            verticals: rowfpga_arch::VerticalScheme::WithLongLines {
+                tracks_per_column: vtracks,
+                span: 3,
+            },
+            ..SizingConfig::default()
+        };
+        let problem = problem_for(PaperBenchmark::Big529, &sizing);
+        println!(
+            "vtracks {vtracks}: chip {}x{} ({} channels)",
+            problem.arch.geometry().num_rows(),
+            problem.arch.geometry().num_cols(),
+            problem.arch.geometry().num_channels()
+        );
+        for tracks in [36usize, 44, 52] {
+            let arch = problem.arch.with_tracks(tracks).unwrap();
+            let flow = if sim { Flow::Simultaneous } else { Flow::Sequential };
+            let r = run_flow(flow, &arch, &problem.netlist, Effort::Fast, 1).unwrap();
+            println!(
+                "  tracks={tracks}: routed={} G={} D={} T={:.1}ns ({:.1?})",
+                r.fully_routed,
+                r.globally_unrouted,
+                r.incomplete,
+                r.worst_delay / 1000.0,
+                r.runtime
+            );
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Quick head-to-head smoke run of both flows on one benchmark.
+//!
+//! Not part of the paper's evaluation; a fast sanity check that the
+//! simultaneous flow's advantage reproduces before running the full table
+//! binaries.
+
+use rowfpga_bench::{problem_for, run_flow, Effort, Flow};
+use rowfpga_core::SizingConfig;
+use rowfpga_netlist::PaperBenchmark;
+
+fn main() {
+    let effort = if std::env::args().any(|a| a == "--full") {
+        Effort::Full
+    } else {
+        Effort::Fast
+    };
+    let problem = problem_for(PaperBenchmark::Cse, &SizingConfig::default());
+    println!(
+        "design {} ({} cells, {} nets) on {}x{} chip, {} tracks/channel",
+        problem.name,
+        problem.netlist.num_cells(),
+        problem.netlist.num_nets(),
+        problem.arch.geometry().num_rows(),
+        problem.arch.geometry().num_cols(),
+        problem.arch.tracks_per_channel(),
+    );
+    for flow in [Flow::Sequential, Flow::Simultaneous] {
+        let r = run_flow(flow, &problem.arch, &problem.netlist, effort, 1).unwrap();
+        println!(
+            "{flow:?}: routed={} (G={}, D={}), T={:.1} ns, {} temps, {} moves, {:.2?}",
+            r.fully_routed,
+            r.globally_unrouted,
+            r.incomplete,
+            r.worst_delay / 1000.0,
+            r.temperatures,
+            r.total_moves,
+            r.runtime
+        );
+    }
+}

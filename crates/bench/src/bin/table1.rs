@@ -1,0 +1,109 @@
+//! Reproduces **Table 1** (timing improvement) and the §4 runtime note.
+//!
+//! For each of the five MCNC-preset benchmarks, runs the sequential
+//! baseline and the simultaneous flow on the same sized chip, scores both
+//! with the same timing analyzer, and prints the worst-case delay and the
+//! percentage improvement — the paper reports 16–28 %.
+//!
+//! Usage: `table1 [--fast] [--seed N] [--seeds K]`
+//!
+//! `--seeds K` runs each flow K times with seeds `seed..seed+K` and reports
+//! the per-design mean improvement, quantifying run-to-run noise beyond the
+//! paper's single-run numbers.
+
+use rowfpga_bench::{improvement_pct, paper_suite, run_flow, Effort, Flow};
+use rowfpga_core::SizingConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let effort = if args.iter().any(|a| a == "--fast") {
+        Effort::Fast
+    } else {
+        Effort::Full
+    };
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64);
+    let seeds = args
+        .iter()
+        .position(|a| a == "--seeds")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1u64)
+        .max(1);
+
+    println!("Table 1 reproduction: worst-case timing, sequential vs simultaneous");
+    println!("(effort: {effort:?}, seeds: {seed}..{})\n", seed + seeds);
+    println!(
+        "{:<8} {:>7} {:>12} {:>12} {:>14} {:>10} {:>10}",
+        "Design", "#cells", "Seq T (ns)", "Sim T (ns)", "% improvement", "Seq time", "Sim time"
+    );
+
+    let mut ratios = Vec::new();
+    let mut improvements = Vec::new();
+    for problem in paper_suite(&SizingConfig::default()) {
+        // Average worst-case delay over the requested seeds (paper numbers
+        // are single runs; more seeds quantify the annealing noise).
+        let mut seq_t = 0.0;
+        let mut sim_t = 0.0;
+        let mut seq_time = std::time::Duration::ZERO;
+        let mut sim_time = std::time::Duration::ZERO;
+        let mut seq_fail = 0usize;
+        let mut sim_fail = 0usize;
+        let mut seq_d = 0usize;
+        let mut sim_d = 0usize;
+        for s in seed..seed + seeds {
+            let seq =
+                run_flow(Flow::Sequential, &problem.arch, &problem.netlist, effort, s)
+                    .expect("sequential flow failed");
+            let sim = run_flow(
+                Flow::Simultaneous,
+                &problem.arch,
+                &problem.netlist,
+                effort,
+                s,
+            )
+            .expect("simultaneous flow failed");
+            seq_t += seq.worst_delay;
+            sim_t += sim.worst_delay;
+            seq_time += seq.runtime;
+            sim_time += sim.runtime;
+            seq_fail += usize::from(!seq.fully_routed);
+            sim_fail += usize::from(!sim.fully_routed);
+            seq_d += seq.incomplete;
+            sim_d += sim.incomplete;
+        }
+        let k = seeds as f64;
+        let (seq_t, sim_t) = (seq_t / k, sim_t / k);
+        let imp = improvement_pct(seq_t, sim_t);
+        improvements.push(imp);
+        let ratio = sim_time.as_secs_f64() / seq_time.as_secs_f64().max(1e-9);
+        ratios.push(ratio);
+        println!(
+            "{:<8} {:>7} {:>12.1} {:>12.1} {:>13.1}% {:>9.2?} {:>9.2?}{}",
+            problem.name,
+            problem.netlist.num_cells(),
+            seq_t / 1000.0,
+            sim_t / 1000.0,
+            imp,
+            seq_time / seeds as u32,
+            sim_time / seeds as u32,
+            if seq_fail + sim_fail == 0 {
+                "".to_owned()
+            } else {
+                format!(
+                    "  [incomplete runs: seq {seq_fail} (D={seq_d}), sim {sim_fail} (D={sim_d})]"
+                )
+            }
+        );
+    }
+    let mean_imp = improvements.iter().sum::<f64>() / improvements.len() as f64;
+    let mean_ratio = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    println!("\nmean improvement: {mean_imp:.1}%   (paper: 16-28%)");
+    println!(
+        "runtime ratio simultaneous/sequential: {mean_ratio:.1}x   (paper: ~3-4x on 1994 hardware)"
+    );
+}

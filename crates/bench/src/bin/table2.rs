@@ -1,0 +1,67 @@
+//! Reproduces **Table 2** (wirability improvement).
+//!
+//! For each benchmark, the number of tracks per channel is reduced until
+//! each flow first fails to achieve 100 % wirability; the minimum feasible
+//! track count is its required channel width. The paper reports 20–33 %
+//! fewer tracks for the simultaneous flow.
+//!
+//! Usage: `table2 [--fast] [--seed N] [--start T]`
+
+use rowfpga_bench::{improvement_pct, min_tracks, paper_suite, Effort, Flow};
+use rowfpga_core::SizingConfig;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let effort = if args.iter().any(|a| a == "--fast") {
+        Effort::Fast
+    } else {
+        Effort::Full
+    };
+    let arg = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|s| s.parse::<u64>().ok())
+    };
+    let seed = arg("--seed").unwrap_or(1);
+    let sizing = SizingConfig::default();
+    let start = arg("--start").map(|t| t as usize).unwrap_or(sizing.tracks_per_channel);
+
+    println!("Table 2 reproduction: minimum tracks/channel for 100% wirability");
+    println!("(effort: {effort:?}, seed: {seed}, scanning down from {start} tracks)\n");
+    println!(
+        "{:<8} {:>7} {:>12} {:>12} {:>12}",
+        "Design", "#cells", "Seq P&R", "Sim P&R", "% reduction"
+    );
+
+    let mut reductions = Vec::new();
+    for problem in paper_suite(&sizing) {
+        let seq = min_tracks(Flow::Sequential, &problem, effort, seed, start);
+        let sim = min_tracks(Flow::Simultaneous, &problem, effort, seed, start);
+        match (seq, sim) {
+            (Some(seq), Some(sim)) => {
+                let red = improvement_pct(seq as f64, sim as f64);
+                reductions.push(red);
+                println!(
+                    "{:<8} {:>7} {:>12} {:>12} {:>11.1}%",
+                    problem.name,
+                    problem.netlist.num_cells(),
+                    seq,
+                    sim,
+                    red
+                );
+            }
+            _ => println!(
+                "{:<8} {:>7} {:>12?} {:>12?}  [unroutable at start width]",
+                problem.name,
+                problem.netlist.num_cells(),
+                seq,
+                sim
+            ),
+        }
+    }
+    if !reductions.is_empty() {
+        let mean = reductions.iter().sum::<f64>() / reductions.len() as f64;
+        println!("\nmean track reduction: {mean:.1}%   (paper: 20-33%)");
+    }
+}

@@ -1,0 +1,247 @@
+//! Experiment harness reproducing the paper's evaluation (§4).
+//!
+//! The binaries in `src/bin` regenerate each table and figure:
+//!
+//! * `table1` — worst-case timing, simultaneous vs. sequential, on the five
+//!   MCNC-preset benchmarks (paper Table 1), plus the runtime ratio noted
+//!   in §4;
+//! * `table2` — minimum tracks/channel for 100 % wirability (paper
+//!   Table 2);
+//! * `fig6` — annealing dynamics trace (paper Figure 6) as CSV and an
+//!   ASCII rendering;
+//! * `fig7` — the 529-cell design routed to 100 % (paper Figure 7);
+//! * `ablation` — design-choice ablations beyond the paper: pinmap moves
+//!   on/off, timing term on/off, router cost variants.
+//!
+//! The library half holds the shared machinery: the benchmark suite, the
+//! track-minimization search and report formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rowfpga_arch::Architecture;
+use rowfpga_baseline::{SeqPrConfig, SequentialPlaceRoute};
+use rowfpga_core::{
+    size_architecture, LayoutError, LayoutResult, SimPrConfig, SimultaneousPlaceRoute,
+    SizingConfig,
+};
+use rowfpga_netlist::{generate, paper_preset, Netlist, PaperBenchmark};
+
+/// One benchmark instance: the synthetic netlist and a chip sized for it.
+pub struct BenchProblem {
+    /// The paper's name for the design.
+    pub name: &'static str,
+    /// The benchmark preset.
+    pub benchmark: PaperBenchmark,
+    /// The technology-mapped netlist.
+    pub netlist: Netlist,
+    /// The sized fabric.
+    pub arch: Architecture,
+}
+
+/// Builds the five Table 1/2 benchmarks (s1, cse, ex1, bw, s1a) with chips
+/// sized per [`SizingConfig`].
+pub fn paper_suite(sizing: &SizingConfig) -> Vec<BenchProblem> {
+    [
+        PaperBenchmark::S1,
+        PaperBenchmark::Cse,
+        PaperBenchmark::Ex1,
+        PaperBenchmark::Bw,
+        PaperBenchmark::S1a,
+    ]
+    .into_iter()
+    .map(|b| problem_for(b, sizing))
+    .collect()
+}
+
+/// Builds one benchmark instance.
+pub fn problem_for(benchmark: PaperBenchmark, sizing: &SizingConfig) -> BenchProblem {
+    let netlist = generate(&paper_preset(benchmark));
+    let arch = size_architecture(&netlist, sizing).expect("sizing never fails for presets");
+    BenchProblem {
+        name: benchmark.name(),
+        benchmark,
+        netlist,
+        arch,
+    }
+}
+
+/// Which flow to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Flow {
+    /// The paper's simultaneous place and route.
+    Simultaneous,
+    /// The traditional sequential baseline.
+    Sequential,
+}
+
+/// Effort level for experiment runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Effort {
+    /// Quick smoke-quality runs (CI, debugging).
+    Fast,
+    /// Full-quality runs used for the reported numbers.
+    Full,
+}
+
+/// Runs one flow on one problem with the given seed.
+///
+/// # Errors
+///
+/// Propagates [`LayoutError`] from the flow.
+pub fn run_flow(
+    flow: Flow,
+    arch: &Architecture,
+    netlist: &Netlist,
+    effort: Effort,
+    seed: u64,
+) -> Result<LayoutResult, LayoutError> {
+    match flow {
+        Flow::Simultaneous => {
+            let base = match effort {
+                Effort::Fast => SimPrConfig::fast(),
+                Effort::Full => SimPrConfig::default(),
+            };
+            SimultaneousPlaceRoute::new(base.with_seed(seed)).run(arch, netlist)
+        }
+        Flow::Sequential => {
+            let base = match effort {
+                Effort::Fast => SeqPrConfig::fast(),
+                Effort::Full => SeqPrConfig::default(),
+            };
+            SequentialPlaceRoute::new(base.with_seed(seed)).run(arch, netlist)
+        }
+    }
+}
+
+/// Finds the minimum tracks/channel at which `flow` still achieves 100 %
+/// wirability, scanning downward from `start_tracks` exactly as the paper
+/// describes ("the number of tracks per channel … was reduced … to the
+/// point that \[the] tool failed to meet 100 % wirability").
+///
+/// Returns `None` if the flow cannot route even at `start_tracks`.
+pub fn min_tracks(
+    flow: Flow,
+    problem: &BenchProblem,
+    effort: Effort,
+    seed: u64,
+    start_tracks: usize,
+) -> Option<usize> {
+    let mut best = None;
+    let mut tracks = start_tracks;
+    loop {
+        let arch = problem
+            .arch
+            .with_tracks(tracks)
+            .expect("positive track count");
+        let result = run_flow(flow, &arch, &problem.netlist, effort, seed)
+            .expect("flow errors only on unfit designs");
+        if result.fully_routed {
+            best = Some(tracks);
+            if tracks == 1 {
+                return best;
+            }
+            tracks -= 1;
+        } else {
+            return best;
+        }
+    }
+}
+
+/// Percentage improvement of `new` over `old` (positive = `new` better,
+/// i.e. smaller).
+pub fn improvement_pct(old: f64, new: f64) -> f64 {
+    if old <= 0.0 {
+        0.0
+    } else {
+        100.0 * (old - new) / old
+    }
+}
+
+/// Renders a simple ASCII line chart of `series` (label, values in [0, 1])
+/// over a shared x axis — used by the Figure 6 binary.
+pub fn ascii_chart(series: &[(&str, Vec<f64>)], width: usize, height: usize) -> String {
+    let mut canvas = vec![vec![' '; width]; height];
+    let n = series.iter().map(|(_, v)| v.len()).max().unwrap_or(0);
+    if n == 0 {
+        return String::new();
+    }
+    for (si, (_, values)) in series.iter().enumerate() {
+        let glyph = [b'*', b'o', b'+', b'x', b'#'][si % 5] as char;
+        for (i, v) in values.iter().enumerate() {
+            let x = if n == 1 { 0 } else { i * (width - 1) / (n - 1) };
+            let clamped = v.clamp(0.0, 1.0);
+            let y = ((1.0 - clamped) * (height - 1) as f64).round() as usize;
+            canvas[y.min(height - 1)][x.min(width - 1)] = glyph;
+        }
+    }
+    let mut out = String::new();
+    for (i, row) in canvas.iter().enumerate() {
+        let label = if i == 0 {
+            "100% |"
+        } else if i == height - 1 {
+            "  0% |"
+        } else {
+            "     |"
+        };
+        out.push_str(label);
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str("      ");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    let mut legend = String::from("      ");
+    for (si, (name, _)) in series.iter().enumerate() {
+        let glyph = [b'*', b'o', b'+', b'x', b'#'][si % 5] as char;
+        legend.push_str(&format!("{glyph} {name}   "));
+    }
+    out.push_str(&legend);
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_the_papers_five_designs() {
+        let suite = paper_suite(&SizingConfig::default());
+        let names: Vec<&str> = suite.iter().map(|p| p.name).collect();
+        assert_eq!(names, ["s1", "cse", "ex1", "bw", "s1a"]);
+        for p in &suite {
+            assert_eq!(p.netlist.num_cells(), p.benchmark.num_cells());
+        }
+    }
+
+    #[test]
+    fn improvement_pct_signs() {
+        assert_eq!(improvement_pct(100.0, 80.0), 20.0);
+        assert_eq!(improvement_pct(100.0, 120.0), -20.0);
+        assert_eq!(improvement_pct(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn ascii_chart_is_well_formed() {
+        let chart = ascii_chart(
+            &[("a", vec![1.0, 0.5, 0.0]), ("b", vec![0.0, 0.5, 1.0])],
+            30,
+            10,
+        );
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 12);
+        assert!(lines[0].starts_with("100% |"));
+        assert!(chart.contains("* a"));
+        assert!(chart.contains("o b"));
+    }
+
+    #[test]
+    fn fast_flows_run_on_a_small_problem() {
+        let problem = problem_for(PaperBenchmark::Cse, &SizingConfig::default());
+        for flow in [Flow::Simultaneous, Flow::Sequential] {
+            let r = run_flow(flow, &problem.arch, &problem.netlist, Effort::Fast, 1).unwrap();
+            assert!(r.worst_delay > 0.0);
+        }
+    }
+}

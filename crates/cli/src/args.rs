@@ -1,0 +1,459 @@
+//! Dependency-free argument parsing for the `rowfpga` tool.
+
+use std::error::Error;
+use std::fmt;
+
+/// Which layout flow to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlowChoice {
+    /// The paper's simultaneous place and route.
+    Simultaneous,
+    /// The traditional sequential baseline.
+    Sequential,
+}
+
+impl FlowChoice {
+    fn parse(s: &str) -> Result<FlowChoice, ArgError> {
+        match s {
+            "sim" | "simultaneous" => Ok(FlowChoice::Simultaneous),
+            "seq" | "sequential" => Ok(FlowChoice::Sequential),
+            other => Err(ArgError::BadValue {
+                flag: "--flow".into(),
+                value: other.into(),
+                expected: "sim|seq".into(),
+            }),
+        }
+    }
+}
+
+/// Options shared by the layout-running subcommands.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommonOpts {
+    /// Which flow to run.
+    pub flow: FlowChoice,
+    /// Smoke-effort annealing (quick, lower quality).
+    pub fast: bool,
+    /// Seed for placement and annealing.
+    pub seed: u64,
+    /// Override tracks per channel (None = sizing default).
+    pub tracks: Option<usize>,
+    /// Architecture description file (None = auto-size for the design).
+    pub arch: Option<String>,
+    /// Write an SVG layout plot here.
+    pub svg: Option<String>,
+    /// Print the ASCII floorplan.
+    pub ascii: bool,
+    /// Print the critical-path report.
+    pub report: bool,
+}
+
+impl Default for CommonOpts {
+    fn default() -> Self {
+        Self {
+            flow: FlowChoice::Simultaneous,
+            fast: false,
+            seed: 1,
+            tracks: None,
+            arch: None,
+            svg: None,
+            ascii: false,
+            report: false,
+        }
+    }
+}
+
+/// A parsed invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Emit a synthetic netlist.
+    Generate {
+        /// Total cells.
+        cells: usize,
+        /// Primary inputs.
+        inputs: usize,
+        /// Primary outputs.
+        outputs: usize,
+        /// Sequential cells.
+        seq: usize,
+        /// Generator seed.
+        seed: u64,
+        /// Output file (`-` = stdout).
+        output: String,
+    },
+    /// Lay out a netlist file.
+    Layout {
+        /// Input netlist path.
+        input: String,
+        /// Parse as BLIF instead of the native format.
+        blif: bool,
+        /// Shared layout options.
+        opts: CommonOpts,
+    },
+    /// Find minimum tracks/channel for 100 % wirability.
+    MinTracks {
+        /// Input netlist path.
+        input: String,
+        /// Parse as BLIF instead of the native format.
+        blif: bool,
+        /// Scan start (tracks).
+        start: usize,
+        /// Shared layout options.
+        opts: CommonOpts,
+    },
+    /// Run a paper preset benchmark by name.
+    Bench {
+        /// Benchmark name (s1, cse, ex1, bw, s1a, big529).
+        name: String,
+        /// Shared layout options.
+        opts: CommonOpts,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Argument errors with actionable messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ArgError {
+    /// No subcommand given.
+    MissingCommand,
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// Unknown flag for the subcommand.
+    UnknownFlag(String),
+    /// A flag was given without its value.
+    MissingValue(String),
+    /// A flag value failed to parse.
+    BadValue {
+        /// The flag.
+        flag: String,
+        /// The offending value.
+        value: String,
+        /// What was expected.
+        expected: String,
+    },
+    /// A required positional argument is missing.
+    MissingInput,
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingCommand => {
+                write!(f, "missing subcommand; try `rowfpga help`")
+            }
+            ArgError::UnknownCommand(c) => {
+                write!(f, "unknown subcommand `{c}`; try `rowfpga help`")
+            }
+            ArgError::UnknownFlag(x) => write!(f, "unknown flag `{x}`"),
+            ArgError::MissingValue(x) => write!(f, "flag `{x}` needs a value"),
+            ArgError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "bad value `{value}` for `{flag}` (expected {expected})"),
+            ArgError::MissingInput => write!(f, "missing input netlist path"),
+        }
+    }
+}
+
+impl Error for ArgError {}
+
+/// Usage text printed by `rowfpga help`.
+pub const USAGE: &str = "\
+rowfpga — simultaneous place and route for row-based FPGAs (DAC 1994)
+
+USAGE:
+  rowfpga generate [--cells N] [--inputs N] [--outputs N] [--seq N]
+                   [--seed N] [-o FILE]
+  rowfpga layout   <netlist> [--blif] [--flow sim|seq] [--fast] [--seed N]
+                   [--tracks N] [--arch FILE] [--svg FILE] [--ascii]
+                   [--report]
+  rowfpga mintracks <netlist> [--blif] [--flow sim|seq] [--fast] [--seed N]
+                   [--start N]
+  rowfpga bench    <s1|cse|ex1|bw|s1a|big529> [--flow sim|seq] [--fast]
+                   [--seed N] [--tracks N] [--svg FILE] [--ascii] [--report]
+  rowfpga help
+";
+
+fn parse_num<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> Result<T, ArgError> {
+    let v = v.ok_or_else(|| ArgError::MissingValue(flag.into()))?;
+    v.parse().map_err(|_| ArgError::BadValue {
+        flag: flag.into(),
+        value: v.clone(),
+        expected: "a number".into(),
+    })
+}
+
+/// Parses common layout flags out of `args`, returning leftover positional
+/// arguments.
+fn parse_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), ArgError> {
+    let mut opts = CommonOpts::default();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = &args[i];
+        match a.as_str() {
+            "--flow" => {
+                opts.flow = FlowChoice::parse(
+                    args.get(i + 1)
+                        .ok_or_else(|| ArgError::MissingValue("--flow".into()))?,
+                )?;
+                i += 1;
+            }
+            "--fast" => opts.fast = true,
+            "--seed" => {
+                opts.seed = parse_num("--seed", args.get(i + 1))?;
+                i += 1;
+            }
+            "--tracks" => {
+                opts.tracks = Some(parse_num("--tracks", args.get(i + 1))?);
+                i += 1;
+            }
+            "--svg" => {
+                opts.svg = Some(
+                    args.get(i + 1)
+                        .ok_or_else(|| ArgError::MissingValue("--svg".into()))?
+                        .clone(),
+                );
+                i += 1;
+            }
+            "--arch" => {
+                opts.arch = Some(
+                    args.get(i + 1)
+                        .ok_or_else(|| ArgError::MissingValue("--arch".into()))?
+                        .clone(),
+                );
+                i += 1;
+            }
+            "--ascii" => opts.ascii = true,
+            "--report" => opts.report = true,
+            "--blif" | "--start" => positional.push(a.clone()), // handled by callers
+            _ if a.starts_with("--") => return Err(ArgError::UnknownFlag(a.clone())),
+            _ => positional.push(a.clone()),
+        }
+        i += 1;
+    }
+    Ok((opts, positional))
+}
+
+/// Parses a full argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
+    let Some(cmd) = args.first() else {
+        return Err(ArgError::MissingCommand);
+    };
+    let rest = &args[1..];
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "generate" => {
+            let mut cells = 100usize;
+            let mut inputs = 8usize;
+            let mut outputs = 8usize;
+            let mut seq = 6usize;
+            let mut seed = 1u64;
+            let mut output = "-".to_owned();
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--cells" => {
+                        cells = parse_num("--cells", rest.get(i + 1))?;
+                        i += 1;
+                    }
+                    "--inputs" => {
+                        inputs = parse_num("--inputs", rest.get(i + 1))?;
+                        i += 1;
+                    }
+                    "--outputs" => {
+                        outputs = parse_num("--outputs", rest.get(i + 1))?;
+                        i += 1;
+                    }
+                    "--seq" => {
+                        seq = parse_num("--seq", rest.get(i + 1))?;
+                        i += 1;
+                    }
+                    "--seed" => {
+                        seed = parse_num("--seed", rest.get(i + 1))?;
+                        i += 1;
+                    }
+                    "-o" | "--output" => {
+                        output = rest
+                            .get(i + 1)
+                            .ok_or_else(|| ArgError::MissingValue("-o".into()))?
+                            .clone();
+                        i += 1;
+                    }
+                    other => return Err(ArgError::UnknownFlag(other.into())),
+                }
+                i += 1;
+            }
+            Ok(Command::Generate {
+                cells,
+                inputs,
+                outputs,
+                seq,
+                seed,
+                output,
+            })
+        }
+        "layout" => {
+            let (opts, positional) = parse_common(rest)?;
+            let blif = positional.iter().any(|p| p == "--blif");
+            let input = positional
+                .iter()
+                .find(|p| !p.starts_with("--"))
+                .ok_or(ArgError::MissingInput)?
+                .clone();
+            Ok(Command::Layout { input, blif, opts })
+        }
+        "mintracks" => {
+            let (opts, positional) = parse_common(rest)?;
+            let blif = positional.iter().any(|p| p == "--blif");
+            let mut start = 36usize;
+            if let Some(i) = positional.iter().position(|p| p == "--start") {
+                start = parse_num("--start", positional.get(i + 1))?;
+            }
+            let input = positional
+                .iter()
+                .enumerate()
+                .find(|(i, p)| {
+                    !p.starts_with("--")
+                        && positional.get(i.wrapping_sub(1)).map(String::as_str)
+                            != Some("--start")
+                })
+                .map(|(_, p)| p.clone())
+                .ok_or(ArgError::MissingInput)?;
+            Ok(Command::MinTracks {
+                input,
+                blif,
+                start,
+                opts,
+            })
+        }
+        "bench" => {
+            let (opts, positional) = parse_common(rest)?;
+            let name = positional
+                .iter()
+                .find(|p| !p.starts_with("--"))
+                .ok_or(ArgError::MissingInput)?
+                .clone();
+            Ok(Command::Bench { name, opts })
+        }
+        other => Err(ArgError::UnknownCommand(other.into())),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_generate_defaults_and_overrides() {
+        let c = parse_args(&v(&["generate"])).unwrap();
+        assert!(matches!(c, Command::Generate { cells: 100, .. }));
+        let c = parse_args(&v(&[
+            "generate", "--cells", "200", "--seq", "12", "-o", "x.net",
+        ]))
+        .unwrap();
+        match c {
+            Command::Generate {
+                cells, seq, output, ..
+            } => {
+                assert_eq!(cells, 200);
+                assert_eq!(seq, 12);
+                assert_eq!(output, "x.net");
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parses_layout_with_options() {
+        let c = parse_args(&v(&[
+            "layout", "d.net", "--flow", "seq", "--fast", "--tracks", "20", "--svg", "o.svg",
+            "--report",
+        ]))
+        .unwrap();
+        match c {
+            Command::Layout { input, blif, opts } => {
+                assert_eq!(input, "d.net");
+                assert!(!blif);
+                assert_eq!(opts.flow, FlowChoice::Sequential);
+                assert!(opts.fast);
+                assert_eq!(opts.tracks, Some(20));
+                assert_eq!(opts.svg.as_deref(), Some("o.svg"));
+                assert!(opts.report);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parses_blif_flag() {
+        let c = parse_args(&v(&["layout", "d.blif", "--blif"])).unwrap();
+        assert!(matches!(c, Command::Layout { blif: true, .. }));
+    }
+
+    #[test]
+    fn parses_mintracks_with_start() {
+        let c = parse_args(&v(&["mintracks", "d.net", "--start", "24"])).unwrap();
+        match c {
+            Command::MinTracks { input, start, .. } => {
+                assert_eq!(input, "d.net");
+                assert_eq!(start, 24);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn parses_bench() {
+        let c = parse_args(&v(&["bench", "cse", "--fast"])).unwrap();
+        match c {
+            Command::Bench { name, opts } => {
+                assert_eq!(name, "cse");
+                assert!(opts.fast);
+            }
+            _ => panic!("wrong command"),
+        }
+    }
+
+    #[test]
+    fn reports_errors_helpfully() {
+        assert_eq!(parse_args(&[]).unwrap_err(), ArgError::MissingCommand);
+        assert!(matches!(
+            parse_args(&v(&["frobnicate"])).unwrap_err(),
+            ArgError::UnknownCommand(_)
+        ));
+        assert!(matches!(
+            parse_args(&v(&["layout"])).unwrap_err(),
+            ArgError::MissingInput
+        ));
+        assert!(matches!(
+            parse_args(&v(&["layout", "d.net", "--bogus"])).unwrap_err(),
+            ArgError::UnknownFlag(_)
+        ));
+        assert!(matches!(
+            parse_args(&v(&["layout", "d.net", "--seed"])).unwrap_err(),
+            ArgError::MissingValue(_)
+        ));
+        assert!(matches!(
+            parse_args(&v(&["layout", "d.net", "--flow", "magic"])).unwrap_err(),
+            ArgError::BadValue { .. }
+        ));
+        assert!(matches!(
+            parse_args(&v(&["generate", "--cells", "many"])).unwrap_err(),
+            ArgError::BadValue { .. }
+        ));
+    }
+
+    #[test]
+    fn help_is_recognized() {
+        for h in ["help", "--help", "-h"] {
+            assert_eq!(parse_args(&v(&[h])).unwrap(), Command::Help);
+        }
+        assert!(USAGE.contains("rowfpga layout"));
+    }
+}

@@ -1,0 +1,397 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+use std::fmt;
+
+use rowfpga_arch::Architecture;
+use rowfpga_baseline::{SeqPrConfig, SequentialPlaceRoute};
+use rowfpga_core::{
+    render_ascii, render_svg, size_architecture, LayoutError, LayoutResult, SimPrConfig,
+    SimultaneousPlaceRoute, SizingConfig,
+};
+use rowfpga_netlist::{
+    generate, paper_preset, parse_blif, parse_netlist, write_netlist, GenerateConfig, Netlist,
+    PaperBenchmark,
+};
+use rowfpga_timing::Sta;
+
+use crate::args::{Command, CommonOpts, FlowChoice, USAGE};
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+pub enum CliError {
+    /// File I/O failed.
+    Io(std::io::Error),
+    /// Netlist parsing failed.
+    Parse(String),
+    /// Layout failed.
+    Layout(LayoutError),
+    /// Unknown benchmark name.
+    UnknownBenchmark(String),
+    /// The design could not be routed at any scanned track count.
+    Unroutable {
+        /// Scan start.
+        start: usize,
+    },
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Parse(e) => write!(f, "parse error: {e}"),
+            CliError::Layout(e) => write!(f, "layout error: {e}"),
+            CliError::UnknownBenchmark(n) => {
+                write!(f, "unknown benchmark `{n}` (try s1, cse, ex1, bw, s1a, big529)")
+            }
+            CliError::Unroutable { start } => {
+                write!(f, "design is unroutable even at {start} tracks/channel")
+            }
+        }
+    }
+}
+
+impl Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<LayoutError> for CliError {
+    fn from(e: LayoutError) -> Self {
+        CliError::Layout(e)
+    }
+}
+
+fn load_netlist(path: &str, blif: bool) -> Result<Netlist, CliError> {
+    let text = std::fs::read_to_string(path)?;
+    if blif {
+        parse_blif(&text).map_err(|e| CliError::Parse(e.to_string()))
+    } else {
+        parse_netlist(&text).map_err(|e| CliError::Parse(e.to_string()))
+    }
+}
+
+fn sized_arch(netlist: &Netlist, opts: &CommonOpts) -> Result<Architecture, CliError> {
+    if let Some(path) = &opts.arch {
+        let text = std::fs::read_to_string(path)?;
+        let arch = rowfpga_arch::parse_architecture(&text)
+            .map_err(|e| CliError::Parse(e.to_string()))?;
+        return match opts.tracks {
+            Some(t) => arch
+                .with_tracks(t)
+                .map_err(|e| CliError::Parse(e.to_string())),
+            None => Ok(arch),
+        };
+    }
+    let mut sizing = SizingConfig::default();
+    if let Some(t) = opts.tracks {
+        sizing.tracks_per_channel = t;
+    }
+    size_architecture(netlist, &sizing)
+        .map_err(|e| CliError::Parse(format!("sizing failed: {e}")))
+}
+
+fn run_layout(
+    arch: &Architecture,
+    netlist: &Netlist,
+    opts: &CommonOpts,
+) -> Result<LayoutResult, CliError> {
+    Ok(match opts.flow {
+        FlowChoice::Simultaneous => {
+            let base = if opts.fast {
+                SimPrConfig::fast()
+            } else {
+                SimPrConfig::default()
+            };
+            SimultaneousPlaceRoute::new(base.with_seed(opts.seed)).run(arch, netlist)?
+        }
+        FlowChoice::Sequential => {
+            let base = if opts.fast {
+                SeqPrConfig::fast()
+            } else {
+                SeqPrConfig::default()
+            };
+            SequentialPlaceRoute::new(base.with_seed(opts.seed)).run(arch, netlist)?
+        }
+    })
+}
+
+fn print_layout_outputs(
+    arch: &Architecture,
+    netlist: &Netlist,
+    result: &LayoutResult,
+    opts: &CommonOpts,
+    out: &mut impl std::io::Write,
+) -> Result<(), CliError> {
+    writeln!(
+        out,
+        "flow: {:?} | routed: {} (G={}, D={}) | worst path {:.2} ns | {} moves in {:.2?}",
+        opts.flow,
+        result.fully_routed,
+        result.globally_unrouted,
+        result.incomplete,
+        result.worst_delay / 1000.0,
+        result.total_moves,
+        result.runtime
+    )?;
+    if opts.report {
+        let sta = Sta::analyze(arch, netlist, &result.placement, &result.routing)
+            .map_err(|e| CliError::Parse(e.to_string()))?;
+        writeln!(out, "\n{}", sta.report(netlist))?;
+        writeln!(out, "{}", result.routing.occupancy_report(arch))?;
+    }
+    if opts.ascii {
+        writeln!(
+            out,
+            "\n{}",
+            render_ascii(arch, netlist, &result.placement, &result.routing)
+        )?;
+    }
+    if let Some(path) = &opts.svg {
+        let svg = render_svg(arch, netlist, &result.placement, &result.routing);
+        std::fs::write(path, svg)?;
+        writeln!(out, "layout plot written to {path}")?;
+    }
+    Ok(())
+}
+
+/// Executes a parsed command, writing human-readable output to `out`.
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing any I/O, parse or layout failure.
+pub fn run_command(command: &Command, out: &mut impl std::io::Write) -> Result<(), CliError> {
+    match command {
+        Command::Help => {
+            write!(out, "{USAGE}")?;
+            Ok(())
+        }
+        Command::Generate {
+            cells,
+            inputs,
+            outputs,
+            seq,
+            seed,
+            output,
+        } => {
+            let netlist = generate(&GenerateConfig {
+                num_cells: *cells,
+                num_inputs: *inputs,
+                num_outputs: *outputs,
+                num_seq: *seq,
+                seed: *seed,
+                ..GenerateConfig::default()
+            });
+            let text = write_netlist(&netlist);
+            if output == "-" {
+                write!(out, "{text}")?;
+            } else {
+                std::fs::write(output, text)?;
+                writeln!(
+                    out,
+                    "wrote {} cells / {} nets to {output}",
+                    netlist.num_cells(),
+                    netlist.num_nets()
+                )?;
+            }
+            Ok(())
+        }
+        Command::Layout { input, blif, opts } => {
+            let netlist = load_netlist(input, *blif)?;
+            let arch = sized_arch(&netlist, opts)?;
+            writeln!(
+                out,
+                "design: {} cells / {} nets on a {}x{} chip, {} tracks/channel",
+                netlist.num_cells(),
+                netlist.num_nets(),
+                arch.geometry().num_rows(),
+                arch.geometry().num_cols(),
+                arch.tracks_per_channel()
+            )?;
+            let result = run_layout(&arch, &netlist, opts)?;
+            print_layout_outputs(&arch, &netlist, &result, opts, out)
+        }
+        Command::MinTracks {
+            input,
+            blif,
+            start,
+            opts,
+        } => {
+            let netlist = load_netlist(input, *blif)?;
+            let base = sized_arch(
+                &netlist,
+                &CommonOpts {
+                    tracks: Some(*start),
+                    ..opts.clone()
+                },
+            )?;
+            let mut best = None;
+            let mut tracks = *start;
+            loop {
+                let arch = base
+                    .with_tracks(tracks)
+                    .map_err(|e| CliError::Parse(e.to_string()))?;
+                let result = run_layout(&arch, &netlist, opts)?;
+                write!(out, "{}", if result.fully_routed { "." } else { "x" })?;
+                out.flush()?;
+                if !result.fully_routed || tracks == 1 {
+                    break;
+                }
+                best = Some(tracks);
+                tracks -= 1;
+            }
+            writeln!(out)?;
+            match best {
+                Some(t) => {
+                    writeln!(
+                        out,
+                        "minimum tracks/channel for 100% wirability ({:?}): {t}",
+                        opts.flow
+                    )?;
+                    Ok(())
+                }
+                None => Err(CliError::Unroutable { start: *start }),
+            }
+        }
+        Command::Bench { name, opts } => {
+            let bench = PaperBenchmark::all()
+                .into_iter()
+                .find(|b| b.name() == name)
+                .ok_or_else(|| CliError::UnknownBenchmark(name.clone()))?;
+            let netlist = generate(&paper_preset(bench));
+            let arch = sized_arch(&netlist, opts)?;
+            writeln!(
+                out,
+                "benchmark {}: {} cells / {} nets",
+                bench.name(),
+                netlist.num_cells(),
+                netlist.num_nets()
+            )?;
+            let result = run_layout(&arch, &netlist, opts)?;
+            print_layout_outputs(&arch, &netlist, &result, opts, out)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse_args;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn run(args: &[&str]) -> Result<String, CliError> {
+        let cmd = parse_args(&v(args)).expect("args parse");
+        let mut out = Vec::new();
+        run_command(&cmd, &mut out)?;
+        Ok(String::from_utf8(out).expect("utf8 output"))
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let out = run(&["help"]).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn generate_to_stdout_is_parseable() {
+        let out = run(&["generate", "--cells", "40", "--seed", "9"]).unwrap();
+        let nl = parse_netlist(&out).expect("generated netlist parses");
+        assert_eq!(nl.num_cells(), 40);
+    }
+
+    #[test]
+    fn generate_layout_roundtrip_via_files() {
+        let dir = std::env::temp_dir().join("rowfpga_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("d.net");
+        let svg_path = dir.join("d.svg");
+        run(&[
+            "generate",
+            "--cells",
+            "40",
+            "--inputs",
+            "4",
+            "--outputs",
+            "4",
+            "--seq",
+            "3",
+            "-o",
+            net_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let out = run(&[
+            "layout",
+            net_path.to_str().unwrap(),
+            "--fast",
+            "--report",
+            "--ascii",
+            "--svg",
+            svg_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("routed: true"), "{out}");
+        assert!(out.contains("critical path:"));
+        assert!(out.contains("% wire used"));
+        let svg = std::fs::read_to_string(&svg_path).unwrap();
+        assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn layout_accepts_a_custom_architecture_file() {
+        let dir = std::env::temp_dir().join("rowfpga_cli_arch_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("d.net");
+        let arch_path = dir.join("f.arch");
+        run(&[
+            "generate", "--cells", "30", "--inputs", "4", "--outputs", "4", "--seq", "2",
+            "--seed", "5", "-o", net_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        std::fs::write(
+            &arch_path,
+            "rows 4
+cols 14
+io_columns 1
+tracks_per_channel 20
+segmentation uniform 4
+verticals longlines 4 3
+",
+        )
+        .unwrap();
+        let out = run(&[
+            "layout",
+            net_path.to_str().unwrap(),
+            "--fast",
+            "--arch",
+            arch_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("4x14 chip, 20 tracks/channel"), "{out}");
+        assert!(out.contains("routed: true"), "{out}");
+    }
+
+    #[test]
+    fn bench_runs_a_preset() {
+        let out = run(&["bench", "cse", "--fast", "--flow", "seq"]).unwrap();
+        assert!(out.contains("benchmark cse: 156 cells"));
+        assert!(out.contains("routed: true"));
+    }
+
+    #[test]
+    fn unknown_benchmark_is_reported() {
+        let err = run(&["bench", "s27", "--fast"]).unwrap_err();
+        assert!(matches!(err, CliError::UnknownBenchmark(_)));
+    }
+
+    #[test]
+    fn missing_file_is_an_io_error() {
+        let err = run(&["layout", "/nonexistent/definitely.net", "--fast"]).unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+    }
+}

@@ -1,0 +1,22 @@
+//! Implementation of the `rowfpga` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `generate` — emit a synthetic technology-mapped netlist (native
+//!   format) with configurable size and structure;
+//! * `layout` — place and route a netlist (native or BLIF) with either
+//!   flow, printing a layout report and optionally writing an SVG plot;
+//! * `mintracks` — find the minimum tracks/channel each flow needs for
+//!   100 % wirability of a design (the paper's Table 2 methodology);
+//! * `bench` — run one of the paper's preset benchmarks by name.
+//!
+//! The argument parser is deliberately dependency-free; see [`parse_args`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod args;
+mod commands;
+
+pub use args::{parse_args, ArgError, Command, CommonOpts, FlowChoice};
+pub use commands::{run_command, CliError};

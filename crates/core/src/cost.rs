@@ -1,0 +1,189 @@
+//! The layout cost function and its adaptive weight normalization.
+
+/// User-level emphasis of the three cost components. The absolute weights
+/// are derived at runtime ([`CostWeights::adapt`]) so that each component's
+/// *average per-move delta* contributes proportionally to its emphasis —
+/// the paper's "weights determined adaptively at runtime so as to
+/// normalize the components of the cost function" (§3.2).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostConfig {
+    /// Emphasis of the globally-unrouted-nets term `G`.
+    pub global_emphasis: f64,
+    /// Emphasis of the detail-incomplete-nets term `D`.
+    pub detail_emphasis: f64,
+    /// Emphasis of the worst-case-delay term `T`. Set to zero for a
+    /// wirability-only ablation.
+    pub timing_emphasis: f64,
+}
+
+impl Default for CostConfig {
+    fn default() -> Self {
+        // Routability terms dominate: a layout that does not route has no
+        // delay to speak of. Timing pressure stays meaningful throughout.
+        Self {
+            global_emphasis: 1.5,
+            detail_emphasis: 1.0,
+            timing_emphasis: 0.6,
+        }
+    }
+}
+
+impl CostConfig {
+    /// An ablation profile with no timing pressure.
+    pub fn wirability_only() -> Self {
+        Self {
+            timing_emphasis: 0.0,
+            ..Self::default()
+        }
+    }
+}
+
+/// The current absolute weights of the cost `Wg·G + Wd·D + Wt·T`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CostWeights {
+    /// Weight of the globally unrouted net count.
+    pub wg: f64,
+    /// Weight of the detail-incomplete net count.
+    pub wd: f64,
+    /// Weight of the worst-case delay (per picosecond).
+    pub wt: f64,
+}
+
+impl CostWeights {
+    /// Initial weights before any delta statistics exist: the routability
+    /// counters get unit weight and the delay term is scaled so the initial
+    /// worst delay weighs like `initial_nets` unrouted nets.
+    pub fn initial(config: &CostConfig, initial_worst_delay: f64, initial_nets: usize) -> Self {
+        let wt = if initial_worst_delay > 0.0 {
+            config.timing_emphasis * initial_nets as f64 / initial_worst_delay
+        } else {
+            0.0
+        };
+        Self {
+            wg: config.global_emphasis,
+            wd: config.detail_emphasis,
+            wt,
+        }
+    }
+
+    /// The weighted cost of a state.
+    pub fn cost(&self, g: usize, d: usize, t: f64) -> f64 {
+        self.wg * g as f64 + self.wd * d as f64 + self.wt * t
+    }
+
+    /// Re-derives the weights from the mean absolute per-move deltas
+    /// observed over the last temperature, so that a typical move's
+    /// contribution from each term is its configured emphasis.
+    ///
+    /// Terms whose deltas vanished keep their previous weight (nothing to
+    /// normalize against), which also freezes `Wt` when timing emphasis is
+    /// zero.
+    pub fn adapt(&mut self, config: &CostConfig, stats: &DeltaStats) {
+        if stats.samples == 0 {
+            return;
+        }
+        let n = stats.samples as f64;
+        let mean_g = stats.abs_dg / n;
+        let mean_d = stats.abs_dd / n;
+        let mean_t = stats.abs_dt / n;
+        if mean_g > f64::EPSILON {
+            self.wg = config.global_emphasis / mean_g;
+        }
+        if mean_d > f64::EPSILON {
+            self.wd = config.detail_emphasis / mean_d;
+        }
+        if mean_t > f64::EPSILON && config.timing_emphasis > 0.0 {
+            self.wt = config.timing_emphasis / mean_t;
+        }
+    }
+}
+
+/// Accumulated absolute per-move deltas of the cost components over one
+/// temperature.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DeltaStats {
+    /// Moves observed.
+    pub samples: usize,
+    /// Σ|δG|.
+    pub abs_dg: f64,
+    /// Σ|δD|.
+    pub abs_dd: f64,
+    /// Σ|δT|.
+    pub abs_dt: f64,
+}
+
+impl DeltaStats {
+    /// Records one move's component deltas.
+    pub fn record(&mut self, dg: f64, dd: f64, dt: f64) {
+        self.samples += 1;
+        self.abs_dg += dg.abs();
+        self.abs_dd += dd.abs();
+        self.abs_dt += dt.abs();
+    }
+
+    /// Clears the accumulator for the next temperature.
+    pub fn reset(&mut self) {
+        *self = DeltaStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_weights_scale_timing_to_net_count() {
+        let w = CostWeights::initial(&CostConfig::default(), 50_000.0, 100);
+        assert!((w.wt * 50_000.0 - 0.6 * 100.0).abs() < 1e-9);
+        assert_eq!(w.wg, 1.5);
+        assert_eq!(w.wd, 1.0);
+    }
+
+    #[test]
+    fn cost_is_linear_in_components() {
+        let w = CostWeights {
+            wg: 2.0,
+            wd: 1.0,
+            wt: 0.5,
+        };
+        assert_eq!(w.cost(3, 4, 10.0), 6.0 + 4.0 + 5.0);
+        assert_eq!(w.cost(0, 0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn adapt_normalizes_to_mean_deltas() {
+        let cfg = CostConfig::default();
+        let mut w = CostWeights::initial(&cfg, 10_000.0, 10);
+        let mut s = DeltaStats::default();
+        for _ in 0..10 {
+            s.record(2.0, 4.0, 500.0);
+        }
+        w.adapt(&cfg, &s);
+        // typical move now contributes emphasis per component
+        assert!((w.wg * 2.0 - cfg.global_emphasis).abs() < 1e-9);
+        assert!((w.wd * 4.0 - cfg.detail_emphasis).abs() < 1e-9);
+        assert!((w.wt * 500.0 - cfg.timing_emphasis).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adapt_keeps_weights_when_deltas_vanish() {
+        let cfg = CostConfig::default();
+        let mut w = CostWeights::initial(&cfg, 10_000.0, 10);
+        let before = w;
+        let mut s = DeltaStats::default();
+        s.record(0.0, 0.0, 0.0);
+        w.adapt(&cfg, &s);
+        assert_eq!(w, before);
+    }
+
+    #[test]
+    fn wirability_only_never_raises_wt() {
+        let cfg = CostConfig::wirability_only();
+        let mut w = CostWeights::initial(&cfg, 10_000.0, 10);
+        assert_eq!(w.wt, 0.0);
+        let mut s = DeltaStats::default();
+        s.record(1.0, 1.0, 300.0);
+        w.adapt(&cfg, &s);
+        assert_eq!(w.wt, 0.0);
+    }
+}

@@ -1,0 +1,319 @@
+//! Top-level simultaneous place-and-route driver.
+
+use std::error::Error;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+use rowfpga_anneal::{anneal, AnnealConfig};
+use rowfpga_arch::Architecture;
+use rowfpga_netlist::{CombLoopError, Netlist};
+use rowfpga_place::{CreatePlacementError, MoveWeights, Placement};
+use rowfpga_route::{route_batch, RouterConfig, RoutingState};
+use rowfpga_timing::{CriticalPath, Sta};
+
+use crate::cost::CostConfig;
+use crate::dynamics::DynamicsTrace;
+use crate::problem::LayoutProblem;
+
+/// Errors the layout engines can raise.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LayoutError {
+    /// The design does not fit the chip.
+    Placement(CreatePlacementError),
+    /// The design has a combinational loop; timing is undefined.
+    CombLoop(CombLoopError),
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::Placement(e) => write!(f, "placement failed: {e}"),
+            LayoutError::CombLoop(e) => write!(f, "timing undefined: {e}"),
+        }
+    }
+}
+
+impl Error for LayoutError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            LayoutError::Placement(e) => Some(e),
+            LayoutError::CombLoop(e) => Some(e),
+        }
+    }
+}
+
+/// Configuration of the simultaneous flow.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SimPrConfig {
+    /// Incremental router weights.
+    pub router: RouterConfig,
+    /// Annealing schedule. A `moves_per_temp` of 0 selects the automatic
+    /// `n^(4/3)` budget for `n` cells.
+    pub anneal: AnnealConfig,
+    /// Cost component emphasis.
+    pub cost: CostConfig,
+    /// Move class mix.
+    pub move_weights: MoveWeights,
+    /// Seed of the initial random placement.
+    pub placement_seed: u64,
+    /// Rip-up-and-retry rounds of the final repair pass (placement frozen),
+    /// applied only if annealing ends with unrouted nets; 0 disables.
+    pub final_repair_passes: usize,
+    /// Greedy zero-temperature cleanup moves attempted when annealing
+    /// freezes with unrouted nets left (only improving or neutral moves are
+    /// accepted); 0 disables.
+    pub cleanup_moves: usize,
+}
+
+impl Default for SimPrConfig {
+    fn default() -> Self {
+        Self {
+            router: RouterConfig::default(),
+            anneal: AnnealConfig {
+                moves_per_temp: 0, // auto
+                ..AnnealConfig::default()
+            },
+            cost: CostConfig::default(),
+            move_weights: MoveWeights::default(),
+            placement_seed: 1,
+            final_repair_passes: 6,
+            cleanup_moves: 20_000,
+        }
+    }
+}
+
+impl SimPrConfig {
+    /// A low-effort profile for tests and smoke runs.
+    pub fn fast() -> Self {
+        Self {
+            anneal: AnnealConfig {
+                moves_per_temp: 0,
+                max_temps: 40,
+                ..AnnealConfig::fast()
+            },
+            ..Self::default()
+        }
+    }
+
+    /// Sets the seeds (placement and annealing) together.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.placement_seed = seed;
+        self.anneal.seed = seed.wrapping_add(0x9e37);
+        self
+    }
+}
+
+/// A finished layout with its quality metrics.
+#[derive(Clone, Debug)]
+pub struct LayoutResult {
+    /// Final cell placement (and pinmaps).
+    pub placement: Placement,
+    /// Final routing state.
+    pub routing: RoutingState,
+    /// Whether every net was fully routed.
+    pub fully_routed: bool,
+    /// Nets without a global route at the end.
+    pub globally_unrouted: usize,
+    /// Nets without a complete detailed route at the end.
+    pub incomplete: usize,
+    /// Worst-case path delay (ps) from the final standalone analysis.
+    pub worst_delay: f64,
+    /// The critical path of the final layout.
+    pub critical_path: CriticalPath,
+    /// Per-temperature dynamics (paper Figure 6 data).
+    pub dynamics: DynamicsTrace,
+    /// Temperatures executed by the annealer.
+    pub temperatures: usize,
+    /// Total annealing moves attempted.
+    pub total_moves: usize,
+    /// Wall-clock time of the run.
+    pub runtime: Duration,
+}
+
+/// The paper's simultaneous placement, global and detailed routing tool.
+#[derive(Clone, Debug)]
+pub struct SimultaneousPlaceRoute {
+    config: SimPrConfig,
+}
+
+impl SimultaneousPlaceRoute {
+    /// Creates a driver with the given configuration.
+    pub fn new(config: SimPrConfig) -> SimultaneousPlaceRoute {
+        SimultaneousPlaceRoute { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimPrConfig {
+        &self.config
+    }
+
+    /// Lays out `netlist` on `arch`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] if the design does not fit the chip or
+    /// contains a combinational loop.
+    pub fn run(
+        &self,
+        arch: &Architecture,
+        netlist: &Netlist,
+    ) -> Result<LayoutResult, LayoutError> {
+        let start = Instant::now();
+        let mut problem = LayoutProblem::new(
+            arch,
+            netlist,
+            self.config.router,
+            self.config.cost,
+            self.config.move_weights,
+            self.config.placement_seed,
+        )?;
+
+        let mut anneal_cfg = self.config.anneal.clone();
+        if anneal_cfg.moves_per_temp == 0 {
+            anneal_cfg.moves_per_temp = AnnealConfig::moves_for_cells(netlist.num_cells(), 1.0);
+        }
+        let outcome = anneal(&mut problem, &anneal_cfg, |_| {});
+
+        // Zero-temperature cleanup: when the schedule froze with a few nets
+        // still unrouted, a burst of greedy (improving-only) moves usually
+        // shakes the last stragglers loose — the placement-level leverage of
+        // §2.1 applied once more, without the stochastic uphill component.
+        if problem.routing().incomplete() > 0 && self.config.cleanup_moves > 0 {
+            use rand::SeedableRng as _;
+            use rowfpga_anneal::AnnealProblem as _;
+            let mut rng =
+                rand::rngs::StdRng::seed_from_u64(anneal_cfg.seed.wrapping_add(0x51ea9));
+            for _ in 0..self.config.cleanup_moves {
+                let (applied, delta) = problem.propose_and_apply(&mut rng);
+                if delta <= 0.0 {
+                    problem.commit(applied);
+                } else {
+                    problem.undo(applied);
+                }
+                if problem.routing().incomplete() == 0 {
+                    break;
+                }
+            }
+        }
+
+        let (placement, mut routing, dynamics) = problem.into_parts();
+        if !routing.is_fully_routed() && self.config.final_repair_passes > 0 {
+            // Placement is frozen now; a few rip-up-and-retry rounds often
+            // recover the last stragglers, exactly as a sequential flow's
+            // router would.
+            route_batch(
+                &mut routing,
+                arch,
+                netlist,
+                &placement,
+                &self.config.router,
+                self.config.final_repair_passes,
+            );
+        }
+
+        let sta = Sta::analyze(arch, netlist, &placement, &routing)
+            .map_err(LayoutError::CombLoop)?;
+        let critical_path = sta.critical_path(netlist);
+        Ok(LayoutResult {
+            fully_routed: routing.is_fully_routed(),
+            globally_unrouted: routing.globally_unrouted(),
+            incomplete: routing.incomplete(),
+            worst_delay: sta.worst_delay(),
+            critical_path,
+            dynamics,
+            temperatures: outcome.temperatures,
+            total_moves: outcome.total_moves,
+            runtime: start.elapsed(),
+            placement,
+            routing,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowfpga_netlist::{generate, GenerateConfig};
+    use rowfpga_route::verify_routing;
+
+    fn fixture() -> (Architecture, Netlist) {
+        let nl = generate(&GenerateConfig {
+            num_cells: 40,
+            num_inputs: 5,
+            num_outputs: 5,
+            num_seq: 3,
+            ..GenerateConfig::default()
+        });
+        let arch = Architecture::builder()
+            .rows(5)
+            .cols(12)
+            .io_columns(2)
+            .tracks_per_channel(16)
+            .build()
+            .unwrap();
+        (arch, nl)
+    }
+
+    #[test]
+    fn fast_run_routes_a_small_design_fully() {
+        let (arch, nl) = fixture();
+        let result = SimultaneousPlaceRoute::new(SimPrConfig::fast())
+            .run(&arch, &nl)
+            .unwrap();
+        assert!(result.fully_routed, "left {} incomplete", result.incomplete);
+        assert_eq!(result.incomplete, 0);
+        assert!(result.worst_delay > 0.0);
+        assert!(!result.critical_path.elements.is_empty());
+        assert!(!result.dynamics.is_empty());
+        assert!(result.temperatures > 0);
+        verify_routing(&result.routing, &arch, &nl, &result.placement).unwrap();
+    }
+
+    #[test]
+    fn runs_are_deterministic_in_seed() {
+        let (arch, nl) = fixture();
+        let run = |seed: u64| {
+            SimultaneousPlaceRoute::new(SimPrConfig::fast().with_seed(seed))
+                .run(&arch, &nl)
+                .unwrap()
+        };
+        let a = run(5);
+        let b = run(5);
+        assert_eq!(a.worst_delay, b.worst_delay);
+        assert_eq!(a.total_moves, b.total_moves);
+        for (id, _) in nl.cells() {
+            assert_eq!(a.placement.site_of(id), b.placement.site_of(id));
+        }
+    }
+
+    #[test]
+    fn annealing_beats_the_initial_random_layout_on_delay() {
+        let (arch, nl) = fixture();
+        // initial: random placement + batch route
+        let placement = Placement::random(&arch, &nl, 1).unwrap();
+        let mut routing = RoutingState::new(&arch, &nl);
+        route_batch(&mut routing, &arch, &nl, &placement, &RouterConfig::default(), 6);
+        let initial = Sta::analyze(&arch, &nl, &placement, &routing).unwrap();
+
+        let result = SimultaneousPlaceRoute::new(SimPrConfig::default())
+            .run(&arch, &nl)
+            .unwrap();
+        assert!(
+            result.worst_delay < initial.worst_delay(),
+            "annealed {} not better than random {}",
+            result.worst_delay,
+            initial.worst_delay()
+        );
+    }
+
+    #[test]
+    fn reports_failures_on_a_starved_fabric() {
+        let (arch, nl) = fixture();
+        let narrow = arch.with_tracks(1).unwrap();
+        let result = SimultaneousPlaceRoute::new(SimPrConfig::fast())
+            .run(&narrow, &nl)
+            .unwrap();
+        assert!(!result.fully_routed);
+        assert!(result.incomplete > 0);
+    }
+}

@@ -1,0 +1,349 @@
+//! The simultaneous layout problem driven by the annealing engine.
+//!
+//! Each move follows the paper's cascade (§3.2–3.5):
+//!
+//! 1. perturb the placement (cell exchange / translation, or pinmap
+//!    reassignment) — there are **no** moves that alter nets directly;
+//! 2. rip up every net connected to the moved cells, freeing their
+//!    vertical *and* horizontal segments;
+//! 3. incremental global rerouting over `U_G`, longest net first;
+//! 4. incremental detailed rerouting over each dirty channel's `U_D`;
+//! 5. incremental worst-case delay recalculation over the frontier of
+//!    affected cells;
+//! 6. score `ΔCost = Wg·δG + Wd·δD + Wt·δT` and let the annealer accept or
+//!    reject; rejection rolls back routing, timing and placement exactly.
+
+use rand::rngs::StdRng;
+
+use rowfpga_anneal::{AnnealProblem, TemperatureStats};
+use rowfpga_arch::Architecture;
+use rowfpga_netlist::{CombLoopError, Netlist};
+use rowfpga_place::{Move, MoveGenerator, MoveWeights, Placement};
+use rowfpga_route::{RouterConfig, RoutingState};
+use rowfpga_timing::TimingState;
+
+use crate::cost::{CostConfig, CostWeights, DeltaStats};
+use crate::dynamics::{DynamicsSample, DynamicsTrace};
+use crate::engine::LayoutError;
+
+/// Record of one applied layout move (what the annealer needs to commit or
+/// undo it).
+#[derive(Debug)]
+pub struct AppliedLayoutMove {
+    mv: Move,
+}
+
+/// The evolving layout state: placement, routing and timing, scored by the
+/// weighted cost `Wg·G + Wd·D + Wt·T`.
+pub struct LayoutProblem<'a> {
+    arch: &'a Architecture,
+    netlist: &'a Netlist,
+    placement: Placement,
+    routing: RoutingState,
+    timing: TimingState,
+    mover: MoveGenerator,
+    router_cfg: RouterConfig,
+    cost_cfg: CostConfig,
+    weights: CostWeights,
+    deltas: DeltaStats,
+    perturbed: Vec<bool>,
+    trace: DynamicsTrace,
+    /// Current exchange-window half-width (TimberWolf-style range limiting;
+    /// shrinks as acceptance falls).
+    window: usize,
+}
+
+impl<'a> LayoutProblem<'a> {
+    /// Creates the starting state: a random legal placement, one initial
+    /// routing pass (many nets find some — possibly poor — embedding) and a
+    /// full timing analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] if the design does not fit the chip or has a
+    /// combinational loop.
+    pub fn new(
+        arch: &'a Architecture,
+        netlist: &'a Netlist,
+        router_cfg: RouterConfig,
+        cost_cfg: CostConfig,
+        move_weights: MoveWeights,
+        seed: u64,
+    ) -> Result<LayoutProblem<'a>, LayoutError> {
+        let placement =
+            Placement::random(arch, netlist, seed).map_err(LayoutError::Placement)?;
+        let mut routing = RoutingState::new(arch, netlist);
+        routing.route_incremental(arch, netlist, &placement, &router_cfg);
+        let timing = TimingState::new(arch, netlist, &placement, &routing)
+            .map_err(LayoutError::CombLoop)?;
+        let weights = CostWeights::initial(&cost_cfg, timing.worst(), netlist.num_nets());
+        let mover = MoveGenerator::new(arch, netlist, move_weights);
+        Ok(LayoutProblem {
+            arch,
+            netlist,
+            placement,
+            routing,
+            timing,
+            mover,
+            router_cfg,
+            cost_cfg,
+            weights,
+            deltas: DeltaStats::default(),
+            perturbed: vec![false; netlist.num_cells()],
+            trace: DynamicsTrace::new(),
+            window: usize::MAX,
+        })
+    }
+
+    /// Convenience constructor mapping a [`CombLoopError`] directly.
+    pub fn check_levelizable(netlist: &Netlist) -> Result<(), CombLoopError> {
+        rowfpga_netlist::Levels::compute(netlist).map(|_| ())
+    }
+
+    /// The current placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// The current routing state.
+    pub fn routing(&self) -> &RoutingState {
+        &self.routing
+    }
+
+    /// The current timing state.
+    pub fn timing(&self) -> &TimingState {
+        &self.timing
+    }
+
+    /// The current cost weights.
+    pub fn weights(&self) -> CostWeights {
+        self.weights
+    }
+
+    /// The dynamics recorded so far (one sample per completed temperature).
+    pub fn trace(&self) -> &DynamicsTrace {
+        &self.trace
+    }
+
+    /// Decomposes the problem into its final placement, routing and
+    /// dynamics trace.
+    pub fn into_parts(self) -> (Placement, RoutingState, DynamicsTrace) {
+        (self.placement, self.routing, self.trace)
+    }
+}
+
+impl AnnealProblem for LayoutProblem<'_> {
+    type Applied = AppliedLayoutMove;
+
+    fn propose_and_apply(&mut self, rng: &mut StdRng) -> (AppliedLayoutMove, f64) {
+        let g0 = self.routing.globally_unrouted();
+        let d0 = self.routing.incomplete();
+        let t0 = self.timing.worst();
+
+        let window = (self.window < self.mover.max_window()).then_some(self.window);
+        let mv = self
+            .mover
+            .propose_in_window(self.netlist, &self.placement, rng, window);
+        self.routing.begin_txn();
+        self.timing.begin_txn();
+        mv.apply(self.arch, self.netlist, &mut self.placement);
+        for cell in mv.affected_cells(&self.placement) {
+            self.routing.rip_up_cell(self.netlist, cell);
+        }
+        self.routing
+            .route_incremental(self.arch, self.netlist, &self.placement, &self.router_cfg);
+        let changed = self.routing.touched_nets();
+        self.timing
+            .update_nets(self.arch, self.netlist, &self.placement, &self.routing, &changed);
+
+        let g1 = self.routing.globally_unrouted();
+        let d1 = self.routing.incomplete();
+        let t1 = self.timing.worst();
+        self.deltas.record(
+            g1 as f64 - g0 as f64,
+            d1 as f64 - d0 as f64,
+            t1 - t0,
+        );
+        let delta = self.weights.cost(g1, d1, t1) - self.weights.cost(g0, d0, t0);
+        (AppliedLayoutMove { mv }, delta)
+    }
+
+    fn undo(&mut self, applied: AppliedLayoutMove) {
+        self.routing.rollback();
+        self.timing.rollback();
+        applied.mv.undo(self.arch, self.netlist, &mut self.placement);
+    }
+
+    fn commit(&mut self, applied: AppliedLayoutMove) {
+        self.routing.commit();
+        self.timing.commit();
+        for cell in applied.mv.affected_cells(&self.placement) {
+            self.perturbed[cell.index()] = true;
+        }
+    }
+
+    fn cost(&self) -> f64 {
+        self.weights.cost(
+            self.routing.globally_unrouted(),
+            self.routing.incomplete(),
+            self.timing.worst(),
+        )
+    }
+
+    fn on_temperature(&mut self, stats: &TemperatureStats) {
+        let n_cells = self.netlist.num_cells().max(1) as f64;
+        let n_nets = self.netlist.num_nets().max(1) as f64;
+        self.trace.push(DynamicsSample {
+            index: stats.index,
+            temperature: stats.temperature,
+            cells_perturbed: self.perturbed.iter().filter(|p| **p).count() as f64 / n_cells,
+            nets_globally_unrouted: self.routing.globally_unrouted() as f64 / n_nets,
+            nets_unrouted: self.routing.incomplete() as f64 / n_nets,
+            worst_delay: self.timing.worst(),
+            cost: self.cost(),
+        });
+        self.perturbed.fill(false);
+        self.weights.adapt(&self.cost_cfg, &self.deltas);
+        self.deltas.reset();
+        // Range limiting: once acceptance falls below the classic 44%
+        // target, shrink the exchange window so cold-regime moves become
+        // local refinements (TimberWolf; the paper's §5 names this family
+        // of annealing-core improvements as ongoing work).
+        if stats.acceptance_ratio() < 0.44 {
+            let current = self.window.min(self.mover.max_window());
+            self.window = ((current as f64 * 0.85) as usize).max(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rowfpga_netlist::{generate, GenerateConfig};
+    use rowfpga_route::verify_routing;
+    use rowfpga_timing::TimingState as Oracle;
+
+    fn problem_fixture<'a>(
+        arch: &'a Architecture,
+        netlist: &'a Netlist,
+    ) -> LayoutProblem<'a> {
+        LayoutProblem::new(
+            arch,
+            netlist,
+            RouterConfig::default(),
+            CostConfig::default(),
+            MoveWeights::default(),
+            42,
+        )
+        .unwrap()
+    }
+
+    fn fixture() -> (Architecture, Netlist) {
+        let nl = generate(&GenerateConfig {
+            num_cells: 40,
+            num_inputs: 5,
+            num_outputs: 5,
+            num_seq: 3,
+            ..GenerateConfig::default()
+        });
+        let arch = Architecture::builder()
+            .rows(5)
+            .cols(12)
+            .io_columns(2)
+            .tracks_per_channel(14)
+            .build()
+            .unwrap();
+        (arch, nl)
+    }
+
+    #[test]
+    fn moves_apply_and_roll_back_the_whole_state() {
+        let (arch, nl) = fixture();
+        let mut p = problem_fixture(&arch, &nl);
+        let cost0 = p.cost();
+        let sites0: Vec<_> = nl.cells().map(|(id, _)| p.placement().site_of(id)).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let (applied, _) = p.propose_and_apply(&mut rng);
+            p.undo(applied);
+        }
+        assert_eq!(p.cost(), cost0);
+        for (i, (id, _)) in nl.cells().enumerate() {
+            assert_eq!(p.placement().site_of(id), sites0[i]);
+        }
+        verify_routing(p.routing(), &arch, &nl, p.placement()).unwrap();
+        // timing agrees with a from-scratch oracle
+        let oracle = Oracle::new(&arch, &nl, p.placement(), p.routing()).unwrap();
+        assert!((p.timing().worst() - oracle.worst()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn committed_moves_keep_state_consistent() {
+        let (arch, nl) = fixture();
+        let mut p = problem_fixture(&arch, &nl);
+        let mut rng = StdRng::seed_from_u64(2);
+        for i in 0..200 {
+            let (applied, delta) = p.propose_and_apply(&mut rng);
+            if delta <= 0.0 || i % 3 == 0 {
+                p.commit(applied);
+            } else {
+                p.undo(applied);
+            }
+        }
+        verify_routing(p.routing(), &arch, &nl, p.placement()).unwrap();
+        let oracle = Oracle::new(&arch, &nl, p.placement(), p.routing()).unwrap();
+        assert!(
+            (p.timing().worst() - oracle.worst()).abs() < 1e-6,
+            "incremental timing diverged: {} vs {}",
+            p.timing().worst(),
+            oracle.worst()
+        );
+        assert!(p.placement().check_invariants(&arch, &nl));
+    }
+
+    #[test]
+    fn cost_reflects_weighted_components() {
+        let (arch, nl) = fixture();
+        let p = problem_fixture(&arch, &nl);
+        let w = p.weights();
+        let expect = w.cost(
+            p.routing().globally_unrouted(),
+            p.routing().incomplete(),
+            p.timing().worst(),
+        );
+        assert_eq!(p.cost(), expect);
+    }
+
+    #[test]
+    fn on_temperature_records_dynamics_and_resets_counters() {
+        let (arch, nl) = fixture();
+        let mut p = problem_fixture(&arch, &nl);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let (applied, _) = p.propose_and_apply(&mut rng);
+            p.commit(applied);
+        }
+        let stats = TemperatureStats {
+            index: 0,
+            temperature: 5.0,
+            moves: 50,
+            accepted: 50,
+            mean_cost: p.cost(),
+            std_cost: 1.0,
+            current_cost: p.cost(),
+            best_cost: p.cost(),
+        };
+        p.on_temperature(&stats);
+        assert_eq!(p.trace().len(), 1);
+        let s = p.trace().samples()[0];
+        assert!(s.cells_perturbed > 0.0);
+        assert!(s.nets_unrouted >= s.nets_globally_unrouted);
+        // second temperature with no accepted moves records zero
+        p.on_temperature(&TemperatureStats {
+            index: 1,
+            ..stats
+        });
+        assert_eq!(p.trace().samples()[1].cells_perturbed, 0.0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Layout rendering: ASCII floorplans and SVG plots of placed-and-routed
+//! chips (the paper's Figure 7 is exactly such a plot).
+
+use std::fmt::Write as _;
+
+use rowfpga_arch::{Architecture, ChannelId, SiteKind};
+use rowfpga_netlist::{CellKind, NetId, Netlist};
+use rowfpga_place::Placement;
+use rowfpga_route::{NetRouteState, RoutingState};
+
+/// Renders an ASCII floorplan: one character per site (`i` = I/O cell,
+/// `c` = combinational, `s` = sequential, `.` = empty) with channel rows
+/// showing per-channel track utilization as a percentage.
+pub fn render_ascii(
+    arch: &Architecture,
+    netlist: &Netlist,
+    placement: &Placement,
+    routing: &RoutingState,
+) -> String {
+    let geom = arch.geometry();
+    let mut out = String::new();
+    // Top channel first so the picture reads top-down like a die photo.
+    for row in (0..geom.num_rows()).rev() {
+        let chan = ChannelId::new(row + 1);
+        let _ = writeln!(out, "{}", channel_line(arch, routing, chan));
+        let mut line = String::from("row  |");
+        for col in 0..geom.num_cols() {
+            let site = geom.site_at(
+                rowfpga_arch::RowId::new(row),
+                rowfpga_arch::ColId::new(col),
+            );
+            let ch = match placement.cell_at(site.id()) {
+                None => '.',
+                Some(cell) => match netlist.cell(cell).kind() {
+                    CellKind::Input | CellKind::Output => 'i',
+                    CellKind::Comb { .. } => 'c',
+                    CellKind::Seq => 's',
+                },
+            };
+            line.push(ch);
+        }
+        line.push('|');
+        let _ = writeln!(out, "{line}");
+    }
+    let _ = writeln!(out, "{}", channel_line(arch, routing, ChannelId::new(0)));
+    out
+}
+
+fn channel_line(arch: &Architecture, routing: &RoutingState, chan: ChannelId) -> String {
+    let (used, total) = routing.channel_wire_usage(arch, chan);
+    let pct = if total == 0 { 0 } else { 100 * used / total };
+    format!(
+        "{:<4} ={} {pct:>3}% wire used",
+        format!("{chan}"),
+        "=".repeat(arch.geometry().num_cols())
+    )
+}
+
+/// Renders the placed-and-routed chip as an SVG document: sites colored by
+/// occupant kind, every routed net's horizontal runs drawn on their tracks
+/// and vertical chains in their columns, each net in a stable
+/// pseudo-random color.
+pub fn render_svg(
+    arch: &Architecture,
+    netlist: &Netlist,
+    placement: &Placement,
+    routing: &RoutingState,
+) -> String {
+    let geom = arch.geometry();
+    let cw = 14.0; // column pitch
+    let row_h = 16.0;
+    let track_pitch = 2.0;
+    let chan_h = arch.tracks_per_channel() as f64 * track_pitch + 6.0;
+
+    // y of the top of channel `c`, stacking top-down from the highest
+    // channel: chan N, row N-1, chan N-1, …, row 0, chan 0.
+    let chan_y = |c: usize| -> f64 {
+        let above = geom.num_channels() - 1 - c; // channels above this one
+        above as f64 * (chan_h + row_h)
+    };
+    let row_y = |r: usize| chan_y(r + 1) + chan_h;
+    let height = chan_y(0) + chan_h;
+    let width = geom.num_cols() as f64 * cw;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        r##"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {width:.0} {height:.0}" font-family="monospace" font-size="6">"##
+    );
+    let _ = writeln!(
+        out,
+        r##"<rect width="{width:.0}" height="{height:.0}" fill="#ffffff"/>"##
+    );
+
+    // Channel backgrounds.
+    for c in 0..geom.num_channels() {
+        let _ = writeln!(
+            out,
+            r##"<rect x="0" y="{:.1}" width="{width:.1}" height="{chan_h:.1}" fill="#f2f2f2"/>"##,
+            chan_y(c)
+        );
+    }
+
+    // Sites.
+    for site in geom.sites() {
+        let x = site.col().index() as f64 * cw + 1.0;
+        let y = row_y(site.row().index()) + 1.0;
+        let (fill, label) = match placement.cell_at(site.id()) {
+            None => ("#e8e8e8", None),
+            Some(cell) => match netlist.cell(cell).kind() {
+                CellKind::Input | CellKind::Output => ("#b8b8b8", Some(cell)),
+                CellKind::Comb { .. } => ("#9ec5e8", Some(cell)),
+                CellKind::Seq => ("#f2c48d", Some(cell)),
+            },
+        };
+        let _ = writeln!(
+            out,
+            r##"<rect x="{x:.1}" y="{y:.1}" width="{:.1}" height="{:.1}" fill="{fill}" stroke="{}"/>"##,
+            cw - 2.0,
+            row_h - 2.0,
+            if site.kind() == SiteKind::Io {
+                "#888888"
+            } else {
+                "#5588aa"
+            },
+        );
+        if let Some(cell) = label {
+            let _ = writeln!(
+                out,
+                r##"<title>{}</title>"##,
+                xml_escape(netlist.cell(cell).name())
+            );
+        }
+    }
+
+    // Routed nets.
+    for (net, _) in netlist.nets() {
+        let route = routing.route(net);
+        if route.state() == NetRouteState::Unrouted {
+            continue;
+        }
+        let color = net_color(net);
+        for (chan, segs) in route.hsegs() {
+            for h in segs {
+                let seg = arch.hseg(*h);
+                let t = arch.hseg_track(*h).index();
+                let y = chan_y(chan.index()) + 3.0 + t as f64 * track_pitch;
+                let _ = writeln!(
+                    out,
+                    r##"<line x1="{:.1}" y1="{y:.1}" x2="{:.1}" y2="{y:.1}" stroke="{color}" stroke-width="1.2"/>"##,
+                    seg.start() as f64 * cw + cw / 2.0,
+                    (seg.end() - 1) as f64 * cw + cw / 2.0,
+                );
+            }
+        }
+        for v in route.vsegs() {
+            let seg = arch.vseg(*v);
+            let x = seg.col().index() as f64 * cw + cw / 2.0;
+            let y1 = chan_y(seg.chan_hi().index()) + chan_h / 2.0;
+            let y2 = chan_y(seg.chan_lo().index()) + chan_h / 2.0;
+            let _ = writeln!(
+                out,
+                r##"<line x1="{x:.1}" y1="{y1:.1}" x2="{x:.1}" y2="{y2:.1}" stroke="{color}" stroke-width="1.0" stroke-dasharray="2,1"/>"##
+            );
+        }
+    }
+
+    out.push_str("</svg>\n");
+    out
+}
+
+/// A stable, reasonably distinct color per net.
+fn net_color(net: NetId) -> String {
+    let h = (net.index() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let hue = (h % 360) as f64;
+    let light = 30.0 + ((h >> 9) % 25) as f64;
+    format!("hsl({hue:.0},70%,{light:.0}%)")
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowfpga_netlist::{generate, GenerateConfig};
+    use rowfpga_route::{route_batch, RouterConfig};
+
+    fn routed() -> (Architecture, Netlist, Placement, RoutingState) {
+        let nl = generate(&GenerateConfig {
+            num_cells: 30,
+            num_inputs: 4,
+            num_outputs: 4,
+            num_seq: 2,
+            ..GenerateConfig::default()
+        });
+        let arch = Architecture::builder()
+            .rows(4)
+            .cols(10)
+            .io_columns(1)
+            .tracks_per_channel(14)
+            .build()
+            .unwrap();
+        let p = Placement::random(&arch, &nl, 5).unwrap();
+        let mut st = RoutingState::new(&arch, &nl);
+        route_batch(&mut st, &arch, &nl, &p, &RouterConfig::default(), 6);
+        (arch, nl, p, st)
+    }
+
+    #[test]
+    fn ascii_floorplan_covers_every_row_and_channel() {
+        let (arch, nl, p, st) = routed();
+        let art = render_ascii(&arch, &nl, &p, &st);
+        let rows = art.lines().filter(|l| l.starts_with("row")).count();
+        let chans = art.lines().filter(|l| l.starts_with("ch")).count();
+        assert_eq!(rows, 4);
+        assert_eq!(chans, 5);
+        // every placed cell appears
+        let glyphs: usize = art
+            .lines()
+            .filter(|l| l.starts_with("row"))
+            .map(|l| l.chars().filter(|c| "ics".contains(*c)).count())
+            .sum();
+        assert_eq!(glyphs, nl.num_cells());
+    }
+
+    #[test]
+    fn svg_is_well_formed_and_draws_every_claimed_segment() {
+        let (arch, nl, p, st) = routed();
+        let svg = render_svg(&arch, &nl, &p, &st);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        let lines = svg.matches("<line").count();
+        let claimed_h: usize = (0..arch.num_hsegs())
+            .filter(|i| st.hseg_owner(rowfpga_arch::HSegId::new(*i)).is_some())
+            .count();
+        let claimed_v: usize = (0..arch.num_vsegs())
+            .filter(|i| st.vseg_owner(rowfpga_arch::VSegId::new(*i)).is_some())
+            .count();
+        assert_eq!(lines, claimed_h + claimed_v);
+        let rects = svg.matches("<rect").count();
+        assert_eq!(
+            rects,
+            1 + arch.geometry().num_channels() + arch.geometry().num_sites()
+        );
+    }
+
+    #[test]
+    fn unrouted_nets_are_not_drawn() {
+        let (arch, nl, p, mut st) = routed();
+        for (net, _) in nl.nets() {
+            st.rip_up(net);
+        }
+        let svg = render_svg(&arch, &nl, &p, &st);
+        assert_eq!(svg.matches("<line").count(), 0);
+    }
+
+    #[test]
+    fn net_colors_are_stable_and_valid() {
+        let a = net_color(NetId::new(7));
+        assert_eq!(a, net_color(NetId::new(7)));
+        assert!(a.starts_with("hsl("));
+        assert_ne!(a, net_color(NetId::new(8)));
+    }
+
+    #[test]
+    fn xml_escaping() {
+        assert_eq!(xml_escape("a<b>&c"), "a&lt;b&gt;&amp;c");
+    }
+}

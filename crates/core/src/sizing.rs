@@ -1,0 +1,179 @@
+//! Deriving a right-sized chip for a netlist.
+//!
+//! The paper's wirability experiment (Table 2) fixes the chip's site grid
+//! and varies tracks per channel; this module produces that grid: enough
+//! logic sites for the design at a target utilization (dense packing is
+//! the economic point of the exercise — §1: failing to pack a design onto
+//! the smallest feasible FPGA carries a substantial cost penalty), enough
+//! I/O sites at the row ends, and a row-based aspect ratio (more columns
+//! than rows, as in the ACT parts).
+
+use rowfpga_arch::{
+    Architecture, BuildArchitectureError, DelayParams, SegmentationScheme, VerticalScheme,
+};
+use rowfpga_netlist::Netlist;
+
+/// Parameters of the sizing heuristic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SizingConfig {
+    /// Target logic-site utilization (cells / sites), in (0, 1].
+    pub utilization: f64,
+    /// Columns-to-rows aspect ratio of the logic array.
+    pub aspect: f64,
+    /// Tracks per channel of the produced fabric.
+    pub tracks_per_channel: usize,
+    /// Segmentation scheme of the produced fabric.
+    pub segmentation: SegmentationScheme,
+    /// Vertical resources of the produced fabric.
+    pub verticals: VerticalScheme,
+    /// Electrical parameters.
+    pub delay: DelayParams,
+}
+
+impl Default for SizingConfig {
+    fn default() -> Self {
+        Self {
+            utilization: 0.85,
+            aspect: 2.0,
+            tracks_per_channel: 36,
+            segmentation: SegmentationScheme::ActelLike { seed: 3 },
+            verticals: VerticalScheme::WithLongLines {
+                tracks_per_column: 6,
+                span: 3,
+            },
+            delay: DelayParams::default(),
+        }
+    }
+}
+
+/// Builds an architecture sized for `netlist` under `config`.
+///
+/// # Errors
+///
+/// Propagates [`BuildArchitectureError`] from the architecture builder
+/// (only possible with degenerate configs, e.g. zero tracks).
+pub fn size_architecture(
+    netlist: &Netlist,
+    config: &SizingConfig,
+) -> Result<Architecture, BuildArchitectureError> {
+    let stats = netlist.stats();
+    let logic_cells = (stats.num_comb + stats.num_seq).max(1);
+    let io_cells = (stats.num_inputs + stats.num_outputs).max(1);
+    let util = config.utilization.clamp(0.05, 1.0);
+    let aspect = config.aspect.max(0.25);
+
+    let logic_sites_needed = (logic_cells as f64 / util).ceil();
+    let mut rows = (logic_sites_needed / aspect).sqrt().round().max(1.0) as usize;
+    let mut logic_cols = (logic_sites_needed / rows as f64).ceil() as usize;
+    // Ensure capacity despite rounding.
+    while rows * logic_cols < logic_cells {
+        logic_cols += 1;
+    }
+    let mut io_columns = io_cells.div_ceil(2 * rows).max(1);
+    // If the chip would be I/O-bound into a sliver, add rows instead.
+    while io_columns * 2 > logic_cols && rows < 4 * logic_cols {
+        rows += 1;
+        logic_cols = (logic_sites_needed / rows as f64).ceil().max(1.0) as usize;
+        io_columns = io_cells.div_ceil(2 * rows).max(1);
+    }
+
+    // Taller chips mean longer vertical chains per net and more
+    // channel-crossing nets per column; scale the per-column vertical
+    // capacity with the row count so vertical resources are never the
+    // accidental bottleneck of a sizing (the experiments that *want* a
+    // starved fabric construct it explicitly).
+    let min_vtracks = rows.div_ceil(2);
+    let verticals = match config.verticals {
+        VerticalScheme::Uniform {
+            tracks_per_column,
+            span,
+        } => VerticalScheme::Uniform {
+            tracks_per_column: tracks_per_column.max(min_vtracks),
+            span,
+        },
+        VerticalScheme::WithLongLines {
+            tracks_per_column,
+            span,
+        } => VerticalScheme::WithLongLines {
+            tracks_per_column: tracks_per_column.max(min_vtracks),
+            span,
+        },
+    };
+
+    Architecture::builder()
+        .rows(rows)
+        .cols(logic_cols + 2 * io_columns)
+        .io_columns(io_columns)
+        .tracks_per_channel(config.tracks_per_channel)
+        .segmentation(config.segmentation.clone())
+        .verticals(verticals)
+        .delay(config.delay)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowfpga_netlist::{generate, paper_preset, GenerateConfig, PaperBenchmark};
+    use rowfpga_place::Placement;
+
+    #[test]
+    fn sized_chips_hold_their_designs() {
+        for bench in PaperBenchmark::all() {
+            let nl = generate(&paper_preset(bench));
+            let arch = size_architecture(&nl, &SizingConfig::default()).unwrap();
+            // a random placement must exist
+            Placement::random(&arch, &nl, 1).unwrap_or_else(|e| {
+                panic!("{}: sized chip cannot hold design: {e}", bench.name())
+            });
+        }
+    }
+
+    #[test]
+    fn utilization_is_respected() {
+        let nl = generate(&paper_preset(PaperBenchmark::S1));
+        let stats = nl.stats();
+        let arch = size_architecture(
+            &nl,
+            &SizingConfig {
+                utilization: 0.5,
+                ..SizingConfig::default()
+            },
+        )
+        .unwrap();
+        let logic_sites = arch.geometry().num_logic_sites();
+        let logic_cells = stats.num_comb + stats.num_seq;
+        assert!(logic_sites * 5 >= logic_cells * 10 - logic_sites); // ≥ ~2x cells (rounding slack)
+        assert!(
+            logic_sites as f64 >= logic_cells as f64 / 0.5 * 0.9,
+            "sites {logic_sites} too few for 50% utilization of {logic_cells}"
+        );
+    }
+
+    #[test]
+    fn aspect_leans_wide() {
+        let nl = generate(&GenerateConfig {
+            num_cells: 200,
+            num_inputs: 10,
+            num_outputs: 10,
+            num_seq: 10,
+            ..GenerateConfig::default()
+        });
+        let arch = size_architecture(&nl, &SizingConfig::default()).unwrap();
+        assert!(arch.geometry().num_cols() >= arch.geometry().num_rows());
+    }
+
+    #[test]
+    fn io_heavy_designs_get_enough_io_sites() {
+        let nl = generate(&GenerateConfig {
+            num_cells: 80,
+            num_inputs: 20,
+            num_outputs: 30,
+            num_seq: 5,
+            ..GenerateConfig::default()
+        });
+        let arch = size_architecture(&nl, &SizingConfig::default()).unwrap();
+        assert!(arch.geometry().num_io_sites() >= 50);
+        Placement::random(&arch, &nl, 1).unwrap();
+    }
+}

@@ -1,0 +1,158 @@
+//! Cells: the technology-mapped logic blocks of a design.
+
+use std::fmt;
+
+/// Maximum number of logical inputs a combinational module accepts.
+///
+/// Row-based modules (e.g. the Actel ACT "C" module) expose a fixed set of
+/// physical input ports split between the top and bottom module edges; we
+/// model four ports per edge, so a mapped cell may use at most eight inputs.
+pub const MAX_FANIN: usize = 8;
+
+/// The kind of a technology-mapped cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// Primary input (an "i" block driving one signal into the fabric).
+    Input,
+    /// Primary output (an "i" block consuming one signal).
+    Output,
+    /// Combinational logic module with `inputs` logical input pins.
+    Comb {
+        /// Number of logical input pins (1..=[`MAX_FANIN`]).
+        inputs: u8,
+    },
+    /// Sequential module (flip-flop): one data input, one output. The clock
+    /// is distributed on a dedicated network and not modelled as a pin.
+    Seq,
+}
+
+impl CellKind {
+    /// Convenience constructor for a combinational cell.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs` is zero or exceeds [`MAX_FANIN`].
+    pub fn comb(inputs: usize) -> Self {
+        assert!(
+            (1..=MAX_FANIN).contains(&inputs),
+            "combinational cell must have 1..={MAX_FANIN} inputs, got {inputs}"
+        );
+        CellKind::Comb {
+            inputs: inputs as u8,
+        }
+    }
+
+    /// Number of input pins of this kind of cell.
+    pub fn num_inputs(&self) -> usize {
+        match self {
+            CellKind::Input => 0,
+            CellKind::Output => 1,
+            CellKind::Comb { inputs } => *inputs as usize,
+            CellKind::Seq => 1,
+        }
+    }
+
+    /// Whether this kind of cell drives a signal (has an output pin).
+    pub fn has_output(&self) -> bool {
+        !matches!(self, CellKind::Output)
+    }
+
+    /// Total number of pins (inputs plus output, if any).
+    pub fn num_pins(&self) -> usize {
+        self.num_inputs() + usize::from(self.has_output())
+    }
+
+    /// Whether cells of this kind must be placed on I/O sites.
+    pub fn is_io(&self) -> bool {
+        matches!(self, CellKind::Input | CellKind::Output)
+    }
+
+    /// Whether this kind is a path boundary for timing: primary inputs,
+    /// primary outputs and sequential cells bound the critical paths
+    /// (paper §3.5).
+    pub fn is_boundary(&self) -> bool {
+        matches!(self, CellKind::Input | CellKind::Output | CellKind::Seq)
+    }
+}
+
+impl fmt::Display for CellKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellKind::Input => write!(f, "input"),
+            CellKind::Output => write!(f, "output"),
+            CellKind::Comb { inputs } => write!(f, "comb{inputs}"),
+            CellKind::Seq => write!(f, "seq"),
+        }
+    }
+}
+
+/// A technology-mapped cell of the design.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Cell {
+    name: String,
+    kind: CellKind,
+}
+
+impl Cell {
+    pub(crate) fn new(name: impl Into<String>, kind: CellKind) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// The cell's (unique) name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cell's kind.
+    pub fn kind(&self) -> CellKind {
+        self.kind
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_counts_per_kind() {
+        assert_eq!(CellKind::Input.num_pins(), 1);
+        assert_eq!(CellKind::Output.num_pins(), 1);
+        assert_eq!(CellKind::comb(3).num_pins(), 4);
+        assert_eq!(CellKind::Seq.num_pins(), 2);
+        assert_eq!(CellKind::Seq.num_inputs(), 1);
+    }
+
+    #[test]
+    fn io_and_boundary_classification() {
+        assert!(CellKind::Input.is_io());
+        assert!(CellKind::Output.is_io());
+        assert!(!CellKind::Seq.is_io());
+        assert!(!CellKind::comb(2).is_io());
+
+        assert!(CellKind::Input.is_boundary());
+        assert!(CellKind::Output.is_boundary());
+        assert!(CellKind::Seq.is_boundary());
+        assert!(!CellKind::comb(2).is_boundary());
+    }
+
+    #[test]
+    fn output_cells_have_no_output_pin() {
+        assert!(!CellKind::Output.has_output());
+        assert!(CellKind::Input.has_output());
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs")]
+    fn comb_fanin_is_bounded() {
+        let _ = CellKind::comb(MAX_FANIN + 1);
+    }
+
+    #[test]
+    fn display_is_parser_friendly() {
+        assert_eq!(CellKind::comb(4).to_string(), "comb4");
+        assert_eq!(CellKind::Seq.to_string(), "seq");
+    }
+}

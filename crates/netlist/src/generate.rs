@@ -1,0 +1,381 @@
+//! Seeded synthetic benchmark generation.
+//!
+//! The paper evaluates on five technology-mapped MCNC designs (s1, cse, ex1,
+//! bw, s1a) plus one 529-cell design. The original mapped netlists are not
+//! redistributable, so this module generates synthetic equivalents with
+//! matching cell counts and realistic structure: bounded fan-in, a skewed
+//! fan-out distribution (a few high-fanout control signals, many 1–2 sink
+//! nets), locality between logically adjacent cells, and sequential elements
+//! that close feedback loops as in FSM benchmarks. Generation is fully
+//! deterministic in the seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cell::{CellKind, MAX_FANIN};
+use crate::ids::CellId;
+use crate::netlist::Netlist;
+
+/// Parameters of the synthetic benchmark generator.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GenerateConfig {
+    /// Total cells, including I/O cells.
+    pub num_cells: usize,
+    /// Primary-input cells.
+    pub num_inputs: usize,
+    /// Primary-output cells.
+    pub num_outputs: usize,
+    /// Sequential cells.
+    pub num_seq: usize,
+    /// Maximum fan-in of generated combinational cells (2..=[`MAX_FANIN`]).
+    pub max_fanin: usize,
+    /// Probability that an input connects to an already-popular signal
+    /// (preferential attachment); raises fan-out skew.
+    pub fanout_skew: f64,
+    /// Probability that an input connects to a recently created cell;
+    /// raises logic depth and locality.
+    pub locality: f64,
+    /// RNG seed; equal configs generate identical netlists.
+    pub seed: u64,
+}
+
+impl Default for GenerateConfig {
+    fn default() -> Self {
+        Self {
+            num_cells: 100,
+            num_inputs: 8,
+            num_outputs: 8,
+            num_seq: 6,
+            max_fanin: 4,
+            fanout_skew: 0.25,
+            locality: 0.55,
+            seed: 1,
+        }
+    }
+}
+
+/// The designs evaluated in the paper, by name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PaperBenchmark {
+    /// MCNC `s1`, 181 cells (paper Tables 1 and 2).
+    S1,
+    /// MCNC `cse`, 156 cells.
+    Cse,
+    /// MCNC `ex1`, 227 cells.
+    Ex1,
+    /// MCNC `bw`, 158 cells.
+    Bw,
+    /// MCNC `s1a`, 163 cells.
+    S1a,
+    /// The 529-cell design of Figure 7.
+    Big529,
+}
+
+impl PaperBenchmark {
+    /// All presets in paper order.
+    pub fn all() -> [PaperBenchmark; 6] {
+        [
+            PaperBenchmark::S1,
+            PaperBenchmark::Cse,
+            PaperBenchmark::Ex1,
+            PaperBenchmark::Bw,
+            PaperBenchmark::S1a,
+            PaperBenchmark::Big529,
+        ]
+    }
+
+    /// The benchmark's name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PaperBenchmark::S1 => "s1",
+            PaperBenchmark::Cse => "cse",
+            PaperBenchmark::Ex1 => "ex1",
+            PaperBenchmark::Bw => "bw",
+            PaperBenchmark::S1a => "s1a",
+            PaperBenchmark::Big529 => "big529",
+        }
+    }
+
+    /// Total cell count, matching the paper.
+    pub fn num_cells(&self) -> usize {
+        match self {
+            PaperBenchmark::S1 => 181,
+            PaperBenchmark::Cse => 156,
+            PaperBenchmark::Ex1 => 227,
+            PaperBenchmark::Bw => 158,
+            PaperBenchmark::S1a => 163,
+            PaperBenchmark::Big529 => 529,
+        }
+    }
+}
+
+/// The generator configuration for a paper benchmark: cell count from the
+/// paper, I/O and flip-flop counts from the MCNC FSM descriptions.
+pub fn paper_preset(benchmark: PaperBenchmark) -> GenerateConfig {
+    let (num_inputs, num_outputs, num_seq, seed) = match benchmark {
+        PaperBenchmark::S1 => (8, 6, 5, 0x5101),
+        PaperBenchmark::Cse => (7, 7, 4, 0xC5E0),
+        PaperBenchmark::Ex1 => (9, 19, 5, 0xE810),
+        PaperBenchmark::Bw => (5, 28, 5, 0xB300),
+        PaperBenchmark::S1a => (8, 6, 5, 0x51A0),
+        PaperBenchmark::Big529 => (24, 24, 30, 0x5290),
+    };
+    GenerateConfig {
+        num_cells: benchmark.num_cells(),
+        num_inputs,
+        num_outputs,
+        num_seq,
+        ..GenerateConfig {
+            seed,
+            ..GenerateConfig::default()
+        }
+    }
+}
+
+/// Generates a synthetic technology-mapped netlist.
+///
+/// The result always levelizes (no combinational loops): combinational cells
+/// only consume signals created before them; feedback is closed exclusively
+/// through sequential cells.
+///
+/// # Panics
+///
+/// Panics if the configuration is inconsistent: fewer cells than
+/// `inputs + outputs + seq + 1`, no primary inputs, no primary outputs, or a
+/// `max_fanin` outside `2..=`[`MAX_FANIN`].
+pub fn generate(config: &GenerateConfig) -> Netlist {
+    let io_and_seq = config.num_inputs + config.num_outputs + config.num_seq;
+    assert!(
+        config.num_cells > io_and_seq,
+        "num_cells={} leaves no combinational cells (inputs+outputs+seq={})",
+        config.num_cells,
+        io_and_seq
+    );
+    assert!(config.num_inputs > 0, "designs need at least one input");
+    assert!(config.num_outputs > 0, "designs need at least one output");
+    assert!(
+        (2..=MAX_FANIN).contains(&config.max_fanin),
+        "max_fanin must be in 2..={MAX_FANIN}"
+    );
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let num_comb = config.num_cells - io_and_seq;
+    let mut b = Netlist::builder();
+
+    // Primary inputs.
+    let pis: Vec<CellId> = (0..config.num_inputs)
+        .map(|i| b.add_cell(format!("pi{i}"), CellKind::Input))
+        .collect();
+
+    // Internal cells in creation (topological) order: combinational cells
+    // with random fan-in, sequential cells sprinkled throughout.
+    let mut internal: Vec<CellId> = Vec::with_capacity(num_comb + config.num_seq);
+    let mut seq_positions: Vec<usize> = (0..(num_comb + config.num_seq)).collect();
+    // Fisher–Yates partial shuffle picks which creation slots hold FFs.
+    for i in 0..config.num_seq {
+        let j = rng.gen_range(i..seq_positions.len());
+        seq_positions.swap(i, j);
+    }
+    let mut is_seq_slot = vec![false; num_comb + config.num_seq];
+    for &p in &seq_positions[..config.num_seq] {
+        is_seq_slot[p] = true;
+    }
+    let mut comb_count = 0usize;
+    let mut seq_count = 0usize;
+    for slot in &is_seq_slot {
+        if *slot {
+            internal.push(b.add_cell(format!("ff{seq_count}"), CellKind::Seq));
+            seq_count += 1;
+        } else {
+            let fanin = rng.gen_range(2..=config.max_fanin);
+            internal.push(b.add_cell(format!("c{comb_count}"), CellKind::comb(fanin)));
+            comb_count += 1;
+        }
+    }
+
+    // sink assignment: per driver cell, the (cell, pin) sinks it collects.
+    let total = config.num_inputs + internal.len();
+    let mut sinks_of: Vec<Vec<(CellId, u8)>> = vec![Vec::new(); total + config.num_outputs];
+    // drivers available to combinational consumers created at position i:
+    // all PIs + internal cells at earlier positions + any FF (feedback).
+    let all_drivers: Vec<CellId> = pis.iter().copied().chain(internal.iter().copied()).collect();
+
+    let pick_driver = |rng: &mut StdRng,
+                       upto: usize, // internal cells with position < upto are eligible
+                       allow_all_seq: bool,
+                       sinks_of: &Vec<Vec<(CellId, u8)>>,
+                       b: &crate::netlist::NetlistBuilder|
+     -> CellId {
+        let eligible_len = config.num_inputs + upto;
+        loop {
+            let r: f64 = rng.gen();
+            let candidate = if r < config.fanout_skew && eligible_len > 0 {
+                // preferential attachment: pick the driver of a random
+                // already-made connection
+                let loaded: Vec<usize> = (0..eligible_len)
+                    .filter(|&i| !sinks_of[i].is_empty())
+                    .collect();
+                if loaded.is_empty() {
+                    all_drivers[rng.gen_range(0..eligible_len)]
+                } else {
+                    all_drivers[loaded[rng.gen_range(0..loaded.len())]]
+                }
+            } else if r < config.fanout_skew + config.locality && upto > 0 {
+                // locality: one of the last few created internal cells
+                let window = upto.min(16);
+                internal[upto - 1 - rng.gen_range(0..window)]
+            } else if allow_all_seq && rng.gen_bool(0.3) && config.num_seq > 0 {
+                // feedback source: any FF, even a later one
+                let ffs: Vec<CellId> = internal
+                    .iter()
+                    .copied()
+                    .filter(|c| b.cell_kind(*c) == CellKind::Seq)
+                    .collect();
+                ffs[rng.gen_range(0..ffs.len())]
+            } else {
+                all_drivers[rng.gen_range(0..eligible_len.max(config.num_inputs))]
+            };
+            // Combinational consumers must not read later comb cells.
+            let pos = all_drivers.iter().position(|c| *c == candidate).unwrap();
+            let is_ff = b.cell_kind(candidate) == CellKind::Seq;
+            if pos < eligible_len || (allow_all_seq && is_ff) {
+                return candidate;
+            }
+        }
+    };
+
+    // Wire internal cell inputs.
+    for (pos, &cell) in internal.iter().enumerate() {
+        let kind = b.cell_kind(cell);
+        let n_in = kind.num_inputs();
+        let is_ff = kind == CellKind::Seq;
+        for pin in 1..=n_in {
+            // FFs may read any signal (feedback through the FF is legal);
+            // comb cells only read earlier signals.
+            let driver = pick_driver(&mut rng, pos, is_ff, &sinks_of, &b);
+            let didx = all_drivers.iter().position(|c| *c == driver).unwrap();
+            sinks_of[didx].push((cell, pin as u8));
+        }
+    }
+
+    // Primary outputs consume danglers first, then random internal signals.
+    let mut danglers: Vec<usize> = (config.num_inputs..total)
+        .filter(|&i| sinks_of[i].is_empty())
+        .collect();
+    let pos: Vec<CellId> = (0..config.num_outputs)
+        .map(|i| b.add_cell(format!("po{i}"), CellKind::Output))
+        .collect();
+    for po in &pos {
+        let didx = if let Some(d) = danglers.pop() {
+            d
+        } else {
+            config.num_inputs + rng.gen_range(0..internal.len())
+        };
+        sinks_of[didx].push((*po, 0));
+    }
+
+    // Any remaining danglers get absorbed as extra primary-output taps is
+    // impossible (POs have one pin), so instead leave them dangling: real
+    // mapped designs occasionally have unobserved outputs too. They still
+    // have all inputs wired, so they participate in placement and routing.
+
+    // Emit nets.
+    for (didx, driver) in all_drivers.iter().enumerate() {
+        if sinks_of[didx].is_empty() {
+            continue;
+        }
+        let name = format!("n_{}", didx);
+        b.connect(name, *driver, sinks_of[didx].iter().copied())
+            .expect("generator produced invalid connectivity");
+    }
+
+    b.build().expect("generator produced incomplete netlist")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::levels::Levels;
+
+    #[test]
+    fn default_config_generates_valid_netlist() {
+        let nl = generate(&GenerateConfig::default());
+        assert_eq!(nl.num_cells(), 100);
+        let s = nl.stats();
+        assert_eq!(s.num_inputs, 8);
+        assert_eq!(s.num_outputs, 8);
+        assert_eq!(s.num_seq, 6);
+        assert_eq!(s.num_comb, 78);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&GenerateConfig::default());
+        let b = generate(&GenerateConfig::default());
+        assert_eq!(a.num_nets(), b.num_nets());
+        for (id, net) in a.nets() {
+            assert_eq!(net.sinks(), b.net(id).sinks());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GenerateConfig::default());
+        let b = generate(&GenerateConfig {
+            seed: 99,
+            ..GenerateConfig::default()
+        });
+        let same = a
+            .nets()
+            .zip(b.nets())
+            .all(|((_, x), (_, y))| x.sinks() == y.sinks());
+        assert!(!same, "seeds 1 and 99 produced identical netlists");
+    }
+
+    #[test]
+    fn generated_netlists_levelize() {
+        for seed in [1, 2, 3, 4, 5] {
+            let nl = generate(&GenerateConfig {
+                seed,
+                ..GenerateConfig::default()
+            });
+            let lv = Levels::compute(&nl).expect("no combinational loops");
+            assert!(lv.max_level() >= 2, "unrealistically shallow netlist");
+        }
+    }
+
+    #[test]
+    fn paper_presets_match_published_cell_counts() {
+        for bench in PaperBenchmark::all() {
+            let nl = generate(&paper_preset(bench));
+            assert_eq!(nl.num_cells(), bench.num_cells(), "{}", bench.name());
+            Levels::compute(&nl).expect("preset must levelize");
+        }
+    }
+
+    #[test]
+    fn fanout_distribution_is_skewed() {
+        let nl = generate(&GenerateConfig {
+            num_cells: 300,
+            num_inputs: 10,
+            num_outputs: 10,
+            num_seq: 10,
+            ..GenerateConfig::default()
+        });
+        let s = nl.stats();
+        assert!(s.max_fanout >= 5, "expected some high-fanout nets");
+        assert!(s.avg_fanout < 4.0, "average fanout unrealistically high");
+    }
+
+    #[test]
+    #[should_panic(expected = "num_cells")]
+    fn rejects_impossible_cell_budget() {
+        generate(&GenerateConfig {
+            num_cells: 10,
+            num_inputs: 5,
+            num_outputs: 5,
+            num_seq: 2,
+            ..GenerateConfig::default()
+        });
+    }
+}

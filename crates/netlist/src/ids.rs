@@ -1,0 +1,103 @@
+//! Identifiers for netlist objects.
+
+use std::fmt;
+
+/// Index of a cell within a [`crate::Netlist`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct CellId(u32);
+
+/// Index of a net within a [`crate::Netlist`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NetId(u32);
+
+/// Index of a pin within a cell.
+///
+/// Pin 0 is the cell's output for kinds that drive a signal
+/// ([`crate::CellKind::Input`], [`crate::CellKind::Comb`],
+/// [`crate::CellKind::Seq`]); input pins follow. For
+/// [`crate::CellKind::Output`] cells, pin 0 is the single input.
+pub type PinIndex = u8;
+
+/// A specific pin of a specific cell.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PinRef {
+    /// The cell the pin belongs to.
+    pub cell: CellId,
+    /// The pin's index within the cell.
+    pub pin: PinIndex,
+}
+
+impl PinRef {
+    /// Creates a pin reference.
+    pub fn new(cell: CellId, pin: PinIndex) -> Self {
+        Self { cell, pin }
+    }
+}
+
+impl fmt::Debug for PinRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}.{}", self.cell, self.pin)
+    }
+}
+
+macro_rules! impl_id {
+    ($name:ident, $tag:literal) => {
+        impl $name {
+            /// Wraps a raw index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn new(index: usize) -> Self {
+                Self(u32::try_from(index).expect("netlist index overflows u32"))
+            }
+
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($tag, "{}"), self.0)
+            }
+        }
+    };
+}
+
+impl_id!(CellId, "cell");
+impl_id!(NetId, "net");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip() {
+        assert_eq!(CellId::new(7).index(), 7);
+        assert_eq!(NetId::new(9).index(), 9);
+    }
+
+    #[test]
+    fn pin_ref_formats_compactly() {
+        let p = PinRef::new(CellId::new(3), 2);
+        assert_eq!(format!("{p:?}"), "cell3.2");
+    }
+
+    #[test]
+    fn pin_refs_are_ordered_by_cell_then_pin() {
+        let a = PinRef::new(CellId::new(1), 3);
+        let b = PinRef::new(CellId::new(2), 0);
+        let c = PinRef::new(CellId::new(2), 1);
+        assert!(a < b && b < c);
+    }
+}

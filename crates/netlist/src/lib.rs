@@ -1,0 +1,56 @@
+//! Netlists for row-based FPGA layout.
+//!
+//! After logic synthesis and technology mapping (paper Figure 1), a design is
+//! a netlist of FPGA logic-module-sized cells: primary inputs and outputs
+//! ("i" blocks), combinational logic blocks ("c" blocks) and sequential
+//! blocks. This crate provides:
+//!
+//! * the [`Netlist`] data structure — [`Cell`]s, [`Net`]s and the pin
+//!   connectivity between them, built through [`NetlistBuilder`];
+//! * **pinmaps** ([`Pinmap`]) — the palette of legal assignments of a cell's
+//!   logical pins to physical module ports (top- or bottom-facing), one of
+//!   the two move classes of the paper's annealer (§3.2);
+//! * **levelization** ([`Levels`]) — the one-time topological levelling used
+//!   by incremental worst-case delay calculation (§3.5);
+//! * parsers for a simple native text format ([`parse_netlist`]) and a
+//!   subset of Berkeley BLIF ([`parse_blif`]);
+//! * a seeded synthetic benchmark [`generate`]or with presets matching the
+//!   cell counts of the MCNC designs evaluated in the paper.
+//!
+//! ```
+//! use rowfpga_netlist::{CellKind, Netlist};
+//!
+//! # fn main() -> Result<(), rowfpga_netlist::BuildNetlistError> {
+//! let mut b = Netlist::builder();
+//! let a = b.add_cell("a", CellKind::Input);
+//! let g = b.add_cell("g", CellKind::comb(2));
+//! let q = b.add_cell("q", CellKind::Output);
+//! b.connect("n1", a, [(g, 1), (g, 2)])?;
+//! b.connect("n2", g, [(q, 0)])?;
+//! let netlist = b.build()?;
+//! assert_eq!(netlist.num_cells(), 3);
+//! assert_eq!(netlist.num_nets(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod blif;
+mod cell;
+mod generate;
+mod ids;
+mod levels;
+mod netlist;
+mod parser;
+mod pinmap;
+
+pub use blif::{parse_blif, ParseBlifError};
+pub use cell::{Cell, CellKind, MAX_FANIN};
+pub use generate::{generate, paper_preset, GenerateConfig, PaperBenchmark};
+pub use ids::{CellId, NetId, PinIndex, PinRef};
+pub use levels::{CombLoopError, Levels};
+pub use netlist::{BuildNetlistError, Net, Netlist, NetlistBuilder, NetlistStats};
+pub use parser::{parse_netlist, write_netlist, ParseNetlistError};
+pub use pinmap::{pinmap_palette, Pinmap, PortSide};

@@ -1,0 +1,28 @@
+//! Placement state and moves for row-based FPGA layout.
+//!
+//! A placement assigns every cell of a [`rowfpga_netlist::Netlist`] to a
+//! compatible site of a [`rowfpga_arch::Architecture`] — I/O cells on I/O
+//! sites, logic cells on logic sites — and gives every cell a pinmap chosen
+//! from its legal palette. The paper's annealer keeps all intermediate
+//! states legally placed (no overlaps, no unassigned cells; §3.2), which
+//! [`Placement`] guarantees by construction: it only exposes swap, translate
+//! and pinmap-change operations.
+//!
+//! The crate also provides the *physical pin location* computation — which
+//! column and channel each logical pin touches, given the cell's site and
+//! pinmap — and the wirelength/congestion estimators that the *sequential*
+//! baseline placer optimizes (the simultaneous flow deliberately has no such
+//! term in its cost; paper §3.2).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod estimate;
+mod moves;
+mod pins;
+mod placement;
+
+pub use estimate::{hpwl, CongestionMap, NetBbox};
+pub use moves::{Move, MoveGenerator, MoveWeights};
+pub use pins::{net_pin_locs, pin_loc, PinLoc};
+pub use placement::{CreatePlacementError, Placement};

@@ -1,0 +1,396 @@
+//! Annealing move proposal over placements.
+//!
+//! The paper's move-set is deliberately simple (§3.2): random exchanges of
+//! two module locations (one of which may be empty, giving single-cell
+//! translations) and pinmap reassignments from the legal palette. There are
+//! *no* moves that alter nets — routing reacts to placement moves through
+//! rip-up and incremental reroute, which is the caller's (the layout
+//! engine's) job.
+//!
+//! Exchanges can be **range limited**: the classic TimberWolf refinement in
+//! which the target site is drawn from a window around the cell's current
+//! location, shrunk as the temperature falls so that cold-regime moves are
+//! local refinements. The paper's §5 mentions exactly this class of
+//! "technical improvements to the core of the annealing formulation" as
+//! ongoing work; engines opt in via [`MoveGenerator::propose_in_window`].
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use rowfpga_arch::{Architecture, SiteId, SiteKind};
+use rowfpga_netlist::{CellId, Netlist};
+
+use crate::placement::Placement;
+
+/// A reversible placement perturbation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Move {
+    /// Exchange the occupants of two same-kind sites (swap if both occupied,
+    /// translation if one is empty).
+    Exchange {
+        /// First site.
+        a: SiteId,
+        /// Second site.
+        b: SiteId,
+    },
+    /// Change a cell's pinmap.
+    Pinmap {
+        /// The reconfigured cell.
+        cell: CellId,
+        /// Previous palette index (for undo).
+        from: u16,
+        /// New palette index.
+        to: u16,
+    },
+}
+
+impl Move {
+    /// Applies the move to a placement.
+    pub fn apply(&self, arch: &Architecture, netlist: &Netlist, placement: &mut Placement) {
+        match *self {
+            Move::Exchange { a, b } => placement.swap_sites(arch, a, b),
+            Move::Pinmap { cell, to, .. } => {
+                placement.set_pinmap(netlist, cell, to);
+            }
+        }
+    }
+
+    /// Reverts the move (exact inverse of [`Move::apply`]).
+    pub fn undo(&self, arch: &Architecture, netlist: &Netlist, placement: &mut Placement) {
+        match *self {
+            Move::Exchange { a, b } => placement.swap_sites(arch, a, b),
+            Move::Pinmap { cell, from, .. } => {
+                placement.set_pinmap(netlist, cell, from);
+            }
+        }
+    }
+
+    /// The cells whose pin locations this move disturbs. For an exchange the
+    /// set is identical before and after application.
+    pub fn affected_cells(&self, placement: &Placement) -> Vec<CellId> {
+        match *self {
+            Move::Exchange { a, b } => {
+                let mut cells = Vec::with_capacity(2);
+                cells.extend(placement.cell_at(a));
+                cells.extend(placement.cell_at(b));
+                cells
+            }
+            Move::Pinmap { cell, .. } => vec![cell],
+        }
+    }
+}
+
+/// Relative frequencies of the move classes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MoveWeights {
+    /// Weight of site exchanges.
+    pub exchange: f64,
+    /// Weight of pinmap reassignments.
+    pub pinmap: f64,
+}
+
+impl Default for MoveWeights {
+    fn default() -> Self {
+        // Placement changes carry most of the optimization leverage
+        // (paper §2.1); pinmap tweaks are a finer-grained minority move.
+        Self {
+            exchange: 0.85,
+            pinmap: 0.15,
+        }
+    }
+}
+
+/// Proposes random legal moves.
+#[derive(Clone, Debug)]
+pub struct MoveGenerator {
+    weights: MoveWeights,
+    io_sites: Vec<SiteId>,
+    logic_sites: Vec<SiteId>,
+    cells: Vec<CellId>,
+    /// `is_io_site[site]` for O(1) pool selection.
+    is_io_site: Vec<bool>,
+    /// (row, col) per site for window tests.
+    site_pos: Vec<(u32, u32)>,
+    /// Largest possible window half-width (covers the whole chip).
+    max_window: usize,
+}
+
+impl MoveGenerator {
+    /// Creates a generator for the given problem.
+    pub fn new(arch: &Architecture, netlist: &Netlist, weights: MoveWeights) -> MoveGenerator {
+        let geom = arch.geometry();
+        let mut is_io_site = vec![false; geom.num_sites()];
+        let mut site_pos = vec![(0u32, 0u32); geom.num_sites()];
+        for site in geom.sites() {
+            is_io_site[site.id().index()] = site.kind() == SiteKind::Io;
+            site_pos[site.id().index()] = (site.row().index() as u32, site.col().index() as u32);
+        }
+        MoveGenerator {
+            weights,
+            io_sites: geom.sites_of_kind(SiteKind::Io).map(|s| s.id()).collect(),
+            logic_sites: geom
+                .sites_of_kind(SiteKind::Logic)
+                .map(|s| s.id())
+                .collect(),
+            cells: netlist.cells().map(|(id, _)| id).collect(),
+            is_io_site,
+            site_pos,
+            max_window: geom.num_rows().max(geom.num_cols()),
+        }
+    }
+
+    /// The window half-width that covers the whole chip (the "no limit"
+    /// value).
+    pub fn max_window(&self) -> usize {
+        self.max_window
+    }
+
+    /// Proposes a random legal move against the current placement, with no
+    /// range limit.
+    ///
+    /// The move always changes state: an exchange never pairs a site with
+    /// itself or two empty sites, and a pinmap move always selects a
+    /// different palette index (cells with singleton palettes are skipped).
+    pub fn propose(&self, netlist: &Netlist, placement: &Placement, rng: &mut StdRng) -> Move {
+        self.propose_in_window(netlist, placement, rng, None)
+    }
+
+    /// Like [`MoveGenerator::propose`], but exchange targets are drawn from
+    /// a Chebyshev window of half-width `window` (in rows/columns) around
+    /// the moving cell's current site. `None` disables the limit.
+    ///
+    /// The window is best-effort: if no in-window target is found after a
+    /// bounded number of draws (tiny windows on sparse I/O rings), the
+    /// limit is waived for that proposal so the generator never stalls.
+    pub fn propose_in_window(
+        &self,
+        netlist: &Netlist,
+        placement: &Placement,
+        rng: &mut StdRng,
+        window: Option<usize>,
+    ) -> Move {
+        let p: f64 = rng.gen();
+        let want_pinmap = p < self.weights.pinmap / (self.weights.pinmap + self.weights.exchange);
+        if want_pinmap {
+            if let Some(m) = self.propose_pinmap(netlist, placement, rng) {
+                return m;
+            }
+            // All palettes singleton (degenerate); fall through to exchange.
+        }
+        self.propose_exchange(placement, rng, window)
+    }
+
+    fn propose_exchange(
+        &self,
+        placement: &Placement,
+        rng: &mut StdRng,
+        window: Option<usize>,
+    ) -> Move {
+        let cell = self.cells[rng.gen_range(0..self.cells.len())];
+        let a = placement.site_of(cell);
+        let pool = if self.is_io_site[a.index()] {
+            &self.io_sites
+        } else {
+            &self.logic_sites
+        };
+        if let Some(w) = window {
+            let (ar, ac) = self.site_pos[a.index()];
+            for _ in 0..32 {
+                let b = pool[rng.gen_range(0..pool.len())];
+                if b == a {
+                    continue;
+                }
+                let (br, bc) = self.site_pos[b.index()];
+                if ar.abs_diff(br) as usize <= w && ac.abs_diff(bc) as usize <= w {
+                    return Move::Exchange { a, b };
+                }
+            }
+            // Window too tight for this pool; waive it below.
+        }
+        loop {
+            let b = pool[rng.gen_range(0..pool.len())];
+            if b != a {
+                return Move::Exchange { a, b };
+            }
+        }
+    }
+
+    fn propose_pinmap(
+        &self,
+        netlist: &Netlist,
+        placement: &Placement,
+        rng: &mut StdRng,
+    ) -> Option<Move> {
+        for _ in 0..8 {
+            let cell = self.cells[rng.gen_range(0..self.cells.len())];
+            let palette_len = placement.palette(netlist.cell(cell).kind()).len() as u16;
+            if palette_len < 2 {
+                continue;
+            }
+            let from = placement.pinmap_index(cell);
+            let mut to = rng.gen_range(0..palette_len - 1);
+            if to >= from {
+                to += 1;
+            }
+            return Some(Move::Pinmap { cell, from, to });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rowfpga_netlist::{generate, GenerateConfig};
+
+    fn setup() -> (Architecture, Netlist, Placement) {
+        let nl = generate(&GenerateConfig {
+            num_cells: 40,
+            num_inputs: 4,
+            num_outputs: 4,
+            num_seq: 2,
+            ..GenerateConfig::default()
+        });
+        let arch = Architecture::builder()
+            .rows(5)
+            .cols(12)
+            .io_columns(1)
+            .build()
+            .unwrap();
+        let p = Placement::random(&arch, &nl, 2).unwrap();
+        (arch, nl, p)
+    }
+
+    #[test]
+    fn proposed_moves_apply_and_undo_cleanly() {
+        let (arch, nl, mut p) = setup();
+        let gen = MoveGenerator::new(&arch, &nl, MoveWeights::default());
+        let mut rng = StdRng::seed_from_u64(3);
+        let reference = p.clone();
+        for _ in 0..500 {
+            let m = gen.propose(&nl, &p, &mut rng);
+            m.apply(&arch, &nl, &mut p);
+            assert!(p.check_invariants(&arch, &nl));
+            m.undo(&arch, &nl, &mut p);
+        }
+        for (id, _) in nl.cells() {
+            assert_eq!(p.site_of(id), reference.site_of(id));
+            assert_eq!(p.pinmap_index(id), reference.pinmap_index(id));
+        }
+    }
+
+    #[test]
+    fn both_move_classes_are_proposed() {
+        let (arch, nl, p) = setup();
+        let gen = MoveGenerator::new(&arch, &nl, MoveWeights::default());
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut exchanges = 0;
+        let mut pinmaps = 0;
+        for _ in 0..1000 {
+            match gen.propose(&nl, &p, &mut rng) {
+                Move::Exchange { .. } => exchanges += 1,
+                Move::Pinmap { .. } => pinmaps += 1,
+            }
+        }
+        assert!(exchanges > 500, "exchanges too rare: {exchanges}");
+        assert!(pinmaps > 50, "pinmaps too rare: {pinmaps}");
+    }
+
+    #[test]
+    fn pinmap_moves_always_change_the_index() {
+        let (arch, nl, p) = setup();
+        let gen = MoveGenerator::new(
+            &arch,
+            &nl,
+            MoveWeights {
+                exchange: 0.0,
+                pinmap: 1.0,
+            },
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..200 {
+            if let Move::Pinmap { cell, from, to } = gen.propose(&nl, &p, &mut rng) {
+                assert_ne!(from, to);
+                assert_eq!(from, p.pinmap_index(cell));
+            }
+        }
+    }
+
+    #[test]
+    fn affected_cells_covers_exchange_occupants() {
+        let (arch, nl, mut p) = setup();
+        let gen = MoveGenerator::new(&arch, &nl, MoveWeights::default());
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..200 {
+            let m = gen.propose(&nl, &p, &mut rng);
+            let affected = m.affected_cells(&p);
+            assert!(!affected.is_empty());
+            m.apply(&arch, &nl, &mut p);
+            let affected_after = m.affected_cells(&p);
+            let mut x = affected.clone();
+            let mut y = affected_after.clone();
+            x.sort_unstable();
+            y.sort_unstable();
+            assert_eq!(x, y, "affected set must be stable across application");
+        }
+    }
+
+    #[test]
+    fn windowed_exchanges_stay_local_on_logic_sites() {
+        let (arch, nl, p) = setup();
+        let gen = MoveGenerator::new(
+            &arch,
+            &nl,
+            MoveWeights {
+                exchange: 1.0,
+                pinmap: 0.0,
+            },
+        );
+        let geom = arch.geometry();
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut local = 0;
+        let mut total = 0;
+        for _ in 0..500 {
+            if let Move::Exchange { a, b } = gen.propose_in_window(&nl, &p, &mut rng, Some(2)) {
+                let (sa, sb) = (geom.site(a), geom.site(b));
+                // I/O pools are sparse rings where tiny windows are often
+                // waived; measure locality on the dense logic pool.
+                if sa.kind() == SiteKind::Logic {
+                    total += 1;
+                    if sa.row().index().abs_diff(sb.row().index()) <= 2
+                        && sa.col().index().abs_diff(sb.col().index()) <= 2
+                    {
+                        local += 1;
+                    }
+                }
+            }
+        }
+        assert!(total > 100);
+        assert!(
+            local as f64 >= 0.95 * total as f64,
+            "window not respected: {local}/{total}"
+        );
+    }
+
+    #[test]
+    fn tiny_windows_never_stall() {
+        let (arch, nl, p) = setup();
+        let gen = MoveGenerator::new(&arch, &nl, MoveWeights::default());
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..200 {
+            // window 0 cannot be satisfied (b != a) — must waive, not hang
+            let m = gen.propose_in_window(&nl, &p, &mut rng, Some(0));
+            if let Move::Exchange { a, b } = m {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn max_window_covers_the_chip() {
+        let (arch, nl, _) = setup();
+        let gen = MoveGenerator::new(&arch, &nl, MoveWeights::default());
+        assert_eq!(gen.max_window(), 12);
+    }
+}

@@ -1,0 +1,384 @@
+//! The placement data structure.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use rowfpga_arch::{Architecture, SiteId, SiteKind};
+use rowfpga_netlist::{pinmap_palette, CellId, CellKind, Netlist, Pinmap};
+
+/// Errors raised while creating a [`Placement`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CreatePlacementError {
+    /// The chip does not have enough sites of the required kind.
+    NotEnoughSites {
+        /// The site kind that ran out.
+        kind: SiteKind,
+        /// Cells needing that kind.
+        needed: usize,
+        /// Sites of that kind available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for CreatePlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CreatePlacementError::NotEnoughSites {
+                kind,
+                needed,
+                available,
+            } => write!(
+                f,
+                "need {needed} {kind:?} sites but the chip provides only {available}"
+            ),
+        }
+    }
+}
+
+impl Error for CreatePlacementError {}
+
+/// A complete, always-legal assignment of cells to sites plus a pinmap
+/// choice per cell.
+///
+/// Legality invariants maintained by construction:
+///
+/// * every cell occupies exactly one site and every site holds at most one
+///   cell;
+/// * I/O cells sit on I/O sites and logic cells on logic sites;
+/// * every cell's pinmap index is valid for its kind's palette.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    site_of: Vec<SiteId>,
+    cell_at: Vec<Option<CellId>>,
+    pinmap_choice: Vec<u16>,
+    /// Palette per cell kind, shared across cells of the same kind.
+    palettes: HashMap<CellKind, Vec<Pinmap>>,
+}
+
+impl Placement {
+    /// Creates a uniformly random legal placement with default (index 0)
+    /// pinmaps, deterministic in `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CreatePlacementError::NotEnoughSites`] if the chip cannot
+    /// hold the design.
+    pub fn random(
+        arch: &Architecture,
+        netlist: &Netlist,
+        seed: u64,
+    ) -> Result<Placement, CreatePlacementError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let geom = arch.geometry();
+
+        let mut io_cells = Vec::new();
+        let mut logic_cells = Vec::new();
+        for (id, cell) in netlist.cells() {
+            if cell.kind().is_io() {
+                io_cells.push(id);
+            } else {
+                logic_cells.push(id);
+            }
+        }
+        let mut io_sites: Vec<SiteId> = geom
+            .sites_of_kind(SiteKind::Io)
+            .map(|s| s.id())
+            .collect();
+        let mut logic_sites: Vec<SiteId> = geom
+            .sites_of_kind(SiteKind::Logic)
+            .map(|s| s.id())
+            .collect();
+        if io_cells.len() > io_sites.len() {
+            return Err(CreatePlacementError::NotEnoughSites {
+                kind: SiteKind::Io,
+                needed: io_cells.len(),
+                available: io_sites.len(),
+            });
+        }
+        if logic_cells.len() > logic_sites.len() {
+            return Err(CreatePlacementError::NotEnoughSites {
+                kind: SiteKind::Logic,
+                needed: logic_cells.len(),
+                available: logic_sites.len(),
+            });
+        }
+        io_sites.shuffle(&mut rng);
+        logic_sites.shuffle(&mut rng);
+
+        let mut site_of = vec![SiteId::new(0); netlist.num_cells()];
+        let mut cell_at = vec![None; geom.num_sites()];
+        for (cell, site) in io_cells.iter().zip(io_sites.iter()) {
+            site_of[cell.index()] = *site;
+            cell_at[site.index()] = Some(*cell);
+        }
+        for (cell, site) in logic_cells.iter().zip(logic_sites.iter()) {
+            site_of[cell.index()] = *site;
+            cell_at[site.index()] = Some(*cell);
+        }
+
+        let mut palettes = HashMap::new();
+        for (_, cell) in netlist.cells() {
+            palettes
+                .entry(cell.kind())
+                .or_insert_with(|| pinmap_palette(cell.kind()));
+        }
+
+        Ok(Placement {
+            site_of,
+            cell_at,
+            pinmap_choice: vec![0; netlist.num_cells()],
+            palettes,
+        })
+    }
+
+    /// The site holding `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn site_of(&self, cell: CellId) -> SiteId {
+        self.site_of[cell.index()]
+    }
+
+    /// The cell at `site`, if occupied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `site` is out of range.
+    pub fn cell_at(&self, site: SiteId) -> Option<CellId> {
+        self.cell_at[site.index()]
+    }
+
+    /// The index of `cell`'s current pinmap within its palette.
+    pub fn pinmap_index(&self, cell: CellId) -> u16 {
+        self.pinmap_choice[cell.index()]
+    }
+
+    /// The current pinmap of `cell`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is out of range.
+    pub fn pinmap<'a>(&'a self, netlist: &Netlist, cell: CellId) -> &'a Pinmap {
+        let kind = netlist.cell(cell).kind();
+        &self.palettes[&kind][self.pinmap_choice[cell.index()] as usize]
+    }
+
+    /// The pinmap palette of a cell kind.
+    pub fn palette(&self, kind: CellKind) -> &[Pinmap] {
+        &self.palettes[&kind]
+    }
+
+    /// Sets `cell`'s pinmap and returns the previous index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range for the cell's palette.
+    pub fn set_pinmap(&mut self, netlist: &Netlist, cell: CellId, index: u16) -> u16 {
+        let kind = netlist.cell(cell).kind();
+        assert!(
+            (index as usize) < self.palettes[&kind].len(),
+            "pinmap index {index} out of range for {kind:?}"
+        );
+        std::mem::replace(&mut self.pinmap_choice[cell.index()], index)
+    }
+
+    /// Exchanges the occupants of two sites. Either site may be empty, so
+    /// this implements both cell swaps and single-cell translations
+    /// (paper §3.2). The operation is its own inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the exchange would place a cell on an incompatible site
+    /// kind. Callers (move generators) must propose kind-compatible
+    /// exchanges.
+    pub fn swap_sites(&mut self, arch: &Architecture, a: SiteId, b: SiteId) {
+        if a == b {
+            return;
+        }
+        let geom = arch.geometry();
+        let (ka, kb) = (geom.site(a).kind(), geom.site(b).kind());
+        let ca = self.cell_at[a.index()];
+        let cb = self.cell_at[b.index()];
+        if ca.is_some() || cb.is_some() {
+            assert_eq!(
+                ka, kb,
+                "cannot exchange occupied sites of different kinds ({ka:?} vs {kb:?})"
+            );
+        }
+        self.cell_at[a.index()] = cb;
+        self.cell_at[b.index()] = ca;
+        if let Some(c) = ca {
+            self.site_of[c.index()] = b;
+        }
+        if let Some(c) = cb {
+            self.site_of[c.index()] = a;
+        }
+    }
+
+    /// Verifies all legality invariants against the architecture and
+    /// netlist; used by tests and debug assertions.
+    pub fn check_invariants(&self, arch: &Architecture, netlist: &Netlist) -> bool {
+        let geom = arch.geometry();
+        // bijection
+        for (id, _) in netlist.cells() {
+            let site = self.site_of[id.index()];
+            if self.cell_at[site.index()] != Some(id) {
+                return false;
+            }
+        }
+        let occupied = self.cell_at.iter().flatten().count();
+        if occupied != netlist.num_cells() {
+            return false;
+        }
+        // kind compatibility + pinmap validity
+        for (id, cell) in netlist.cells() {
+            let site = geom.site(self.site_of[id.index()]);
+            let want = if cell.kind().is_io() {
+                SiteKind::Io
+            } else {
+                SiteKind::Logic
+            };
+            if site.kind() != want {
+                return false;
+            }
+            if self.pinmap_choice[id.index()] as usize >= self.palettes[&cell.kind()].len() {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowfpga_arch::SegmentationScheme;
+    use rowfpga_netlist::{generate, GenerateConfig};
+
+    fn setup() -> (Architecture, Netlist) {
+        let netlist = generate(&GenerateConfig {
+            num_cells: 60,
+            num_inputs: 6,
+            num_outputs: 6,
+            num_seq: 4,
+            ..GenerateConfig::default()
+        });
+        let arch = Architecture::builder()
+            .rows(6)
+            .cols(14)
+            .io_columns(2)
+            .tracks_per_channel(10)
+            .segmentation(SegmentationScheme::Uniform { len: 4 })
+            .build()
+            .unwrap();
+        (arch, netlist)
+    }
+
+    #[test]
+    fn random_placement_is_legal() {
+        let (arch, nl) = setup();
+        let p = Placement::random(&arch, &nl, 42).unwrap();
+        assert!(p.check_invariants(&arch, &nl));
+    }
+
+    #[test]
+    fn random_placement_is_deterministic_in_seed() {
+        let (arch, nl) = setup();
+        let a = Placement::random(&arch, &nl, 7).unwrap();
+        let b = Placement::random(&arch, &nl, 7).unwrap();
+        let c = Placement::random(&arch, &nl, 8).unwrap();
+        let same_ab = nl.cells().all(|(id, _)| a.site_of(id) == b.site_of(id));
+        let same_ac = nl.cells().all(|(id, _)| a.site_of(id) == c.site_of(id));
+        assert!(same_ab);
+        assert!(!same_ac);
+    }
+
+    #[test]
+    fn swap_is_involutive() {
+        let (arch, nl) = setup();
+        let mut p = Placement::random(&arch, &nl, 1).unwrap();
+        let a = p.site_of(CellId::new(10));
+        let b = p.site_of(CellId::new(11));
+        let before = p.clone();
+        p.swap_sites(&arch, a, b);
+        assert!(p.check_invariants(&arch, &nl));
+        p.swap_sites(&arch, a, b);
+        for (id, _) in nl.cells() {
+            assert_eq!(p.site_of(id), before.site_of(id));
+        }
+    }
+
+    #[test]
+    fn translate_to_empty_site_moves_one_cell() {
+        let (arch, nl) = setup();
+        let mut p = Placement::random(&arch, &nl, 3).unwrap();
+        // find an empty logic site
+        let empty = arch
+            .geometry()
+            .sites_of_kind(SiteKind::Logic)
+            .map(|s| s.id())
+            .find(|s| p.cell_at(*s).is_none())
+            .expect("chip has spare capacity");
+        // find a logic cell
+        let (cell, _) = nl.cells().find(|(_, c)| !c.kind().is_io()).unwrap();
+        let from = p.site_of(cell);
+        p.swap_sites(&arch, from, empty);
+        assert_eq!(p.site_of(cell), empty);
+        assert_eq!(p.cell_at(from), None);
+        assert!(p.check_invariants(&arch, &nl));
+    }
+
+    #[test]
+    fn pinmap_updates_round_trip() {
+        let (arch, nl) = setup();
+        let mut p = Placement::random(&arch, &nl, 4).unwrap();
+        let (cell, c) = nl.cells().find(|(_, c)| !c.kind().is_io()).unwrap();
+        let palette_len = p.palette(c.kind()).len() as u16;
+        assert!(palette_len >= 2);
+        let old = p.set_pinmap(&nl, cell, 1);
+        assert_eq!(old, 0);
+        assert_eq!(p.pinmap_index(cell), 1);
+        let _ = arch;
+    }
+
+    #[test]
+    #[should_panic(expected = "pinmap index")]
+    fn pinmap_out_of_range_panics() {
+        let (_arch, nl) = setup();
+        let arch = Architecture::builder()
+            .rows(6)
+            .cols(14)
+            .io_columns(2)
+            .build()
+            .unwrap();
+        let mut p = Placement::random(&arch, &nl, 4).unwrap();
+        p.set_pinmap(&nl, CellId::new(0), 999);
+    }
+
+    #[test]
+    fn rejects_overfull_designs() {
+        let nl = generate(&GenerateConfig {
+            num_cells: 200,
+            num_inputs: 10,
+            num_outputs: 10,
+            num_seq: 10,
+            ..GenerateConfig::default()
+        });
+        let arch = Architecture::builder()
+            .rows(4)
+            .cols(10)
+            .io_columns(2)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            Placement::random(&arch, &nl, 0).unwrap_err(),
+            CreatePlacementError::NotEnoughSites { .. }
+        ));
+    }
+}

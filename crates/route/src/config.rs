@@ -1,0 +1,56 @@
+//! Router tuning knobs.
+
+/// Cost weights and limits of the incremental routers.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RouterConfig {
+    /// Weight of segment wastage (unused columns of claimed segments) in
+    /// the detailed track-selection cost. Wastage hurts the wirability of
+    /// other nets in the channel (paper §3.4).
+    pub wastage_weight: f64,
+    /// Weight of the number of segments used. Every extra segment is a
+    /// horizontal antifuse on the path, which hurts delay (paper §3.4).
+    pub segment_weight: f64,
+    /// Maximum vertical chain length (segments) the global router will
+    /// build for one net; a guard against pathological chains.
+    pub max_vchain: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            wastage_weight: 1.0,
+            segment_weight: 3.0,
+            max_vchain: 32,
+        }
+    }
+}
+
+impl RouterConfig {
+    /// A configuration that optimizes purely for wirability (ignores the
+    /// antifuse-count pressure); used in ablation experiments.
+    pub fn wirability_only() -> Self {
+        Self {
+            wastage_weight: 1.0,
+            segment_weight: 0.0,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_weights_are_positive() {
+        let c = RouterConfig::default();
+        assert!(c.wastage_weight > 0.0);
+        assert!(c.segment_weight > 0.0);
+        assert!(c.max_vchain >= 2);
+    }
+
+    #[test]
+    fn wirability_only_drops_segment_pressure() {
+        assert_eq!(RouterConfig::wirability_only().segment_weight, 0.0);
+    }
+}

@@ -1,0 +1,249 @@
+//! Incremental detailed routing: segmented channel track assignment.
+//!
+//! The detailed router assigns each net, in each channel it crosses, a run
+//! of consecutive free segments on a single track covering the net's column
+//! span (antifuse fabrics only allow adjacent segments on the *same* track
+//! to be joined, so a connection cannot change tracks inside a channel —
+//! paper §2.1). Track selection minimizes `wastage + segments-used`
+//! (paper §3.4, after Roy [11]): wastage hoards wire other nets will need;
+//! segment count puts horizontal antifuses — and therefore delay — on the
+//! path. Minimizing both constructively prefers short, fast embeddings, in
+//! lieu of any explicit wirelength term in the annealer's cost function.
+
+use rowfpga_arch::{Architecture, ChannelId, ColId, HSegId};
+use rowfpga_netlist::NetId;
+
+use crate::config::RouterConfig;
+use crate::state::RoutingState;
+
+/// Attempts to detail route every net in every dirty channel's `U_D`,
+/// longest span first. Returns the number of (net, channel) assignments
+/// completed.
+pub fn detail_route_pass(
+    state: &mut RoutingState,
+    arch: &Architecture,
+    cfg: &RouterConfig,
+) -> usize {
+    let mut routed = 0;
+    for channel in state.dirty_channels() {
+        // Longest spans first: they have the fewest feasible tracks.
+        let mut queue: Vec<(NetId, usize, usize)> = state
+            .ud(channel)
+            .map(|n| {
+                let (lo, hi) = state
+                    .route(n)
+                    .span_in(channel)
+                    .expect("queued net has a span in its channel");
+                (n, lo, hi)
+            })
+            .collect();
+        queue.sort_by(|a, b| (b.2 - b.1).cmp(&(a.2 - a.1)).then(a.0.cmp(&b.0)));
+
+        for (net, lo, hi) in queue {
+            if let Some(segs) = find_track_run(state, arch, channel, lo, hi, cfg) {
+                state.set_channel_routed(net, channel, segs);
+                routed += 1;
+            }
+        }
+    }
+    routed
+}
+
+/// Finds the cheapest run of consecutive free segments on one track of
+/// `channel` covering columns `lo..=hi`, or `None` if every track is
+/// blocked.
+pub(crate) fn find_track_run(
+    state: &RoutingState,
+    arch: &Architecture,
+    channel: ChannelId,
+    lo: usize,
+    hi: usize,
+    cfg: &RouterConfig,
+) -> Option<Vec<HSegId>> {
+    debug_assert!(lo <= hi);
+    let mut best: Option<(f64, usize, Vec<HSegId>)> = None;
+    for (t, track) in arch.channel_tracks(channel).iter().enumerate() {
+        let Some(i) = track.segment_at(ColId::new(lo)) else {
+            continue;
+        };
+        let Some(j) = track.segment_at(ColId::new(hi)) else {
+            continue;
+        };
+        let segs = &track.segments()[i..=j];
+        if segs.iter().any(|s| state.hseg_owner(s.id()).is_some()) {
+            continue;
+        }
+        let covered: usize = segs.iter().map(|s| s.len()).sum();
+        let wastage = covered - (hi - lo + 1);
+        let count = j - i + 1;
+        let cost = cfg.wastage_weight * wastage as f64 + cfg.segment_weight * count as f64;
+        let better = match &best {
+            None => true,
+            Some((bc, bcount, _)) => {
+                cost < *bc - 1e-12 || ((cost - *bc).abs() <= 1e-12 && count < *bcount)
+            }
+        };
+        if better {
+            best = Some((cost, count, segs.iter().map(|s| s.id()).collect()));
+        }
+        let _ = t;
+    }
+    best.map(|(_, _, segs)| segs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowfpga_arch::SegmentationScheme;
+    use rowfpga_netlist::{generate, GenerateConfig, Netlist};
+    use rowfpga_place::Placement;
+
+    use crate::global::global_route_pass;
+
+    fn setup() -> (Architecture, Netlist, Placement, RoutingState) {
+        let nl = generate(&GenerateConfig {
+            num_cells: 40,
+            num_inputs: 5,
+            num_outputs: 5,
+            num_seq: 3,
+            ..GenerateConfig::default()
+        });
+        let arch = Architecture::builder()
+            .rows(5)
+            .cols(12)
+            .io_columns(2)
+            .tracks_per_channel(20)
+            .segmentation(SegmentationScheme::Uniform { len: 4 })
+            .build()
+            .unwrap();
+        let p = Placement::random(&arch, &nl, 23).unwrap();
+        let st = RoutingState::new(&arch, &nl);
+        (arch, nl, p, st)
+    }
+
+    #[test]
+    fn full_pass_routes_a_roomy_chip() {
+        let (arch, nl, p, mut st) = setup();
+        let cfg = RouterConfig::default();
+        global_route_pass(&mut st, &arch, &nl, &p, &cfg);
+        assert_eq!(st.globally_unrouted(), 0);
+        detail_route_pass(&mut st, &arch, &cfg);
+        assert_eq!(st.incomplete(), 0, "roomy chip must route fully");
+        // every routed run covers its span on a single track
+        for (id, _) in nl.nets() {
+            let route = st.route(id);
+            for (chan, segs) in route.hsegs() {
+                let (lo, hi) = route.span_in(*chan).unwrap();
+                let first = arch.hseg(segs[0]);
+                let last = arch.hseg(*segs.last().unwrap());
+                assert!(first.start() <= lo && last.end() > hi);
+                let track = arch.hseg_track(segs[0]);
+                for (a, b) in segs.iter().zip(segs.iter().skip(1)) {
+                    assert_eq!(arch.hseg_track(*b), track, "run changes tracks");
+                    assert_eq!(arch.hseg(*a).end(), arch.hseg(*b).start());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cost_prefers_snug_tracks() {
+        // Channel with two tracks: one segmented 4+4+4, one full length.
+        let arch = Architecture::builder()
+            .rows(1)
+            .cols(12)
+            .io_columns(2)
+            .segmentation(SegmentationScheme::Explicit {
+                tracks: vec![vec![4, 8], vec![]],
+            })
+            .build()
+            .unwrap();
+        let nl = {
+            let mut b = Netlist::builder();
+            let a = b.add_cell("a", rowfpga_netlist::CellKind::Input);
+            let q = b.add_cell("q", rowfpga_netlist::CellKind::Output);
+            b.connect("n", a, [(q, 0)]).unwrap();
+            b.build().unwrap()
+        };
+        let st = RoutingState::new(&arch, &nl);
+        // span 1..2 fits in the first 4-wide segment: wastage 2, 1 segment
+        // (cost 5) vs. the full-length track: wastage 10, 1 segment
+        // (cost 13).
+        let run = find_track_run(
+            &st,
+            &arch,
+            ChannelId::new(0),
+            1,
+            2,
+            &RouterConfig::default(),
+        )
+        .expect("fits");
+        assert_eq!(run.len(), 1);
+        assert_eq!(arch.hseg(run[0]).len(), 4);
+    }
+
+    #[test]
+    fn segment_weight_avoids_many_joints() {
+        // Track 0: 2+2+2+2+2+2 (covering span 0..=5 takes 3 segments,
+        // wastage 0). Track 1: full 12 (1 segment, wastage 6).
+        let arch = Architecture::builder()
+            .rows(1)
+            .cols(12)
+            .io_columns(2)
+            .segmentation(SegmentationScheme::Explicit {
+                tracks: vec![vec![2, 4, 6, 8, 10], vec![]],
+            })
+            .build()
+            .unwrap();
+        let nl = {
+            let mut b = Netlist::builder();
+            let a = b.add_cell("a", rowfpga_netlist::CellKind::Input);
+            let q = b.add_cell("q", rowfpga_netlist::CellKind::Output);
+            b.connect("n", a, [(q, 0)]).unwrap();
+            b.build().unwrap()
+        };
+        let st = RoutingState::new(&arch, &nl);
+        // default weights (w=1, s=3): track0 cost 0+9=9, track1 cost 6+3=9
+        // → tie broken toward fewer segments (track 1).
+        let run = find_track_run(
+            &st,
+            &arch,
+            ChannelId::new(0),
+            0,
+            5,
+            &RouterConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(run.len(), 1, "tie must prefer fewer antifuses");
+        // wirability-only weights pick the zero-wastage multi-segment run
+        let run = find_track_run(
+            &st,
+            &arch,
+            ChannelId::new(0),
+            0,
+            5,
+            &RouterConfig::wirability_only(),
+        )
+        .unwrap();
+        assert_eq!(run.len(), 3);
+    }
+
+    #[test]
+    fn blocked_tracks_fail_gracefully() {
+        let (arch, nl, p, mut st) = setup();
+        let cfg = RouterConfig::default();
+        global_route_pass(&mut st, &arch, &nl, &p, &cfg);
+        detail_route_pass(&mut st, &arch, &cfg);
+        // Rebuild on a 1-track chip: contention must leave failures.
+        let narrow = arch.with_tracks(1).unwrap();
+        let mut st2 = RoutingState::new(&narrow, &nl);
+        global_route_pass(&mut st2, &narrow, &nl, &p, &cfg);
+        detail_route_pass(&mut st2, &narrow, &cfg);
+        assert!(st2.incomplete() > 0, "one track cannot carry everything");
+        // failed nets remain queued in their channels
+        let queued: usize = (0..narrow.geometry().num_channels())
+            .map(|c| st2.ud(ChannelId::new(c)).count())
+            .sum();
+        assert!(queued > 0);
+    }
+}

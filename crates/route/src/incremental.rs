@@ -1,0 +1,107 @@
+//! The combined incremental reroute: the cascade that follows every
+//! placement perturbation (paper §3.3–3.4).
+
+use rowfpga_arch::Architecture;
+use rowfpga_netlist::Netlist;
+use rowfpga_place::Placement;
+
+use crate::config::RouterConfig;
+use crate::detail::detail_route_pass;
+use crate::global::global_route_pass;
+use crate::state::RoutingState;
+
+/// Counts from one incremental reroute.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RerouteStats {
+    /// Nets that obtained a global routing decision in this pass.
+    pub globally_routed: usize,
+    /// (net, channel) detailed assignments completed in this pass.
+    pub detail_routed: usize,
+}
+
+impl RoutingState {
+    /// Runs one incremental global pass over `U_G` followed by one detailed
+    /// pass over every dirty channel — the repair cascade triggered by a
+    /// placement or pinmap move after the affected nets were ripped up.
+    pub fn route_incremental(
+        &mut self,
+        arch: &Architecture,
+        netlist: &Netlist,
+        placement: &Placement,
+        cfg: &RouterConfig,
+    ) -> RerouteStats {
+        let globally_routed = global_route_pass(self, arch, netlist, placement, cfg);
+        let detail_routed = detail_route_pass(self, arch, cfg);
+        RerouteStats {
+            globally_routed,
+            detail_routed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowfpga_netlist::{generate, GenerateConfig};
+
+    #[test]
+    fn incremental_reroute_converges_after_a_move() {
+        let nl = generate(&GenerateConfig {
+            num_cells: 50,
+            num_inputs: 6,
+            num_outputs: 6,
+            num_seq: 4,
+            ..GenerateConfig::default()
+        });
+        let arch = Architecture::builder()
+            .rows(5)
+            .cols(14)
+            .io_columns(2)
+            .tracks_per_channel(20)
+            .build()
+            .unwrap();
+        let mut p = Placement::random(&arch, &nl, 31).unwrap();
+        let mut st = RoutingState::new(&arch, &nl);
+        let cfg = RouterConfig::default();
+        st.route_incremental(&arch, &nl, &p, &cfg);
+        assert!(st.is_fully_routed(), "roomy chip should route fully");
+
+        // Perturb: swap two logic cells, rip up, repair.
+        let cells: Vec<_> = nl
+            .cells()
+            .filter(|(_, c)| !c.kind().is_io())
+            .map(|(id, _)| id)
+            .collect();
+        for w in cells.windows(2).take(10) {
+            let (a, b) = (p.site_of(w[0]), p.site_of(w[1]));
+            p.swap_sites(&arch, a, b);
+            st.rip_up_cell(&nl, w[0]);
+            st.rip_up_cell(&nl, w[1]);
+            st.route_incremental(&arch, &nl, &p, &cfg);
+            assert!(st.is_fully_routed(), "repair failed after swap");
+        }
+    }
+
+    #[test]
+    fn reroute_is_idempotent_when_nothing_is_dirty() {
+        let nl = generate(&GenerateConfig {
+            num_cells: 30,
+            num_inputs: 4,
+            num_outputs: 4,
+            num_seq: 2,
+            ..GenerateConfig::default()
+        });
+        let arch = Architecture::builder()
+            .rows(4)
+            .cols(12)
+            .io_columns(2)
+            .build()
+            .unwrap();
+        let p = Placement::random(&arch, &nl, 8).unwrap();
+        let mut st = RoutingState::new(&arch, &nl);
+        let cfg = RouterConfig::default();
+        st.route_incremental(&arch, &nl, &p, &cfg);
+        let stats = st.route_incremental(&arch, &nl, &p, &cfg);
+        assert_eq!(stats, RerouteStats::default());
+    }
+}

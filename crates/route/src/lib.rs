@@ -1,0 +1,49 @@
+//! Incremental global and detailed routing for row-based FPGAs.
+//!
+//! This crate implements the routing machinery of Nag & Rutenbar's
+//! simultaneous place-and-route formulation (paper §3.3–3.4):
+//!
+//! * [`RoutingState`] tracks, for every net, its disposition — completely
+//!   unrouted, globally routed (vertical segments assigned) or globally and
+//!   detail routed (horizontal segments assigned too) — plus the occupancy
+//!   of every physical segment, the queue `U_G` of globally unrouted nets
+//!   and the per-channel queues `U_D(R)` of detail-unrouted nets;
+//! * **incremental global routing**: when a cell moves, its nets are ripped
+//!   up (vertical *and* horizontal segments freed) and re-queued; the router
+//!   then works down `U_G` longest-net-first, assigning each net the free
+//!   vertical segment chain closest to the center of its bounding box;
+//! * **incremental detailed routing**: each dirty channel's queue is
+//!   processed longest-span-first, assigning each net the track whose free
+//!   consecutive segments cover its span at minimum cost
+//!   (`wastage + segments-used`, after Roy's detailed router \[11\]) — the
+//!   constructive pressure toward short, few-antifuse paths that replaces an
+//!   explicit wirelength cost term;
+//! * **transactions**: every mutation between [`RoutingState::begin_txn`]
+//!   and [`RoutingState::rollback`] is journaled, so a rejected annealing
+//!   move restores the exact prior routing;
+//! * **batch routing** ([`route_batch`]) for the sequential baseline flow,
+//!   and [`verify_routing`] which independently checks electrical
+//!   connectivity and exclusive segment ownership of any state.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batch;
+mod config;
+mod detail;
+mod global;
+mod incremental;
+mod route;
+mod spans;
+mod state;
+mod verify;
+
+pub use batch::{route_batch, BatchOutcome};
+pub use config::RouterConfig;
+pub use detail::detail_route_pass;
+pub use global::global_route_pass;
+pub use incremental::RerouteStats;
+pub use route::{NetRoute, NetRouteState};
+pub use spans::{net_requirements, NetRequirements};
+pub use state::RoutingState;
+pub use verify::{verify_routing, RouteVerifyError};

@@ -1,0 +1,180 @@
+//! Per-net route records.
+
+use rowfpga_arch::{ChannelId, ColId, HSegId, VSegId};
+
+/// The disposition of a net in an evolving layout (paper §3.2): nets appear
+/// in three distinct states depending on which routing resources they hold.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NetRouteState {
+    /// No assigned segments at all.
+    Unrouted,
+    /// Vertical segments assigned (feedthroughs chosen), horizontal routing
+    /// incomplete in at least one required channel.
+    Global,
+    /// Vertical and horizontal segments assigned in every required channel.
+    Detailed,
+}
+
+/// The physical embedding of one net.
+///
+/// A route consists of an optional vertical segment chain (for nets spanning
+/// several channels) in one feedthrough column, plus, per required channel,
+/// a run of consecutive horizontal segments on a single track. Channels the
+/// net still needs but could not be routed in are listed in
+/// [`NetRoute::pending_channels`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetRoute {
+    /// Chained vertical segments, ordered bottom-up. Empty for
+    /// single-channel nets and unrouted nets.
+    pub(crate) vsegs: Vec<VSegId>,
+    /// The feedthrough column of the vertical chain.
+    pub(crate) vcol: Option<ColId>,
+    /// Horizontal segment runs, one per successfully routed channel.
+    pub(crate) hsegs: Vec<(ChannelId, Vec<HSegId>)>,
+    /// Required channels not yet detail-routed.
+    pub(crate) pending_channels: Vec<ChannelId>,
+    /// The column span the net must cover in each required channel
+    /// (inclusive), fixed at global-routing time.
+    pub(crate) spans: Vec<(ChannelId, u32, u32)>,
+    /// Whether the net holds a global routing decision (a single-channel
+    /// net's decision is the trivial empty chain).
+    pub(crate) globally_routed: bool,
+}
+
+impl NetRoute {
+    /// The net's vertical segments, ordered from the lowest channel up.
+    pub fn vsegs(&self) -> &[VSegId] {
+        &self.vsegs
+    }
+
+    /// The feedthrough column, if the net spans channels.
+    pub fn vcol(&self) -> Option<ColId> {
+        self.vcol
+    }
+
+    /// The horizontal segment runs per routed channel.
+    pub fn hsegs(&self) -> &[(ChannelId, Vec<HSegId>)] {
+        &self.hsegs
+    }
+
+    /// The horizontal run in `channel`, if routed there.
+    pub fn hsegs_in(&self, channel: ChannelId) -> Option<&[HSegId]> {
+        self.hsegs
+            .iter()
+            .find(|(c, _)| *c == channel)
+            .map(|(_, segs)| segs.as_slice())
+    }
+
+    /// Channels the net requires but is not yet routed in.
+    pub fn pending_channels(&self) -> &[ChannelId] {
+        &self.pending_channels
+    }
+
+    /// The required column span (inclusive) in each channel, fixed when the
+    /// net was globally routed.
+    pub fn spans(&self) -> impl Iterator<Item = (ChannelId, usize, usize)> + '_ {
+        self.spans
+            .iter()
+            .map(|&(c, lo, hi)| (c, lo as usize, hi as usize))
+    }
+
+    /// The required span in one channel.
+    pub fn span_in(&self, channel: ChannelId) -> Option<(usize, usize)> {
+        self.spans
+            .iter()
+            .find(|(c, _, _)| *c == channel)
+            .map(|&(_, lo, hi)| (lo as usize, hi as usize))
+    }
+
+    /// Whether this record holds a global routing decision.
+    pub fn is_globally_routed(&self) -> bool {
+        self.globally_routed
+    }
+
+    /// The net's routing state.
+    pub fn state(&self) -> NetRouteState {
+        if !self.globally_routed {
+            NetRouteState::Unrouted
+        } else if self.pending_channels.is_empty() {
+            NetRouteState::Detailed
+        } else {
+            NetRouteState::Global
+        }
+    }
+
+    /// Number of programmed antifuses implied by the embedding: one per
+    /// junction between consecutive horizontal segments, one per junction
+    /// between chained vertical segments, one cross antifuse per
+    /// vertical-to-horizontal tap, and one cross antifuse per pin tap is
+    /// accounted by the timing model separately.
+    pub fn wiring_antifuses(&self) -> usize {
+        let h_joints: usize = self
+            .hsegs
+            .iter()
+            .map(|(_, segs)| segs.len().saturating_sub(1))
+            .sum();
+        let v_joints = self.vsegs.len().saturating_sub(1);
+        // each routed channel of a multi-channel net taps the chain once
+        let taps = if self.vsegs.is_empty() {
+            0
+        } else {
+            self.hsegs.len()
+        };
+        h_joints + v_joints + taps
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_unrouted() {
+        let r = NetRoute::default();
+        assert_eq!(r.state(), NetRouteState::Unrouted);
+        assert!(r.vsegs().is_empty());
+        assert!(r.vcol().is_none());
+        assert_eq!(r.wiring_antifuses(), 0);
+    }
+
+    #[test]
+    fn state_transitions_follow_fields() {
+        let mut r = NetRoute {
+            globally_routed: true,
+            pending_channels: vec![ChannelId::new(1)],
+            ..NetRoute::default()
+        };
+        assert_eq!(r.state(), NetRouteState::Global);
+        r.pending_channels.clear();
+        assert_eq!(r.state(), NetRouteState::Detailed);
+        r = NetRoute::default();
+        assert_eq!(r.state(), NetRouteState::Unrouted);
+    }
+
+    #[test]
+    fn antifuse_count_adds_joints_and_taps() {
+        let r = NetRoute {
+            globally_routed: true,
+            vsegs: vec![VSegId::new(0), VSegId::new(1)], // 1 vertical joint
+            vcol: Some(ColId::new(3)),
+            hsegs: vec![
+                (ChannelId::new(0), vec![HSegId::new(0), HSegId::new(1)]), // 1 joint + 1 tap
+                (ChannelId::new(2), vec![HSegId::new(9)]),                 // 1 tap
+            ],
+            ..NetRoute::default()
+        };
+        assert_eq!(r.wiring_antifuses(), 1 + 1 + 2);
+    }
+
+    #[test]
+    fn span_lookup() {
+        let r = NetRoute {
+            spans: vec![(ChannelId::new(2), 3, 9)],
+            ..NetRoute::default()
+        };
+        assert_eq!(r.span_in(ChannelId::new(2)), Some((3, 9)));
+        assert_eq!(r.span_in(ChannelId::new(0)), None);
+        assert_eq!(r.spans().count(), 1);
+    }
+}

@@ -1,0 +1,570 @@
+//! The mutable routing state: segment occupancy, per-net routes and the
+//! unrouted-net queues, with transactional undo.
+
+use std::collections::{BTreeSet, HashMap};
+
+use rowfpga_arch::{Architecture, ChannelId, ColId, HSegId, VSegId};
+use rowfpga_netlist::{CellId, NetId, Netlist};
+
+use crate::route::{NetRoute, NetRouteState};
+
+/// The complete routing disposition of a layout in progress.
+///
+/// Invariants maintained by every mutation:
+///
+/// * a segment's owner is exactly the net whose [`NetRoute`] lists it;
+/// * the global queue `U_G` holds exactly the nets without a global routing
+///   decision ([`NetRoute::is_globally_routed`] is false);
+/// * the channel queue `U_D(R)` holds exactly the nets with `R` in their
+///   [`NetRoute::pending_channels`];
+/// * [`RoutingState::incomplete`] equals the number of nets whose state is
+///   not [`NetRouteState::Detailed`] (the paper's `D` cost term), and
+///   [`RoutingState::globally_unrouted`] equals `|U_G|` (the `G` term).
+#[derive(Clone, Debug)]
+pub struct RoutingState {
+    hseg_owner: Vec<Option<NetId>>,
+    vseg_owner: Vec<Option<NetId>>,
+    routes: Vec<NetRoute>,
+    ug: BTreeSet<NetId>,
+    ud: Vec<BTreeSet<NetId>>,
+    incomplete: usize,
+    journal: Option<HashMap<NetId, NetRoute>>,
+}
+
+impl RoutingState {
+    /// Creates the all-unrouted state: every net queued in `U_G`.
+    pub fn new(arch: &Architecture, netlist: &Netlist) -> RoutingState {
+        RoutingState {
+            hseg_owner: vec![None; arch.num_hsegs()],
+            vseg_owner: vec![None; arch.num_vsegs()],
+            routes: vec![NetRoute::default(); netlist.num_nets()],
+            ug: (0..netlist.num_nets()).map(NetId::new).collect(),
+            ud: vec![BTreeSet::new(); arch.geometry().num_channels()],
+            incomplete: netlist.num_nets(),
+            journal: None,
+        }
+    }
+
+    /// The route record of `net`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn route(&self, net: NetId) -> &NetRoute {
+        &self.routes[net.index()]
+    }
+
+    /// The routing state of `net`.
+    pub fn net_state(&self, net: NetId) -> NetRouteState {
+        self.routes[net.index()].state()
+    }
+
+    /// The owner of a horizontal segment.
+    pub fn hseg_owner(&self, seg: HSegId) -> Option<NetId> {
+        self.hseg_owner[seg.index()]
+    }
+
+    /// The owner of a vertical segment.
+    pub fn vseg_owner(&self, seg: VSegId) -> Option<NetId> {
+        self.vseg_owner[seg.index()]
+    }
+
+    /// Number of globally unrouted nets — the cost term `G` (paper §3.3).
+    pub fn globally_unrouted(&self) -> usize {
+        self.ug.len()
+    }
+
+    /// Number of nets lacking a complete detailed routing — the cost term
+    /// `D` (paper §3.4). Globally unrouted nets count here too: a net that
+    /// cannot be globally routed automatically cannot be detail routed.
+    pub fn incomplete(&self) -> usize {
+        self.incomplete
+    }
+
+    /// Whether every net is fully routed.
+    pub fn is_fully_routed(&self) -> bool {
+        self.incomplete == 0
+    }
+
+    /// The globally unrouted nets, ascending by id.
+    pub fn ug(&self) -> impl Iterator<Item = NetId> + '_ {
+        self.ug.iter().copied()
+    }
+
+    /// The detail-unrouted nets of one channel, ascending by id.
+    pub fn ud(&self, channel: ChannelId) -> impl Iterator<Item = NetId> + '_ {
+        self.ud[channel.index()].iter().copied()
+    }
+
+    /// Channels whose `U_D` queue is non-empty, ascending.
+    pub fn dirty_channels(&self) -> Vec<ChannelId> {
+        self.ud
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.is_empty())
+            .map(|(i, _)| ChannelId::new(i))
+            .collect()
+    }
+
+    /// Starts journaling mutations so that [`RoutingState::rollback`] can
+    /// restore the current state exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already active.
+    pub fn begin_txn(&mut self) {
+        assert!(self.journal.is_none(), "routing transaction already active");
+        self.journal = Some(HashMap::new());
+    }
+
+    /// Discards the journal, making all mutations since
+    /// [`RoutingState::begin_txn`] permanent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active.
+    pub fn commit(&mut self) {
+        assert!(self.journal.is_some(), "no routing transaction to commit");
+        self.journal = None;
+    }
+
+    /// Restores the state to the instant of [`RoutingState::begin_txn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active.
+    pub fn rollback(&mut self) {
+        let journal = self
+            .journal
+            .take()
+            .expect("no routing transaction to roll back");
+        // Phase 1: strip the current routes of every touched net, freeing
+        // their segments and queue memberships. Two phases are required
+        // because a segment freed from one net during the transaction may
+        // currently be held by another touched net.
+        let touched: Vec<NetId> = journal.keys().copied().collect();
+        for &net in &touched {
+            let route = std::mem::take(&mut self.routes[net.index()]);
+            self.release_segments(net, &route);
+            self.update_queues(net, &route, &NetRoute::default());
+            if route.state() == NetRouteState::Detailed {
+                self.incomplete += 1;
+            }
+        }
+        // Phase 2: reinstate the saved routes.
+        for (net, saved) in journal {
+            self.claim_segments(net, &saved);
+            self.update_queues(net, &NetRoute::default(), &saved);
+            if saved.state() == NetRouteState::Detailed {
+                self.incomplete -= 1;
+            }
+            self.routes[net.index()] = saved;
+        }
+    }
+
+    /// Whether a transaction is active.
+    pub fn txn_active(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// The nets whose routes have changed since [`RoutingState::begin_txn`]
+    /// (sorted). Layout engines use this as the exact set whose delays must
+    /// be refreshed after the reroute cascade. Empty when no transaction is
+    /// active.
+    pub fn touched_nets(&self) -> Vec<NetId> {
+        match &self.journal {
+            Some(j) => {
+                let mut nets: Vec<NetId> = j.keys().copied().collect();
+                nets.sort_unstable();
+                nets
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Rips up `net`: frees its vertical and horizontal segments and
+    /// re-queues it in `U_G` (paper §3.3: a moved cell's nets lose both
+    /// their global and detailed routing).
+    pub fn rip_up(&mut self, net: NetId) {
+        self.set_route(net, NetRoute::default());
+    }
+
+    /// Rips up every net connected to `cell`.
+    pub fn rip_up_cell(&mut self, netlist: &Netlist, cell: CellId) {
+        for net in netlist.nets_of_cell(cell) {
+            self.rip_up(net);
+        }
+    }
+
+    /// Installs a global routing decision for `net`: the vertical chain (or
+    /// the trivial empty chain for single-channel nets), the per-channel
+    /// spans and the channels awaiting detailed routing.
+    pub(crate) fn set_global(
+        &mut self,
+        net: NetId,
+        vsegs: Vec<VSegId>,
+        vcol: Option<ColId>,
+        spans: Vec<(ChannelId, u32, u32)>,
+        pending_channels: Vec<ChannelId>,
+    ) {
+        debug_assert!(
+            !self.routes[net.index()].globally_routed,
+            "net must be ripped up before global rerouting"
+        );
+        self.set_route(
+            net,
+            NetRoute {
+                vsegs,
+                vcol,
+                hsegs: Vec::new(),
+                pending_channels,
+                spans,
+                globally_routed: true,
+            },
+        );
+    }
+
+    /// Records a successful detailed routing of `net` in `channel`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the channel is not pending for the net.
+    pub(crate) fn set_channel_routed(
+        &mut self,
+        net: NetId,
+        channel: ChannelId,
+        segs: Vec<HSegId>,
+    ) {
+        let mut route = self.routes[net.index()].clone();
+        let pos = route
+            .pending_channels
+            .iter()
+            .position(|c| *c == channel)
+            .expect("channel not pending for net");
+        route.pending_channels.swap_remove(pos);
+        debug_assert!(route.hsegs_in(channel).is_none());
+        route.hsegs.push((channel, segs));
+        self.set_route(net, route);
+    }
+
+    /// Replaces `net`'s route, maintaining ownership, queues, counters and
+    /// the journal.
+    fn set_route(&mut self, net: NetId, new: NetRoute) {
+        // Take the old route by value so ownership, queues and counters can
+        // be updated without cloning either route; the old value then moves
+        // into the journal (first touch only) or is dropped.
+        let old = std::mem::take(&mut self.routes[net.index()]);
+        self.release_segments(net, &old);
+        self.claim_segments(net, &new);
+        self.update_queues(net, &old, &new);
+        let was_done = old.state() == NetRouteState::Detailed;
+        let is_done = new.state() == NetRouteState::Detailed;
+        match (was_done, is_done) {
+            (false, true) => self.incomplete -= 1,
+            (true, false) => self.incomplete += 1,
+            _ => {}
+        }
+        self.routes[net.index()] = new;
+        if let Some(journal) = &mut self.journal {
+            journal.entry(net).or_insert(old);
+        }
+    }
+
+    fn release_segments(&mut self, net: NetId, route: &NetRoute) {
+        for v in &route.vsegs {
+            debug_assert_eq!(self.vseg_owner[v.index()], Some(net));
+            self.vseg_owner[v.index()] = None;
+        }
+        for (_, segs) in &route.hsegs {
+            for h in segs {
+                debug_assert_eq!(self.hseg_owner[h.index()], Some(net));
+                self.hseg_owner[h.index()] = None;
+            }
+        }
+    }
+
+    fn claim_segments(&mut self, net: NetId, route: &NetRoute) {
+        for v in &route.vsegs {
+            assert!(
+                self.vseg_owner[v.index()].is_none(),
+                "vertical segment {v:?} already owned"
+            );
+            self.vseg_owner[v.index()] = Some(net);
+        }
+        for (_, segs) in &route.hsegs {
+            for h in segs {
+                assert!(
+                    self.hseg_owner[h.index()].is_none(),
+                    "horizontal segment {h:?} already owned"
+                );
+                self.hseg_owner[h.index()] = Some(net);
+            }
+        }
+    }
+
+    fn update_queues(&mut self, net: NetId, old: &NetRoute, new: &NetRoute) {
+        match (old.globally_routed, new.globally_routed) {
+            (true, false) => {
+                self.ug.insert(net);
+            }
+            (false, true) => {
+                self.ug.remove(&net);
+            }
+            _ => {}
+        }
+        for c in &old.pending_channels {
+            if !new.pending_channels.contains(c) {
+                self.ud[c.index()].remove(&net);
+            }
+        }
+        for c in &new.pending_channels {
+            if !old.pending_channels.contains(c) {
+                self.ud[c.index()].insert(net);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowfpga_netlist::{generate, GenerateConfig};
+
+    fn setup() -> (Architecture, Netlist, RoutingState) {
+        let nl = generate(&GenerateConfig {
+            num_cells: 30,
+            num_inputs: 4,
+            num_outputs: 4,
+            num_seq: 2,
+            ..GenerateConfig::default()
+        });
+        let arch = Architecture::builder()
+            .rows(4)
+            .cols(10)
+            .io_columns(1)
+            .build()
+            .unwrap();
+        let st = RoutingState::new(&arch, &nl);
+        (arch, nl, st)
+    }
+
+    #[test]
+    fn initial_state_is_all_unrouted() {
+        let (_, nl, st) = setup();
+        assert_eq!(st.globally_unrouted(), nl.num_nets());
+        assert_eq!(st.incomplete(), nl.num_nets());
+        assert!(!st.is_fully_routed());
+        assert!(st.dirty_channels().is_empty());
+        for (id, _) in nl.nets() {
+            assert_eq!(st.net_state(id), NetRouteState::Unrouted);
+        }
+    }
+
+    #[test]
+    fn global_then_detailed_transitions_counters() {
+        let (arch, nl, mut st) = setup();
+        let net = NetId::new(0);
+        let chan = ChannelId::new(1);
+        let vseg = arch.vsegs_at(ColId::new(3))[0];
+        assert!(vseg.reaches(chan));
+        st.set_global(
+            net,
+            vec![vseg.id()],
+            Some(ColId::new(3)),
+            vec![(chan, 2, 5)],
+            vec![chan],
+        );
+        assert_eq!(st.net_state(net), NetRouteState::Global);
+        assert_eq!(st.globally_unrouted(), nl.num_nets() - 1);
+        assert_eq!(st.incomplete(), nl.num_nets());
+        assert_eq!(st.dirty_channels(), vec![chan]);
+        assert_eq!(st.vseg_owner(vseg.id()), Some(net));
+
+        let hseg = arch.channel_tracks(chan)[0].segments()[0].id();
+        st.set_channel_routed(net, chan, vec![hseg]);
+        assert_eq!(st.net_state(net), NetRouteState::Detailed);
+        assert_eq!(st.incomplete(), nl.num_nets() - 1);
+        assert!(st.dirty_channels().is_empty());
+        assert_eq!(st.hseg_owner(hseg), Some(net));
+
+        st.rip_up(net);
+        assert_eq!(st.net_state(net), NetRouteState::Unrouted);
+        assert_eq!(st.globally_unrouted(), nl.num_nets());
+        assert_eq!(st.incomplete(), nl.num_nets());
+        assert_eq!(st.vseg_owner(vseg.id()), None);
+        assert_eq!(st.hseg_owner(hseg), None);
+    }
+
+    #[test]
+    fn rollback_restores_routes_queues_and_ownership() {
+        let (arch, _nl, mut st) = setup();
+        let net_a = NetId::new(0);
+        let net_b = NetId::new(1);
+        let chan = ChannelId::new(0);
+        let hseg = arch.channel_tracks(chan)[0].segments()[0].id();
+
+        // Pre-transaction: net_a fully routed in channel 0.
+        st.set_global(net_a, Vec::new(), None, vec![(chan, 0, 2)], vec![chan]);
+        st.set_channel_routed(net_a, chan, vec![hseg]);
+        let g0 = st.globally_unrouted();
+        let d0 = st.incomplete();
+
+        // Transaction: rip up net_a, give its segment to net_b, then undo.
+        st.begin_txn();
+        st.rip_up(net_a);
+        st.set_global(net_b, Vec::new(), None, vec![(chan, 0, 2)], vec![chan]);
+        st.set_channel_routed(net_b, chan, vec![hseg]);
+        assert_eq!(st.hseg_owner(hseg), Some(net_b));
+        st.rollback();
+
+        assert_eq!(st.hseg_owner(hseg), Some(net_a));
+        assert_eq!(st.net_state(net_a), NetRouteState::Detailed);
+        assert_eq!(st.net_state(net_b), NetRouteState::Unrouted);
+        assert_eq!(st.globally_unrouted(), g0);
+        assert_eq!(st.incomplete(), d0);
+        assert!(st.ug().any(|n| n == net_b));
+        assert!(st.ud(chan).next().is_none());
+    }
+
+    #[test]
+    fn commit_makes_changes_permanent() {
+        let (arch, _nl, mut st) = setup();
+        let net = NetId::new(2);
+        let chan = ChannelId::new(0);
+        let hseg = arch.channel_tracks(chan)[0].segments()[0].id();
+        st.begin_txn();
+        st.set_global(net, Vec::new(), None, vec![(chan, 0, 1)], vec![chan]);
+        st.set_channel_routed(net, chan, vec![hseg]);
+        st.commit();
+        assert!(!st.txn_active());
+        assert_eq!(st.net_state(net), NetRouteState::Detailed);
+        assert_eq!(st.hseg_owner(hseg), Some(net));
+    }
+
+    #[test]
+    #[should_panic(expected = "already owned")]
+    fn double_claim_is_detected() {
+        let (arch, _nl, mut st) = setup();
+        let chan = ChannelId::new(0);
+        let hseg = arch.channel_tracks(chan)[0].segments()[0].id();
+        st.set_global(NetId::new(0), Vec::new(), None, vec![(chan, 0, 1)], vec![chan]);
+        st.set_channel_routed(NetId::new(0), chan, vec![hseg]);
+        st.set_global(NetId::new(1), Vec::new(), None, vec![(chan, 0, 1)], vec![chan]);
+        st.set_channel_routed(NetId::new(1), chan, vec![hseg]);
+    }
+
+    #[test]
+    #[should_panic(expected = "transaction already active")]
+    fn nested_transactions_are_rejected() {
+        let (_, _, mut st) = setup();
+        st.begin_txn();
+        st.begin_txn();
+    }
+
+    #[test]
+    fn rip_up_cell_requeues_all_its_nets() {
+        let (_, nl, mut st) = setup();
+        let (cell, _) = nl.cells().find(|(_, c)| !c.kind().is_io()).unwrap();
+        let nets = nl.nets_of_cell(cell);
+        assert!(!nets.is_empty());
+        // route one of them trivially first
+        let chan = ChannelId::new(0);
+        st.set_global(nets[0], Vec::new(), None, vec![(chan, 0, 1)], vec![chan]);
+        st.rip_up_cell(&nl, cell);
+        for n in nets {
+            assert_eq!(st.net_state(n), NetRouteState::Unrouted);
+            assert!(st.ug().any(|x| x == n));
+        }
+    }
+}
+
+impl RoutingState {
+    /// Wire utilization of one channel: `(used, total)` column-units of
+    /// horizontal segment claimed vs. available. Used by congestion reports
+    /// and layout rendering.
+    pub fn channel_wire_usage(
+        &self,
+        arch: &Architecture,
+        channel: ChannelId,
+    ) -> (usize, usize) {
+        let mut total = 0usize;
+        let mut used = 0usize;
+        for track in arch.channel_tracks(channel) {
+            for seg in track.segments() {
+                total += seg.len();
+                if self.hseg_owner(seg.id()).is_some() {
+                    used += seg.len();
+                }
+            }
+        }
+        (used, total)
+    }
+
+    /// A per-channel wire utilization report, one line per channel.
+    pub fn occupancy_report(&self, arch: &Architecture) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for c in 0..arch.geometry().num_channels() {
+            let chan = ChannelId::new(c);
+            let (used, total) = self.channel_wire_usage(arch, chan);
+            let pct = if total == 0 { 0 } else { 100 * used / total };
+            let bars = pct / 5;
+            let _ = writeln!(
+                out,
+                "{chan:<5} [{:<20}] {pct:>3}%  ({used}/{total} column-units)",
+                "#".repeat(bars)
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod usage_tests {
+    use super::*;
+    use rowfpga_netlist::{generate, GenerateConfig};
+    use rowfpga_place::Placement;
+
+    #[test]
+    fn wire_usage_tracks_claims() {
+        let nl = generate(&GenerateConfig {
+            num_cells: 30,
+            num_inputs: 4,
+            num_outputs: 4,
+            num_seq: 2,
+            ..GenerateConfig::default()
+        });
+        let arch = Architecture::builder()
+            .rows(4)
+            .cols(10)
+            .io_columns(1)
+            .tracks_per_channel(12)
+            .build()
+            .unwrap();
+        let p = Placement::random(&arch, &nl, 5).unwrap();
+        let mut st = RoutingState::new(&arch, &nl);
+        let chan = ChannelId::new(0);
+        let (used0, total) = st.channel_wire_usage(&arch, chan);
+        assert_eq!(used0, 0);
+        assert_eq!(total, 12 * 10);
+        crate::batch::route_batch(
+            &mut st,
+            &arch,
+            &nl,
+            &p,
+            &crate::config::RouterConfig::default(),
+            4,
+        );
+        let summed: usize = (0..arch.geometry().num_channels())
+            .map(|c| st.channel_wire_usage(&arch, ChannelId::new(c)).0)
+            .sum();
+        let claimed: usize = (0..arch.num_hsegs())
+            .filter(|i| st.hseg_owner(rowfpga_arch::HSegId::new(*i)).is_some())
+            .map(|i| arch.hseg(rowfpga_arch::HSegId::new(i)).len())
+            .sum();
+        assert_eq!(summed, claimed);
+        let report = st.occupancy_report(&arch);
+        assert_eq!(report.lines().count(), 5);
+        assert!(report.contains('%'));
+    }
+}

@@ -1,0 +1,128 @@
+//! Spatial-extent delay estimation for unembedded nets.
+//!
+//! During simultaneous layout not every net is physically embedded at all
+//! times. For those the paper (§3.5) resorts to crude estimators that
+//! relate the known spatial extent of the net to the probable number of
+//! antifuses it will encounter. The estimate here counts the horizontal
+//! antifuses a span-covering run would statistically need (span divided by
+//! the fabric's mean segment length), the vertical antifuses of a chain
+//! crossing the net's channel range, and the cross antifuses of the taps,
+//! then charges a lumped RC product. It is deliberately cheap and
+//! conservative; the cost function's routability terms coerce nets into
+//! embeddings where the exact Elmore number takes over.
+
+use rowfpga_arch::Architecture;
+use rowfpga_netlist::{NetId, Netlist};
+use rowfpga_place::Placement;
+use rowfpga_route::net_requirements;
+
+/// Estimated driver-to-sink delay of an unembedded net (one number for all
+/// sinks: without an embedding there is nothing to distinguish them).
+pub fn estimate_sink_delay(
+    arch: &Architecture,
+    netlist: &Netlist,
+    placement: &Placement,
+    net: NetId,
+) -> f64 {
+    let p = arch.delay();
+    let req = net_requirements(arch, netlist, placement, net);
+    let fanout = netlist.net(net).fanout() as f64;
+
+    let width = (req.col_max - req.col_min) as f64;
+    let height = (req.chan_max - req.chan_min) as f64;
+
+    // Probable antifuse count: horizontal joints along the span, vertical
+    // joints along the chain, one tap per channel crossed plus the driver
+    // and sink cross antifuses.
+    let mean_seg = arch.mean_hseg_len().max(1.0);
+    let h_joints = width / mean_seg;
+    let v_joints = height / 2.0;
+    let taps = height + 1.0 + fanout;
+    let n_antifuse = h_joints + v_joints + taps;
+
+    // Lumped capacitance of the probable embedding. The wire the net will
+    // claim is at least its half-perimeter; segment quantization rounds the
+    // claimed wire up to whole segments, captured by one extra mean segment
+    // per channel crossed.
+    let c_wire = p.c_wire * (width + height + (height + 1.0) * mean_seg * 0.5);
+    let c_total = c_wire + n_antifuse * p.c_antifuse + fanout * p.c_input;
+
+    // The driver sees all of it; downstream antifuse resistance sees on
+    // average half of it.
+    p.r_driver * c_total + n_antifuse * p.r_antifuse * 0.5 * c_total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowfpga_netlist::CellKind;
+
+    fn two_pin_problem(rows: usize, cols: usize) -> (Architecture, Netlist) {
+        let mut b = Netlist::builder();
+        let a = b.add_cell("a", CellKind::Input);
+        let q = b.add_cell("q", CellKind::Output);
+        b.connect("n", a, [(q, 0)]).unwrap();
+        let nl = b.build().unwrap();
+        let arch = Architecture::builder()
+            .rows(rows)
+            .cols(cols)
+            .io_columns(1)
+            .build()
+            .unwrap();
+        (arch, nl)
+    }
+
+    #[test]
+    fn estimates_are_finite_and_positive() {
+        let (arch, nl) = two_pin_problem(4, 12);
+        let p = Placement::random(&arch, &nl, 3).unwrap();
+        let d = estimate_sink_delay(&arch, &nl, &p, rowfpga_netlist::NetId::new(0));
+        assert!(d.is_finite() && d > 0.0);
+    }
+
+    #[test]
+    fn longer_extent_estimates_slower() {
+        // Same fabric, pick the placement seed giving the wider bbox; its
+        // estimate must be larger.
+        let (arch, nl) = two_pin_problem(6, 20);
+        let net = rowfpga_netlist::NetId::new(0);
+        let mut best: Option<(usize, f64)> = None;
+        let mut worst: Option<(usize, f64)> = None;
+        for seed in 0..10u64 {
+            let p = Placement::random(&arch, &nl, seed).unwrap();
+            let req = net_requirements(&arch, &nl, &p, net);
+            let extent = (req.col_max - req.col_min) + 2 * (req.chan_max - req.chan_min);
+            let d = estimate_sink_delay(&arch, &nl, &p, net);
+            if best.is_none_or(|(e, _)| extent < e) {
+                best = Some((extent, d));
+            }
+            if worst.is_none_or(|(e, _)| extent > e) {
+                worst = Some((extent, d));
+            }
+        }
+        let (short_e, short_d) = best.unwrap();
+        let (long_e, long_d) = worst.unwrap();
+        assert!(short_e < long_e, "seeds produced no extent variation");
+        assert!(
+            short_d < long_d,
+            "shorter extent ({short_e}) estimated slower ({short_d}) than longer ({long_e}: {long_d})"
+        );
+    }
+
+    #[test]
+    fn estimate_scales_with_antifuse_resistance() {
+        let (arch, nl) = two_pin_problem(4, 12);
+        let p = Placement::random(&arch, &nl, 3).unwrap();
+        let net = rowfpga_netlist::NetId::new(0);
+        let base = estimate_sink_delay(&arch, &nl, &p, net);
+        let slow_arch = Architecture::builder()
+            .rows(4)
+            .cols(12)
+            .io_columns(1)
+            .delay(rowfpga_arch::DelayParams::slow_antifuse())
+            .build()
+            .unwrap();
+        let slow = estimate_sink_delay(&slow_arch, &nl, &p, net);
+        assert!(slow > base, "5x antifuse resistance must raise the estimate");
+    }
+}

@@ -1,0 +1,426 @@
+//! The incremental worst-case delay engine (paper §3.5, Figure 5).
+//!
+//! Cells are levelized once (levels depend only on connectivity). After a
+//! move reroutes a set of nets, their interconnect delays are recomputed
+//! and the change is propagated to the path boundaries through a *frontier*
+//! of affected cells, always processing the frontier cell with the minimum
+//! level: a cell's output arrival is refreshed from its inputs, and only if
+//! it changed are its fanout cells added. Expansion stops when the frontier
+//! empties. All mutations are journaled so a rejected move can be undone
+//! exactly.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use rowfpga_arch::Architecture;
+use rowfpga_netlist::{CellId, CellKind, CombLoopError, Levels, NetId, Netlist};
+use rowfpga_place::Placement;
+use rowfpga_route::RoutingState;
+
+use crate::delay::{cell_intrinsic_delay, endpoint_intrinsic_delay, net_sink_delays};
+use crate::sta::{is_endpoint, worst_input_arrival};
+
+/// Arrival changes smaller than this are not propagated.
+const EPS: f64 = 1e-9;
+
+#[derive(Clone, Debug, Default)]
+struct Journal {
+    arr: HashMap<usize, f64>,
+    endpoint_arr: HashMap<usize, f64>,
+    net_delays: HashMap<usize, Vec<f64>>,
+    worst: Option<f64>,
+}
+
+/// Incrementally maintained timing state: per-cell arrivals, per-net sink
+/// delays and the worst endpoint arrival (the cost term `T`).
+#[derive(Clone, Debug)]
+pub struct TimingState {
+    levels: Levels,
+    arr: Vec<f64>,
+    endpoint_arr: Vec<f64>,
+    net_delays: Vec<Vec<f64>>,
+    endpoints: Vec<CellId>,
+    worst: f64,
+    journal: Option<Journal>,
+}
+
+impl TimingState {
+    /// Levelizes the netlist and computes the initial full analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CombLoopError`] if the netlist has a combinational cycle.
+    pub fn new(
+        arch: &Architecture,
+        netlist: &Netlist,
+        placement: &Placement,
+        routing: &RoutingState,
+    ) -> Result<TimingState, CombLoopError> {
+        let levels = Levels::compute(netlist)?;
+        let endpoints = netlist
+            .cells()
+            .filter(|(_, c)| is_endpoint(c.kind()))
+            .map(|(id, _)| id)
+            .collect();
+        let mut state = TimingState {
+            levels,
+            arr: vec![0.0; netlist.num_cells()],
+            endpoint_arr: vec![f64::NEG_INFINITY; netlist.num_cells()],
+            net_delays: vec![Vec::new(); netlist.num_nets()],
+            endpoints,
+            worst: 0.0,
+            journal: None,
+        };
+        state.full_analyze(arch, netlist, placement, routing);
+        Ok(state)
+    }
+
+    /// Recomputes everything from scratch (used at construction and as a
+    /// test oracle against the incremental path).
+    pub fn full_analyze(
+        &mut self,
+        arch: &Architecture,
+        netlist: &Netlist,
+        placement: &Placement,
+        routing: &RoutingState,
+    ) {
+        assert!(
+            self.journal.is_none(),
+            "full analysis inside a transaction is not supported"
+        );
+        for (id, _) in netlist.nets() {
+            self.net_delays[id.index()] =
+                net_sink_delays(arch, netlist, placement, routing, id);
+        }
+        for (id, cell) in netlist.cells() {
+            self.arr[id.index()] = match cell.kind() {
+                CellKind::Input | CellKind::Seq => cell_intrinsic_delay(arch, cell.kind()),
+                _ => 0.0,
+            };
+        }
+        for &cell in self.levels.order() {
+            self.arr[cell.index()] =
+                worst_input_arrival(netlist, &self.arr, &self.net_delays, cell).unwrap_or(0.0)
+                    + cell_intrinsic_delay(arch, netlist.cell(cell).kind());
+        }
+        for &e in &self.endpoints {
+            self.endpoint_arr[e.index()] =
+                worst_input_arrival(netlist, &self.arr, &self.net_delays, e).unwrap_or(0.0)
+                    + endpoint_intrinsic_delay(arch, netlist.cell(e).kind());
+        }
+        self.worst = self.scan_worst();
+    }
+
+    /// Worst-case path delay `T`, in picoseconds.
+    pub fn worst(&self) -> f64 {
+        self.worst
+    }
+
+    /// Arrival time at a cell's output.
+    pub fn arrival(&self, cell: CellId) -> f64 {
+        self.arr[cell.index()]
+    }
+
+    /// The interconnect delays currently charged to a net's sinks.
+    pub fn net_delays(&self, net: NetId) -> &[f64] {
+        &self.net_delays[net.index()]
+    }
+
+    /// Starts journaling for a speculative move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transaction is already active.
+    pub fn begin_txn(&mut self) {
+        assert!(self.journal.is_none(), "timing transaction already active");
+        self.journal = Some(Journal::default());
+    }
+
+    /// Makes all changes since [`TimingState::begin_txn`] permanent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active.
+    pub fn commit(&mut self) {
+        assert!(self.journal.is_some(), "no timing transaction to commit");
+        self.journal = None;
+    }
+
+    /// Restores the state at [`TimingState::begin_txn`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no transaction is active.
+    pub fn rollback(&mut self) {
+        let journal = self
+            .journal
+            .take()
+            .expect("no timing transaction to roll back");
+        for (i, v) in journal.arr {
+            self.arr[i] = v;
+        }
+        for (i, v) in journal.endpoint_arr {
+            self.endpoint_arr[i] = v;
+        }
+        for (i, v) in journal.net_delays {
+            self.net_delays[i] = v;
+        }
+        if let Some(w) = journal.worst {
+            self.worst = w;
+        }
+    }
+
+    /// Recomputes the delays of `changed` nets and propagates arrivals to
+    /// the boundaries through a min-level frontier. Returns the new worst
+    /// delay.
+    pub fn update_nets(
+        &mut self,
+        arch: &Architecture,
+        netlist: &Netlist,
+        placement: &Placement,
+        routing: &RoutingState,
+        changed: &[NetId],
+    ) -> f64 {
+        if changed.is_empty() {
+            return self.worst;
+        }
+        self.save_worst();
+
+        // Frontier keyed by level so arrival refreshes happen in dependency
+        // order even across reconvergent fanout.
+        let mut frontier: BinaryHeap<Reverse<(u32, CellId)>> = BinaryHeap::new();
+        let mut queued = vec![false; netlist.num_cells()];
+        let mut endpoint_dirty = vec![false; netlist.num_cells()];
+
+        for &net in changed {
+            self.save_net(net);
+            self.net_delays[net.index()] =
+                net_sink_delays(arch, netlist, placement, routing, net);
+            for s in netlist.net(net).sinks() {
+                let kind = netlist.cell(s.cell).kind();
+                if kind.is_boundary() {
+                    if is_endpoint(kind) {
+                        endpoint_dirty[s.cell.index()] = true;
+                    }
+                } else if !queued[s.cell.index()] {
+                    queued[s.cell.index()] = true;
+                    frontier.push(Reverse((self.levels.level(s.cell), s.cell)));
+                }
+            }
+        }
+
+        while let Some(Reverse((_, cell))) = frontier.pop() {
+            queued[cell.index()] = false;
+            let new_arr =
+                worst_input_arrival(netlist, &self.arr, &self.net_delays, cell).unwrap_or(0.0)
+                    + cell_intrinsic_delay(arch, netlist.cell(cell).kind());
+            if (new_arr - self.arr[cell.index()]).abs() <= EPS {
+                continue;
+            }
+            self.save_arr(cell);
+            self.arr[cell.index()] = new_arr;
+            if let Some(net) = netlist.driven_net(cell) {
+                for s in netlist.net(net).sinks() {
+                    let kind = netlist.cell(s.cell).kind();
+                    if kind.is_boundary() {
+                        if is_endpoint(kind) {
+                            endpoint_dirty[s.cell.index()] = true;
+                        }
+                    } else if !queued[s.cell.index()] {
+                        queued[s.cell.index()] = true;
+                        frontier.push(Reverse((self.levels.level(s.cell), s.cell)));
+                    }
+                }
+            }
+        }
+
+        let endpoints = std::mem::take(&mut self.endpoints);
+        for &e in &endpoints {
+            if !endpoint_dirty[e.index()] {
+                continue;
+            }
+            let ea = worst_input_arrival(netlist, &self.arr, &self.net_delays, e).unwrap_or(0.0)
+                + endpoint_intrinsic_delay(arch, netlist.cell(e).kind());
+            if (ea - self.endpoint_arr[e.index()]).abs() > EPS {
+                self.save_endpoint(e);
+                self.endpoint_arr[e.index()] = ea;
+            }
+        }
+        self.endpoints = endpoints;
+        self.worst = self.scan_worst();
+        self.worst
+    }
+
+    fn scan_worst(&self) -> f64 {
+        self.endpoints
+            .iter()
+            .map(|e| self.endpoint_arr[e.index()])
+            .fold(0.0f64, f64::max)
+    }
+
+    fn save_arr(&mut self, cell: CellId) {
+        if let Some(j) = &mut self.journal {
+            j.arr.entry(cell.index()).or_insert(self.arr[cell.index()]);
+        }
+    }
+
+    fn save_endpoint(&mut self, cell: CellId) {
+        if let Some(j) = &mut self.journal {
+            j.endpoint_arr
+                .entry(cell.index())
+                .or_insert(self.endpoint_arr[cell.index()]);
+        }
+    }
+
+    fn save_net(&mut self, net: NetId) {
+        if let Some(j) = &mut self.journal {
+            j.net_delays
+                .entry(net.index())
+                .or_insert_with(|| self.net_delays[net.index()].clone());
+        }
+    }
+
+    fn save_worst(&mut self) {
+        if let Some(j) = &mut self.journal {
+            j.worst.get_or_insert(self.worst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rowfpga_netlist::{generate, GenerateConfig};
+    use rowfpga_route::{route_batch, RouterConfig};
+
+    fn problem(seed: u64) -> (Architecture, Netlist, Placement, RoutingState) {
+        let nl = generate(&GenerateConfig {
+            num_cells: 50,
+            num_inputs: 6,
+            num_outputs: 6,
+            num_seq: 4,
+            ..GenerateConfig::default()
+        });
+        let arch = Architecture::builder()
+            .rows(6)
+            .cols(14)
+            .io_columns(2)
+            .tracks_per_channel(24)
+            .build()
+            .unwrap();
+        let p = Placement::random(&arch, &nl, seed).unwrap();
+        let mut st = RoutingState::new(&arch, &nl);
+        route_batch(&mut st, &arch, &nl, &p, &RouterConfig::default(), 8);
+        (arch, nl, p, st)
+    }
+
+    #[test]
+    fn initial_state_matches_sta() {
+        let (arch, nl, p, st) = problem(3);
+        let ts = TimingState::new(&arch, &nl, &p, &st).unwrap();
+        let sta = crate::Sta::analyze(&arch, &nl, &p, &st).unwrap();
+        assert!((ts.worst() - sta.worst_delay()).abs() < 1e-6);
+        for (id, c) in nl.cells() {
+            if c.kind().has_output() {
+                assert!((ts.arrival(id) - sta.arrival(id)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_update_matches_full_reanalysis() {
+        let (arch, nl, mut p, mut st) = problem(5);
+        let cfg = RouterConfig::default();
+        let mut ts = TimingState::new(&arch, &nl, &p, &st).unwrap();
+
+        let cells: Vec<CellId> = nl
+            .cells()
+            .filter(|(_, c)| !c.kind().is_io())
+            .map(|(id, _)| id)
+            .collect();
+        for w in cells.windows(2).take(20) {
+            // Move, rip up, reroute — then update incrementally and compare
+            // against a from-scratch analysis.
+            p.swap_sites(&arch, p.site_of(w[0]), p.site_of(w[1]));
+            let mut changed: Vec<NetId> = nl.nets_of_cell(w[0]);
+            changed.extend(nl.nets_of_cell(w[1]));
+            changed.sort_unstable();
+            changed.dedup();
+            st.rip_up_cell(&nl, w[0]);
+            st.rip_up_cell(&nl, w[1]);
+            st.route_incremental(&arch, &nl, &p, &cfg);
+            let worst = ts.update_nets(&arch, &nl, &p, &st, &changed);
+
+            let oracle = TimingState::new(&arch, &nl, &p, &st).unwrap();
+            assert!(
+                (worst - oracle.worst()).abs() < 1e-6,
+                "incremental {worst} != full {}",
+                oracle.worst()
+            );
+            for (id, c) in nl.cells() {
+                if c.kind().has_output() {
+                    assert!(
+                        (ts.arrival(id) - oracle.arrival(id)).abs() < 1e-6,
+                        "arrival mismatch on {id:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn rollback_restores_timing_exactly() {
+        let (arch, nl, mut p, mut st) = problem(9);
+        let cfg = RouterConfig::default();
+        let mut ts = TimingState::new(&arch, &nl, &p, &st).unwrap();
+        let reference = ts.clone();
+
+        let cells: Vec<CellId> = nl
+            .cells()
+            .filter(|(_, c)| !c.kind().is_io())
+            .map(|(id, _)| id)
+            .collect();
+        let (a, b) = (cells[0], cells[1]);
+
+        ts.begin_txn();
+        st.begin_txn();
+        p.swap_sites(&arch, p.site_of(a), p.site_of(b));
+        let mut changed = nl.nets_of_cell(a);
+        changed.extend(nl.nets_of_cell(b));
+        changed.sort_unstable();
+        changed.dedup();
+        st.rip_up_cell(&nl, a);
+        st.rip_up_cell(&nl, b);
+        st.route_incremental(&arch, &nl, &p, &cfg);
+        ts.update_nets(&arch, &nl, &p, &st, &changed);
+        // reject
+        ts.rollback();
+        st.rollback();
+        p.swap_sites(&arch, p.site_of(a), p.site_of(b)); // p.site_of(a) is b's old site now
+
+        assert_eq!(ts.worst(), reference.worst());
+        for (id, _) in nl.cells() {
+            assert_eq!(ts.arrival(id), reference.arrival(id));
+        }
+        for (id, _) in nl.nets() {
+            assert_eq!(ts.net_delays(id), reference.net_delays(id));
+        }
+    }
+
+    #[test]
+    fn empty_update_is_free() {
+        let (arch, nl, p, st) = problem(2);
+        let mut ts = TimingState::new(&arch, &nl, &p, &st).unwrap();
+        let w = ts.worst();
+        assert_eq!(ts.update_nets(&arch, &nl, &p, &st, &[]), w);
+    }
+
+    #[test]
+    #[should_panic(expected = "transaction already active")]
+    fn nested_timing_transactions_are_rejected() {
+        let (arch, nl, p, st) = problem(2);
+        let mut ts = TimingState::new(&arch, &nl, &p, &st).unwrap();
+        ts.begin_txn();
+        ts.begin_txn();
+    }
+}

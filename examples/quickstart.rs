@@ -1,0 +1,68 @@
+//! Quickstart: lay out a small design with the simultaneous flow.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rowfpga::core::{size_architecture, SimPrConfig, SimultaneousPlaceRoute, SizingConfig};
+use rowfpga::netlist::{generate, GenerateConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A technology-mapped netlist. Real designs arrive through
+    //    `parse_netlist` / `parse_blif`; here we synthesize one.
+    let netlist = generate(&GenerateConfig {
+        num_cells: 120,
+        num_inputs: 8,
+        num_outputs: 8,
+        num_seq: 8,
+        seed: 42,
+        ..GenerateConfig::default()
+    });
+    let stats = netlist.stats();
+    println!(
+        "design: {} cells ({} comb, {} seq, {} PI, {} PO), {} nets, max fanout {}",
+        stats.num_cells,
+        stats.num_comb,
+        stats.num_seq,
+        stats.num_inputs,
+        stats.num_outputs,
+        stats.num_nets,
+        stats.max_fanout
+    );
+
+    // 2. A row-based fabric sized for it.
+    let arch = size_architecture(&netlist, &SizingConfig::default())?;
+    let astats = arch.stats();
+    println!(
+        "fabric: {} rows x {} cols, {} tracks/channel, {} horizontal / {} vertical segments",
+        arch.geometry().num_rows(),
+        arch.geometry().num_cols(),
+        astats.tracks_per_channel,
+        astats.num_hsegs,
+        astats.num_vsegs
+    );
+
+    // 3. Simultaneous placement, global and detailed routing.
+    let result = SimultaneousPlaceRoute::new(SimPrConfig::default()).run(&arch, &netlist)?;
+    println!(
+        "layout: routed={} | worst path {:.2} ns | {} temperatures, {} moves, {:.2?}",
+        result.fully_routed,
+        result.worst_delay / 1000.0,
+        result.temperatures,
+        result.total_moves,
+        result.runtime
+    );
+
+    // 4. Inspect the critical path.
+    println!("critical path ({} cells):", result.critical_path.elements.len());
+    for e in &result.critical_path.elements {
+        let cell = netlist.cell(e.cell);
+        println!(
+            "  {:<10} {:<7} arrives {:>8.2} ns",
+            cell.name(),
+            cell.kind().to_string(),
+            e.arrival / 1000.0
+        );
+    }
+    Ok(())
+}

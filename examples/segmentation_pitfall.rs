@@ -1,0 +1,95 @@
+//! The Figure 2 anecdote, interactively: why wirelength-driven placement
+//! cannot see segmented routing resources.
+//!
+//! Builds the 7-cell, 3-net, 3-segment micro-example of the paper's
+//! Figure 2, routes the compact (short-wirelength) placement and the spread
+//! (long-wirelength) one, and shows that only the longer one wires — then
+//! lets the simultaneous engine find a routable placement on its own.
+//!
+//! ```sh
+//! cargo run --release --example segmentation_pitfall
+//! ```
+
+use rowfpga::arch::{Architecture, ColId, RowId, SegmentationScheme};
+use rowfpga::core::{SimPrConfig, SimultaneousPlaceRoute};
+use rowfpga::netlist::{CellKind, Netlist, PortSide};
+use rowfpga::place::{hpwl, Placement};
+use rowfpga::route::{route_batch, RouterConfig, RoutingState};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One logic row; the channel below it has two tracks holding three
+    // segments: track 0 full-length, track 1 split at column 6.
+    let arch = Architecture::builder()
+        .rows(1)
+        .cols(12)
+        .io_columns(2)
+        .segmentation(SegmentationScheme::Explicit {
+            tracks: vec![vec![], vec![6]],
+        })
+        .build()?;
+
+    let mut b = Netlist::builder();
+    let x = b.add_cell("X", CellKind::Input);
+    let a = b.add_cell("A", CellKind::Input);
+    b.add_cell("D", CellKind::Input);
+    b.add_cell("E", CellKind::Input);
+    let y = b.add_cell("Y", CellKind::comb(1));
+    let bb = b.add_cell("B", CellKind::comb(1));
+    let c = b.add_cell("C", CellKind::comb(1));
+    b.connect("N1", x, [(y, 1)])?;
+    b.connect("N2", a, [(bb, 1)])?;
+    b.connect("N3", bb, [(c, 1)])?;
+    let netlist = b.build()?;
+
+    let place = |at: &[(&str, usize)]| -> Placement {
+        let mut p = Placement::random(&arch, &netlist, 1).expect("fits");
+        for &(name, col) in at {
+            let cell = netlist.cell_by_name(name).expect("cell");
+            let target = arch
+                .geometry()
+                .site_at(RowId::new(0), ColId::new(col))
+                .id();
+            let from = p.site_of(cell);
+            p.swap_sites(&arch, from, target);
+        }
+        for (cell, cc) in netlist.cells() {
+            let all_bottom = p
+                .palette(cc.kind())
+                .iter()
+                .position(|pm| pm.sides().iter().all(|s| *s == PortSide::Bottom))
+                .expect("all-bottom pinmap") as u16;
+            p.set_pinmap(&netlist, cell, all_bottom);
+        }
+        p
+    };
+
+    let report = |label: &str, p: &Placement| {
+        let wl: f64 = netlist.nets().map(|(id, _)| hpwl(&arch, &netlist, p, id)).sum();
+        let mut st = RoutingState::new(&arch, &netlist);
+        let out = route_batch(&mut st, &arch, &netlist, p, &RouterConfig::default(), 10);
+        println!(
+            "{label}: estimated wirelength {wl:.0}, routed {} ({} nets incomplete)",
+            if out.fully_routed { "100%" } else { "FAILED" },
+            out.incomplete
+        );
+    };
+
+    println!("three nets, one channel, 3 segments on 2 tracks\n");
+    report(
+        "compact placement (paper Fig. 2 left) ",
+        &place(&[("A", 0), ("X", 1), ("B", 3), ("Y", 4), ("C", 5)]),
+    );
+    report(
+        "spread placement  (paper Fig. 2 right)",
+        &place(&[("A", 0), ("B", 3), ("C", 8), ("Y", 7), ("X", 10)]),
+    );
+
+    println!("\nnow let the simultaneous engine find its own placement...");
+    let result = SimultaneousPlaceRoute::new(SimPrConfig::fast()).run(&arch, &netlist)?;
+    println!(
+        "simultaneous engine: routed {} after {} moves",
+        if result.fully_routed { "100%" } else { "FAILED" },
+        result.total_moves
+    );
+    Ok(())
+}

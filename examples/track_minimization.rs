@@ -1,0 +1,60 @@
+//! Track minimization: how many tracks per channel does each flow need?
+//!
+//! Reduces the channel width until each flow first fails 100 % wirability
+//! (the paper's Table 2 methodology) on one benchmark, and prints both
+//! minima — the simultaneous flow should need noticeably fewer tracks.
+//!
+//! ```sh
+//! cargo run --release --example track_minimization
+//! ```
+
+use rowfpga::baseline::{SeqPrConfig, SequentialPlaceRoute};
+use rowfpga::core::{size_architecture, SimPrConfig, SimultaneousPlaceRoute, SizingConfig};
+use rowfpga::netlist::{generate, paper_preset, PaperBenchmark};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let netlist = generate(&paper_preset(PaperBenchmark::Cse));
+    let sizing = SizingConfig::default();
+    let base_arch = size_architecture(&netlist, &sizing)?;
+    println!(
+        "design cse ({} cells) on a {}x{} chip; scanning down from {} tracks/channel\n",
+        netlist.num_cells(),
+        base_arch.geometry().num_rows(),
+        base_arch.geometry().num_cols(),
+        sizing.tracks_per_channel
+    );
+
+    let mut minima = Vec::new();
+    for (name, simultaneous) in [("sequential", false), ("simultaneous", true)] {
+        let mut min_ok = None;
+        let mut tracks = sizing.tracks_per_channel;
+        loop {
+            let arch = base_arch.with_tracks(tracks)?;
+            let routed = if simultaneous {
+                SimultaneousPlaceRoute::new(SimPrConfig::fast().with_seed(1))
+                    .run(&arch, &netlist)?
+                    .fully_routed
+            } else {
+                SequentialPlaceRoute::new(SeqPrConfig::fast().with_seed(1))
+                    .run(&arch, &netlist)?
+                    .fully_routed
+            };
+            print!("{}", if routed { "." } else { "x" });
+            use std::io::Write as _;
+            std::io::stdout().flush().ok();
+            if !routed || tracks == 1 {
+                break;
+            }
+            min_ok = Some(tracks);
+            tracks -= 1;
+        }
+        let min_ok = min_ok.expect("routable at the starting width");
+        println!("  {name}: minimum {min_ok} tracks/channel");
+        minima.push(min_ok as f64);
+    }
+    println!(
+        "\ntrack reduction: {:.1}%   (paper Table 2 reports 20-33%)",
+        100.0 * (minima[0] - minima[1]) / minima[0]
+    );
+    Ok(())
+}

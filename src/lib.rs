@@ -1,0 +1,17 @@
+//! Facade crate re-exporting the full rowfpga API.
+//!
+//! See the workspace README for an overview. Most users want
+//! [`core::SimultaneousPlaceRoute`] (the paper's algorithm) or
+//! [`baseline::SequentialPlaceRoute`] (the traditional flow it is compared
+//! against), plus [`arch`] and [`netlist`] to describe the problem.
+
+#![forbid(unsafe_code)]
+
+pub use rowfpga_anneal as anneal;
+pub use rowfpga_arch as arch;
+pub use rowfpga_baseline as baseline;
+pub use rowfpga_core as core;
+pub use rowfpga_netlist as netlist;
+pub use rowfpga_place as place;
+pub use rowfpga_route as route;
+pub use rowfpga_timing as timing;

@@ -1,0 +1,91 @@
+//! Cross-crate integration: both flows end-to-end on a small design,
+//! audited by the independent routing verifier and the standalone timing
+//! analyzer. (The paper-scale benchmarks run in the release-mode
+//! experiment binaries; these tests use a reduced design so the debug-mode
+//! suite stays quick.)
+
+use rowfpga::baseline::{SeqPrConfig, SequentialPlaceRoute};
+use rowfpga::core::{size_architecture, SimPrConfig, SimultaneousPlaceRoute, SizingConfig};
+use rowfpga::netlist::{generate, GenerateConfig};
+use rowfpga::route::verify_routing;
+use rowfpga::timing::Sta;
+
+fn small_design() -> GenerateConfig {
+    GenerateConfig {
+        num_cells: 80,
+        num_inputs: 6,
+        num_outputs: 6,
+        num_seq: 5,
+        seed: 3,
+        ..GenerateConfig::default()
+    }
+}
+
+#[test]
+fn simultaneous_flow_end_to_end_on_a_small_design() {
+    let netlist = generate(&small_design());
+    let arch = size_architecture(&netlist, &SizingConfig::default()).unwrap();
+    let result = SimultaneousPlaceRoute::new(SimPrConfig::fast())
+        .run(&arch, &netlist)
+        .unwrap();
+    assert!(result.fully_routed);
+    verify_routing(&result.routing, &arch, &netlist, &result.placement).unwrap();
+    // reported delay equals an independent re-analysis
+    let sta = Sta::analyze(&arch, &netlist, &result.placement, &result.routing).unwrap();
+    assert!((sta.worst_delay() - result.worst_delay).abs() < 1e-6);
+    // dynamics recorded something sensible
+    assert!(!result.dynamics.is_empty());
+    let last = result.dynamics.samples().last().unwrap();
+    assert!(last.nets_unrouted <= 0.05, "dynamics should converge");
+}
+
+#[test]
+fn sequential_flow_end_to_end_on_a_small_design() {
+    let netlist = generate(&small_design());
+    let arch = size_architecture(&netlist, &SizingConfig::default()).unwrap();
+    let result = SequentialPlaceRoute::new(SeqPrConfig::fast())
+        .run(&arch, &netlist)
+        .unwrap();
+    assert!(result.fully_routed);
+    verify_routing(&result.routing, &arch, &netlist, &result.placement).unwrap();
+}
+
+#[test]
+fn simultaneous_beats_sequential_on_timing() {
+    // The headline claim (Table 1), at smoke effort on one benchmark.
+    let netlist = generate(&small_design());
+    let arch = size_architecture(&netlist, &SizingConfig::default()).unwrap();
+    let seq = SequentialPlaceRoute::new(SeqPrConfig::fast().with_seed(1))
+        .run(&arch, &netlist)
+        .unwrap();
+    let sim = SimultaneousPlaceRoute::new(SimPrConfig::fast().with_seed(1))
+        .run(&arch, &netlist)
+        .unwrap();
+    assert!(seq.fully_routed && sim.fully_routed);
+    assert!(
+        sim.worst_delay < seq.worst_delay,
+        "simultaneous {:.1} ns did not beat sequential {:.1} ns",
+        sim.worst_delay / 1000.0,
+        seq.worst_delay / 1000.0
+    );
+}
+
+#[test]
+fn both_flows_share_the_layout_result_interface() {
+    let netlist = generate(&small_design());
+    let arch = size_architecture(&netlist, &SizingConfig::default()).unwrap();
+    let results = [
+        SequentialPlaceRoute::new(SeqPrConfig::fast())
+            .run(&arch, &netlist)
+            .unwrap(),
+        SimultaneousPlaceRoute::new(SimPrConfig::fast())
+            .run(&arch, &netlist)
+            .unwrap(),
+    ];
+    for r in &results {
+        assert!(r.worst_delay > 0.0);
+        assert!(!r.critical_path.elements.is_empty());
+        assert_eq!(r.fully_routed, r.incomplete == 0);
+        assert!(r.placement.check_invariants(&arch, &netlist));
+    }
+}

@@ -1,0 +1,153 @@
+//! Reconstruction of the paper's Figure 2 anecdote: with segmented tracks,
+//! a placement with *less* total net length can be unroutable while a
+//! longer alternative wires completely — and the leverage to fix it lies in
+//! placement, not routing.
+//!
+//! Fabric: one logic row, a single channel of interest (channel 0, all
+//! pins forced to bottom ports), two tracks holding three segments in
+//! total: track 0 is one full-length segment, track 1 is split `[0,6)` /
+//! `[6,12)`.
+//!
+//! Nets: `N1: X→Y`, `N2: A→B`, `N3: B→C` (as in the figure). Because `N2`
+//! and `N3` share cell `B`, their spans always overlap at `B`'s column, so
+//! they can never share a track in the channel.
+
+use rowfpga::arch::{Architecture, ColId, RowId, SegmentationScheme};
+use rowfpga::core::{SimPrConfig, SimultaneousPlaceRoute};
+use rowfpga::netlist::{CellId, CellKind, Netlist, PortSide};
+use rowfpga::place::Placement;
+use rowfpga::route::{route_batch, RouterConfig, RoutingState};
+
+fn fabric() -> Architecture {
+    Architecture::builder()
+        .rows(1)
+        .cols(12)
+        .io_columns(2)
+        .segmentation(SegmentationScheme::Explicit {
+            tracks: vec![vec![], vec![6]],
+        })
+        .build()
+        .expect("figure 2 fabric")
+}
+
+fn design() -> Netlist {
+    let mut b = Netlist::builder();
+    let x = b.add_cell("X", CellKind::Input);
+    let a = b.add_cell("A", CellKind::Input);
+    let d = b.add_cell("D", CellKind::Input); // spectators occupying sites
+    let e = b.add_cell("E", CellKind::Input);
+    let y = b.add_cell("Y", CellKind::comb(1));
+    let bb = b.add_cell("B", CellKind::comb(1));
+    let c = b.add_cell("C", CellKind::comb(1));
+    b.connect("N1", x, [(y, 1)]).unwrap();
+    b.connect("N2", a, [(bb, 1)]).unwrap();
+    b.connect("N3", bb, [(c, 1)]).unwrap();
+    let _ = (d, e);
+    b.build().unwrap()
+}
+
+/// Places each named cell at the given column of row 0 and forces every
+/// pin onto the bottom (channel 0) ports.
+fn place(arch: &Architecture, netlist: &Netlist, at: &[(&str, usize)]) -> Placement {
+    let mut p = Placement::random(arch, netlist, 1).expect("fits");
+    let geom = arch.geometry();
+    for &(name, col) in at {
+        let cell = netlist.cell_by_name(name).expect("cell exists");
+        let target = geom.site_at(RowId::new(0), ColId::new(col)).id();
+        let from = p.site_of(cell);
+        p.swap_sites(arch, from, target);
+    }
+    for (cell, c) in netlist.cells() {
+        let all_bottom = p
+            .palette(c.kind())
+            .iter()
+            .position(|pm| pm.sides().iter().all(|s| *s == PortSide::Bottom))
+            .expect("all-bottom pinmap") as u16;
+        p.set_pinmap(netlist, cell, all_bottom);
+    }
+    p
+}
+
+fn total_hpwl(arch: &Architecture, netlist: &Netlist, p: &Placement) -> f64 {
+    netlist
+        .nets()
+        .map(|(id, _)| rowfpga::place::hpwl(arch, netlist, p, id))
+        .sum()
+}
+
+/// The compact placement of Figure 2 (left): lower wirelength, unroutable.
+fn left_placement(arch: &Architecture, netlist: &Netlist) -> Placement {
+    place(
+        arch,
+        netlist,
+        &[("A", 0), ("X", 1), ("B", 3), ("Y", 4), ("C", 5)],
+    )
+}
+
+/// The spread placement of Figure 2 (right): higher wirelength, routable.
+fn right_placement(arch: &Architecture, netlist: &Netlist) -> Placement {
+    place(
+        arch,
+        netlist,
+        &[("A", 0), ("B", 3), ("C", 8), ("Y", 7), ("X", 10)],
+    )
+}
+
+#[test]
+fn shorter_placement_is_unroutable() {
+    let arch = fabric();
+    let nl = design();
+    let p = left_placement(&arch, &nl);
+    let mut st = RoutingState::new(&arch, &nl);
+    let out = route_batch(&mut st, &arch, &nl, &p, &RouterConfig::default(), 10);
+    assert!(
+        !out.fully_routed,
+        "the compact placement must be unroutable on this segmentation"
+    );
+    assert_eq!(out.globally_unrouted, 0, "only detailed routing fails");
+    assert_eq!(out.incomplete, 1, "exactly one net cannot be embedded");
+}
+
+#[test]
+fn longer_placement_routes_completely() {
+    let arch = fabric();
+    let nl = design();
+    let left = left_placement(&arch, &nl);
+    let right = right_placement(&arch, &nl);
+    assert!(
+        total_hpwl(&arch, &nl, &right) > total_hpwl(&arch, &nl, &left),
+        "the routable placement must have the larger estimated wirelength"
+    );
+    let mut st = RoutingState::new(&arch, &nl);
+    let out = route_batch(&mut st, &arch, &nl, &right, &RouterConfig::default(), 10);
+    assert!(out.fully_routed, "the spread placement must route");
+    rowfpga::route::verify_routing(&st, &arch, &nl, &right).unwrap();
+}
+
+#[test]
+fn simultaneous_engine_escapes_the_trap() {
+    // Started anywhere, the simultaneous flow must find *some* fully
+    // routable placement of this design — the placement-level leverage the
+    // paper's §2.1 argues for.
+    let arch = fabric();
+    let nl = design();
+    let result = SimultaneousPlaceRoute::new(SimPrConfig::fast())
+        .run(&arch, &nl)
+        .expect("engine runs");
+    assert!(
+        result.fully_routed,
+        "simultaneous layout failed to find a routable placement"
+    );
+}
+
+#[test]
+fn wirelength_driven_placement_cannot_see_the_segmentation() {
+    // A placement-level cost (HPWL) ranks the unroutable placement better —
+    // the exact blindness Figure 2 illustrates.
+    let arch = fabric();
+    let nl = design();
+    let left = left_placement(&arch, &nl);
+    let right = right_placement(&arch, &nl);
+    assert!(total_hpwl(&arch, &nl, &left) < total_hpwl(&arch, &nl, &right));
+    let _ = CellId::new(0);
+}

@@ -1,0 +1,220 @@
+//! Property-based tests over the core data structures and the central
+//! transactional invariant: *apply + undo is the identity on the full
+//! layout state*.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rowfpga::anneal::AnnealProblem;
+use rowfpga::arch::{Architecture, ChannelId, SegmentationScheme, VerticalScheme};
+use rowfpga::core::{CostConfig, LayoutProblem};
+use rowfpga::netlist::{
+    generate, parse_netlist, write_netlist, GenerateConfig, Levels,
+};
+use rowfpga::place::{MoveGenerator, MoveWeights, Placement};
+use rowfpga::route::{verify_routing, RouterConfig, RoutingState};
+use rowfpga::timing::TimingState;
+
+fn arb_generate_config() -> impl Strategy<Value = GenerateConfig> {
+    (30usize..90, 3usize..8, 3usize..8, 0usize..6, 2usize..5, any::<u64>()).prop_map(
+        |(cells, pi, po, ff, fanin, seed)| GenerateConfig {
+            num_cells: cells.max(pi + po + ff + 2),
+            num_inputs: pi,
+            num_outputs: po,
+            num_seq: ff,
+            max_fanin: fanin,
+            seed,
+            ..GenerateConfig::default()
+        },
+    )
+}
+
+fn arb_segmentation() -> impl Strategy<Value = SegmentationScheme> {
+    prop_oneof![
+        Just(SegmentationScheme::FullLength),
+        (2usize..6).prop_map(|len| SegmentationScheme::Uniform { len }),
+        proptest::collection::vec(2usize..7, 1..4)
+            .prop_map(|lengths| SegmentationScheme::Mixed { lengths }),
+        any::<u64>().prop_map(|seed| SegmentationScheme::ActelLike { seed }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Generated netlists always levelize and their parsed round trip is
+    /// structurally identical.
+    #[test]
+    fn netlist_roundtrip_and_levelization(config in arb_generate_config()) {
+        let nl = generate(&config);
+        let levels = Levels::compute(&nl).expect("generated netlists levelize");
+        prop_assert!(levels.max_level() >= 1);
+        let text = write_netlist(&nl);
+        let back = parse_netlist(&text).expect("writer output parses");
+        prop_assert_eq!(nl.num_cells(), back.num_cells());
+        prop_assert_eq!(nl.num_nets(), back.num_nets());
+        for (id, net) in nl.nets() {
+            let other = back.net_by_name(net.name()).expect("net survives");
+            prop_assert_eq!(back.net(other).fanout(), net.fanout());
+            let _ = id;
+        }
+    }
+
+    /// Every segmentation scheme tiles every channel exactly.
+    #[test]
+    fn segmentation_tiles_channels(
+        scheme in arb_segmentation(),
+        rows in 1usize..6,
+        cols in 6usize..40,
+        tracks in 1usize..8,
+    ) {
+        let arch = Architecture::builder()
+            .rows(rows)
+            .cols(cols)
+            .io_columns(1)
+            .tracks_per_channel(tracks)
+            .segmentation(scheme)
+            .build()
+            .expect("valid fabric");
+        for chan in 0..arch.geometry().num_channels() {
+            for track in arch.channel_tracks(ChannelId::new(chan)) {
+                let segs = track.segments();
+                prop_assert_eq!(segs[0].start(), 0);
+                prop_assert_eq!(segs.last().unwrap().end(), cols);
+                for w in segs.windows(2) {
+                    prop_assert_eq!(w[0].end(), w[1].start());
+                }
+            }
+        }
+    }
+
+    /// Vertical schemes always let a chain cross the whole chip.
+    #[test]
+    fn vertical_chains_reach_everywhere(
+        rows in 1usize..8,
+        span in 2usize..5,
+        per_col in 1usize..4,
+    ) {
+        let arch = Architecture::builder()
+            .rows(rows)
+            .cols(8)
+            .io_columns(1)
+            .verticals(VerticalScheme::Uniform { tracks_per_column: per_col, span })
+            .build()
+            .expect("valid fabric");
+        let channels = arch.geometry().num_channels();
+        for col in 0..8 {
+            let segs = arch.vsegs_at(rowfpga::arch::ColId::new(col));
+            // greedy cover of [0, channels-1]
+            let mut reach = None::<usize>;
+            loop {
+                let next = segs
+                    .iter()
+                    .filter(|s| match reach {
+                        None => s.chan_lo().index() == 0,
+                        Some(r) => s.chan_lo().index() <= r && s.chan_hi().index() > r,
+                    })
+                    .map(|s| s.chan_hi().index())
+                    .max();
+                match next {
+                    Some(h) => {
+                        reach = Some(h);
+                        if h >= channels - 1 { break; }
+                    }
+                    None => break,
+                }
+            }
+            prop_assert_eq!(reach, Some(channels - 1));
+        }
+    }
+
+    /// Placement move apply+undo is the identity, for any seed.
+    #[test]
+    fn placement_moves_undo(seed in any::<u64>()) {
+        let nl = generate(&GenerateConfig {
+            num_cells: 30, num_inputs: 4, num_outputs: 4, num_seq: 2,
+            ..GenerateConfig::default()
+        });
+        let arch = Architecture::builder()
+            .rows(4).cols(10).io_columns(1).build().unwrap();
+        let mut p = Placement::random(&arch, &nl, seed).unwrap();
+        let reference = p.clone();
+        let gen = MoveGenerator::new(&arch, &nl, MoveWeights::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        for _ in 0..50 {
+            let m = gen.propose(&nl, &p, &mut rng);
+            m.apply(&arch, &nl, &mut p);
+            m.undo(&arch, &nl, &mut p);
+        }
+        for (id, _) in nl.cells() {
+            prop_assert_eq!(p.site_of(id), reference.site_of(id));
+            prop_assert_eq!(p.pinmap_index(id), reference.pinmap_index(id));
+        }
+    }
+
+    /// Routing transactions roll back exactly, leaving a verifiable state,
+    /// for any move sequence.
+    #[test]
+    fn routing_transactions_roll_back(seed in any::<u64>()) {
+        let nl = generate(&GenerateConfig {
+            num_cells: 30, num_inputs: 4, num_outputs: 4, num_seq: 2,
+            ..GenerateConfig::default()
+        });
+        let arch = Architecture::builder()
+            .rows(4).cols(12).io_columns(1).tracks_per_channel(12).build().unwrap();
+        let mut p = Placement::random(&arch, &nl, seed).unwrap();
+        let mut st = RoutingState::new(&arch, &nl);
+        let cfg = RouterConfig::default();
+        st.route_incremental(&arch, &nl, &p, &cfg);
+        let gen = MoveGenerator::new(&arch, &nl, MoveWeights::default());
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+        for i in 0..20 {
+            let m = gen.propose(&nl, &p, &mut rng);
+            st.begin_txn();
+            m.apply(&arch, &nl, &mut p);
+            for cell in m.affected_cells(&p) {
+                st.rip_up_cell(&nl, cell);
+            }
+            st.route_incremental(&arch, &nl, &p, &cfg);
+            if i % 2 == 0 {
+                st.commit();
+            } else {
+                st.rollback();
+                m.undo(&arch, &nl, &mut p);
+            }
+            verify_routing(&st, &arch, &nl, &p).expect("verifiable after every step");
+        }
+    }
+
+    /// The full layout-problem cascade (placement + routing + timing)
+    /// survives arbitrary accept/reject sequences with a consistent state.
+    #[test]
+    fn layout_problem_accept_reject_consistency(seed in any::<u64>(), plan in any::<u32>()) {
+        let nl = generate(&GenerateConfig {
+            num_cells: 25, num_inputs: 3, num_outputs: 3, num_seq: 2,
+            ..GenerateConfig::default()
+        });
+        let arch = Architecture::builder()
+            .rows(4).cols(10).io_columns(1).tracks_per_channel(10).build().unwrap();
+        let mut problem = LayoutProblem::new(
+            &arch, &nl,
+            RouterConfig::default(),
+            CostConfig::default(),
+            MoveWeights::default(),
+            seed,
+        ).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
+        for bit in 0..32 {
+            let (applied, _) = problem.propose_and_apply(&mut rng);
+            if plan & (1 << bit) != 0 {
+                problem.commit(applied);
+            } else {
+                problem.undo(applied);
+            }
+        }
+        verify_routing(problem.routing(), &arch, &nl, problem.placement()).unwrap();
+        let oracle = TimingState::new(&arch, &nl, problem.placement(), problem.routing()).unwrap();
+        prop_assert!((problem.timing().worst() - oracle.worst()).abs() < 1e-6);
+    }
+}

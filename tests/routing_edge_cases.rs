@@ -1,0 +1,240 @@
+//! Integration tests of routing corner cases: chip-edge channels, trivial
+//! spans, fragmented tracks and resource exhaustion.
+
+use rowfpga::arch::{Architecture, ColId, RowId, SegmentationScheme, VerticalScheme};
+use rowfpga::netlist::{CellKind, Netlist, PortSide};
+use rowfpga::place::Placement;
+use rowfpga::route::{
+    net_requirements, route_batch, verify_routing, NetRouteState, RouterConfig, RoutingState,
+};
+
+/// Places named cells at row-0 columns and forces all pins bottom.
+fn place_bottom(
+    arch: &Architecture,
+    netlist: &Netlist,
+    at: &[(&str, usize)],
+) -> Placement {
+    let mut p = Placement::random(arch, netlist, 1).expect("fits");
+    for &(name, col) in at {
+        let cell = netlist.cell_by_name(name).expect("cell");
+        let target = arch
+            .geometry()
+            .site_at(RowId::new(0), ColId::new(col))
+            .id();
+        let from = p.site_of(cell);
+        p.swap_sites(arch, from, target);
+    }
+    for (cell, c) in netlist.cells() {
+        let idx = p
+            .palette(c.kind())
+            .iter()
+            .position(|pm| pm.sides().iter().all(|s| *s == PortSide::Bottom))
+            .expect("all-bottom pinmap") as u16;
+        p.set_pinmap(netlist, cell, idx);
+    }
+    p
+}
+
+fn two_cell_netlist() -> Netlist {
+    let mut b = Netlist::builder();
+    let a = b.add_cell("a", CellKind::Input);
+    let q = b.add_cell("q", CellKind::Output);
+    b.connect("n", a, [(q, 0)]).unwrap();
+    b.build().unwrap()
+}
+
+#[test]
+fn zero_span_net_routes_on_one_segment() {
+    // Driver and sink in adjacent columns... actually the same column is
+    // impossible (one cell per site), so use adjacent columns: span 1.
+    let nl = two_cell_netlist();
+    let arch = Architecture::builder()
+        .rows(1)
+        .cols(8)
+        .io_columns(3) // both cells are I/O; give them adjacent columns
+        .segmentation(SegmentationScheme::Uniform { len: 2 })
+        .tracks_per_channel(2)
+        .build()
+        .unwrap();
+    let p = place_bottom(&arch, &nl, &[("a", 1), ("q", 2)]);
+    let mut st = RoutingState::new(&arch, &nl);
+    let out = route_batch(&mut st, &arch, &nl, &p, &RouterConfig::default(), 2);
+    assert!(out.fully_routed);
+    let net = nl.net_by_name("n").unwrap();
+    let route = st.route(net);
+    assert!(route.vsegs().is_empty(), "single-channel net used verticals");
+    let (_, segs) = &route.hsegs()[0];
+    assert_eq!(segs.len(), 1, "span 1..2 needs at most one run segment... see below");
+    verify_routing(&st, &arch, &nl, &p).unwrap();
+}
+
+#[test]
+fn nets_route_in_the_bottom_and_top_edge_channels() {
+    // Channel 0 (below row 0) and channel R (above the top row) are edge
+    // channels with rows on only one side; routing must work there too.
+    let mut b = Netlist::builder();
+    let a = b.add_cell("a", CellKind::Input);
+    let g = b.add_cell("g", CellKind::comb(1));
+    let q = b.add_cell("q", CellKind::Output);
+    b.connect("n1", a, [(g, 1)]).unwrap();
+    b.connect("n2", g, [(q, 0)]).unwrap();
+    let nl = b.build().unwrap();
+    let arch = Architecture::builder()
+        .rows(2)
+        .cols(8)
+        .io_columns(2)
+        .tracks_per_channel(4)
+        .build()
+        .unwrap();
+    // Top side of the top row = channel 2; force everything up there.
+    let mut p = Placement::random(&arch, &nl, 3).unwrap();
+    for (cell, c) in nl.cells() {
+        // move all cells to row 1 (top row), compatible sites
+        let want_io = c.kind().is_io();
+        let target = arch
+            .geometry()
+            .sites()
+            .find(|s| {
+                s.row().index() == 1
+                    && (s.kind() == rowfpga::arch::SiteKind::Io) == want_io
+                    && p.cell_at(s.id()).is_none_or(|occ| occ == cell)
+            })
+            .expect("row 1 site available")
+            .id();
+        let from = p.site_of(cell);
+        p.swap_sites(&arch, from, target);
+        let idx = p
+            .palette(c.kind())
+            .iter()
+            .position(|pm| pm.sides().iter().all(|s| *s == PortSide::Top))
+            .expect("all-top pinmap") as u16;
+        p.set_pinmap(&nl, cell, idx);
+    }
+    let mut st = RoutingState::new(&arch, &nl);
+    let out = route_batch(&mut st, &arch, &nl, &p, &RouterConfig::default(), 4);
+    assert!(out.fully_routed, "top edge channel failed to route");
+    for (id, _) in nl.nets() {
+        let req = net_requirements(&arch, &nl, &p, id);
+        assert_eq!(req.chan_min, 3 - 1, "pins should sit in the top channel");
+    }
+    verify_routing(&st, &arch, &nl, &p).unwrap();
+}
+
+#[test]
+fn fragmentation_blocks_then_rip_up_recovers() {
+    // One track of segments [0,4),[4,8): a net with span crossing column 4
+    // needs both segments; first claim the left one with a short net, then
+    // show the long net fails, then rip up and show it routes.
+    let mut b = Netlist::builder();
+    let a1 = b.add_cell("a1", CellKind::Input);
+    let q1 = b.add_cell("q1", CellKind::Output);
+    let a2 = b.add_cell("a2", CellKind::Input);
+    let q2 = b.add_cell("q2", CellKind::Output);
+    b.connect("short", a1, [(q1, 0)]).unwrap();
+    b.connect("long", a2, [(q2, 0)]).unwrap();
+    let nl = b.build().unwrap();
+    let arch = Architecture::builder()
+        .rows(1)
+        .cols(8)
+        .io_columns(3)
+        .segmentation(SegmentationScheme::Explicit {
+            tracks: vec![vec![4]],
+        })
+        .build()
+        .unwrap();
+    let p = place_bottom(&arch, &nl, &[("a1", 1), ("q1", 2), ("a2", 0), ("q2", 6)]);
+    let short = nl.net_by_name("short").unwrap();
+    let long = nl.net_by_name("long").unwrap();
+
+    let mut st = RoutingState::new(&arch, &nl);
+    let cfg = RouterConfig::default();
+    // The detailed pass routes the longer span first (span 3..6 needs both
+    // segments), so the short net is the one squeezed out.
+    st.route_incremental(&arch, &nl, &p, &cfg);
+    assert_eq!(st.net_state(long), NetRouteState::Detailed);
+    assert_eq!(st.net_state(short), NetRouteState::Global);
+
+    // Free the long net and give the still-queued short net first pick
+    // (a detailed-only pass: the ripped long net sits in U_G, not U_D).
+    st.rip_up(long);
+    rowfpga::route::detail_route_pass(&mut st, &arch, &cfg);
+    assert_eq!(st.net_state(short), NetRouteState::Detailed);
+    assert_eq!(st.net_state(long), NetRouteState::Unrouted);
+    // A full incremental pass now brings the long net back as the failure.
+    st.route_incremental(&arch, &nl, &p, &cfg);
+    assert_eq!(st.net_state(long), NetRouteState::Global);
+    verify_routing(&st, &arch, &nl, &p).unwrap();
+}
+
+#[test]
+fn vertical_exhaustion_is_reported_as_global_failure() {
+    // Two nets must cross the row, but each column offers one vertical
+    // track; both nets' bounding boxes cover the same two columns only if
+    // placed tightly — so starve verticals chip-wide instead: zero capacity
+    // is impossible (builder floor of 1), so use 1 track of span 2 on a
+    // 3-row chip, making full crossings impossible for spans > 3 channels.
+    let mut b = Netlist::builder();
+    let a = b.add_cell("a", CellKind::Input);
+    let g = b.add_cell("g", CellKind::comb(1));
+    let q = b.add_cell("q", CellKind::Output);
+    b.connect("n1", a, [(g, 1)]).unwrap();
+    b.connect("n2", g, [(q, 0)]).unwrap();
+    let nl = b.build().unwrap();
+    let arch = Architecture::builder()
+        .rows(3)
+        .cols(8)
+        .io_columns(2)
+        .verticals(VerticalScheme::Uniform {
+            tracks_per_column: 1,
+            span: 2,
+        })
+        .build()
+        .unwrap();
+    // Chains of span-2 segments overlap by one channel, so crossing all 4
+    // channels takes 3 chained segments — legal. Exhaust them: the router
+    // caps chains at max_vchain; set it to 1 so multi-hop chains are
+    // impossible and any net spanning > 2 channels fails globally.
+    let cfg = RouterConfig {
+        max_vchain: 1,
+        ..RouterConfig::default()
+    };
+    let mut p = Placement::random(&arch, &nl, 1).unwrap();
+    // Put a at row 0 and g at row 2 so n1 must cross at least two rows.
+    let a_site = arch
+        .geometry()
+        .sites()
+        .find(|s| s.row().index() == 0 && s.kind() == rowfpga::arch::SiteKind::Io)
+        .unwrap()
+        .id();
+    let g_site = arch
+        .geometry()
+        .sites()
+        .find(|s| s.row().index() == 2 && s.kind() == rowfpga::arch::SiteKind::Logic)
+        .unwrap()
+        .id();
+    let fa = p.site_of(a);
+    if fa != a_site {
+        p.swap_sites(&arch, fa, a_site);
+    }
+    if p.site_of(g) != g_site {
+        p.swap_sites(&arch, p.site_of(g), g_site);
+    }
+    // force bottom pinmaps so n1 spans channels 0..2 (3 channels)
+    for cell in [a, g] {
+        let kind = nl.cell(cell).kind();
+        let idx = p
+            .palette(kind)
+            .iter()
+            .position(|pm| pm.sides().iter().all(|s| *s == PortSide::Bottom))
+            .unwrap() as u16;
+        p.set_pinmap(&nl, cell, idx);
+    }
+    let mut st = RoutingState::new(&arch, &nl);
+    route_batch(&mut st, &arch, &nl, &p, &cfg, 2);
+    assert!(
+        st.globally_unrouted() > 0,
+        "span-3 net with chain cap 1 must fail globally"
+    );
+    assert_eq!(st.net_state(nl.net_by_name("n1").unwrap()), NetRouteState::Unrouted);
+    verify_routing(&st, &arch, &nl, &p).unwrap();
+}
