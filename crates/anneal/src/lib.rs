@@ -27,6 +27,8 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use rowfpga_obs::{Event, Obs, TemperatureRecord};
+
 /// A combinatorial problem optimizable by the annealing engine.
 pub trait AnnealProblem {
     /// Record of one applied move, carrying whatever the problem needs to
@@ -165,13 +167,27 @@ pub struct AnnealOutcome {
 pub fn anneal<P: AnnealProblem>(
     problem: &mut P,
     config: &AnnealConfig,
+    observer: impl FnMut(&TemperatureStats),
+) -> AnnealOutcome {
+    anneal_obs(problem, config, observer, &Obs::disabled())
+}
+
+/// Like [`anneal`], with an observability handle: phase spans (`warmup`,
+/// `temperature`), move counters and one structured
+/// [`Event::Temperature`] per temperature flow into `obs`. A disabled
+/// handle makes this identical to [`anneal`].
+pub fn anneal_obs<P: AnnealProblem>(
+    problem: &mut P,
+    config: &AnnealConfig,
     mut observer: impl FnMut(&TemperatureStats),
+    obs: &Obs,
 ) -> AnnealOutcome {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let mut total_moves = 0usize;
     let mut best_cost = problem.cost();
 
     // Warmup random walk: accept everything, observe uphill deltas.
+    obs.span_start("anneal.warmup");
     let mut uphill_sum = 0.0f64;
     let mut uphill_count = 0usize;
     let mut abs_sum = 0.0f64;
@@ -186,6 +202,8 @@ pub fn anneal<P: AnnealProblem>(
         abs_sum += delta.abs();
         best_cost = best_cost.min(problem.cost());
     }
+    obs.add("anneal.warmup_moves", config.warmup_moves as u64);
+    obs.span_end("anneal.warmup");
     let avg_uphill = if uphill_count > 0 {
         uphill_sum / uphill_count as f64
     } else if config.warmup_moves > 0 {
@@ -200,6 +218,7 @@ pub fn anneal<P: AnnealProblem>(
     let mut stalled = 0usize;
 
     for index in 0..config.max_temps {
+        obs.span_start("anneal.temperature");
         let mut accepted = 0usize;
         let mut sum = 0.0f64;
         let mut sum_sq = 0.0f64;
@@ -236,7 +255,21 @@ pub fn anneal<P: AnnealProblem>(
         };
         problem.on_temperature(&stats);
         observer(&stats);
+        obs.add("anneal.moves", stats.moves as u64);
+        obs.add("anneal.accepted", stats.accepted as u64);
+        obs.add("anneal.rejected", (stats.moves - stats.accepted) as u64);
+        obs.emit(Event::Temperature(TemperatureRecord {
+            index: stats.index,
+            temperature: stats.temperature,
+            moves: stats.moves,
+            accepted: stats.accepted,
+            mean_cost: stats.mean_cost,
+            std_cost: stats.std_cost,
+            current_cost: stats.current_cost,
+            best_cost: stats.best_cost,
+        }));
         history.push(stats);
+        obs.span_end("anneal.temperature");
 
         // Frozen test.
         if stats.acceptance_ratio() < config.min_acceptance {
@@ -300,7 +333,7 @@ mod tests {
             let step = if rng.gen_bool(0.5) { 1 } else { -1 };
             let before = self.cost_of();
             self.x[i] += step;
-            (( i, step), self.cost_of() - before)
+            ((i, step), self.cost_of() - before)
         }
 
         fn undo(&mut self, (i, step): Self::Applied) {
@@ -380,6 +413,54 @@ mod tests {
             last.acceptance_ratio() < first.acceptance_ratio(),
             "acceptance must fall as the walk freezes"
         );
+    }
+
+    #[test]
+    fn obs_handle_records_moves_spans_and_temperature_events() {
+        use std::cell::Cell;
+        use std::rc::Rc;
+
+        struct CountTemps(Rc<Cell<usize>>);
+        impl rowfpga_obs::Recorder for CountTemps {
+            fn record(&mut self, event: &Event) {
+                if matches!(event, Event::Temperature(_)) {
+                    self.0.set(self.0.get() + 1);
+                }
+            }
+        }
+
+        let temps_seen = Rc::new(Cell::new(0usize));
+        let obs = Obs::with_sink(Box::new(CountTemps(temps_seen.clone())));
+        let mut toy = Toy::new(6);
+        let out = anneal_obs(&mut toy, &AnnealConfig::fast(), |_| {}, &obs);
+
+        assert_eq!(temps_seen.get(), out.temperatures);
+        obs.with_session(|s| {
+            assert_eq!(
+                s.metrics.counter("anneal.moves") + s.metrics.counter("anneal.warmup_moves"),
+                out.total_moves as u64
+            );
+            assert_eq!(
+                s.metrics.counter("anneal.accepted") + s.metrics.counter("anneal.rejected"),
+                s.metrics.counter("anneal.moves")
+            );
+            assert_eq!(s.profiler.total("anneal.warmup").unwrap().calls, 1);
+            assert_eq!(
+                s.profiler.total("anneal.temperature").unwrap().calls,
+                out.temperatures as u64
+            );
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn disabled_obs_changes_nothing() {
+        let run = |obs: &Obs| {
+            let mut toy = Toy::new(6);
+            let out = anneal_obs(&mut toy, &AnnealConfig::fast(), |_| {}, obs);
+            (out.final_cost, out.total_moves, toy.x)
+        };
+        assert_eq!(run(&Obs::disabled()), run(&Obs::metrics_only()));
     }
 
     #[test]

@@ -480,8 +480,10 @@ mod tests {
 
     #[test]
     fn rejects_invalid_delay_params() {
-        let mut p = DelayParams::default();
-        p.t_comb = f64::INFINITY;
+        let p = DelayParams {
+            t_comb: f64::INFINITY,
+            ..DelayParams::default()
+        };
         assert_eq!(
             Architecture::builder().delay(p).build().unwrap_err(),
             BuildArchitectureError::InvalidDelayParams

@@ -111,14 +111,20 @@ mod tests {
 
     #[test]
     fn invalid_params_are_detected() {
-        let mut p = DelayParams::default();
-        p.t_comb = 0.0;
+        let p = DelayParams {
+            t_comb: 0.0,
+            ..DelayParams::default()
+        };
         assert!(!p.is_valid());
-        let mut q = DelayParams::default();
-        q.r_wire = f64::NAN;
+        let q = DelayParams {
+            r_wire: f64::NAN,
+            ..DelayParams::default()
+        };
         assert!(!q.is_valid());
-        let mut r = DelayParams::default();
-        r.c_input = -1.0;
+        let r = DelayParams {
+            c_input: -1.0,
+            ..DelayParams::default()
+        };
         assert!(!r.is_valid());
     }
 }

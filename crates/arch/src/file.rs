@@ -66,7 +66,11 @@ fn bad(line: usize, reason: impl Into<String>) -> ParseArchitectureError {
     }
 }
 
-fn num<T: std::str::FromStr>(line: usize, field: &str, v: Option<&str>) -> Result<T, ParseArchitectureError> {
+fn num<T: std::str::FromStr>(
+    line: usize,
+    field: &str,
+    v: Option<&str>,
+) -> Result<T, ParseArchitectureError> {
     let v = v.ok_or_else(|| bad(line, format!("`{field}` needs a value")))?;
     v.parse()
         .map_err(|_| bad(line, format!("bad value `{v}` for `{field}`")))
@@ -93,12 +97,9 @@ pub fn parse_architecture(text: &str) -> Result<Architecture, ParseArchitectureE
         match directive {
             "rows" => builder = builder.rows(num(line_no, "rows", f.next())?),
             "cols" => builder = builder.cols(num(line_no, "cols", f.next())?),
-            "io_columns" => {
-                builder = builder.io_columns(num(line_no, "io_columns", f.next())?)
-            }
+            "io_columns" => builder = builder.io_columns(num(line_no, "io_columns", f.next())?),
             "tracks_per_channel" => {
-                builder =
-                    builder.tracks_per_channel(num(line_no, "tracks_per_channel", f.next())?)
+                builder = builder.tracks_per_channel(num(line_no, "tracks_per_channel", f.next())?)
             }
             "segmentation" => {
                 let kind = f
@@ -177,9 +178,7 @@ pub fn parse_architecture(text: &str) -> Result<Architecture, ParseArchitectureE
                     "t_comb" => delay.t_comb = value,
                     "t_seq" => delay.t_seq = value,
                     "t_io" => delay.t_io = value,
-                    other => {
-                        return Err(bad(line_no, format!("unknown delay field `{other}`")))
-                    }
+                    other => return Err(bad(line_no, format!("unknown delay field `{other}`"))),
                 }
             }
             other => return Err(bad(line_no, format!("unknown directive `{other}`"))),
@@ -215,12 +214,7 @@ pub fn write_architecture(arch: &Architecture) -> String {
         SegmentationScheme::Explicit { tracks } => {
             let spec: Vec<String> = tracks
                 .iter()
-                .map(|t| {
-                    t.iter()
-                        .map(usize::to_string)
-                        .collect::<Vec<_>>()
-                        .join(",")
-                })
+                .map(|t| t.iter().map(usize::to_string).collect::<Vec<_>>().join(","))
                 .collect();
             let _ = writeln!(out, "segmentation explicit {}", spec.join("|"));
         }

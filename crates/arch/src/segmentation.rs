@@ -95,9 +95,7 @@ impl Track {
         }
         // Tracks rarely exceed a few dozen segments; binary search keeps the
         // inner routing loop cheap anyway.
-        let i = self
-            .segments
-            .partition_point(|s| s.end() <= c);
+        let i = self.segments.partition_point(|s| s.end() <= c);
         Some(i)
     }
 }

@@ -247,11 +247,7 @@ mod tests {
             span: 4,
         };
         let by_col = scheme.build(5, 9);
-        let mut ids: Vec<usize> = by_col
-            .iter()
-            .flatten()
-            .map(|s| s.id().index())
-            .collect();
+        let mut ids: Vec<usize> = by_col.iter().flatten().map(|s| s.id().index()).collect();
         ids.sort_unstable();
         for (i, id) in ids.iter().enumerate() {
             assert_eq!(i, *id);

@@ -96,7 +96,7 @@ mod tests {
         let a = b.add_cell("a", CellKind::Input);
         let mut prev = a;
         for i in 0..3 {
-            let g = b.add_cell(format!("g{i}"), CellKind::comb(if i == 0 { 1 } else { 1 }));
+            let g = b.add_cell(format!("g{i}"), CellKind::comb(1));
             b.connect(format!("n{i}"), prev, [(g, 1)]).unwrap();
             prev = g;
         }

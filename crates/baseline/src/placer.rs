@@ -72,10 +72,9 @@ impl<'a> PlacerProblem<'a> {
         move_weights: MoveWeights,
         seed: u64,
     ) -> Result<PlacerProblem<'a>, LayoutError> {
-        let placement =
-            Placement::random(arch, netlist, seed).map_err(LayoutError::Placement)?;
-        let crits = crate::criticality::net_criticalities(netlist)
-            .map_err(LayoutError::CombLoop)?;
+        let placement = Placement::random(arch, netlist, seed).map_err(LayoutError::Placement)?;
+        let crits =
+            crate::criticality::net_criticalities(netlist).map_err(LayoutError::CombLoop)?;
         let net_weights: Vec<f64> = crits
             .iter()
             .map(|c| 1.0 + config.timing_factor * c * c)
@@ -149,9 +148,8 @@ impl AnnealProblem for PlacerProblem<'_> {
             let old = self.bboxes[net.index()];
             let new = NetBbox::compute(self.arch, self.netlist, &self.placement, net);
             let w = self.net_weights[net.index()];
-            delta += w
-                * (new.hpwl(self.config.vertical_weight)
-                    - old.hpwl(self.config.vertical_weight));
+            delta +=
+                w * (new.hpwl(self.config.vertical_weight) - old.hpwl(self.config.vertical_weight));
             self.congestion.remove_net(&old);
             self.congestion.add_net(&new);
             self.bboxes[net.index()] = new;
@@ -215,9 +213,14 @@ mod tests {
     #[test]
     fn incremental_cost_matches_recomputation() {
         let (arch, nl) = fixture();
-        let mut p =
-            PlacerProblem::new(&arch, &nl, PlacerConfig::default(), MoveWeights::default(), 3)
-                .unwrap();
+        let mut p = PlacerProblem::new(
+            &arch,
+            &nl,
+            PlacerConfig::default(),
+            MoveWeights::default(),
+            3,
+        )
+        .unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let mut cost = p.cost();
         for i in 0..300 {
@@ -239,11 +242,19 @@ mod tests {
     #[test]
     fn undo_restores_placement_and_cost() {
         let (arch, nl) = fixture();
-        let mut p =
-            PlacerProblem::new(&arch, &nl, PlacerConfig::default(), MoveWeights::default(), 3)
-                .unwrap();
+        let mut p = PlacerProblem::new(
+            &arch,
+            &nl,
+            PlacerConfig::default(),
+            MoveWeights::default(),
+            3,
+        )
+        .unwrap();
         let cost0 = p.cost();
-        let sites: Vec<_> = nl.cells().map(|(id, _)| p.placement().site_of(id)).collect();
+        let sites: Vec<_> = nl
+            .cells()
+            .map(|(id, _)| p.placement().site_of(id))
+            .collect();
         let mut rng = StdRng::seed_from_u64(2);
         for _ in 0..200 {
             let (applied, _) = p.propose_and_apply(&mut rng);
@@ -258,9 +269,14 @@ mod tests {
     #[test]
     fn annealing_reduces_wirelength() {
         let (arch, nl) = fixture();
-        let mut p =
-            PlacerProblem::new(&arch, &nl, PlacerConfig::default(), MoveWeights::default(), 3)
-                .unwrap();
+        let mut p = PlacerProblem::new(
+            &arch,
+            &nl,
+            PlacerConfig::default(),
+            MoveWeights::default(),
+            3,
+        )
+        .unwrap();
         let initial = p.cost();
         let out = anneal(&mut p, &AnnealConfig::fast(), |_| {});
         assert!(

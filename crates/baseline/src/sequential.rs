@@ -3,9 +3,10 @@
 
 use std::time::Instant;
 
-use rowfpga_anneal::{anneal, AnnealConfig};
+use rowfpga_anneal::{anneal_obs, AnnealConfig};
 use rowfpga_arch::Architecture;
 use rowfpga_netlist::Netlist;
+use rowfpga_obs::{Event, Json, Obs, RerouteRecord};
 use rowfpga_place::MoveWeights;
 use rowfpga_route::{route_batch, RouterConfig, RoutingState};
 use rowfpga_timing::Sta;
@@ -95,12 +96,48 @@ impl SequentialPlaceRoute {
     ///
     /// Returns [`LayoutError`] if the design does not fit the chip or has a
     /// combinational loop.
-    pub fn run(
+    pub fn run(&self, arch: &Architecture, netlist: &Netlist) -> Result<LayoutResult, LayoutError> {
+        self.run_observed(arch, netlist, "design", &Obs::disabled())
+    }
+
+    /// [`run`](Self::run) with an observability handle: the journal sees a
+    /// `run_start` header, one event per placer temperature, a `reroute`
+    /// event for the batch routing of the frozen placement, and a `run_end`
+    /// footer; the batch-route and STA phases are span-timed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] if the design does not fit the chip or has a
+    /// combinational loop.
+    pub fn run_observed(
         &self,
         arch: &Architecture,
         netlist: &Netlist,
+        label: &str,
+        obs: &Obs,
     ) -> Result<LayoutResult, LayoutError> {
         let start = Instant::now();
+        obs.emit(Event::RunStart {
+            flow: "sequential".into(),
+            benchmark: label.into(),
+            seed: self.config.placement_seed,
+            config: vec![
+                ("cells".into(), Json::Num(netlist.num_cells() as f64)),
+                ("nets".into(), Json::Num(netlist.num_nets() as f64)),
+                (
+                    "placement_seed".into(),
+                    Json::Num(self.config.placement_seed as f64),
+                ),
+                (
+                    "anneal_seed".into(),
+                    Json::Num(self.config.anneal.seed as f64),
+                ),
+                (
+                    "route_passes".into(),
+                    Json::Num(self.config.route_passes as f64),
+                ),
+            ],
+        });
         let mut problem = PlacerProblem::new(
             arch,
             netlist,
@@ -112,23 +149,38 @@ impl SequentialPlaceRoute {
         if anneal_cfg.moves_per_temp == 0 {
             anneal_cfg.moves_per_temp = AnnealConfig::moves_for_cells(netlist.num_cells(), 1.0);
         }
-        let outcome = anneal(&mut problem, &anneal_cfg, |_| {});
+        obs.span_start("place.anneal");
+        let outcome = anneal_obs(&mut problem, &anneal_cfg, |_| {}, obs);
+        obs.span_end("place.anneal");
         let placement = problem.into_placement();
 
         let mut routing = RoutingState::new(arch, netlist);
-        route_batch(
-            &mut routing,
-            arch,
-            netlist,
-            &placement,
-            &self.config.router,
-            self.config.route_passes,
-        );
+        let batch = obs.span("route.batch", || {
+            route_batch(
+                &mut routing,
+                arch,
+                netlist,
+                &placement,
+                &self.config.router,
+                self.config.route_passes,
+            )
+        });
+        obs.add("route.detail_failures", batch.detail_failures as u64);
+        obs.emit(Event::Reroute {
+            scope: "batch".into(),
+            stats: RerouteRecord {
+                globally_routed: batch.globally_routed,
+                detail_routed: batch.detail_routed,
+                detail_failures: batch.detail_failures,
+            },
+        });
 
-        let sta = Sta::analyze(arch, netlist, &placement, &routing)
-            .map_err(LayoutError::CombLoop)?;
+        let sta = obs.span("final_sta", || {
+            Sta::analyze(arch, netlist, &placement, &routing)
+        });
+        let sta = sta.map_err(LayoutError::CombLoop)?;
         let critical_path = sta.critical_path(netlist);
-        Ok(LayoutResult {
+        let result = LayoutResult {
             fully_routed: routing.is_fully_routed(),
             globally_unrouted: routing.globally_unrouted(),
             incomplete: routing.incomplete(),
@@ -140,7 +192,20 @@ impl SequentialPlaceRoute {
             runtime: start.elapsed(),
             placement,
             routing,
-        })
+        };
+        obs.emit(Event::RunEnd {
+            cost: outcome.best_cost,
+            worst_delay: result.worst_delay,
+            unrouted: result.incomplete,
+            total_moves: result.total_moves,
+            temperatures: result.temperatures,
+            runtime_sec: result.runtime.as_secs_f64(),
+            metrics: obs
+                .with_session(|s| s.metrics.to_json())
+                .unwrap_or(Json::Null),
+        });
+        obs.flush();
+        Ok(result)
     }
 }
 
@@ -178,7 +243,10 @@ mod tests {
         assert!(result.fully_routed, "left {} incomplete", result.incomplete);
         assert!(result.worst_delay > 0.0);
         verify_routing(&result.routing, &arch, &nl, &result.placement).unwrap();
-        assert!(result.dynamics.is_empty(), "sequential flow has no dynamics");
+        assert!(
+            result.dynamics.is_empty(),
+            "sequential flow has no dynamics"
+        );
     }
 
     #[test]
@@ -200,6 +268,47 @@ mod tests {
             total_placed < total_random,
             "placed {total_placed} vs random {total_random}"
         );
+    }
+
+    #[test]
+    fn observed_sequential_run_journals_the_batch_route() {
+        use rowfpga_obs::{Event, Recorder};
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        #[derive(Default)]
+        struct Capture(Rc<RefCell<Vec<&'static str>>>);
+        impl Recorder for Capture {
+            fn record(&mut self, event: &Event) {
+                self.0.borrow_mut().push(match event {
+                    Event::RunStart { .. } => "run_start",
+                    Event::Temperature(_) => "temperature",
+                    Event::Dynamics(_) => "dynamics",
+                    Event::Reroute { .. } => "reroute",
+                    Event::RunEnd { .. } => "run_end",
+                });
+            }
+        }
+
+        let (arch, nl) = fixture();
+        let kinds = Rc::new(RefCell::new(Vec::new()));
+        let obs = Obs::with_sink(Box::new(Capture(kinds.clone())));
+        let observed = SequentialPlaceRoute::new(SeqPrConfig::fast())
+            .run_observed(&arch, &nl, "fixture", &obs)
+            .unwrap();
+        let kinds = kinds.borrow();
+        assert_eq!(kinds.first(), Some(&"run_start"));
+        assert_eq!(kinds.last(), Some(&"run_end"));
+        assert!(kinds.contains(&"temperature"));
+        assert!(kinds.contains(&"reroute"));
+        assert!(!kinds.contains(&"dynamics"), "no per-move routing dynamics");
+
+        // Observation must not perturb the layout.
+        let plain = SequentialPlaceRoute::new(SeqPrConfig::fast())
+            .run(&arch, &nl)
+            .unwrap();
+        assert_eq!(plain.worst_delay, observed.worst_delay);
+        assert_eq!(plain.total_moves, observed.total_moves);
     }
 
     #[test]

@@ -1,0 +1,44 @@
+//! Criterion benchmark of observability overhead: the simultaneous flow at
+//! smoke effort with the disabled handle (the default every caller gets),
+//! metrics-only, and a full JSONL journal. The disabled handle must show no
+//! measurable slowdown against the un-instrumented baseline it replaced;
+//! the journal bounds the cost of full observability.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use rowfpga_bench::{problem_for, run_flow_observed, Effort, Flow};
+use rowfpga_core::SizingConfig;
+use rowfpga_netlist::PaperBenchmark;
+use rowfpga_obs::{Obs, RunJournal};
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let problem = problem_for(PaperBenchmark::S1, &SizingConfig::default());
+    let run = |obs: &Obs| {
+        run_flow_observed(
+            Flow::Simultaneous,
+            &problem.arch,
+            &problem.netlist,
+            Effort::Fast,
+            1,
+            "s1",
+            obs,
+        )
+        .unwrap()
+    };
+    let mut group = c.benchmark_group("obs_overhead_s1_fast");
+    group.sample_size(10);
+    group.bench_function("disabled", |b| b.iter(|| run(&Obs::disabled())));
+    group.bench_function("metrics_only", |b| b.iter(|| run(&Obs::metrics_only())));
+    group.bench_function("journal_to_sink", |b| {
+        b.iter(|| {
+            // Journal into an in-memory buffer: measures event construction
+            // and serialization without disk noise.
+            let obs = Obs::with_sink(Box::new(RunJournal::new(Vec::new())));
+            run(&obs)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

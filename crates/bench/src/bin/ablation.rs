@@ -12,9 +12,7 @@
 //! Usage: `ablation [--fast] [--seed N]`
 
 use rowfpga_bench::{problem_for, Effort};
-use rowfpga_core::{
-    CostConfig, SimPrConfig, SimultaneousPlaceRoute, SizingConfig,
-};
+use rowfpga_core::{CostConfig, SimPrConfig, SimultaneousPlaceRoute, SizingConfig};
 use rowfpga_netlist::PaperBenchmark;
 use rowfpga_place::MoveWeights;
 use rowfpga_route::RouterConfig;

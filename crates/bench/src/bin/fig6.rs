@@ -1,8 +1,11 @@
 //! Reproduces **Figure 6** (annealing dynamics).
 //!
-//! Runs the simultaneous flow on one benchmark and plots, per temperature:
-//! the fraction of cells perturbed, the fraction of nets globally unrouted
-//! and the fraction of nets unrouted. The expected character: vigorous
+//! Runs the simultaneous flow on one benchmark with the structured run
+//! journal attached, then regenerates the figure *from the journal*: the
+//! JSONL artifact (`results/fig6.jsonl` by default) is parsed back and the
+//! per-temperature dynamics events become the plotted series — the
+//! fraction of cells perturbed, the fraction of nets globally unrouted and
+//! the fraction of nets unrouted. The expected character: vigorous
 //! placement activity that falls off; global routing converging by
 //! mid-run; detailed unroutability (the gap between the two net curves)
 //! peaking mid-run and converging to zero — a fully routed solution.
@@ -12,13 +15,55 @@
 //! figure illustrates is actually exercised; on a generous fabric all nets
 //! route immediately and the net curves sit at zero.
 //!
-//! Usage: `fig6 [--fast] [--seed N] [--tracks T] [--vtracks V] [--csv FILE]`
+//! Usage: `fig6 [--fast] [--seed N] [--tracks T] [--vtracks V]
+//!              [--journal FILE] [--csv FILE]`
 
 use std::io::Write as _;
 
-use rowfpga_bench::{ascii_chart, problem_for, run_flow, Effort, Flow};
+use rowfpga_bench::{ascii_chart, problem_for, results_dir, run_flow_observed, Effort, Flow};
 use rowfpga_core::SizingConfig;
 use rowfpga_netlist::PaperBenchmark;
+use rowfpga_obs::{json, DynamicsRecord, Event, Obs, RunJournal};
+
+/// The dynamics series recovered from a run journal, as fractions in
+/// [0, 1] against the design's cell and net counts.
+struct JournalDynamics {
+    temps: Vec<f64>,
+    cells_perturbed: Vec<f64>,
+    nets_globally_unrouted: Vec<f64>,
+    nets_unrouted: Vec<f64>,
+    records: Vec<DynamicsRecord>,
+}
+
+/// Parses the JSONL journal and extracts the dynamics events.
+fn dynamics_from_journal(text: &str, n_cells: usize, n_nets: usize) -> JournalDynamics {
+    let docs = json::parse_lines(text).expect("journal parses as JSONL");
+    let records: Vec<DynamicsRecord> = docs
+        .iter()
+        .filter_map(|d| match Event::from_json(d) {
+            Some(Event::Dynamics(rec)) => Some(rec),
+            _ => None,
+        })
+        .collect();
+    let n_cells = n_cells.max(1) as f64;
+    let n_nets = n_nets.max(1) as f64;
+    JournalDynamics {
+        temps: records.iter().map(|r| r.temperature).collect(),
+        cells_perturbed: records
+            .iter()
+            .map(|r| r.cells_perturbed as f64 / n_cells)
+            .collect(),
+        nets_globally_unrouted: records
+            .iter()
+            .map(|r| r.nets_globally_unrouted as f64 / n_nets)
+            .collect(),
+        nets_unrouted: records
+            .iter()
+            .map(|r| r.nets_unrouted as f64 / n_nets)
+            .collect(),
+        records,
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -38,6 +83,12 @@ fn main() {
         .position(|a| a == "--csv")
         .and_then(|i| args.get(i + 1))
         .cloned();
+    let journal_path = args
+        .iter()
+        .position(|a| a == "--journal")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("fig6.jsonl"));
 
     let tracks = args
         .iter()
@@ -64,32 +115,41 @@ fn main() {
         "Figure 6 reproduction: annealing dynamics of the simultaneous flow on {} ({} tracks/channel, effort: {effort:?}, seed: {seed})\n",
         problem.name, tracks
     );
-    let result = run_flow(
+
+    let file = std::fs::File::create(&journal_path).expect("create journal file");
+    let obs = Obs::with_sink(Box::new(RunJournal::new(std::io::BufWriter::new(file))));
+    let result = run_flow_observed(
         Flow::Simultaneous,
         &problem.arch,
         &problem.netlist,
         effort,
         seed,
+        problem.name,
+        &obs,
     )
     .expect("flow failed");
+    println!("run journal written to {}", journal_path.display());
 
-    let samples = result.dynamics.samples();
+    // Regenerate the figure from the journal artifact, not the in-memory
+    // trace: the plot is reproducible later from the JSONL alone.
+    let text = std::fs::read_to_string(&journal_path).expect("read journal back");
+    let dyns = dynamics_from_journal(
+        &text,
+        problem.netlist.num_cells(),
+        problem.netlist.num_nets(),
+    );
+    assert_eq!(
+        dyns.records.len(),
+        result.dynamics.len(),
+        "journal must carry every dynamics sample"
+    );
     let series = [
-        (
-            "%cells perturbed",
-            samples.iter().map(|s| s.cells_perturbed).collect::<Vec<_>>(),
-        ),
+        ("%cells perturbed", dyns.cells_perturbed.clone()),
         (
             "%nets globally unrouted",
-            samples
-                .iter()
-                .map(|s| s.nets_globally_unrouted)
-                .collect::<Vec<_>>(),
+            dyns.nets_globally_unrouted.clone(),
         ),
-        (
-            "%nets unrouted",
-            samples.iter().map(|s| s.nets_unrouted).collect::<Vec<_>>(),
-        ),
+        ("%nets unrouted", dyns.nets_unrouted.clone()),
     ];
     println!("{}", ascii_chart(&series, 72, 20));
     println!(
@@ -100,12 +160,24 @@ fn main() {
         result.runtime
     );
 
-    let csv = result.dynamics.to_csv();
-    if let Some(path) = csv_path {
-        let mut f = std::fs::File::create(&path).expect("create csv file");
-        f.write_all(csv.as_bytes()).expect("write csv");
-        println!("per-temperature CSV written to {path}");
-    } else {
-        println!("\nper-temperature CSV (pass --csv FILE to save):\n{csv}");
+    let mut csv = String::from(
+        "index,temperature,cells_perturbed,nets_globally_unrouted,nets_unrouted,worst_delay,cost\n",
+    );
+    for (i, r) in dyns.records.iter().enumerate() {
+        csv.push_str(&format!(
+            "{},{:.6},{:.6},{:.6},{:.6},{:.3},{:.6}\n",
+            r.index,
+            dyns.temps[i],
+            dyns.cells_perturbed[i],
+            dyns.nets_globally_unrouted[i],
+            dyns.nets_unrouted[i],
+            r.worst_delay,
+            r.cost
+        ));
     }
+    let csv_path =
+        csv_path.map_or_else(|| results_dir().join("fig6.csv"), std::path::PathBuf::from);
+    let mut f = std::fs::File::create(&csv_path).expect("create csv file");
+    f.write_all(csv.as_bytes()).expect("write csv");
+    println!("per-temperature CSV written to {}", csv_path.display());
 }

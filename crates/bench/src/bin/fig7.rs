@@ -3,10 +3,11 @@
 //!
 //! Usage: `fig7 [--fast] [--seed N] [--svg FILE] [--ascii]`
 //!
-//! `--svg FILE` writes the placed-and-routed chip as an SVG plot — the
-//! same kind of picture the paper prints as Figure 7.
+//! The placed-and-routed chip is written as an SVG plot — the same kind of
+//! picture the paper prints as Figure 7 — to `results/fig7.svg` unless
+//! `--svg FILE` overrides the destination.
 
-use rowfpga_bench::{problem_for, run_flow, Effort, Flow};
+use rowfpga_bench::{problem_for, results_dir, run_flow, Effort, Flow};
 use rowfpga_core::SizingConfig;
 use rowfpga_netlist::PaperBenchmark;
 
@@ -70,20 +71,20 @@ fn main() {
         result.total_moves,
         result.runtime
     );
-    if let Some(path) = args
+    let svg_path = args
         .iter()
         .position(|a| a == "--svg")
         .and_then(|i| args.get(i + 1))
-    {
-        let svg = rowfpga_core::render_svg(
-            &problem.arch,
-            &problem.netlist,
-            &result.placement,
-            &result.routing,
-        );
-        std::fs::write(path, svg).expect("write svg");
-        println!("layout plot written to {path}");
-    }
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| results_dir().join("fig7.svg"));
+    let svg = rowfpga_core::render_svg(
+        &problem.arch,
+        &problem.netlist,
+        &result.placement,
+        &result.routing,
+    );
+    std::fs::write(&svg_path, svg).expect("write svg");
+    println!("layout plot written to {}", svg_path.display());
     if args.iter().any(|a| a == "--ascii") {
         println!(
             "{}",

@@ -27,7 +27,11 @@ fn main() {
         );
         for tracks in [36usize, 44, 52] {
             let arch = problem.arch.with_tracks(tracks).unwrap();
-            let flow = if sim { Flow::Simultaneous } else { Flow::Sequential };
+            let flow = if sim {
+                Flow::Simultaneous
+            } else {
+                Flow::Sequential
+            };
             let r = run_flow(flow, &arch, &problem.netlist, Effort::Fast, 1).unwrap();
             println!(
                 "  tracks={tracks}: routed={} G={} D={} T={:.1}ns ({:.1?})",

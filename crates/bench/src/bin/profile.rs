@@ -1,8 +1,9 @@
-//! Poor-man's profiler for the move cascade: times each stage of
+//! Profiler for the move cascade: times each stage of
 //! `propose → rip-up → global → detailed → timing` separately over many
-//! moves. Diagnostic tool, not part of the paper's evaluation.
-
-use std::time::Instant;
+//! moves, using the observability crate's span profiler and metrics
+//! registry. Diagnostic tool, not part of the paper's evaluation.
+//!
+//! Usage: `profile [--moves N] [--seed N]`
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -10,11 +11,26 @@ use rand::SeedableRng;
 use rowfpga_bench::problem_for;
 use rowfpga_core::SizingConfig;
 use rowfpga_netlist::PaperBenchmark;
+use rowfpga_obs::Obs;
 use rowfpga_place::{MoveGenerator, MoveWeights, Placement};
 use rowfpga_route::{detail_route_pass, global_route_pass, RouterConfig, RoutingState};
 use rowfpga_timing::TimingState;
 
 fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args
+        .iter()
+        .position(|a| a == "--moves")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000);
+    let seed: u64 = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2);
+
     let problem = problem_for(PaperBenchmark::Cse, &SizingConfig::default());
     let (arch, nl) = (&problem.arch, &problem.netlist);
     let cfg = RouterConfig::default();
@@ -23,60 +39,52 @@ fn main() {
     routing.route_incremental(arch, nl, &placement, &cfg);
     let mut timing = TimingState::new(arch, nl, &placement, &routing).unwrap();
     let mover = MoveGenerator::new(arch, nl, MoveWeights::default());
-    let mut rng = StdRng::seed_from_u64(2);
+    let mut rng = StdRng::seed_from_u64(seed);
 
-    let n = 20_000usize;
-    let mut t_prop = 0.0;
-    let mut t_rip = 0.0;
-    let mut t_glob = 0.0;
-    let mut t_det = 0.0;
-    let mut t_tim = 0.0;
-    let mut t_roll = 0.0;
+    let obs = Obs::metrics_only();
+    obs.span_start("cascade");
     for i in 0..n {
-        let t0 = Instant::now();
-        let mv = mover.propose(nl, &placement, &mut rng);
-        routing.begin_txn();
-        timing.begin_txn();
-        mv.apply(arch, nl, &mut placement);
-        let t1 = Instant::now();
-        for cell in mv.affected_cells(&placement) {
-            routing.rip_up_cell(nl, cell);
-        }
-        let t2 = Instant::now();
-        global_route_pass(&mut routing, arch, nl, &placement, &cfg);
-        let t3 = Instant::now();
-        detail_route_pass(&mut routing, arch, &cfg);
-        let t4 = Instant::now();
-        let changed = routing.touched_nets();
-        timing.update_nets(arch, nl, &placement, &routing, &changed);
-        let t5 = Instant::now();
+        let mv = obs.span("propose_apply", || {
+            let mv = mover.propose(nl, &placement, &mut rng);
+            routing.begin_txn();
+            timing.begin_txn();
+            mv.apply(arch, nl, &mut placement);
+            mv
+        });
+        obs.span("rip_up", || {
+            for cell in mv.affected_cells(&placement) {
+                routing.rip_up_cell(nl, cell);
+            }
+        });
+        let globally = obs.span("global_route", || {
+            global_route_pass(&mut routing, arch, nl, &placement, &cfg)
+        });
+        let detail = obs.span("detail_route", || {
+            detail_route_pass(&mut routing, arch, &cfg)
+        });
+        obs.span("timing_update", || {
+            let changed = routing.touched_nets();
+            timing.update_nets(arch, nl, &placement, &routing, &changed);
+        });
         // accept half, reject half
-        if i % 2 == 0 {
-            routing.commit();
-            timing.commit();
-        } else {
-            routing.rollback();
-            timing.rollback();
-            mv.undo(arch, nl, &mut placement);
-        }
-        let t6 = Instant::now();
-        t_prop += (t1 - t0).as_secs_f64();
-        t_rip += (t2 - t1).as_secs_f64();
-        t_glob += (t3 - t2).as_secs_f64();
-        t_det += (t4 - t3).as_secs_f64();
-        t_tim += (t5 - t4).as_secs_f64();
-        t_roll += (t6 - t5).as_secs_f64();
+        obs.span("commit_rollback", || {
+            if i % 2 == 0 {
+                routing.commit();
+                timing.commit();
+            } else {
+                routing.rollback();
+                timing.rollback();
+                mv.undo(arch, nl, &mut placement);
+            }
+        });
+        obs.observe("cascade.global_nets", globally as f64);
+        obs.observe("cascade.detail_assignments", detail.routed as f64);
+        obs.add("cascade.detail_failures", detail.failures as u64);
+        obs.observe("sta.frontier_cells", timing.last_frontier() as f64);
     }
-    let us = |t: f64| t / n as f64 * 1e6;
-    println!("per-move stage costs over {n} moves (half accepted):");
-    println!("  propose+apply : {:8.2} us", us(t_prop));
-    println!("  rip-up        : {:8.2} us", us(t_rip));
-    println!("  global route  : {:8.2} us", us(t_glob));
-    println!("  detail route  : {:8.2} us", us(t_det));
-    println!("  timing update : {:8.2} us", us(t_tim));
-    println!("  commit/rollbk : {:8.2} us", us(t_roll));
-    println!(
-        "  total         : {:8.2} us",
-        us(t_prop + t_rip + t_glob + t_det + t_tim + t_roll)
-    );
+    obs.span_end("cascade");
+    obs.add("cascade.moves", n as u64);
+
+    println!("per-move cascade profile over {n} moves (half accepted):\n");
+    println!("{}", obs.render_report().expect("metrics enabled"));
 }

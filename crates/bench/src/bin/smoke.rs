@@ -2,11 +2,13 @@
 //!
 //! Not part of the paper's evaluation; a fast sanity check that the
 //! simultaneous flow's advantage reproduces before running the full table
-//! binaries.
+//! binaries. Pass `--metrics` to also print each flow's phase/counter
+//! report from the observability layer.
 
-use rowfpga_bench::{problem_for, run_flow, Effort, Flow};
+use rowfpga_bench::{problem_for, run_flow_observed, Effort, Flow};
 use rowfpga_core::SizingConfig;
 use rowfpga_netlist::PaperBenchmark;
+use rowfpga_obs::Obs;
 
 fn main() {
     let effort = if std::env::args().any(|a| a == "--full") {
@@ -14,6 +16,7 @@ fn main() {
     } else {
         Effort::Fast
     };
+    let metrics = std::env::args().any(|a| a == "--metrics");
     let problem = problem_for(PaperBenchmark::Cse, &SizingConfig::default());
     println!(
         "design {} ({} cells, {} nets) on {}x{} chip, {} tracks/channel",
@@ -25,7 +28,21 @@ fn main() {
         problem.arch.tracks_per_channel(),
     );
     for flow in [Flow::Sequential, Flow::Simultaneous] {
-        let r = run_flow(flow, &problem.arch, &problem.netlist, effort, 1).unwrap();
+        let obs = if metrics {
+            Obs::metrics_only()
+        } else {
+            Obs::disabled()
+        };
+        let r = run_flow_observed(
+            flow,
+            &problem.arch,
+            &problem.netlist,
+            effort,
+            1,
+            problem.name,
+            &obs,
+        )
+        .unwrap();
         println!(
             "{flow:?}: routed={} (G={}, D={}), T={:.1} ns, {} temps, {} moves, {:.2?}",
             r.fully_routed,
@@ -36,5 +53,8 @@ fn main() {
             r.total_moves,
             r.runtime
         );
+        if let Some(report) = obs.render_report() {
+            println!("\n{report}");
+        }
     }
 }

@@ -11,7 +11,7 @@
 //! the per-design mean improvement, quantifying run-to-run noise beyond the
 //! paper's single-run numbers.
 
-use rowfpga_bench::{improvement_pct, paper_suite, run_flow, Effort, Flow};
+use rowfpga_bench::{improvement_pct, paper_suite, results_dir, run_flow, Effort, Flow};
 use rowfpga_core::SizingConfig;
 
 fn main() {
@@ -44,6 +44,8 @@ fn main() {
 
     let mut ratios = Vec::new();
     let mut improvements = Vec::new();
+    let mut csv =
+        String::from("design,cells,seq_delay_ns,sim_delay_ns,improvement_pct,runtime_ratio\n");
     for problem in paper_suite(&SizingConfig::default()) {
         // Average worst-case delay over the requested seeds (paper numbers
         // are single runs; more seeds quantify the annealing noise).
@@ -56,9 +58,8 @@ fn main() {
         let mut seq_d = 0usize;
         let mut sim_d = 0usize;
         for s in seed..seed + seeds {
-            let seq =
-                run_flow(Flow::Sequential, &problem.arch, &problem.netlist, effort, s)
-                    .expect("sequential flow failed");
+            let seq = run_flow(Flow::Sequential, &problem.arch, &problem.netlist, effort, s)
+                .expect("sequential flow failed");
             let sim = run_flow(
                 Flow::Simultaneous,
                 &problem.arch,
@@ -82,6 +83,15 @@ fn main() {
         improvements.push(imp);
         let ratio = sim_time.as_secs_f64() / seq_time.as_secs_f64().max(1e-9);
         ratios.push(ratio);
+        csv.push_str(&format!(
+            "{},{},{:.3},{:.3},{:.2},{:.3}\n",
+            problem.name,
+            problem.netlist.num_cells(),
+            seq_t / 1000.0,
+            sim_t / 1000.0,
+            imp,
+            ratio
+        ));
         println!(
             "{:<8} {:>7} {:>12.1} {:>12.1} {:>13.1}% {:>9.2?} {:>9.2?}{}",
             problem.name,
@@ -106,4 +116,7 @@ fn main() {
     println!(
         "runtime ratio simultaneous/sequential: {mean_ratio:.1}x   (paper: ~3-4x on 1994 hardware)"
     );
+    let path = results_dir().join("table1.csv");
+    std::fs::write(&path, csv).expect("write table1 csv");
+    println!("per-design CSV written to {}", path.display());
 }

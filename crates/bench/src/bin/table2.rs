@@ -7,7 +7,7 @@
 //!
 //! Usage: `table2 [--fast] [--seed N] [--start T]`
 
-use rowfpga_bench::{improvement_pct, min_tracks, paper_suite, Effort, Flow};
+use rowfpga_bench::{improvement_pct, min_tracks, paper_suite, results_dir, Effort, Flow};
 use rowfpga_core::SizingConfig;
 
 fn main() {
@@ -25,7 +25,9 @@ fn main() {
     };
     let seed = arg("--seed").unwrap_or(1);
     let sizing = SizingConfig::default();
-    let start = arg("--start").map(|t| t as usize).unwrap_or(sizing.tracks_per_channel);
+    let start = arg("--start")
+        .map(|t| t as usize)
+        .unwrap_or(sizing.tracks_per_channel);
 
     println!("Table 2 reproduction: minimum tracks/channel for 100% wirability");
     println!("(effort: {effort:?}, seed: {seed}, scanning down from {start} tracks)\n");
@@ -35,6 +37,7 @@ fn main() {
     );
 
     let mut reductions = Vec::new();
+    let mut csv = String::from("design,cells,seq_min_tracks,sim_min_tracks,reduction_pct\n");
     for problem in paper_suite(&sizing) {
         let seq = min_tracks(Flow::Sequential, &problem, effort, seed, start);
         let sim = min_tracks(Flow::Simultaneous, &problem, effort, seed, start);
@@ -42,6 +45,14 @@ fn main() {
             (Some(seq), Some(sim)) => {
                 let red = improvement_pct(seq as f64, sim as f64);
                 reductions.push(red);
+                csv.push_str(&format!(
+                    "{},{},{},{},{:.2}\n",
+                    problem.name,
+                    problem.netlist.num_cells(),
+                    seq,
+                    sim,
+                    red
+                ));
                 println!(
                     "{:<8} {:>7} {:>12} {:>12} {:>11.1}%",
                     problem.name,
@@ -64,4 +75,7 @@ fn main() {
         let mean = reductions.iter().sum::<f64>() / reductions.len() as f64;
         println!("\nmean track reduction: {mean:.1}%   (paper: 20-33%)");
     }
+    let path = results_dir().join("table2.csv");
+    std::fs::write(&path, csv).expect("write table2 csv");
+    println!("per-design CSV written to {}", path.display());
 }

@@ -22,10 +22,10 @@
 use rowfpga_arch::Architecture;
 use rowfpga_baseline::{SeqPrConfig, SequentialPlaceRoute};
 use rowfpga_core::{
-    size_architecture, LayoutError, LayoutResult, SimPrConfig, SimultaneousPlaceRoute,
-    SizingConfig,
+    size_architecture, LayoutError, LayoutResult, SimPrConfig, SimultaneousPlaceRoute, SizingConfig,
 };
 use rowfpga_netlist::{generate, paper_preset, Netlist, PaperBenchmark};
+use rowfpga_obs::Obs;
 
 /// One benchmark instance: the synthetic netlist and a chip sized for it.
 pub struct BenchProblem {
@@ -96,22 +96,58 @@ pub fn run_flow(
     effort: Effort,
     seed: u64,
 ) -> Result<LayoutResult, LayoutError> {
+    run_flow_observed(
+        flow,
+        arch,
+        netlist,
+        effort,
+        seed,
+        "design",
+        &Obs::disabled(),
+    )
+}
+
+/// [`run_flow`] with an observability handle (journal sink, metrics,
+/// phase spans) threaded through to the underlying flow driver.
+///
+/// # Errors
+///
+/// Propagates [`LayoutError`] from the flow.
+pub fn run_flow_observed(
+    flow: Flow,
+    arch: &Architecture,
+    netlist: &Netlist,
+    effort: Effort,
+    seed: u64,
+    label: &str,
+    obs: &Obs,
+) -> Result<LayoutResult, LayoutError> {
     match flow {
         Flow::Simultaneous => {
             let base = match effort {
                 Effort::Fast => SimPrConfig::fast(),
                 Effort::Full => SimPrConfig::default(),
             };
-            SimultaneousPlaceRoute::new(base.with_seed(seed)).run(arch, netlist)
+            SimultaneousPlaceRoute::new(base.with_seed(seed))
+                .run_observed(arch, netlist, label, obs)
         }
         Flow::Sequential => {
             let base = match effort {
                 Effort::Fast => SeqPrConfig::fast(),
                 Effort::Full => SeqPrConfig::default(),
             };
-            SequentialPlaceRoute::new(base.with_seed(seed)).run(arch, netlist)
+            SequentialPlaceRoute::new(base.with_seed(seed)).run_observed(arch, netlist, label, obs)
         }
     }
+}
+
+/// Ensures the shared experiment artifact directory (`results/` under the
+/// current working directory) exists and returns its path. Every bench
+/// binary writes its CSV/JSONL/plot artifacts here.
+pub fn results_dir() -> std::path::PathBuf {
+    let dir = std::path::PathBuf::from("results");
+    std::fs::create_dir_all(&dir).expect("create results/ directory");
+    dir
 }
 
 /// Finds the minimum tracks/channel at which `flow` still achieves 100 %

@@ -45,6 +45,10 @@ pub struct CommonOpts {
     pub ascii: bool,
     /// Print the critical-path report.
     pub report: bool,
+    /// Write a structured JSONL run journal here.
+    pub journal: Option<String>,
+    /// Print the metrics / phase-profile report after the run.
+    pub metrics: bool,
 }
 
 impl Default for CommonOpts {
@@ -58,6 +62,8 @@ impl Default for CommonOpts {
             svg: None,
             ascii: false,
             report: false,
+            journal: None,
+            metrics: false,
         }
     }
 }
@@ -167,12 +173,19 @@ USAGE:
                    [--seed N] [-o FILE]
   rowfpga layout   <netlist> [--blif] [--flow sim|seq] [--fast] [--seed N]
                    [--tracks N] [--arch FILE] [--svg FILE] [--ascii]
-                   [--report]
+                   [--report] [--journal FILE] [--metrics]
   rowfpga mintracks <netlist> [--blif] [--flow sim|seq] [--fast] [--seed N]
                    [--start N]
   rowfpga bench    <s1|cse|ex1|bw|s1a|big529> [--flow sim|seq] [--fast]
                    [--seed N] [--tracks N] [--svg FILE] [--ascii] [--report]
+                   [--journal FILE] [--metrics]
   rowfpga help
+
+OBSERVABILITY:
+  --journal FILE   write a structured JSONL run journal (run_start, one
+                   line per temperature, dynamics samples, reroute events,
+                   run_end with a metrics snapshot)
+  --metrics        print the phase/counter/histogram report after the run
 ";
 
 fn parse_num<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> Result<T, ArgError> {
@@ -227,6 +240,15 @@ fn parse_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), ArgError> 
             }
             "--ascii" => opts.ascii = true,
             "--report" => opts.report = true,
+            "--journal" => {
+                opts.journal = Some(
+                    args.get(i + 1)
+                        .ok_or_else(|| ArgError::MissingValue("--journal".into()))?
+                        .clone(),
+                );
+                i += 1;
+            }
+            "--metrics" => opts.metrics = true,
             "--blif" | "--start" => positional.push(a.clone()), // handled by callers
             _ if a.starts_with("--") => return Err(ArgError::UnknownFlag(a.clone())),
             _ => positional.push(a.clone()),
@@ -316,8 +338,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 .enumerate()
                 .find(|(i, p)| {
                     !p.starts_with("--")
-                        && positional.get(i.wrapping_sub(1)).map(String::as_str)
-                            != Some("--start")
+                        && positional.get(i.wrapping_sub(1)).map(String::as_str) != Some("--start")
                 })
                 .map(|(_, p)| p.clone())
                 .ok_or(ArgError::MissingInput)?;
@@ -385,9 +406,36 @@ mod tests {
                 assert_eq!(opts.tracks, Some(20));
                 assert_eq!(opts.svg.as_deref(), Some("o.svg"));
                 assert!(opts.report);
+                assert_eq!(opts.journal, None);
+                assert!(!opts.metrics);
             }
             _ => panic!("wrong command"),
         }
+    }
+
+    #[test]
+    fn parses_observability_flags() {
+        let c = parse_args(&v(&[
+            "bench",
+            "s1",
+            "--fast",
+            "--journal",
+            "run.jsonl",
+            "--metrics",
+        ]))
+        .unwrap();
+        match c {
+            Command::Bench { opts, .. } => {
+                assert_eq!(opts.journal.as_deref(), Some("run.jsonl"));
+                assert!(opts.metrics);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(matches!(
+            parse_args(&v(&["layout", "d.net", "--journal"])).unwrap_err(),
+            ArgError::MissingValue(_)
+        ));
+        assert!(USAGE.contains("--journal"));
     }
 
     #[test]

@@ -13,6 +13,7 @@ use rowfpga_netlist::{
     generate, paper_preset, parse_blif, parse_netlist, write_netlist, GenerateConfig, Netlist,
     PaperBenchmark,
 };
+use rowfpga_obs::{Obs, RunJournal};
 use rowfpga_timing::Sta;
 
 use crate::args::{Command, CommonOpts, FlowChoice, USAGE};
@@ -42,7 +43,10 @@ impl fmt::Display for CliError {
             CliError::Parse(e) => write!(f, "parse error: {e}"),
             CliError::Layout(e) => write!(f, "layout error: {e}"),
             CliError::UnknownBenchmark(n) => {
-                write!(f, "unknown benchmark `{n}` (try s1, cse, ex1, bw, s1a, big529)")
+                write!(
+                    f,
+                    "unknown benchmark `{n}` (try s1, cse, ex1, bw, s1a, big529)"
+                )
             }
             CliError::Unroutable { start } => {
                 write!(f, "design is unroutable even at {start} tracks/channel")
@@ -77,8 +81,8 @@ fn load_netlist(path: &str, blif: bool) -> Result<Netlist, CliError> {
 fn sized_arch(netlist: &Netlist, opts: &CommonOpts) -> Result<Architecture, CliError> {
     if let Some(path) = &opts.arch {
         let text = std::fs::read_to_string(path)?;
-        let arch = rowfpga_arch::parse_architecture(&text)
-            .map_err(|e| CliError::Parse(e.to_string()))?;
+        let arch =
+            rowfpga_arch::parse_architecture(&text).map_err(|e| CliError::Parse(e.to_string()))?;
         return match opts.tracks {
             Some(t) => arch
                 .with_tracks(t)
@@ -90,14 +94,30 @@ fn sized_arch(netlist: &Netlist, opts: &CommonOpts) -> Result<Architecture, CliE
     if let Some(t) = opts.tracks {
         sizing.tracks_per_channel = t;
     }
-    size_architecture(netlist, &sizing)
-        .map_err(|e| CliError::Parse(format!("sizing failed: {e}")))
+    size_architecture(netlist, &sizing).map_err(|e| CliError::Parse(format!("sizing failed: {e}")))
+}
+
+/// Builds the observability handle the common flags ask for: a JSONL
+/// journal sink for `--journal`, metrics-only for bare `--metrics`, and the
+/// zero-overhead disabled handle otherwise.
+fn build_obs(opts: &CommonOpts) -> Result<Obs, CliError> {
+    if let Some(path) = &opts.journal {
+        let file = std::fs::File::create(path)?;
+        let journal = RunJournal::new(std::io::BufWriter::new(file));
+        Ok(Obs::with_sink(Box::new(journal)))
+    } else if opts.metrics {
+        Ok(Obs::metrics_only())
+    } else {
+        Ok(Obs::disabled())
+    }
 }
 
 fn run_layout(
     arch: &Architecture,
     netlist: &Netlist,
     opts: &CommonOpts,
+    label: &str,
+    obs: &Obs,
 ) -> Result<LayoutResult, CliError> {
     Ok(match opts.flow {
         FlowChoice::Simultaneous => {
@@ -106,7 +126,8 @@ fn run_layout(
             } else {
                 SimPrConfig::default()
             };
-            SimultaneousPlaceRoute::new(base.with_seed(opts.seed)).run(arch, netlist)?
+            SimultaneousPlaceRoute::new(base.with_seed(opts.seed))
+                .run_observed(arch, netlist, label, obs)?
         }
         FlowChoice::Sequential => {
             let base = if opts.fast {
@@ -114,7 +135,8 @@ fn run_layout(
             } else {
                 SeqPrConfig::default()
             };
-            SequentialPlaceRoute::new(base.with_seed(opts.seed)).run(arch, netlist)?
+            SequentialPlaceRoute::new(base.with_seed(opts.seed))
+                .run_observed(arch, netlist, label, obs)?
         }
     })
 }
@@ -154,6 +176,24 @@ fn print_layout_outputs(
         let svg = render_svg(arch, netlist, &result.placement, &result.routing);
         std::fs::write(path, svg)?;
         writeln!(out, "layout plot written to {path}")?;
+    }
+    Ok(())
+}
+
+/// Finishes the observability side of a run: prints the metrics report for
+/// `--metrics` and notes where the journal went for `--journal`.
+fn print_obs_outputs(
+    obs: &Obs,
+    opts: &CommonOpts,
+    out: &mut impl std::io::Write,
+) -> Result<(), CliError> {
+    if opts.metrics {
+        if let Some(report) = obs.render_report() {
+            writeln!(out, "\n{report}")?;
+        }
+    }
+    if let Some(path) = &opts.journal {
+        writeln!(out, "run journal written to {path}")?;
     }
     Ok(())
 }
@@ -211,8 +251,10 @@ pub fn run_command(command: &Command, out: &mut impl std::io::Write) -> Result<(
                 arch.geometry().num_cols(),
                 arch.tracks_per_channel()
             )?;
-            let result = run_layout(&arch, &netlist, opts)?;
-            print_layout_outputs(&arch, &netlist, &result, opts, out)
+            let obs = build_obs(opts)?;
+            let result = run_layout(&arch, &netlist, opts, input, &obs)?;
+            print_layout_outputs(&arch, &netlist, &result, opts, out)?;
+            print_obs_outputs(&obs, opts, out)
         }
         Command::MinTracks {
             input,
@@ -234,7 +276,7 @@ pub fn run_command(command: &Command, out: &mut impl std::io::Write) -> Result<(
                 let arch = base
                     .with_tracks(tracks)
                     .map_err(|e| CliError::Parse(e.to_string()))?;
-                let result = run_layout(&arch, &netlist, opts)?;
+                let result = run_layout(&arch, &netlist, opts, input, &Obs::disabled())?;
                 write!(out, "{}", if result.fully_routed { "." } else { "x" })?;
                 out.flush()?;
                 if !result.fully_routed || tracks == 1 {
@@ -270,8 +312,10 @@ pub fn run_command(command: &Command, out: &mut impl std::io::Write) -> Result<(
                 netlist.num_cells(),
                 netlist.num_nets()
             )?;
-            let result = run_layout(&arch, &netlist, opts)?;
-            print_layout_outputs(&arch, &netlist, &result, opts, out)
+            let obs = build_obs(opts)?;
+            let result = run_layout(&arch, &netlist, opts, bench.name(), &obs)?;
+            print_layout_outputs(&arch, &netlist, &result, opts, out)?;
+            print_obs_outputs(&obs, opts, out)
         }
     }
 }
@@ -349,8 +393,19 @@ mod tests {
         let net_path = dir.join("d.net");
         let arch_path = dir.join("f.arch");
         run(&[
-            "generate", "--cells", "30", "--inputs", "4", "--outputs", "4", "--seq", "2",
-            "--seed", "5", "-o", net_path.to_str().unwrap(),
+            "generate",
+            "--cells",
+            "30",
+            "--inputs",
+            "4",
+            "--outputs",
+            "4",
+            "--seq",
+            "2",
+            "--seed",
+            "5",
+            "-o",
+            net_path.to_str().unwrap(),
         ])
         .unwrap();
         std::fs::write(
@@ -381,6 +436,52 @@ verticals longlines 4 3
         let out = run(&["bench", "cse", "--fast", "--flow", "seq"]).unwrap();
         assert!(out.contains("benchmark cse: 156 cells"));
         assert!(out.contains("routed: true"));
+    }
+
+    #[test]
+    fn journal_and_metrics_flags_produce_artifacts() {
+        use rowfpga_obs::{json, Event};
+
+        let dir = std::env::temp_dir().join("rowfpga_cli_obs_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal_path = dir.join("run.jsonl");
+        let out = run(&[
+            "bench",
+            "s1",
+            "--fast",
+            "--journal",
+            journal_path.to_str().unwrap(),
+            "--metrics",
+        ])
+        .unwrap();
+        assert!(out.contains("phase breakdown"), "{out}");
+        assert!(out.contains("run journal written to"), "{out}");
+
+        let text = std::fs::read_to_string(&journal_path).unwrap();
+        let _ = std::fs::remove_file(&journal_path);
+        let docs = json::parse_lines(&text).expect("journal parses as JSONL");
+        let events: Vec<Event> = docs.iter().filter_map(Event::from_json).collect();
+        assert_eq!(events.len(), docs.len());
+        assert!(
+            matches!(&events[0], Event::RunStart { benchmark, .. } if benchmark == "s1"),
+            "journal opens with run_start"
+        );
+        assert!(
+            events.iter().any(|e| matches!(e, Event::Temperature(_))),
+            "journal has at least one temperature event"
+        );
+        assert!(
+            matches!(events.last(), Some(Event::RunEnd { .. })),
+            "journal closes with run_end"
+        );
+    }
+
+    #[test]
+    fn metrics_flag_works_for_the_sequential_flow() {
+        let out = run(&["bench", "s1", "--fast", "--flow", "seq", "--metrics"]).unwrap();
+        assert!(out.contains("phase breakdown"), "{out}");
+        assert!(out.contains("place.anneal"), "{out}");
+        assert!(out.contains("route.batch"), "{out}");
     }
 
     #[test]

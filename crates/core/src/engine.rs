@@ -4,9 +4,10 @@ use std::error::Error;
 use std::fmt;
 use std::time::{Duration, Instant};
 
-use rowfpga_anneal::{anneal, AnnealConfig};
+use rowfpga_anneal::{anneal_obs, AnnealConfig};
 use rowfpga_arch::Architecture;
 use rowfpga_netlist::{CombLoopError, Netlist};
+use rowfpga_obs::{Event, Json, Obs, RerouteRecord};
 use rowfpga_place::{CreatePlacementError, MoveWeights, Placement};
 use rowfpga_route::{route_batch, RouterConfig, RoutingState};
 use rowfpga_timing::{CriticalPath, Sta};
@@ -153,12 +154,33 @@ impl SimultaneousPlaceRoute {
     ///
     /// Returns [`LayoutError`] if the design does not fit the chip or
     /// contains a combinational loop.
-    pub fn run(
+    pub fn run(&self, arch: &Architecture, netlist: &Netlist) -> Result<LayoutResult, LayoutError> {
+        self.run_observed(arch, netlist, "design", &Obs::disabled())
+    }
+
+    /// Like [`SimultaneousPlaceRoute::run`], with an observability handle:
+    /// the run emits a `run_start` header (seed and configuration), one
+    /// `temperature` and one `dynamics` event per annealing temperature,
+    /// `reroute` summaries, and a `run_end` footer with a metrics
+    /// snapshot; phase spans cover warmup, annealing, cleanup, final
+    /// repair, and the final timing analysis. `label` names the design in
+    /// the journal. A disabled handle makes this identical to `run`.
+    pub fn run_observed(
         &self,
         arch: &Architecture,
         netlist: &Netlist,
+        label: &str,
+        obs: &Obs,
     ) -> Result<LayoutResult, LayoutError> {
         let start = Instant::now();
+        if obs.enabled() {
+            obs.emit(Event::RunStart {
+                flow: "simultaneous".into(),
+                benchmark: label.into(),
+                seed: self.config.placement_seed,
+                config: self.config_capture(netlist),
+            });
+        }
         let mut problem = LayoutProblem::new(
             arch,
             netlist,
@@ -166,13 +188,16 @@ impl SimultaneousPlaceRoute {
             self.config.cost,
             self.config.move_weights,
             self.config.placement_seed,
-        )?;
+        )?
+        .with_obs(obs.clone());
 
         let mut anneal_cfg = self.config.anneal.clone();
         if anneal_cfg.moves_per_temp == 0 {
             anneal_cfg.moves_per_temp = AnnealConfig::moves_for_cells(netlist.num_cells(), 1.0);
         }
-        let outcome = anneal(&mut problem, &anneal_cfg, |_| {});
+        obs.span_start("anneal");
+        let outcome = anneal_obs(&mut problem, &anneal_cfg, |_| {}, obs);
+        obs.span_end("anneal");
 
         // Zero-temperature cleanup: when the schedule froze with a few nets
         // still unrouted, a burst of greedy (improving-only) moves usually
@@ -181,12 +206,14 @@ impl SimultaneousPlaceRoute {
         if problem.routing().incomplete() > 0 && self.config.cleanup_moves > 0 {
             use rand::SeedableRng as _;
             use rowfpga_anneal::AnnealProblem as _;
-            let mut rng =
-                rand::rngs::StdRng::seed_from_u64(anneal_cfg.seed.wrapping_add(0x51ea9));
+            obs.span_start("cleanup");
+            let mut rng = rand::rngs::StdRng::seed_from_u64(anneal_cfg.seed.wrapping_add(0x51ea9));
             for _ in 0..self.config.cleanup_moves {
                 let (applied, delta) = problem.propose_and_apply(&mut rng);
+                obs.inc("cleanup.moves");
                 if delta <= 0.0 {
                     problem.commit(applied);
+                    obs.inc("cleanup.accepted");
                 } else {
                     problem.undo(applied);
                 }
@@ -194,27 +221,46 @@ impl SimultaneousPlaceRoute {
                     break;
                 }
             }
+            obs.span_end("cleanup");
         }
 
+        let final_cost = {
+            use rowfpga_anneal::AnnealProblem as _;
+            problem.cost()
+        };
         let (placement, mut routing, dynamics) = problem.into_parts();
         if !routing.is_fully_routed() && self.config.final_repair_passes > 0 {
             // Placement is frozen now; a few rip-up-and-retry rounds often
             // recover the last stragglers, exactly as a sequential flow's
             // router would.
-            route_batch(
-                &mut routing,
-                arch,
-                netlist,
-                &placement,
-                &self.config.router,
-                self.config.final_repair_passes,
-            );
+            let repair = obs.span("final_repair", || {
+                route_batch(
+                    &mut routing,
+                    arch,
+                    netlist,
+                    &placement,
+                    &self.config.router,
+                    self.config.final_repair_passes,
+                )
+            });
+            if obs.enabled() {
+                obs.add("route.detail_failures", repair.detail_failures as u64);
+                obs.emit(Event::Reroute {
+                    scope: "final_repair".into(),
+                    stats: RerouteRecord {
+                        globally_routed: repair.globally_routed,
+                        detail_routed: repair.detail_routed,
+                        detail_failures: repair.detail_failures,
+                    },
+                });
+            }
         }
 
-        let sta = Sta::analyze(arch, netlist, &placement, &routing)
-            .map_err(LayoutError::CombLoop)?;
+        let sta = obs.span("final_sta", || {
+            Sta::analyze(arch, netlist, &placement, &routing).map_err(LayoutError::CombLoop)
+        })?;
         let critical_path = sta.critical_path(netlist);
-        Ok(LayoutResult {
+        let result = LayoutResult {
             fully_routed: routing.is_fully_routed(),
             globally_unrouted: routing.globally_unrouted(),
             incomplete: routing.incomplete(),
@@ -226,7 +272,45 @@ impl SimultaneousPlaceRoute {
             runtime: start.elapsed(),
             placement,
             routing,
-        })
+        };
+        if obs.enabled() {
+            let metrics = obs
+                .with_session(|s| s.metrics.to_json())
+                .unwrap_or(Json::Null);
+            obs.emit(Event::RunEnd {
+                cost: final_cost,
+                worst_delay: result.worst_delay,
+                unrouted: result.incomplete,
+                total_moves: result.total_moves,
+                temperatures: result.temperatures,
+                runtime_sec: result.runtime.as_secs_f64(),
+                metrics,
+            });
+            obs.flush();
+        }
+        Ok(result)
+    }
+
+    /// Key/value capture of the run configuration for the journal header.
+    fn config_capture(&self, netlist: &Netlist) -> Vec<(String, Json)> {
+        let c = &self.config;
+        vec![
+            ("cells".into(), netlist.num_cells().into()),
+            ("nets".into(), netlist.num_nets().into()),
+            ("placement_seed".into(), c.placement_seed.into()),
+            ("anneal_seed".into(), c.anneal.seed.into()),
+            ("moves_per_temp".into(), c.anneal.moves_per_temp.into()),
+            ("warmup_moves".into(), c.anneal.warmup_moves.into()),
+            ("max_temps".into(), c.anneal.max_temps.into()),
+            ("lambda".into(), c.anneal.lambda.into()),
+            ("global_emphasis".into(), c.cost.global_emphasis.into()),
+            ("detail_emphasis".into(), c.cost.detail_emphasis.into()),
+            ("timing_emphasis".into(), c.cost.timing_emphasis.into()),
+            ("wastage_weight".into(), c.router.wastage_weight.into()),
+            ("segment_weight".into(), c.router.segment_weight.into()),
+            ("final_repair_passes".into(), c.final_repair_passes.into()),
+            ("cleanup_moves".into(), c.cleanup_moves.into()),
+        ]
     }
 }
 
@@ -292,7 +376,14 @@ mod tests {
         // initial: random placement + batch route
         let placement = Placement::random(&arch, &nl, 1).unwrap();
         let mut routing = RoutingState::new(&arch, &nl);
-        route_batch(&mut routing, &arch, &nl, &placement, &RouterConfig::default(), 6);
+        route_batch(
+            &mut routing,
+            &arch,
+            &nl,
+            &placement,
+            &RouterConfig::default(),
+            6,
+        );
         let initial = Sta::analyze(&arch, &nl, &placement, &routing).unwrap();
 
         let result = SimultaneousPlaceRoute::new(SimPrConfig::default())
@@ -304,6 +395,82 @@ mod tests {
             result.worst_delay,
             initial.worst_delay()
         );
+    }
+
+    #[test]
+    fn observed_run_writes_a_parseable_journal() {
+        use rowfpga_obs::{json, Event, Obs, RunJournal};
+
+        let (arch, nl) = fixture();
+        let path = std::env::temp_dir().join("rowfpga_engine_journal_test.jsonl");
+        let file = std::fs::File::create(&path).unwrap();
+        let obs = Obs::with_sink(Box::new(RunJournal::new(std::io::BufWriter::new(file))));
+        let result = SimultaneousPlaceRoute::new(SimPrConfig::fast())
+            .run_observed(&arch, &nl, "fixture", &obs)
+            .unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        let docs = json::parse_lines(&text).unwrap();
+        let events: Vec<Event> = docs.iter().filter_map(Event::from_json).collect();
+        assert_eq!(
+            events.len(),
+            docs.len(),
+            "every line must parse to an event"
+        );
+
+        assert!(
+            matches!(&events[0], Event::RunStart { benchmark, .. } if benchmark == "fixture"),
+            "first event must be run_start"
+        );
+        let temps = events
+            .iter()
+            .filter(|e| matches!(e, Event::Temperature(_)))
+            .count();
+        assert_eq!(temps, result.temperatures);
+        let dynamics = events
+            .iter()
+            .filter(|e| matches!(e, Event::Dynamics(_)))
+            .count();
+        assert_eq!(dynamics, result.dynamics.len());
+        match events.last().unwrap() {
+            Event::RunEnd {
+                total_moves,
+                temperatures,
+                metrics,
+                ..
+            } => {
+                assert_eq!(*total_moves, result.total_moves);
+                assert_eq!(*temperatures, result.temperatures);
+                assert!(metrics.get("counters").is_some(), "metrics snapshot");
+            }
+            other => panic!("last event must be run_end, got {other:?}"),
+        }
+
+        // The metrics report renders with all three sections populated.
+        let report = obs.render_report().unwrap();
+        assert!(report.contains("phase breakdown"), "{report}");
+        assert!(report.contains("anneal"), "{report}");
+        assert!(report.contains("move.proposed.exchange"), "{report}");
+        assert!(report.contains("sta.frontier_cells"), "{report}");
+    }
+
+    #[test]
+    fn observation_does_not_change_the_layout() {
+        use rowfpga_obs::Obs;
+
+        let (arch, nl) = fixture();
+        let driver = SimultaneousPlaceRoute::new(SimPrConfig::fast().with_seed(9));
+        let plain = driver.run(&arch, &nl).unwrap();
+        let observed = driver
+            .run_observed(&arch, &nl, "fixture", &Obs::metrics_only())
+            .unwrap();
+        assert_eq!(plain.worst_delay, observed.worst_delay);
+        assert_eq!(plain.total_moves, observed.total_moves);
+        assert_eq!(plain.incomplete, observed.incomplete);
+        for (id, _) in nl.cells() {
+            assert_eq!(plain.placement.site_of(id), observed.placement.site_of(id));
+        }
     }
 
     #[test]

@@ -18,6 +18,7 @@ use rand::rngs::StdRng;
 use rowfpga_anneal::{AnnealProblem, TemperatureStats};
 use rowfpga_arch::Architecture;
 use rowfpga_netlist::{CombLoopError, Netlist};
+use rowfpga_obs::{DynamicsRecord, Event, Obs};
 use rowfpga_place::{Move, MoveGenerator, MoveWeights, Placement};
 use rowfpga_route::{RouterConfig, RoutingState};
 use rowfpga_timing::TimingState;
@@ -51,6 +52,7 @@ pub struct LayoutProblem<'a> {
     /// Current exchange-window half-width (TimberWolf-style range limiting;
     /// shrinks as acceptance falls).
     window: usize,
+    obs: Obs,
 }
 
 impl<'a> LayoutProblem<'a> {
@@ -70,12 +72,11 @@ impl<'a> LayoutProblem<'a> {
         move_weights: MoveWeights,
         seed: u64,
     ) -> Result<LayoutProblem<'a>, LayoutError> {
-        let placement =
-            Placement::random(arch, netlist, seed).map_err(LayoutError::Placement)?;
+        let placement = Placement::random(arch, netlist, seed).map_err(LayoutError::Placement)?;
         let mut routing = RoutingState::new(arch, netlist);
         routing.route_incremental(arch, netlist, &placement, &router_cfg);
-        let timing = TimingState::new(arch, netlist, &placement, &routing)
-            .map_err(LayoutError::CombLoop)?;
+        let timing =
+            TimingState::new(arch, netlist, &placement, &routing).map_err(LayoutError::CombLoop)?;
         let weights = CostWeights::initial(&cost_cfg, timing.worst(), netlist.num_nets());
         let mover = MoveGenerator::new(arch, netlist, move_weights);
         Ok(LayoutProblem {
@@ -92,7 +93,17 @@ impl<'a> LayoutProblem<'a> {
             perturbed: vec![false; netlist.num_cells()],
             trace: DynamicsTrace::new(),
             window: usize::MAX,
+            obs: Obs::disabled(),
         })
+    }
+
+    /// Attaches an observability handle: per-move counters and histograms
+    /// (move classes, reroute cascade sizes, nets ripped, detail failures,
+    /// STA frontier sizes) and one [`Event::Dynamics`] per temperature. A
+    /// disabled handle (the default) keeps every hook a no-op.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
     }
 
     /// Convenience constructor mapping a [`CombLoopError`] directly.
@@ -144,37 +155,77 @@ impl AnnealProblem for LayoutProblem<'_> {
         let mv = self
             .mover
             .propose_in_window(self.netlist, &self.placement, rng, window);
+        if self.obs.enabled() {
+            self.obs.inc(match &mv {
+                Move::Exchange { .. } => "move.proposed.exchange",
+                Move::Pinmap { .. } => "move.proposed.pinmap",
+            });
+        }
         self.routing.begin_txn();
         self.timing.begin_txn();
         mv.apply(self.arch, self.netlist, &mut self.placement);
         for cell in mv.affected_cells(&self.placement) {
             self.routing.rip_up_cell(self.netlist, cell);
         }
-        self.routing
-            .route_incremental(self.arch, self.netlist, &self.placement, &self.router_cfg);
+        let ripped = self.routing.globally_unrouted().saturating_sub(g0);
+        let reroute = self.obs.span("reroute.incremental", || {
+            self.routing.route_incremental(
+                self.arch,
+                self.netlist,
+                &self.placement,
+                &self.router_cfg,
+            )
+        });
         let changed = self.routing.touched_nets();
-        self.timing
-            .update_nets(self.arch, self.netlist, &self.placement, &self.routing, &changed);
+        self.obs.span("sta.delay_update", || {
+            self.timing.update_nets(
+                self.arch,
+                self.netlist,
+                &self.placement,
+                &self.routing,
+                &changed,
+            )
+        });
+        if self.obs.enabled() {
+            self.obs.observe("move.nets_ripped", ripped as f64);
+            self.obs
+                .observe("reroute.cascade_nets", reroute.cascade_size() as f64);
+            self.obs
+                .add("route.detail_failures", reroute.detail_failures as u64);
+            self.obs
+                .observe("sta.frontier_cells", self.timing.last_frontier() as f64);
+        }
 
         let g1 = self.routing.globally_unrouted();
         let d1 = self.routing.incomplete();
         let t1 = self.timing.worst();
-        self.deltas.record(
-            g1 as f64 - g0 as f64,
-            d1 as f64 - d0 as f64,
-            t1 - t0,
-        );
+        self.deltas
+            .record(g1 as f64 - g0 as f64, d1 as f64 - d0 as f64, t1 - t0);
         let delta = self.weights.cost(g1, d1, t1) - self.weights.cost(g0, d0, t0);
         (AppliedLayoutMove { mv }, delta)
     }
 
     fn undo(&mut self, applied: AppliedLayoutMove) {
+        if self.obs.enabled() {
+            self.obs.inc(match &applied.mv {
+                Move::Exchange { .. } => "move.undone.exchange",
+                Move::Pinmap { .. } => "move.undone.pinmap",
+            });
+        }
         self.routing.rollback();
         self.timing.rollback();
-        applied.mv.undo(self.arch, self.netlist, &mut self.placement);
+        applied
+            .mv
+            .undo(self.arch, self.netlist, &mut self.placement);
     }
 
     fn commit(&mut self, applied: AppliedLayoutMove) {
+        if self.obs.enabled() {
+            self.obs.inc(match &applied.mv {
+                Move::Exchange { .. } => "move.committed.exchange",
+                Move::Pinmap { .. } => "move.committed.pinmap",
+            });
+        }
         self.routing.commit();
         self.timing.commit();
         for cell in applied.mv.affected_cells(&self.placement) {
@@ -193,15 +244,25 @@ impl AnnealProblem for LayoutProblem<'_> {
     fn on_temperature(&mut self, stats: &TemperatureStats) {
         let n_cells = self.netlist.num_cells().max(1) as f64;
         let n_nets = self.netlist.num_nets().max(1) as f64;
+        let cells_perturbed = self.perturbed.iter().filter(|p| **p).count();
         self.trace.push(DynamicsSample {
             index: stats.index,
             temperature: stats.temperature,
-            cells_perturbed: self.perturbed.iter().filter(|p| **p).count() as f64 / n_cells,
+            cells_perturbed: cells_perturbed as f64 / n_cells,
             nets_globally_unrouted: self.routing.globally_unrouted() as f64 / n_nets,
             nets_unrouted: self.routing.incomplete() as f64 / n_nets,
             worst_delay: self.timing.worst(),
             cost: self.cost(),
         });
+        self.obs.emit(Event::Dynamics(DynamicsRecord {
+            index: stats.index,
+            temperature: stats.temperature,
+            cells_perturbed,
+            nets_globally_unrouted: self.routing.globally_unrouted(),
+            nets_unrouted: self.routing.incomplete(),
+            worst_delay: self.timing.worst(),
+            cost: self.cost(),
+        }));
         self.perturbed.fill(false);
         self.weights.adapt(&self.cost_cfg, &self.deltas);
         self.deltas.reset();
@@ -224,10 +285,7 @@ mod tests {
     use rowfpga_route::verify_routing;
     use rowfpga_timing::TimingState as Oracle;
 
-    fn problem_fixture<'a>(
-        arch: &'a Architecture,
-        netlist: &'a Netlist,
-    ) -> LayoutProblem<'a> {
+    fn problem_fixture<'a>(arch: &'a Architecture, netlist: &'a Netlist) -> LayoutProblem<'a> {
         LayoutProblem::new(
             arch,
             netlist,
@@ -262,7 +320,10 @@ mod tests {
         let (arch, nl) = fixture();
         let mut p = problem_fixture(&arch, &nl);
         let cost0 = p.cost();
-        let sites0: Vec<_> = nl.cells().map(|(id, _)| p.placement().site_of(id)).collect();
+        let sites0: Vec<_> = nl
+            .cells()
+            .map(|(id, _)| p.placement().site_of(id))
+            .collect();
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..100 {
             let (applied, _) = p.propose_and_apply(&mut rng);
@@ -340,10 +401,7 @@ mod tests {
         assert!(s.cells_perturbed > 0.0);
         assert!(s.nets_unrouted >= s.nets_globally_unrouted);
         // second temperature with no accepted moves records zero
-        p.on_temperature(&TemperatureStats {
-            index: 1,
-            ..stats
-        });
+        p.on_temperature(&TemperatureStats { index: 1, ..stats });
         assert_eq!(p.trace().samples()[1].cells_perturbed, 0.0);
     }
 }

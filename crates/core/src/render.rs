@@ -25,10 +25,7 @@ pub fn render_ascii(
         let _ = writeln!(out, "{}", channel_line(arch, routing, chan));
         let mut line = String::from("row  |");
         for col in 0..geom.num_cols() {
-            let site = geom.site_at(
-                rowfpga_arch::RowId::new(row),
-                rowfpga_arch::ColId::new(col),
-            );
+            let site = geom.site_at(rowfpga_arch::RowId::new(row), rowfpga_arch::ColId::new(col));
             let ch = match placement.cell_at(site.id()) {
                 None => '.',
                 Some(cell) => match netlist.cell(cell).kind() {
@@ -48,7 +45,7 @@ pub fn render_ascii(
 
 fn channel_line(arch: &Architecture, routing: &RoutingState, chan: ChannelId) -> String {
     let (used, total) = routing.channel_wire_usage(arch, chan);
-    let pct = if total == 0 { 0 } else { 100 * used / total };
+    let pct = (100 * used).checked_div(total).unwrap_or(0);
     format!(
         "{:<4} ={} {pct:>3}% wire used",
         format!("{chan}"),
@@ -178,7 +175,9 @@ fn net_color(net: NetId) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

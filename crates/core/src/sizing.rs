@@ -123,9 +123,8 @@ mod tests {
             let nl = generate(&paper_preset(bench));
             let arch = size_architecture(&nl, &SizingConfig::default()).unwrap();
             // a random placement must exist
-            Placement::random(&arch, &nl, 1).unwrap_or_else(|e| {
-                panic!("{}: sized chip cannot hold design: {e}", bench.name())
-            });
+            Placement::random(&arch, &nl, 1)
+                .unwrap_or_else(|e| panic!("{}: sized chip cannot hold design: {e}", bench.name()));
         }
     }
 

@@ -289,7 +289,11 @@ pub fn parse_blif(text: &str) -> Result<Netlist, ParseBlifError> {
         let Some(consumers) = sinks.get(sig.as_str()) else {
             continue; // dangling output: dropped
         };
-        b.connect(sig.clone(), cell_of[sig.as_str()], consumers.iter().copied())?;
+        b.connect(
+            sig.clone(),
+            cell_of[sig.as_str()],
+            consumers.iter().copied(),
+        )?;
     }
 
     Ok(b.build()?)
@@ -326,10 +330,7 @@ mod tests {
         assert_eq!(s.num_seq, 1);
         // nets: a, b, t1, s, y — all consumed
         assert_eq!(nl.num_nets(), 5);
-        assert_eq!(
-            nl.cell(nl.cell_by_name("s").unwrap()).kind(),
-            CellKind::Seq
-        );
+        assert_eq!(nl.cell(nl.cell_by_name("s").unwrap()).kind(), CellKind::Seq);
     }
 
     #[test]
@@ -391,7 +392,8 @@ mod tests {
 
     #[test]
     fn unknown_directives_are_skipped() {
-        let text = ".model m\n.inputs a\n.outputs y\n.default_input_arrival 0 0\n.names a y\n1 1\n.end\n";
+        let text =
+            ".model m\n.inputs a\n.outputs y\n.default_input_arrival 0 0\n.names a y\n1 1\n.end\n";
         assert!(parse_blif(text).is_ok());
     }
 }

@@ -198,7 +198,11 @@ pub fn generate(config: &GenerateConfig) -> Netlist {
     let mut sinks_of: Vec<Vec<(CellId, u8)>> = vec![Vec::new(); total + config.num_outputs];
     // drivers available to combinational consumers created at position i:
     // all PIs + internal cells at earlier positions + any FF (feedback).
-    let all_drivers: Vec<CellId> = pis.iter().copied().chain(internal.iter().copied()).collect();
+    let all_drivers: Vec<CellId> = pis
+        .iter()
+        .copied()
+        .chain(internal.iter().copied())
+        .collect();
 
     let pick_driver = |rng: &mut StdRng,
                        upto: usize, // internal cells with position < upto are eligible

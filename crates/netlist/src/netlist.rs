@@ -191,7 +191,11 @@ impl NetlistBuilder {
                     pin,
                 });
             }
-            let is_input_pin = if kind.has_output() { pin >= 1 } else { pin == 0 };
+            let is_input_pin = if kind.has_output() {
+                pin >= 1
+            } else {
+                pin == 0
+            };
             if !is_input_pin {
                 return Err(BuildNetlistError::SinkIsOutput {
                     cell: c.name().to_owned(),

@@ -104,8 +104,10 @@ fn parse_kind(s: &str, line: usize) -> Result<CellKind, ParseNetlistError> {
 /// wrapped [`BuildNetlistError`] if the file parses but the design is
 /// structurally invalid (dangling inputs, double-driven pins, …).
 pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
+    // (line number, net name, driver cell, sinks as (cell, pin)).
+    type PendingNet = (usize, String, String, Vec<(String, u8)>);
     let mut b = Netlist::builder();
-    let mut pending_nets: Vec<(usize, String, String, Vec<(String, u8)>)> = Vec::new();
+    let mut pending_nets: Vec<PendingNet> = Vec::new();
     // Cell name -> id of its first declaration. Nets may be declared before
     // the cells they reference, so connectivity is resolved after the scan.
     let mut names: std::collections::HashMap<String, crate::CellId> =
@@ -143,12 +145,12 @@ pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
                 })?;
                 let mut sinks = Vec::new();
                 for f in fields {
-                    let (cell, pin) = f.split_once(':').ok_or_else(|| {
-                        ParseNetlistError::Malformed {
-                            line: line_no,
-                            reason: format!("sink `{f}` is not <cell>:<pin>"),
-                        }
-                    })?;
+                    let (cell, pin) =
+                        f.split_once(':')
+                            .ok_or_else(|| ParseNetlistError::Malformed {
+                                line: line_no,
+                                reason: format!("sink `{f}` is not <cell>:<pin>"),
+                            })?;
                     let pin: u8 = pin.parse().map_err(|_| ParseNetlistError::Malformed {
                         line: line_no,
                         reason: format!("bad pin index in `{f}`"),
@@ -268,9 +270,7 @@ mod tests {
     #[test]
     fn reports_unknown_cell() {
         let err = parse_netlist(".cell a input\n.net n a ghost:1\n").unwrap_err();
-        assert!(
-            matches!(err, ParseNetlistError::UnknownCell { ref name, .. } if name == "ghost")
-        );
+        assert!(matches!(err, ParseNetlistError::UnknownCell { ref name, .. } if name == "ghost"));
     }
 
     #[test]

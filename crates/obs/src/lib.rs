@@ -1,0 +1,35 @@
+//! Observability for the layout engine: structured run journal, metrics
+//! registry, and phase profiler.
+//!
+//! The crate is dependency-free and built around one type, [`Obs`]: a
+//! cheaply clonable handle threaded through the annealer, router, timer,
+//! and engine. A disabled handle ([`Obs::disabled`]) makes every call a
+//! no-op on a `None`, so instrumented code paths cost nothing when
+//! observability is off; an enabled handle shares a [`ObsSession`] holding:
+//!
+//! * a [`MetricsRegistry`] of named counters and fixed-bucket
+//!   [`Histogram`]s (move accept/reject by class, reroute cascade sizes,
+//!   STA frontier sizes, detail track failures …),
+//! * a [`PhaseProfiler`] of nestable monotonic span timers (warmup,
+//!   per-temperature, reroute passes, delay updates …), and
+//! * a [`Recorder`] sink for structured [`Event`]s — typically a
+//!   [`RunJournal`] writing JSONL that tools (and the `fig6` bin) can
+//!   parse back with [`json::parse_lines`] and [`Event::from_json`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod record;
+pub mod report;
+pub mod session;
+
+pub use json::{Json, JsonError};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use profile::{PhaseProfiler, PhaseTotal};
+pub use record::{
+    DynamicsRecord, Event, NoopRecorder, Recorder, RerouteRecord, RunJournal, TemperatureRecord,
+};
+pub use session::{Obs, ObsSession};

@@ -1,0 +1,335 @@
+//! Named counters and fixed-bucket histograms.
+//!
+//! The registry is deliberately simple: counters are `u64` adds, histograms
+//! have fixed exponential bucket edges chosen at first observation (or
+//! explicitly via [`MetricsRegistry::histogram_with_buckets`]). Percentiles
+//! are estimated by linear interpolation inside the owning bucket, with the
+//! tracked exact `max` as the upper clamp.
+
+use std::collections::BTreeMap;
+
+use crate::json::Json;
+
+/// A histogram with fixed, monotonically increasing bucket upper bounds.
+/// Values above the last edge land in an implicit overflow bucket.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given ascending upper-bound edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edges` is empty or not strictly increasing.
+    pub fn new(edges: Vec<f64>) -> Histogram {
+        assert!(!edges.is_empty(), "histogram needs at least one edge");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "histogram edges must be strictly increasing"
+        );
+        let buckets = edges.len() + 1; // plus overflow
+        Histogram {
+            edges,
+            counts: vec![0; buckets],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Default edges for non-negative size-like quantities (cascade sizes,
+    /// frontier sizes): 0, 1, 2, 4, … 4096.
+    pub fn size_edges() -> Vec<f64> {
+        let mut edges = vec![0.0];
+        let mut e = 1.0;
+        while e <= 4096.0 {
+            edges.push(e);
+            e *= 2.0;
+        }
+        edges
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, value: f64) {
+        let idx = self
+            .edges
+            .iter()
+            .position(|&e| value <= e)
+            .unwrap_or(self.edges.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Smallest observation (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// within the bucket containing the target rank, clamped to the exact
+    /// observed `[min, max]`.
+    pub fn percentile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q * (self.count as f64 - 1.0);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let first = seen as f64;
+            let last = (seen + c - 1) as f64;
+            if rank <= last {
+                let lo = if idx == 0 {
+                    self.min
+                } else {
+                    self.edges[idx - 1]
+                };
+                let hi = if idx < self.edges.len() {
+                    self.edges[idx]
+                } else {
+                    self.max
+                };
+                let frac = if c == 1 {
+                    0.5
+                } else {
+                    (rank - first) / (last - first)
+                };
+                return (lo + frac * (hi - lo)).clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Per-bucket `(upper_bound, count)` pairs; the final pair uses
+    /// `f64::INFINITY` for the overflow bucket.
+    pub fn buckets(&self) -> Vec<(f64, u64)> {
+        self.edges
+            .iter()
+            .copied()
+            .chain(std::iter::once(f64::INFINITY))
+            .zip(self.counts.iter().copied())
+            .collect()
+    }
+}
+
+/// Named counters and histograms for one run.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Increments a counter by one.
+    pub fn inc(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Increments a counter by `n`.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Reads a counter (0 if never written).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records an observation into the named histogram, creating it with
+    /// [`Histogram::size_edges`] on first use.
+    pub fn observe(&mut self, name: &'static str, value: f64) {
+        self.histograms
+            .entry(name)
+            .or_insert_with(|| Histogram::new(Histogram::size_edges()))
+            .observe(value);
+    }
+
+    /// Creates (or replaces) the named histogram with explicit edges.
+    pub fn histogram_with_buckets(&mut self, name: &'static str, edges: Vec<f64>) {
+        self.histograms.insert(name, Histogram::new(edges));
+    }
+
+    /// Reads a histogram, if it has been observed into.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// All histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// Snapshot as a JSON object (used for the journal's `run_end` event).
+    pub fn to_json(&self) -> Json {
+        let counters = Json::Obj(
+            self.counters
+                .iter()
+                .map(|(k, v)| (k.to_string(), Json::from(*v)))
+                .collect(),
+        );
+        let histograms = Json::Obj(
+            self.histograms
+                .iter()
+                .map(|(k, h)| {
+                    (
+                        k.to_string(),
+                        Json::obj(vec![
+                            ("count", h.count().into()),
+                            ("mean", h.mean().into()),
+                            ("p50", h.percentile(0.50).into()),
+                            ("p95", h.percentile(0.95).into()),
+                            ("max", h.max().into()),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
+        Json::obj(vec![("counters", counters), ("histograms", histograms)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.inc("a");
+        m.add("a", 4);
+        m.inc("b");
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("b"), 1);
+        assert_eq!(m.counter("missing"), 0);
+        let names: Vec<_> = m.counters().map(|(k, _)| k).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn histogram_bucket_assignment() {
+        let mut h = Histogram::new(vec![0.0, 1.0, 2.0, 4.0]);
+        for v in [0.0, 1.0, 1.5, 3.0, 100.0] {
+            h.observe(v);
+        }
+        let buckets = h.buckets();
+        // value 0 -> edge 0, value 1 and 1.5? 1.0 <= 1.0 edge, 1.5 <= 2.0
+        assert_eq!(buckets[0], (0.0, 1));
+        assert_eq!(buckets[1], (1.0, 1));
+        assert_eq!(buckets[2], (2.0, 1));
+        assert_eq!(buckets[3], (4.0, 1));
+        assert_eq!(buckets[4].1, 1); // overflow
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 100.0);
+        assert_eq!(h.min(), 0.0);
+    }
+
+    #[test]
+    fn percentiles_are_ordered_and_clamped() {
+        let mut h = Histogram::new(Histogram::size_edges());
+        for v in 0..100 {
+            h.observe(v as f64);
+        }
+        let p50 = h.percentile(0.50);
+        let p95 = h.percentile(0.95);
+        let max = h.percentile(1.0);
+        assert!(p50 <= p95 && p95 <= max, "p50={p50} p95={p95} max={max}");
+        assert!((0.0..=99.0).contains(&p50));
+        assert!(p95 >= 60.0, "p95={p95} too low for uniform 0..100");
+        assert_eq!(max, 99.0);
+    }
+
+    #[test]
+    fn percentile_of_single_observation() {
+        let mut h = Histogram::new(vec![10.0, 20.0]);
+        h.observe(15.0);
+        assert_eq!(h.percentile(0.5), 15.0);
+        assert_eq!(h.percentile(0.0), 15.0);
+        assert_eq!(h.percentile(1.0), 15.0);
+    }
+
+    #[test]
+    fn empty_histogram_reports_zeros() {
+        let h = Histogram::new(vec![1.0]);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.percentile(0.5), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_edges_panic() {
+        let _ = Histogram::new(vec![2.0, 1.0]);
+    }
+
+    #[test]
+    fn registry_json_snapshot() {
+        let mut m = MetricsRegistry::new();
+        m.inc("moves");
+        m.observe("cascade", 3.0);
+        let j = m.to_json();
+        assert_eq!(
+            j.get("counters").and_then(|c| c.get("moves")).unwrap(),
+            &Json::Num(1.0)
+        );
+        let cascade = j.get("histograms").and_then(|h| h.get("cascade")).unwrap();
+        assert_eq!(cascade.get("count").unwrap(), &Json::Num(1.0));
+    }
+}

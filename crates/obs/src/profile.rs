@@ -1,0 +1,164 @@
+//! Nestable monotonic span timers for phase profiling.
+//!
+//! Spans are identified by static names and may nest (e.g. a
+//! `temperature` span containing many `delay_update` spans). Each span's
+//! inclusive time, call count, and self time (inclusive minus time spent in
+//! child spans) are accumulated; the final report renders totals in first-
+//! started order.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Accumulated timing for one span name.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTotal {
+    /// Number of times the span was entered.
+    pub calls: u64,
+    /// Total wall time with the span open (includes children).
+    pub total: Duration,
+    /// Total wall time spent in child spans while this span was open.
+    pub child: Duration,
+}
+
+impl PhaseTotal {
+    /// Time attributable to this span alone.
+    pub fn self_time(&self) -> Duration {
+        self.total.saturating_sub(self.child)
+    }
+}
+
+struct OpenSpan {
+    name: &'static str,
+    started: Instant,
+    child: Duration,
+}
+
+/// Records nested, named spans against a monotonic clock.
+#[derive(Default)]
+pub struct PhaseProfiler {
+    stack: Vec<OpenSpan>,
+    totals: BTreeMap<&'static str, PhaseTotal>,
+    order: Vec<&'static str>,
+}
+
+impl PhaseProfiler {
+    /// Creates an empty profiler.
+    pub fn new() -> PhaseProfiler {
+        PhaseProfiler::default()
+    }
+
+    /// Opens a span. Must be balanced by [`PhaseProfiler::end`] with the
+    /// same name, in LIFO order.
+    pub fn start(&mut self, name: &'static str) {
+        self.stack.push(OpenSpan {
+            name,
+            started: Instant::now(),
+            child: Duration::ZERO,
+        });
+    }
+
+    /// Closes the innermost span.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no span is open or the innermost open span has a
+    /// different name (mismatched nesting is a bug in the caller).
+    pub fn end(&mut self, name: &'static str) {
+        let span = self.stack.pop().unwrap_or_else(|| {
+            panic!("span `{name}` ended with no span open");
+        });
+        assert_eq!(
+            span.name, name,
+            "span `{name}` ended while `{}` was innermost",
+            span.name
+        );
+        let elapsed = span.started.elapsed();
+        if !self.totals.contains_key(name) {
+            self.order.push(name);
+        }
+        let entry = self.totals.entry(name).or_default();
+        entry.calls += 1;
+        entry.total += elapsed;
+        entry.child += span.child;
+        if let Some(parent) = self.stack.last_mut() {
+            parent.child += elapsed;
+        }
+    }
+
+    /// Number of spans currently open.
+    pub fn depth(&self) -> usize {
+        self.stack.len()
+    }
+
+    /// Accumulated totals for one span name, if it ever closed.
+    pub fn total(&self, name: &str) -> Option<PhaseTotal> {
+        self.totals.get(name).copied()
+    }
+
+    /// `(name, totals)` pairs in first-started order.
+    pub fn phases(&self) -> impl Iterator<Item = (&'static str, PhaseTotal)> + '_ {
+        self.order.iter().map(|n| (*n, self.totals[n]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_attribute_child_time() {
+        let mut p = PhaseProfiler::new();
+        p.start("outer");
+        p.start("inner");
+        std::thread::sleep(Duration::from_millis(2));
+        p.end("inner");
+        p.end("outer");
+
+        let outer = p.total("outer").unwrap();
+        let inner = p.total("inner").unwrap();
+        assert_eq!(outer.calls, 1);
+        assert_eq!(inner.calls, 1);
+        assert!(outer.total >= inner.total, "outer includes inner");
+        assert!(outer.child >= inner.total - Duration::from_micros(1));
+        assert!(inner.self_time() <= inner.total);
+        assert_eq!(p.depth(), 0);
+    }
+
+    #[test]
+    fn repeated_spans_accumulate_calls() {
+        let mut p = PhaseProfiler::new();
+        for _ in 0..5 {
+            p.start("temperature");
+            p.end("temperature");
+        }
+        assert_eq!(p.total("temperature").unwrap().calls, 5);
+    }
+
+    #[test]
+    fn phases_keep_first_started_order() {
+        let mut p = PhaseProfiler::new();
+        p.start("warmup");
+        p.end("warmup");
+        p.start("anneal");
+        p.start("warmup");
+        p.end("warmup");
+        p.end("anneal");
+        let names: Vec<_> = p.phases().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["warmup", "anneal"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ended while")]
+    fn mismatched_end_panics() {
+        let mut p = PhaseProfiler::new();
+        p.start("a");
+        p.end("b");
+    }
+
+    #[test]
+    #[should_panic(expected = "no span open")]
+    fn end_without_start_panics() {
+        let mut p = PhaseProfiler::new();
+        p.end("a");
+    }
+}

@@ -1,0 +1,402 @@
+//! The recorder interface and the JSONL run-journal implementation.
+//!
+//! Producers (anneal loop, layout engine, router) describe what happened
+//! with [`Event`] values; a [`Recorder`] decides what to do with them.
+//! [`NoopRecorder`] drops everything (the zero-overhead default), while
+//! [`RunJournal`] serializes each event as one JSON line.
+//!
+//! ## Journal schema
+//!
+//! Every line is an object with an `"event"` discriminator:
+//!
+//! * `run_start` — `flow`, `benchmark`, `seed`, plus a free-form `config`
+//!   object captured from the run configuration.
+//! * `temperature` — one line per annealing temperature: `index`,
+//!   `temperature`, `moves`, `accepted`, `mean_cost`, `std_cost`,
+//!   `current_cost`, `best_cost`.
+//! * `dynamics` — the paper's Fig. 6 trace: `index`, `temperature`,
+//!   `cells_perturbed`, `nets_globally_unrouted`, `nets_unrouted`,
+//!   `worst_delay`, `cost`.
+//! * `reroute` — a batch (re)route summary: `scope`,
+//!   `globally_routed`, `detail_routed`, `detail_failures`.
+//! * `run_end` — `cost`, `worst_delay`, `unrouted`, `total_moves`,
+//!   `temperatures`, `runtime_sec`, plus a `metrics` snapshot object.
+
+use std::io::Write;
+
+use crate::json::Json;
+
+/// One annealing-temperature summary (mirrors the anneal crate's
+/// `TemperatureStats`, restated here so this crate stays dependency-free).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TemperatureRecord {
+    /// Zero-based temperature index.
+    pub index: usize,
+    /// Temperature value.
+    pub temperature: f64,
+    /// Moves attempted at this temperature.
+    pub moves: usize,
+    /// Moves accepted at this temperature.
+    pub accepted: usize,
+    /// Mean accepted-state cost over the temperature.
+    pub mean_cost: f64,
+    /// Standard deviation of the cost over the temperature.
+    pub std_cost: f64,
+    /// Cost at the end of the temperature.
+    pub current_cost: f64,
+    /// Best cost seen so far.
+    pub best_cost: f64,
+}
+
+/// One layout-dynamics sample (the paper's Fig. 6 quantities).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DynamicsRecord {
+    /// Temperature index the sample was taken at.
+    pub index: usize,
+    /// Temperature value.
+    pub temperature: f64,
+    /// Cells perturbed during this temperature.
+    pub cells_perturbed: usize,
+    /// Nets lacking a global route at sample time.
+    pub nets_globally_unrouted: usize,
+    /// Nets lacking a complete detail route at sample time.
+    pub nets_unrouted: usize,
+    /// Worst sink delay at sample time.
+    pub worst_delay: f64,
+    /// Weighted layout cost at sample time.
+    pub cost: f64,
+}
+
+/// Summary of one batch (re)route pass.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RerouteRecord {
+    /// Nets given a fresh global route.
+    pub globally_routed: usize,
+    /// Nets given a fresh detail route.
+    pub detail_routed: usize,
+    /// Detail track-assignment failures during the pass.
+    pub detail_failures: usize,
+}
+
+/// A structured observation from somewhere in the layout engine.
+#[derive(Clone, Debug)]
+pub enum Event {
+    /// The run began. `config` is a free-form key/value capture of the run
+    /// configuration (annealing schedule, router limits, weights …).
+    RunStart {
+        /// Flow name (`"simultaneous"`, `"sequential"` …).
+        flow: String,
+        /// Benchmark / netlist name.
+        benchmark: String,
+        /// RNG seed for the run.
+        seed: u64,
+        /// Configuration capture.
+        config: Vec<(String, Json)>,
+    },
+    /// One annealing temperature completed.
+    Temperature(TemperatureRecord),
+    /// One layout-dynamics sample was taken.
+    Dynamics(DynamicsRecord),
+    /// A batch (re)route pass ran in the named scope.
+    Reroute {
+        /// Which pass this was (`"final_repair"`, `"global"` …).
+        scope: String,
+        /// Pass totals.
+        stats: RerouteRecord,
+    },
+    /// The run finished.
+    RunEnd {
+        /// Final weighted cost.
+        cost: f64,
+        /// Final worst sink delay.
+        worst_delay: f64,
+        /// Nets still unrouted at the end.
+        unrouted: usize,
+        /// Total annealing moves attempted.
+        total_moves: usize,
+        /// Number of temperatures run.
+        temperatures: usize,
+        /// Wall-clock runtime in seconds.
+        runtime_sec: f64,
+        /// Metrics snapshot (from `MetricsRegistry::to_json`).
+        metrics: Json,
+    },
+}
+
+impl Event {
+    /// Serializes the event to its journal-line JSON object.
+    pub fn to_json(&self) -> Json {
+        match self {
+            Event::RunStart {
+                flow,
+                benchmark,
+                seed,
+                config,
+            } => {
+                let config = Json::Obj(config.clone());
+                Json::obj(vec![
+                    ("event", "run_start".into()),
+                    ("flow", flow.as_str().into()),
+                    ("benchmark", benchmark.as_str().into()),
+                    ("seed", (*seed).into()),
+                    ("config", config),
+                ])
+            }
+            Event::Temperature(t) => Json::obj(vec![
+                ("event", "temperature".into()),
+                ("index", t.index.into()),
+                ("temperature", t.temperature.into()),
+                ("moves", t.moves.into()),
+                ("accepted", t.accepted.into()),
+                ("mean_cost", t.mean_cost.into()),
+                ("std_cost", t.std_cost.into()),
+                ("current_cost", t.current_cost.into()),
+                ("best_cost", t.best_cost.into()),
+            ]),
+            Event::Dynamics(d) => Json::obj(vec![
+                ("event", "dynamics".into()),
+                ("index", d.index.into()),
+                ("temperature", d.temperature.into()),
+                ("cells_perturbed", d.cells_perturbed.into()),
+                ("nets_globally_unrouted", d.nets_globally_unrouted.into()),
+                ("nets_unrouted", d.nets_unrouted.into()),
+                ("worst_delay", d.worst_delay.into()),
+                ("cost", d.cost.into()),
+            ]),
+            Event::Reroute { scope, stats } => Json::obj(vec![
+                ("event", "reroute".into()),
+                ("scope", scope.as_str().into()),
+                ("globally_routed", stats.globally_routed.into()),
+                ("detail_routed", stats.detail_routed.into()),
+                ("detail_failures", stats.detail_failures.into()),
+            ]),
+            Event::RunEnd {
+                cost,
+                worst_delay,
+                unrouted,
+                total_moves,
+                temperatures,
+                runtime_sec,
+                metrics,
+            } => Json::obj(vec![
+                ("event", "run_end".into()),
+                ("cost", (*cost).into()),
+                ("worst_delay", (*worst_delay).into()),
+                ("unrouted", (*unrouted).into()),
+                ("total_moves", (*total_moves).into()),
+                ("temperatures", (*temperatures).into()),
+                ("runtime_sec", (*runtime_sec).into()),
+                ("metrics", metrics.clone()),
+            ]),
+        }
+    }
+
+    /// Parses a journal line back into an event (used by `fig6` to
+    /// regenerate plots from a recorded run). Unknown event kinds yield
+    /// `None` so readers tolerate journals from newer writers.
+    pub fn from_json(j: &Json) -> Option<Event> {
+        let kind = j.get("event")?.as_str()?;
+        let num = |key: &str| j.get(key).and_then(Json::as_f64);
+        let int = |key: &str| j.get(key).and_then(Json::as_u64).map(|v| v as usize);
+        match kind {
+            "run_start" => Some(Event::RunStart {
+                flow: j.get("flow")?.as_str()?.to_string(),
+                benchmark: j.get("benchmark")?.as_str()?.to_string(),
+                seed: j.get("seed")?.as_u64()?,
+                config: match j.get("config") {
+                    Some(Json::Obj(pairs)) => pairs.clone(),
+                    _ => Vec::new(),
+                },
+            }),
+            "temperature" => Some(Event::Temperature(TemperatureRecord {
+                index: int("index")?,
+                temperature: num("temperature")?,
+                moves: int("moves")?,
+                accepted: int("accepted")?,
+                mean_cost: num("mean_cost")?,
+                std_cost: num("std_cost")?,
+                current_cost: num("current_cost")?,
+                best_cost: num("best_cost")?,
+            })),
+            "dynamics" => Some(Event::Dynamics(DynamicsRecord {
+                index: int("index")?,
+                temperature: num("temperature")?,
+                cells_perturbed: int("cells_perturbed")?,
+                nets_globally_unrouted: int("nets_globally_unrouted")?,
+                nets_unrouted: int("nets_unrouted")?,
+                worst_delay: num("worst_delay")?,
+                cost: num("cost")?,
+            })),
+            "reroute" => Some(Event::Reroute {
+                scope: j.get("scope")?.as_str()?.to_string(),
+                stats: RerouteRecord {
+                    globally_routed: int("globally_routed")?,
+                    detail_routed: int("detail_routed")?,
+                    detail_failures: int("detail_failures")?,
+                },
+            }),
+            "run_end" => Some(Event::RunEnd {
+                cost: num("cost")?,
+                worst_delay: num("worst_delay")?,
+                unrouted: int("unrouted")?,
+                total_moves: int("total_moves")?,
+                temperatures: int("temperatures")?,
+                runtime_sec: num("runtime_sec")?,
+                metrics: j.get("metrics").cloned().unwrap_or(Json::Null),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Consumes events.
+pub trait Recorder {
+    /// Handles one event.
+    fn record(&mut self, event: &Event);
+
+    /// Flushes any buffered output (called at run end).
+    fn flush(&mut self) {}
+}
+
+/// Drops every event. The zero-overhead default.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn record(&mut self, _event: &Event) {}
+}
+
+/// Writes each event as one JSON line.
+pub struct RunJournal<W: Write> {
+    out: W,
+    lines: u64,
+}
+
+impl<W: Write> RunJournal<W> {
+    /// Wraps a writer. Consider a `BufWriter` for file sinks.
+    pub fn new(out: W) -> RunJournal<W> {
+        RunJournal { out, lines: 0 }
+    }
+
+    /// Number of lines written so far.
+    pub fn lines(&self) -> u64 {
+        self.lines
+    }
+
+    /// Unwraps the inner writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> Recorder for RunJournal<W> {
+    fn record(&mut self, event: &Event) {
+        let mut line = event.to_json().to_string_compact();
+        line.push('\n');
+        // Journal output is best-effort: a full disk should not abort a
+        // multi-minute layout run.
+        if self.out.write_all(line.as_bytes()).is_ok() {
+            self.lines += 1;
+        }
+    }
+
+    fn flush(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::RunStart {
+                flow: "simultaneous".into(),
+                benchmark: "cse".into(),
+                seed: 7,
+                config: vec![("tracks".to_string(), Json::from(9u64))],
+            },
+            Event::Temperature(TemperatureRecord {
+                index: 0,
+                temperature: 12.5,
+                moves: 100,
+                accepted: 44,
+                mean_cost: 10.0,
+                std_cost: 1.5,
+                current_cost: 9.0,
+                best_cost: 8.5,
+            }),
+            Event::Dynamics(DynamicsRecord {
+                index: 0,
+                temperature: 12.5,
+                cells_perturbed: 40,
+                nets_globally_unrouted: 2,
+                nets_unrouted: 5,
+                worst_delay: 31.25,
+                cost: 9.0,
+            }),
+            Event::Reroute {
+                scope: "final_repair".into(),
+                stats: RerouteRecord {
+                    globally_routed: 3,
+                    detail_routed: 11,
+                    detail_failures: 1,
+                },
+            },
+            Event::RunEnd {
+                cost: 8.5,
+                worst_delay: 30.0,
+                unrouted: 0,
+                total_moves: 100,
+                temperatures: 1,
+                runtime_sec: 0.25,
+                metrics: Json::obj(vec![("counters", Json::Obj(vec![]))]),
+            },
+        ]
+    }
+
+    #[test]
+    fn journal_round_trips_through_jsonl() {
+        let mut journal = RunJournal::new(Vec::new());
+        let events = sample_events();
+        for e in &events {
+            journal.record(e);
+        }
+        journal.flush();
+        assert_eq!(journal.lines(), events.len() as u64);
+        let text = String::from_utf8(journal.into_inner()).unwrap();
+        assert_eq!(text.lines().count(), events.len());
+
+        let docs = json::parse_lines(&text).unwrap();
+        let parsed: Vec<Event> = docs.iter().filter_map(Event::from_json).collect();
+        assert_eq!(parsed.len(), events.len());
+        for (orig, back) in events.iter().zip(&parsed) {
+            assert_eq!(orig.to_json(), back.to_json());
+        }
+    }
+
+    #[test]
+    fn journal_lines_carry_event_discriminator() {
+        let mut journal = RunJournal::new(Vec::new());
+        journal.record(&sample_events()[1]);
+        let text = String::from_utf8(journal.into_inner()).unwrap();
+        assert!(text.starts_with("{\"event\":\"temperature\""), "{text}");
+    }
+
+    #[test]
+    fn unknown_events_are_skipped_not_errors() {
+        let doc = json::parse("{\"event\":\"from_the_future\",\"x\":1}").unwrap();
+        assert!(Event::from_json(&doc).is_none());
+    }
+
+    #[test]
+    fn noop_recorder_accepts_everything() {
+        let mut r = NoopRecorder;
+        for e in sample_events() {
+            r.record(&e);
+        }
+        r.flush();
+    }
+}

@@ -1,0 +1,141 @@
+//! Human-readable rendering of a session's final breakdown.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use crate::session::ObsSession;
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+fn fmt_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1.0e12 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Renders counters, histogram percentiles, and the per-phase time
+/// breakdown as an aligned text table.
+pub fn render(session: &mut ObsSession) -> String {
+    let mut out = String::new();
+
+    let phases: Vec<_> = session.profiler.phases().collect();
+    if !phases.is_empty() {
+        let wall: Duration = phases.iter().map(|(_, t)| t.self_time()).sum();
+        let _ = writeln!(out, "phase breakdown");
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>8} {:>12} {:>12} {:>7}",
+            "phase", "calls", "total", "self", "self%"
+        );
+        for (name, t) in &phases {
+            let pct = if wall.as_nanos() == 0 {
+                0.0
+            } else {
+                100.0 * t.self_time().as_secs_f64() / wall.as_secs_f64()
+            };
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>8} {:>12} {:>12} {:>6.1}%",
+                name,
+                t.calls,
+                fmt_duration(t.total),
+                fmt_duration(t.self_time()),
+                pct
+            );
+        }
+    }
+
+    let counters: Vec<_> = session.metrics.counters().collect();
+    if !counters.is_empty() {
+        let _ = writeln!(out, "counters");
+        for (name, value) in counters {
+            let _ = writeln!(out, "  {name:<40} {value:>12}");
+        }
+    }
+
+    let histograms: Vec<_> = session
+        .metrics
+        .histograms()
+        .map(|(name, h)| {
+            (
+                name,
+                h.count(),
+                h.mean(),
+                h.percentile(0.50),
+                h.percentile(0.95),
+                h.max(),
+            )
+        })
+        .collect();
+    if !histograms.is_empty() {
+        let _ = writeln!(out, "histograms");
+        let _ = writeln!(
+            out,
+            "  {:<32} {:>8} {:>9} {:>9} {:>9} {:>9}",
+            "histogram", "count", "mean", "p50", "p95", "max"
+        );
+        for (name, count, mean, p50, p95, max) in histograms {
+            let _ = writeln!(
+                out,
+                "  {:<32} {:>8} {:>9} {:>9} {:>9} {:>9}",
+                name,
+                count,
+                fmt_value(mean),
+                fmt_value(p50),
+                fmt_value(p95),
+                fmt_value(max)
+            );
+        }
+    }
+
+    if out.is_empty() {
+        out.push_str("(no observations recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::NoopRecorder;
+
+    #[test]
+    fn report_contains_all_sections() {
+        let mut s = ObsSession::new(Box::new(NoopRecorder));
+        s.profiler.start("anneal");
+        s.profiler.start("delay_update");
+        s.profiler.end("delay_update");
+        s.profiler.end("anneal");
+        s.metrics.inc("moves.accepted");
+        for v in [1.0, 2.0, 8.0] {
+            s.metrics.observe("cascade", v);
+        }
+        let text = render(&mut s);
+        assert!(text.contains("phase breakdown"), "{text}");
+        assert!(text.contains("anneal"), "{text}");
+        assert!(text.contains("delay_update"), "{text}");
+        assert!(text.contains("counters"), "{text}");
+        assert!(text.contains("moves.accepted"), "{text}");
+        assert!(text.contains("histograms"), "{text}");
+        assert!(text.contains("cascade"), "{text}");
+    }
+
+    #[test]
+    fn empty_session_reports_placeholder() {
+        let mut s = ObsSession::new(Box::new(NoopRecorder));
+        assert!(render(&mut s).contains("no observations"));
+    }
+}

@@ -1,0 +1,211 @@
+//! The shared observability handle threaded through the layout engine.
+//!
+//! [`Obs`] is a cheaply clonable handle that is either *disabled* (the
+//! default — every call is a no-op on an `Option::None`, no allocation, no
+//! locking) or *enabled*, in which case it shares one [`ObsSession`]
+//! holding the metrics registry, the phase profiler, and the event sink.
+//!
+//! The engine is single-threaded, so the session lives behind
+//! `Rc<RefCell<…>>`; borrows are confined to individual method calls and
+//! never held across user code (the [`Obs::span`] closure runs with the
+//! session released).
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::metrics::MetricsRegistry;
+use crate::profile::PhaseProfiler;
+use crate::record::{Event, NoopRecorder, Recorder};
+use crate::report;
+
+/// The state behind an enabled [`Obs`] handle.
+pub struct ObsSession {
+    /// Named counters and histograms.
+    pub metrics: MetricsRegistry,
+    /// Nested span timers.
+    pub profiler: PhaseProfiler,
+    sink: Box<dyn Recorder>,
+}
+
+impl ObsSession {
+    /// Creates a session draining events into `sink`.
+    pub fn new(sink: Box<dyn Recorder>) -> ObsSession {
+        ObsSession {
+            metrics: MetricsRegistry::new(),
+            profiler: PhaseProfiler::new(),
+            sink,
+        }
+    }
+
+    /// Sends one event to the sink.
+    pub fn emit(&mut self, event: &Event) {
+        self.sink.record(event);
+    }
+
+    /// Flushes the sink.
+    pub fn flush(&mut self) {
+        self.sink.flush();
+    }
+}
+
+/// Handle to an optional observability session. `Clone` is a pointer copy.
+#[derive(Clone, Default)]
+pub struct Obs(Option<Rc<RefCell<ObsSession>>>);
+
+impl Obs {
+    /// The disabled handle: every operation is a no-op.
+    pub fn disabled() -> Obs {
+        Obs(None)
+    }
+
+    /// An enabled handle recording into `sink`.
+    pub fn with_sink(sink: Box<dyn Recorder>) -> Obs {
+        Obs(Some(Rc::new(RefCell::new(ObsSession::new(sink)))))
+    }
+
+    /// An enabled handle that keeps metrics and spans but drops events.
+    pub fn metrics_only() -> Obs {
+        Obs::with_sink(Box::new(NoopRecorder))
+    }
+
+    /// Whether this handle records anything.
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Runs `f` against the session, if enabled.
+    pub fn with_session<T>(&self, f: impl FnOnce(&mut ObsSession) -> T) -> Option<T> {
+        self.0.as_ref().map(|cell| f(&mut cell.borrow_mut()))
+    }
+
+    /// Increments a counter.
+    pub fn inc(&self, name: &'static str) {
+        self.with_session(|s| s.metrics.inc(name));
+    }
+
+    /// Adds `n` to a counter.
+    pub fn add(&self, name: &'static str, n: u64) {
+        self.with_session(|s| s.metrics.add(name, n));
+    }
+
+    /// Records a histogram observation.
+    pub fn observe(&self, name: &'static str, value: f64) {
+        self.with_session(|s| s.metrics.observe(name, value));
+    }
+
+    /// Emits an event to the sink.
+    pub fn emit(&self, event: Event) {
+        self.with_session(|s| s.emit(&event));
+    }
+
+    /// Opens a profiling span (pair with [`Obs::span_end`]).
+    pub fn span_start(&self, name: &'static str) {
+        self.with_session(|s| s.profiler.start(name));
+    }
+
+    /// Closes a profiling span.
+    pub fn span_end(&self, name: &'static str) {
+        self.with_session(|s| s.profiler.end(name));
+    }
+
+    /// Times `f` under a named span. The session borrow is released while
+    /// `f` runs, so `f` may use this (or a cloned) handle freely.
+    pub fn span<T>(&self, name: &'static str, f: impl FnOnce() -> T) -> T {
+        self.span_start(name);
+        let value = f();
+        self.span_end(name);
+        value
+    }
+
+    /// Flushes the sink (call at run end).
+    pub fn flush(&self) {
+        self.with_session(|s| s.flush());
+    }
+
+    /// Renders the final counters / histogram / phase breakdown, or `None`
+    /// when disabled.
+    pub fn render_report(&self) -> Option<String> {
+        self.with_session(report::render)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::RunJournal;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        assert!(!obs.enabled());
+        obs.inc("x");
+        obs.observe("h", 1.0);
+        obs.emit(Event::Dynamics(crate::record::DynamicsRecord {
+            index: 0,
+            temperature: 1.0,
+            cells_perturbed: 0,
+            nets_globally_unrouted: 0,
+            nets_unrouted: 0,
+            worst_delay: 0.0,
+            cost: 0.0,
+        }));
+        let out = obs.span("phase", || 41 + 1);
+        assert_eq!(out, 42);
+        assert!(obs.render_report().is_none());
+    }
+
+    #[test]
+    fn clones_share_one_session() {
+        let obs = Obs::metrics_only();
+        let alias = obs.clone();
+        obs.inc("moves");
+        alias.inc("moves");
+        let count = obs.with_session(|s| s.metrics.counter("moves")).unwrap();
+        assert_eq!(count, 2);
+    }
+
+    #[test]
+    fn span_closure_may_reenter_the_handle() {
+        let obs = Obs::metrics_only();
+        obs.span("outer", || {
+            obs.inc("inside");
+            obs.span("inner", || {});
+        });
+        let (outer, inner, inside) = obs
+            .with_session(|s| {
+                (
+                    s.profiler.total("outer").unwrap().calls,
+                    s.profiler.total("inner").unwrap().calls,
+                    s.metrics.counter("inside"),
+                )
+            })
+            .unwrap();
+        assert_eq!((outer, inner, inside), (1, 1, 1));
+    }
+
+    #[test]
+    fn events_reach_the_sink() {
+        // Share a Vec<u8> via Rc<RefCell<…>> indirection: use a journal
+        // into a Vec and pull it back out through with_session.
+        struct Counting {
+            inner: RunJournal<Vec<u8>>,
+        }
+        impl Recorder for Counting {
+            fn record(&mut self, event: &Event) {
+                self.inner.record(event);
+            }
+        }
+        let obs = Obs::with_sink(Box::new(Counting {
+            inner: RunJournal::new(Vec::new()),
+        }));
+        obs.emit(Event::Reroute {
+            scope: "test".into(),
+            stats: crate::record::RerouteRecord {
+                globally_routed: 1,
+                detail_routed: 2,
+                detail_failures: 0,
+            },
+        });
+        assert!(obs.enabled());
+    }
+}

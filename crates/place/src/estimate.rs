@@ -176,9 +176,7 @@ mod tests {
             let bbox = NetBbox::compute(&arch, &nl, &p, id);
             for l in net_pin_locs(&arch, &nl, &p, id) {
                 assert!(bbox.col_min <= l.col.index() && l.col.index() <= bbox.col_max);
-                assert!(
-                    bbox.chan_min <= l.channel.index() && l.channel.index() <= bbox.chan_max
-                );
+                assert!(bbox.chan_min <= l.channel.index() && l.channel.index() <= bbox.chan_max);
             }
         }
     }

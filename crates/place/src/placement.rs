@@ -85,10 +85,7 @@ impl Placement {
                 logic_cells.push(id);
             }
         }
-        let mut io_sites: Vec<SiteId> = geom
-            .sites_of_kind(SiteKind::Io)
-            .map(|s| s.id())
-            .collect();
+        let mut io_sites: Vec<SiteId> = geom.sites_of_kind(SiteKind::Io).map(|s| s.id()).collect();
         let mut logic_sites: Vec<SiteId> = geom
             .sites_of_kind(SiteKind::Logic)
             .map(|s| s.id())

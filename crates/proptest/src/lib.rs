@@ -1,0 +1,215 @@
+//! Offline stand-in for the subset of the crates.io `proptest` API used by
+//! this workspace.
+//!
+//! The build environment has no network access, so the real `proptest`
+//! cannot be fetched. This crate keeps the same surface syntax — the
+//! [`proptest!`] macro, `prop_assert!`/`prop_assert_eq!`, [`Strategy`] with
+//! `prop_map`, `any::<T>()`, ranges and tuples as strategies,
+//! [`prop_oneof!`] and `collection::vec` — on top of a deterministic
+//! random-case runner. Unlike the real crate there is no shrinking and no
+//! failure persistence: cases are derived from a hash of the test name and
+//! the case index, so failures reproduce exactly on re-run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod collection;
+pub mod strategy;
+
+pub use strategy::{any, boxed_strategy, BoxedStrategy, Just, OneOf, Strategy};
+
+/// A failed property case (carried by `prop_assert!` and friends).
+#[derive(Clone, Debug)]
+pub struct TestCaseError {
+    /// Human-readable failure description.
+    pub message: String,
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Runner configuration (only `cases` is honored).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for source compatibility; ignored (no shrinking here).
+    pub max_shrink_iters: u32,
+    /// Accepted for source compatibility; ignored.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_shrink_iters: 0,
+            max_global_rejects: 1024,
+        }
+    }
+}
+
+/// Deterministic per-case generator: a pure function of the test name and
+/// case index, so every failure reproduces on the next run.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | 0x9e3779b9))
+}
+
+/// Commonly imported names, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_oneof, proptest, ProptestConfig, TestCaseError,
+    };
+}
+
+/// Defines property tests. Each function is expanded to a `#[test]` that
+/// draws its arguments from the given strategies for `config.cases`
+/// deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ @cfg($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg($cfg:expr)) => {};
+    (@cfg($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            for case in 0..config.cases {
+                let mut __proptest_rng = $crate::case_rng(stringify!($name), case);
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                let outcome = (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                if let Err(e) = outcome {
+                    panic!(
+                        "property `{}` failed at case {case}/{}: {}",
+                        stringify!($name),
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+        $crate::__proptest_impl!{ @cfg($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property, failing the current case (with
+/// the deterministic case index in the panic message) if false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError {
+                message: format!($($fmt)*),
+            });
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::boxed_strategy($strat)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn case_rng_is_deterministic() {
+        use rand::Rng as _;
+        let mut a = crate::case_rng("t", 3);
+        let mut b = crate::case_rng("t", 3);
+        let mut c = crate::case_rng("t", 4);
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        let _ = c.gen::<u64>();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 50, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 10usize..20, y in any::<u32>()) {
+            prop_assert!((10..20).contains(&x));
+            let _ = y;
+        }
+
+        #[test]
+        fn map_and_tuples_compose(
+            pair in (1usize..5, 1usize..5).prop_map(|(a, b)| a * b),
+            v in collection::vec(0usize..3, 2..6),
+        ) {
+            prop_assert!((1..=16).contains(&pair));
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|e| *e < 3));
+        }
+
+        #[test]
+        fn oneof_selects_all_arms(x in prop_oneof![Just(1usize), Just(2usize), 3usize..5]) {
+            prop_assert!((1..5).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `failing` failed at case")]
+    fn failures_report_the_case() {
+        proptest! {
+            fn failing(x in 0usize..10) {
+                prop_assert!(x < 5, "x was {x}");
+            }
+        }
+        failing();
+    }
+}

@@ -28,6 +28,13 @@ pub struct BatchOutcome {
     pub globally_unrouted: usize,
     /// Nets left without a complete detailed route.
     pub incomplete: usize,
+    /// Nets given a global route, summed over all rounds.
+    pub globally_routed: usize,
+    /// (net, channel) detail assignments completed, summed over all rounds.
+    pub detail_routed: usize,
+    /// (net, channel) detail track-assignment failures, summed over all
+    /// rounds (retried nets count once per failing attempt).
+    pub detail_failures: usize,
 }
 
 /// Routes all nets of a fixed placement, with up to `max_passes`
@@ -47,9 +54,15 @@ pub fn route_batch(
         state.rip_up(net);
     }
     let mut passes = 0;
+    let mut globally_routed = 0;
+    let mut detail_routed = 0;
+    let mut detail_failures = 0;
     loop {
         passes += 1;
-        state.route_incremental(arch, netlist, placement, cfg);
+        let stats = state.route_incremental(arch, netlist, placement, cfg);
+        globally_routed += stats.globally_routed;
+        detail_routed += stats.detail_routed;
+        detail_failures += stats.detail_failures;
         if state.is_fully_routed() || passes >= max_passes.max(1) {
             break;
         }
@@ -57,13 +70,18 @@ pub fn route_batch(
         // Give the previously-failed nets first pick of the freed space
         // before their blockers reroute; without this the deterministic
         // longest-span-first ordering replays the identical failure.
-        crate::detail::detail_route_pass(state, arch, cfg);
+        let retry = crate::detail::detail_route_pass(state, arch, cfg);
+        detail_routed += retry.routed;
+        detail_failures += retry.failures;
     }
     BatchOutcome {
         fully_routed: state.is_fully_routed(),
         passes,
         globally_unrouted: state.globally_unrouted(),
         incomplete: state.incomplete(),
+        globally_routed,
+        detail_routed,
+        detail_failures,
     }
 }
 
@@ -88,7 +106,10 @@ fn rip_up_blockers(state: &mut RoutingState, arch: &Architecture, netlist: &Netl
             let Some((lo, hi)) = state.route(net).span_in(channel) else {
                 continue;
             };
-            if failed_spans.iter().any(|&(flo, fhi)| lo <= fhi && flo <= hi) {
+            if failed_spans
+                .iter()
+                .any(|&(flo, fhi)| lo <= fhi && flo <= hi)
+            {
                 victims.push(net);
             }
         }
@@ -133,6 +154,9 @@ mod tests {
         assert!(out.fully_routed);
         assert_eq!(out.passes, 1);
         assert_eq!(out.incomplete, 0);
+        assert_eq!(out.detail_failures, 0);
+        assert!(out.detail_routed > 0);
+        assert!(out.globally_routed > 0);
     }
 
     #[test]
@@ -169,6 +193,7 @@ mod tests {
         assert!(out.incomplete > 0);
         assert_eq!(out.incomplete, st.incomplete());
         assert_eq!(out.globally_unrouted, st.globally_unrouted());
+        assert!(out.detail_failures > 0, "starved chip must count failures");
     }
 
     #[test]

@@ -16,15 +16,26 @@ use rowfpga_netlist::NetId;
 use crate::config::RouterConfig;
 use crate::state::RoutingState;
 
+/// Counts from one detailed routing pass.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DetailPassStats {
+    /// (net, channel) assignments completed.
+    pub routed: usize,
+    /// (net, channel) track-assignment attempts that found every feasible
+    /// track blocked; the net stays queued in its channel's `U_D`.
+    pub failures: usize,
+}
+
 /// Attempts to detail route every net in every dirty channel's `U_D`,
 /// longest span first. Returns the number of (net, channel) assignments
-/// completed.
+/// completed and the number of failed attempts.
 pub fn detail_route_pass(
     state: &mut RoutingState,
     arch: &Architecture,
     cfg: &RouterConfig,
-) -> usize {
+) -> DetailPassStats {
     let mut routed = 0;
+    let mut failures = 0;
     for channel in state.dirty_channels() {
         // Longest spans first: they have the fewest feasible tracks.
         let mut queue: Vec<(NetId, usize, usize)> = state
@@ -43,10 +54,12 @@ pub fn detail_route_pass(
             if let Some(segs) = find_track_run(state, arch, channel, lo, hi, cfg) {
                 state.set_channel_routed(net, channel, segs);
                 routed += 1;
+            } else {
+                failures += 1;
             }
         }
     }
-    routed
+    DetailPassStats { routed, failures }
 }
 
 /// Finds the cheapest run of consecutive free segments on one track of
@@ -127,8 +140,10 @@ mod tests {
         let cfg = RouterConfig::default();
         global_route_pass(&mut st, &arch, &nl, &p, &cfg);
         assert_eq!(st.globally_unrouted(), 0);
-        detail_route_pass(&mut st, &arch, &cfg);
+        let pass = detail_route_pass(&mut st, &arch, &cfg);
         assert_eq!(st.incomplete(), 0, "roomy chip must route fully");
+        assert_eq!(pass.failures, 0);
+        assert!(pass.routed > 0);
         // every routed run covers its span on a single track
         for (id, _) in nl.nets() {
             let route = st.route(id);
@@ -238,8 +253,9 @@ mod tests {
         let narrow = arch.with_tracks(1).unwrap();
         let mut st2 = RoutingState::new(&narrow, &nl);
         global_route_pass(&mut st2, &narrow, &nl, &p, &cfg);
-        detail_route_pass(&mut st2, &narrow, &cfg);
+        let pass = detail_route_pass(&mut st2, &narrow, &cfg);
         assert!(st2.incomplete() > 0, "one track cannot carry everything");
+        assert!(pass.failures > 0, "starved fabric must report failures");
         // failed nets remain queued in their channels
         let queued: usize = (0..narrow.geometry().num_channels())
             .map(|c| st2.ud(ChannelId::new(c)).count())

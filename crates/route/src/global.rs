@@ -135,9 +135,7 @@ fn find_chain(
                 best = Some(s);
             }
         }
-        let Some(seg) = best else {
-            return None;
-        };
+        let seg = best?;
         chain.push(seg.id());
         reach = Some(seg.chan_hi().index());
         if reach.unwrap() >= chan_max {

@@ -17,6 +17,16 @@ pub struct RerouteStats {
     pub globally_routed: usize,
     /// (net, channel) detailed assignments completed in this pass.
     pub detail_routed: usize,
+    /// (net, channel) detailed track-assignment attempts that failed (every
+    /// feasible track blocked); the nets stay queued for later passes.
+    pub detail_failures: usize,
+}
+
+impl RerouteStats {
+    /// Total nets touched by this cascade (global + detail work items).
+    pub fn cascade_size(&self) -> usize {
+        self.globally_routed + self.detail_routed
+    }
 }
 
 impl RoutingState {
@@ -31,10 +41,11 @@ impl RoutingState {
         cfg: &RouterConfig,
     ) -> RerouteStats {
         let globally_routed = global_route_pass(self, arch, netlist, placement, cfg);
-        let detail_routed = detail_route_pass(self, arch, cfg);
+        let detail = detail_route_pass(self, arch, cfg);
         RerouteStats {
             globally_routed,
-            detail_routed,
+            detail_routed: detail.routed,
+            detail_failures: detail.failures,
         }
     }
 }
@@ -95,13 +106,16 @@ mod tests {
             .rows(4)
             .cols(12)
             .io_columns(2)
+            .tracks_per_channel(20)
             .build()
             .unwrap();
         let p = Placement::random(&arch, &nl, 8).unwrap();
         let mut st = RoutingState::new(&arch, &nl);
         let cfg = RouterConfig::default();
         st.route_incremental(&arch, &nl, &p, &cfg);
+        assert!(st.is_fully_routed(), "roomy chip should route fully");
         let stats = st.route_incremental(&arch, &nl, &p, &cfg);
         assert_eq!(stats, RerouteStats::default());
+        assert_eq!(stats.cascade_size(), 0);
     }
 }

@@ -40,7 +40,7 @@ mod verify;
 
 pub use batch::{route_batch, BatchOutcome};
 pub use config::RouterConfig;
-pub use detail::detail_route_pass;
+pub use detail::{detail_route_pass, DetailPassStats};
 pub use global::global_route_pass;
 pub use incremental::RerouteStats;
 pub use route::{NetRoute, NetRouteState};

@@ -122,7 +122,6 @@ impl NetRoute {
         };
         h_joints + v_joints + taps
     }
-
 }
 
 #[cfg(test)]

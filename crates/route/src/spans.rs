@@ -42,10 +42,7 @@ impl NetRequirements {
     /// feedthrough column choice: the pins' span, stretched to reach the
     /// feedthrough column when the net spans several channels.
     pub fn span_in(&self, channel: usize, vcol: Option<usize>) -> Option<(usize, usize)> {
-        let &(_, lo, hi) = self
-            .pin_channels
-            .iter()
-            .find(|(c, _, _)| *c == channel)?;
+        let &(_, lo, hi) = self.pin_channels.iter().find(|(c, _, _)| *c == channel)?;
         match vcol {
             Some(x) if self.needs_vertical() => Some((lo.min(x), hi.max(x))),
             _ => Some((lo, hi)),

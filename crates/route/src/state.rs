@@ -229,12 +229,7 @@ impl RoutingState {
     /// # Panics
     ///
     /// Panics (debug) if the channel is not pending for the net.
-    pub(crate) fn set_channel_routed(
-        &mut self,
-        net: NetId,
-        channel: ChannelId,
-        segs: Vec<HSegId>,
-    ) {
+    pub(crate) fn set_channel_routed(&mut self, net: NetId, channel: ChannelId, segs: Vec<HSegId>) {
         let mut route = self.routes[net.index()].clone();
         let pos = route
             .pending_channels
@@ -447,9 +442,21 @@ mod tests {
         let (arch, _nl, mut st) = setup();
         let chan = ChannelId::new(0);
         let hseg = arch.channel_tracks(chan)[0].segments()[0].id();
-        st.set_global(NetId::new(0), Vec::new(), None, vec![(chan, 0, 1)], vec![chan]);
+        st.set_global(
+            NetId::new(0),
+            Vec::new(),
+            None,
+            vec![(chan, 0, 1)],
+            vec![chan],
+        );
         st.set_channel_routed(NetId::new(0), chan, vec![hseg]);
-        st.set_global(NetId::new(1), Vec::new(), None, vec![(chan, 0, 1)], vec![chan]);
+        st.set_global(
+            NetId::new(1),
+            Vec::new(),
+            None,
+            vec![(chan, 0, 1)],
+            vec![chan],
+        );
         st.set_channel_routed(NetId::new(1), chan, vec![hseg]);
     }
 
@@ -482,11 +489,7 @@ impl RoutingState {
     /// Wire utilization of one channel: `(used, total)` column-units of
     /// horizontal segment claimed vs. available. Used by congestion reports
     /// and layout rendering.
-    pub fn channel_wire_usage(
-        &self,
-        arch: &Architecture,
-        channel: ChannelId,
-    ) -> (usize, usize) {
+    pub fn channel_wire_usage(&self, arch: &Architecture, channel: ChannelId) -> (usize, usize) {
         let mut total = 0usize;
         let mut used = 0usize;
         for track in arch.channel_tracks(channel) {
@@ -507,7 +510,7 @@ impl RoutingState {
         for c in 0..arch.geometry().num_channels() {
             let chan = ChannelId::new(c);
             let (used, total) = self.channel_wire_usage(arch, chan);
-            let pct = if total == 0 { 0 } else { 100 * used / total };
+            let pct = (100 * used).checked_div(total).unwrap_or(0);
             let bars = pct / 5;
             let _ = writeln!(
                 out,

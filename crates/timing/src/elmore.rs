@@ -178,11 +178,7 @@ pub fn elmore_sink_delays(
             .expect("sink channel is routed");
         let run = route.hsegs_in(sink.channel).expect("sink channel routed");
         let tap = run_tap_index(arch, run, sink.col.index());
-        let node = tree.add(
-            Some(nodes[tap]),
-            p.r_antifuse,
-            p.c_input + p.c_antifuse,
-        );
+        let node = tree.add(Some(nodes[tap]), p.r_antifuse, p.c_input + p.c_antifuse);
         delays_idx.push(node);
     }
 
@@ -219,14 +215,18 @@ fn grow_run(
     for i in (0..from).rev() {
         nodes[i] = tree.add(
             Some(nodes[i + 1]),
-            p.r_antifuse + seg_wire_r(arch, run[i + 1], p) / 2.0 + seg_wire_r(arch, run[i], p) / 2.0,
+            p.r_antifuse
+                + seg_wire_r(arch, run[i + 1], p) / 2.0
+                + seg_wire_r(arch, run[i], p) / 2.0,
             seg_cap(arch, run[i], p) + p.c_antifuse,
         );
     }
     for i in (from + 1)..run.len() {
         nodes[i] = tree.add(
             Some(nodes[i - 1]),
-            p.r_antifuse + seg_wire_r(arch, run[i - 1], p) / 2.0 + seg_wire_r(arch, run[i], p) / 2.0,
+            p.r_antifuse
+                + seg_wire_r(arch, run[i - 1], p) / 2.0
+                + seg_wire_r(arch, run[i], p) / 2.0,
             seg_cap(arch, run[i], p) + p.c_antifuse,
         );
     }

@@ -123,6 +123,9 @@ mod tests {
             .build()
             .unwrap();
         let slow = estimate_sink_delay(&slow_arch, &nl, &p, net);
-        assert!(slow > base, "5x antifuse resistance must raise the estimate");
+        assert!(
+            slow > base,
+            "5x antifuse resistance must raise the estimate"
+        );
     }
 }

@@ -73,8 +73,7 @@ impl Sta {
         }
         for &cell in levels.order() {
             let kind = netlist.cell(cell).kind();
-            let worst_input =
-                worst_input_arrival(netlist, &arr, &net_delays, cell).unwrap_or(0.0);
+            let worst_input = worst_input_arrival(netlist, &arr, &net_delays, cell).unwrap_or(0.0);
             arr[cell.index()] = worst_input + cell_intrinsic_delay(arch, kind);
         }
 
@@ -140,12 +139,7 @@ impl Sta {
             arrival: self.worst,
         }];
         let mut cursor = endpoint;
-        loop {
-            let Some((driver, _)) =
-                argmax_input(netlist, &self.arr, &self.net_delays, cursor)
-            else {
-                break;
-            };
+        while let Some((driver, _)) = argmax_input(netlist, &self.arr, &self.net_delays, cursor) {
             elements.push(PathElement {
                 cell: driver,
                 arrival: self.arr[driver.index()],
@@ -299,7 +293,9 @@ mod tests {
             b.build().unwrap()
         };
         // same placement/routing topology on the slow fabric
-        let slow = Sta::analyze(&slow_arch, &nl, &p, &st).unwrap().worst_delay();
+        let slow = Sta::analyze(&slow_arch, &nl, &p, &st)
+            .unwrap()
+            .worst_delay();
         assert!(slow > base);
     }
 
@@ -372,6 +368,9 @@ mod report_tests {
         let cp = sta.critical_path(&nl);
         assert_eq!(report.lines().count(), cp.elements.len() + 1);
         assert!(report.starts_with("critical path:"));
-        assert!(!report.contains("(+-"), "negative increment in report:\n{report}");
+        assert!(
+            !report.contains("(+-"),
+            "negative increment in report:\n{report}"
+        );
     }
 }

@@ -42,6 +42,10 @@ pub struct TimingState {
     endpoints: Vec<CellId>,
     worst: f64,
     journal: Option<Journal>,
+    /// Cells popped off the frontier by the most recent
+    /// [`TimingState::update_nets`] call (observability only; not
+    /// journaled, since it never affects results).
+    last_frontier: usize,
 }
 
 impl TimingState {
@@ -70,6 +74,7 @@ impl TimingState {
             endpoints,
             worst: 0.0,
             journal: None,
+            last_frontier: 0,
         };
         state.full_analyze(arch, netlist, placement, routing);
         Ok(state)
@@ -89,8 +94,7 @@ impl TimingState {
             "full analysis inside a transaction is not supported"
         );
         for (id, _) in netlist.nets() {
-            self.net_delays[id.index()] =
-                net_sink_delays(arch, netlist, placement, routing, id);
+            self.net_delays[id.index()] = net_sink_delays(arch, netlist, placement, routing, id);
         }
         for (id, cell) in netlist.cells() {
             self.arr[id.index()] = match cell.kind() {
@@ -124,6 +128,13 @@ impl TimingState {
     /// The interconnect delays currently charged to a net's sinks.
     pub fn net_delays(&self, net: NetId) -> &[f64] {
         &self.net_delays[net.index()]
+    }
+
+    /// Cells processed by the propagation frontier of the most recent
+    /// [`TimingState::update_nets`] call (0 if it had nothing to do). A
+    /// cheap proxy for how far a move's timing disturbance traveled.
+    pub fn last_frontier(&self) -> usize {
+        self.last_frontier
     }
 
     /// Starts journaling for a speculative move.
@@ -181,6 +192,7 @@ impl TimingState {
         routing: &RoutingState,
         changed: &[NetId],
     ) -> f64 {
+        self.last_frontier = 0;
         if changed.is_empty() {
             return self.worst;
         }
@@ -194,8 +206,7 @@ impl TimingState {
 
         for &net in changed {
             self.save_net(net);
-            self.net_delays[net.index()] =
-                net_sink_delays(arch, netlist, placement, routing, net);
+            self.net_delays[net.index()] = net_sink_delays(arch, netlist, placement, routing, net);
             for s in netlist.net(net).sinks() {
                 let kind = netlist.cell(s.cell).kind();
                 if kind.is_boundary() {
@@ -210,10 +221,11 @@ impl TimingState {
         }
 
         while let Some(Reverse((_, cell))) = frontier.pop() {
+            self.last_frontier += 1;
             queued[cell.index()] = false;
-            let new_arr =
-                worst_input_arrival(netlist, &self.arr, &self.net_delays, cell).unwrap_or(0.0)
-                    + cell_intrinsic_delay(arch, netlist.cell(cell).kind());
+            let new_arr = worst_input_arrival(netlist, &self.arr, &self.net_delays, cell)
+                .unwrap_or(0.0)
+                + cell_intrinsic_delay(arch, netlist.cell(cell).kind());
             if (new_arr - self.arr[cell.index()]).abs() <= EPS {
                 continue;
             }
@@ -413,6 +425,7 @@ mod tests {
         let mut ts = TimingState::new(&arch, &nl, &p, &st).unwrap();
         let w = ts.worst();
         assert_eq!(ts.update_nets(&arch, &nl, &p, &st, &[]), w);
+        assert_eq!(ts.last_frontier(), 0);
     }
 
     #[test]

@@ -11,9 +11,7 @@
 //! ```
 
 use rowfpga::arch::SegmentationScheme;
-use rowfpga::core::{
-    size_architecture, SimPrConfig, SimultaneousPlaceRoute, SizingConfig,
-};
+use rowfpga::core::{size_architecture, SimPrConfig, SimultaneousPlaceRoute, SizingConfig};
 use rowfpga::netlist::{generate, GenerateConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -58,12 +56,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 ..SizingConfig::default()
             };
             let arch = size_architecture(&netlist, &sizing)?;
-            let result =
-                SimultaneousPlaceRoute::new(SimPrConfig::fast()).run(&arch, &netlist)?;
-            row.push_str(&format!(
-                " {:>11.1} ns",
-                result.worst_delay / 1000.0
-            ));
+            let result = SimultaneousPlaceRoute::new(SimPrConfig::fast()).run(&arch, &netlist)?;
+            row.push_str(&format!(" {:>11.1} ns", result.worst_delay / 1000.0));
             if tracks == 12 {
                 row.push_str(&format!(
                     " {:>15}",

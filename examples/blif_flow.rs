@@ -56,6 +56,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         result.runtime
     );
 
-    println!("\nnative-format netlist (round-trippable):\n{}", write_netlist(&netlist));
+    println!(
+        "\nnative-format netlist (round-trippable):\n{}",
+        write_netlist(&netlist)
+    );
     Ok(())
 }

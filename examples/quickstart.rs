@@ -54,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 4. Inspect the critical path.
-    println!("critical path ({} cells):", result.critical_path.elements.len());
+    println!(
+        "critical path ({} cells):",
+        result.critical_path.elements.len()
+    );
     for e in &result.critical_path.elements {
         let cell = netlist.cell(e.cell);
         println!(

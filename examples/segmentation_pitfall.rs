@@ -45,10 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut p = Placement::random(&arch, &netlist, 1).expect("fits");
         for &(name, col) in at {
             let cell = netlist.cell_by_name(name).expect("cell");
-            let target = arch
-                .geometry()
-                .site_at(RowId::new(0), ColId::new(col))
-                .id();
+            let target = arch.geometry().site_at(RowId::new(0), ColId::new(col)).id();
             let from = p.site_of(cell);
             p.swap_sites(&arch, from, target);
         }
@@ -64,7 +61,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let report = |label: &str, p: &Placement| {
-        let wl: f64 = netlist.nets().map(|(id, _)| hpwl(&arch, &netlist, p, id)).sum();
+        let wl: f64 = netlist
+            .nets()
+            .map(|(id, _)| hpwl(&arch, &netlist, p, id))
+            .sum();
         let mut st = RoutingState::new(&arch, &netlist);
         let out = route_batch(&mut st, &arch, &netlist, p, &RouterConfig::default(), 10);
         println!(
@@ -88,7 +88,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = SimultaneousPlaceRoute::new(SimPrConfig::fast()).run(&arch, &netlist)?;
     println!(
         "simultaneous engine: routed {} after {} moves",
-        if result.fully_routed { "100%" } else { "FAILED" },
+        if result.fully_routed {
+            "100%"
+        } else {
+            "FAILED"
+        },
         result.total_moves
     );
     Ok(())

@@ -9,16 +9,21 @@ use rand::SeedableRng;
 use rowfpga::anneal::AnnealProblem;
 use rowfpga::arch::{Architecture, ChannelId, SegmentationScheme, VerticalScheme};
 use rowfpga::core::{CostConfig, LayoutProblem};
-use rowfpga::netlist::{
-    generate, parse_netlist, write_netlist, GenerateConfig, Levels,
-};
+use rowfpga::netlist::{generate, parse_netlist, write_netlist, GenerateConfig, Levels};
 use rowfpga::place::{MoveGenerator, MoveWeights, Placement};
 use rowfpga::route::{verify_routing, RouterConfig, RoutingState};
 use rowfpga::timing::TimingState;
 
 fn arb_generate_config() -> impl Strategy<Value = GenerateConfig> {
-    (30usize..90, 3usize..8, 3usize..8, 0usize..6, 2usize..5, any::<u64>()).prop_map(
-        |(cells, pi, po, ff, fanin, seed)| GenerateConfig {
+    (
+        30usize..90,
+        3usize..8,
+        3usize..8,
+        0usize..6,
+        2usize..5,
+        any::<u64>(),
+    )
+        .prop_map(|(cells, pi, po, ff, fanin, seed)| GenerateConfig {
             num_cells: cells.max(pi + po + ff + 2),
             num_inputs: pi,
             num_outputs: po,
@@ -26,8 +31,7 @@ fn arb_generate_config() -> impl Strategy<Value = GenerateConfig> {
             max_fanin: fanin,
             seed,
             ..GenerateConfig::default()
-        },
-    )
+        })
 }
 
 fn arb_segmentation() -> impl Strategy<Value = SegmentationScheme> {

@@ -9,18 +9,11 @@ use rowfpga::route::{
 };
 
 /// Places named cells at row-0 columns and forces all pins bottom.
-fn place_bottom(
-    arch: &Architecture,
-    netlist: &Netlist,
-    at: &[(&str, usize)],
-) -> Placement {
+fn place_bottom(arch: &Architecture, netlist: &Netlist, at: &[(&str, usize)]) -> Placement {
     let mut p = Placement::random(arch, netlist, 1).expect("fits");
     for &(name, col) in at {
         let cell = netlist.cell_by_name(name).expect("cell");
-        let target = arch
-            .geometry()
-            .site_at(RowId::new(0), ColId::new(col))
-            .id();
+        let target = arch.geometry().site_at(RowId::new(0), ColId::new(col)).id();
         let from = p.site_of(cell);
         p.swap_sites(arch, from, target);
     }
@@ -62,9 +55,16 @@ fn zero_span_net_routes_on_one_segment() {
     assert!(out.fully_routed);
     let net = nl.net_by_name("n").unwrap();
     let route = st.route(net);
-    assert!(route.vsegs().is_empty(), "single-channel net used verticals");
+    assert!(
+        route.vsegs().is_empty(),
+        "single-channel net used verticals"
+    );
     let (_, segs) = &route.hsegs()[0];
-    assert_eq!(segs.len(), 1, "span 1..2 needs at most one run segment... see below");
+    assert_eq!(
+        segs.len(),
+        1,
+        "span 1..2 needs at most one run segment... see below"
+    );
     verify_routing(&st, &arch, &nl, &p).unwrap();
 }
 
@@ -235,6 +235,9 @@ fn vertical_exhaustion_is_reported_as_global_failure() {
         st.globally_unrouted() > 0,
         "span-3 net with chain cap 1 must fail globally"
     );
-    assert_eq!(st.net_state(nl.net_by_name("n1").unwrap()), NetRouteState::Unrouted);
+    assert_eq!(
+        st.net_state(nl.net_by_name("n1").unwrap()),
+        NetRouteState::Unrouted
+    );
     verify_routing(&st, &arch, &nl, &p).unwrap();
 }
