@@ -11,7 +11,7 @@ use rowfpga_place::MoveWeights;
 use rowfpga_route::{route_batch, RouterConfig, RoutingState};
 use rowfpga_timing::Sta;
 
-use rowfpga_core::{DynamicsTrace, LayoutError, LayoutResult};
+use rowfpga_core::{DynamicsTrace, LayoutError, LayoutResult, StopReason};
 
 use crate::placer::{PlacerConfig, PlacerProblem};
 
@@ -190,6 +190,8 @@ impl SequentialPlaceRoute {
             temperatures: outcome.temperatures,
             total_moves: outcome.total_moves,
             runtime: start.elapsed(),
+            stop_reason: StopReason::Converged,
+            repairs: 0,
             placement,
             routing,
         };
@@ -286,6 +288,7 @@ mod tests {
                     Event::Dynamics(_) => "dynamics",
                     Event::Reroute { .. } => "reroute",
                     Event::RunEnd { .. } => "run_end",
+                    _ => "other",
                 });
             }
         }

@@ -49,6 +49,39 @@ pub struct CommonOpts {
     pub journal: Option<String>,
     /// Print the metrics / phase-profile report after the run.
     pub metrics: bool,
+    /// Write periodic checkpoints here.
+    pub checkpoint: Option<String>,
+    /// Checkpoint cadence in temperature steps.
+    pub checkpoint_every: usize,
+    /// Resume from this checkpoint file.
+    pub resume: Option<String>,
+    /// Wall-clock budget in seconds (graceful stop at the next
+    /// temperature boundary).
+    pub deadline: Option<f64>,
+    /// Self-audit cadence in temperature steps (0 = off).
+    pub audit_every: usize,
+    /// Stop after this many temperature steps (deterministic deadline).
+    pub temp_budget: Option<usize>,
+}
+
+impl CommonOpts {
+    /// The first resilience flag present, if any — these are only
+    /// meaningful for the simultaneous flow's single-run subcommands.
+    fn resilience_flag(&self) -> Option<&'static str> {
+        if self.checkpoint.is_some() {
+            Some("--checkpoint")
+        } else if self.resume.is_some() {
+            Some("--resume")
+        } else if self.deadline.is_some() {
+            Some("--deadline")
+        } else if self.audit_every != 0 {
+            Some("--audit-every")
+        } else if self.temp_budget.is_some() {
+            Some("--temp-budget")
+        } else {
+            None
+        }
+    }
 }
 
 impl Default for CommonOpts {
@@ -64,6 +97,12 @@ impl Default for CommonOpts {
             report: false,
             journal: None,
             metrics: false,
+            checkpoint: None,
+            checkpoint_every: 5,
+            resume: None,
+            deadline: None,
+            audit_every: 0,
+            temp_budget: None,
         }
     }
 }
@@ -139,6 +178,11 @@ pub enum ArgError {
     },
     /// A required positional argument is missing.
     MissingInput,
+    /// Two flags contradict each other.
+    Conflict {
+        /// What contradicts what, and why.
+        detail: String,
+    },
 }
 
 impl fmt::Display for ArgError {
@@ -158,6 +202,7 @@ impl fmt::Display for ArgError {
                 expected,
             } => write!(f, "bad value `{value}` for `{flag}` (expected {expected})"),
             ArgError::MissingInput => write!(f, "missing input netlist path"),
+            ArgError::Conflict { detail } => write!(f, "conflicting flags: {detail}"),
         }
     }
 }
@@ -174,6 +219,8 @@ USAGE:
   rowfpga layout   <netlist> [--blif] [--flow sim|seq] [--fast] [--seed N]
                    [--tracks N] [--arch FILE] [--svg FILE] [--ascii]
                    [--report] [--journal FILE] [--metrics]
+                   [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
+                   [--deadline SECS] [--audit-every N] [--temp-budget N]
   rowfpga mintracks <netlist> [--blif] [--flow sim|seq] [--fast] [--seed N]
                    [--start N]
   rowfpga bench    <s1|cse|ex1|bw|s1a|big529> [--flow sim|seq] [--fast]
@@ -186,6 +233,21 @@ OBSERVABILITY:
                    line per temperature, dynamics samples, reroute events,
                    run_end with a metrics snapshot)
   --metrics        print the phase/counter/histogram report after the run
+
+RESILIENCE (simultaneous flow only):
+  --checkpoint FILE     atomically snapshot the full annealer state here
+  --checkpoint-every N  snapshot cadence in temperature steps (default 5)
+  --resume FILE         restart from a checkpoint; the file must match the
+                        current architecture, netlist and seed
+  --deadline SECS       wall-clock budget; the run finishes the current
+                        temperature, checkpoints, and returns best-so-far
+  --audit-every N       re-verify incremental state against ground truth
+                        every N temperatures, repairing on divergence
+  --temp-budget N       stop after N temperatures (deterministic deadline)
+
+SIGINT (ctrl-c) is handled like a deadline: the current temperature
+finishes, a final checkpoint is written, and the best layout so far is
+returned with `stop: interrupted`.
 ";
 
 fn parse_num<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> Result<T, ArgError> {
@@ -202,6 +264,7 @@ fn parse_num<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> Result<T, 
 fn parse_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), ArgError> {
     let mut opts = CommonOpts::default();
     let mut positional = Vec::new();
+    let mut cadence_given = false;
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -249,11 +312,74 @@ fn parse_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), ArgError> 
                 i += 1;
             }
             "--metrics" => opts.metrics = true,
+            "--checkpoint" => {
+                opts.checkpoint = Some(
+                    args.get(i + 1)
+                        .ok_or_else(|| ArgError::MissingValue("--checkpoint".into()))?
+                        .clone(),
+                );
+                i += 1;
+            }
+            "--checkpoint-every" => {
+                opts.checkpoint_every = parse_num("--checkpoint-every", args.get(i + 1))?;
+                cadence_given = true;
+                i += 1;
+            }
+            "--resume" => {
+                opts.resume = Some(
+                    args.get(i + 1)
+                        .ok_or_else(|| ArgError::MissingValue("--resume".into()))?
+                        .clone(),
+                );
+                i += 1;
+            }
+            "--deadline" => {
+                let secs: f64 = parse_num("--deadline", args.get(i + 1))?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err(ArgError::BadValue {
+                        flag: "--deadline".into(),
+                        value: args[i + 1].clone(),
+                        expected: "a non-negative number of seconds".into(),
+                    });
+                }
+                opts.deadline = Some(secs);
+                i += 1;
+            }
+            "--audit-every" => {
+                opts.audit_every = parse_num("--audit-every", args.get(i + 1))?;
+                i += 1;
+            }
+            "--temp-budget" => {
+                opts.temp_budget = Some(parse_num("--temp-budget", args.get(i + 1))?);
+                i += 1;
+            }
             "--blif" | "--start" => positional.push(a.clone()), // handled by callers
             _ if a.starts_with("--") => return Err(ArgError::UnknownFlag(a.clone())),
             _ => positional.push(a.clone()),
         }
         i += 1;
+    }
+    if cadence_given && opts.checkpoint.is_none() && opts.resume.is_none() {
+        return Err(ArgError::Conflict {
+            detail: "`--checkpoint-every` has no effect without `--checkpoint`".into(),
+        });
+    }
+    if opts.checkpoint_every == 0 {
+        return Err(ArgError::BadValue {
+            flag: "--checkpoint-every".into(),
+            value: "0".into(),
+            expected: "a cadence of at least 1 temperature step".into(),
+        });
+    }
+    if opts.flow == FlowChoice::Sequential {
+        if let Some(flag) = opts.resilience_flag() {
+            return Err(ArgError::Conflict {
+                detail: format!(
+                    "`{flag}` requires the simultaneous flow; the sequential \
+                     baseline has no checkpoint/audit support (drop `--flow seq`)"
+                ),
+            });
+        }
     }
     Ok((opts, positional))
 }
@@ -328,6 +454,14 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
         }
         "mintracks" => {
             let (opts, positional) = parse_common(rest)?;
+            if let Some(flag) = opts.resilience_flag() {
+                return Err(ArgError::Conflict {
+                    detail: format!(
+                        "`{flag}` does not apply to `mintracks`, which runs \
+                         one layout per track count"
+                    ),
+                });
+            }
             let blif = positional.iter().any(|p| p == "--blif");
             let mut start = 36usize;
             if let Some(i) = positional.iter().position(|p| p == "--start") {
@@ -493,6 +627,103 @@ mod tests {
         ));
         assert!(matches!(
             parse_args(&v(&["generate", "--cells", "many"])).unwrap_err(),
+            ArgError::BadValue { .. }
+        ));
+    }
+
+    #[test]
+    fn parses_resilience_flags() {
+        let c = parse_args(&v(&[
+            "layout",
+            "d.net",
+            "--checkpoint",
+            "ck.json",
+            "--checkpoint-every",
+            "3",
+            "--deadline",
+            "2.5",
+            "--audit-every",
+            "4",
+            "--temp-budget",
+            "10",
+        ]))
+        .unwrap();
+        match c {
+            Command::Layout { opts, .. } => {
+                assert_eq!(opts.checkpoint.as_deref(), Some("ck.json"));
+                assert_eq!(opts.checkpoint_every, 3);
+                assert_eq!(opts.deadline, Some(2.5));
+                assert_eq!(opts.audit_every, 4);
+                assert_eq!(opts.temp_budget, Some(10));
+                assert_eq!(opts.resume, None);
+            }
+            _ => panic!("wrong command"),
+        }
+        let c = parse_args(&v(&["layout", "d.net", "--resume", "ck.json"])).unwrap();
+        match c {
+            Command::Layout { opts, .. } => assert_eq!(opts.resume.as_deref(), Some("ck.json")),
+            _ => panic!("wrong command"),
+        }
+        assert!(USAGE.contains("--checkpoint"));
+        assert!(USAGE.contains("--resume"));
+    }
+
+    #[test]
+    fn rejects_contradictory_resilience_combos() {
+        // Cadence without a checkpoint destination is a no-op the user
+        // almost certainly did not intend.
+        assert!(matches!(
+            parse_args(&v(&["layout", "d.net", "--checkpoint-every", "3"])).unwrap_err(),
+            ArgError::Conflict { .. }
+        ));
+        // ... but it is fine when resuming (the resumed run checkpoints on).
+        assert!(parse_args(&v(&[
+            "layout",
+            "d.net",
+            "--resume",
+            "ck.json",
+            "--checkpoint",
+            "ck.json",
+            "--checkpoint-every",
+            "2",
+        ]))
+        .is_ok());
+        // The sequential baseline has no resilience support.
+        for flag in [
+            &["--checkpoint", "ck.json"][..],
+            &["--resume", "ck.json"][..],
+            &["--deadline", "5"][..],
+            &["--audit-every", "2"][..],
+            &["--temp-budget", "9"][..],
+        ] {
+            let mut args = v(&["layout", "d.net", "--flow", "seq"]);
+            args.extend(flag.iter().map(|s| s.to_string()));
+            let err = parse_args(&args).unwrap_err();
+            assert!(
+                matches!(&err, ArgError::Conflict { detail } if detail.contains(flag[0])),
+                "{flag:?} with --flow seq must conflict, got {err:?}"
+            );
+        }
+        // mintracks runs many layouts; a single checkpoint is meaningless.
+        assert!(matches!(
+            parse_args(&v(&["mintracks", "d.net", "--checkpoint", "ck.json"])).unwrap_err(),
+            ArgError::Conflict { .. }
+        ));
+        // Degenerate values get value errors, not silent clamping.
+        assert!(matches!(
+            parse_args(&v(&[
+                "layout",
+                "d.net",
+                "--checkpoint",
+                "ck.json",
+                "--checkpoint-every",
+                "0"
+            ]))
+            .unwrap_err(),
+            ArgError::BadValue { .. }
+        ));
+        assert!(matches!(
+            parse_args(&v(&["layout", "d.net", "--deadline", "-1"])).unwrap_err(),
             ArgError::BadValue { .. }
         ));
     }

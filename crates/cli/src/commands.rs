@@ -7,7 +7,7 @@ use rowfpga_arch::Architecture;
 use rowfpga_baseline::{SeqPrConfig, SequentialPlaceRoute};
 use rowfpga_core::{
     render_ascii, render_svg, size_architecture, LayoutError, LayoutResult, SimPrConfig,
-    SimultaneousPlaceRoute, SizingConfig,
+    SimultaneousPlaceRoute, SizingConfig, StopFlag,
 };
 use rowfpga_netlist::{
     generate, paper_preset, parse_blif, parse_netlist, write_netlist, GenerateConfig, Netlist,
@@ -118,6 +118,7 @@ fn run_layout(
     opts: &CommonOpts,
     label: &str,
     obs: &Obs,
+    stop: &StopFlag,
 ) -> Result<LayoutResult, CliError> {
     Ok(match opts.flow {
         FlowChoice::Simultaneous => {
@@ -126,8 +127,14 @@ fn run_layout(
             } else {
                 SimPrConfig::default()
             };
-            SimultaneousPlaceRoute::new(base.with_seed(opts.seed))
-                .run_observed(arch, netlist, label, obs)?
+            let mut cfg = base.with_seed(opts.seed);
+            cfg.resilience.checkpoint_path = opts.checkpoint.as_ref().map(std::path::PathBuf::from);
+            cfg.resilience.checkpoint_every = opts.checkpoint_every;
+            cfg.resilience.resume_path = opts.resume.as_ref().map(std::path::PathBuf::from);
+            cfg.resilience.deadline = opts.deadline.map(std::time::Duration::from_secs_f64);
+            cfg.resilience.audit_every = opts.audit_every;
+            cfg.resilience.temp_budget = opts.temp_budget;
+            SimultaneousPlaceRoute::new(cfg).run_with_stop(arch, netlist, label, obs, stop)?
         }
         FlowChoice::Sequential => {
             let base = if opts.fast {
@@ -150,14 +157,20 @@ fn print_layout_outputs(
 ) -> Result<(), CliError> {
     writeln!(
         out,
-        "flow: {:?} | routed: {} (G={}, D={}) | worst path {:.2} ns | {} moves in {:.2?}",
+        "flow: {:?} | routed: {} (G={}, D={}) | worst path {:.2} ns | {} moves in {:.2?} | stop: {}{}",
         opts.flow,
         result.fully_routed,
         result.globally_unrouted,
         result.incomplete,
         result.worst_delay / 1000.0,
         result.total_moves,
-        result.runtime
+        result.runtime,
+        result.stop_reason,
+        if result.repairs > 0 {
+            format!(" | repairs: {}", result.repairs)
+        } else {
+            String::new()
+        }
     )?;
     if opts.report {
         let sta = Sta::analyze(arch, netlist, &result.placement, &result.routing)
@@ -204,6 +217,21 @@ fn print_obs_outputs(
 ///
 /// Returns a [`CliError`] describing any I/O, parse or layout failure.
 pub fn run_command(command: &Command, out: &mut impl std::io::Write) -> Result<(), CliError> {
+    run_command_with_stop(command, out, &StopFlag::none())
+}
+
+/// Like [`run_command`], but layout runs also stop gracefully — finishing
+/// the current temperature and writing a final checkpoint — when `stop`
+/// fires (the binary wires this to SIGINT).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing any I/O, parse or layout failure.
+pub fn run_command_with_stop(
+    command: &Command,
+    out: &mut impl std::io::Write,
+    stop: &StopFlag,
+) -> Result<(), CliError> {
     match command {
         Command::Help => {
             write!(out, "{USAGE}")?;
@@ -252,7 +280,7 @@ pub fn run_command(command: &Command, out: &mut impl std::io::Write) -> Result<(
                 arch.tracks_per_channel()
             )?;
             let obs = build_obs(opts)?;
-            let result = run_layout(&arch, &netlist, opts, input, &obs)?;
+            let result = run_layout(&arch, &netlist, opts, input, &obs, stop)?;
             print_layout_outputs(&arch, &netlist, &result, opts, out)?;
             print_obs_outputs(&obs, opts, out)
         }
@@ -276,10 +304,10 @@ pub fn run_command(command: &Command, out: &mut impl std::io::Write) -> Result<(
                 let arch = base
                     .with_tracks(tracks)
                     .map_err(|e| CliError::Parse(e.to_string()))?;
-                let result = run_layout(&arch, &netlist, opts, input, &Obs::disabled())?;
+                let result = run_layout(&arch, &netlist, opts, input, &Obs::disabled(), stop)?;
                 write!(out, "{}", if result.fully_routed { "." } else { "x" })?;
                 out.flush()?;
-                if !result.fully_routed || tracks == 1 {
+                if !result.fully_routed || tracks == 1 || stop.is_set() {
                     break;
                 }
                 best = Some(tracks);
@@ -313,7 +341,7 @@ pub fn run_command(command: &Command, out: &mut impl std::io::Write) -> Result<(
                 netlist.num_nets()
             )?;
             let obs = build_obs(opts)?;
-            let result = run_layout(&arch, &netlist, opts, bench.name(), &obs)?;
+            let result = run_layout(&arch, &netlist, opts, bench.name(), &obs, stop)?;
             print_layout_outputs(&arch, &netlist, &result, opts, out)?;
             print_obs_outputs(&obs, opts, out)
         }
@@ -482,6 +510,73 @@ verticals longlines 4 3
         assert!(out.contains("phase breakdown"), "{out}");
         assert!(out.contains("place.anneal"), "{out}");
         assert!(out.contains("route.batch"), "{out}");
+    }
+
+    #[test]
+    fn deadline_checkpoint_and_resume_flow_works_end_to_end() {
+        let dir = std::env::temp_dir().join("rowfpga_cli_resilience_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("d.net");
+        let ckpt = dir.join("d.ckpt.json");
+        let _ = std::fs::remove_file(&ckpt);
+        run(&[
+            "generate",
+            "--cells",
+            "40",
+            "--inputs",
+            "4",
+            "--outputs",
+            "4",
+            "--seq",
+            "3",
+            "-o",
+            net_path.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        // A zero-second deadline stops at the first temperature boundary
+        // and still leaves a loadable checkpoint behind.
+        let out = run(&[
+            "layout",
+            net_path.to_str().unwrap(),
+            "--fast",
+            "--deadline",
+            "0",
+            "--checkpoint",
+            ckpt.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("stop: deadline"), "{out}");
+        assert!(ckpt.exists(), "early stop must write a final checkpoint");
+
+        // Resuming that checkpoint runs to convergence.
+        let out = run(&[
+            "layout",
+            net_path.to_str().unwrap(),
+            "--fast",
+            "--resume",
+            ckpt.to_str().unwrap(),
+            "--audit-every",
+            "2",
+        ])
+        .unwrap();
+        assert!(out.contains("stop: converged"), "{out}");
+        assert!(out.contains("routed: true"), "{out}");
+
+        // A checkpoint for one seed refuses to resume another.
+        let err = run(&[
+            "layout",
+            net_path.to_str().unwrap(),
+            "--fast",
+            "--seed",
+            "99",
+            "--resume",
+            ckpt.to_str().unwrap(),
+        ])
+        .unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("seed"), "mismatch must name the seed: {msg}");
+        let _ = std::fs::remove_file(&ckpt);
     }
 
     #[test]

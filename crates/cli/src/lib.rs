@@ -19,4 +19,5 @@ mod args;
 mod commands;
 
 pub use args::{parse_args, ArgError, Command, CommonOpts, FlowChoice};
-pub use commands::{run_command, CliError};
+pub use commands::{run_command, run_command_with_stop, CliError};
+pub use rowfpga_core::StopFlag;

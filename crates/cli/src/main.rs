@@ -2,6 +2,40 @@
 
 use std::process::ExitCode;
 
+/// SIGINT (ctrl-c) handling: the handler only sets a static atomic, which
+/// the layout engine polls between temperature steps — the run finishes
+/// the current temperature, writes a final checkpoint and returns its
+/// best-so-far layout tagged `stop: interrupted`. A second ctrl-c during
+/// the wind-down kills the process the default way.
+#[cfg(unix)]
+mod sigint {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set (only) by the signal handler; watched by the engine's StopFlag.
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIG_DFL: usize = 0;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_sigint(_signum: i32) {
+        STOP.store(true, Ordering::SeqCst);
+        // Restore the default disposition so a second ctrl-c terminates.
+        unsafe {
+            signal(SIGINT, SIG_DFL);
+        }
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let command = match rowfpga_cli::parse_args(&args) {
@@ -11,8 +45,15 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    #[cfg(unix)]
+    let stop = {
+        sigint::install();
+        rowfpga_cli::StopFlag::watching(&sigint::STOP)
+    };
+    #[cfg(not(unix))]
+    let stop = rowfpga_cli::StopFlag::none();
     let mut stdout = std::io::stdout().lock();
-    match rowfpga_cli::run_command(&command, &mut stdout) {
+    match rowfpga_cli::run_command_with_stop(&command, &mut stdout, &stop) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");

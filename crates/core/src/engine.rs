@@ -2,9 +2,12 @@
 
 use std::error::Error;
 use std::fmt;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rowfpga_anneal::{anneal_obs, AnnealConfig};
+use rowfpga_anneal::{AnnealConfig, Annealer};
 use rowfpga_arch::Architecture;
 use rowfpga_netlist::{CombLoopError, Netlist};
 use rowfpga_obs::{Event, Json, Obs, RerouteRecord};
@@ -14,7 +17,13 @@ use rowfpga_timing::{CriticalPath, Sta};
 
 use crate::cost::CostConfig;
 use crate::dynamics::DynamicsTrace;
+#[cfg(feature = "fault-inject")]
+use crate::fault::FaultPlan;
 use crate::problem::LayoutProblem;
+use crate::snapshot::{
+    arch_fingerprint, netlist_fingerprint, BestLayout, Checkpoint, CheckpointError, WriteFault,
+    CHECKPOINT_VERSION,
+};
 
 /// Errors the layout engines can raise.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -23,6 +32,15 @@ pub enum LayoutError {
     Placement(CreatePlacementError),
     /// The design has a combinational loop; timing is undefined.
     CombLoop(CombLoopError),
+    /// Checkpoint I/O, decoding or validation failed.
+    Checkpoint(CheckpointError),
+    /// The self-audit found a divergence that bounded repair could not
+    /// clear (repair rebuilds from ground truth, so this indicates a bug
+    /// or active corruption, not a recoverable condition).
+    Audit {
+        /// The divergence that survived every repair attempt.
+        detail: String,
+    },
 }
 
 impl fmt::Display for LayoutError {
@@ -30,6 +48,8 @@ impl fmt::Display for LayoutError {
         match self {
             LayoutError::Placement(e) => write!(f, "placement failed: {e}"),
             LayoutError::CombLoop(e) => write!(f, "timing undefined: {e}"),
+            LayoutError::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
+            LayoutError::Audit { detail } => write!(f, "unrepairable state divergence: {detail}"),
         }
     }
 }
@@ -39,7 +59,170 @@ impl Error for LayoutError {
         match self {
             LayoutError::Placement(e) => Some(e),
             LayoutError::CombLoop(e) => Some(e),
+            LayoutError::Checkpoint(e) => Some(e),
+            LayoutError::Audit { .. } => None,
         }
+    }
+}
+
+/// Why a layout run returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The annealing schedule terminated normally.
+    Converged,
+    /// The wall-clock or temperature budget expired; the result is the
+    /// best layout reached by then.
+    Deadline,
+    /// A stop was requested (e.g. SIGINT); the result is the best layout
+    /// reached by then.
+    Interrupted,
+    /// The schedule converged, but only after at least one audit-triggered
+    /// state repair along the way.
+    Repaired,
+}
+
+impl StopReason {
+    /// The journal spelling of the reason.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StopReason::Converged => "converged",
+            StopReason::Deadline => "deadline",
+            StopReason::Interrupted => "interrupted",
+            StopReason::Repaired => "repaired",
+        }
+    }
+}
+
+impl fmt::Display for StopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A cooperative stop request, checked between temperature steps: the
+/// current temperature always finishes, then the run writes its final
+/// checkpoint and returns with [`StopReason::Interrupted`].
+///
+/// Cloning shares the flag; [`StopFlag::watching`] additionally observes a
+/// `'static` atomic (the shape a signal handler can set).
+#[derive(Clone, Debug)]
+pub struct StopFlag {
+    local: Arc<AtomicBool>,
+    external: Option<&'static AtomicBool>,
+    armed: bool,
+}
+
+impl StopFlag {
+    /// A flag that can never fire — the zero-overhead default of
+    /// [`SimultaneousPlaceRoute::run`].
+    pub fn none() -> StopFlag {
+        StopFlag {
+            local: Arc::new(AtomicBool::new(false)),
+            external: None,
+            armed: false,
+        }
+    }
+
+    /// A flag fired by calling [`StopFlag::request_stop`] on any clone.
+    pub fn manual() -> StopFlag {
+        StopFlag {
+            armed: true,
+            ..StopFlag::none()
+        }
+    }
+
+    /// A flag that also observes `external` — typically a static the
+    /// process's signal handler sets.
+    pub fn watching(external: &'static AtomicBool) -> StopFlag {
+        StopFlag {
+            local: Arc::new(AtomicBool::new(false)),
+            external: Some(external),
+            armed: true,
+        }
+    }
+
+    /// Requests a graceful stop.
+    pub fn request_stop(&self) {
+        self.local.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a stop has been requested.
+    pub fn is_set(&self) -> bool {
+        self.local.load(Ordering::SeqCst) || self.external.is_some_and(|f| f.load(Ordering::SeqCst))
+    }
+
+    /// Whether this flag could ever fire (false only for
+    /// [`StopFlag::none`]); an armed flag turns on best-so-far tracking.
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+}
+
+impl Default for StopFlag {
+    fn default() -> Self {
+        StopFlag::none()
+    }
+}
+
+/// Resilience knobs of a run: checkpoint cadence, resume source, stop
+/// budgets, and the self-audit/repair loop. The default disables
+/// everything, keeping the engine's hot path untouched.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResilienceConfig {
+    /// Write checkpoints here ([`None`] disables checkpointing).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Write a checkpoint every this many temperatures (minimum 1); a
+    /// final checkpoint is also written whenever a run stops early.
+    pub checkpoint_every: usize,
+    /// Resume from this checkpoint instead of a fresh random placement.
+    pub resume_path: Option<PathBuf>,
+    /// Wall-clock budget; the run finishes the current temperature,
+    /// checkpoints, and returns [`StopReason::Deadline`].
+    pub deadline: Option<Duration>,
+    /// Whole-run temperature budget (counts resumed temperatures too);
+    /// stopping on it is also tagged [`StopReason::Deadline`]. Unlike the
+    /// wall-clock deadline it is deterministic, which makes it the lever
+    /// the resume-equivalence tests use.
+    pub temp_budget: Option<usize>,
+    /// Run the self-audit every this many temperatures (0 disables).
+    pub audit_every: usize,
+    /// Repair attempts per failed audit before giving up.
+    pub max_repairs: usize,
+    /// Deterministic fault schedule delivered at temperature boundaries
+    /// (test builds only).
+    #[cfg(feature = "fault-inject")]
+    pub faults: Option<FaultPlan>,
+}
+
+impl Default for ResilienceConfig {
+    fn default() -> Self {
+        Self {
+            checkpoint_path: None,
+            checkpoint_every: 5,
+            resume_path: None,
+            deadline: None,
+            temp_budget: None,
+            audit_every: 0,
+            max_repairs: 3,
+            #[cfg(feature = "fault-inject")]
+            faults: None,
+        }
+    }
+}
+
+impl ResilienceConfig {
+    /// Whether any resilience feature is on (turns on best-so-far
+    /// tracking).
+    pub fn enabled(&self) -> bool {
+        #[cfg(feature = "fault-inject")]
+        if self.faults.is_some() {
+            return true;
+        }
+        self.checkpoint_path.is_some()
+            || self.resume_path.is_some()
+            || self.deadline.is_some()
+            || self.temp_budget.is_some()
+            || self.audit_every > 0
     }
 }
 
@@ -64,6 +247,8 @@ pub struct SimPrConfig {
     /// freezes with unrouted nets left (only improving or neutral moves are
     /// accepted); 0 disables.
     pub cleanup_moves: usize,
+    /// Checkpoint/resume, deadlines and the self-audit loop.
+    pub resilience: ResilienceConfig,
 }
 
 impl Default for SimPrConfig {
@@ -79,6 +264,7 @@ impl Default for SimPrConfig {
             placement_seed: 1,
             final_repair_passes: 6,
             cleanup_moves: 20_000,
+            resilience: ResilienceConfig::default(),
         }
     }
 }
@@ -121,14 +307,20 @@ pub struct LayoutResult {
     pub worst_delay: f64,
     /// The critical path of the final layout.
     pub critical_path: CriticalPath,
-    /// Per-temperature dynamics (paper Figure 6 data).
+    /// Per-temperature dynamics (paper Figure 6 data). A resumed run's
+    /// trace includes the temperatures recorded before the checkpoint.
     pub dynamics: DynamicsTrace,
-    /// Temperatures executed by the annealer.
+    /// Temperatures executed by the annealer over the whole run.
     pub temperatures: usize,
-    /// Total annealing moves attempted.
+    /// Total annealing moves attempted over the whole run.
     pub total_moves: usize,
-    /// Wall-clock time of the run.
+    /// Wall-clock time of this process's share of the run.
     pub runtime: Duration,
+    /// Why the run returned.
+    pub stop_reason: StopReason,
+    /// Audit-triggered repairs performed during the run (carried across
+    /// resume).
+    pub repairs: usize,
 }
 
 /// The paper's simultaneous placement, global and detailed routing tool.
@@ -161,10 +353,12 @@ impl SimultaneousPlaceRoute {
     /// Like [`SimultaneousPlaceRoute::run`], with an observability handle:
     /// the run emits a `run_start` header (seed and configuration), one
     /// `temperature` and one `dynamics` event per annealing temperature,
-    /// `reroute` summaries, and a `run_end` footer with a metrics
-    /// snapshot; phase spans cover warmup, annealing, cleanup, final
-    /// repair, and the final timing analysis. `label` names the design in
-    /// the journal. A disabled handle makes this identical to `run`.
+    /// `reroute` summaries, `audit`/`repair`/`checkpoint` events when the
+    /// resilience layer is active, and a `stop` + `run_end` footer with a
+    /// metrics snapshot; phase spans cover warmup, annealing, cleanup,
+    /// final repair, and the final timing analysis. `label` names the
+    /// design in the journal. A disabled handle makes this identical to
+    /// `run`.
     pub fn run_observed(
         &self,
         arch: &Architecture,
@@ -172,7 +366,31 @@ impl SimultaneousPlaceRoute {
         label: &str,
         obs: &Obs,
     ) -> Result<LayoutResult, LayoutError> {
+        self.run_with_stop(arch, netlist, label, obs, &StopFlag::none())
+    }
+
+    /// Like [`SimultaneousPlaceRoute::run_observed`], with a cooperative
+    /// [`StopFlag`]: when it fires, the run finishes the current
+    /// temperature, writes a final checkpoint (if checkpointing is
+    /// configured) and returns its best-so-far layout tagged
+    /// [`StopReason::Interrupted`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] if the design does not fit the chip,
+    /// contains a combinational loop, a configured resume checkpoint does
+    /// not load or match this design and seeds, or the self-audit finds an
+    /// unrepairable divergence.
+    pub fn run_with_stop(
+        &self,
+        arch: &Architecture,
+        netlist: &Netlist,
+        label: &str,
+        obs: &Obs,
+        stop: &StopFlag,
+    ) -> Result<LayoutResult, LayoutError> {
         let start = Instant::now();
+        let res = &self.config.resilience;
         if obs.enabled() {
             obs.emit(Event::RunStart {
                 flow: "simultaneous".into(),
@@ -181,29 +399,209 @@ impl SimultaneousPlaceRoute {
                 config: self.config_capture(netlist),
             });
         }
-        let mut problem = LayoutProblem::new(
-            arch,
-            netlist,
-            self.config.router,
-            self.config.cost,
-            self.config.move_weights,
-            self.config.placement_seed,
-        )?
-        .with_obs(obs.clone());
-
         let mut anneal_cfg = self.config.anneal.clone();
         if anneal_cfg.moves_per_temp == 0 {
             anneal_cfg.moves_per_temp = AnnealConfig::moves_for_cells(netlist.num_cells(), 1.0);
         }
-        obs.span_start("anneal");
-        let outcome = anneal_obs(&mut problem, &anneal_cfg, |_| {}, obs);
+
+        // Resume source is loaded and validated before any state is built:
+        // a stale or foreign checkpoint must fail fast.
+        let resumed: Option<Checkpoint> = match &res.resume_path {
+            Some(path) => {
+                let ck = Checkpoint::load(path).map_err(LayoutError::Checkpoint)?;
+                ck.validate(arch, netlist, self.config.placement_seed, anneal_cfg.seed)
+                    .map_err(LayoutError::Checkpoint)?;
+                Some(ck)
+            }
+            None => None,
+        };
+
+        // Fingerprints are stable over the run; hash once.
+        let fingerprints = res
+            .checkpoint_path
+            .as_ref()
+            .map(|_| (arch_fingerprint(arch), netlist_fingerprint(netlist)));
+
+        let mut problem: LayoutProblem<'_>;
+        let mut annealer: Annealer;
+        let mut repairs_total: usize;
+        let mut best: Option<BestLayout>;
+        match &resumed {
+            Some(ck) => {
+                problem = LayoutProblem::restore(
+                    arch,
+                    netlist,
+                    self.config.router,
+                    self.config.cost,
+                    self.config.move_weights,
+                    &ck.problem,
+                )?
+                .with_obs(obs.clone());
+                annealer = Annealer::resume(&anneal_cfg, &ck.cursor);
+                repairs_total = ck.repairs;
+                best = ck.best.clone();
+                obs.span_start("anneal");
+            }
+            None => {
+                problem = LayoutProblem::new(
+                    arch,
+                    netlist,
+                    self.config.router,
+                    self.config.cost,
+                    self.config.move_weights,
+                    self.config.placement_seed,
+                )?
+                .with_obs(obs.clone());
+                obs.span_start("anneal");
+                annealer = Annealer::start(&mut problem, &anneal_cfg, obs);
+                repairs_total = 0;
+                best = None;
+            }
+        }
+
+        let track_best = res.enabled() || stop.armed();
+        #[cfg(feature = "fault-inject")]
+        let mut faults = res.faults.clone().unwrap_or_default();
+
+        let mut stop_reason = StopReason::Converged;
+        loop {
+            if annealer.finished() {
+                break;
+            }
+            if stop.is_set() {
+                stop_reason = StopReason::Interrupted;
+                break;
+            }
+            if res.deadline.is_some_and(|d| start.elapsed() >= d) {
+                stop_reason = StopReason::Deadline;
+                break;
+            }
+            if res
+                .temp_budget
+                .is_some_and(|b| annealer.temperatures_completed() >= b)
+            {
+                stop_reason = StopReason::Deadline;
+                break;
+            }
+            if annealer.step(&mut problem, obs).is_none() {
+                break;
+            }
+            let t = annealer.temperatures_completed();
+
+            #[cfg(feature = "fault-inject")]
+            let write_fault = {
+                let mut wf: Option<WriteFault> = None;
+                for fault in faults.take_at(t) {
+                    match fault.write_fault() {
+                        Some(w) => wf = Some(w),
+                        None => {
+                            problem.inject_fault(&fault);
+                        }
+                    }
+                }
+                wf
+            };
+            #[cfg(not(feature = "fault-inject"))]
+            let write_fault: Option<WriteFault> = None;
+
+            if res.audit_every > 0 && t.is_multiple_of(res.audit_every) {
+                match obs.span("audit", || problem.audit()) {
+                    Ok(()) => {
+                        obs.inc("audit.passed");
+                        if obs.enabled() {
+                            obs.emit(Event::Audit {
+                                temp: t,
+                                ok: true,
+                                detail: String::new(),
+                            });
+                        }
+                    }
+                    Err(detail) => {
+                        obs.inc("audit.failed");
+                        if obs.enabled() {
+                            obs.emit(Event::Audit {
+                                temp: t,
+                                ok: false,
+                                detail: detail.clone(),
+                            });
+                        }
+                        repairs_total += 1;
+                        Self::repair(&mut problem, t, &detail, res.max_repairs, obs)?;
+                    }
+                }
+            }
+
+            if track_best {
+                let key = (
+                    problem.routing().incomplete(),
+                    problem.routing().globally_unrouted(),
+                    problem.timing().worst(),
+                );
+                let improved = match &best {
+                    None => true,
+                    Some(b) => key < b.key(),
+                };
+                if improved {
+                    let snap = problem.snapshot();
+                    best = Some(BestLayout {
+                        sites: snap.sites,
+                        pinmaps: snap.pinmaps,
+                        routes: snap.routes,
+                        incomplete: key.0,
+                        globally_unrouted: key.1,
+                        worst_delay: key.2,
+                    });
+                }
+            }
+
+            if let (Some(path), Some(fp)) = (&res.checkpoint_path, fingerprints) {
+                if t.is_multiple_of(res.checkpoint_every.max(1)) {
+                    self.write_checkpoint(
+                        path,
+                        t,
+                        fp,
+                        anneal_cfg.seed,
+                        &problem,
+                        &annealer,
+                        repairs_total,
+                        &best,
+                        write_fault,
+                        obs,
+                    );
+                }
+            }
+        }
         obs.span_end("anneal");
+
+        // Graceful shutdown: an early stop leaves one final checkpoint at
+        // the boundary the run actually reached.
+        if stop_reason != StopReason::Converged {
+            if let (Some(path), Some(fp)) = (&res.checkpoint_path, fingerprints) {
+                self.write_checkpoint(
+                    path,
+                    annealer.temperatures_completed(),
+                    fp,
+                    anneal_cfg.seed,
+                    &problem,
+                    &annealer,
+                    repairs_total,
+                    &best,
+                    None,
+                    obs,
+                );
+            }
+        }
 
         // Zero-temperature cleanup: when the schedule froze with a few nets
         // still unrouted, a burst of greedy (improving-only) moves usually
         // shakes the last stragglers loose — the placement-level leverage of
         // §2.1 applied once more, without the stochastic uphill component.
-        if problem.routing().incomplete() > 0 && self.config.cleanup_moves > 0 {
+        // Early-stopped runs skip it: they return promptly with what they
+        // have.
+        if stop_reason == StopReason::Converged
+            && problem.routing().incomplete() > 0
+            && self.config.cleanup_moves > 0
+        {
             use rand::SeedableRng as _;
             use rowfpga_anneal::AnnealProblem as _;
             obs.span_start("cleanup");
@@ -228,31 +626,48 @@ impl SimultaneousPlaceRoute {
             use rowfpga_anneal::AnnealProblem as _;
             problem.cost()
         };
-        let (placement, mut routing, dynamics) = problem.into_parts();
-        if !routing.is_fully_routed() && self.config.final_repair_passes > 0 {
-            // Placement is frozen now; a few rip-up-and-retry rounds often
-            // recover the last stragglers, exactly as a sequential flow's
-            // router would.
-            let repair = obs.span("final_repair", || {
-                route_batch(
-                    &mut routing,
-                    arch,
-                    netlist,
-                    &placement,
-                    &self.config.router,
-                    self.config.final_repair_passes,
-                )
-            });
-            if obs.enabled() {
-                obs.add("route.detail_failures", repair.detail_failures as u64);
-                obs.emit(Event::Reroute {
-                    scope: "final_repair".into(),
-                    stats: RerouteRecord {
-                        globally_routed: repair.globally_routed,
-                        detail_routed: repair.detail_routed,
-                        detail_failures: repair.detail_failures,
-                    },
+        let current_key = (
+            problem.routing().incomplete(),
+            problem.routing().globally_unrouted(),
+            problem.timing().worst(),
+        );
+        let (mut placement, mut routing, dynamics) = problem.into_parts();
+        if stop_reason == StopReason::Converged {
+            if !routing.is_fully_routed() && self.config.final_repair_passes > 0 {
+                // Placement is frozen now; a few rip-up-and-retry rounds often
+                // recover the last stragglers, exactly as a sequential flow's
+                // router would.
+                let repair = obs.span("final_repair", || {
+                    route_batch(
+                        &mut routing,
+                        arch,
+                        netlist,
+                        &placement,
+                        &self.config.router,
+                        self.config.final_repair_passes,
+                    )
                 });
+                if obs.enabled() {
+                    obs.add("route.detail_failures", repair.detail_failures as u64);
+                    obs.emit(Event::Reroute {
+                        scope: "final_repair".into(),
+                        stats: RerouteRecord {
+                            globally_routed: repair.globally_routed,
+                            detail_routed: repair.detail_routed,
+                            detail_failures: repair.detail_failures,
+                        },
+                    });
+                }
+            }
+        } else if let Some(b) = best.as_ref().filter(|b| b.key() < current_key) {
+            // Degradation: the run is returning early, and a strictly
+            // better layout was seen along the way — hand that one back.
+            if let (Ok(p), Ok(r)) = (
+                Placement::from_parts(arch, netlist, &b.sites, &b.pinmaps),
+                RoutingState::restore(arch, netlist, &b.routes),
+            ) {
+                placement = p;
+                routing = r;
             }
         }
 
@@ -260,6 +675,9 @@ impl SimultaneousPlaceRoute {
             Sta::analyze(arch, netlist, &placement, &routing).map_err(LayoutError::CombLoop)
         })?;
         let critical_path = sta.critical_path(netlist);
+        if stop_reason == StopReason::Converged && repairs_total > 0 {
+            stop_reason = StopReason::Repaired;
+        }
         let result = LayoutResult {
             fully_routed: routing.is_fully_routed(),
             globally_unrouted: routing.globally_unrouted(),
@@ -267,13 +685,20 @@ impl SimultaneousPlaceRoute {
             worst_delay: sta.worst_delay(),
             critical_path,
             dynamics,
-            temperatures: outcome.temperatures,
-            total_moves: outcome.total_moves,
+            temperatures: annealer.temperatures_completed(),
+            total_moves: annealer.total_moves(),
             runtime: start.elapsed(),
+            stop_reason,
+            repairs: repairs_total,
             placement,
             routing,
         };
         if obs.enabled() {
+            obs.emit(Event::Stop {
+                reason: stop_reason.to_string(),
+                temps: result.temperatures,
+                repairs: repairs_total,
+            });
             let metrics = obs
                 .with_session(|s| s.metrics.to_json())
                 .unwrap_or(Json::Null);
@@ -289,6 +714,102 @@ impl SimultaneousPlaceRoute {
             obs.flush();
         }
         Ok(result)
+    }
+
+    /// Bounded repair after a failed audit: a timing-only divergence gets
+    /// a tier-1 timing rebuild first; anything else (or a failed tier-1)
+    /// discards and re-derives the routing too. Every attempt is
+    /// re-audited before it counts as a success.
+    fn repair(
+        problem: &mut LayoutProblem<'_>,
+        temp: usize,
+        detail: &str,
+        max_repairs: usize,
+        obs: &Obs,
+    ) -> Result<(), LayoutError> {
+        let timing_only = detail.starts_with("timing");
+        let attempts = max_repairs.max(1);
+        for attempt in 1..=attempts {
+            let scope = if timing_only && attempt == 1 {
+                "timing"
+            } else {
+                "routing"
+            };
+            let rebuilt = obs.span("repair", || {
+                if scope == "timing" {
+                    problem.rebuild_timing()
+                } else {
+                    problem.rebuild_routing()
+                }
+            });
+            let ok = rebuilt.is_ok() && problem.audit().is_ok();
+            obs.inc("repair.attempts");
+            if obs.enabled() {
+                obs.emit(Event::Repair {
+                    temp,
+                    attempt,
+                    scope: scope.into(),
+                    ok,
+                });
+            }
+            if ok {
+                return Ok(());
+            }
+        }
+        Err(LayoutError::Audit {
+            detail: format!(
+                "audit still failing after {attempts} repair attempts at temperature {temp}: {detail}"
+            ),
+        })
+    }
+
+    /// Assembles and atomically writes one checkpoint, reporting the
+    /// outcome to the journal. Write failures are non-fatal: the run keeps
+    /// going and the previous complete snapshot stays in place.
+    #[allow(clippy::too_many_arguments)]
+    fn write_checkpoint(
+        &self,
+        path: &Path,
+        temp: usize,
+        fingerprints: (u64, u64),
+        anneal_seed: u64,
+        problem: &LayoutProblem<'_>,
+        annealer: &Annealer,
+        repairs: usize,
+        best: &Option<BestLayout>,
+        fault: Option<WriteFault>,
+        obs: &Obs,
+    ) {
+        let ck = Checkpoint {
+            version: CHECKPOINT_VERSION,
+            arch_fingerprint: fingerprints.0,
+            netlist_fingerprint: fingerprints.1,
+            placement_seed: self.config.placement_seed,
+            anneal_seed,
+            repairs,
+            cursor: annealer.cursor(),
+            problem: problem.snapshot(),
+            best: best.clone(),
+        };
+        let written = obs.span("checkpoint", || ck.save(path, fault));
+        let (ok, detail) = match written {
+            Ok(()) => {
+                obs.inc("checkpoint.written");
+                (true, String::new())
+            }
+            Err(e) => {
+                obs.inc("checkpoint.failed");
+                (false, e.to_string())
+            }
+        };
+        if obs.enabled() {
+            obs.emit(Event::Checkpoint {
+                temp,
+                path: path.display().to_string(),
+                ok,
+                detail,
+            });
+        }
     }
 
     /// Key/value capture of the run configuration for the journal header.
@@ -310,6 +831,11 @@ impl SimultaneousPlaceRoute {
             ("segment_weight".into(), c.router.segment_weight.into()),
             ("final_repair_passes".into(), c.final_repair_passes.into()),
             ("cleanup_moves".into(), c.cleanup_moves.into()),
+            ("audit_every".into(), c.resilience.audit_every.into()),
+            (
+                "checkpoint_every".into(),
+                c.resilience.checkpoint_every.into(),
+            ),
         ]
     }
 }
@@ -338,6 +864,10 @@ mod tests {
         (arch, nl)
     }
 
+    fn temp_file(name: &str) -> PathBuf {
+        std::env::temp_dir().join(name)
+    }
+
     #[test]
     fn fast_run_routes_a_small_design_fully() {
         let (arch, nl) = fixture();
@@ -350,6 +880,8 @@ mod tests {
         assert!(!result.critical_path.elements.is_empty());
         assert!(!result.dynamics.is_empty());
         assert!(result.temperatures > 0);
+        assert_eq!(result.stop_reason, StopReason::Converged);
+        assert_eq!(result.repairs, 0);
         verify_routing(&result.routing, &arch, &nl, &result.placement).unwrap();
     }
 
@@ -402,7 +934,7 @@ mod tests {
         use rowfpga_obs::{json, Event, Obs, RunJournal};
 
         let (arch, nl) = fixture();
-        let path = std::env::temp_dir().join("rowfpga_engine_journal_test.jsonl");
+        let path = temp_file("rowfpga_engine_journal_test.jsonl");
         let file = std::fs::File::create(&path).unwrap();
         let obs = Obs::with_sink(Box::new(RunJournal::new(std::io::BufWriter::new(file))));
         let result = SimultaneousPlaceRoute::new(SimPrConfig::fast())
@@ -433,6 +965,13 @@ mod tests {
             .filter(|e| matches!(e, Event::Dynamics(_)))
             .count();
         assert_eq!(dynamics, result.dynamics.len());
+        assert!(
+            matches!(
+                &events[events.len() - 2],
+                Event::Stop { reason, .. } if reason == "converged"
+            ),
+            "second-to-last event must be the stop record"
+        );
         match events.last().unwrap() {
             Event::RunEnd {
                 total_moves,
@@ -482,5 +1021,140 @@ mod tests {
             .unwrap();
         assert!(!result.fully_routed);
         assert!(result.incomplete > 0);
+    }
+
+    #[test]
+    fn audits_on_a_clean_run_pass_and_change_nothing() {
+        let (arch, nl) = fixture();
+        let plain = SimultaneousPlaceRoute::new(SimPrConfig::fast().with_seed(3))
+            .run(&arch, &nl)
+            .unwrap();
+        let mut cfg = SimPrConfig::fast().with_seed(3);
+        cfg.resilience.audit_every = 2;
+        let audited = SimultaneousPlaceRoute::new(cfg).run(&arch, &nl).unwrap();
+        assert_eq!(audited.stop_reason, StopReason::Converged);
+        assert_eq!(audited.repairs, 0);
+        // The audit is read-only: the trajectory is bit-identical.
+        assert_eq!(audited.worst_delay, plain.worst_delay);
+        assert_eq!(audited.total_moves, plain.total_moves);
+        for (id, _) in nl.cells() {
+            assert_eq!(audited.placement.site_of(id), plain.placement.site_of(id));
+        }
+    }
+
+    #[test]
+    fn zero_deadline_stops_immediately_and_checkpoints() {
+        let (arch, nl) = fixture();
+        let ckpt = temp_file("rowfpga_engine_zero_deadline.json");
+        let _ = std::fs::remove_file(&ckpt);
+        let mut cfg = SimPrConfig::fast().with_seed(4);
+        cfg.resilience.deadline = Some(Duration::ZERO);
+        cfg.resilience.checkpoint_path = Some(ckpt.clone());
+        let result = SimultaneousPlaceRoute::new(cfg).run(&arch, &nl).unwrap();
+        assert_eq!(result.stop_reason, StopReason::Deadline);
+        assert_eq!(result.temperatures, 0, "no step may start past a deadline");
+        let ck = Checkpoint::load(&ckpt).unwrap();
+        let _ = std::fs::remove_file(&ckpt);
+        assert_eq!(ck.cursor.next_index, 0);
+        verify_routing(&result.routing, &arch, &nl, &result.placement).unwrap();
+    }
+
+    #[test]
+    fn stop_flag_interrupts_before_the_first_step() {
+        let (arch, nl) = fixture();
+        let stop = StopFlag::manual();
+        stop.request_stop();
+        assert!(stop.is_set() && stop.armed());
+        let result = SimultaneousPlaceRoute::new(SimPrConfig::fast())
+            .run_with_stop(&arch, &nl, "fixture", &Obs::disabled(), &stop)
+            .unwrap();
+        assert_eq!(result.stop_reason, StopReason::Interrupted);
+        assert_eq!(result.temperatures, 0);
+    }
+
+    #[test]
+    fn checkpoint_then_resume_is_bit_identical_to_an_uninterrupted_run() {
+        let (arch, nl) = fixture();
+        let ckpt = temp_file("rowfpga_engine_resume_identity.json");
+        let _ = std::fs::remove_file(&ckpt);
+
+        let full = SimultaneousPlaceRoute::new(SimPrConfig::fast().with_seed(7))
+            .run(&arch, &nl)
+            .unwrap();
+
+        // Stop after 5 temperatures, checkpointing every temperature.
+        let mut cfg = SimPrConfig::fast().with_seed(7);
+        cfg.resilience.temp_budget = Some(5);
+        cfg.resilience.checkpoint_path = Some(ckpt.clone());
+        cfg.resilience.checkpoint_every = 1;
+        let partial = SimultaneousPlaceRoute::new(cfg).run(&arch, &nl).unwrap();
+        assert_eq!(partial.stop_reason, StopReason::Deadline);
+        assert_eq!(partial.temperatures, 5);
+
+        // Resume to completion.
+        let mut cfg = SimPrConfig::fast().with_seed(7);
+        cfg.resilience.resume_path = Some(ckpt.clone());
+        let resumed = SimultaneousPlaceRoute::new(cfg).run(&arch, &nl).unwrap();
+        let _ = std::fs::remove_file(&ckpt);
+
+        assert_eq!(resumed.stop_reason, StopReason::Converged);
+        assert_eq!(resumed.worst_delay, full.worst_delay);
+        assert_eq!(resumed.total_moves, full.total_moves);
+        assert_eq!(resumed.temperatures, full.temperatures);
+        assert_eq!(resumed.incomplete, full.incomplete);
+        assert_eq!(resumed.dynamics.samples(), full.dynamics.samples());
+        for (id, _) in nl.cells() {
+            assert_eq!(resumed.placement.site_of(id), full.placement.site_of(id));
+        }
+        verify_routing(&resumed.routing, &arch, &nl, &resumed.placement).unwrap();
+    }
+
+    #[test]
+    fn resume_rejects_a_checkpoint_for_a_different_design_or_seed() {
+        let (arch, nl) = fixture();
+        let ckpt = temp_file("rowfpga_engine_resume_mismatch.json");
+        let _ = std::fs::remove_file(&ckpt);
+        let mut cfg = SimPrConfig::fast().with_seed(2);
+        cfg.resilience.temp_budget = Some(2);
+        cfg.resilience.checkpoint_path = Some(ckpt.clone());
+        cfg.resilience.checkpoint_every = 1;
+        SimultaneousPlaceRoute::new(cfg).run(&arch, &nl).unwrap();
+
+        let resume_cfg = |seed: u64| {
+            let mut cfg = SimPrConfig::fast().with_seed(seed);
+            cfg.resilience.resume_path = Some(ckpt.clone());
+            cfg
+        };
+
+        // Wrong architecture.
+        let wide = arch.with_tracks(17).unwrap();
+        let err = SimultaneousPlaceRoute::new(resume_cfg(2))
+            .run(&wide, &nl)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            LayoutError::Checkpoint(CheckpointError::ArchMismatch { .. })
+        ));
+
+        // Wrong seed.
+        let err = SimultaneousPlaceRoute::new(resume_cfg(3))
+            .run(&arch, &nl)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            LayoutError::Checkpoint(CheckpointError::SeedMismatch { .. })
+        ));
+
+        // Missing file.
+        let mut cfg = SimPrConfig::fast().with_seed(2);
+        cfg.resilience.resume_path = Some(temp_file("rowfpga_engine_no_such_ckpt.json"));
+        let err = SimultaneousPlaceRoute::new(cfg)
+            .run(&arch, &nl)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            LayoutError::Checkpoint(CheckpointError::Io { .. })
+        ));
+        let _ = std::fs::remove_file(&ckpt);
     }
 }

@@ -46,13 +46,25 @@
 mod cost;
 mod dynamics;
 mod engine;
+#[cfg(feature = "fault-inject")]
+mod fault;
 mod problem;
 mod render;
 mod sizing;
+mod snapshot;
 
 pub use cost::{CostConfig, CostWeights};
 pub use dynamics::{DynamicsSample, DynamicsTrace};
-pub use engine::{LayoutError, LayoutResult, SimPrConfig, SimultaneousPlaceRoute};
+pub use engine::{
+    LayoutError, LayoutResult, ResilienceConfig, SimPrConfig, SimultaneousPlaceRoute, StopFlag,
+    StopReason,
+};
+#[cfg(feature = "fault-inject")]
+pub use fault::{FaultPlan, InjectedFault};
 pub use problem::LayoutProblem;
 pub use render::{render_ascii, render_svg};
 pub use sizing::{size_architecture, SizingConfig};
+pub use snapshot::{
+    arch_fingerprint, netlist_fingerprint, BestLayout, Checkpoint, CheckpointError,
+    ProblemSnapshot, WriteFault, CHECKPOINT_FORMAT, CHECKPOINT_VERSION,
+};

@@ -26,6 +26,7 @@ use rowfpga_timing::TimingState;
 use crate::cost::{CostConfig, CostWeights, DeltaStats};
 use crate::dynamics::{DynamicsSample, DynamicsTrace};
 use crate::engine::LayoutError;
+use crate::snapshot::{CheckpointError, ProblemSnapshot};
 
 /// Record of one applied layout move (what the annealer needs to commit or
 /// undo it).
@@ -140,6 +141,161 @@ impl<'a> LayoutProblem<'a> {
     /// dynamics trace.
     pub fn into_parts(self) -> (Placement, RoutingState, DynamicsTrace) {
         (self.placement, self.routing, self.trace)
+    }
+
+    /// Exports the checkpointable state as plain data. Meant to be taken
+    /// at a temperature boundary, where the per-temperature accumulators
+    /// (delta statistics, perturbation flags) have just been reset and
+    /// need not be stored.
+    pub fn snapshot(&self) -> ProblemSnapshot {
+        ProblemSnapshot {
+            sites: self.placement.export_sites(),
+            pinmaps: self.placement.export_pinmaps(),
+            routes: self.routing.export_routes(),
+            weights: self.weights,
+            window: self.window,
+            trace: self.trace.clone(),
+        }
+    }
+
+    /// Reconstructs a problem from a [`ProblemSnapshot`]: placement and
+    /// routing are rebuilt through their checked constructors, the
+    /// restored routing is verified against the placement, and timing is
+    /// re-derived from scratch (it is deterministic in the rest, so it is
+    /// never stored).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::Placement`] or [`LayoutError::Checkpoint`]
+    /// when the snapshot does not reconstruct a legal layout, and
+    /// [`LayoutError::CombLoop`] if the netlist cannot be levelized.
+    pub fn restore(
+        arch: &'a Architecture,
+        netlist: &'a Netlist,
+        router_cfg: RouterConfig,
+        cost_cfg: CostConfig,
+        move_weights: MoveWeights,
+        snap: &ProblemSnapshot,
+    ) -> Result<LayoutProblem<'a>, LayoutError> {
+        let placement = Placement::from_parts(arch, netlist, &snap.sites, &snap.pinmaps)
+            .map_err(LayoutError::Placement)?;
+        let routing = RoutingState::restore(arch, netlist, &snap.routes).map_err(|e| {
+            LayoutError::Checkpoint(CheckpointError::Restore {
+                detail: format!("routing: {e}"),
+            })
+        })?;
+        rowfpga_route::verify_routing(&routing, arch, netlist, &placement).map_err(|e| {
+            LayoutError::Checkpoint(CheckpointError::Restore {
+                detail: format!("restored routing fails verification: {e}"),
+            })
+        })?;
+        let timing =
+            TimingState::new(arch, netlist, &placement, &routing).map_err(LayoutError::CombLoop)?;
+        let mover = MoveGenerator::new(arch, netlist, move_weights);
+        Ok(LayoutProblem {
+            arch,
+            netlist,
+            placement,
+            routing,
+            timing,
+            mover,
+            router_cfg,
+            cost_cfg,
+            weights: snap.weights,
+            deltas: DeltaStats::default(),
+            perturbed: vec![false; netlist.num_cells()],
+            trace: snap.trace.clone(),
+            window: snap.window,
+            obs: Obs::disabled(),
+        })
+    }
+
+    /// Re-verifies the incremental state against ground truth: the
+    /// routing invariants ([`verify_routing`]) and a from-scratch timing
+    /// analysis compared to the incrementally tracked one (worst delay
+    /// and every cell arrival, to 1e-6 ps).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first divergence found.
+    ///
+    /// [`verify_routing`]: rowfpga_route::verify_routing
+    pub fn audit(&self) -> Result<(), String> {
+        rowfpga_route::verify_routing(&self.routing, self.arch, self.netlist, &self.placement)
+            .map_err(|e| format!("routing: {e}"))?;
+        let oracle = TimingState::new(self.arch, self.netlist, &self.placement, &self.routing)
+            .map_err(|e| format!("timing oracle: {e}"))?;
+        if (oracle.worst() - self.timing.worst()).abs() > 1e-6 {
+            return Err(format!(
+                "timing: worst delay diverged (incremental {} vs oracle {})",
+                self.timing.worst(),
+                oracle.worst()
+            ));
+        }
+        for (id, _) in self.netlist.cells() {
+            let tracked = self.timing.arrival(id);
+            let truth = oracle.arrival(id);
+            if (truth - tracked).abs() > 1e-6 {
+                return Err(format!(
+                    "timing: arrival diverged at cell {} (incremental {tracked} vs oracle {truth})",
+                    id.index()
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Repair tier 1: re-derive the timing state from scratch off the
+    /// current placement and routing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the netlist cannot be levelized (which
+    /// cannot happen mid-run: it was levelized at construction).
+    pub fn rebuild_timing(&mut self) -> Result<(), String> {
+        self.timing = TimingState::new(self.arch, self.netlist, &self.placement, &self.routing)
+            .map_err(|e| format!("timing rebuild: {e}"))?;
+        Ok(())
+    }
+
+    /// Repair tier 2: discard the routing entirely, re-route every net
+    /// from scratch against the current placement, and re-derive timing.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description if the subsequent timing rebuild fails.
+    pub fn rebuild_routing(&mut self) -> Result<(), String> {
+        let mut routing = RoutingState::new(self.arch, self.netlist);
+        routing.route_incremental(self.arch, self.netlist, &self.placement, &self.router_cfg);
+        self.routing = routing;
+        self.rebuild_timing()
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+impl LayoutProblem<'_> {
+    /// Applies one injected state corruption through the routing and
+    /// timing crates' fault hooks. Returns `false` when the fault found
+    /// nothing to corrupt (e.g. no claimed segments yet).
+    pub fn inject_fault(&mut self, fault: &crate::fault::InjectedFault) -> bool {
+        use crate::fault::InjectedFault;
+        match *fault {
+            InjectedFault::RouteOwner { nth } => self.routing.fault_clear_hseg_owner(nth),
+            InjectedFault::RouteRun { nth } => self.routing.fault_truncate_run(nth),
+            InjectedFault::RouteCounter => {
+                self.routing.fault_skew_incomplete();
+                true
+            }
+            InjectedFault::TimingWorst { delta_ps } => {
+                self.timing.fault_skew_worst(delta_ps);
+                true
+            }
+            InjectedFault::TimingArrival { cell, delta_ps } => {
+                self.timing.fault_skew_arrival(cell, delta_ps);
+                true
+            }
+            InjectedFault::CheckpointShortWrite | InjectedFault::CheckpointSkipRename => false,
+        }
     }
 }
 

@@ -1,0 +1,1034 @@
+//! Versioned, dependency-free checkpoints of a layout run.
+//!
+//! A checkpoint captures the full annealer state at a temperature boundary
+//! — placement sites and pinmaps, every net's routing record, the RNG
+//! stream words, the cooling-schedule cursor, the adaptive cost weights,
+//! the dynamics trace and the best layout seen so far — as one JSON
+//! document (the same [`Json`] value the observability journal uses).
+//! Restoring it and stepping on is bit-identical to never having stopped:
+//! timing is *not* stored because [`TimingState::new`] rebuilds it
+//! deterministically from placement and routing.
+//!
+//! Checkpoints are written atomically: the document goes to a `.tmp`
+//! sibling first, is fsynced, and is renamed over the real path, so a
+//! crash mid-write leaves the previous complete snapshot intact (the
+//! loader only ever reads the real path).
+//!
+//! The header carries a format marker, a version, FNV-1a fingerprints of
+//! the architecture and the netlist, and the run seeds, so a resume
+//! against the wrong design or configuration fails with a typed
+//! [`CheckpointError`] instead of corrupting a run.
+//!
+//! [`TimingState::new`]: rowfpga_timing::TimingState::new
+
+use std::error::Error;
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::Path;
+
+use rowfpga_anneal::AnnealCursor;
+use rowfpga_arch::Architecture;
+use rowfpga_netlist::{write_netlist, Netlist};
+use rowfpga_obs::Json;
+use rowfpga_route::NetRouteSnapshot;
+
+use crate::cost::CostWeights;
+use crate::dynamics::{DynamicsSample, DynamicsTrace};
+
+/// The `format` marker every checkpoint document carries.
+pub const CHECKPOINT_FORMAT: &str = "rowfpga-checkpoint";
+
+/// The current checkpoint format version.
+pub const CHECKPOINT_VERSION: u64 = 1;
+
+/// Errors of checkpoint I/O, decoding and validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Reading or writing the file failed.
+    Io {
+        /// The path involved.
+        path: String,
+        /// The underlying I/O error text.
+        detail: String,
+    },
+    /// The file is not valid JSON.
+    Parse {
+        /// The parser's complaint.
+        detail: String,
+    },
+    /// The document is JSON but not a well-formed checkpoint.
+    Format {
+        /// What was missing or malformed.
+        detail: String,
+    },
+    /// The checkpoint is from an unsupported format version.
+    Version {
+        /// The version found in the file.
+        found: u64,
+    },
+    /// The checkpoint was written for a different architecture.
+    ArchMismatch {
+        /// Fingerprint in the file.
+        found: u64,
+        /// Fingerprint of the architecture being resumed on.
+        expected: u64,
+    },
+    /// The checkpoint was written for a different netlist.
+    NetlistMismatch {
+        /// Fingerprint in the file.
+        found: u64,
+        /// Fingerprint of the netlist being resumed on.
+        expected: u64,
+    },
+    /// The checkpoint was written under different run seeds.
+    SeedMismatch {
+        /// Which seed disagrees (`placement` or `anneal`).
+        which: &'static str,
+        /// Seed in the file.
+        found: u64,
+        /// Seed of the resuming configuration.
+        expected: u64,
+    },
+    /// The decoded state does not reconstruct a legal layout.
+    Restore {
+        /// What failed to restore.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::Io { path, detail } => write!(f, "checkpoint io on {path}: {detail}"),
+            CheckpointError::Parse { detail } => write!(f, "checkpoint is not JSON: {detail}"),
+            CheckpointError::Format { detail } => write!(f, "malformed checkpoint: {detail}"),
+            CheckpointError::Version { found } => write!(
+                f,
+                "unsupported checkpoint version {found} (this build reads {CHECKPOINT_VERSION})"
+            ),
+            CheckpointError::ArchMismatch { found, expected } => write!(
+                f,
+                "checkpoint architecture fingerprint {found:#018x} does not match {expected:#018x}"
+            ),
+            CheckpointError::NetlistMismatch { found, expected } => write!(
+                f,
+                "checkpoint netlist fingerprint {found:#018x} does not match {expected:#018x}"
+            ),
+            CheckpointError::SeedMismatch {
+                which,
+                found,
+                expected,
+            } => write!(
+                f,
+                "checkpoint {which} seed {found} does not match configured seed {expected}"
+            ),
+            CheckpointError::Restore { detail } => write!(f, "checkpoint restore failed: {detail}"),
+        }
+    }
+}
+
+impl Error for CheckpointError {}
+
+/// Injectable checkpoint-write failures, modelling the two crash windows
+/// of the atomic write protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WriteFault {
+    /// The process dies mid-write: the temp file holds a truncated
+    /// document and the rename never happens.
+    ShortWrite,
+    /// The process dies after the write but before the rename: the temp
+    /// file is complete, the real path still holds the previous snapshot.
+    SkipRename,
+}
+
+/// FNV-1a 64-bit hash.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Fingerprint of the architecture dimensions a routing snapshot depends
+/// on. Two architectures with equal fingerprints index the same site,
+/// segment and channel spaces.
+pub fn arch_fingerprint(arch: &Architecture) -> u64 {
+    let g = arch.geometry();
+    let text = format!(
+        "rows={} cols={} io_columns={} tracks={} sites={} channels={} hsegs={} vsegs={}",
+        g.num_rows(),
+        g.num_cols(),
+        g.io_columns(),
+        arch.tracks_per_channel(),
+        g.num_sites(),
+        g.num_channels(),
+        arch.num_hsegs(),
+        arch.num_vsegs(),
+    );
+    fnv1a64(text.as_bytes())
+}
+
+/// Fingerprint of the netlist, taken over its canonical serialized text.
+pub fn netlist_fingerprint(netlist: &Netlist) -> u64 {
+    fnv1a64(write_netlist(netlist).as_bytes())
+}
+
+/// The layout-side state of a checkpoint: everything [`LayoutProblem`]
+/// needs to reconstruct itself at a temperature boundary.
+///
+/// [`LayoutProblem`]: crate::LayoutProblem
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProblemSnapshot {
+    /// Site index per cell (dense, in cell-id order).
+    pub sites: Vec<usize>,
+    /// Pinmap palette index per cell.
+    pub pinmaps: Vec<u16>,
+    /// Routing record per net (dense, in net-id order).
+    pub routes: Vec<NetRouteSnapshot>,
+    /// Current adaptive cost weights.
+    pub weights: CostWeights,
+    /// Current exchange-window half-width (`usize::MAX` = unlimited).
+    pub window: usize,
+    /// Dynamics trace accumulated so far.
+    pub trace: DynamicsTrace,
+}
+
+/// The best layout observed so far, kept as plain data so it survives a
+/// checkpoint round trip.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BestLayout {
+    /// Site index per cell.
+    pub sites: Vec<usize>,
+    /// Pinmap palette index per cell.
+    pub pinmaps: Vec<u16>,
+    /// Routing record per net.
+    pub routes: Vec<NetRouteSnapshot>,
+    /// Globally unrouted nets of this layout.
+    pub globally_unrouted: usize,
+    /// Detail-incomplete nets of this layout.
+    pub incomplete: usize,
+    /// Incremental worst delay of this layout (ps).
+    pub worst_delay: f64,
+}
+
+impl BestLayout {
+    /// Quality key: fewer incomplete nets first, then fewer globally
+    /// unrouted, then lower delay.
+    pub fn key(&self) -> (usize, usize, f64) {
+        (self.incomplete, self.globally_unrouted, self.worst_delay)
+    }
+}
+
+/// One complete, versioned snapshot of a layout run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Format version ([`CHECKPOINT_VERSION`]).
+    pub version: u64,
+    /// [`arch_fingerprint`] of the run's architecture.
+    pub arch_fingerprint: u64,
+    /// [`netlist_fingerprint`] of the run's netlist.
+    pub netlist_fingerprint: u64,
+    /// Seed of the initial random placement.
+    pub placement_seed: u64,
+    /// Seed of the annealing schedule.
+    pub anneal_seed: u64,
+    /// Repairs performed so far in the run.
+    pub repairs: usize,
+    /// The annealing-schedule cursor (RNG words, temperature, indices).
+    pub cursor: AnnealCursor,
+    /// The layout-side state.
+    pub problem: ProblemSnapshot,
+    /// Best layout seen so far, if tracking was active.
+    pub best: Option<BestLayout>,
+}
+
+// --- JSON helpers ----------------------------------------------------------
+//
+// u64 values (RNG state words, fingerprints, seeds) are encoded as decimal
+// strings: Json::Num is an f64 and cannot represent all 64-bit integers.
+
+fn ju64(v: u64) -> Json {
+    Json::Str(v.to_string())
+}
+
+fn get<'a>(j: &'a Json, key: &str, what: &str) -> Result<&'a Json, CheckpointError> {
+    j.get(key).ok_or_else(|| CheckpointError::Format {
+        detail: format!("{what}: missing key '{key}'"),
+    })
+}
+
+fn get_u64(j: &Json, key: &str, what: &str) -> Result<u64, CheckpointError> {
+    let v = get(j, key, what)?;
+    match v {
+        Json::Str(s) => s.parse::<u64>().map_err(|_| CheckpointError::Format {
+            detail: format!("{what}: '{key}' is not a decimal u64"),
+        }),
+        _ => v.as_u64().ok_or_else(|| CheckpointError::Format {
+            detail: format!("{what}: '{key}' is not a u64"),
+        }),
+    }
+}
+
+fn get_usize(j: &Json, key: &str, what: &str) -> Result<usize, CheckpointError> {
+    get(j, key, what)?
+        .as_u64()
+        .map(|v| v as usize)
+        .ok_or_else(|| CheckpointError::Format {
+            detail: format!("{what}: '{key}' is not an unsigned integer"),
+        })
+}
+
+fn get_f64(j: &Json, key: &str, what: &str) -> Result<f64, CheckpointError> {
+    get(j, key, what)?
+        .as_f64()
+        .ok_or_else(|| CheckpointError::Format {
+            detail: format!("{what}: '{key}' is not a number"),
+        })
+}
+
+fn get_bool(j: &Json, key: &str, what: &str) -> Result<bool, CheckpointError> {
+    get(j, key, what)?
+        .as_bool()
+        .ok_or_else(|| CheckpointError::Format {
+            detail: format!("{what}: '{key}' is not a bool"),
+        })
+}
+
+fn get_arr<'a>(j: &'a Json, key: &str, what: &str) -> Result<&'a [Json], CheckpointError> {
+    get(j, key, what)?
+        .as_arr()
+        .ok_or_else(|| CheckpointError::Format {
+            detail: format!("{what}: '{key}' is not an array"),
+        })
+}
+
+fn usize_arr(values: &[Json], what: &str) -> Result<Vec<usize>, CheckpointError> {
+    values
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .map(|n| n as usize)
+                .ok_or_else(|| CheckpointError::Format {
+                    detail: format!("{what}: non-integer array element"),
+                })
+        })
+        .collect()
+}
+
+fn cursor_to_json(c: &AnnealCursor) -> Json {
+    Json::obj(vec![
+        (
+            "rng_state",
+            Json::Arr(c.rng_state.iter().map(|&w| ju64(w)).collect()),
+        ),
+        ("temperature", c.temperature.into()),
+        ("next_index", c.next_index.into()),
+        ("stalled", c.stalled.into()),
+        ("total_moves", c.total_moves.into()),
+        ("best_cost", c.best_cost.into()),
+        ("frozen", c.frozen.into()),
+    ])
+}
+
+fn cursor_from_json(j: &Json) -> Result<AnnealCursor, CheckpointError> {
+    let what = "cursor";
+    let words = get_arr(j, "rng_state", what)?;
+    if words.len() != 4 {
+        return Err(CheckpointError::Format {
+            detail: "cursor: rng_state must have 4 words".into(),
+        });
+    }
+    let mut rng_state = [0u64; 4];
+    for (i, w) in words.iter().enumerate() {
+        rng_state[i] = match w {
+            Json::Str(s) => s.parse::<u64>().map_err(|_| CheckpointError::Format {
+                detail: "cursor: rng_state word is not a decimal u64".into(),
+            })?,
+            _ => {
+                return Err(CheckpointError::Format {
+                    detail: "cursor: rng_state word is not a string".into(),
+                })
+            }
+        };
+    }
+    Ok(AnnealCursor {
+        rng_state,
+        temperature: get_f64(j, "temperature", what)?,
+        next_index: get_usize(j, "next_index", what)?,
+        stalled: get_usize(j, "stalled", what)?,
+        total_moves: get_usize(j, "total_moves", what)?,
+        best_cost: get_f64(j, "best_cost", what)?,
+        frozen: get_bool(j, "frozen", what)?,
+    })
+}
+
+fn route_to_json(r: &NetRouteSnapshot) -> Json {
+    Json::obj(vec![
+        (
+            "vsegs",
+            Json::Arr(r.vsegs.iter().map(|&v| v.into()).collect()),
+        ),
+        (
+            "vcol",
+            match r.vcol {
+                Some(c) => c.into(),
+                None => Json::Null,
+            },
+        ),
+        (
+            "hsegs",
+            Json::Arr(
+                r.hsegs
+                    .iter()
+                    .map(|(chan, segs)| {
+                        Json::Arr(vec![
+                            (*chan).into(),
+                            Json::Arr(segs.iter().map(|&s| s.into()).collect()),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "pending",
+            Json::Arr(r.pending_channels.iter().map(|&c| c.into()).collect()),
+        ),
+        (
+            "spans",
+            Json::Arr(
+                r.spans
+                    .iter()
+                    .map(|&(chan, lo, hi)| {
+                        Json::Arr(vec![
+                            chan.into(),
+                            u64::from(lo).into(),
+                            u64::from(hi).into(),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("global", r.globally_routed.into()),
+    ])
+}
+
+fn route_from_json(j: &Json) -> Result<NetRouteSnapshot, CheckpointError> {
+    let what = "route";
+    let vcol = match get(j, "vcol", what)? {
+        Json::Null => None,
+        v => Some(v.as_u64().ok_or_else(|| CheckpointError::Format {
+            detail: "route: vcol is not an integer".into(),
+        })? as usize),
+    };
+    let hsegs = get_arr(j, "hsegs", what)?
+        .iter()
+        .map(|run| {
+            let pair =
+                run.as_arr()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| CheckpointError::Format {
+                        detail: "route: hseg run is not a [channel, segs] pair".into(),
+                    })?;
+            let chan = pair[0].as_u64().ok_or_else(|| CheckpointError::Format {
+                detail: "route: hseg channel is not an integer".into(),
+            })? as usize;
+            let segs = usize_arr(
+                pair[1].as_arr().ok_or_else(|| CheckpointError::Format {
+                    detail: "route: hseg run segs is not an array".into(),
+                })?,
+                "route.hsegs",
+            )?;
+            Ok((chan, segs))
+        })
+        .collect::<Result<Vec<_>, CheckpointError>>()?;
+    let spans = get_arr(j, "spans", what)?
+        .iter()
+        .map(|span| {
+            let trip =
+                span.as_arr()
+                    .filter(|t| t.len() == 3)
+                    .ok_or_else(|| CheckpointError::Format {
+                        detail: "route: span is not a [channel, lo, hi] triple".into(),
+                    })?;
+            let nums = trip
+                .iter()
+                .map(|v| {
+                    v.as_u64().ok_or_else(|| CheckpointError::Format {
+                        detail: "route: span element is not an integer".into(),
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok((nums[0] as usize, nums[1] as u32, nums[2] as u32))
+        })
+        .collect::<Result<Vec<_>, CheckpointError>>()?;
+    Ok(NetRouteSnapshot {
+        vsegs: usize_arr(get_arr(j, "vsegs", what)?, "route.vsegs")?,
+        vcol,
+        hsegs,
+        pending_channels: usize_arr(get_arr(j, "pending", what)?, "route.pending")?,
+        spans,
+        globally_routed: get_bool(j, "global", what)?,
+    })
+}
+
+fn sample_to_json(s: &DynamicsSample) -> Json {
+    Json::obj(vec![
+        ("index", s.index.into()),
+        ("temperature", s.temperature.into()),
+        ("cells_perturbed", s.cells_perturbed.into()),
+        ("nets_globally_unrouted", s.nets_globally_unrouted.into()),
+        ("nets_unrouted", s.nets_unrouted.into()),
+        ("worst_delay", s.worst_delay.into()),
+        ("cost", s.cost.into()),
+    ])
+}
+
+fn sample_from_json(j: &Json) -> Result<DynamicsSample, CheckpointError> {
+    let what = "dynamics sample";
+    Ok(DynamicsSample {
+        index: get_usize(j, "index", what)?,
+        temperature: get_f64(j, "temperature", what)?,
+        cells_perturbed: get_f64(j, "cells_perturbed", what)?,
+        nets_globally_unrouted: get_f64(j, "nets_globally_unrouted", what)?,
+        nets_unrouted: get_f64(j, "nets_unrouted", what)?,
+        worst_delay: get_f64(j, "worst_delay", what)?,
+        cost: get_f64(j, "cost", what)?,
+    })
+}
+
+fn pinmap_arr(values: &[Json], what: &str) -> Result<Vec<u16>, CheckpointError> {
+    values
+        .iter()
+        .map(|v| {
+            v.as_u64()
+                .and_then(|n| u16::try_from(n).ok())
+                .ok_or_else(|| CheckpointError::Format {
+                    detail: format!("{what}: pinmap out of u16 range"),
+                })
+        })
+        .collect()
+}
+
+fn layout_fields(sites: &[usize], pinmaps: &[u16], routes: &[NetRouteSnapshot]) -> Vec<Json> {
+    vec![
+        Json::Arr(sites.iter().map(|&s| s.into()).collect()),
+        Json::Arr(pinmaps.iter().map(|&p| u64::from(p).into()).collect()),
+        Json::Arr(routes.iter().map(route_to_json).collect()),
+    ]
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint as one JSON document.
+    pub fn to_json(&self) -> Json {
+        let p = &self.problem;
+        let mut layout = layout_fields(&p.sites, &p.pinmaps, &p.routes);
+        let routes = layout.pop().expect("three layout fields");
+        let pinmaps = layout.pop().expect("three layout fields");
+        let sites = layout.pop().expect("three layout fields");
+        let best = match &self.best {
+            None => Json::Null,
+            Some(b) => {
+                let mut fields = layout_fields(&b.sites, &b.pinmaps, &b.routes);
+                let routes = fields.pop().expect("three layout fields");
+                let pinmaps = fields.pop().expect("three layout fields");
+                let sites = fields.pop().expect("three layout fields");
+                Json::obj(vec![
+                    ("sites", sites),
+                    ("pinmaps", pinmaps),
+                    ("routes", routes),
+                    ("globally_unrouted", b.globally_unrouted.into()),
+                    ("incomplete", b.incomplete.into()),
+                    ("worst_delay", b.worst_delay.into()),
+                ])
+            }
+        };
+        Json::obj(vec![
+            ("format", CHECKPOINT_FORMAT.into()),
+            ("version", self.version.into()),
+            ("arch_fingerprint", ju64(self.arch_fingerprint)),
+            ("netlist_fingerprint", ju64(self.netlist_fingerprint)),
+            ("placement_seed", ju64(self.placement_seed)),
+            ("anneal_seed", ju64(self.anneal_seed)),
+            ("repairs", self.repairs.into()),
+            ("cursor", cursor_to_json(&self.cursor)),
+            (
+                "weights",
+                Json::obj(vec![
+                    ("wg", self.problem.weights.wg.into()),
+                    ("wd", self.problem.weights.wd.into()),
+                    ("wt", self.problem.weights.wt.into()),
+                ]),
+            ),
+            (
+                "window",
+                if p.window == usize::MAX {
+                    Json::Null
+                } else {
+                    p.window.into()
+                },
+            ),
+            ("sites", sites),
+            ("pinmaps", pinmaps),
+            ("routes", routes),
+            (
+                "trace",
+                Json::Arr(p.trace.samples().iter().map(sample_to_json).collect()),
+            ),
+            ("best", best),
+        ])
+    }
+
+    /// Decodes a checkpoint document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Format`] on any missing or mistyped
+    /// field and [`CheckpointError::Version`] on an unsupported version.
+    pub fn from_json(j: &Json) -> Result<Checkpoint, CheckpointError> {
+        let what = "checkpoint";
+        match get(j, "format", what)?.as_str() {
+            Some(CHECKPOINT_FORMAT) => {}
+            _ => {
+                return Err(CheckpointError::Format {
+                    detail: format!("not a {CHECKPOINT_FORMAT} document"),
+                })
+            }
+        }
+        let version = get_u64(j, "version", what)?;
+        if version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::Version { found: version });
+        }
+        let weights_j = get(j, "weights", what)?;
+        let weights = CostWeights {
+            wg: get_f64(weights_j, "wg", "weights")?,
+            wd: get_f64(weights_j, "wd", "weights")?,
+            wt: get_f64(weights_j, "wt", "weights")?,
+        };
+        let window = match get(j, "window", what)? {
+            Json::Null => usize::MAX,
+            v => v.as_u64().ok_or_else(|| CheckpointError::Format {
+                detail: "window is not an integer or null".into(),
+            })? as usize,
+        };
+        let mut trace = DynamicsTrace::new();
+        for s in get_arr(j, "trace", what)? {
+            trace.push(sample_from_json(s)?);
+        }
+        let routes = get_arr(j, "routes", what)?
+            .iter()
+            .map(route_from_json)
+            .collect::<Result<Vec<_>, _>>()?;
+        let best = match get(j, "best", what)? {
+            Json::Null => None,
+            b => Some(BestLayout {
+                sites: usize_arr(get_arr(b, "sites", "best")?, "best.sites")?,
+                pinmaps: pinmap_arr(get_arr(b, "pinmaps", "best")?, "best.pinmaps")?,
+                routes: get_arr(b, "routes", "best")?
+                    .iter()
+                    .map(route_from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
+                globally_unrouted: get_usize(b, "globally_unrouted", "best")?,
+                incomplete: get_usize(b, "incomplete", "best")?,
+                worst_delay: get_f64(b, "worst_delay", "best")?,
+            }),
+        };
+        Ok(Checkpoint {
+            version,
+            arch_fingerprint: get_u64(j, "arch_fingerprint", what)?,
+            netlist_fingerprint: get_u64(j, "netlist_fingerprint", what)?,
+            placement_seed: get_u64(j, "placement_seed", what)?,
+            anneal_seed: get_u64(j, "anneal_seed", what)?,
+            repairs: get_usize(j, "repairs", what)?,
+            cursor: cursor_from_json(get(j, "cursor", what)?)?,
+            problem: ProblemSnapshot {
+                sites: usize_arr(get_arr(j, "sites", what)?, "sites")?,
+                pinmaps: pinmap_arr(get_arr(j, "pinmaps", what)?, "pinmaps")?,
+                routes,
+                weights,
+                window,
+                trace,
+            },
+            best,
+        })
+    }
+
+    /// Checks the header against the design and seeds of the resuming run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first mismatch: architecture, netlist, or either seed.
+    pub fn validate(
+        &self,
+        arch: &Architecture,
+        netlist: &Netlist,
+        placement_seed: u64,
+        anneal_seed: u64,
+    ) -> Result<(), CheckpointError> {
+        let expected = arch_fingerprint(arch);
+        if self.arch_fingerprint != expected {
+            return Err(CheckpointError::ArchMismatch {
+                found: self.arch_fingerprint,
+                expected,
+            });
+        }
+        let expected = netlist_fingerprint(netlist);
+        if self.netlist_fingerprint != expected {
+            return Err(CheckpointError::NetlistMismatch {
+                found: self.netlist_fingerprint,
+                expected,
+            });
+        }
+        if self.placement_seed != placement_seed {
+            return Err(CheckpointError::SeedMismatch {
+                which: "placement",
+                found: self.placement_seed,
+                expected: placement_seed,
+            });
+        }
+        if self.anneal_seed != anneal_seed {
+            return Err(CheckpointError::SeedMismatch {
+                which: "anneal",
+                found: self.anneal_seed,
+                expected: anneal_seed,
+            });
+        }
+        Ok(())
+    }
+
+    /// Writes the checkpoint atomically: serialize to `<path>.tmp`, fsync,
+    /// rename over `path`. A crash at any point leaves either the previous
+    /// complete snapshot or the new one at `path` — never a torn file.
+    ///
+    /// `fault` injects one of the crash windows (for the resilience test
+    /// suite): the write returns an error and `path` is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] when any filesystem step fails.
+    pub fn save(&self, path: &Path, fault: Option<WriteFault>) -> Result<(), CheckpointError> {
+        let text = self.to_json().to_string_compact();
+        write_atomic(path, &text, fault)
+    }
+
+    /// Reads and decodes a checkpoint. Only the real path is consulted —
+    /// a leftover `.tmp` sibling from an interrupted write is ignored, so
+    /// the last complete snapshot wins.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] when the file cannot be read and
+    /// [`CheckpointError::Parse`]/[`CheckpointError::Format`] when it does
+    /// not decode.
+    pub fn load(path: &Path) -> Result<Checkpoint, CheckpointError> {
+        let text = fs::read_to_string(path).map_err(|e| CheckpointError::Io {
+            path: path.display().to_string(),
+            detail: e.to_string(),
+        })?;
+        let doc = rowfpga_obs::json::parse(&text).map_err(|e| CheckpointError::Parse {
+            detail: e.to_string(),
+        })?;
+        Checkpoint::from_json(&doc)
+    }
+}
+
+/// The temp-file sibling used by the atomic write.
+pub fn temp_path(path: &Path) -> std::path::PathBuf {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> CheckpointError {
+    CheckpointError::Io {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+fn write_atomic(path: &Path, text: &str, fault: Option<WriteFault>) -> Result<(), CheckpointError> {
+    let tmp = temp_path(path);
+    let mut file = fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
+    let bytes = text.as_bytes();
+    match fault {
+        Some(WriteFault::ShortWrite) => {
+            file.write_all(&bytes[..bytes.len() / 2])
+                .map_err(|e| io_err(&tmp, e))?;
+            let _ = file.sync_all();
+            return Err(CheckpointError::Io {
+                path: tmp.display().to_string(),
+                detail: "injected crash mid-write (temp file truncated, no rename)".into(),
+            });
+        }
+        Some(WriteFault::SkipRename) | None => {
+            file.write_all(bytes).map_err(|e| io_err(&tmp, e))?;
+            file.write_all(b"\n").map_err(|e| io_err(&tmp, e))?;
+            file.sync_all().map_err(|e| io_err(&tmp, e))?;
+            drop(file);
+            if fault == Some(WriteFault::SkipRename) {
+                return Err(CheckpointError::Io {
+                    path: tmp.display().to_string(),
+                    detail: "injected crash before rename (temp file complete, no rename)".into(),
+                });
+            }
+        }
+    }
+    fs::rename(&tmp, path).map_err(|e| io_err(path, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_checkpoint() -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            arch_fingerprint: u64::MAX - 3,
+            netlist_fingerprint: 0x1234_5678_9abc_def0,
+            placement_seed: 7,
+            anneal_seed: u64::MAX,
+            repairs: 2,
+            cursor: AnnealCursor {
+                rng_state: [u64::MAX, 1, 0x8000_0000_0000_0001, 42],
+                temperature: 3.25,
+                next_index: 11,
+                stalled: 1,
+                total_moves: 12_345,
+                best_cost: 98.765,
+                frozen: false,
+            },
+            problem: ProblemSnapshot {
+                sites: vec![3, 1, 4, 1, 5],
+                pinmaps: vec![0, 2, 0, 1, 7],
+                routes: vec![
+                    NetRouteSnapshot {
+                        vsegs: vec![9, 2],
+                        vcol: Some(4),
+                        hsegs: vec![(0, vec![5, 6]), (3, vec![1])],
+                        pending_channels: vec![2],
+                        spans: vec![(0, 1, 7), (3, 2, 4), (2, 0, 3)],
+                        globally_routed: true,
+                    },
+                    NetRouteSnapshot::default(),
+                ],
+                weights: CostWeights {
+                    wg: 1.5,
+                    wd: 1.0,
+                    wt: 0.0123,
+                },
+                window: usize::MAX,
+                trace: {
+                    let mut t = DynamicsTrace::new();
+                    t.push(DynamicsSample {
+                        index: 0,
+                        temperature: 10.5,
+                        cells_perturbed: 0.75,
+                        nets_globally_unrouted: 0.25,
+                        nets_unrouted: 0.5,
+                        worst_delay: 12_500.0,
+                        cost: 200.25,
+                    });
+                    t
+                },
+            },
+            best: Some(BestLayout {
+                sites: vec![1, 3, 4, 0, 5],
+                pinmaps: vec![0, 0, 0, 0, 0],
+                routes: vec![NetRouteSnapshot::default(), NetRouteSnapshot::default()],
+                globally_unrouted: 0,
+                incomplete: 1,
+                worst_delay: 11_000.5,
+            }),
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let ck = sample_checkpoint();
+        let text = ck.to_json().to_string_compact();
+        let back = Checkpoint::from_json(&rowfpga_obs::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, ck);
+
+        // window that is limited survives too
+        let mut ck2 = ck;
+        ck2.problem.window = 17;
+        ck2.best = None;
+        let text = ck2.to_json().to_string_compact();
+        let back = Checkpoint::from_json(&rowfpga_obs::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, ck2);
+    }
+
+    #[test]
+    fn save_and_load_round_trip_through_a_file() {
+        let ck = sample_checkpoint();
+        let path = std::env::temp_dir().join("rowfpga_ckpt_roundtrip.json");
+        ck.save(&path, None).unwrap();
+        assert!(!temp_path(&path).exists(), "temp file must be renamed away");
+        let back = Checkpoint::load(&path).unwrap();
+        let _ = fs::remove_file(&path);
+        assert_eq!(back, ck);
+    }
+
+    #[test]
+    fn short_write_crash_window_keeps_the_previous_snapshot() {
+        let path = std::env::temp_dir().join("rowfpga_ckpt_shortwrite.json");
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(temp_path(&path));
+        let mut ck = sample_checkpoint();
+        ck.save(&path, None).unwrap();
+
+        // A later write dies mid-stream: temp file present and truncated,
+        // real path still holds the first snapshot.
+        ck.repairs = 99;
+        let err = ck.save(&path, Some(WriteFault::ShortWrite)).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io { .. }));
+        assert!(temp_path(&path).exists(), "truncated temp file remains");
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.repairs, sample_checkpoint().repairs);
+
+        // The loader never looks at the temp file, and the torn temp file
+        // is not even parseable JSON.
+        let torn = fs::read_to_string(temp_path(&path)).unwrap();
+        assert!(rowfpga_obs::json::parse(&torn).is_err());
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(temp_path(&path));
+    }
+
+    #[test]
+    fn skipped_rename_crash_window_keeps_the_previous_snapshot() {
+        let path = std::env::temp_dir().join("rowfpga_ckpt_norename.json");
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(temp_path(&path));
+        let mut ck = sample_checkpoint();
+        ck.save(&path, None).unwrap();
+
+        ck.repairs = 42;
+        let err = ck.save(&path, Some(WriteFault::SkipRename)).unwrap_err();
+        assert!(matches!(err, CheckpointError::Io { .. }));
+        // The temp file is a complete document — the crash hit between
+        // write and rename — but the real path wins on load.
+        let tmp_text = fs::read_to_string(temp_path(&path)).unwrap();
+        assert!(rowfpga_obs::json::parse(&tmp_text).is_ok());
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(loaded.repairs, sample_checkpoint().repairs);
+        let _ = fs::remove_file(&path);
+        let _ = fs::remove_file(temp_path(&path));
+    }
+
+    #[test]
+    fn validation_rejects_wrong_design_and_seeds() {
+        use rowfpga_netlist::{generate, GenerateConfig};
+        let nl = generate(&GenerateConfig {
+            num_cells: 30,
+            num_inputs: 4,
+            num_outputs: 4,
+            num_seq: 2,
+            ..GenerateConfig::default()
+        });
+        let other_nl = generate(&GenerateConfig {
+            num_cells: 31,
+            num_inputs: 4,
+            num_outputs: 4,
+            num_seq: 2,
+            ..GenerateConfig::default()
+        });
+        let arch = Architecture::builder()
+            .rows(4)
+            .cols(10)
+            .io_columns(1)
+            .tracks_per_channel(12)
+            .build()
+            .unwrap();
+        let other_arch = arch.with_tracks(13).unwrap();
+
+        let mut ck = sample_checkpoint();
+        ck.arch_fingerprint = arch_fingerprint(&arch);
+        ck.netlist_fingerprint = netlist_fingerprint(&nl);
+        ck.placement_seed = 5;
+        ck.anneal_seed = 6;
+
+        ck.validate(&arch, &nl, 5, 6).unwrap();
+        assert!(matches!(
+            ck.validate(&other_arch, &nl, 5, 6),
+            Err(CheckpointError::ArchMismatch { .. })
+        ));
+        assert!(matches!(
+            ck.validate(&arch, &other_nl, 5, 6),
+            Err(CheckpointError::NetlistMismatch { .. })
+        ));
+        assert!(matches!(
+            ck.validate(&arch, &nl, 9, 6),
+            Err(CheckpointError::SeedMismatch {
+                which: "placement",
+                ..
+            })
+        ));
+        assert!(matches!(
+            ck.validate(&arch, &nl, 5, 9),
+            Err(CheckpointError::SeedMismatch {
+                which: "anneal",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn version_and_format_gates_reject_foreign_documents() {
+        let ck = sample_checkpoint();
+        let mut doc = ck.to_json();
+        // bump the version in place
+        if let Json::Obj(pairs) = &mut doc {
+            for (k, v) in pairs.iter_mut() {
+                if k == "version" {
+                    *v = Json::Num(2.0);
+                }
+            }
+        }
+        assert!(matches!(
+            Checkpoint::from_json(&doc),
+            Err(CheckpointError::Version { found: 2 })
+        ));
+        let not_ours = Json::obj(vec![("format", "something-else".into())]);
+        assert!(matches!(
+            Checkpoint::from_json(&not_ours),
+            Err(CheckpointError::Format { .. })
+        ));
+    }
+
+    #[test]
+    fn fingerprints_separate_designs_and_architectures() {
+        use rowfpga_netlist::{generate, GenerateConfig};
+        let a = generate(&GenerateConfig {
+            num_cells: 30,
+            num_inputs: 4,
+            num_outputs: 4,
+            num_seq: 2,
+            ..GenerateConfig::default()
+        });
+        let b = generate(&GenerateConfig {
+            num_cells: 30,
+            num_inputs: 4,
+            num_outputs: 4,
+            num_seq: 2,
+            seed: 99,
+            ..GenerateConfig::default()
+        });
+        assert_eq!(netlist_fingerprint(&a), netlist_fingerprint(&a));
+        assert_ne!(netlist_fingerprint(&a), netlist_fingerprint(&b));
+
+        let arch = Architecture::builder()
+            .rows(4)
+            .cols(10)
+            .io_columns(1)
+            .tracks_per_channel(12)
+            .build()
+            .unwrap();
+        assert_eq!(arch_fingerprint(&arch), arch_fingerprint(&arch));
+        assert_ne!(
+            arch_fingerprint(&arch),
+            arch_fingerprint(&arch.with_tracks(13).unwrap())
+        );
+    }
+}

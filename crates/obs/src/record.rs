@@ -21,6 +21,17 @@
 //!   `globally_routed`, `detail_routed`, `detail_failures`.
 //! * `run_end` — `cost`, `worst_delay`, `unrouted`, `total_moves`,
 //!   `temperatures`, `runtime_sec`, plus a `metrics` snapshot object.
+//!
+//! The resilience layer adds four more kinds:
+//!
+//! * `audit` — one self-audit of incremental state against ground truth:
+//!   `temp` (temperature index), `ok`, `detail` (empty when `ok`).
+//! * `repair` — one repair attempt after a failed audit: `temp`,
+//!   `attempt`, `scope` (`"timing"` or `"routing"`), `ok`.
+//! * `checkpoint` — one checkpoint write: `temp`, `path`, `ok`, `detail`
+//!   (the I/O error when `ok` is false).
+//! * `stop` — why the run returned: `reason` (`"converged"`,
+//!   `"deadline"`, `"interrupted"`, `"repaired"`), `temps`, `repairs`.
 
 use std::io::Write;
 
@@ -104,6 +115,46 @@ pub enum Event {
         /// Pass totals.
         stats: RerouteRecord,
     },
+    /// One self-audit of incremental routing/timing state completed.
+    Audit {
+        /// Temperature index the audit ran at.
+        temp: usize,
+        /// Whether the incremental state matched ground truth.
+        ok: bool,
+        /// First divergence found (empty when `ok`).
+        detail: String,
+    },
+    /// One repair attempt after a failed audit.
+    Repair {
+        /// Temperature index the repair ran at.
+        temp: usize,
+        /// 1-based attempt number within this audit failure.
+        attempt: usize,
+        /// What was rebuilt (`"timing"` or `"routing"`).
+        scope: String,
+        /// Whether the re-audit after the rebuild passed.
+        ok: bool,
+    },
+    /// One checkpoint write finished (or failed).
+    Checkpoint {
+        /// Temperature index the snapshot captures.
+        temp: usize,
+        /// Destination path.
+        path: String,
+        /// Whether the atomic write completed.
+        ok: bool,
+        /// The I/O error when `ok` is false (empty otherwise).
+        detail: String,
+    },
+    /// Why the run returned.
+    Stop {
+        /// `"converged"`, `"deadline"`, `"interrupted"` or `"repaired"`.
+        reason: String,
+        /// Temperatures completed over the whole run.
+        temps: usize,
+        /// Successful repairs performed during the run.
+        repairs: usize,
+    },
     /// The run finished.
     RunEnd {
         /// Final weighted cost.
@@ -170,6 +221,46 @@ impl Event {
                 ("detail_routed", stats.detail_routed.into()),
                 ("detail_failures", stats.detail_failures.into()),
             ]),
+            Event::Audit { temp, ok, detail } => Json::obj(vec![
+                ("event", "audit".into()),
+                ("temp", (*temp).into()),
+                ("ok", (*ok).into()),
+                ("detail", detail.as_str().into()),
+            ]),
+            Event::Repair {
+                temp,
+                attempt,
+                scope,
+                ok,
+            } => Json::obj(vec![
+                ("event", "repair".into()),
+                ("temp", (*temp).into()),
+                ("attempt", (*attempt).into()),
+                ("scope", scope.as_str().into()),
+                ("ok", (*ok).into()),
+            ]),
+            Event::Checkpoint {
+                temp,
+                path,
+                ok,
+                detail,
+            } => Json::obj(vec![
+                ("event", "checkpoint".into()),
+                ("temp", (*temp).into()),
+                ("path", path.as_str().into()),
+                ("ok", (*ok).into()),
+                ("detail", detail.as_str().into()),
+            ]),
+            Event::Stop {
+                reason,
+                temps,
+                repairs,
+            } => Json::obj(vec![
+                ("event", "stop".into()),
+                ("reason", reason.as_str().into()),
+                ("temps", (*temps).into()),
+                ("repairs", (*repairs).into()),
+            ]),
             Event::RunEnd {
                 cost,
                 worst_delay,
@@ -234,6 +325,28 @@ impl Event {
                     detail_routed: int("detail_routed")?,
                     detail_failures: int("detail_failures")?,
                 },
+            }),
+            "audit" => Some(Event::Audit {
+                temp: int("temp")?,
+                ok: j.get("ok")?.as_bool()?,
+                detail: j.get("detail")?.as_str()?.to_string(),
+            }),
+            "repair" => Some(Event::Repair {
+                temp: int("temp")?,
+                attempt: int("attempt")?,
+                scope: j.get("scope")?.as_str()?.to_string(),
+                ok: j.get("ok")?.as_bool()?,
+            }),
+            "checkpoint" => Some(Event::Checkpoint {
+                temp: int("temp")?,
+                path: j.get("path")?.as_str()?.to_string(),
+                ok: j.get("ok")?.as_bool()?,
+                detail: j.get("detail")?.as_str()?.to_string(),
+            }),
+            "stop" => Some(Event::Stop {
+                reason: j.get("reason")?.as_str()?.to_string(),
+                temps: int("temps")?,
+                repairs: int("repairs")?,
             }),
             "run_end" => Some(Event::RunEnd {
                 cost: num("cost")?,
@@ -344,6 +457,28 @@ mod tests {
                     detail_routed: 11,
                     detail_failures: 1,
                 },
+            },
+            Event::Audit {
+                temp: 12,
+                ok: false,
+                detail: "incremental worst 31.2 != oracle 30.9".into(),
+            },
+            Event::Repair {
+                temp: 12,
+                attempt: 1,
+                scope: "routing".into(),
+                ok: true,
+            },
+            Event::Checkpoint {
+                temp: 16,
+                path: "/tmp/run.ckpt".into(),
+                ok: true,
+                detail: String::new(),
+            },
+            Event::Stop {
+                reason: "deadline".into(),
+                temps: 17,
+                repairs: 1,
             },
             Event::RunEnd {
                 cost: 8.5,

@@ -23,6 +23,13 @@ pub enum CreatePlacementError {
         /// Sites of that kind available.
         available: usize,
     },
+    /// A restored assignment is malformed: wrong lengths, an out-of-range
+    /// site or pinmap index, a doubly occupied site, or a kind-incompatible
+    /// cell/site pairing.
+    InvalidAssignment {
+        /// Description of the violation.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CreatePlacementError {
@@ -36,6 +43,9 @@ impl fmt::Display for CreatePlacementError {
                 f,
                 "need {needed} {kind:?} sites but the chip provides only {available}"
             ),
+            CreatePlacementError::InvalidAssignment { detail } => {
+                write!(f, "invalid placement assignment: {detail}")
+            }
         }
     }
 }
@@ -129,6 +139,99 @@ impl Placement {
             site_of,
             cell_at,
             pinmap_choice: vec![0; netlist.num_cells()],
+            palettes,
+        })
+    }
+
+    /// Exports the cell→site assignment as bare site indices, in cell-id
+    /// order — the placement half of a layout checkpoint (together with
+    /// [`Placement::export_pinmaps`]).
+    pub fn export_sites(&self) -> Vec<usize> {
+        self.site_of.iter().map(|s| s.index()).collect()
+    }
+
+    /// Exports every cell's pinmap index, in cell-id order.
+    pub fn export_pinmaps(&self) -> Vec<u16> {
+        self.pinmap_choice.clone()
+    }
+
+    /// Rebuilds a placement from exported site and pinmap assignments,
+    /// validating every legality invariant (bijection, kind compatibility,
+    /// palette bounds) so a corrupt checkpoint yields a typed error rather
+    /// than an illegal placement or a panic downstream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CreatePlacementError::InvalidAssignment`] on any malformed
+    /// input.
+    pub fn from_parts(
+        arch: &Architecture,
+        netlist: &Netlist,
+        sites: &[usize],
+        pinmaps: &[u16],
+    ) -> Result<Placement, CreatePlacementError> {
+        let geom = arch.geometry();
+        if sites.len() != netlist.num_cells() || pinmaps.len() != netlist.num_cells() {
+            return Err(CreatePlacementError::InvalidAssignment {
+                detail: format!(
+                    "{} sites / {} pinmaps for {} cells",
+                    sites.len(),
+                    pinmaps.len(),
+                    netlist.num_cells()
+                ),
+            });
+        }
+        let mut palettes = HashMap::new();
+        for (_, cell) in netlist.cells() {
+            palettes
+                .entry(cell.kind())
+                .or_insert_with(|| pinmap_palette(cell.kind()));
+        }
+        let mut site_of = vec![SiteId::new(0); netlist.num_cells()];
+        let mut cell_at: Vec<Option<CellId>> = vec![None; geom.num_sites()];
+        for (id, cell) in netlist.cells() {
+            let s = sites[id.index()];
+            if s >= geom.num_sites() {
+                return Err(CreatePlacementError::InvalidAssignment {
+                    detail: format!("cell {id} assigned to nonexistent site {s}"),
+                });
+            }
+            let site = SiteId::new(s);
+            let want = if cell.kind().is_io() {
+                SiteKind::Io
+            } else {
+                SiteKind::Logic
+            };
+            if geom.site(site).kind() != want {
+                return Err(CreatePlacementError::InvalidAssignment {
+                    detail: format!(
+                        "cell {id} ({:?}) on {:?} site {s}",
+                        cell.kind(),
+                        geom.site(site).kind()
+                    ),
+                });
+            }
+            if let Some(prev) = cell_at[s] {
+                return Err(CreatePlacementError::InvalidAssignment {
+                    detail: format!("site {s} assigned to both {prev} and {id}"),
+                });
+            }
+            let palette_len = palettes[&cell.kind()].len();
+            if pinmaps[id.index()] as usize >= palette_len {
+                return Err(CreatePlacementError::InvalidAssignment {
+                    detail: format!(
+                        "cell {id} pinmap index {} exceeds palette of {palette_len}",
+                        pinmaps[id.index()]
+                    ),
+                });
+            }
+            site_of[id.index()] = site;
+            cell_at[s] = Some(id);
+        }
+        Ok(Placement {
+            site_of,
+            cell_at,
+            pinmap_choice: pinmaps.to_vec(),
             palettes,
         })
     }
@@ -356,6 +459,60 @@ mod tests {
             .unwrap();
         let mut p = Placement::random(&arch, &nl, 4).unwrap();
         p.set_pinmap(&nl, CellId::new(0), 999);
+    }
+
+    #[test]
+    fn export_from_parts_round_trips() {
+        let (arch, nl) = setup();
+        let mut p = Placement::random(&arch, &nl, 13).unwrap();
+        let (cell, _) = nl.cells().find(|(_, c)| !c.kind().is_io()).unwrap();
+        p.set_pinmap(&nl, cell, 1);
+        let sites = p.export_sites();
+        let pinmaps = p.export_pinmaps();
+        let q = Placement::from_parts(&arch, &nl, &sites, &pinmaps).unwrap();
+        assert!(q.check_invariants(&arch, &nl));
+        for (id, _) in nl.cells() {
+            assert_eq!(q.site_of(id), p.site_of(id));
+            assert_eq!(q.pinmap_index(id), p.pinmap_index(id));
+        }
+        for s in 0..arch.geometry().num_sites() {
+            assert_eq!(q.cell_at(SiteId::new(s)), p.cell_at(SiteId::new(s)));
+        }
+    }
+
+    #[test]
+    fn from_parts_rejects_malformed_assignments() {
+        let (arch, nl) = setup();
+        let p = Placement::random(&arch, &nl, 13).unwrap();
+        let sites = p.export_sites();
+        let pinmaps = p.export_pinmaps();
+        let bad = |s: &[usize], m: &[u16]| {
+            matches!(
+                Placement::from_parts(&arch, &nl, s, m),
+                Err(CreatePlacementError::InvalidAssignment { .. })
+            )
+        };
+        assert!(bad(&sites[1..], &pinmaps));
+        let mut oob = sites.clone();
+        oob[0] = arch.geometry().num_sites();
+        assert!(bad(&oob, &pinmaps));
+        let mut dup = sites.clone();
+        dup[1] = dup[0];
+        assert!(bad(&dup, &pinmaps));
+        let mut badmap = pinmaps.clone();
+        badmap[0] = u16::MAX;
+        assert!(bad(&sites, &badmap));
+        // IO cell moved to a logic site
+        let (io_cell, _) = nl.cells().find(|(_, c)| c.kind().is_io()).unwrap();
+        let logic_site = arch
+            .geometry()
+            .sites_of_kind(SiteKind::Logic)
+            .map(|s| s.id())
+            .find(|s| p.cell_at(*s).is_none())
+            .unwrap();
+        let mut wrong_kind = sites.clone();
+        wrong_kind[io_cell.index()] = logic_site.index();
+        assert!(bad(&wrong_kind, &pinmaps));
     }
 
     #[test]

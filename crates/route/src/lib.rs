@@ -34,6 +34,7 @@ mod detail;
 mod global;
 mod incremental;
 mod route;
+mod snapshot;
 mod spans;
 mod state;
 mod verify;
@@ -44,6 +45,7 @@ pub use detail::{detail_route_pass, DetailPassStats};
 pub use global::global_route_pass;
 pub use incremental::RerouteStats;
 pub use route::{NetRoute, NetRouteState};
+pub use snapshot::{NetRouteSnapshot, RouteRestoreError};
 pub use spans::{net_requirements, NetRequirements};
 pub use state::RoutingState;
 pub use verify::{verify_routing, RouteVerifyError};

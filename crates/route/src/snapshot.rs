@@ -1,0 +1,142 @@
+//! Plain-data export/restore of a [`RoutingState`](crate::RoutingState).
+//!
+//! Checkpointing needs the complete routing assignment as dependency-free
+//! data: [`NetRouteSnapshot`] mirrors one [`NetRoute`](crate::NetRoute) with
+//! bare indices instead of typed ids, and
+//! [`RoutingState::restore`](crate::RoutingState::restore) rebuilds a full
+//! state from a vector of them with *checked* segment claiming — malformed
+//! or conflicting snapshots (a corrupt or hand-edited checkpoint file)
+//! surface as a typed [`RouteRestoreError`] instead of a panic.
+
+use std::error::Error;
+use std::fmt;
+
+use rowfpga_arch::{ChannelId, ColId, HSegId, VSegId};
+
+use crate::route::NetRoute;
+
+/// The physical embedding of one net as plain data (bare indices), suitable
+/// for serialization. Produced by
+/// [`RoutingState::export_routes`](crate::RoutingState::export_routes) and
+/// consumed by [`RoutingState::restore`](crate::RoutingState::restore).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetRouteSnapshot {
+    /// Vertical segment indices, ordered bottom-up.
+    pub vsegs: Vec<usize>,
+    /// The feedthrough column index of the vertical chain.
+    pub vcol: Option<usize>,
+    /// Horizontal runs: `(channel index, segment indices)` per routed
+    /// channel, in record order.
+    pub hsegs: Vec<(usize, Vec<usize>)>,
+    /// Channel indices awaiting detailed routing, in record order.
+    pub pending_channels: Vec<usize>,
+    /// Required `(channel, lo, hi)` column spans.
+    pub spans: Vec<(usize, u32, u32)>,
+    /// Whether the net holds a global routing decision.
+    pub globally_routed: bool,
+}
+
+impl NetRouteSnapshot {
+    /// Exports a route record as plain data.
+    pub fn from_route(route: &NetRoute) -> NetRouteSnapshot {
+        NetRouteSnapshot {
+            vsegs: route.vsegs.iter().map(|v| v.index()).collect(),
+            vcol: route.vcol.map(|c| c.index()),
+            hsegs: route
+                .hsegs
+                .iter()
+                .map(|(c, segs)| (c.index(), segs.iter().map(|h| h.index()).collect()))
+                .collect(),
+            pending_channels: route.pending_channels.iter().map(|c| c.index()).collect(),
+            spans: route
+                .spans
+                .iter()
+                .map(|&(c, lo, hi)| (c.index(), lo, hi))
+                .collect(),
+            globally_routed: route.globally_routed,
+        }
+    }
+
+    /// Rebuilds the typed route record. Bounds are *not* checked here —
+    /// [`RoutingState::restore`](crate::RoutingState::restore) validates
+    /// before converting.
+    pub(crate) fn to_route(&self) -> NetRoute {
+        NetRoute {
+            vsegs: self.vsegs.iter().map(|&v| VSegId::new(v)).collect(),
+            vcol: self.vcol.map(ColId::new),
+            hsegs: self
+                .hsegs
+                .iter()
+                .map(|(c, segs)| {
+                    (
+                        ChannelId::new(*c),
+                        segs.iter().map(|&h| HSegId::new(h)).collect(),
+                    )
+                })
+                .collect(),
+            pending_channels: self
+                .pending_channels
+                .iter()
+                .map(|&c| ChannelId::new(c))
+                .collect(),
+            spans: self
+                .spans
+                .iter()
+                .map(|&(c, lo, hi)| (ChannelId::new(c), lo, hi))
+                .collect(),
+            globally_routed: self.globally_routed,
+        }
+    }
+}
+
+/// Why a routing snapshot could not be restored.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RouteRestoreError {
+    /// The snapshot's net count disagrees with the netlist.
+    WrongNetCount {
+        /// Nets in the snapshot.
+        found: usize,
+        /// Nets in the netlist.
+        expected: usize,
+    },
+    /// A segment, channel or column index exceeds the architecture.
+    IndexOutOfRange {
+        /// Net whose record is malformed.
+        net: usize,
+        /// Description of the offending index.
+        detail: String,
+    },
+    /// Two nets (or one net twice) claim the same segment.
+    SegmentConflict {
+        /// Net whose claim collided.
+        net: usize,
+        /// Description of the contested segment.
+        detail: String,
+    },
+    /// A net without a global routing decision still lists resources.
+    UnroutedHoldsResources {
+        /// The inconsistent net.
+        net: usize,
+    },
+}
+
+impl fmt::Display for RouteRestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteRestoreError::WrongNetCount { found, expected } => {
+                write!(f, "snapshot has {found} nets, netlist has {expected}")
+            }
+            RouteRestoreError::IndexOutOfRange { net, detail } => {
+                write!(f, "net {net}: index out of range: {detail}")
+            }
+            RouteRestoreError::SegmentConflict { net, detail } => {
+                write!(f, "net {net}: segment conflict: {detail}")
+            }
+            RouteRestoreError::UnroutedHoldsResources { net } => {
+                write!(f, "net {net}: unrouted but holds routing resources")
+            }
+        }
+    }
+}
+
+impl Error for RouteRestoreError {}

@@ -7,6 +7,7 @@ use rowfpga_arch::{Architecture, ChannelId, ColId, HSegId, VSegId};
 use rowfpga_netlist::{CellId, NetId, Netlist};
 
 use crate::route::{NetRoute, NetRouteState};
+use crate::snapshot::{NetRouteSnapshot, RouteRestoreError};
 
 /// The complete routing disposition of a layout in progress.
 ///
@@ -522,6 +523,194 @@ impl RoutingState {
     }
 }
 
+impl RoutingState {
+    /// Exports every net's route as plain data, in net-id order — the
+    /// routing half of a layout checkpoint.
+    pub fn export_routes(&self) -> Vec<NetRouteSnapshot> {
+        self.routes
+            .iter()
+            .map(NetRouteSnapshot::from_route)
+            .collect()
+    }
+
+    /// Rebuilds a complete routing state from exported snapshots.
+    ///
+    /// Every index is bounds-checked against `arch` and every segment claim
+    /// is checked for conflicts before any typed id is constructed, so a
+    /// corrupt or hand-edited checkpoint yields a typed
+    /// [`RouteRestoreError`] instead of a panic. Queue and counter
+    /// bookkeeping (`U_G`, `U_D`, `incomplete`) is re-derived from the
+    /// restored routes; full semantic validation against a placement is the
+    /// job of [`verify_routing`](crate::verify_routing).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural problem found: wrong net count, an
+    /// out-of-range index, a double-claimed segment, or an unrouted net
+    /// that still lists resources.
+    pub fn restore(
+        arch: &Architecture,
+        netlist: &Netlist,
+        snapshots: &[NetRouteSnapshot],
+    ) -> Result<RoutingState, RouteRestoreError> {
+        if snapshots.len() != netlist.num_nets() {
+            return Err(RouteRestoreError::WrongNetCount {
+                found: snapshots.len(),
+                expected: netlist.num_nets(),
+            });
+        }
+        let num_channels = arch.geometry().num_channels();
+        let mut st = RoutingState::new(arch, netlist);
+        for (i, snap) in snapshots.iter().enumerate() {
+            if !snap.globally_routed {
+                if !snap.vsegs.is_empty()
+                    || !snap.hsegs.is_empty()
+                    || !snap.pending_channels.is_empty()
+                    || !snap.spans.is_empty()
+                    || snap.vcol.is_some()
+                {
+                    return Err(RouteRestoreError::UnroutedHoldsResources { net: i });
+                }
+                continue;
+            }
+            // Bounds.
+            if let Some(col) = snap.vcol {
+                if col >= arch.geometry().num_cols() {
+                    return Err(RouteRestoreError::IndexOutOfRange {
+                        net: i,
+                        detail: format!("feedthrough column {col}"),
+                    });
+                }
+            }
+            for &v in &snap.vsegs {
+                if v >= arch.num_vsegs() {
+                    return Err(RouteRestoreError::IndexOutOfRange {
+                        net: i,
+                        detail: format!("vertical segment {v}"),
+                    });
+                }
+            }
+            for (c, segs) in &snap.hsegs {
+                if *c >= num_channels {
+                    return Err(RouteRestoreError::IndexOutOfRange {
+                        net: i,
+                        detail: format!("routed channel {c}"),
+                    });
+                }
+                for &h in segs {
+                    if h >= arch.num_hsegs() {
+                        return Err(RouteRestoreError::IndexOutOfRange {
+                            net: i,
+                            detail: format!("horizontal segment {h}"),
+                        });
+                    }
+                }
+            }
+            for c in snap
+                .pending_channels
+                .iter()
+                .copied()
+                .chain(snap.spans.iter().map(|s| s.0))
+            {
+                if c >= num_channels {
+                    return Err(RouteRestoreError::IndexOutOfRange {
+                        net: i,
+                        detail: format!("channel {c}"),
+                    });
+                }
+            }
+            // Checked claiming: a second claim of the same segment (by this
+            // or any earlier net) is a conflict, never a panic.
+            let net = NetId::new(i);
+            for &v in &snap.vsegs {
+                if let Some(prev) = st.vseg_owner[v] {
+                    return Err(RouteRestoreError::SegmentConflict {
+                        net: i,
+                        detail: format!("vertical segment {v} already owned by {prev}"),
+                    });
+                }
+                st.vseg_owner[v] = Some(net);
+            }
+            for (_, segs) in &snap.hsegs {
+                for &h in segs {
+                    if let Some(prev) = st.hseg_owner[h] {
+                        return Err(RouteRestoreError::SegmentConflict {
+                            net: i,
+                            detail: format!("horizontal segment {h} already owned by {prev}"),
+                        });
+                    }
+                    st.hseg_owner[h] = Some(net);
+                }
+            }
+            // Install the route and re-derive queue/counter bookkeeping,
+            // preserving record order exactly (pending-channel order is
+            // part of the deterministic resume contract).
+            let route = snap.to_route();
+            st.ug.remove(&net);
+            for c in &route.pending_channels {
+                st.ud[c.index()].insert(net);
+            }
+            if route.state() == NetRouteState::Detailed {
+                st.incomplete -= 1;
+            }
+            st.routes[i] = route;
+        }
+        Ok(st)
+    }
+}
+
+/// Deterministic corruption hooks for the resilience layer's fault-injection
+/// tests. Compiled only with the `fault-inject` feature; never called by
+/// production code.
+#[cfg(feature = "fault-inject")]
+impl RoutingState {
+    /// Clears the owner entry of the `nth` claimed horizontal segment
+    /// (counting claimed entries in index order) *without* touching the
+    /// route that lists it — the classic incremental-update divergence.
+    /// Returns `false` if fewer than `nth + 1` segments are claimed.
+    pub fn fault_clear_hseg_owner(&mut self, nth: usize) -> bool {
+        let Some(idx) = self
+            .hseg_owner
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_some())
+            .map(|(i, _)| i)
+            .nth(nth)
+        else {
+            return false;
+        };
+        self.hseg_owner[idx] = None;
+        true
+    }
+
+    /// Skews the `incomplete` counter by one — a silent bookkeeping drift.
+    pub fn fault_skew_incomplete(&mut self) {
+        self.incomplete += 1;
+    }
+
+    /// Pops the last segment of the `nth` non-empty horizontal run (counting
+    /// runs across nets in id order), clearing its owner entry too, so the
+    /// run no longer covers its span. Returns `false` if there is no such
+    /// run.
+    pub fn fault_truncate_run(&mut self, nth: usize) -> bool {
+        let mut seen = 0usize;
+        for route in &mut self.routes {
+            for (_, segs) in &mut route.hsegs {
+                if segs.is_empty() {
+                    continue;
+                }
+                if seen == nth {
+                    let h = segs.pop().expect("non-empty run");
+                    self.hseg_owner[h.index()] = None;
+                    return true;
+                }
+                seen += 1;
+            }
+        }
+        false
+    }
+}
+
 #[cfg(test)]
 mod usage_tests {
     use super::*;
@@ -569,5 +758,102 @@ mod usage_tests {
         let report = st.occupancy_report(&arch);
         assert_eq!(report.lines().count(), 5);
         assert!(report.contains('%'));
+    }
+}
+
+#[cfg(test)]
+mod snapshot_tests {
+    use super::*;
+    use crate::verify::verify_routing;
+    use rowfpga_netlist::{generate, GenerateConfig};
+    use rowfpga_place::Placement;
+
+    fn routed_fixture() -> (Architecture, Netlist, Placement, RoutingState) {
+        let nl = generate(&GenerateConfig {
+            num_cells: 50,
+            num_inputs: 6,
+            num_outputs: 6,
+            num_seq: 3,
+            ..GenerateConfig::default()
+        });
+        let arch = Architecture::builder()
+            .rows(5)
+            .cols(14)
+            .io_columns(2)
+            .tracks_per_channel(16)
+            .build()
+            .unwrap();
+        let p = Placement::random(&arch, &nl, 17).unwrap();
+        let mut st = RoutingState::new(&arch, &nl);
+        crate::batch::route_batch(
+            &mut st,
+            &arch,
+            &nl,
+            &p,
+            &crate::config::RouterConfig::default(),
+            4,
+        );
+        (arch, nl, p, st)
+    }
+
+    #[test]
+    fn export_restore_round_trips_and_verifies() {
+        let (arch, nl, p, st) = routed_fixture();
+        let snaps = st.export_routes();
+        let restored = RoutingState::restore(&arch, &nl, &snaps).unwrap();
+        assert_eq!(restored.export_routes(), snaps);
+        assert_eq!(restored.incomplete(), st.incomplete());
+        assert_eq!(restored.globally_unrouted(), st.globally_unrouted());
+        for i in 0..arch.num_hsegs() {
+            let id = HSegId::new(i);
+            assert_eq!(restored.hseg_owner(id), st.hseg_owner(id));
+        }
+        for i in 0..arch.num_vsegs() {
+            let id = VSegId::new(i);
+            assert_eq!(restored.vseg_owner(id), st.vseg_owner(id));
+        }
+        verify_routing(&restored, &arch, &nl, &p).unwrap();
+    }
+
+    #[test]
+    fn restore_rejects_malformed_snapshots() {
+        let (arch, nl, _, st) = routed_fixture();
+        let snaps = st.export_routes();
+
+        assert!(matches!(
+            RoutingState::restore(&arch, &nl, &snaps[1..]),
+            Err(RouteRestoreError::WrongNetCount { .. })
+        ));
+
+        let mut oob = snaps.clone();
+        let routed = oob
+            .iter()
+            .position(|s| !s.hsegs.is_empty())
+            .expect("some net detail-routed");
+        oob[routed].hsegs[0].1[0] = arch.num_hsegs();
+        assert!(matches!(
+            RoutingState::restore(&arch, &nl, &oob),
+            Err(RouteRestoreError::IndexOutOfRange { .. })
+        ));
+
+        let mut dup = snaps.clone();
+        let seg = dup[routed].hsegs[0].1[0];
+        let other = dup
+            .iter()
+            .position(|s| !s.globally_routed)
+            .unwrap_or_else(|| (routed + 1) % dup.len());
+        dup[other] = dup[routed].clone();
+        let _ = seg;
+        assert!(matches!(
+            RoutingState::restore(&arch, &nl, &dup),
+            Err(RouteRestoreError::SegmentConflict { .. })
+        ));
+
+        let mut bad = snaps.clone();
+        bad[routed].globally_routed = false;
+        assert!(matches!(
+            RoutingState::restore(&arch, &nl, &bad),
+            Err(RouteRestoreError::UnroutedHoldsResources { .. })
+        ));
     }
 }

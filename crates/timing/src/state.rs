@@ -299,6 +299,28 @@ impl TimingState {
     }
 }
 
+/// Deterministic corruption hooks for the resilience layer's fault-injection
+/// tests. Compiled only with the `fault-inject` feature; never called by
+/// production code.
+#[cfg(feature = "fault-inject")]
+impl TimingState {
+    /// Skews the cached worst-case delay by `delta_ps` — simulates a missed
+    /// frontier propagation that left the cost term `T` stale.
+    pub fn fault_skew_worst(&mut self, delta_ps: f64) {
+        self.worst += delta_ps;
+    }
+
+    /// Skews the arrival time of the cell with index `cell % num_cells` by
+    /// `delta_ps` — a silent mid-cone divergence that a worst-only check
+    /// would miss.
+    pub fn fault_skew_arrival(&mut self, cell: usize, delta_ps: f64) {
+        let idx = cell % self.arr.len().max(1);
+        if idx < self.arr.len() {
+            self.arr[idx] += delta_ps;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Repo gate: formatting, lints, and the full test suite.
+# Repo gate: formatting, lints, the full test suite, the fault-injection
+# suite, and a deadline/checkpoint/resume smoke run of the real binary.
 # Run from the repository root: ./scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -12,5 +13,31 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "== cargo test"
 cargo test --workspace --offline -q
+
+echo "== cargo test (fault injection)"
+cargo test -p rowfpga-core --features fault-inject --offline -q
+
+echo "== resilience smoke (2 s deadline -> checkpoint -> resume)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+cargo run --offline -q -p rowfpga-cli -- generate \
+  --cells 120 --inputs 8 --outputs 8 --seq 6 --seed 7 \
+  -o "$smoke_dir/smoke.net"
+# A full-effort run on this design takes well over two seconds, so the
+# deadline must trip, degrade gracefully and leave a final checkpoint.
+cargo run --offline -q -p rowfpga-cli -- layout "$smoke_dir/smoke.net" \
+  --deadline 2 --checkpoint "$smoke_dir/smoke.ckpt" \
+  | tee "$smoke_dir/smoke.out"
+grep -q "stop: deadline" "$smoke_dir/smoke.out" \
+  || { echo "FAIL: 2 s deadline did not stop the run"; exit 1; }
+grep -q '"format": *"rowfpga-checkpoint"' "$smoke_dir/smoke.ckpt" \
+  || { echo "FAIL: no valid checkpoint after deadline stop"; exit 1; }
+# The checkpoint must load and resume (a zero deadline proves loading
+# without paying for the rest of the anneal).
+cargo run --offline -q -p rowfpga-cli -- layout "$smoke_dir/smoke.net" \
+  --resume "$smoke_dir/smoke.ckpt" --deadline 0 \
+  | tee "$smoke_dir/resume.out"
+grep -q "stop: deadline" "$smoke_dir/resume.out" \
+  || { echo "FAIL: checkpoint did not resume"; exit 1; }
 
 echo "All checks passed."

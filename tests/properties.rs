@@ -222,3 +222,62 @@ proptest! {
         prop_assert!((problem.timing().worst() - oracle.worst()).abs() < 1e-6);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Checkpointing at an arbitrary temperature step and resuming from
+    /// the written file reproduces the uninterrupted run bit for bit:
+    /// same moves, same temperatures, same placement, same delay.
+    #[test]
+    fn checkpoint_resume_is_bit_identical(seed in 0u64..1000, k in 1usize..12) {
+        use rowfpga::core::{SimPrConfig, SimultaneousPlaceRoute, StopReason};
+
+        let nl = generate(&GenerateConfig {
+            num_cells: 35, num_inputs: 4, num_outputs: 4, num_seq: 3,
+            ..GenerateConfig::default()
+        });
+        let arch = Architecture::builder()
+            .rows(4).cols(12).io_columns(2).tracks_per_channel(14).build().unwrap();
+        let ckpt = std::env::temp_dir()
+            .join(format!("rowfpga_prop_ckpt_{seed}_{k}.json"));
+        let _ = std::fs::remove_file(&ckpt);
+
+        // Baseline: one uninterrupted run.
+        let full = SimultaneousPlaceRoute::new(SimPrConfig::fast().with_seed(seed))
+            .run(&arch, &nl).unwrap();
+
+        // Same run, stopped after k temperatures with a checkpoint...
+        let mut cfg = SimPrConfig::fast().with_seed(seed);
+        cfg.resilience.checkpoint_path = Some(ckpt.clone());
+        cfg.resilience.checkpoint_every = 1;
+        cfg.resilience.temp_budget = Some(k);
+        let partial = SimultaneousPlaceRoute::new(cfg).run(&arch, &nl).unwrap();
+        prop_assert!(ckpt.exists());
+
+        // ...then resumed to completion.
+        let mut cfg = SimPrConfig::fast().with_seed(seed);
+        cfg.resilience.resume_path = Some(ckpt.clone());
+        let resumed = SimultaneousPlaceRoute::new(cfg).run(&arch, &nl).unwrap();
+        let _ = std::fs::remove_file(&ckpt);
+
+        prop_assert_eq!(resumed.stop_reason, StopReason::Converged);
+        prop_assert_eq!(resumed.total_moves, full.total_moves);
+        prop_assert_eq!(resumed.temperatures, full.temperatures);
+        prop_assert_eq!(resumed.worst_delay, full.worst_delay);
+        prop_assert_eq!(resumed.incomplete, full.incomplete);
+        prop_assert_eq!(resumed.globally_unrouted, full.globally_unrouted);
+        prop_assert_eq!(resumed.dynamics.samples().len(), full.dynamics.samples().len());
+        for (id, _) in nl.cells() {
+            prop_assert_eq!(
+                resumed.placement.site_of(id), full.placement.site_of(id));
+            prop_assert_eq!(
+                resumed.placement.pinmap_index(id), full.placement.pinmap_index(id));
+        }
+        // The partial run's early stop was tagged as the deadline it is
+        // (unless the whole anneal fit inside k temperatures).
+        if partial.temperatures == k {
+            prop_assert_eq!(partial.stop_reason, StopReason::Deadline);
+        }
+    }
+}
