@@ -26,6 +26,11 @@
 //! temperature per [`Annealer::step`] call, with the complete schedule state
 //! between steps captured as a plain-data [`AnnealCursor`] — the hook the
 //! resilience layer uses for checkpointing, deadlines and mid-run audits.
+//!
+//! [`anneal_parallel`] runs `K` replicas of a [`ReplicaProblem`]
+//! concurrently on `std::thread`s with periodic best-layout exchange at
+//! temperature boundaries — deterministic in `(seed, K)`, and bit-identical
+//! to the sequential engine at `K = 1`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +39,12 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use rowfpga_obs::{Event, Obs, TemperatureRecord};
+
+mod parallel;
+
+pub use parallel::{
+    anneal_parallel, replica_seed, ParallelConfig, ParallelOutcome, ReplicaProblem, ReplicaReport,
+};
 
 /// A combinatorial problem optimizable by the annealing engine.
 pub trait AnnealProblem {

@@ -1,0 +1,423 @@
+//! Parallel multi-replica annealing.
+//!
+//! `K` independent replicas of the same problem anneal concurrently, each
+//! on its own thread with its own RNG stream (derived from the base seed
+//! by [`replica_seed`]), periodically pausing at a temperature boundary to
+//! exchange layouts: every replica publishes its current cost, the
+//! cheapest replica publishes its layout snapshot, and every strictly
+//! worse replica adopts it before continuing its own stochastic walk.
+//! This is the classic "parallel moves, serial exchange" recipe: replicas
+//! explore independently between exchanges, so wall-clock scales with
+//! thread count, while the exchange keeps the population anchored to the
+//! best basin found so far.
+//!
+//! The run is **deterministic in `(seed, K)`**: every replica's trajectory
+//! is a pure function of its derived seed and the snapshots it adopts, and
+//! adoption decisions depend only on the deterministic per-replica costs —
+//! thread scheduling cannot reorder them because exchanges happen at a
+//! [`Barrier`]. A single-replica run (`K = 1`) executes on the calling
+//! thread and is bit-identical to the sequential [`Annealer`] driven with
+//! the same configuration.
+//!
+//! Problems never cross threads — each replica is built *inside* its
+//! thread by the caller's factory — so the problem type itself does not
+//! need to be [`Send`]; only its plain-data layout snapshot does.
+
+use std::sync::{Barrier, Mutex};
+
+use rowfpga_obs::Obs;
+
+use crate::{AnnealConfig, AnnealOutcome, AnnealProblem, Annealer};
+
+/// An annealing problem that can participate in multi-replica exchange:
+/// its complete layout state can be exported as plain data and adopted by
+/// another replica of the same problem.
+pub trait ReplicaProblem: AnnealProblem {
+    /// Plain-data export of the layout state (crosses threads).
+    type Snapshot: Send;
+
+    /// Exports the current layout state.
+    fn snapshot(&self) -> Self::Snapshot;
+
+    /// Replaces this replica's layout state with `snapshot` (taken from a
+    /// replica of the *same* problem, so it always reconstructs).
+    fn adopt(&mut self, snapshot: &Self::Snapshot);
+}
+
+/// Configuration of the exchange cadence.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParallelConfig {
+    /// Temperatures each replica runs between exchanges (minimum 1).
+    pub exchange_every: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig { exchange_every: 4 }
+    }
+}
+
+/// The RNG seed of replica `r` for base seed `base`: replica 0 keeps the
+/// base seed (so `K = 1` reproduces the sequential run bit-for-bit), and
+/// later replicas decorrelate by a golden-ratio stride.
+pub fn replica_seed(base: u64, replica: usize) -> u64 {
+    base.wrapping_add((replica as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// One replica's share of a parallel run.
+#[derive(Clone, Debug)]
+pub struct ReplicaReport {
+    /// The replica's own annealing outcome (its history reflects its own
+    /// walk; adopted layouts enter silently between temperatures).
+    pub outcome: AnnealOutcome,
+    /// How many exchanges ended with this replica adopting another's
+    /// layout.
+    pub adoptions: usize,
+}
+
+/// Result of a parallel multi-replica run.
+#[derive(Clone, Debug)]
+pub struct ParallelOutcome<S> {
+    /// Index of the replica whose final cost was lowest (ties break to the
+    /// lowest index).
+    pub best_replica: usize,
+    /// The best replica's final layout snapshot.
+    pub best: S,
+    /// The best replica's final cost.
+    pub best_cost: f64,
+    /// Exchange rounds performed (0 for a single replica).
+    pub exchanges: usize,
+    /// Per-replica outcomes, indexed by replica.
+    pub replicas: Vec<ReplicaReport>,
+}
+
+/// What each replica publishes at an exchange boundary.
+#[derive(Clone, Copy)]
+struct Published {
+    cost: f64,
+    finished: bool,
+}
+
+/// What a replica thread hands back when it joins: its outcome, adoption
+/// count, final cost, final snapshot, and exchange rounds participated in.
+type ReplicaRun<S> = (AnnealOutcome, usize, f64, S, usize);
+
+/// Runs `replicas` annealing replicas of the problem `factory` builds,
+/// exchanging best layouts every [`ParallelConfig::exchange_every`]
+/// temperatures. `factory(r)` is called once, inside replica `r`'s thread,
+/// and must build replica `r`'s starting state; replica `r` anneals with
+/// seed [`replica_seed`]`(config.seed, r)`.
+///
+/// Deterministic in `(config, replicas)`; `replicas == 1` runs on the
+/// calling thread and is bit-identical to the sequential [`Annealer`].
+///
+/// # Panics
+///
+/// Panics if `replicas == 0` or a replica thread panics (the panic is
+/// propagated).
+pub fn anneal_parallel<P, F>(
+    factory: F,
+    replicas: usize,
+    config: &AnnealConfig,
+    par: &ParallelConfig,
+) -> ParallelOutcome<P::Snapshot>
+where
+    P: ReplicaProblem,
+    F: Fn(usize) -> P + Sync,
+{
+    assert!(replicas > 0, "at least one replica");
+    let exchange_every = par.exchange_every.max(1);
+
+    // K = 1: the sequential engine on the calling thread, verbatim.
+    if replicas == 1 {
+        let obs = Obs::disabled();
+        let cfg = AnnealConfig {
+            seed: replica_seed(config.seed, 0),
+            ..config.clone()
+        };
+        let mut problem = factory(0);
+        let mut engine = Annealer::start(&mut problem, &cfg, &obs);
+        while engine.step(&mut problem, &obs).is_some() {}
+        let outcome = engine.outcome(&problem);
+        let best_cost = outcome.final_cost;
+        return ParallelOutcome {
+            best_replica: 0,
+            best: problem.snapshot(),
+            best_cost,
+            exchanges: 0,
+            replicas: vec![ReplicaReport {
+                outcome,
+                adoptions: 0,
+            }],
+        };
+    }
+
+    let barrier = Barrier::new(replicas);
+    let published = Mutex::new(vec![
+        Published {
+            cost: f64::INFINITY,
+            finished: false,
+        };
+        replicas
+    ]);
+    let best_slot: Mutex<Option<P::Snapshot>> = Mutex::new(None);
+
+    let mut results: Vec<Option<ReplicaRun<P::Snapshot>>> = (0..replicas).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(replicas);
+        for r in 0..replicas {
+            let factory = &factory;
+            let barrier = &barrier;
+            let published = &published;
+            let best_slot = &best_slot;
+            handles.push(scope.spawn(move || {
+                let obs = Obs::disabled();
+                let cfg = AnnealConfig {
+                    seed: replica_seed(config.seed, r),
+                    ..config.clone()
+                };
+                let mut problem = factory(r);
+                let mut engine = Annealer::start(&mut problem, &cfg, &obs);
+                let mut adoptions = 0usize;
+                let mut rounds = 0usize;
+                loop {
+                    for _ in 0..exchange_every {
+                        if engine.step(&mut problem, &obs).is_none() {
+                            break;
+                        }
+                    }
+                    let my_cost = problem.cost();
+                    published.lock().unwrap()[r] = Published {
+                        cost: my_cost,
+                        finished: engine.finished(),
+                    };
+                    barrier.wait();
+                    // Every replica derives the same winner from the same
+                    // published costs (strict `<` keeps the lowest index
+                    // on ties).
+                    let (winner, winner_cost, all_finished) = {
+                        let pubs = published.lock().unwrap();
+                        let mut w = 0usize;
+                        for (i, p) in pubs.iter().enumerate().skip(1) {
+                            if p.cost.total_cmp(&pubs[w].cost).is_lt() {
+                                w = i;
+                            }
+                        }
+                        (w, pubs[w].cost, pubs.iter().all(|p| p.finished))
+                    };
+                    if r == winner {
+                        *best_slot.lock().unwrap() = Some(problem.snapshot());
+                    }
+                    barrier.wait();
+                    if r != winner && !engine.finished() && my_cost.total_cmp(&winner_cost).is_gt()
+                    {
+                        let slot = best_slot.lock().unwrap();
+                        problem.adopt(slot.as_ref().expect("winner published a snapshot"));
+                        adoptions += 1;
+                    }
+                    rounds += 1;
+                    // Hold every replica until adoptions are done, so the
+                    // winner cannot overwrite the slot next round while a
+                    // loser still reads it.
+                    barrier.wait();
+                    if all_finished {
+                        break;
+                    }
+                }
+                let outcome = engine.outcome(&problem);
+                let final_cost = outcome.final_cost;
+                (outcome, adoptions, final_cost, problem.snapshot(), rounds)
+            }));
+        }
+        for (r, handle) in handles.into_iter().enumerate() {
+            results[r] = Some(match handle.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            });
+        }
+    });
+
+    let mut best_replica = 0usize;
+    let mut exchanges = 0usize;
+    let mut reports = Vec::with_capacity(replicas);
+    let mut snapshots = Vec::with_capacity(replicas);
+    let mut costs = Vec::with_capacity(replicas);
+    for (r, slot) in results.into_iter().enumerate() {
+        let (outcome, adoptions, final_cost, snapshot, rounds) =
+            slot.expect("every replica joined");
+        reports.push(ReplicaReport { outcome, adoptions });
+        snapshots.push(Some(snapshot));
+        costs.push(final_cost);
+        if costs[r].total_cmp(&costs[best_replica]).is_lt() {
+            best_replica = r;
+        }
+        exchanges = rounds;
+    }
+    ParallelOutcome {
+        best_replica,
+        best: snapshots[best_replica].take().expect("snapshot present"),
+        best_cost: costs[best_replica],
+        exchanges,
+        replicas: reports,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    use crate::anneal;
+
+    /// Toy replica problem: minimize squared distance from a target vector,
+    /// with the vector itself as the exchanged snapshot.
+    struct Toy {
+        x: Vec<i64>,
+        target: Vec<i64>,
+    }
+
+    impl Toy {
+        fn new(n: usize) -> Toy {
+            Toy {
+                x: vec![0; n],
+                target: (0..n as i64).collect(),
+            }
+        }
+        fn cost_of(&self) -> f64 {
+            self.x
+                .iter()
+                .zip(&self.target)
+                .map(|(a, b)| ((a - b) * (a - b)) as f64)
+                .sum()
+        }
+    }
+
+    impl AnnealProblem for Toy {
+        type Applied = (usize, i64);
+
+        fn propose_and_apply(&mut self, rng: &mut StdRng) -> (Self::Applied, f64) {
+            let i = rng.gen_range(0..self.x.len());
+            let step = if rng.gen_bool(0.5) { 1 } else { -1 };
+            let before = self.cost_of();
+            self.x[i] += step;
+            ((i, step), self.cost_of() - before)
+        }
+
+        fn undo(&mut self, (i, step): Self::Applied) {
+            self.x[i] -= step;
+        }
+
+        fn commit(&mut self, _applied: Self::Applied) {}
+
+        fn cost(&self) -> f64 {
+            self.cost_of()
+        }
+    }
+
+    impl ReplicaProblem for Toy {
+        type Snapshot = Vec<i64>;
+
+        fn snapshot(&self) -> Vec<i64> {
+            self.x.clone()
+        }
+
+        fn adopt(&mut self, snapshot: &Vec<i64>) {
+            self.x.clone_from(snapshot);
+        }
+    }
+
+    fn cfg(seed: u64) -> AnnealConfig {
+        AnnealConfig {
+            seed,
+            max_temps: 20,
+            ..AnnealConfig::fast()
+        }
+    }
+
+    fn run(seed: u64, k: usize) -> ParallelOutcome<Vec<i64>> {
+        anneal_parallel(|_| Toy::new(8), k, &cfg(seed), &ParallelConfig::default())
+    }
+
+    #[test]
+    fn single_replica_is_bit_identical_to_the_sequential_engine() {
+        let mut seq = Toy::new(8);
+        let sequential = anneal(&mut seq, &cfg(11), |_| {});
+        let par = run(11, 1);
+        assert_eq!(par.best_replica, 0);
+        assert_eq!(par.exchanges, 0);
+        assert_eq!(par.best, seq.x);
+        assert_eq!(par.best_cost, sequential.final_cost);
+        let rep = &par.replicas[0].outcome;
+        assert_eq!(rep.total_moves, sequential.total_moves);
+        assert_eq!(rep.history, sequential.history);
+    }
+
+    #[test]
+    fn parallel_runs_are_deterministic_in_seed_and_replica_count() {
+        for k in [2, 3] {
+            let a = run(5, k);
+            let b = run(5, k);
+            assert_eq!(a.best_replica, b.best_replica);
+            assert_eq!(a.best, b.best);
+            assert_eq!(a.best_cost, b.best_cost);
+            assert_eq!(a.exchanges, b.exchanges);
+            for (x, y) in a.replicas.iter().zip(&b.replicas) {
+                assert_eq!(x.adoptions, y.adoptions);
+                assert_eq!(x.outcome.total_moves, y.outcome.total_moves);
+                assert_eq!(x.outcome.final_cost, y.outcome.final_cost);
+                assert_eq!(x.outcome.history, y.outcome.history);
+            }
+        }
+    }
+
+    #[test]
+    fn replicas_use_distinct_rng_streams() {
+        let out = run(5, 3);
+        assert_eq!(out.replicas.len(), 3);
+        // Different streams explore differently: the full per-temperature
+        // histories cannot all coincide.
+        let h0 = &out.replicas[0].outcome.history;
+        assert!(
+            out.replicas[1..].iter().any(|r| r.outcome.history != *h0),
+            "replica walks are identical; streams are correlated"
+        );
+        assert_ne!(replica_seed(5, 0), replica_seed(5, 1));
+        assert_eq!(replica_seed(5, 0), 5);
+    }
+
+    #[test]
+    fn exchange_spreads_the_best_layout() {
+        // On a convex toy landscape every replica converges to the
+        // optimum; the point here is that the exchange machinery ran and
+        // the reported best matches the best replica's final state.
+        let out = run(9, 3);
+        assert!(out.exchanges > 0);
+        let best = &out.replicas[out.best_replica].outcome;
+        assert_eq!(out.best_cost, best.final_cost);
+        for r in &out.replicas {
+            assert!(out.best_cost <= r.outcome.final_cost);
+        }
+    }
+
+    #[test]
+    fn best_replica_ties_break_to_the_lowest_index() {
+        // All replicas reach cost 0 on this easy landscape.
+        let out = anneal_parallel(
+            |_| Toy::new(4),
+            3,
+            &AnnealConfig {
+                seed: 3,
+                ..AnnealConfig::default()
+            },
+            &ParallelConfig::default(),
+        );
+        if out
+            .replicas
+            .iter()
+            .all(|r| r.outcome.final_cost == out.best_cost)
+        {
+            assert_eq!(out.best_replica, 0);
+        }
+    }
+}

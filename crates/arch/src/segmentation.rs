@@ -66,13 +66,25 @@ impl HSegment {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Track {
     segments: Vec<HSegment>,
+    /// `col_to_seg[col]` is the index of the segment covering `col` — the
+    /// router probes this on every track of a channel for every span it
+    /// considers, so the lookup must not search.
+    col_to_seg: Vec<u32>,
 }
 
 impl Track {
     pub(crate) fn new(segments: Vec<HSegment>) -> Self {
         debug_assert!(!segments.is_empty());
         debug_assert!(segments.windows(2).all(|w| w[0].end() == w[1].start()));
-        Self { segments }
+        let width = segments.last().map_or(0, |s| s.end());
+        let mut col_to_seg = vec![0u32; width];
+        for (i, s) in segments.iter().enumerate() {
+            col_to_seg[s.start()..s.end()].fill(i as u32);
+        }
+        Self {
+            segments,
+            col_to_seg,
+        }
     }
 
     /// The segments of this track in left-to-right order.
@@ -89,14 +101,7 @@ impl Track {
     ///
     /// Returns `None` only if `col` lies beyond the channel width.
     pub fn segment_at(&self, col: ColId) -> Option<usize> {
-        let c = col.index();
-        if c >= self.segments.last().map_or(0, |s| s.end()) {
-            return None;
-        }
-        // Tracks rarely exceed a few dozen segments; binary search keeps the
-        // inner routing loop cheap anyway.
-        let i = self.segments.partition_point(|s| s.end() <= c);
-        Some(i)
+        self.col_to_seg.get(col.index()).map(|&i| i as usize)
     }
 }
 

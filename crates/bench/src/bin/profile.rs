@@ -3,14 +3,17 @@
 //! moves, using the observability crate's span profiler and metrics
 //! registry. Diagnostic tool, not part of the paper's evaluation.
 //!
-//! Usage: `profile [--moves N] [--seed N]`
+//! Usage: `profile [--moves N] [--seed N] [--midsize]`
+//!
+//! `--midsize` profiles the 300-cell synthetic design the
+//! `move_throughput` benchmark measures, instead of the MCNC-shaped `cse`.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use rowfpga_bench::problem_for;
-use rowfpga_core::SizingConfig;
-use rowfpga_netlist::PaperBenchmark;
+use rowfpga_core::{size_architecture, SizingConfig};
+use rowfpga_netlist::{generate, GenerateConfig, PaperBenchmark};
 use rowfpga_obs::Obs;
 use rowfpga_place::{MoveGenerator, MoveWeights, Placement};
 use rowfpga_route::{detail_route_pass, global_route_pass, RouterConfig, RoutingState};
@@ -31,8 +34,28 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(2);
 
-    let problem = problem_for(PaperBenchmark::Cse, &SizingConfig::default());
-    let (arch, nl) = (&problem.arch, &problem.netlist);
+    let midsize = args.iter().any(|a| a == "--midsize");
+    let (arch, nl);
+    let _problem;
+    let _midsize_parts;
+    if midsize {
+        let netlist = generate(&GenerateConfig {
+            num_cells: 300,
+            num_inputs: 12,
+            num_outputs: 12,
+            num_seq: 10,
+            seed: 42,
+            ..GenerateConfig::default()
+        });
+        let a = size_architecture(&netlist, &SizingConfig::default()).unwrap();
+        _midsize_parts = (a, netlist);
+        arch = &_midsize_parts.0;
+        nl = &_midsize_parts.1;
+    } else {
+        _problem = problem_for(PaperBenchmark::Cse, &SizingConfig::default());
+        arch = &_problem.arch;
+        nl = &_problem.netlist;
+    }
     let cfg = RouterConfig::default();
     let mut placement = Placement::random(arch, nl, 1).unwrap();
     let mut routing = RoutingState::new(arch, nl);
@@ -56,6 +79,7 @@ fn main() {
                 routing.rip_up_cell(nl, cell);
             }
         });
+        obs.observe("cascade.ug_queue", routing.globally_unrouted() as f64);
         let globally = obs.span("global_route", || {
             global_route_pass(&mut routing, arch, nl, &placement, &cfg)
         });
@@ -64,7 +88,7 @@ fn main() {
         });
         obs.span("timing_update", || {
             let changed = routing.touched_nets();
-            timing.update_nets(arch, nl, &placement, &routing, &changed);
+            timing.update_nets(arch, nl, &placement, &routing, changed);
         });
         // accept half, reject half
         obs.span("commit_rollback", || {

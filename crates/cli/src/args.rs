@@ -62,6 +62,8 @@ pub struct CommonOpts {
     pub audit_every: usize,
     /// Stop after this many temperature steps (deterministic deadline).
     pub temp_budget: Option<usize>,
+    /// Parallel annealing replicas (1 = sequential engine).
+    pub threads: usize,
 }
 
 impl CommonOpts {
@@ -103,6 +105,7 @@ impl Default for CommonOpts {
             deadline: None,
             audit_every: 0,
             temp_budget: None,
+            threads: 1,
         }
     }
 }
@@ -221,12 +224,19 @@ USAGE:
                    [--report] [--journal FILE] [--metrics]
                    [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
                    [--deadline SECS] [--audit-every N] [--temp-budget N]
+                   [--threads N]
   rowfpga mintracks <netlist> [--blif] [--flow sim|seq] [--fast] [--seed N]
                    [--start N]
   rowfpga bench    <s1|cse|ex1|bw|s1a|big529> [--flow sim|seq] [--fast]
                    [--seed N] [--tracks N] [--svg FILE] [--ascii] [--report]
-                   [--journal FILE] [--metrics]
+                   [--journal FILE] [--metrics] [--threads N]
   rowfpga help
+
+PARALLELISM (simultaneous flow only):
+  --threads N      anneal N independent replicas on N threads, exchanging
+                   the best layout at temperature boundaries; deterministic
+                   for a fixed (seed, N), and N=1 is bit-identical to the
+                   sequential engine (incompatible with resilience flags)
 
 OBSERVABILITY:
   --journal FILE   write a structured JSONL run journal (run_start, one
@@ -353,6 +363,17 @@ fn parse_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), ArgError> 
                 opts.temp_budget = Some(parse_num("--temp-budget", args.get(i + 1))?);
                 i += 1;
             }
+            "--threads" => {
+                opts.threads = parse_num("--threads", args.get(i + 1))?;
+                if opts.threads == 0 {
+                    return Err(ArgError::BadValue {
+                        flag: "--threads".into(),
+                        value: "0".into(),
+                        expected: "at least one replica".into(),
+                    });
+                }
+                i += 1;
+            }
             "--blif" | "--start" => positional.push(a.clone()), // handled by callers
             _ if a.starts_with("--") => return Err(ArgError::UnknownFlag(a.clone())),
             _ => positional.push(a.clone()),
@@ -377,6 +398,23 @@ fn parse_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), ArgError> 
                 detail: format!(
                     "`{flag}` requires the simultaneous flow; the sequential \
                      baseline has no checkpoint/audit support (drop `--flow seq`)"
+                ),
+            });
+        }
+        if opts.threads > 1 {
+            return Err(ArgError::Conflict {
+                detail: "`--threads` requires the simultaneous flow; the sequential \
+                         baseline anneals placement only (drop `--flow seq`)"
+                    .into(),
+            });
+        }
+    }
+    if opts.threads > 1 {
+        if let Some(flag) = opts.resilience_flag() {
+            return Err(ArgError::Conflict {
+                detail: format!(
+                    "`{flag}` is not supported with `--threads`; parallel replicas \
+                     have no checkpoint/audit support yet (drop `--threads`)"
                 ),
             });
         }
@@ -666,6 +704,61 @@ mod tests {
         }
         assert!(USAGE.contains("--checkpoint"));
         assert!(USAGE.contains("--resume"));
+    }
+
+    #[test]
+    fn parses_threads() {
+        let c = parse_args(&v(&["layout", "d.net", "--threads", "4"])).unwrap();
+        match c {
+            Command::Layout { opts, .. } => assert_eq!(opts.threads, 4),
+            _ => panic!("wrong command"),
+        }
+        // Default is a single (sequential) replica.
+        match parse_args(&v(&["layout", "d.net"])).unwrap() {
+            Command::Layout { opts, .. } => assert_eq!(opts.threads, 1),
+            _ => panic!("wrong command"),
+        }
+        assert!(USAGE.contains("--threads"));
+    }
+
+    #[test]
+    fn rejects_bad_threads_combos() {
+        // Zero replicas is meaningless.
+        assert!(matches!(
+            parse_args(&v(&["layout", "d.net", "--threads", "0"])).unwrap_err(),
+            ArgError::BadValue { .. }
+        ));
+        // The sequential baseline has no parallel mode.
+        assert!(matches!(
+            parse_args(&v(&["layout", "d.net", "--flow", "seq", "--threads", "2"])).unwrap_err(),
+            ArgError::Conflict { .. }
+        ));
+        // Parallel replicas do not checkpoint/audit (yet).
+        for flag in [
+            &["--checkpoint", "ck.json"][..],
+            &["--resume", "ck.json"][..],
+            &["--deadline", "5"][..],
+            &["--audit-every", "2"][..],
+            &["--temp-budget", "9"][..],
+        ] {
+            let mut args = v(&["layout", "d.net", "--threads", "2"]);
+            args.extend(flag.iter().map(|s| s.to_string()));
+            let err = parse_args(&args).unwrap_err();
+            assert!(
+                matches!(&err, ArgError::Conflict { detail } if detail.contains(flag[0])),
+                "{flag:?} with --threads must conflict, got {err:?}"
+            );
+        }
+        // --threads 1 is the sequential engine; resilience still works.
+        assert!(parse_args(&v(&[
+            "layout",
+            "d.net",
+            "--threads",
+            "1",
+            "--checkpoint",
+            "ck.json"
+        ]))
+        .is_ok());
     }
 
     #[test]

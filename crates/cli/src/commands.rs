@@ -134,7 +134,15 @@ fn run_layout(
             cfg.resilience.deadline = opts.deadline.map(std::time::Duration::from_secs_f64);
             cfg.resilience.audit_every = opts.audit_every;
             cfg.resilience.temp_budget = opts.temp_budget;
-            SimultaneousPlaceRoute::new(cfg).run_with_stop(arch, netlist, label, obs, stop)?
+            cfg.threads = opts.threads.max(1);
+            let tool = SimultaneousPlaceRoute::new(cfg);
+            if opts.threads > 1 {
+                // The parser rejects --threads plus resilience flags, so
+                // the parallel path never silently drops a checkpoint.
+                tool.run_parallel(arch, netlist, label, obs)?
+            } else {
+                tool.run_with_stop(arch, netlist, label, obs, stop)?
+            }
         }
         FlowChoice::Sequential => {
             let base = if opts.fast {
@@ -412,6 +420,51 @@ mod tests {
         assert!(out.contains("% wire used"));
         let svg = std::fs::read_to_string(&svg_path).unwrap();
         assert!(svg.starts_with("<svg"));
+    }
+
+    #[test]
+    fn layout_with_threads_runs_and_is_deterministic() {
+        let dir = std::env::temp_dir().join("rowfpga_cli_threads_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let net_path = dir.join("d.net");
+        run(&[
+            "generate",
+            "--cells",
+            "40",
+            "--inputs",
+            "4",
+            "--outputs",
+            "4",
+            "--seq",
+            "3",
+            "-o",
+            net_path.to_str().unwrap(),
+        ])
+        .unwrap();
+        let go = || {
+            run(&[
+                "layout",
+                net_path.to_str().unwrap(),
+                "--fast",
+                "--seed",
+                "5",
+                "--threads",
+                "2",
+            ])
+            .unwrap()
+        };
+        // Wall clock varies run to run; everything else must not.
+        let stable = |out: String| -> String {
+            let cut = out.find(" moves in ").expect("summary line present");
+            out[..cut].to_string()
+        };
+        let a = go();
+        assert!(a.contains("routed: true"), "{a}");
+        assert_eq!(
+            stable(a),
+            stable(go()),
+            "two-replica layout must be reproducible"
+        );
     }
 
     #[test]

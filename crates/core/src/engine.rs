@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rowfpga_anneal::{AnnealConfig, Annealer};
+use rowfpga_anneal::{anneal_parallel, replica_seed, AnnealConfig, Annealer, ParallelConfig};
 use rowfpga_arch::Architecture;
 use rowfpga_netlist::{CombLoopError, Netlist};
 use rowfpga_obs::{Event, Json, Obs, RerouteRecord};
@@ -249,6 +249,10 @@ pub struct SimPrConfig {
     pub cleanup_moves: usize,
     /// Checkpoint/resume, deadlines and the self-audit loop.
     pub resilience: ResilienceConfig,
+    /// Annealing replicas run in parallel by
+    /// [`SimultaneousPlaceRoute::run_parallel`] (1 = sequential). The
+    /// sequential entry points ignore this field.
+    pub threads: usize,
 }
 
 impl Default for SimPrConfig {
@@ -265,6 +269,7 @@ impl Default for SimPrConfig {
             final_repair_passes: 6,
             cleanup_moves: 20_000,
             resilience: ResilienceConfig::default(),
+            threads: 1,
         }
     }
 }
@@ -716,6 +721,190 @@ impl SimultaneousPlaceRoute {
         Ok(result)
     }
 
+    /// Lays out `netlist` on `arch` with [`SimPrConfig::threads`] parallel
+    /// annealing replicas exchanging their best layout at temperature
+    /// boundaries (see [`anneal_parallel`]). Replica `r` starts from the
+    /// random placement seeded [`replica_seed`]`(placement_seed, r)` and
+    /// anneals with seed `replica_seed(anneal.seed, r)`, so `threads == 1`
+    /// reproduces the sequential flow bit-for-bit. The best replica's final
+    /// layout then gets the same zero-temperature cleanup, final repair
+    /// pass and standalone timing analysis as the sequential flow.
+    ///
+    /// The result is deterministic in `(config, threads)` — thread
+    /// scheduling cannot change it. The resilience layer (checkpoints,
+    /// resume, audits, deadlines) is not supported here; callers should
+    /// reject such configurations up front.
+    ///
+    /// In the result, `temperatures` and `dynamics` describe the winning
+    /// replica's walk while `total_moves` counts work across all replicas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] if the design does not fit the chip or
+    /// contains a combinational loop (both checked before any thread is
+    /// spawned).
+    pub fn run_parallel(
+        &self,
+        arch: &Architecture,
+        netlist: &Netlist,
+        label: &str,
+        obs: &Obs,
+    ) -> Result<LayoutResult, LayoutError> {
+        let threads = self.config.threads.max(1);
+        if threads == 1 {
+            return self.run_observed(arch, netlist, label, obs);
+        }
+        let start = Instant::now();
+        if obs.enabled() {
+            obs.emit(Event::RunStart {
+                flow: "simultaneous".into(),
+                benchmark: label.into(),
+                seed: self.config.placement_seed,
+                config: self.config_capture(netlist),
+            });
+        }
+        let mut anneal_cfg = self.config.anneal.clone();
+        if anneal_cfg.moves_per_temp == 0 {
+            anneal_cfg.moves_per_temp = AnnealConfig::moves_for_cells(netlist.num_cells(), 1.0);
+        }
+
+        // Fail fast on the caller's thread: replica construction inside
+        // worker threads can only fail the same ways, so these checks make
+        // the factory's panics unreachable.
+        Placement::random(arch, netlist, self.config.placement_seed)
+            .map_err(LayoutError::Placement)?;
+        LayoutProblem::check_levelizable(netlist).map_err(LayoutError::CombLoop)?;
+
+        obs.span_start("anneal");
+        let outcome = anneal_parallel(
+            |r| {
+                LayoutProblem::new(
+                    arch,
+                    netlist,
+                    self.config.router,
+                    self.config.cost,
+                    self.config.move_weights,
+                    replica_seed(self.config.placement_seed, r),
+                )
+                .expect("replica construction was pre-validated")
+            },
+            threads,
+            &anneal_cfg,
+            &ParallelConfig::default(),
+        );
+        obs.span_end("anneal");
+        if obs.enabled() {
+            obs.observe("parallel.exchanges", outcome.exchanges as f64);
+            for r in &outcome.replicas {
+                obs.observe("parallel.adoptions", r.adoptions as f64);
+            }
+        }
+
+        let mut problem = LayoutProblem::restore(
+            arch,
+            netlist,
+            self.config.router,
+            self.config.cost,
+            self.config.move_weights,
+            &outcome.best,
+        )?
+        .with_obs(obs.clone());
+
+        if problem.routing().incomplete() > 0 && self.config.cleanup_moves > 0 {
+            use rand::SeedableRng as _;
+            use rowfpga_anneal::AnnealProblem as _;
+            obs.span_start("cleanup");
+            let cleanup_seed =
+                replica_seed(anneal_cfg.seed, outcome.best_replica).wrapping_add(0x51ea9);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(cleanup_seed);
+            for _ in 0..self.config.cleanup_moves {
+                let (applied, delta) = problem.propose_and_apply(&mut rng);
+                obs.inc("cleanup.moves");
+                if delta <= 0.0 {
+                    problem.commit(applied);
+                    obs.inc("cleanup.accepted");
+                } else {
+                    problem.undo(applied);
+                }
+                if problem.routing().incomplete() == 0 {
+                    break;
+                }
+            }
+            obs.span_end("cleanup");
+        }
+
+        let final_cost = {
+            use rowfpga_anneal::AnnealProblem as _;
+            problem.cost()
+        };
+        let (placement, mut routing, dynamics) = problem.into_parts();
+        if !routing.is_fully_routed() && self.config.final_repair_passes > 0 {
+            let repair = obs.span("final_repair", || {
+                route_batch(
+                    &mut routing,
+                    arch,
+                    netlist,
+                    &placement,
+                    &self.config.router,
+                    self.config.final_repair_passes,
+                )
+            });
+            if obs.enabled() {
+                obs.add("route.detail_failures", repair.detail_failures as u64);
+                obs.emit(Event::Reroute {
+                    scope: "final_repair".into(),
+                    stats: RerouteRecord {
+                        globally_routed: repair.globally_routed,
+                        detail_routed: repair.detail_routed,
+                        detail_failures: repair.detail_failures,
+                    },
+                });
+            }
+        }
+
+        let sta = obs.span("final_sta", || {
+            Sta::analyze(arch, netlist, &placement, &routing).map_err(LayoutError::CombLoop)
+        })?;
+        let critical_path = sta.critical_path(netlist);
+        let best = &outcome.replicas[outcome.best_replica].outcome;
+        let result = LayoutResult {
+            fully_routed: routing.is_fully_routed(),
+            globally_unrouted: routing.globally_unrouted(),
+            incomplete: routing.incomplete(),
+            worst_delay: sta.worst_delay(),
+            critical_path,
+            dynamics,
+            temperatures: best.temperatures,
+            total_moves: outcome.replicas.iter().map(|r| r.outcome.total_moves).sum(),
+            runtime: start.elapsed(),
+            stop_reason: StopReason::Converged,
+            repairs: 0,
+            placement,
+            routing,
+        };
+        if obs.enabled() {
+            obs.emit(Event::Stop {
+                reason: result.stop_reason.to_string(),
+                temps: result.temperatures,
+                repairs: 0,
+            });
+            let metrics = obs
+                .with_session(|s| s.metrics.to_json())
+                .unwrap_or(Json::Null);
+            obs.emit(Event::RunEnd {
+                cost: final_cost,
+                worst_delay: result.worst_delay,
+                unrouted: result.incomplete,
+                total_moves: result.total_moves,
+                temperatures: result.temperatures,
+                runtime_sec: result.runtime.as_secs_f64(),
+                metrics,
+            });
+            obs.flush();
+        }
+        Ok(result)
+    }
+
     /// Bounded repair after a failed audit: a timing-only divergence gets
     /// a tier-1 timing rebuild first; anything else (or a failed tier-1)
     /// discards and re-derives the routing too. Every attempt is
@@ -831,6 +1020,7 @@ impl SimultaneousPlaceRoute {
             ("segment_weight".into(), c.router.segment_weight.into()),
             ("final_repair_passes".into(), c.final_repair_passes.into()),
             ("cleanup_moves".into(), c.cleanup_moves.into()),
+            ("threads".into(), c.threads.into()),
             ("audit_every".into(), c.resilience.audit_every.into()),
             (
                 "checkpoint_every".into(),
@@ -900,6 +1090,46 @@ mod tests {
         for (id, _) in nl.cells() {
             assert_eq!(a.placement.site_of(id), b.placement.site_of(id));
         }
+    }
+
+    #[test]
+    fn parallel_with_one_thread_matches_the_sequential_flow() {
+        let (arch, nl) = fixture();
+        let cfg = SimPrConfig::fast().with_seed(5);
+        let tool = SimultaneousPlaceRoute::new(cfg);
+        let seq = tool.run(&arch, &nl).unwrap();
+        let par = tool
+            .run_parallel(&arch, &nl, "design", &Obs::disabled())
+            .unwrap();
+        assert_eq!(seq.worst_delay, par.worst_delay);
+        assert_eq!(seq.total_moves, par.total_moves);
+        assert_eq!(seq.incomplete, par.incomplete);
+        for (id, _) in nl.cells() {
+            assert_eq!(seq.placement.site_of(id), par.placement.site_of(id));
+        }
+    }
+
+    #[test]
+    fn parallel_runs_are_deterministic_and_legal() {
+        let (arch, nl) = fixture();
+        let mut cfg = SimPrConfig::fast().with_seed(5);
+        cfg.threads = 2;
+        let tool = SimultaneousPlaceRoute::new(cfg);
+        let run = || {
+            tool.run_parallel(&arch, &nl, "design", &Obs::disabled())
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.worst_delay, b.worst_delay);
+        assert_eq!(a.total_moves, b.total_moves);
+        assert_eq!(a.incomplete, b.incomplete);
+        for (id, _) in nl.cells() {
+            assert_eq!(a.placement.site_of(id), b.placement.site_of(id));
+        }
+        verify_routing(&a.routing, &arch, &nl, &a.placement).unwrap();
+        let sta = Sta::analyze(&arch, &nl, &a.placement, &a.routing).unwrap();
+        assert_eq!(sta.worst_delay(), a.worst_delay);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use rand::rngs::StdRng;
 
-use rowfpga_anneal::{AnnealProblem, TemperatureStats};
+use rowfpga_anneal::{AnnealProblem, ReplicaProblem, TemperatureStats};
 use rowfpga_arch::Architecture;
 use rowfpga_netlist::{CombLoopError, Netlist};
 use rowfpga_obs::{DynamicsRecord, Event, Obs};
@@ -339,7 +339,7 @@ impl AnnealProblem for LayoutProblem<'_> {
                 self.netlist,
                 &self.placement,
                 &self.routing,
-                &changed,
+                changed,
             )
         });
         if self.obs.enabled() {
@@ -430,6 +430,44 @@ impl AnnealProblem for LayoutProblem<'_> {
             let current = self.window.min(self.mover.max_window());
             self.window = ((current as f64 * 0.85) as usize).max(2);
         }
+    }
+}
+
+impl ReplicaProblem for LayoutProblem<'_> {
+    type Snapshot = ProblemSnapshot;
+
+    fn snapshot(&self) -> ProblemSnapshot {
+        LayoutProblem::snapshot(self)
+    }
+
+    /// Replaces this replica's layout with `snapshot`: placement and
+    /// routing are rebuilt through their checked constructors and timing
+    /// is re-derived, exactly as [`LayoutProblem::restore`] does, but in
+    /// place — the replica keeps its own dynamics trace and observability
+    /// handle, resets its per-temperature accumulators, and takes over the
+    /// donor's adaptive weights and exchange window so the annealing
+    /// schedule stays coherent with the adopted layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot does not reconstruct a legal layout. It
+    /// always does when taken from a live replica of the same problem
+    /// (same architecture and netlist), which is the only way
+    /// [`anneal_parallel`](rowfpga_anneal::anneal_parallel) produces one.
+    fn adopt(&mut self, snap: &ProblemSnapshot) {
+        let placement = Placement::from_parts(self.arch, self.netlist, &snap.sites, &snap.pinmaps)
+            .expect("adopted snapshot has a legal placement");
+        let routing = RoutingState::restore(self.arch, self.netlist, &snap.routes)
+            .expect("adopted snapshot has a consistent routing");
+        let timing = TimingState::new(self.arch, self.netlist, &placement, &routing)
+            .expect("netlist was levelizable when the replica was built");
+        self.placement = placement;
+        self.routing = routing;
+        self.timing = timing;
+        self.weights = snap.weights;
+        self.window = snap.window;
+        self.deltas = DeltaStats::default();
+        self.perturbed.fill(false);
     }
 }
 

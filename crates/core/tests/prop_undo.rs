@@ -1,0 +1,68 @@
+//! Property tests for the move cascade's transactional undo: over random
+//! move sequences with a random accept/reject mix, a rejected move must
+//! roll the placement, routing and timing back bit-exactly, and the
+//! surviving incremental state must still match ground truth.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use rowfpga_anneal::AnnealProblem;
+use rowfpga_core::{size_architecture, CostConfig, LayoutProblem, SizingConfig};
+use rowfpga_netlist::{generate, GenerateConfig};
+use rowfpga_place::MoveWeights;
+use rowfpga_route::RouterConfig;
+
+fn fixture(seed: u64) -> (rowfpga_arch::Architecture, rowfpga_netlist::Netlist) {
+    let nl = generate(&GenerateConfig {
+        num_cells: 60,
+        num_inputs: 6,
+        num_outputs: 6,
+        num_seq: 4,
+        seed,
+        ..GenerateConfig::default()
+    });
+    let arch = size_architecture(&nl, &SizingConfig::default()).expect("design fits sized chip");
+    (arch, nl)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, ..ProptestConfig::default() })]
+
+    /// Every rejected move rolls back to a bit-identical snapshot of the
+    /// full problem state (placement sites and pinmaps, every net's route,
+    /// cost weights, exchange window).
+    #[test]
+    fn rollback_is_bit_exact_over_random_move_sequences(
+        design_seed in 0u64..1_000,
+        problem_seed in 0u64..1_000,
+        accepts in collection::vec(any::<bool>(), 40..60),
+    ) {
+        let (arch, nl) = fixture(design_seed);
+        let mut problem = LayoutProblem::new(
+            &arch,
+            &nl,
+            RouterConfig::default(),
+            CostConfig::default(),
+            MoveWeights::default(),
+            problem_seed,
+        )
+        .expect("fixture fits");
+        let mut rng = StdRng::seed_from_u64(problem_seed.wrapping_add(0x9e37));
+        for accept in accepts {
+            let before = problem.snapshot();
+            let worst_before = problem.timing().worst();
+            let (applied, _) = problem.propose_and_apply(&mut rng);
+            if accept {
+                problem.commit(applied);
+            } else {
+                problem.undo(applied);
+                prop_assert_eq!(problem.snapshot(), before.clone());
+                prop_assert!(problem.timing().worst() == worst_before);
+            }
+        }
+        // The surviving state (after the whole commit/rollback mix) still
+        // matches ground-truth re-derivation.
+        prop_assert!(problem.audit().is_ok(), "{:?}", problem.audit());
+    }
+}

@@ -10,8 +10,9 @@
 //! path. Minimizing both constructively prefers short, fast embeddings, in
 //! lieu of any explicit wirelength term in the annealer's cost function.
 
-use rowfpga_arch::{Architecture, ChannelId, ColId, HSegId};
-use rowfpga_netlist::NetId;
+#[cfg(test)]
+use rowfpga_arch::HSegId;
+use rowfpga_arch::{Architecture, ChannelId, ColId};
 
 use crate::config::RouterConfig;
 use crate::state::RoutingState;
@@ -29,6 +30,12 @@ pub struct DetailPassStats {
 /// Attempts to detail route every net in every dirty channel's `U_D`,
 /// longest span first. Returns the number of (net, channel) assignments
 /// completed and the number of failed attempts.
+///
+/// The channel work list and per-channel queue live in the state's
+/// persistent scratch buffers, and the winning run is materialized exactly
+/// once into a pooled segment vector, so a steady-state pass allocates
+/// nothing. Channel processing order is irrelevant to the outcome:
+/// horizontal resources are disjoint between channels.
 pub fn detail_route_pass(
     state: &mut RoutingState,
     arch: &Architecture,
@@ -36,45 +43,81 @@ pub fn detail_route_pass(
 ) -> DetailPassStats {
     let mut routed = 0;
     let mut failures = 0;
-    for channel in state.dirty_channels() {
+    let mut channels = std::mem::take(&mut state.scratch.channels);
+    channels.clear();
+    channels.extend(state.dirty_channels());
+    let mut queue = std::mem::take(&mut state.scratch.dqueue);
+    for &channel in &channels {
+        // Retry skip: if the channel's horizontal occupancy and `U_D`
+        // membership are unchanged since a pass that left failures here,
+        // every queued attempt is doomed to fail identically — count the
+        // failures without re-scanning the tracks. Failed attempts have no
+        // side effects, so the skip is exact (bit-identical results).
+        let key = state.detail_retry_key(channel);
+        if state.detail_attempt(channel) == key {
+            failures += state.ud_len(channel);
+            continue;
+        }
         // Longest spans first: they have the fewest feasible tracks.
-        let mut queue: Vec<(NetId, usize, usize)> = state
-            .ud(channel)
-            .map(|n| {
-                let (lo, hi) = state
-                    .route(n)
-                    .span_in(channel)
-                    .expect("queued net has a span in its channel");
-                (n, lo, hi)
-            })
-            .collect();
+        queue.clear();
+        queue.extend(state.ud(channel).map(|n| {
+            let (lo, hi) = state
+                .route(n)
+                .span_in(channel)
+                .expect("queued net has a span in its channel");
+            (n, lo as u32, hi as u32)
+        }));
         queue.sort_by(|a, b| (b.2 - b.1).cmp(&(a.2 - a.1)).then(a.0.cmp(&b.0)));
 
-        for (net, lo, hi) in queue {
-            if let Some(segs) = find_track_run(state, arch, channel, lo, hi, cfg) {
-                state.set_channel_routed(net, channel, segs);
+        let mut failed_here = false;
+        for &(net, lo, hi) in &queue {
+            let (lo, hi) = (lo as usize, hi as usize);
+            // Pair-level retry skip: the channel changed since its last
+            // recorded pass, but this particular span may still be
+            // untouched — then its last failure is guaranteed to repeat.
+            if state.detail_retry_doomed(net, channel, lo, hi) {
+                failures += 1;
+                failed_here = true;
+                continue;
+            }
+            if let Some((t, i, j)) = find_track_run_idx(state, arch, channel, lo, hi, cfg) {
+                let mut run = state.take_run();
+                run.extend(
+                    arch.channel_tracks(channel)[t].segments()[i..=j]
+                        .iter()
+                        .map(|s| s.id()),
+                );
+                state.set_channel_routed(net, channel, run);
                 routed += 1;
             } else {
                 failures += 1;
+                failed_here = true;
+                state.record_detail_failure(net, channel);
             }
         }
+        if failed_here {
+            state.record_detail_attempt(channel);
+        }
     }
+    state.scratch.channels = channels;
+    state.scratch.dqueue = queue;
     DetailPassStats { routed, failures }
 }
 
 /// Finds the cheapest run of consecutive free segments on one track of
-/// `channel` covering columns `lo..=hi`, or `None` if every track is
-/// blocked.
-pub(crate) fn find_track_run(
+/// `channel` covering columns `lo..=hi`, returned as `(track index, first
+/// segment index, last segment index)` so the caller materializes segment
+/// ids exactly once — or `None` if every track is blocked.
+pub(crate) fn find_track_run_idx(
     state: &RoutingState,
     arch: &Architecture,
     channel: ChannelId,
     lo: usize,
     hi: usize,
     cfg: &RouterConfig,
-) -> Option<Vec<HSegId>> {
+) -> Option<(usize, usize, usize)> {
     debug_assert!(lo <= hi);
-    let mut best: Option<(f64, usize, Vec<HSegId>)> = None;
+    let mut best: Option<(f64, usize, (usize, usize, usize))> = None;
     for (t, track) in arch.channel_tracks(channel).iter().enumerate() {
         let Some(i) = track.segment_at(ColId::new(lo)) else {
             continue;
@@ -83,10 +126,12 @@ pub(crate) fn find_track_run(
             continue;
         };
         let segs = &track.segments()[i..=j];
-        if segs.iter().any(|s| state.hseg_owner(s.id()).is_some()) {
-            continue;
-        }
-        let covered: usize = segs.iter().map(|s| s.len()).sum();
+        // Cost depends on the segmentation alone, not on occupancy, and is
+        // much cheaper than the ownership scan — so score first and only
+        // probe occupancy for tracks that would actually displace the
+        // incumbent. (Segments of a run are contiguous, so the covered
+        // width is just the outer boundary difference.)
+        let covered = segs[segs.len() - 1].end() - segs[0].start();
         let wastage = covered - (hi - lo + 1);
         let count = j - i + 1;
         let cost = cfg.wastage_weight * wastage as f64 + cfg.segment_weight * count as f64;
@@ -96,12 +141,34 @@ pub(crate) fn find_track_run(
                 cost < *bc - 1e-12 || ((cost - *bc).abs() <= 1e-12 && count < *bcount)
             }
         };
-        if better {
-            best = Some((cost, count, segs.iter().map(|s| s.id()).collect()));
+        if !better {
+            continue;
         }
-        let _ = t;
+        if segs.iter().any(|s| state.hseg_owner(s.id()).is_some()) {
+            continue;
+        }
+        best = Some((cost, count, (t, i, j)));
     }
-    best.map(|(_, _, segs)| segs)
+    best.map(|(_, _, run)| run)
+}
+
+/// [`find_track_run_idx`] materialized into a fresh segment-id vector —
+/// the test-friendly form.
+#[cfg(test)]
+pub(crate) fn find_track_run(
+    state: &RoutingState,
+    arch: &Architecture,
+    channel: ChannelId,
+    lo: usize,
+    hi: usize,
+    cfg: &RouterConfig,
+) -> Option<Vec<HSegId>> {
+    find_track_run_idx(state, arch, channel, lo, hi, cfg).map(|(t, i, j)| {
+        arch.channel_tracks(channel)[t].segments()[i..=j]
+            .iter()
+            .map(|s| s.id())
+            .collect()
+    })
 }
 
 #[cfg(test)]

@@ -1,0 +1,140 @@
+//! Dense index sets for the routing hot path.
+//!
+//! The unrouted-net queues (`U_G`, per-channel `U_D`) and the dirty-channel
+//! set are membership sets over small integer ids that are mutated on every
+//! annealing move. A `BTreeSet` pays an allocation and a pointer chase per
+//! operation; [`DenseSet`] instead keeps a dense item vector plus a
+//! position index, giving O(1) insert/remove/contains with zero allocation
+//! in steady state. Iteration order is unspecified (it reflects the
+//! insertion/removal history); every consumer imposes its own total order
+//! before acting, so set semantics are all that is promised.
+
+/// A set of indices in `0..capacity` with O(1) operations and
+/// allocation-free iteration.
+#[derive(Clone, Debug)]
+pub(crate) struct DenseSet {
+    /// The members, densely packed in unspecified order.
+    items: Vec<u32>,
+    /// `pos[i]` is the position of `i` in `items`, or [`ABSENT`].
+    pos: Vec<u32>,
+}
+
+const ABSENT: u32 = u32::MAX;
+
+impl DenseSet {
+    /// The empty set over `0..capacity`.
+    pub fn new(capacity: usize) -> DenseSet {
+        assert!(capacity < ABSENT as usize);
+        DenseSet {
+            items: Vec::new(),
+            pos: vec![ABSENT; capacity],
+        }
+    }
+
+    /// The full set `{0, …, capacity-1}`.
+    pub fn full(capacity: usize) -> DenseSet {
+        assert!(capacity < ABSENT as usize);
+        DenseSet {
+            items: (0..capacity as u32).collect(),
+            pos: (0..capacity as u32).collect(),
+        }
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether `i` is a member.
+    #[cfg(test)]
+    pub fn contains(&self, i: usize) -> bool {
+        self.pos[i] != ABSENT
+    }
+
+    /// Inserts `i`; returns whether it was newly added.
+    pub fn insert(&mut self, i: usize) -> bool {
+        if self.pos[i] != ABSENT {
+            return false;
+        }
+        self.pos[i] = self.items.len() as u32;
+        self.items.push(i as u32);
+        true
+    }
+
+    /// Removes `i` (swap-remove); returns whether it was a member.
+    pub fn remove(&mut self, i: usize) -> bool {
+        let p = self.pos[i];
+        if p == ABSENT {
+            return false;
+        }
+        self.pos[i] = ABSENT;
+        let last = self.items.pop().expect("non-empty: i was a member");
+        if last as usize != i {
+            self.items[p as usize] = last;
+            self.pos[last as usize] = p;
+        }
+        true
+    }
+
+    /// The members, in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.items.iter().map(|&i| i as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = DenseSet::new(10);
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(!s.insert(3), "double insert is a no-op");
+        assert!(s.insert(7));
+        assert!(s.contains(3) && s.contains(7) && !s.contains(0));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(3));
+        assert!(!s.remove(3), "double remove is a no-op");
+        assert!(!s.contains(3) && s.contains(7));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn full_set_holds_everything() {
+        let mut s = DenseSet::full(5);
+        assert_eq!(s.len(), 5);
+        let mut members: Vec<usize> = s.iter().collect();
+        members.sort_unstable();
+        assert_eq!(members, vec![0, 1, 2, 3, 4]);
+        assert!(s.remove(0) && s.remove(4));
+        assert_eq!(s.len(), 3);
+        assert!(s.insert(4));
+        assert!(s.contains(4) && !s.contains(0));
+    }
+
+    #[test]
+    fn swap_remove_keeps_positions_consistent() {
+        let mut s = DenseSet::new(8);
+        for i in 0..8 {
+            s.insert(i);
+        }
+        // Remove from the middle repeatedly; membership must stay exact.
+        for i in [3, 0, 7, 5] {
+            assert!(s.remove(i));
+        }
+        let mut members: Vec<usize> = s.iter().collect();
+        members.sort_unstable();
+        assert_eq!(members, vec![1, 2, 4, 6]);
+        for i in [3, 0, 7, 5] {
+            assert!(s.insert(i));
+        }
+        assert_eq!(s.len(), 8);
+    }
+}

@@ -8,16 +8,19 @@
 //! simple and fast: the annealer relies on *many* cheap routing attempts in
 //! ever-better placements rather than one exhaustive search.
 
-use rowfpga_arch::{Architecture, ChannelId, ColId, VSegId, VSegment};
+use rowfpga_arch::{Architecture, ChannelId, ColId, VSegId};
 use rowfpga_netlist::{NetId, Netlist};
 use rowfpga_place::Placement;
 
 use crate::config::RouterConfig;
-use crate::spans::{net_requirements, NetRequirements};
+use crate::spans::{net_requirements_into, NetRequirements};
 use crate::state::RoutingState;
 
 /// Attempts to globally route every net in `U_G`, longest first. Returns
 /// the number of nets that obtained a global routing decision.
+///
+/// The queue lives in the state's persistent scratch buffer and requirement
+/// records are refilled in place, so a steady-state pass allocates nothing.
 pub fn global_route_pass(
     state: &mut RoutingState,
     arch: &Architecture,
@@ -25,25 +28,48 @@ pub fn global_route_pass(
     placement: &Placement,
     cfg: &RouterConfig,
 ) -> usize {
-    // Sort the queue by estimated net length, longest first (ties broken by
-    // id for determinism); long nets have the fewest feasible feedthrough
-    // choices, so they get first pick (paper §3.3).
-    let mut queue: Vec<(NetId, NetRequirements)> = state
-        .ug()
-        .map(|n| (n, net_requirements(arch, netlist, placement, n)))
-        .collect();
-    queue.sort_by(|a, b| {
+    let mut gqueue = std::mem::take(&mut state.scratch.gqueue);
+    let mut n = 0;
+    // Retry skip: a net whose last attempt failed while the vertical
+    // occupancy of its channel range was exactly as it is now would fail
+    // identically (failed attempts have no side effects, and a net's
+    // requirements cannot change while it sits in `U_G` — any route or
+    // placement change re-enqueues it, clearing the stamp). Leave such
+    // nets out of the queue entirely.
+    for net in state.ug() {
+        if state.global_retry_doomed(net) {
+            continue;
+        }
+        if n < gqueue.len() {
+            gqueue[n].0 = net;
+            net_requirements_into(arch, netlist, placement, net, &mut gqueue[n].1);
+        } else {
+            let mut req = NetRequirements::default();
+            net_requirements_into(arch, netlist, placement, net, &mut req);
+            gqueue.push((net, req));
+        }
+        n += 1;
+    }
+    // Sort the live prefix by estimated net length, longest first (ties
+    // broken by id for determinism); long nets have the fewest feasible
+    // feedthrough choices, so they get first pick (paper §3.3). Entries
+    // beyond `n` are stale records kept only for their allocations.
+    gqueue[..n].sort_by(|a, b| {
         b.1.estimated_length()
             .cmp(&a.1.estimated_length())
             .then(a.0.cmp(&b.0))
     });
 
     let mut routed = 0;
-    for (net, req) in queue {
-        if try_global_route(state, arch, net, &req, cfg) {
+    for (net, req) in &gqueue[..n] {
+        let seen = state.vtick();
+        if try_global_route(state, arch, *net, req, cfg) {
             routed += 1;
+        } else {
+            state.record_global_failure(*net, seen, req.chan_min, req.chan_max);
         }
     }
+    state.scratch.gqueue = gqueue;
     routed
 }
 
@@ -56,98 +82,106 @@ pub(crate) fn try_global_route(
     req: &NetRequirements,
     cfg: &RouterConfig,
 ) -> bool {
+    let mut shell = state.take_shell();
     if !req.needs_vertical() {
         // Trivially null global routing (paper §3.3: nets that no longer
         // need vertical resources).
         let (chan, lo, hi) = req.pin_channels[0];
-        state.set_global(
-            net,
-            Vec::new(),
-            None,
-            vec![(ChannelId::new(chan), lo as u32, hi as u32)],
-            vec![ChannelId::new(chan)],
-        );
+        shell
+            .spans
+            .push((ChannelId::new(chan), lo as u32, hi as u32));
+        shell.pending_channels.push(ChannelId::new(chan));
+        shell.globally_routed = true;
+        state.set_global(net, shell);
         return true;
     }
 
     let num_cols = arch.geometry().num_cols();
     let center = req.center_col();
-    // Candidate columns ordered by distance from the bbox center.
-    let mut candidates: Vec<usize> = (0..num_cols).collect();
-    candidates.sort_by_key(|&c| (c.abs_diff(center), c));
-
-    for col in candidates {
-        if let Some(chain) = find_chain(
-            state,
-            arch,
-            ColId::new(col),
-            req.chan_min,
-            req.chan_max,
-            cfg.max_vchain,
-        ) {
-            let spans: Vec<(ChannelId, u32, u32)> = req
-                .pin_channels
-                .iter()
-                .map(|&(chan, _, _)| {
-                    let (lo, hi) = req
-                        .span_in(chan, Some(col))
-                        .expect("pin channel has a span");
-                    (ChannelId::new(chan), lo as u32, hi as u32)
-                })
-                .collect();
-            let pending: Vec<ChannelId> = spans.iter().map(|&(c, _, _)| c).collect();
-            state.set_global(net, chain, Some(ColId::new(col)), spans, pending);
+    // Candidate columns in outward order from the bbox center: distance
+    // d = 0, 1, 2, …, trying `center - d` before `center + d` — exactly the
+    // (distance, column) sort order of the candidate list this scan
+    // replaces, without materializing the list.
+    for d in 0..num_cols {
+        let below = center.checked_sub(d);
+        let above = (d > 0).then_some(center + d).filter(|&c| c < num_cols);
+        for col in below.into_iter().chain(above) {
+            if !find_chain_into(
+                state,
+                col,
+                req.chan_min,
+                req.chan_max,
+                cfg.max_vchain,
+                &mut shell.vsegs,
+            ) {
+                continue;
+            }
+            for &(chan, _, _) in &req.pin_channels {
+                let (lo, hi) = req
+                    .span_in(chan, Some(col))
+                    .expect("pin channel has a span");
+                shell
+                    .spans
+                    .push((ChannelId::new(chan), lo as u32, hi as u32));
+                shell.pending_channels.push(ChannelId::new(chan));
+            }
+            shell.vcol = Some(ColId::new(col));
+            shell.globally_routed = true;
+            state.set_global(net, shell);
             return true;
         }
     }
+    state.give_back_shell(shell);
     false
 }
 
 /// Greedy minimum-segment chain of *free* vertical segments in `col`
-/// covering channels `chan_min..=chan_max`. Consecutive chain segments must
-/// touch or overlap (one vertical antifuse per junction).
-fn find_chain(
+/// covering channels `chan_min..=chan_max`, built into `out`. Consecutive
+/// chain segments must touch or overlap (one vertical antifuse per
+/// junction). Returns whether a covering chain was found; `out` is left
+/// empty on failure.
+///
+/// Each greedy step — the free first-in-order max-reach segment tappable
+/// at `chan_min` (first pick) or extending the covered range (later
+/// picks) — is a single lookup in the state's live greedy-step tables,
+/// which mirror exactly the scan over the column's segments this search
+/// used to perform. A segment already in the chain can never be re-picked:
+/// its top equals some earlier reach, which no longer *extends* the reach.
+fn find_chain_into(
     state: &RoutingState,
-    arch: &Architecture,
-    col: ColId,
+    col: usize,
     chan_min: usize,
     chan_max: usize,
     max_len: usize,
-) -> Option<Vec<VSegId>> {
-    let free: Vec<&VSegment> = arch
-        .vsegs_at(col)
-        .iter()
-        .filter(|s| state.vseg_owner(s.id()).is_none())
-        .collect();
-    let mut chain: Vec<VSegId> = Vec::new();
+    out: &mut Vec<VSegId>,
+) -> bool {
+    out.clear();
     let mut reach: Option<usize> = None;
-    while chain.len() < max_len {
-        let mut best: Option<&VSegment> = None;
-        for s in &free {
-            let (lo, hi) = (s.chan_lo().index(), s.chan_hi().index());
-            let extends = match reach {
-                // First segment must be tappable in chan_min.
-                None => lo <= chan_min && hi >= chan_min,
-                // Later segments must touch the covered range and extend it.
-                Some(r) => lo <= r && hi > r,
-            };
-            if extends && best.is_none_or(|b| hi > b.chan_hi().index()) {
-                best = Some(s);
-            }
-        }
-        let seg = best?;
-        chain.push(seg.id());
-        reach = Some(seg.chan_hi().index());
-        if reach.unwrap() >= chan_max {
-            return Some(chain);
+    while out.len() < max_len {
+        let best = match reach {
+            // First segment must be tappable in chan_min.
+            None => state.best_cover(col, chan_min),
+            // Later segments must touch the covered range and extend it.
+            Some(r) => state.best_extend(col, r),
+        };
+        let Some((hi, seg)) = best else {
+            out.clear();
+            return false;
+        };
+        out.push(seg);
+        reach = Some(hi);
+        if hi >= chan_max {
+            return true;
         }
     }
-    None
+    out.clear();
+    false
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::spans::net_requirements;
     use rowfpga_arch::{SegmentationScheme, VerticalScheme};
     use rowfpga_netlist::{generate, GenerateConfig};
 

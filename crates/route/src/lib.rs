@@ -31,6 +31,7 @@
 mod batch;
 mod config;
 mod detail;
+mod flatset;
 mod global;
 mod incremental;
 mod route;
@@ -46,6 +47,6 @@ pub use global::global_route_pass;
 pub use incremental::RerouteStats;
 pub use route::{NetRoute, NetRouteState};
 pub use snapshot::{NetRouteSnapshot, RouteRestoreError};
-pub use spans::{net_requirements, NetRequirements};
+pub use spans::{net_extents, net_requirements, net_requirements_into, NetRequirements};
 pub use state::RoutingState;
 pub use verify::{verify_routing, RouteVerifyError};

@@ -2,10 +2,10 @@
 
 use rowfpga_arch::Architecture;
 use rowfpga_netlist::{NetId, Netlist};
-use rowfpga_place::{net_pin_locs, Placement};
+use rowfpga_place::{pin_loc, Placement};
 
 /// What a net needs from the fabric, derived from its pin locations.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct NetRequirements {
     /// Channels containing at least one pin, ascending, with the inclusive
     /// column span of the pins in each.
@@ -57,36 +57,71 @@ pub fn net_requirements(
     placement: &Placement,
     net: NetId,
 ) -> NetRequirements {
-    let locs = net_pin_locs(arch, netlist, placement, net);
-    debug_assert!(!locs.is_empty());
-    let mut pin_channels: Vec<(usize, usize, usize)> = Vec::new();
+    let mut req = NetRequirements::default();
+    net_requirements_into(arch, netlist, placement, net, &mut req);
+    req
+}
+
+/// Computes the routing requirements of `net` into an existing record,
+/// reusing its `pin_channels` allocation — the hot-path form used by the
+/// global router's persistent queue buffer.
+pub fn net_requirements_into(
+    arch: &Architecture,
+    netlist: &Netlist,
+    placement: &Placement,
+    net: NetId,
+    req: &mut NetRequirements,
+) {
+    req.pin_channels.clear();
     let (mut col_min, mut col_max) = (usize::MAX, 0);
-    for l in &locs {
+    for pin in netlist.net(net).pins() {
+        let l = pin_loc(arch, netlist, placement, pin);
         let (c, col) = (l.channel.index(), l.col.index());
         col_min = col_min.min(col);
         col_max = col_max.max(col);
-        match pin_channels.iter_mut().find(|(pc, _, _)| *pc == c) {
+        match req.pin_channels.iter_mut().find(|(pc, _, _)| *pc == c) {
             Some((_, lo, hi)) => {
                 *lo = (*lo).min(col);
                 *hi = (*hi).max(col);
             }
-            None => pin_channels.push((c, col, col)),
+            None => req.pin_channels.push((c, col, col)),
         }
     }
-    pin_channels.sort_unstable();
-    NetRequirements {
-        chan_min: pin_channels.first().map(|x| x.0).unwrap_or(0),
-        chan_max: pin_channels.last().map(|x| x.0).unwrap_or(0),
-        col_min,
-        col_max,
-        pin_channels,
+    debug_assert!(!req.pin_channels.is_empty());
+    req.pin_channels.sort_unstable();
+    req.chan_min = req.pin_channels.first().map(|x| x.0).unwrap_or(0);
+    req.chan_max = req.pin_channels.last().map(|x| x.0).unwrap_or(0);
+    req.col_min = col_min;
+    req.col_max = col_max;
+}
+
+/// The bounding box of a net's pins: `(chan_min, chan_max, col_min,
+/// col_max)`, allocation-free. The delay estimator needs only the extents,
+/// not the per-channel spans.
+pub fn net_extents(
+    arch: &Architecture,
+    netlist: &Netlist,
+    placement: &Placement,
+    net: NetId,
+) -> (usize, usize, usize, usize) {
+    let (mut chan_min, mut chan_max) = (usize::MAX, 0);
+    let (mut col_min, mut col_max) = (usize::MAX, 0);
+    for pin in netlist.net(net).pins() {
+        let l = pin_loc(arch, netlist, placement, pin);
+        chan_min = chan_min.min(l.channel.index());
+        chan_max = chan_max.max(l.channel.index());
+        col_min = col_min.min(l.col.index());
+        col_max = col_max.max(l.col.index());
     }
+    debug_assert!(chan_min != usize::MAX, "net has pins");
+    (chan_min, chan_max, col_min, col_max)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use rowfpga_netlist::{CellKind, Netlist};
+    use rowfpga_place::net_pin_locs;
 
     fn setup() -> (Architecture, Netlist, Placement) {
         let mut b = Netlist::builder();

@@ -1,13 +1,320 @@
 //! The mutable routing state: segment occupancy, per-net routes and the
 //! unrouted-net queues, with transactional undo.
-
-use std::collections::{BTreeSet, HashMap};
+//!
+//! The transaction machinery is built for the annealer's move loop, where
+//! it runs once per proposed move: a flat, generation-stamped undo log
+//! (first touch of a net moves or copies its prior route into two parallel
+//! arrays) replaces a keyed journal, routes are edited in place with
+//! copy-on-first-touch, and retired `NetRoute` shells and horizontal-run
+//! vectors are recycled through small pools so steady-state operation does
+//! not allocate.
 
 use rowfpga_arch::{Architecture, ChannelId, ColId, HSegId, VSegId};
 use rowfpga_netlist::{CellId, NetId, Netlist};
 
+use crate::flatset::DenseSet;
 use crate::route::{NetRoute, NetRouteState};
 use crate::snapshot::{NetRouteSnapshot, RouteRestoreError};
+use crate::spans::NetRequirements;
+
+/// Generation-stamped undo log: the first mutation of a net inside a
+/// transaction records `(net, prior route)` in two parallel arrays; the
+/// stamp array makes the first-touch test O(1) without clearing anything
+/// between transactions.
+#[derive(Clone, Debug)]
+struct UndoLog {
+    active: bool,
+    generation: u64,
+    stamp: Vec<u64>,
+    touched: Vec<NetId>,
+    saved: Vec<NetRoute>,
+}
+
+/// Recycled allocations: cleared [`NetRoute`] shells and horizontal-run
+/// vectors, harvested whenever a route is discarded.
+#[derive(Clone, Debug, Default)]
+struct RoutePool {
+    shells: Vec<NetRoute>,
+    runs: Vec<Vec<HSegId>>,
+}
+
+const SHELL_POOL_CAP: usize = 64;
+const RUN_POOL_CAP: usize = 256;
+
+/// Reusable buffers for the routing passes (queues, channel work lists).
+/// Taken with `mem::take` for the duration of a pass and put back after,
+/// so the passes allocate nothing in steady state.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PassScratch {
+    /// Dirty-channel work list of the detailed pass.
+    pub channels: Vec<ChannelId>,
+    /// Per-channel detail queue: `(net, span_lo, span_hi)`.
+    pub dqueue: Vec<(NetId, u32, u32)>,
+    /// Global queue: `(net, requirements)`; requirement records are reused
+    /// slot-by-slot across passes.
+    pub gqueue: Vec<(NetId, NetRequirements)>,
+}
+
+/// Monotonic change counters for skipping doomed routing retries.
+///
+/// A failed routing attempt has no side effects, and its outcome is a
+/// deterministic function of segment occupancy (plus the net's span
+/// requirements, which cannot change while the net stays queued: any route
+/// or placement change re-enqueues it, clearing its stamp). So a failure
+/// observed at counter value `c` is guaranteed to repeat while the counter
+/// still reads `c` — the passes record the counter alongside each failure
+/// and skip the retry until relevant state has actually changed. Counters
+/// start at 1 and stamps at 0, so nothing is skipped before its first
+/// attempt; stale stamps can only cause harmless extra retries, never a
+/// false skip.
+#[derive(Clone, Debug)]
+struct RetryStamps {
+    /// Per-channel counter, bumped whenever a horizontal segment of the
+    /// channel is *released*. Claims deliberately do not bump it: a failed
+    /// track scan means every feasible track is blocked, a condition
+    /// claims can only preserve.
+    chan_mod: Vec<u64>,
+    /// Per-channel counter, bumped whenever a net enters the channel's
+    /// `U_D` queue (departures cannot un-doom the remaining members).
+    chan_queue_gen: Vec<u64>,
+    /// `(chan_mod, chan_queue_gen)` observed when a detail pass last left
+    /// the channel with failures; `(0, 0)` = attempt normally.
+    chan_attempt: Vec<(u64, u64)>,
+    /// Logical clock of vertical-segment *releases*, bumped once per
+    /// release batch. Claims deliberately do not advance it: the greedy
+    /// chain search is a complete interval-covering search, so its failure
+    /// means no chain exists — a condition claims can only preserve.
+    vtick: u64,
+    /// Per-channel `vtick` of the last vertical-segment release whose span
+    /// covers the channel. A failed chain search is a function of exactly
+    /// the vertical segments intersecting the net's channel range, so
+    /// these localize invalidation to that range.
+    vchan_mod: Vec<u64>,
+    /// Per-(column, channel) greedy-step table for the *first* chain
+    /// segment: the free segment the greedy scan would pick to tap channel
+    /// `c` (`lo <= c <= hi`, first-in-order max-`hi`), as `(hi, seg)` with
+    /// `seg == u32::MAX` for "none". Flat `col × num_channels` grid. Kept
+    /// exactly consistent with ownership, it turns each greedy step of the
+    /// chain search into one table lookup.
+    best_cov: Vec<(u16, u32)>,
+    /// Per-(column, reach) greedy-step table for *later* chain segments:
+    /// the free segment extending reach `r` (`lo <= r < hi`, first-in-order
+    /// max-`hi`), same encoding as `best_cov`.
+    best_ext: Vec<(u16, u32)>,
+    /// CSR offsets into `vcol_segs`, one slice per column.
+    vcol_start: Vec<u32>,
+    /// Vertical segment ids per column, in the architecture's scan order —
+    /// the order the greedy scan visits and breaks ties by.
+    vcol_segs: Vec<u32>,
+    /// Per-vseg position within its column's scan order, for tie breaks.
+    vord: Vec<u32>,
+    /// Per-net `vtick` captured *before* the net's last failed global
+    /// attempt; 0 = attempt normally. Cleared whenever the net's route
+    /// changes (its requirements may differ after the move that ripped it).
+    global_fail: Vec<u64>,
+    /// The `(chan_min, chan_max)` requirement range at the net's last
+    /// failed global attempt, valid while its `global_fail` stamp is.
+    global_fail_range: Vec<(u32, u32)>,
+    /// Per-vseg `(col, chan_lo, chan_hi)`, for maintaining `vchan_mod` and
+    /// the greedy-step tables from ownership edits without consulting
+    /// the architecture.
+    vseg_span: Vec<(u32, u32, u32)>,
+    /// Channel count, for indexing the greedy-step tables.
+    num_channels: u32,
+    /// Logical clock of horizontal-segment *releases*, bumped once per
+    /// release batch. Claims deliberately do not advance it: a failed
+    /// track scan means every feasible track is blocked, a condition
+    /// claims can only preserve.
+    htick: u64,
+    /// Per-(channel, column) `htick` of the last horizontal-segment
+    /// release covering the column (flat `channel × num_cols` grid). A
+    /// failed track scan for a span is a function of exactly the channel's
+    /// segments intersecting that span's columns.
+    hcol_mod: Vec<u64>,
+    /// Per-(channel, net) `htick` at the pair's last failed detail attempt
+    /// (flat `channel × num_nets` grid); 0 = attempt normally. Cleared when
+    /// the net re-enters the channel's `U_D` (its span may have changed).
+    detail_fail: Vec<u64>,
+    /// Per-hseg `(channel, start_col, end_col)`, end exclusive, for bumping
+    /// `hcol_mod` from ownership edits.
+    hseg_span: Vec<(u32, u32, u32)>,
+    /// Column count, for indexing the `hcol_mod` grid.
+    num_cols: u32,
+    /// Net count, for indexing the `detail_fail` grid.
+    num_nets: u32,
+}
+
+impl RetryStamps {
+    fn new(arch: &Architecture, num_nets: usize) -> RetryStamps {
+        let num_channels = arch.geometry().num_channels();
+        let num_cols = arch.geometry().num_cols();
+        let vseg_span: Vec<(u32, u32, u32)> = (0..arch.num_vsegs())
+            .map(|i| {
+                let s = arch.vseg(VSegId::new(i));
+                (
+                    s.col().index() as u32,
+                    s.chan_lo().index() as u32,
+                    s.chan_hi().index() as u32,
+                )
+            })
+            .collect();
+        let mut vcol_start = vec![0u32; num_cols + 1];
+        let mut vcol_segs = Vec::with_capacity(arch.num_vsegs());
+        let mut vord = vec![0u32; arch.num_vsegs()];
+        for col in 0..num_cols {
+            for (k, s) in arch.vsegs_at(ColId::new(col)).iter().enumerate() {
+                vord[s.id().index()] = k as u32;
+                vcol_segs.push(s.id().index() as u32);
+            }
+            vcol_start[col + 1] = vcol_segs.len() as u32;
+        }
+        // All segments start free; applying the first-in-order max-`hi`
+        // rule in scan order reproduces the greedy scan's pick exactly.
+        let mut best_cov = vec![(0u16, u32::MAX); num_cols * num_channels];
+        let mut best_ext = vec![(0u16, u32::MAX); num_cols * num_channels];
+        for col in 0..num_cols {
+            let base = col * num_channels;
+            let (s, e) = (vcol_start[col] as usize, vcol_start[col + 1] as usize);
+            for &v in &vcol_segs[s..e] {
+                let (_, lo, hi) = vseg_span[v as usize];
+                for c in lo..=hi {
+                    let cur = &mut best_cov[base + c as usize];
+                    if cur.1 == u32::MAX || hi as u16 > cur.0 {
+                        *cur = (hi as u16, v);
+                    }
+                }
+                for r in lo..hi {
+                    let cur = &mut best_ext[base + r as usize];
+                    if cur.1 == u32::MAX || hi as u16 > cur.0 {
+                        *cur = (hi as u16, v);
+                    }
+                }
+            }
+        }
+        let mut hseg_span = vec![(0, 0, 0); arch.num_hsegs()];
+        for c in 0..num_channels {
+            for track in arch.channel_tracks(ChannelId::new(c)) {
+                for s in track.segments() {
+                    hseg_span[s.id().index()] = (c as u32, s.start() as u32, s.end() as u32);
+                }
+            }
+        }
+        RetryStamps {
+            chan_mod: vec![1; num_channels],
+            chan_queue_gen: vec![1; num_channels],
+            chan_attempt: vec![(0, 0); num_channels],
+            vtick: 1,
+            vchan_mod: vec![1; num_channels],
+            best_cov,
+            best_ext,
+            vcol_start,
+            vcol_segs,
+            vord,
+            global_fail: vec![0; num_nets],
+            global_fail_range: vec![(0, 0); num_nets],
+            vseg_span,
+            num_channels: num_channels as u32,
+            htick: 1,
+            hcol_mod: vec![1; num_channels * num_cols],
+            detail_fail: vec![0; num_channels * num_nets],
+            hseg_span,
+            num_cols: num_cols as u32,
+            num_nets: num_nets as u32,
+        }
+    }
+
+    /// Records the release of `vseg`: stamps its covered channels with a
+    /// fresh tick and offers it back to the greedy-step tables (it becomes
+    /// the pick of any row it beats under the first-in-order max-`hi`
+    /// rule).
+    fn free_vseg(&mut self, vseg: usize) {
+        let (col, lo, hi) = self.vseg_span[vseg];
+        let base = col as usize * self.num_channels as usize;
+        let ord = self.vord[vseg];
+        for c in lo..=hi {
+            self.vchan_mod[c as usize] = self.vtick;
+            self.offer(true, base + c as usize, hi as u16, vseg as u32, ord);
+        }
+        for r in lo..hi {
+            self.offer(false, base + r as usize, hi as u16, vseg as u32, ord);
+        }
+    }
+
+    /// Offers a newly freed segment to one greedy-step table row,
+    /// installing it iff the greedy scan would now pick it: strictly
+    /// larger `hi`, or equal `hi` and earlier in scan order.
+    fn offer(&mut self, cov: bool, idx: usize, hi: u16, v: u32, ord: u32) {
+        let cur = if cov {
+            self.best_cov[idx]
+        } else {
+            self.best_ext[idx]
+        };
+        if cur.1 == u32::MAX || hi > cur.0 || (hi == cur.0 && ord < self.vord[cur.1 as usize]) {
+            if cov {
+                self.best_cov[idx] = (hi, v);
+            } else {
+                self.best_ext[idx] = (hi, v);
+            }
+        }
+    }
+
+    /// Records the claim of `vseg`: every greedy-step table row whose pick
+    /// it was is rescanned from the column's segment list (claims never
+    /// invalidate failure stamps — they only shrink feasibility).
+    fn claim_vseg(&mut self, vseg: usize, owners: &[Option<NetId>]) {
+        let (col, lo, hi) = self.vseg_span[vseg];
+        let base = col as usize * self.num_channels as usize;
+        for c in lo..=hi {
+            if self.best_cov[base + c as usize].1 == vseg as u32 {
+                self.rescan(true, col as usize, c as usize, owners);
+            }
+        }
+        for r in lo..hi {
+            if self.best_ext[base + r as usize].1 == vseg as u32 {
+                self.rescan(false, col as usize, r as usize, owners);
+            }
+        }
+    }
+
+    /// Recomputes one greedy-step table row by replaying the greedy scan
+    /// over the column's free segments.
+    fn rescan(&mut self, cov: bool, col: usize, row: usize, owners: &[Option<NetId>]) {
+        let mut best = (0u16, u32::MAX);
+        let (s, e) = (
+            self.vcol_start[col] as usize,
+            self.vcol_start[col + 1] as usize,
+        );
+        for &v in &self.vcol_segs[s..e] {
+            if owners[v as usize].is_some() {
+                continue;
+            }
+            let (_, lo, hi) = self.vseg_span[v as usize];
+            let eligible = if cov {
+                lo as usize <= row && hi as usize >= row
+            } else {
+                lo as usize <= row && hi as usize > row
+            };
+            if eligible && (best.1 == u32::MAX || hi as u16 > best.0) {
+                best = (hi as u16, v);
+            }
+        }
+        let idx = col * self.num_channels as usize + row;
+        if cov {
+            self.best_cov[idx] = best;
+        } else {
+            self.best_ext[idx] = best;
+        }
+    }
+
+    /// Stamps every (channel, column) covered by `hseg` with a fresh tick.
+    fn touch_hseg(&mut self, hseg: usize) {
+        let (c, s, e) = self.hseg_span[hseg];
+        let base = c as usize * self.num_cols as usize;
+        for col in s..e {
+            self.hcol_mod[base + col as usize] = self.htick;
+        }
+    }
+}
 
 /// The complete routing disposition of a layout in progress.
 ///
@@ -17,7 +324,8 @@ use crate::snapshot::{NetRouteSnapshot, RouteRestoreError};
 /// * the global queue `U_G` holds exactly the nets without a global routing
 ///   decision ([`NetRoute::is_globally_routed`] is false);
 /// * the channel queue `U_D(R)` holds exactly the nets with `R` in their
-///   [`NetRoute::pending_channels`];
+///   [`NetRoute::pending_channels`], and the dirty-channel set holds
+///   exactly the channels whose `U_D` is non-empty;
 /// * [`RoutingState::incomplete`] equals the number of nets whose state is
 ///   not [`NetRouteState::Detailed`] (the paper's `D` cost term), and
 ///   [`RoutingState::globally_unrouted`] equals `|U_G|` (the `G` term).
@@ -26,23 +334,40 @@ pub struct RoutingState {
     hseg_owner: Vec<Option<NetId>>,
     vseg_owner: Vec<Option<NetId>>,
     routes: Vec<NetRoute>,
-    ug: BTreeSet<NetId>,
-    ud: Vec<BTreeSet<NetId>>,
+    ug: DenseSet,
+    ud: Vec<DenseSet>,
+    dirty: DenseSet,
     incomplete: usize,
-    journal: Option<HashMap<NetId, NetRoute>>,
+    undo: UndoLog,
+    pool: RoutePool,
+    retry: RetryStamps,
+    pub(crate) scratch: PassScratch,
 }
 
 impl RoutingState {
     /// Creates the all-unrouted state: every net queued in `U_G`.
     pub fn new(arch: &Architecture, netlist: &Netlist) -> RoutingState {
+        let num_channels = arch.geometry().num_channels();
         RoutingState {
             hseg_owner: vec![None; arch.num_hsegs()],
             vseg_owner: vec![None; arch.num_vsegs()],
             routes: vec![NetRoute::default(); netlist.num_nets()],
-            ug: (0..netlist.num_nets()).map(NetId::new).collect(),
-            ud: vec![BTreeSet::new(); arch.geometry().num_channels()],
+            ug: DenseSet::full(netlist.num_nets()),
+            ud: (0..num_channels)
+                .map(|_| DenseSet::new(netlist.num_nets()))
+                .collect(),
+            dirty: DenseSet::new(num_channels),
             incomplete: netlist.num_nets(),
-            journal: None,
+            undo: UndoLog {
+                active: false,
+                generation: 0,
+                stamp: vec![0; netlist.num_nets()],
+                touched: Vec::new(),
+                saved: Vec::new(),
+            },
+            pool: RoutePool::default(),
+            retry: RetryStamps::new(arch, netlist.num_nets()),
+            scratch: PassScratch::default(),
         }
     }
 
@@ -87,24 +412,25 @@ impl RoutingState {
         self.incomplete == 0
     }
 
-    /// The globally unrouted nets, ascending by id.
+    /// The globally unrouted nets, in unspecified order. Consumers that
+    /// need determinism impose their own total order (the global pass sorts
+    /// longest-first with an id tiebreak).
     pub fn ug(&self) -> impl Iterator<Item = NetId> + '_ {
-        self.ug.iter().copied()
+        self.ug.iter().map(NetId::new)
     }
 
-    /// The detail-unrouted nets of one channel, ascending by id.
+    /// The detail-unrouted nets of one channel, in unspecified order (see
+    /// [`RoutingState::ug`] on determinism).
     pub fn ud(&self, channel: ChannelId) -> impl Iterator<Item = NetId> + '_ {
-        self.ud[channel.index()].iter().copied()
+        self.ud[channel.index()].iter().map(NetId::new)
     }
 
-    /// Channels whose `U_D` queue is non-empty, ascending.
-    pub fn dirty_channels(&self) -> Vec<ChannelId> {
-        self.ud
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| !s.is_empty())
-            .map(|(i, _)| ChannelId::new(i))
-            .collect()
+    /// Channels whose `U_D` queue is non-empty, in unspecified order — a
+    /// live view over the persistent dirty-channel set, so iterating
+    /// allocates nothing. Channel processing order never affects results:
+    /// horizontal resources are disjoint between channels.
+    pub fn dirty_channels(&self) -> impl Iterator<Item = ChannelId> + '_ {
+        self.dirty.iter().map(ChannelId::new)
     }
 
     /// Starts journaling mutations so that [`RoutingState::rollback`] can
@@ -114,19 +440,27 @@ impl RoutingState {
     ///
     /// Panics if a transaction is already active.
     pub fn begin_txn(&mut self) {
-        assert!(self.journal.is_none(), "routing transaction already active");
-        self.journal = Some(HashMap::new());
+        assert!(!self.undo.active, "routing transaction already active");
+        debug_assert!(self.undo.touched.is_empty() && self.undo.saved.is_empty());
+        self.undo.active = true;
+        self.undo.generation += 1;
     }
 
-    /// Discards the journal, making all mutations since
+    /// Discards the undo log, making all mutations since
     /// [`RoutingState::begin_txn`] permanent.
     ///
     /// # Panics
     ///
     /// Panics if no transaction is active.
     pub fn commit(&mut self) {
-        assert!(self.journal.is_some(), "no routing transaction to commit");
-        self.journal = None;
+        assert!(self.undo.active, "no routing transaction to commit");
+        self.undo.active = false;
+        self.undo.touched.clear();
+        let mut saved = std::mem::take(&mut self.undo.saved);
+        for route in saved.drain(..) {
+            self.recycle_route(route);
+        }
+        self.undo.saved = saved;
     }
 
     /// Restores the state to the instant of [`RoutingState::begin_txn`].
@@ -135,15 +469,14 @@ impl RoutingState {
     ///
     /// Panics if no transaction is active.
     pub fn rollback(&mut self) {
-        let journal = self
-            .journal
-            .take()
-            .expect("no routing transaction to roll back");
+        assert!(self.undo.active, "no routing transaction to roll back");
+        self.undo.active = false;
+        let mut touched = std::mem::take(&mut self.undo.touched);
+        let mut saved = std::mem::take(&mut self.undo.saved);
         // Phase 1: strip the current routes of every touched net, freeing
         // their segments and queue memberships. Two phases are required
         // because a segment freed from one net during the transaction may
         // currently be held by another touched net.
-        let touched: Vec<NetId> = journal.keys().copied().collect();
         for &net in &touched {
             let route = std::mem::take(&mut self.routes[net.index()]);
             self.release_segments(net, &route);
@@ -151,35 +484,38 @@ impl RoutingState {
             if route.state() == NetRouteState::Detailed {
                 self.incomplete += 1;
             }
+            self.recycle_route(route);
         }
         // Phase 2: reinstate the saved routes.
-        for (net, saved) in journal {
-            self.claim_segments(net, &saved);
-            self.update_queues(net, &NetRoute::default(), &saved);
-            if saved.state() == NetRouteState::Detailed {
+        for (&net, route) in touched.iter().zip(saved.drain(..)) {
+            self.claim_segments(net, &route);
+            self.update_queues(net, &NetRoute::default(), &route);
+            if route.state() == NetRouteState::Detailed {
                 self.incomplete -= 1;
             }
-            self.routes[net.index()] = saved;
+            self.routes[net.index()] = route;
         }
+        touched.clear();
+        self.undo.touched = touched;
+        self.undo.saved = saved;
     }
 
     /// Whether a transaction is active.
     pub fn txn_active(&self) -> bool {
-        self.journal.is_some()
+        self.undo.active
     }
 
-    /// The nets whose routes have changed since [`RoutingState::begin_txn`]
-    /// (sorted). Layout engines use this as the exact set whose delays must
-    /// be refreshed after the reroute cascade. Empty when no transaction is
-    /// active.
-    pub fn touched_nets(&self) -> Vec<NetId> {
-        match &self.journal {
-            Some(j) => {
-                let mut nets: Vec<NetId> = j.keys().copied().collect();
-                nets.sort_unstable();
-                nets
-            }
-            None => Vec::new(),
+    /// The nets whose routes have changed since [`RoutingState::begin_txn`],
+    /// in first-touch order — a view over the undo log, so calling this
+    /// allocates nothing. Layout engines use this as the exact set whose
+    /// delays must be refreshed after the reroute cascade; the incremental
+    /// timing update is order-independent, so first-touch order is as good
+    /// as sorted. Empty when no transaction is active.
+    pub fn touched_nets(&self) -> &[NetId] {
+        if self.undo.active {
+            &self.undo.touched
+        } else {
+            &[]
         }
     }
 
@@ -197,58 +533,142 @@ impl RoutingState {
         }
     }
 
+    /// A cleared horizontal-run vector from the pool (or a fresh one).
+    pub(crate) fn take_run(&mut self) -> Vec<HSegId> {
+        self.pool.runs.pop().unwrap_or_default()
+    }
+
+    /// A cleared [`NetRoute`] shell from the pool (or a fresh one).
+    pub(crate) fn take_shell(&mut self) -> NetRoute {
+        self.pool.shells.pop().unwrap_or_default()
+    }
+
+    /// Returns an unused shell (e.g. from a failed global-routing attempt)
+    /// to the pool.
+    pub(crate) fn give_back_shell(&mut self, shell: NetRoute) {
+        self.recycle_route(shell);
+    }
+
+    /// Retires a route, harvesting its allocations into the pools.
+    fn recycle_route(&mut self, mut route: NetRoute) {
+        for (_, mut segs) in route.hsegs.drain(..) {
+            if self.pool.runs.len() < RUN_POOL_CAP {
+                segs.clear();
+                self.pool.runs.push(segs);
+            }
+        }
+        if self.pool.shells.len() < SHELL_POOL_CAP {
+            route.vsegs.clear();
+            route.vcol = None;
+            route.pending_channels.clear();
+            route.spans.clear();
+            route.globally_routed = false;
+            self.pool.shells.push(route);
+        }
+    }
+
+    /// Records `net` in the undo log if this is its first touch in the
+    /// active transaction, *copying* its current route (used by the
+    /// in-place edit path, where the route is about to be modified rather
+    /// than replaced). No-op outside a transaction.
+    fn save_first_touch_clone(&mut self, net: NetId) {
+        if !self.undo.active {
+            return;
+        }
+        let i = net.index();
+        if self.undo.stamp[i] == self.undo.generation {
+            return;
+        }
+        self.undo.stamp[i] = self.undo.generation;
+        self.undo.touched.push(net);
+        let src = &self.routes[i];
+        let mut shell = self.pool.shells.pop().unwrap_or_default();
+        shell.vsegs.clear();
+        shell.vsegs.extend_from_slice(&src.vsegs);
+        shell.vcol = src.vcol;
+        shell.pending_channels.clear();
+        shell
+            .pending_channels
+            .extend_from_slice(&src.pending_channels);
+        shell.spans.clear();
+        shell.spans.extend_from_slice(&src.spans);
+        shell.globally_routed = src.globally_routed;
+        for (_, mut segs) in shell.hsegs.drain(..) {
+            if self.pool.runs.len() < RUN_POOL_CAP {
+                segs.clear();
+                self.pool.runs.push(segs);
+            }
+        }
+        let src = &self.routes[i];
+        for (c, run) in &src.hsegs {
+            let mut v = self.pool.runs.pop().unwrap_or_default();
+            v.extend_from_slice(run);
+            shell.hsegs.push((*c, v));
+        }
+        self.undo.saved.push(shell);
+    }
+
     /// Installs a global routing decision for `net`: the vertical chain (or
     /// the trivial empty chain for single-channel nets), the per-channel
-    /// spans and the channels awaiting detailed routing.
-    pub(crate) fn set_global(
-        &mut self,
-        net: NetId,
-        vsegs: Vec<VSegId>,
-        vcol: Option<ColId>,
-        spans: Vec<(ChannelId, u32, u32)>,
-        pending_channels: Vec<ChannelId>,
-    ) {
+    /// spans and the channels awaiting detailed routing, carried in a
+    /// filled-in route shell.
+    pub(crate) fn set_global(&mut self, net: NetId, shell: NetRoute) {
         debug_assert!(
             !self.routes[net.index()].globally_routed,
             "net must be ripped up before global rerouting"
         );
-        self.set_route(
-            net,
-            NetRoute {
-                vsegs,
-                vcol,
-                hsegs: Vec::new(),
-                pending_channels,
-                spans,
-                globally_routed: true,
-            },
-        );
+        debug_assert!(shell.globally_routed && shell.hsegs.is_empty());
+        self.set_route(net, shell);
     }
 
-    /// Records a successful detailed routing of `net` in `channel`.
+    /// Records a successful detailed routing of `net` in `channel`, editing
+    /// the route in place (copy-on-first-touch into the undo log replaces
+    /// the full-route clone this operation used to pay).
     ///
     /// # Panics
     ///
     /// Panics (debug) if the channel is not pending for the net.
     pub(crate) fn set_channel_routed(&mut self, net: NetId, channel: ChannelId, segs: Vec<HSegId>) {
-        let mut route = self.routes[net.index()].clone();
-        let pos = route
-            .pending_channels
-            .iter()
-            .position(|c| *c == channel)
-            .expect("channel not pending for net");
-        route.pending_channels.swap_remove(pos);
-        debug_assert!(route.hsegs_in(channel).is_none());
-        route.hsegs.push((channel, segs));
-        self.set_route(net, route);
+        self.save_first_touch_clone(net);
+        let i = net.index();
+        {
+            let route = &mut self.routes[i];
+            let pos = route
+                .pending_channels
+                .iter()
+                .position(|c| *c == channel)
+                .expect("channel not pending for net");
+            route.pending_channels.swap_remove(pos);
+            debug_assert!(route.hsegs_in(channel).is_none());
+        }
+        for h in &segs {
+            assert!(
+                self.hseg_owner[h.index()].is_none(),
+                "horizontal segment {h:?} already owned"
+            );
+            self.hseg_owner[h.index()] = Some(net);
+        }
+        let done = {
+            let route = &mut self.routes[i];
+            route.hsegs.push((channel, segs));
+            route.state() == NetRouteState::Detailed
+        };
+        let ci = channel.index();
+        self.ud[ci].remove(i);
+        if self.ud[ci].is_empty() {
+            self.dirty.remove(ci);
+        }
+        if done {
+            self.incomplete -= 1;
+        }
     }
 
     /// Replaces `net`'s route, maintaining ownership, queues, counters and
-    /// the journal.
+    /// the undo log.
     fn set_route(&mut self, net: NetId, new: NetRoute) {
         // Take the old route by value so ownership, queues and counters can
         // be updated without cloning either route; the old value then moves
-        // into the journal (first touch only) or is dropped.
+        // into the undo log (first touch only) or back into the pools.
         let old = std::mem::take(&mut self.routes[net.index()]);
         self.release_segments(net, &old);
         self.claim_segments(net, &new);
@@ -261,20 +681,34 @@ impl RoutingState {
             _ => {}
         }
         self.routes[net.index()] = new;
-        if let Some(journal) = &mut self.journal {
-            journal.entry(net).or_insert(old);
+        let i = net.index();
+        if self.undo.active && self.undo.stamp[i] != self.undo.generation {
+            self.undo.stamp[i] = self.undo.generation;
+            self.undo.touched.push(net);
+            self.undo.saved.push(old);
+        } else {
+            self.recycle_route(old);
         }
     }
 
     fn release_segments(&mut self, net: NetId, route: &NetRoute) {
+        if !route.vsegs.is_empty() {
+            self.retry.vtick += 1;
+        }
         for v in &route.vsegs {
             debug_assert_eq!(self.vseg_owner[v.index()], Some(net));
             self.vseg_owner[v.index()] = None;
+            self.retry.free_vseg(v.index());
         }
-        for (_, segs) in &route.hsegs {
+        if !route.hsegs.is_empty() {
+            self.retry.htick += 1;
+        }
+        for (c, segs) in &route.hsegs {
+            self.retry.chan_mod[c.index()] += 1;
             for h in segs {
                 debug_assert_eq!(self.hseg_owner[h.index()], Some(net));
                 self.hseg_owner[h.index()] = None;
+                self.retry.touch_hseg(h.index());
             }
         }
     }
@@ -286,6 +720,7 @@ impl RoutingState {
                 "vertical segment {v:?} already owned"
             );
             self.vseg_owner[v.index()] = Some(net);
+            self.retry.claim_vseg(v.index(), &self.vseg_owner);
         }
         for (_, segs) in &route.hsegs {
             for h in segs {
@@ -299,31 +734,156 @@ impl RoutingState {
     }
 
     fn update_queues(&mut self, net: NetId, old: &NetRoute, new: &NetRoute) {
+        let i = net.index();
+        self.retry.global_fail[i] = 0;
         match (old.globally_routed, new.globally_routed) {
             (true, false) => {
-                self.ug.insert(net);
+                self.ug.insert(i);
             }
             (false, true) => {
-                self.ug.remove(&net);
+                self.ug.remove(i);
             }
             _ => {}
         }
         for c in &old.pending_channels {
             if !new.pending_channels.contains(c) {
-                self.ud[c.index()].remove(&net);
+                let ci = c.index();
+                if self.ud[ci].remove(i) && self.ud[ci].is_empty() {
+                    self.dirty.remove(ci);
+                }
             }
         }
         for c in &new.pending_channels {
             if !old.pending_channels.contains(c) {
-                self.ud[c.index()].insert(net);
+                let ci = c.index();
+                if self.ud[ci].insert(i) {
+                    self.dirty.insert(ci);
+                }
+                self.retry.chan_queue_gen[ci] += 1;
+                self.retry.detail_fail[ci * self.retry.num_nets as usize + i] = 0;
             }
         }
+    }
+
+    /// The current retry-skip key of `channel`: changes whenever the
+    /// channel's horizontal occupancy or `U_D` membership could have made a
+    /// previously doomed detail attempt viable.
+    pub(crate) fn detail_retry_key(&self, channel: ChannelId) -> (u64, u64) {
+        let ci = channel.index();
+        (self.retry.chan_mod[ci], self.retry.chan_queue_gen[ci])
+    }
+
+    /// The retry-skip key recorded at the channel's last failure-bearing
+    /// detail pass, or `(0, 0)` if the channel must be attempted.
+    pub(crate) fn detail_attempt(&self, channel: ChannelId) -> (u64, u64) {
+        self.retry.chan_attempt[channel.index()]
+    }
+
+    /// Records the channel's current retry-skip key after a detail pass
+    /// that left failures, arming the skip. Claims made *during* the pass
+    /// are deliberately included in the recorded key: blocking is monotone
+    /// in occupancy, so a (net, channel) pair that failed mid-pass is still
+    /// blocked under the pass's final occupancy.
+    pub(crate) fn record_detail_attempt(&mut self, channel: ChannelId) {
+        let ci = channel.index();
+        self.retry.chan_attempt[ci] = (self.retry.chan_mod[ci], self.retry.chan_queue_gen[ci]);
+    }
+
+    /// Number of nets queued in `channel`'s `U_D`.
+    pub(crate) fn ud_len(&self, channel: ChannelId) -> usize {
+        self.ud[channel.index()].len()
+    }
+
+    /// The current vertical-occupancy clock value.
+    pub(crate) fn vtick(&self) -> u64 {
+        self.retry.vtick
+    }
+
+    /// Whether `net`'s last failed global-routing attempt is guaranteed to
+    /// repeat: no vertical segment intersecting the net's channel range has
+    /// been *released* since the failure was observed. The chain search's
+    /// outcome depends only on those segments (every candidate a greedy
+    /// step can consider intersects the range); the greedy is a complete
+    /// interval-covering search, so failure means no chain exists — a
+    /// condition claims can only preserve — and a failed attempt has no
+    /// side effects, so skipping it is bit-exact.
+    pub(crate) fn global_retry_doomed(&self, net: NetId) -> bool {
+        let stamp = self.retry.global_fail[net.index()];
+        if stamp == 0 {
+            return false;
+        }
+        let (lo, hi) = self.retry.global_fail_range[net.index()];
+        self.retry.vchan_mod[lo as usize..=hi as usize]
+            .iter()
+            .all(|&m| m <= stamp)
+    }
+
+    /// Records a failed global-routing attempt of `net` over channel range
+    /// `chan_min..=chan_max`, made when the release clock read `seen`
+    /// (captured before the attempt; releases cannot happen mid-pass, so
+    /// pre- and post-attempt values coincide).
+    pub(crate) fn record_global_failure(
+        &mut self,
+        net: NetId,
+        seen: u64,
+        chan_min: usize,
+        chan_max: usize,
+    ) {
+        self.retry.global_fail[net.index()] = seen;
+        self.retry.global_fail_range[net.index()] = (chan_min as u32, chan_max as u32);
+    }
+
+    /// The free vertical segment the greedy chain search would pick as its
+    /// *first* segment at `col` to tap channel `chan`, with the channel it
+    /// reaches — one table lookup in place of the scan.
+    pub(crate) fn best_cover(&self, col: usize, chan: usize) -> Option<(usize, VSegId)> {
+        let (hi, v) = self.retry.best_cov[col * self.retry.num_channels as usize + chan];
+        (v != u32::MAX).then(|| (hi as usize, VSegId::new(v as usize)))
+    }
+
+    /// The free vertical segment the greedy chain search would pick to
+    /// extend reach `r` at `col`, with the channel it reaches.
+    pub(crate) fn best_extend(&self, col: usize, r: usize) -> Option<(usize, VSegId)> {
+        let (hi, v) = self.retry.best_ext[col * self.retry.num_channels as usize + r];
+        (v != u32::MAX).then(|| (hi as usize, VSegId::new(v as usize)))
+    }
+
+    /// Whether the (net, channel) detail attempt over columns `lo..=hi` is
+    /// guaranteed to repeat its last failure: no horizontal segment of the
+    /// channel intersecting those columns has been *released* since. The
+    /// track scan's outcome is a function of exactly those segments (a
+    /// covering run's segments all intersect the span), and blocking is
+    /// monotone in occupancy, so the post-failure stamp is exact.
+    pub(crate) fn detail_retry_doomed(
+        &self,
+        net: NetId,
+        channel: ChannelId,
+        lo: usize,
+        hi: usize,
+    ) -> bool {
+        let ci = channel.index();
+        let stamp = self.retry.detail_fail[ci * self.retry.num_nets as usize + net.index()];
+        if stamp == 0 {
+            return false;
+        }
+        let base = ci * self.retry.num_cols as usize;
+        self.retry.hcol_mod[base + lo..=base + hi]
+            .iter()
+            .all(|&m| m <= stamp)
+    }
+
+    /// Records a failed (net, channel) detail attempt at the current
+    /// horizontal-occupancy clock.
+    pub(crate) fn record_detail_failure(&mut self, net: NetId, channel: ChannelId) {
+        let ci = channel.index();
+        self.retry.detail_fail[ci * self.retry.num_nets as usize + net.index()] = self.retry.htick;
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rowfpga_arch::ColId;
     use rowfpga_netlist::{generate, GenerateConfig};
 
     fn setup() -> (Architecture, Netlist, RoutingState) {
@@ -344,13 +904,29 @@ mod tests {
         (arch, nl, st)
     }
 
+    fn global_shell(
+        st: &mut RoutingState,
+        vsegs: Vec<VSegId>,
+        vcol: Option<ColId>,
+        spans: Vec<(ChannelId, u32, u32)>,
+        pending: Vec<ChannelId>,
+    ) -> NetRoute {
+        let mut shell = st.take_shell();
+        shell.vsegs = vsegs;
+        shell.vcol = vcol;
+        shell.spans = spans;
+        shell.pending_channels = pending;
+        shell.globally_routed = true;
+        shell
+    }
+
     #[test]
     fn initial_state_is_all_unrouted() {
         let (_, nl, st) = setup();
         assert_eq!(st.globally_unrouted(), nl.num_nets());
         assert_eq!(st.incomplete(), nl.num_nets());
         assert!(!st.is_fully_routed());
-        assert!(st.dirty_channels().is_empty());
+        assert!(st.dirty_channels().next().is_none());
         for (id, _) in nl.nets() {
             assert_eq!(st.net_state(id), NetRouteState::Unrouted);
         }
@@ -363,24 +939,25 @@ mod tests {
         let chan = ChannelId::new(1);
         let vseg = arch.vsegs_at(ColId::new(3))[0];
         assert!(vseg.reaches(chan));
-        st.set_global(
-            net,
+        let shell = global_shell(
+            &mut st,
             vec![vseg.id()],
             Some(ColId::new(3)),
             vec![(chan, 2, 5)],
             vec![chan],
         );
+        st.set_global(net, shell);
         assert_eq!(st.net_state(net), NetRouteState::Global);
         assert_eq!(st.globally_unrouted(), nl.num_nets() - 1);
         assert_eq!(st.incomplete(), nl.num_nets());
-        assert_eq!(st.dirty_channels(), vec![chan]);
+        assert_eq!(st.dirty_channels().collect::<Vec<_>>(), vec![chan]);
         assert_eq!(st.vseg_owner(vseg.id()), Some(net));
 
         let hseg = arch.channel_tracks(chan)[0].segments()[0].id();
         st.set_channel_routed(net, chan, vec![hseg]);
         assert_eq!(st.net_state(net), NetRouteState::Detailed);
         assert_eq!(st.incomplete(), nl.num_nets() - 1);
-        assert!(st.dirty_channels().is_empty());
+        assert!(st.dirty_channels().next().is_none());
         assert_eq!(st.hseg_owner(hseg), Some(net));
 
         st.rip_up(net);
@@ -400,7 +977,8 @@ mod tests {
         let hseg = arch.channel_tracks(chan)[0].segments()[0].id();
 
         // Pre-transaction: net_a fully routed in channel 0.
-        st.set_global(net_a, Vec::new(), None, vec![(chan, 0, 2)], vec![chan]);
+        let shell = global_shell(&mut st, Vec::new(), None, vec![(chan, 0, 2)], vec![chan]);
+        st.set_global(net_a, shell);
         st.set_channel_routed(net_a, chan, vec![hseg]);
         let g0 = st.globally_unrouted();
         let d0 = st.incomplete();
@@ -408,7 +986,8 @@ mod tests {
         // Transaction: rip up net_a, give its segment to net_b, then undo.
         st.begin_txn();
         st.rip_up(net_a);
-        st.set_global(net_b, Vec::new(), None, vec![(chan, 0, 2)], vec![chan]);
+        let shell = global_shell(&mut st, Vec::new(), None, vec![(chan, 0, 2)], vec![chan]);
+        st.set_global(net_b, shell);
         st.set_channel_routed(net_b, chan, vec![hseg]);
         assert_eq!(st.hseg_owner(hseg), Some(net_b));
         st.rollback();
@@ -429,7 +1008,8 @@ mod tests {
         let chan = ChannelId::new(0);
         let hseg = arch.channel_tracks(chan)[0].segments()[0].id();
         st.begin_txn();
-        st.set_global(net, Vec::new(), None, vec![(chan, 0, 1)], vec![chan]);
+        let shell = global_shell(&mut st, Vec::new(), None, vec![(chan, 0, 1)], vec![chan]);
+        st.set_global(net, shell);
         st.set_channel_routed(net, chan, vec![hseg]);
         st.commit();
         assert!(!st.txn_active());
@@ -438,26 +1018,65 @@ mod tests {
     }
 
     #[test]
+    fn set_channel_routed_edits_in_place_and_journals_on_first_touch() {
+        // The detail-commit path must not replace the whole route record:
+        // spans and the vertical chain stay identical (same data), pending
+        // channels shrink by exactly the routed channel, and a rollback
+        // restores the exact prior record including pending-channel order.
+        let (arch, _nl, mut st) = setup();
+        let net = NetId::new(0);
+        let (c0, c1) = (ChannelId::new(0), ChannelId::new(1));
+        let vseg = arch.vsegs_at(ColId::new(3))[0];
+        let shell = global_shell(
+            &mut st,
+            vec![vseg.id()],
+            Some(ColId::new(3)),
+            vec![(c0, 1, 3), (c1, 2, 5)],
+            vec![c0, c1],
+        );
+        st.set_global(net, shell);
+        let before = st.route(net).clone();
+
+        st.begin_txn();
+        let h0 = arch.channel_tracks(c0)[0].segments()[0].id();
+        st.set_channel_routed(net, c0, vec![h0]);
+        assert_eq!(st.touched_nets(), &[net]);
+        {
+            let r = st.route(net);
+            assert_eq!(r.pending_channels(), &[c1], "c0 left pending (swap_remove)");
+            assert_eq!(r.hsegs_in(c0), Some(&[h0][..]));
+            assert_eq!(r.vsegs(), before.vsegs(), "vertical chain untouched");
+            assert_eq!(
+                r.spans().collect::<Vec<_>>(),
+                before.spans().collect::<Vec<_>>(),
+                "spans untouched"
+            );
+        }
+        // Second touch of the same net in the same transaction must not
+        // grow the undo log.
+        let h1 = arch.channel_tracks(c1)[0].segments()[0].id();
+        st.set_channel_routed(net, c1, vec![h1]);
+        assert_eq!(st.touched_nets(), &[net]);
+        assert_eq!(st.net_state(net), NetRouteState::Detailed);
+
+        st.rollback();
+        assert_eq!(st.route(net), &before, "rollback restores the exact record");
+        assert_eq!(st.hseg_owner(h0), None);
+        assert_eq!(st.hseg_owner(h1), None);
+        assert_eq!(st.dirty_channels().count(), 2);
+    }
+
+    #[test]
     #[should_panic(expected = "already owned")]
     fn double_claim_is_detected() {
         let (arch, _nl, mut st) = setup();
         let chan = ChannelId::new(0);
         let hseg = arch.channel_tracks(chan)[0].segments()[0].id();
-        st.set_global(
-            NetId::new(0),
-            Vec::new(),
-            None,
-            vec![(chan, 0, 1)],
-            vec![chan],
-        );
+        let shell = global_shell(&mut st, Vec::new(), None, vec![(chan, 0, 1)], vec![chan]);
+        st.set_global(NetId::new(0), shell);
         st.set_channel_routed(NetId::new(0), chan, vec![hseg]);
-        st.set_global(
-            NetId::new(1),
-            Vec::new(),
-            None,
-            vec![(chan, 0, 1)],
-            vec![chan],
-        );
+        let shell = global_shell(&mut st, Vec::new(), None, vec![(chan, 0, 1)], vec![chan]);
+        st.set_global(NetId::new(1), shell);
         st.set_channel_routed(NetId::new(1), chan, vec![hseg]);
     }
 
@@ -477,7 +1096,8 @@ mod tests {
         assert!(!nets.is_empty());
         // route one of them trivially first
         let chan = ChannelId::new(0);
-        st.set_global(nets[0], Vec::new(), None, vec![(chan, 0, 1)], vec![chan]);
+        let shell = global_shell(&mut st, Vec::new(), None, vec![(chan, 0, 1)], vec![chan]);
+        st.set_global(nets[0], shell);
         st.rip_up_cell(&nl, cell);
         for n in nets {
             assert_eq!(st.net_state(n), NetRouteState::Unrouted);
@@ -630,6 +1250,7 @@ impl RoutingState {
                     });
                 }
                 st.vseg_owner[v] = Some(net);
+                st.retry.claim_vseg(v, &st.vseg_owner);
             }
             for (_, segs) in &snap.hsegs {
                 for &h in segs {
@@ -646,9 +1267,12 @@ impl RoutingState {
             // preserving record order exactly (pending-channel order is
             // part of the deterministic resume contract).
             let route = snap.to_route();
-            st.ug.remove(&net);
+            st.ug.remove(i);
             for c in &route.pending_channels {
-                st.ud[c.index()].insert(net);
+                let ci = c.index();
+                if st.ud[ci].insert(i) {
+                    st.dirty.insert(ci);
+                }
             }
             if route.state() == NetRouteState::Detailed {
                 st.incomplete -= 1;
@@ -680,6 +1304,11 @@ impl RoutingState {
             return false;
         };
         self.hseg_owner[idx] = None;
+        // The corruption frees a segment, so invalidate retry stamps like
+        // any release would.
+        self.retry.htick += 1;
+        self.retry.chan_mod[self.retry.hseg_span[idx].0 as usize] += 1;
+        self.retry.touch_hseg(idx);
         true
     }
 
@@ -702,6 +1331,9 @@ impl RoutingState {
                 if seen == nth {
                     let h = segs.pop().expect("non-empty run");
                     self.hseg_owner[h.index()] = None;
+                    self.retry.htick += 1;
+                    self.retry.chan_mod[self.retry.hseg_span[h.index()].0 as usize] += 1;
+                    self.retry.touch_hseg(h.index());
                     return true;
                 }
                 seen += 1;

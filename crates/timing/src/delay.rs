@@ -5,7 +5,7 @@ use rowfpga_netlist::{CellKind, NetId, Netlist};
 use rowfpga_place::Placement;
 use rowfpga_route::RoutingState;
 
-use crate::elmore::elmore_sink_delays;
+use crate::elmore::{elmore_sink_delays_into, ElmoreScratch};
 use crate::estimate::estimate_sink_delay;
 
 /// Driver-to-sink interconnect delay for every sink of `net`, in sink
@@ -18,11 +18,38 @@ pub fn net_sink_delays(
     routing: &RoutingState,
     net: NetId,
 ) -> Vec<f64> {
-    if let Some(d) = elmore_sink_delays(arch, netlist, placement, routing, net) {
-        return d;
+    let mut scratch = ElmoreScratch::default();
+    let mut out = Vec::new();
+    net_sink_delays_into(
+        arch,
+        netlist,
+        placement,
+        routing,
+        net,
+        &mut scratch,
+        &mut out,
+    );
+    out
+}
+
+/// [`net_sink_delays`] writing into a reusable output buffer with reusable
+/// Elmore scratch — the hot-path form. `out` is cleared and refilled in
+/// sink order.
+pub fn net_sink_delays_into(
+    arch: &Architecture,
+    netlist: &Netlist,
+    placement: &Placement,
+    routing: &RoutingState,
+    net: NetId,
+    scratch: &mut ElmoreScratch,
+    out: &mut Vec<f64>,
+) {
+    if elmore_sink_delays_into(arch, netlist, placement, routing, net, scratch, out) {
+        return;
     }
     let est = estimate_sink_delay(arch, netlist, placement, net);
-    vec![est; netlist.net(net).fanout()]
+    out.clear();
+    out.resize(netlist.net(net).fanout(), est);
 }
 
 /// Intrinsic delay charged when a signal propagates *through* a cell to its

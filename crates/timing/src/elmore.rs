@@ -15,10 +15,11 @@
 
 use rowfpga_arch::{Architecture, ChannelId};
 use rowfpga_netlist::{NetId, Netlist};
-use rowfpga_place::{net_pin_locs, Placement};
+use rowfpga_place::{pin_loc, Placement};
 use rowfpga_route::{NetRouteState, RoutingState};
 
 /// A node of the RC tree under construction.
+#[derive(Clone, Debug)]
 struct Node {
     /// Parent node index (root has none).
     parent: Option<usize>,
@@ -28,45 +29,33 @@ struct Node {
     cap: f64,
 }
 
-struct Tree {
+/// Reusable buffers for Elmore evaluation. One scratch serves any number of
+/// sequential evaluations; in steady state no call allocates.
+#[derive(Clone, Debug, Default)]
+pub struct ElmoreScratch {
+    /// RC tree nodes.
     nodes: Vec<Node>,
+    /// Flat storage for per-run and per-chain node indices; each run (and
+    /// the chain) occupies a contiguous range.
+    idx: Vec<usize>,
+    /// `(channel, start-of-run-range in idx)` for sink tap lookup.
+    seg_ranges: Vec<(ChannelId, usize)>,
+    /// Tree node of each sink, in sink order.
+    sink_nodes: Vec<usize>,
+    /// Downstream capacitance per node.
+    down: Vec<f64>,
+    /// Elmore delay per node.
+    t: Vec<f64>,
 }
 
-impl Tree {
-    fn new() -> Tree {
-        Tree { nodes: Vec::new() }
-    }
-
-    fn add(&mut self, parent: Option<usize>, r_edge: f64, cap: f64) -> usize {
-        debug_assert!(parent.is_none_or(|p| p < self.nodes.len()));
-        self.nodes.push(Node {
-            parent,
-            r_edge,
-            cap,
-        });
-        self.nodes.len() - 1
-    }
-
-    /// Elmore delay from the root to every node.
-    fn delays(&self) -> Vec<f64> {
-        let n = self.nodes.len();
-        // Downstream capacitance: children were always added after parents,
-        // so a reverse sweep accumulates subtrees.
-        let mut down: Vec<f64> = self.nodes.iter().map(|nd| nd.cap).collect();
-        for i in (0..n).rev() {
-            if let Some(p) = self.nodes[i].parent {
-                down[p] += down[i];
-            }
-        }
-        // Forward sweep: T(child) = T(parent) + R_edge · C_down(child).
-        let mut t = vec![0.0; n];
-        for i in 0..n {
-            if let Some(p) = self.nodes[i].parent {
-                t[i] = t[p] + self.nodes[i].r_edge * down[i];
-            }
-        }
-        t
-    }
+fn add_node(nodes: &mut Vec<Node>, parent: Option<usize>, r_edge: f64, cap: f64) -> usize {
+    debug_assert!(parent.is_none_or(|p| p < nodes.len()));
+    nodes.push(Node {
+        parent,
+        r_edge,
+        cap,
+    });
+    nodes.len() - 1
 }
 
 /// Computes the Elmore delay from the driver to every sink of a *fully
@@ -79,20 +68,46 @@ pub fn elmore_sink_delays(
     routing: &RoutingState,
     net: NetId,
 ) -> Option<Vec<f64>> {
+    let mut scratch = ElmoreScratch::default();
+    let mut out = Vec::new();
+    elmore_sink_delays_into(
+        arch,
+        netlist,
+        placement,
+        routing,
+        net,
+        &mut scratch,
+        &mut out,
+    )
+    .then_some(out)
+}
+
+/// [`elmore_sink_delays`] writing into a reusable output buffer with
+/// reusable internal scratch — the hot-path form. Returns whether the net
+/// was fully embedded; `out` holds the sink delays (in sink order) exactly
+/// when it returns true, and is untouched otherwise.
+pub fn elmore_sink_delays_into(
+    arch: &Architecture,
+    netlist: &Netlist,
+    placement: &Placement,
+    routing: &RoutingState,
+    net: NetId,
+    scratch: &mut ElmoreScratch,
+    out: &mut Vec<f64>,
+) -> bool {
     let route = routing.route(net);
     if route.state() != NetRouteState::Detailed {
-        return None;
+        return false;
     }
     let p = arch.delay();
-    let locs = net_pin_locs(arch, netlist, placement, net);
-    let (driver_loc, sink_locs) = locs.split_first().expect("net has a driver");
+    let driver_pin = netlist.net(net).pins().next().expect("net has a driver");
+    let driver_loc = pin_loc(arch, netlist, placement, driver_pin);
 
-    let mut tree = Tree::new();
-    let root = tree.add(None, 0.0, 0.0);
-
-    // Per-channel run nodes: node index of every horizontal segment.
-    // seg_nodes[k] parallel to route.hsegs()[k].1
-    let mut seg_nodes: Vec<(ChannelId, Vec<usize>)> = Vec::new();
+    scratch.nodes.clear();
+    scratch.idx.clear();
+    scratch.seg_ranges.clear();
+    scratch.sink_nodes.clear();
+    let root = add_node(&mut scratch.nodes, None, 0.0, 0.0);
 
     // 1. The driver's channel run hangs off the driver through its output
     //    resistance and one cross antifuse.
@@ -102,14 +117,23 @@ pub fn elmore_sink_delays(
         .expect("detailed net is routed in its driver channel");
     // Index of the run segment covering the driver's column.
     let tap = run_tap_index(arch, driver_run, driver_loc.col.index());
-    let mut run_nodes = vec![usize::MAX; driver_run.len()];
-    run_nodes[tap] = tree.add(
+    let dr_start = scratch.idx.len();
+    scratch.idx.resize(dr_start + driver_run.len(), usize::MAX);
+    scratch.idx[dr_start + tap] = add_node(
+        &mut scratch.nodes,
         Some(root),
         p.r_driver + p.r_antifuse,
         seg_cap(arch, driver_run[tap], p) + p.c_antifuse,
     );
-    grow_run(arch, p, &mut tree, driver_run, &mut run_nodes, tap);
-    seg_nodes.push((driver_chan, run_nodes.clone()));
+    grow_run(
+        arch,
+        p,
+        &mut scratch.nodes,
+        driver_run,
+        &mut scratch.idx[dr_start..dr_start + driver_run.len()],
+        tap,
+    );
+    scratch.seg_ranges.push((driver_chan, dr_start));
 
     // 2. The vertical chain (if any) hangs off the driver run at the
     //    feedthrough column; the remaining runs hang off the chain.
@@ -120,29 +144,35 @@ pub fn elmore_sink_delays(
         // of the first chain node is the run segment at the feedthrough.
         // Which chain segment taps the driver channel: the first that
         // reaches it.
-        let mut chain_nodes = vec![usize::MAX; route.vsegs().len()];
+        let ch_start = scratch.idx.len();
+        scratch
+            .idx
+            .resize(ch_start + route.vsegs().len(), usize::MAX);
         let start = route
             .vsegs()
             .iter()
             .position(|v| arch.vseg(*v).reaches(driver_chan))
             .expect("chain reaches the driver channel");
-        chain_nodes[start] = tree.add(
-            Some(run_nodes[driver_tap]),
+        scratch.idx[ch_start + start] = add_node(
+            &mut scratch.nodes,
+            Some(scratch.idx[dr_start + driver_tap]),
             p.r_antifuse,
             vseg_cap(arch, route.vsegs()[start], p) + p.c_antifuse,
         );
         // Grow outward along the chain in both directions (vertical
         // antifuse per junction).
         for i in (0..start).rev() {
-            chain_nodes[i] = tree.add(
-                Some(chain_nodes[i + 1]),
+            scratch.idx[ch_start + i] = add_node(
+                &mut scratch.nodes,
+                Some(scratch.idx[ch_start + i + 1]),
                 p.r_antifuse + vseg_wire_r(arch, route.vsegs()[i + 1], p),
                 vseg_cap(arch, route.vsegs()[i], p) + p.c_antifuse,
             );
         }
         for i in (start + 1)..route.vsegs().len() {
-            chain_nodes[i] = tree.add(
-                Some(chain_nodes[i - 1]),
+            scratch.idx[ch_start + i] = add_node(
+                &mut scratch.nodes,
+                Some(scratch.idx[ch_start + i - 1]),
                 p.r_antifuse + vseg_wire_r(arch, route.vsegs()[i - 1], p),
                 vseg_cap(arch, route.vsegs()[i], p) + p.c_antifuse,
             );
@@ -158,32 +188,66 @@ pub fn elmore_sink_delays(
                 .position(|v| arch.vseg(*v).reaches(*chan))
                 .expect("chain reaches every routed channel");
             let tap = run_tap_index(arch, run, vcol.index());
-            let mut nodes = vec![usize::MAX; run.len()];
-            nodes[tap] = tree.add(
-                Some(chain_nodes[chain_idx]),
+            let r_start = scratch.idx.len();
+            scratch.idx.resize(r_start + run.len(), usize::MAX);
+            scratch.idx[r_start + tap] = add_node(
+                &mut scratch.nodes,
+                Some(scratch.idx[ch_start + chain_idx]),
                 p.r_antifuse,
                 seg_cap(arch, run[tap], p) + p.c_antifuse,
             );
-            grow_run(arch, p, &mut tree, run, &mut nodes, tap);
-            seg_nodes.push((*chan, nodes));
+            grow_run(
+                arch,
+                p,
+                &mut scratch.nodes,
+                run,
+                &mut scratch.idx[r_start..r_start + run.len()],
+                tap,
+            );
+            scratch.seg_ranges.push((*chan, r_start));
         }
     }
 
     // 3. Sinks load their channel's run through a cross antifuse.
-    let mut delays_idx = Vec::with_capacity(sink_locs.len());
-    for sink in sink_locs {
-        let (_, nodes) = seg_nodes
+    for pin in netlist.net(net).pins().skip(1) {
+        let sink = pin_loc(arch, netlist, placement, pin);
+        let &(_, r_start) = scratch
+            .seg_ranges
             .iter()
             .find(|(c, _)| *c == sink.channel)
             .expect("sink channel is routed");
         let run = route.hsegs_in(sink.channel).expect("sink channel routed");
         let tap = run_tap_index(arch, run, sink.col.index());
-        let node = tree.add(Some(nodes[tap]), p.r_antifuse, p.c_input + p.c_antifuse);
-        delays_idx.push(node);
+        let node = add_node(
+            &mut scratch.nodes,
+            Some(scratch.idx[r_start + tap]),
+            p.r_antifuse,
+            p.c_input + p.c_antifuse,
+        );
+        scratch.sink_nodes.push(node);
     }
 
-    let t = tree.delays();
-    Some(delays_idx.into_iter().map(|i| t[i]).collect())
+    // Downstream capacitance: children were always added after parents, so
+    // a reverse sweep accumulates subtrees.
+    let n = scratch.nodes.len();
+    scratch.down.clear();
+    scratch.down.extend(scratch.nodes.iter().map(|nd| nd.cap));
+    for i in (0..n).rev() {
+        if let Some(par) = scratch.nodes[i].parent {
+            scratch.down[par] += scratch.down[i];
+        }
+    }
+    // Forward sweep: T(child) = T(parent) + R_edge · C_down(child).
+    scratch.t.clear();
+    scratch.t.resize(n, 0.0);
+    for i in 0..n {
+        if let Some(par) = scratch.nodes[i].parent {
+            scratch.t[i] = scratch.t[par] + scratch.nodes[i].r_edge * scratch.down[i];
+        }
+    }
+    out.clear();
+    out.extend(scratch.sink_nodes.iter().map(|&i| scratch.t[i]));
+    true
 }
 
 /// Index within `run` of the segment covering `col`.
@@ -207,13 +271,14 @@ fn run_tap_index(arch: &Architecture, run: &[rowfpga_arch::HSegId], col: usize) 
 fn grow_run(
     arch: &Architecture,
     p: &rowfpga_arch::DelayParams,
-    tree: &mut Tree,
+    tree: &mut Vec<Node>,
     run: &[rowfpga_arch::HSegId],
     nodes: &mut [usize],
     from: usize,
 ) {
     for i in (0..from).rev() {
-        nodes[i] = tree.add(
+        nodes[i] = add_node(
+            tree,
             Some(nodes[i + 1]),
             p.r_antifuse
                 + seg_wire_r(arch, run[i + 1], p) / 2.0
@@ -222,7 +287,8 @@ fn grow_run(
         );
     }
     for i in (from + 1)..run.len() {
-        nodes[i] = tree.add(
+        nodes[i] = add_node(
+            tree,
             Some(nodes[i - 1]),
             p.r_antifuse
                 + seg_wire_r(arch, run[i - 1], p) / 2.0
@@ -253,6 +319,7 @@ mod tests {
     use super::*;
     use rowfpga_arch::SegmentationScheme;
     use rowfpga_netlist::{generate, CellKind, GenerateConfig};
+    use rowfpga_place::net_pin_locs;
     use rowfpga_route::{route_batch, RouterConfig};
 
     fn routed_problem() -> (Architecture, Netlist, Placement, RoutingState) {

@@ -14,7 +14,7 @@
 use rowfpga_arch::Architecture;
 use rowfpga_netlist::{NetId, Netlist};
 use rowfpga_place::Placement;
-use rowfpga_route::net_requirements;
+use rowfpga_route::net_extents;
 
 /// Estimated driver-to-sink delay of an unembedded net (one number for all
 /// sinks: without an embedding there is nothing to distinguish them).
@@ -25,11 +25,13 @@ pub fn estimate_sink_delay(
     net: NetId,
 ) -> f64 {
     let p = arch.delay();
-    let req = net_requirements(arch, netlist, placement, net);
+    // Only the bounding box matters here; skip the per-channel span
+    // breakdown (and its allocation) a full requirements record carries.
+    let (chan_min, chan_max, col_min, col_max) = net_extents(arch, netlist, placement, net);
     let fanout = netlist.net(net).fanout() as f64;
 
-    let width = (req.col_max - req.col_min) as f64;
-    let height = (req.chan_max - req.chan_min) as f64;
+    let width = (col_max - col_min) as f64;
+    let height = (chan_max - chan_min) as f64;
 
     // Probable antifuse count: horizontal joints along the span, vertical
     // joints along the chain, one tap per channel crossed plus the driver
@@ -56,6 +58,7 @@ pub fn estimate_sink_delay(
 mod tests {
     use super::*;
     use rowfpga_netlist::CellKind;
+    use rowfpga_route::net_requirements;
 
     fn two_pin_problem(rows: usize, cols: usize) -> (Architecture, Netlist) {
         let mut b = Netlist::builder();

@@ -30,8 +30,10 @@ mod estimate;
 mod sta;
 mod state;
 
-pub use delay::{cell_intrinsic_delay, endpoint_intrinsic_delay, net_sink_delays};
-pub use elmore::elmore_sink_delays;
+pub use delay::{
+    cell_intrinsic_delay, endpoint_intrinsic_delay, net_sink_delays, net_sink_delays_into,
+};
+pub use elmore::{elmore_sink_delays, elmore_sink_delays_into, ElmoreScratch};
 pub use estimate::estimate_sink_delay;
 pub use sta::{CriticalPath, PathElement, Sta};
 pub use state::TimingState;

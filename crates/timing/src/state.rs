@@ -10,25 +10,136 @@
 //! exactly.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use rowfpga_arch::Architecture;
-use rowfpga_netlist::{CellId, CellKind, CombLoopError, Levels, NetId, Netlist};
+use rowfpga_netlist::{CellId, CellKind, CombLoopError, Levels, NetId, Netlist, PinRef};
 use rowfpga_place::Placement;
 use rowfpga_route::RoutingState;
 
-use crate::delay::{cell_intrinsic_delay, endpoint_intrinsic_delay, net_sink_delays};
-use crate::sta::{is_endpoint, worst_input_arrival};
+use crate::delay::{cell_intrinsic_delay, endpoint_intrinsic_delay, net_sink_delays_into};
+use crate::elmore::ElmoreScratch;
+use crate::sta::is_endpoint;
 
 /// Arrival changes smaller than this are not propagated.
 const EPS: f64 = 1e-9;
 
-#[derive(Clone, Debug, Default)]
-struct Journal {
-    arr: HashMap<usize, f64>,
-    endpoint_arr: HashMap<usize, f64>,
-    net_delays: HashMap<usize, Vec<f64>>,
+/// A sink cell that is neither a boundary nor an endpoint: propagation
+/// continues through it.
+const SINK_INTERNAL: u8 = 0;
+/// A path endpoint (primary output / flip-flop data input).
+const SINK_ENDPOINT: u8 = 1;
+/// A boundary that terminates propagation without being an endpoint.
+const SINK_BOUNDARY: u8 = 2;
+
+/// One input connection of a cell: the driving cell, the net, and this
+/// pin's index in the net's sink list — everything `worst_input_arrival`
+/// re-derived per call, resolved once.
+#[derive(Clone, Copy, Debug)]
+struct FaninEdge {
+    driver: u32,
+    net: u32,
+    sink: u32,
+}
+
+/// Lookup tables derived from connectivity and fabric delay parameters,
+/// both immutable for the lifetime of the state: per-cell fanin edges in
+/// CSR form, intrinsic delays, levels and sink classification. These turn
+/// the frontier's inner loop into flat array reads.
+#[derive(Clone, Debug)]
+struct CellTables {
+    fanin_start: Vec<u32>,
+    fanin_edges: Vec<FaninEdge>,
+    intrinsic: Vec<f64>,
+    endpoint_intrinsic: Vec<f64>,
+    level: Vec<u32>,
+    sink_class: Vec<u8>,
+}
+
+impl CellTables {
+    fn build(arch: &Architecture, netlist: &Netlist, levels: &Levels) -> CellTables {
+        let n = netlist.num_cells();
+        let mut t = CellTables {
+            fanin_start: Vec::with_capacity(n + 1),
+            fanin_edges: Vec::new(),
+            intrinsic: Vec::with_capacity(n),
+            endpoint_intrinsic: Vec::with_capacity(n),
+            level: Vec::with_capacity(n),
+            sink_class: Vec::with_capacity(n),
+        };
+        for (id, cell) in netlist.cells() {
+            let kind = cell.kind();
+            t.fanin_start.push(t.fanin_edges.len() as u32);
+            // Same pin order as `sta::argmax_input`, so the max-fold visits
+            // arrivals in the identical sequence.
+            let first_input = u8::from(kind.has_output());
+            for pin in first_input..kind.num_pins() as u8 {
+                let pin_ref = PinRef::new(id, pin);
+                let Some(net) = netlist.net_of(pin_ref) else {
+                    continue;
+                };
+                let nref = netlist.net(net);
+                let sink_idx = nref
+                    .sinks()
+                    .iter()
+                    .position(|s| *s == pin_ref)
+                    .expect("pin is a sink of its net");
+                t.fanin_edges.push(FaninEdge {
+                    driver: nref.driver().cell.index() as u32,
+                    net: net.index() as u32,
+                    sink: sink_idx as u32,
+                });
+            }
+            t.intrinsic.push(cell_intrinsic_delay(arch, kind));
+            t.endpoint_intrinsic
+                .push(endpoint_intrinsic_delay(arch, kind));
+            t.level.push(levels.level(id));
+            t.sink_class.push(if kind.is_boundary() {
+                if is_endpoint(kind) {
+                    SINK_ENDPOINT
+                } else {
+                    SINK_BOUNDARY
+                }
+            } else {
+                SINK_INTERNAL
+            });
+        }
+        t.fanin_start.push(t.fanin_edges.len() as u32);
+        t
+    }
+}
+
+/// Generation-stamped undo log: the first mutation of each quantity inside
+/// a transaction records its prior value in a flat array; per-index stamps
+/// make the first-touch test O(1) with nothing to clear between
+/// transactions.
+#[derive(Clone, Debug)]
+struct UndoLog {
+    active: bool,
+    generation: u64,
+    arr_stamp: Vec<u64>,
+    endpoint_stamp: Vec<u64>,
+    net_stamp: Vec<u64>,
+    saved_arr: Vec<(CellId, f64)>,
+    saved_endpoint: Vec<(CellId, f64)>,
+    saved_nets: Vec<(NetId, Vec<f64>)>,
     worst: Option<f64>,
+}
+
+const DELAY_POOL_CAP: usize = 256;
+
+/// Reusable buffers for [`TimingState::update_nets`]: the level-ordered
+/// frontier heap (always drained, so its allocation persists), epoch-stamped
+/// queued/dirty marks (no per-call clearing), a pool of retired sink-delay
+/// vectors and the Elmore evaluation scratch.
+#[derive(Clone, Debug, Default)]
+struct UpdateScratch {
+    frontier: BinaryHeap<Reverse<(u32, CellId)>>,
+    epoch: u64,
+    queued: Vec<u64>,
+    endpoint_dirty: Vec<u64>,
+    delay_pool: Vec<Vec<f64>>,
+    elmore: ElmoreScratch,
 }
 
 /// Incrementally maintained timing state: per-cell arrivals, per-net sink
@@ -36,12 +147,14 @@ struct Journal {
 #[derive(Clone, Debug)]
 pub struct TimingState {
     levels: Levels,
+    tables: CellTables,
     arr: Vec<f64>,
     endpoint_arr: Vec<f64>,
     net_delays: Vec<Vec<f64>>,
     endpoints: Vec<CellId>,
     worst: f64,
-    journal: Option<Journal>,
+    undo: UndoLog,
+    scratch: UpdateScratch,
     /// Cells popped off the frontier by the most recent
     /// [`TimingState::update_nets`] call (observability only; not
     /// journaled, since it never affects results).
@@ -61,6 +174,7 @@ impl TimingState {
         routing: &RoutingState,
     ) -> Result<TimingState, CombLoopError> {
         let levels = Levels::compute(netlist)?;
+        let tables = CellTables::build(arch, netlist, &levels);
         let endpoints = netlist
             .cells()
             .filter(|(_, c)| is_endpoint(c.kind()))
@@ -68,12 +182,28 @@ impl TimingState {
             .collect();
         let mut state = TimingState {
             levels,
+            tables,
             arr: vec![0.0; netlist.num_cells()],
             endpoint_arr: vec![f64::NEG_INFINITY; netlist.num_cells()],
             net_delays: vec![Vec::new(); netlist.num_nets()],
             endpoints,
             worst: 0.0,
-            journal: None,
+            undo: UndoLog {
+                active: false,
+                generation: 0,
+                arr_stamp: vec![0; netlist.num_cells()],
+                endpoint_stamp: vec![0; netlist.num_cells()],
+                net_stamp: vec![0; netlist.num_nets()],
+                saved_arr: Vec::new(),
+                saved_endpoint: Vec::new(),
+                saved_nets: Vec::new(),
+                worst: None,
+            },
+            scratch: UpdateScratch {
+                queued: vec![0; netlist.num_cells()],
+                endpoint_dirty: vec![0; netlist.num_cells()],
+                ..UpdateScratch::default()
+            },
             last_frontier: 0,
         };
         state.full_analyze(arch, netlist, placement, routing);
@@ -90,11 +220,19 @@ impl TimingState {
         routing: &RoutingState,
     ) {
         assert!(
-            self.journal.is_none(),
+            !self.undo.active,
             "full analysis inside a transaction is not supported"
         );
         for (id, _) in netlist.nets() {
-            self.net_delays[id.index()] = net_sink_delays(arch, netlist, placement, routing, id);
+            net_sink_delays_into(
+                arch,
+                netlist,
+                placement,
+                routing,
+                id,
+                &mut self.scratch.elmore,
+                &mut self.net_delays[id.index()],
+            );
         }
         for (id, cell) in netlist.cells() {
             self.arr[id.index()] = match cell.kind() {
@@ -104,15 +242,31 @@ impl TimingState {
         }
         for &cell in self.levels.order() {
             self.arr[cell.index()] =
-                worst_input_arrival(netlist, &self.arr, &self.net_delays, cell).unwrap_or(0.0)
-                    + cell_intrinsic_delay(arch, netlist.cell(cell).kind());
+                self.worst_fanin(cell).unwrap_or(0.0) + self.tables.intrinsic[cell.index()];
         }
-        for &e in &self.endpoints {
+        for i in 0..self.endpoints.len() {
+            let e = self.endpoints[i];
             self.endpoint_arr[e.index()] =
-                worst_input_arrival(netlist, &self.arr, &self.net_delays, e).unwrap_or(0.0)
-                    + endpoint_intrinsic_delay(arch, netlist.cell(e).kind());
+                self.worst_fanin(e).unwrap_or(0.0) + self.tables.endpoint_intrinsic[e.index()];
         }
         self.worst = self.scan_worst();
+    }
+
+    /// The latest input arrival of `cell` over its precomputed fanin edges
+    /// — the allocation- and lookup-free equivalent of
+    /// [`crate::sta`]'s `worst_input_arrival`, folding arrivals in the same
+    /// pin order.
+    fn worst_fanin(&self, cell: CellId) -> Option<f64> {
+        let lo = self.tables.fanin_start[cell.index()] as usize;
+        let hi = self.tables.fanin_start[cell.index() + 1] as usize;
+        let mut best: Option<f64> = None;
+        for e in &self.tables.fanin_edges[lo..hi] {
+            let a = self.arr[e.driver as usize] + self.net_delays[e.net as usize][e.sink as usize];
+            if best.is_none_or(|b| a > b) {
+                best = Some(a);
+            }
+        }
+        best
     }
 
     /// Worst-case path delay `T`, in picoseconds.
@@ -143,8 +297,15 @@ impl TimingState {
     ///
     /// Panics if a transaction is already active.
     pub fn begin_txn(&mut self) {
-        assert!(self.journal.is_none(), "timing transaction already active");
-        self.journal = Some(Journal::default());
+        assert!(!self.undo.active, "timing transaction already active");
+        debug_assert!(
+            self.undo.saved_arr.is_empty()
+                && self.undo.saved_endpoint.is_empty()
+                && self.undo.saved_nets.is_empty()
+                && self.undo.worst.is_none()
+        );
+        self.undo.active = true;
+        self.undo.generation += 1;
     }
 
     /// Makes all changes since [`TimingState::begin_txn`] permanent.
@@ -153,8 +314,16 @@ impl TimingState {
     ///
     /// Panics if no transaction is active.
     pub fn commit(&mut self) {
-        assert!(self.journal.is_some(), "no timing transaction to commit");
-        self.journal = None;
+        assert!(self.undo.active, "no timing transaction to commit");
+        self.undo.active = false;
+        self.undo.saved_arr.clear();
+        self.undo.saved_endpoint.clear();
+        self.undo.worst = None;
+        let mut saved = std::mem::take(&mut self.undo.saved_nets);
+        for (_, old) in saved.drain(..) {
+            self.recycle_delays(old);
+        }
+        self.undo.saved_nets = saved;
     }
 
     /// Restores the state at [`TimingState::begin_txn`].
@@ -163,21 +332,32 @@ impl TimingState {
     ///
     /// Panics if no transaction is active.
     pub fn rollback(&mut self) {
-        let journal = self
-            .journal
-            .take()
-            .expect("no timing transaction to roll back");
-        for (i, v) in journal.arr {
-            self.arr[i] = v;
+        assert!(self.undo.active, "no timing transaction to roll back");
+        self.undo.active = false;
+        for &(cell, v) in &self.undo.saved_arr {
+            self.arr[cell.index()] = v;
         }
-        for (i, v) in journal.endpoint_arr {
-            self.endpoint_arr[i] = v;
+        self.undo.saved_arr.clear();
+        for &(cell, v) in &self.undo.saved_endpoint {
+            self.endpoint_arr[cell.index()] = v;
         }
-        for (i, v) in journal.net_delays {
-            self.net_delays[i] = v;
+        self.undo.saved_endpoint.clear();
+        let mut saved = std::mem::take(&mut self.undo.saved_nets);
+        for (net, old) in saved.drain(..) {
+            let current = std::mem::replace(&mut self.net_delays[net.index()], old);
+            self.recycle_delays(current);
         }
-        if let Some(w) = journal.worst {
+        self.undo.saved_nets = saved;
+        if let Some(w) = self.undo.worst.take() {
             self.worst = w;
+        }
+    }
+
+    /// Retires a sink-delay vector into the pool for reuse.
+    fn recycle_delays(&mut self, mut v: Vec<f64>) {
+        if self.scratch.delay_pool.len() < DELAY_POOL_CAP {
+            v.clear();
+            self.scratch.delay_pool.push(v);
         }
     }
 
@@ -198,34 +378,48 @@ impl TimingState {
         }
         self.save_worst();
 
+        // Epoch stamps replace per-call boolean arrays: a mark is "set" iff
+        // its stamp equals this call's epoch, so nothing is ever cleared.
+        self.scratch.epoch += 1;
+        let epoch = self.scratch.epoch;
         // Frontier keyed by level so arrival refreshes happen in dependency
-        // order even across reconvergent fanout.
-        let mut frontier: BinaryHeap<Reverse<(u32, CellId)>> = BinaryHeap::new();
-        let mut queued = vec![false; netlist.num_cells()];
-        let mut endpoint_dirty = vec![false; netlist.num_cells()];
+        // order even across reconvergent fanout. The heap is always drained
+        // below, so its allocation persists across calls; it is taken out
+        // of the scratch for the duration to keep the borrows disjoint.
+        let mut frontier = std::mem::take(&mut self.scratch.frontier);
+        debug_assert!(frontier.is_empty());
 
         for &net in changed {
             self.save_net(net);
-            self.net_delays[net.index()] = net_sink_delays(arch, netlist, placement, routing, net);
+            net_sink_delays_into(
+                arch,
+                netlist,
+                placement,
+                routing,
+                net,
+                &mut self.scratch.elmore,
+                &mut self.net_delays[net.index()],
+            );
             for s in netlist.net(net).sinks() {
-                let kind = netlist.cell(s.cell).kind();
-                if kind.is_boundary() {
-                    if is_endpoint(kind) {
-                        endpoint_dirty[s.cell.index()] = true;
+                let i = s.cell.index();
+                match self.tables.sink_class[i] {
+                    SINK_INTERNAL if self.scratch.queued[i] != epoch => {
+                        self.scratch.queued[i] = epoch;
+                        frontier.push(Reverse((self.tables.level[i], s.cell)));
                     }
-                } else if !queued[s.cell.index()] {
-                    queued[s.cell.index()] = true;
-                    frontier.push(Reverse((self.levels.level(s.cell), s.cell)));
+                    SINK_ENDPOINT => self.scratch.endpoint_dirty[i] = epoch,
+                    _ => {}
                 }
             }
         }
 
         while let Some(Reverse((_, cell))) = frontier.pop() {
             self.last_frontier += 1;
-            queued[cell.index()] = false;
-            let new_arr = worst_input_arrival(netlist, &self.arr, &self.net_delays, cell)
-                .unwrap_or(0.0)
-                + cell_intrinsic_delay(arch, netlist.cell(cell).kind());
+            // 0 never equals a live epoch, so a processed cell can be
+            // re-queued if a later driver change reaches it again.
+            self.scratch.queued[cell.index()] = 0;
+            let new_arr =
+                self.worst_fanin(cell).unwrap_or(0.0) + self.tables.intrinsic[cell.index()];
             if (new_arr - self.arr[cell.index()]).abs() <= EPS {
                 continue;
             }
@@ -233,32 +427,31 @@ impl TimingState {
             self.arr[cell.index()] = new_arr;
             if let Some(net) = netlist.driven_net(cell) {
                 for s in netlist.net(net).sinks() {
-                    let kind = netlist.cell(s.cell).kind();
-                    if kind.is_boundary() {
-                        if is_endpoint(kind) {
-                            endpoint_dirty[s.cell.index()] = true;
+                    let i = s.cell.index();
+                    match self.tables.sink_class[i] {
+                        SINK_INTERNAL if self.scratch.queued[i] != epoch => {
+                            self.scratch.queued[i] = epoch;
+                            frontier.push(Reverse((self.tables.level[i], s.cell)));
                         }
-                    } else if !queued[s.cell.index()] {
-                        queued[s.cell.index()] = true;
-                        frontier.push(Reverse((self.levels.level(s.cell), s.cell)));
+                        SINK_ENDPOINT => self.scratch.endpoint_dirty[i] = epoch,
+                        _ => {}
                     }
                 }
             }
         }
+        self.scratch.frontier = frontier;
 
-        let endpoints = std::mem::take(&mut self.endpoints);
-        for &e in &endpoints {
-            if !endpoint_dirty[e.index()] {
+        for i in 0..self.endpoints.len() {
+            let e = self.endpoints[i];
+            if self.scratch.endpoint_dirty[e.index()] != epoch {
                 continue;
             }
-            let ea = worst_input_arrival(netlist, &self.arr, &self.net_delays, e).unwrap_or(0.0)
-                + endpoint_intrinsic_delay(arch, netlist.cell(e).kind());
+            let ea = self.worst_fanin(e).unwrap_or(0.0) + self.tables.endpoint_intrinsic[e.index()];
             if (ea - self.endpoint_arr[e.index()]).abs() > EPS {
                 self.save_endpoint(e);
                 self.endpoint_arr[e.index()] = ea;
             }
         }
-        self.endpoints = endpoints;
         self.worst = self.scan_worst();
         self.worst
     }
@@ -271,30 +464,49 @@ impl TimingState {
     }
 
     fn save_arr(&mut self, cell: CellId) {
-        if let Some(j) = &mut self.journal {
-            j.arr.entry(cell.index()).or_insert(self.arr[cell.index()]);
+        if !self.undo.active {
+            return;
         }
+        let i = cell.index();
+        if self.undo.arr_stamp[i] == self.undo.generation {
+            return;
+        }
+        self.undo.arr_stamp[i] = self.undo.generation;
+        self.undo.saved_arr.push((cell, self.arr[i]));
     }
 
     fn save_endpoint(&mut self, cell: CellId) {
-        if let Some(j) = &mut self.journal {
-            j.endpoint_arr
-                .entry(cell.index())
-                .or_insert(self.endpoint_arr[cell.index()]);
+        if !self.undo.active {
+            return;
         }
+        let i = cell.index();
+        if self.undo.endpoint_stamp[i] == self.undo.generation {
+            return;
+        }
+        self.undo.endpoint_stamp[i] = self.undo.generation;
+        self.undo.saved_endpoint.push((cell, self.endpoint_arr[i]));
     }
 
+    /// Journals a net's current sink delays on first touch by *moving* the
+    /// vector into the undo log and installing a pooled replacement for the
+    /// caller to fill — no element copying either way.
     fn save_net(&mut self, net: NetId) {
-        if let Some(j) = &mut self.journal {
-            j.net_delays
-                .entry(net.index())
-                .or_insert_with(|| self.net_delays[net.index()].clone());
+        if !self.undo.active {
+            return;
         }
+        let i = net.index();
+        if self.undo.net_stamp[i] == self.undo.generation {
+            return;
+        }
+        self.undo.net_stamp[i] = self.undo.generation;
+        let fresh = self.scratch.delay_pool.pop().unwrap_or_default();
+        let old = std::mem::replace(&mut self.net_delays[i], fresh);
+        self.undo.saved_nets.push((net, old));
     }
 
     fn save_worst(&mut self) {
-        if let Some(j) = &mut self.journal {
-            j.worst.get_or_insert(self.worst);
+        if self.undo.active && self.undo.worst.is_none() {
+            self.undo.worst = Some(self.worst);
         }
     }
 }

@@ -40,4 +40,27 @@ cargo run --offline -q -p rowfpga-cli -- layout "$smoke_dir/smoke.net" \
 grep -q "stop: deadline" "$smoke_dir/resume.out" \
   || { echo "FAIL: checkpoint did not resume"; exit 1; }
 
+echo "== bench smoke (move throughput vs committed artifact, >20% gate)"
+# Release build: the committed numbers were measured in release, and the
+# gate compares against them. Quick regenerations land in the smoke dir —
+# the committed artifacts under results/ are the full-run baselines and
+# only change when a PR deliberately re-records them.
+cargo build --release --offline -q -p rowfpga-bench
+./target/release/move_throughput --quick \
+  --out "$smoke_dir/BENCH_move_throughput.json" \
+  --check results/BENCH_move_throughput.json
+./target/release/e2e --quick --out "$smoke_dir/BENCH_e2e.json"
+
+echo "== parallel determinism smoke (2 replicas, identical layouts)"
+cargo run --offline -q -p rowfpga-cli -- layout "$smoke_dir/smoke.net" \
+  --fast --seed 5 --threads 2 | sed 's/ in [0-9.]*m\?s / /' \
+  > "$smoke_dir/par1.out"
+cargo run --offline -q -p rowfpga-cli -- layout "$smoke_dir/smoke.net" \
+  --fast --seed 5 --threads 2 | sed 's/ in [0-9.]*m\?s / /' \
+  > "$smoke_dir/par2.out"
+diff "$smoke_dir/par1.out" "$smoke_dir/par2.out" \
+  || { echo "FAIL: two-replica layout not reproducible"; exit 1; }
+grep -q "routed: true" "$smoke_dir/par1.out" \
+  || { echo "FAIL: two-replica layout left nets unrouted"; exit 1; }
+
 echo "All checks passed."
