@@ -154,6 +154,20 @@ impl AnnealConfig {
         }
     }
 
+    /// A minimal profile for differential fuzzing: just enough schedule to
+    /// exercise warmup, a handful of temperatures and the termination test,
+    /// so determinism oracles can run complete anneals thousands of times.
+    /// Solution quality is irrelevant at this effort level.
+    pub fn smoke() -> Self {
+        Self {
+            moves_per_temp: 60,
+            warmup_moves: 20,
+            max_temps: 6,
+            stall_temps: 2,
+            ..Self::default()
+        }
+    }
+
     /// The classic TimberWolf guidance for the per-temperature move budget:
     /// proportional to `n^(4/3)` for `n` movable objects.
     pub fn moves_for_cells(n: usize, factor: f64) -> usize {

@@ -10,16 +10,24 @@
 //! * `worst_delay_ps` across the same rows — what the second replica and
 //!   the exchange of best layouts buy in quality.
 //!
-//! Usage: `e2e [--quick] [--seed N] [--out PATH]`
+//! Usage: `e2e [--quick] [--seed N] [--out PATH] [--check PATH]`
 //!
 //! `--quick` switches to the smoke-effort annealing profile and drops the
 //! largest design, for CI-speed runs.
+//!
+//! `--check PATH` reads a previously committed JSON at PATH *before*
+//! overwriting anything and exits non-zero if, for any (design, threads)
+//! pair present in both, the fresh run's move throughput
+//! (`total_moves / wall_sec`) regressed by more than 20 %, or a design
+//! that was fully routed no longer is. Rows are only compared when the
+//! annealing profiles match (`--quick` vs full), so pointing the quick
+//! smoke at a full-run artifact skips the gate instead of flagging noise.
 
 use std::time::Instant;
 
 use rowfpga_core::{size_architecture, SimPrConfig, SimultaneousPlaceRoute, SizingConfig};
 use rowfpga_netlist::{generate, paper_preset, GenerateConfig, Netlist, PaperBenchmark};
-use rowfpga_obs::json::Json;
+use rowfpga_obs::json::{parse, Json};
 use rowfpga_obs::Obs;
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
@@ -78,6 +86,10 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(5);
     let out = arg_value(&args, "--out").unwrap_or_else(|| "results/BENCH_e2e.json".into());
+    let baseline = arg_value(&args, "--check").map(|path| {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("--check {path}: {e}"));
+        parse(&text).unwrap_or_else(|e| panic!("--check {path}: {e}"))
+    });
 
     let mut designs: Vec<(&'static str, Netlist)> = vec![
         ("cse", generate(&paper_preset(PaperBenchmark::Cse))),
@@ -142,4 +154,56 @@ fn main() {
     ]);
     std::fs::write(&out, json.to_string_pretty() + "\n").expect("write JSON artifact");
     println!("wrote {out}");
+
+    if let Some(base) = baseline {
+        let profile = if quick { "fast" } else { "default" };
+        let base_profile = base.get("profile").and_then(Json::as_str).unwrap_or("?");
+        if base_profile != profile {
+            println!(
+                "e2e gate skipped: committed profile '{base_profile}' does not match \
+                 this run's '{profile}'"
+            );
+            return;
+        }
+        let empty: Vec<Json> = Vec::new();
+        let base_runs = base.get("runs").and_then(Json::as_arr).unwrap_or(&empty);
+        let mut failed = false;
+        for row in &rows {
+            let Some(b) = base_runs.iter().find(|r| {
+                r.get("design").and_then(Json::as_str) == Some(row.design)
+                    && r.get("threads").and_then(Json::as_u64) == Some(row.threads as u64)
+            }) else {
+                continue;
+            };
+            let committed = match (
+                b.get("total_moves").and_then(Json::as_f64),
+                b.get("wall_sec").and_then(Json::as_f64),
+            ) {
+                (Some(moves), Some(wall)) if wall > 0.0 => moves / wall,
+                _ => continue,
+            };
+            let fresh = row.total_moves as f64 / row.wall_sec;
+            let floor = committed * 0.8;
+            let tag = format!("{} threads={}", row.design, row.threads);
+            if fresh < floor {
+                eprintln!(
+                    "FAIL: e2e {tag}: {fresh:.0} moves/sec regressed >20% vs committed \
+                     {committed:.0} (floor {floor:.0})"
+                );
+                failed = true;
+            } else {
+                println!(
+                    "e2e gate OK: {tag}: {fresh:.0} moves/sec vs committed {committed:.0} \
+                     (floor {floor:.0})"
+                );
+            }
+            if b.get("fully_routed").and_then(Json::as_bool) == Some(true) && !row.fully_routed {
+                eprintln!("FAIL: e2e {tag}: design no longer fully routed");
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
 }

@@ -155,6 +155,23 @@ pub enum Command {
         /// Shared layout options.
         opts: CommonOpts,
     },
+    /// Fuzz the incremental engine against the differential oracles.
+    Fuzz {
+        /// Wall-clock budget in seconds (checked between iterations).
+        seconds: Option<u64>,
+        /// Iteration budget.
+        iters: Option<u64>,
+        /// Base seed for case and script generation.
+        seed: u64,
+        /// Directory receiving shrunk `.net` + `.repro.json` pairs.
+        corpus: Option<String>,
+        /// Smallest generated netlist, in cells.
+        min_cells: usize,
+        /// Largest generated netlist, in cells.
+        max_cells: usize,
+        /// Replay one saved repro instead of fuzzing.
+        replay: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -230,6 +247,9 @@ USAGE:
   rowfpga bench    <s1|cse|ex1|bw|s1a|big529> [--flow sim|seq] [--fast]
                    [--seed N] [--tracks N] [--svg FILE] [--ascii] [--report]
                    [--journal FILE] [--metrics] [--threads N]
+  rowfpga fuzz     [--seconds N] [--iters N] [--seed N] [--corpus DIR]
+                   [--min-cells N] [--max-cells N]
+  rowfpga fuzz     --replay FILE.repro.json
   rowfpga help
 
 PARALLELISM (simultaneous flow only):
@@ -258,6 +278,17 @@ RESILIENCE (simultaneous flow only):
 SIGINT (ctrl-c) is handled like a deadline: the current temperature
 finishes, a final checkpoint is written, and the best layout so far is
 returned with `stop: interrupted`.
+
+FUZZING:
+  rowfpga fuzz draws random architectures and netlists, replays random
+  move scripts through the incremental engine, and cross-checks every
+  iteration against from-scratch rebuilds (routing occupancy, detailed
+  routes, Elmore timing to ULP tolerance), rollback identity, checkpoint
+  round trips and crash windows, and K-replica determinism. Failures are
+  reduced to 1-minimal scripts with delta debugging and written to
+  `--corpus` as a `.net` + `.repro.json` pair; `--replay` re-runs one
+  such pair. With neither `--seconds` nor `--iters`, 20 iterations run.
+  Exit status is non-zero when any violation is found (or reproduced).
 ";
 
 fn parse_num<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> Result<T, ArgError> {
@@ -529,6 +560,79 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 .ok_or(ArgError::MissingInput)?
                 .clone();
             Ok(Command::Bench { name, opts })
+        }
+        "fuzz" => {
+            let mut seconds = None;
+            let mut iters = None;
+            let mut seed = 1u64;
+            let mut corpus = None;
+            let mut min_cells = 20usize;
+            let mut max_cells = 400usize;
+            let mut replay = None;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--seconds" => {
+                        seconds = Some(parse_num("--seconds", rest.get(i + 1))?);
+                        i += 1;
+                    }
+                    "--iters" => {
+                        iters = Some(parse_num("--iters", rest.get(i + 1))?);
+                        i += 1;
+                    }
+                    "--seed" => {
+                        seed = parse_num("--seed", rest.get(i + 1))?;
+                        i += 1;
+                    }
+                    "--corpus" => {
+                        corpus = Some(
+                            rest.get(i + 1)
+                                .ok_or_else(|| ArgError::MissingValue("--corpus".into()))?
+                                .clone(),
+                        );
+                        i += 1;
+                    }
+                    "--min-cells" => {
+                        min_cells = parse_num("--min-cells", rest.get(i + 1))?;
+                        i += 1;
+                    }
+                    "--max-cells" => {
+                        max_cells = parse_num("--max-cells", rest.get(i + 1))?;
+                        i += 1;
+                    }
+                    "--replay" => {
+                        replay = Some(
+                            rest.get(i + 1)
+                                .ok_or_else(|| ArgError::MissingValue("--replay".into()))?
+                                .clone(),
+                        );
+                        i += 1;
+                    }
+                    other => return Err(ArgError::UnknownFlag(other.into())),
+                }
+                i += 1;
+            }
+            if min_cells > max_cells {
+                return Err(ArgError::Conflict {
+                    detail: format!("`--min-cells {min_cells}` exceeds `--max-cells {max_cells}`"),
+                });
+            }
+            if replay.is_some() && (seconds.is_some() || iters.is_some() || corpus.is_some()) {
+                return Err(ArgError::Conflict {
+                    detail: "`--replay` re-runs one saved repro; the campaign flags \
+                             `--seconds`/`--iters`/`--corpus` do not apply"
+                        .into(),
+                });
+            }
+            Ok(Command::Fuzz {
+                seconds,
+                iters,
+                seed,
+                corpus,
+                min_cells,
+                max_cells,
+                replay,
+            })
         }
         other => Err(ArgError::UnknownCommand(other.into())),
     }
@@ -819,6 +923,80 @@ mod tests {
             parse_args(&v(&["layout", "d.net", "--deadline", "-1"])).unwrap_err(),
             ArgError::BadValue { .. }
         ));
+    }
+
+    #[test]
+    fn parses_fuzz() {
+        match parse_args(&v(&["fuzz"])).unwrap() {
+            Command::Fuzz {
+                seconds,
+                iters,
+                seed,
+                corpus,
+                min_cells,
+                max_cells,
+                replay,
+            } => {
+                assert_eq!(seconds, None);
+                assert_eq!(iters, None);
+                assert_eq!(seed, 1);
+                assert_eq!(corpus, None);
+                assert_eq!(min_cells, 20);
+                assert_eq!(max_cells, 400);
+                assert_eq!(replay, None);
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse_args(&v(&[
+            "fuzz",
+            "--seconds",
+            "60",
+            "--seed",
+            "7",
+            "--corpus",
+            "corpus/",
+            "--min-cells",
+            "30",
+            "--max-cells",
+            "90",
+        ]))
+        .unwrap()
+        {
+            Command::Fuzz {
+                seconds,
+                seed,
+                corpus,
+                min_cells,
+                max_cells,
+                ..
+            } => {
+                assert_eq!(seconds, Some(60));
+                assert_eq!(seed, 7);
+                assert_eq!(corpus.as_deref(), Some("corpus/"));
+                assert_eq!(min_cells, 30);
+                assert_eq!(max_cells, 90);
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse_args(&v(&["fuzz", "--replay", "x.repro.json"])).unwrap() {
+            Command::Fuzz { replay, .. } => {
+                assert_eq!(replay.as_deref(), Some("x.repro.json"));
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(matches!(
+            parse_args(&v(&["fuzz", "--replay", "x.json", "--iters", "3"])).unwrap_err(),
+            ArgError::Conflict { .. }
+        ));
+        assert!(matches!(
+            parse_args(&v(&["fuzz", "--min-cells", "50", "--max-cells", "20"])).unwrap_err(),
+            ArgError::Conflict { .. }
+        ));
+        assert!(matches!(
+            parse_args(&v(&["fuzz", "--bogus"])).unwrap_err(),
+            ArgError::UnknownFlag(_)
+        ));
+        assert!(USAGE.contains("rowfpga fuzz"));
     }
 
     #[test]

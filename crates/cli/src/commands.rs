@@ -34,6 +34,11 @@ pub enum CliError {
         /// Scan start.
         start: usize,
     },
+    /// The fuzzer found (or a replay reproduced) oracle violations.
+    FuzzViolations {
+        /// How many violations were found.
+        count: usize,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -50,6 +55,9 @@ impl fmt::Display for CliError {
             }
             CliError::Unroutable { start } => {
                 write!(f, "design is unroutable even at {start} tracks/channel")
+            }
+            CliError::FuzzViolations { count } => {
+                write!(f, "fuzzing found {count} oracle violation(s)")
             }
         }
     }
@@ -353,6 +361,69 @@ pub fn run_command_with_stop(
             print_layout_outputs(&arch, &netlist, &result, opts, out)?;
             print_obs_outputs(&obs, opts, out)
         }
+        Command::Fuzz {
+            seconds,
+            iters,
+            seed,
+            corpus,
+            min_cells,
+            max_cells,
+            replay,
+        } => {
+            if let Some(path) = replay {
+                let reproduced = rowfpga_verify::replay_repro(std::path::Path::new(path))
+                    .map_err(CliError::Parse)?;
+                return match reproduced {
+                    Some(failure) => {
+                        writeln!(out, "reproduced: {failure}")?;
+                        Err(CliError::FuzzViolations { count: 1 })
+                    }
+                    None => {
+                        writeln!(out, "{path}: replays cleanly, no violation")?;
+                        Ok(())
+                    }
+                };
+            }
+            let cfg = rowfpga_verify::FuzzConfig {
+                seed: *seed,
+                iters: *iters,
+                seconds: *seconds,
+                corpus: corpus.as_ref().map(std::path::PathBuf::from),
+                cells: rowfpga_verify::CaseConfig {
+                    min_cells: *min_cells,
+                    max_cells: *max_cells,
+                },
+            };
+            let report = rowfpga_verify::run_fuzz(&cfg, |line| {
+                let _ = writeln!(out, "{line}");
+            });
+            writeln!(
+                out,
+                "fuzz: {} iterations, {} ops replayed, {} violation(s)",
+                report.iterations,
+                report.ops_replayed,
+                report.failures.len()
+            )?;
+            if report.clean() {
+                Ok(())
+            } else {
+                for f in &report.failures {
+                    match &f.repro_path {
+                        Some(p) => writeln!(
+                            out,
+                            "  iter {}: {} -> {}",
+                            f.iteration,
+                            f.failure,
+                            p.display()
+                        )?,
+                        None => writeln!(out, "  iter {}: {}", f.iteration, f.failure)?,
+                    }
+                }
+                Err(CliError::FuzzViolations {
+                    count: report.failures.len(),
+                })
+            }
+        }
     }
 }
 
@@ -376,6 +447,30 @@ mod tests {
     fn help_prints_usage() {
         let out = run(&["help"]).unwrap();
         assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn fuzz_smoke_runs_clean() {
+        let out = run(&[
+            "fuzz",
+            "--iters",
+            "1",
+            "--seed",
+            "3",
+            "--min-cells",
+            "20",
+            "--max-cells",
+            "40",
+        ])
+        .unwrap();
+        assert!(out.contains("fuzz: 1 iterations"));
+        assert!(out.contains("0 violation(s)"));
+    }
+
+    #[test]
+    fn fuzz_replay_of_a_missing_file_is_a_parse_error() {
+        let err = run(&["fuzz", "--replay", "/nonexistent/x.repro.json"]).unwrap_err();
+        assert!(matches!(err, CliError::Parse(_)));
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub use problem::LayoutProblem;
 pub use render::{render_ascii, render_svg};
 pub use sizing::{size_architecture, SizingConfig};
 pub use snapshot::{
-    arch_fingerprint, netlist_fingerprint, BestLayout, Checkpoint, CheckpointError,
-    ProblemSnapshot, WriteFault, CHECKPOINT_FORMAT, CHECKPOINT_VERSION,
+    arch_fingerprint, netlist_fingerprint, temp_path as checkpoint_temp_path, BestLayout,
+    Checkpoint, CheckpointError, ProblemSnapshot, WriteFault, CHECKPOINT_FORMAT,
+    CHECKPOINT_VERSION,
 };

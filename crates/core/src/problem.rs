@@ -270,53 +270,28 @@ impl<'a> LayoutProblem<'a> {
         self.routing = routing;
         self.rebuild_timing()
     }
-}
 
-#[cfg(feature = "fault-inject")]
-impl LayoutProblem<'_> {
-    /// Applies one injected state corruption through the routing and
-    /// timing crates' fault hooks. Returns `false` when the fault found
-    /// nothing to corrupt (e.g. no claimed segments yet).
-    pub fn inject_fault(&mut self, fault: &crate::fault::InjectedFault) -> bool {
-        use crate::fault::InjectedFault;
-        match *fault {
-            InjectedFault::RouteOwner { nth } => self.routing.fault_clear_hseg_owner(nth),
-            InjectedFault::RouteRun { nth } => self.routing.fault_truncate_run(nth),
-            InjectedFault::RouteCounter => {
-                self.routing.fault_skew_incomplete();
-                true
-            }
-            InjectedFault::TimingWorst { delta_ps } => {
-                self.timing.fault_skew_worst(delta_ps);
-                true
-            }
-            InjectedFault::TimingArrival { cell, delta_ps } => {
-                self.timing.fault_skew_arrival(cell, delta_ps);
-                true
-            }
-            InjectedFault::CheckpointShortWrite | InjectedFault::CheckpointSkipRename => false,
-        }
+    /// Applies one *specific* move through the full incremental cascade
+    /// (perturb → rip up → global reroute → detail reroute → STA frontier)
+    /// and returns the applied record plus the weighted cost delta, exactly
+    /// as [`AnnealProblem::propose_and_apply`] would for the same move.
+    ///
+    /// This is the scripted-replay entry point used by differential fuzzing
+    /// and delta-debugging: a recorded move sequence can be re-executed
+    /// independently of any RNG state. The caller must still
+    /// [`commit`](AnnealProblem::commit) or [`undo`](AnnealProblem::undo)
+    /// the returned record; the transaction discipline is identical to the
+    /// annealer's.
+    pub fn apply_move(&mut self, mv: Move) -> (AppliedLayoutMove, f64) {
+        self.run_cascade(mv)
     }
-}
 
-impl AnnealProblem for LayoutProblem<'_> {
-    type Applied = AppliedLayoutMove;
-
-    fn propose_and_apply(&mut self, rng: &mut StdRng) -> (AppliedLayoutMove, f64) {
+    /// The shared move cascade body (steps 2–6 of the paper's recipe).
+    fn run_cascade(&mut self, mv: Move) -> (AppliedLayoutMove, f64) {
         let g0 = self.routing.globally_unrouted();
         let d0 = self.routing.incomplete();
         let t0 = self.timing.worst();
 
-        let window = (self.window < self.mover.max_window()).then_some(self.window);
-        let mv = self
-            .mover
-            .propose_in_window(self.netlist, &self.placement, rng, window);
-        if self.obs.enabled() {
-            self.obs.inc(match &mv {
-                Move::Exchange { .. } => "move.proposed.exchange",
-                Move::Pinmap { .. } => "move.proposed.pinmap",
-            });
-        }
         self.routing.begin_txn();
         self.timing.begin_txn();
         mv.apply(self.arch, self.netlist, &mut self.placement);
@@ -359,6 +334,51 @@ impl AnnealProblem for LayoutProblem<'_> {
             .record(g1 as f64 - g0 as f64, d1 as f64 - d0 as f64, t1 - t0);
         let delta = self.weights.cost(g1, d1, t1) - self.weights.cost(g0, d0, t0);
         (AppliedLayoutMove { mv }, delta)
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+impl LayoutProblem<'_> {
+    /// Applies one injected state corruption through the routing and
+    /// timing crates' fault hooks. Returns `false` when the fault found
+    /// nothing to corrupt (e.g. no claimed segments yet).
+    pub fn inject_fault(&mut self, fault: &crate::fault::InjectedFault) -> bool {
+        use crate::fault::InjectedFault;
+        match *fault {
+            InjectedFault::RouteOwner { nth } => self.routing.fault_clear_hseg_owner(nth),
+            InjectedFault::RouteRun { nth } => self.routing.fault_truncate_run(nth),
+            InjectedFault::RouteCounter => {
+                self.routing.fault_skew_incomplete();
+                true
+            }
+            InjectedFault::TimingWorst { delta_ps } => {
+                self.timing.fault_skew_worst(delta_ps);
+                true
+            }
+            InjectedFault::TimingArrival { cell, delta_ps } => {
+                self.timing.fault_skew_arrival(cell, delta_ps);
+                true
+            }
+            InjectedFault::CheckpointShortWrite | InjectedFault::CheckpointSkipRename => false,
+        }
+    }
+}
+
+impl AnnealProblem for LayoutProblem<'_> {
+    type Applied = AppliedLayoutMove;
+
+    fn propose_and_apply(&mut self, rng: &mut StdRng) -> (AppliedLayoutMove, f64) {
+        let window = (self.window < self.mover.max_window()).then_some(self.window);
+        let mv = self
+            .mover
+            .propose_in_window(self.netlist, &self.placement, rng, window);
+        if self.obs.enabled() {
+            self.obs.inc(match &mv {
+                Move::Exchange { .. } => "move.proposed.exchange",
+                Move::Pinmap { .. } => "move.proposed.pinmap",
+            });
+        }
+        self.run_cascade(mv)
     }
 
     fn undo(&mut self, applied: AppliedLayoutMove) {

@@ -324,17 +324,39 @@ impl Placement {
     /// Verifies all legality invariants against the architecture and
     /// netlist; used by tests and debug assertions.
     pub fn check_invariants(&self, arch: &Architecture, netlist: &Netlist) -> bool {
+        self.check_invariants_detailed(arch, netlist).is_ok()
+    }
+
+    /// Like [`Placement::check_invariants`], but names the first broken
+    /// invariant — the form the fuzzing oracles report and shrink against.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violation found: a broken
+    /// cell↔site bijection, a stale occupant entry, a kind-incompatible
+    /// site assignment, or an out-of-palette pinmap choice.
+    pub fn check_invariants_detailed(
+        &self,
+        arch: &Architecture,
+        netlist: &Netlist,
+    ) -> Result<(), String> {
         let geom = arch.geometry();
         // bijection
         for (id, _) in netlist.cells() {
             let site = self.site_of[id.index()];
             if self.cell_at[site.index()] != Some(id) {
-                return false;
+                return Err(format!(
+                    "cell {id} maps to site {site}, but the site records occupant {:?}",
+                    self.cell_at[site.index()]
+                ));
             }
         }
         let occupied = self.cell_at.iter().flatten().count();
         if occupied != netlist.num_cells() {
-            return false;
+            return Err(format!(
+                "{occupied} sites record occupants but the netlist has {} cells",
+                netlist.num_cells()
+            ));
         }
         // kind compatibility + pinmap validity
         for (id, cell) in netlist.cells() {
@@ -345,13 +367,21 @@ impl Placement {
                 SiteKind::Logic
             };
             if site.kind() != want {
-                return false;
+                return Err(format!(
+                    "cell {id} ({:?}) sits on a {:?} site, needs {want:?}",
+                    cell.kind(),
+                    site.kind()
+                ));
             }
-            if self.pinmap_choice[id.index()] as usize >= self.palettes[&cell.kind()].len() {
-                return false;
+            let palette_len = self.palettes[&cell.kind()].len();
+            if self.pinmap_choice[id.index()] as usize >= palette_len {
+                return Err(format!(
+                    "cell {id} pinmap index {} out of palette (len {palette_len})",
+                    self.pinmap_choice[id.index()]
+                ));
             }
         }
-        true
+        Ok(())
     }
 }
 

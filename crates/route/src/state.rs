@@ -1144,6 +1144,33 @@ impl RoutingState {
 }
 
 impl RoutingState {
+    /// A 64-bit FNV-1a digest over the complete occupancy state: both
+    /// segment-owner arrays plus the globally-unrouted and incomplete
+    /// counters. Two states with equal digests hold (up to hash collision)
+    /// identical segment ownership; the differential fuzzer uses this for
+    /// cheap whole-state equality between an incremental state and a
+    /// from-scratch rebuild.
+    pub fn occupancy_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for owner in self.hseg_owner.iter().chain(self.vseg_owner.iter()) {
+            eat(match owner {
+                Some(net) => net.index() as u64 + 1,
+                None => 0,
+            });
+        }
+        eat(self.ug.len() as u64);
+        eat(self.incomplete as u64);
+        h
+    }
+
     /// Exports every net's route as plain data, in net-id order — the
     /// routing half of a layout checkpoint.
     pub fn export_routes(&self) -> Vec<NetRouteSnapshot> {

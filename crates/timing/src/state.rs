@@ -284,6 +284,14 @@ impl TimingState {
         &self.net_delays[net.index()]
     }
 
+    /// Every cell's output arrival time, indexed by cell id — the dense
+    /// view behind [`TimingState::arrival`]. Differential oracles digest
+    /// this slice to compare an incremental state against a from-scratch
+    /// analysis without one accessor call per cell.
+    pub fn arrivals(&self) -> &[f64] {
+        &self.arr
+    }
+
     /// Cells processed by the propagation frontier of the most recent
     /// [`TimingState::update_nets`] call (0 if it had nothing to do). A
     /// cheap proxy for how far a move's timing disturbance traveled.

@@ -1,0 +1,234 @@
+//! Replayable move scripts.
+//!
+//! The annealer proposes moves from an RNG, which makes a failing run
+//! impossible to shrink: removing one move changes every later draw. A
+//! [`MoveScript`] instead records *concrete* operations — site pairs and
+//! pinmap targets — that stay legal under any subsequence:
+//!
+//! * an `Exchange` pairs two same-kind sites; swapping them is legal no
+//!   matter which cells (or holes) currently sit there, and
+//! * a `Pinmap` records only the *target* palette index; the undo index is
+//!   re-read from the live placement at replay time, so dropping an earlier
+//!   pinmap move on the same cell cannot corrupt a later one.
+//!
+//! Scripts replay through [`LayoutProblem::apply_move`], driving the exact
+//! same incremental cascade the annealer uses.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rowfpga_arch::{SiteId, SiteKind};
+use rowfpga_core::LayoutProblem;
+use rowfpga_netlist::{pinmap_palette, CellId};
+use rowfpga_place::Move;
+
+use crate::gen::FuzzCase;
+
+/// One recorded operation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ScriptOp {
+    /// Exchange the occupants of two same-kind sites, then commit or undo.
+    Exchange {
+        /// First site index.
+        a: usize,
+        /// Second site index.
+        b: usize,
+        /// Whether the move was committed (`true`) or rolled back.
+        accept: bool,
+    },
+    /// Re-pin a cell to palette index `to`, then commit or undo.
+    Pinmap {
+        /// Cell index.
+        cell: usize,
+        /// Target palette index.
+        to: u16,
+        /// Whether the move was committed (`true`) or rolled back.
+        accept: bool,
+    },
+    /// Corrupt the incremental state through a fault-injection hook. Only
+    /// present in fault-injection fuzzing; a script containing one *must*
+    /// subsequently fail the oracle suite.
+    #[cfg(feature = "fault-inject")]
+    Fault(rowfpga_core::InjectedFault),
+}
+
+impl ScriptOp {
+    /// Whether this op commits (vs rolls back) its move. Fault ops report
+    /// `true` (they are never rolled back).
+    pub fn accepts(&self) -> bool {
+        match *self {
+            ScriptOp::Exchange { accept, .. } | ScriptOp::Pinmap { accept, .. } => accept,
+            #[cfg(feature = "fault-inject")]
+            ScriptOp::Fault(_) => true,
+        }
+    }
+}
+
+/// A recorded, replayable move sequence.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MoveScript {
+    /// The operations, in replay order.
+    pub ops: Vec<ScriptOp>,
+}
+
+impl MoveScript {
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Draws a random script of `len` operations for `case`, deterministic in
+/// `seed`. Mirrors the annealer's move mix (~85% exchanges / 15% pinmaps),
+/// including hole translations (an exchange with an empty site) and
+/// same-kind IO moves. Roughly 60% of moves are accepted so the replayed
+/// trajectory both commits and rolls back work.
+pub fn random_script(case: &FuzzCase, seed: u64, len: usize) -> MoveScript {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5c41_f7ed_0000_0001);
+    let geom = case.arch.geometry();
+    let logic: Vec<usize> = geom
+        .sites_of_kind(SiteKind::Logic)
+        .map(|s| s.id().index())
+        .collect();
+    let io: Vec<usize> = geom
+        .sites_of_kind(SiteKind::Io)
+        .map(|s| s.id().index())
+        .collect();
+    // Cells whose pinmap palette has more than one entry.
+    let repinnable: Vec<(usize, u16)> = case
+        .netlist
+        .cells()
+        .filter_map(|(id, cell)| {
+            let n = pinmap_palette(cell.kind()).len();
+            (n > 1).then_some((id.index(), n as u16))
+        })
+        .collect();
+    let mut ops = Vec::with_capacity(len);
+    while ops.len() < len {
+        let accept = rng.gen_bool(0.6);
+        if !repinnable.is_empty() && rng.gen_bool(0.15) {
+            let (cell, palette) = repinnable[rng.gen_range(0..repinnable.len())];
+            ops.push(ScriptOp::Pinmap {
+                cell,
+                to: rng.gen_range(0..palette),
+                accept,
+            });
+        } else {
+            let pool = if !io.is_empty() && rng.gen_bool(0.2) {
+                &io
+            } else {
+                &logic
+            };
+            if pool.len() < 2 {
+                continue;
+            }
+            let a = pool[rng.gen_range(0..pool.len())];
+            let mut b = pool[rng.gen_range(0..pool.len())];
+            while b == a {
+                b = pool[rng.gen_range(0..pool.len())];
+            }
+            ops.push(ScriptOp::Exchange { a, b, accept });
+        }
+    }
+    MoveScript { ops }
+}
+
+/// Resolves one script op into a concrete [`Move`] against the live
+/// placement (re-reading the pinmap undo index). Returns `None` for ops
+/// that do not map to a placement move (fault injections).
+pub fn op_to_move(op: &ScriptOp, problem: &LayoutProblem) -> Option<Move> {
+    match *op {
+        ScriptOp::Exchange { a, b, .. } => Some(Move::Exchange {
+            a: SiteId::new(a),
+            b: SiteId::new(b),
+        }),
+        ScriptOp::Pinmap { cell, to, .. } => {
+            let cell_id = CellId::new(cell);
+            Some(Move::Pinmap {
+                cell: cell_id,
+                from: problem.placement().pinmap_index(cell_id),
+                to,
+            })
+        }
+        #[cfg(feature = "fault-inject")]
+        ScriptOp::Fault(_) => None,
+    }
+}
+
+/// Replays `ops` on `problem` through the full incremental cascade,
+/// committing or rolling back each move as recorded. Fault ops are injected
+/// through the state-corruption hooks.
+pub fn replay(problem: &mut LayoutProblem, ops: &[ScriptOp]) {
+    use rowfpga_anneal::AnnealProblem;
+    for op in ops {
+        #[cfg(feature = "fault-inject")]
+        if let ScriptOp::Fault(fault) = op {
+            problem.inject_fault(fault);
+            continue;
+        }
+        if let Some(mv) = op_to_move(op, problem) {
+            let (applied, _) = problem.apply_move(mv);
+            if op.accepts() {
+                problem.commit(applied);
+            } else {
+                problem.undo(applied);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{random_case, CaseConfig};
+    use rowfpga_core::{CostConfig, LayoutProblem};
+    use rowfpga_place::MoveWeights;
+    use rowfpga_route::RouterConfig;
+
+    #[test]
+    fn scripts_are_deterministic_and_sized() {
+        let case = random_case(3, &CaseConfig::default());
+        let a = random_script(&case, 11, 64);
+        let b = random_script(&case, 11, 64);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 64);
+        assert_ne!(a, random_script(&case, 12, 64));
+    }
+
+    #[test]
+    fn any_subsequence_replays_legally() {
+        let case = random_case(
+            5,
+            &CaseConfig {
+                min_cells: 20,
+                max_cells: 60,
+            },
+        );
+        let script = random_script(&case, 9, 40);
+        // Full script, every other op, and a sparse subsequence must all
+        // leave a placement satisfying its invariants.
+        for step in [1usize, 2, 7] {
+            let ops: Vec<ScriptOp> = script.ops.iter().step_by(step).copied().collect();
+            let mut problem = LayoutProblem::new(
+                &case.arch,
+                &case.netlist,
+                RouterConfig::default(),
+                CostConfig::default(),
+                MoveWeights::default(),
+                1,
+            )
+            .unwrap();
+            replay(&mut problem, &ops);
+            problem
+                .placement()
+                .check_invariants_detailed(&case.arch, &case.netlist)
+                .unwrap();
+            problem.audit().unwrap();
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! Delta-debugging reduction of failing move scripts.
+//!
+//! Classic ddmin over the operation list: because every [`ScriptOp`]
+//! subsequence replays legally (see [`crate::script`]), the shrinker can
+//! drop arbitrary chunks and re-run the failure predicate, converging on a
+//! 1-minimal script — removing any single remaining op makes the failure
+//! disappear.
+
+use crate::script::ScriptOp;
+
+/// Reduces `ops` to a 1-minimal subsequence still satisfying `fails`.
+///
+/// `fails` must be deterministic and must hold for `ops` itself (if it does
+/// not, the input is returned unchanged). The returned script always
+/// satisfies `fails`.
+pub fn ddmin<F>(ops: &[ScriptOp], mut fails: F) -> Vec<ScriptOp>
+where
+    F: FnMut(&[ScriptOp]) -> bool,
+{
+    if !fails(ops) {
+        return ops.to_vec();
+    }
+    let mut current: Vec<ScriptOp> = ops.to_vec();
+    let mut granularity = 2usize;
+    while current.len() >= 2 {
+        let chunk = current.len().div_ceil(granularity);
+        let mut reduced = false;
+        // Try each complement (drop one chunk at a time).
+        let mut start = 0usize;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let complement: Vec<ScriptOp> = current[..start]
+                .iter()
+                .chain(&current[end..])
+                .copied()
+                .collect();
+            if !complement.is_empty() && fails(&complement) {
+                current = complement;
+                granularity = granularity.saturating_sub(1).max(2);
+                reduced = true;
+                break;
+            }
+            start = end;
+        }
+        if reduced {
+            continue;
+        }
+        if granularity >= current.len() {
+            break;
+        }
+        granularity = (granularity * 2).min(current.len());
+    }
+    // Final polish: greedy single-op removal until 1-minimal.
+    let mut i = 0;
+    while current.len() > 1 && i < current.len() {
+        let mut candidate = current.clone();
+        candidate.remove(i);
+        if fails(&candidate) {
+            current = candidate;
+        } else {
+            i += 1;
+        }
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exchange(a: usize) -> ScriptOp {
+        ScriptOp::Exchange {
+            a,
+            b: a + 1,
+            accept: true,
+        }
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        let ops: Vec<ScriptOp> = (0..128).map(exchange).collect();
+        // "Fails" iff op with a == 77 is present.
+        let result = ddmin(&ops, |s| {
+            s.iter()
+                .any(|op| matches!(op, ScriptOp::Exchange { a: 77, .. }))
+        });
+        assert_eq!(result, vec![exchange(77)]);
+    }
+
+    #[test]
+    fn shrinks_interacting_pairs() {
+        let ops: Vec<ScriptOp> = (0..64).map(exchange).collect();
+        // Fails iff ops 3 and 40 are both present, in order.
+        let result = ddmin(&ops, |s| {
+            let has = |k: usize| {
+                s.iter()
+                    .any(|op| matches!(op, ScriptOp::Exchange { a, .. } if *a == k))
+            };
+            has(3) && has(40)
+        });
+        assert_eq!(result, vec![exchange(3), exchange(40)]);
+    }
+
+    #[test]
+    fn non_failing_input_is_returned_unchanged() {
+        let ops: Vec<ScriptOp> = (0..8).map(exchange).collect();
+        assert_eq!(ddmin(&ops, |_| false), ops);
+    }
+
+    #[test]
+    fn preserves_op_order() {
+        let ops: Vec<ScriptOp> = (0..32).map(exchange).collect();
+        let result = ddmin(&ops, |s| {
+            let pos = |k: usize| {
+                s.iter()
+                    .position(|op| matches!(op, ScriptOp::Exchange { a, .. } if *a == k))
+            };
+            matches!((pos(5), pos(20)), (Some(i), Some(j)) if i < j)
+        });
+        assert_eq!(result, vec![exchange(5), exchange(20)]);
+    }
+}

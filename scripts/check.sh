@@ -1,66 +1,146 @@
 #!/usr/bin/env bash
-# Repo gate: formatting, lints, the full test suite, the fault-injection
-# suite, and a deadline/checkpoint/resume smoke run of the real binary.
-# Run from the repository root: ./scripts/check.sh
+# Repo gate: formatting, lints, the full test suite (including the
+# fault-injection and fuzzing harnesses), resilience/determinism smoke runs
+# of the real binary, benchmark regression gates, and a short fuzz
+# campaign.
+#
+# Usage: ./scripts/check.sh [--quick|--full] [STEP...]
+#
+#   --quick      lint + tests only (the pre-commit gate)
+#   --full       everything (the default; what CI runs across its jobs)
+#   STEP...      run only the named steps: lint test smoke bench fuzz
+#
+# The script is TTY-free (no colors, no interactivity) and honors
+# CARGO_TARGET_DIR for the release binaries it invokes.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check"
-cargo fmt --all -- --check
+target_dir="${CARGO_TARGET_DIR:-target}"
+export CARGO_TERM_COLOR="${CARGO_TERM_COLOR:-never}"
 
-echo "== cargo clippy (deny warnings)"
-cargo clippy --workspace --all-targets --offline -- -D warnings
+mode=full
+steps=()
+for arg in "$@"; do
+  case "$arg" in
+    --quick) mode=quick ;;
+    --full) mode=full ;;
+    lint|test|smoke|bench|fuzz) steps+=("$arg") ;;
+    *)
+      echo "unknown argument: $arg" >&2
+      echo "usage: $0 [--quick|--full] [lint|test|smoke|bench|fuzz ...]" >&2
+      exit 2
+      ;;
+  esac
+done
+if [ "${#steps[@]}" -eq 0 ]; then
+  if [ "$mode" = quick ]; then
+    steps=(lint test)
+  else
+    steps=(lint test smoke bench fuzz)
+  fi
+fi
 
-echo "== cargo test"
-cargo test --workspace --offline -q
+want() {
+  local s
+  for s in "${steps[@]}"; do [ "$s" = "$1" ] && return 0; done
+  return 1
+}
 
-echo "== cargo test (fault injection)"
-cargo test -p rowfpga-core --features fault-inject --offline -q
+run_cli() {
+  cargo run --offline -q -p rowfpga-cli -- "$@"
+}
 
-echo "== resilience smoke (2 s deadline -> checkpoint -> resume)"
-smoke_dir="$(mktemp -d)"
-trap 'rm -rf "$smoke_dir"' EXIT
-cargo run --offline -q -p rowfpga-cli -- generate \
-  --cells 120 --inputs 8 --outputs 8 --seq 6 --seed 7 \
-  -o "$smoke_dir/smoke.net"
-# A full-effort run on this design takes well over two seconds, so the
-# deadline must trip, degrade gracefully and leave a final checkpoint.
-cargo run --offline -q -p rowfpga-cli -- layout "$smoke_dir/smoke.net" \
-  --deadline 2 --checkpoint "$smoke_dir/smoke.ckpt" \
-  | tee "$smoke_dir/smoke.out"
-grep -q "stop: deadline" "$smoke_dir/smoke.out" \
-  || { echo "FAIL: 2 s deadline did not stop the run"; exit 1; }
-grep -q '"format": *"rowfpga-checkpoint"' "$smoke_dir/smoke.ckpt" \
-  || { echo "FAIL: no valid checkpoint after deadline stop"; exit 1; }
-# The checkpoint must load and resume (a zero deadline proves loading
-# without paying for the rest of the anneal).
-cargo run --offline -q -p rowfpga-cli -- layout "$smoke_dir/smoke.net" \
-  --resume "$smoke_dir/smoke.ckpt" --deadline 0 \
-  | tee "$smoke_dir/resume.out"
-grep -q "stop: deadline" "$smoke_dir/resume.out" \
-  || { echo "FAIL: checkpoint did not resume"; exit 1; }
+if want lint; then
+  echo "== cargo fmt --check"
+  cargo fmt --all -- --check
 
-echo "== bench smoke (move throughput vs committed artifact, >20% gate)"
-# Release build: the committed numbers were measured in release, and the
-# gate compares against them. Quick regenerations land in the smoke dir —
-# the committed artifacts under results/ are the full-run baselines and
-# only change when a PR deliberately re-records them.
-cargo build --release --offline -q -p rowfpga-bench
-./target/release/move_throughput --quick \
-  --out "$smoke_dir/BENCH_move_throughput.json" \
-  --check results/BENCH_move_throughput.json
-./target/release/e2e --quick --out "$smoke_dir/BENCH_e2e.json"
+  echo "== cargo clippy (deny warnings)"
+  cargo clippy --workspace --all-targets --offline -- -D warnings
+fi
 
-echo "== parallel determinism smoke (2 replicas, identical layouts)"
-cargo run --offline -q -p rowfpga-cli -- layout "$smoke_dir/smoke.net" \
-  --fast --seed 5 --threads 2 | sed 's/ in [0-9.]*m\?s / /' \
-  > "$smoke_dir/par1.out"
-cargo run --offline -q -p rowfpga-cli -- layout "$smoke_dir/smoke.net" \
-  --fast --seed 5 --threads 2 | sed 's/ in [0-9.]*m\?s / /' \
-  > "$smoke_dir/par2.out"
-diff "$smoke_dir/par1.out" "$smoke_dir/par2.out" \
-  || { echo "FAIL: two-replica layout not reproducible"; exit 1; }
-grep -q "routed: true" "$smoke_dir/par1.out" \
-  || { echo "FAIL: two-replica layout left nets unrouted"; exit 1; }
+if want test; then
+  echo "== cargo test"
+  cargo test --workspace --offline -q
+
+  echo "== cargo test (fault injection: engine self-repair suite)"
+  cargo test -p rowfpga-core --features fault-inject --offline -q
+
+  echo "== cargo test (fault injection: fuzz-harness detection suite)"
+  cargo test -p rowfpga-verify --features fault-inject --offline -q
+fi
+
+smoke_dir=""
+if want smoke || want fuzz || want bench; then
+  smoke_dir="$(mktemp -d)"
+  trap 'rm -rf "$smoke_dir"' EXIT
+fi
+
+if want smoke; then
+  echo "== resilience smoke (2 s deadline -> checkpoint -> resume)"
+  run_cli generate \
+    --cells 120 --inputs 8 --outputs 8 --seq 6 --seed 7 \
+    -o "$smoke_dir/smoke.net"
+  # A full-effort run on this design takes well over two seconds, so the
+  # deadline must trip, degrade gracefully and leave a final checkpoint.
+  run_cli layout "$smoke_dir/smoke.net" \
+    --deadline 2 --checkpoint "$smoke_dir/smoke.ckpt" \
+    > "$smoke_dir/smoke.out"
+  cat "$smoke_dir/smoke.out"
+  grep -q "stop: deadline" "$smoke_dir/smoke.out" \
+    || { echo "FAIL: 2 s deadline did not stop the run"; exit 1; }
+  grep -q '"format": *"rowfpga-checkpoint"' "$smoke_dir/smoke.ckpt" \
+    || { echo "FAIL: no valid checkpoint after deadline stop"; exit 1; }
+  # The checkpoint must load and resume (a zero deadline proves loading
+  # without paying for the rest of the anneal).
+  run_cli layout "$smoke_dir/smoke.net" \
+    --resume "$smoke_dir/smoke.ckpt" --deadline 0 \
+    > "$smoke_dir/resume.out"
+  cat "$smoke_dir/resume.out"
+  grep -q "stop: deadline" "$smoke_dir/resume.out" \
+    || { echo "FAIL: checkpoint did not resume"; exit 1; }
+
+  echo "== parallel determinism smoke (2 replicas, identical layouts)"
+  run_cli layout "$smoke_dir/smoke.net" \
+    --fast --seed 5 --threads 2 | sed 's/ in [0-9.]*m\?s / /' \
+    > "$smoke_dir/par1.out"
+  run_cli layout "$smoke_dir/smoke.net" \
+    --fast --seed 5 --threads 2 | sed 's/ in [0-9.]*m\?s / /' \
+    > "$smoke_dir/par2.out"
+  diff "$smoke_dir/par1.out" "$smoke_dir/par2.out" \
+    || { echo "FAIL: two-replica layout not reproducible"; exit 1; }
+  grep -q "routed: true" "$smoke_dir/par1.out" \
+    || { echo "FAIL: two-replica layout left nets unrouted"; exit 1; }
+fi
+
+if want bench; then
+  echo "== bench smoke (throughput vs committed artifacts, >20% gates)"
+  # Release build: the committed numbers were measured in release, and the
+  # gates compare against them. Quick regenerations land in the temp dir —
+  # the committed artifacts under results/ are the recorded baselines and
+  # only change when a PR deliberately re-records them.
+  cargo build --release --offline -q -p rowfpga-bench
+  "$target_dir/release/move_throughput" --quick \
+    --out "$smoke_dir/BENCH_move_throughput.json" \
+    --check results/BENCH_move_throughput.json
+  "$target_dir/release/e2e" --quick \
+    --out "$smoke_dir/BENCH_e2e.json" \
+    --check results/BENCH_e2e_quick.json
+fi
+
+if want fuzz; then
+  echo "== fuzz smoke (3 seeds x 20 s differential fuzzing)"
+  cargo build --release --offline -q -p rowfpga-cli
+  for seed in 1 2 3; do
+    "$target_dir/release/rowfpga" fuzz --seconds 20 --seed "$seed" \
+      --max-cells 120 --corpus "$smoke_dir/corpus" \
+      > "$smoke_dir/fuzz$seed.out" \
+      || { cat "$smoke_dir/fuzz$seed.out"
+           echo "FAIL: fuzz seed $seed found violations"; exit 1; }
+    tail -n 1 "$smoke_dir/fuzz$seed.out"
+  done
+  if [ -d "$smoke_dir/corpus" ] && [ -n "$(ls -A "$smoke_dir/corpus")" ]; then
+    echo "FAIL: fuzz smoke left repros in the corpus"; exit 1
+  fi
+fi
 
 echo "All checks passed."

@@ -7,6 +7,7 @@ use rowfpga::place::Placement;
 use rowfpga::route::{
     net_requirements, route_batch, verify_routing, NetRouteState, RouterConfig, RoutingState,
 };
+use rowfpga_verify::check_all;
 
 /// Places named cells at row-0 columns and forces all pins bottom.
 fn place_bottom(arch: &Architecture, netlist: &Netlist, at: &[(&str, usize)]) -> Placement {
@@ -66,6 +67,7 @@ fn zero_span_net_routes_on_one_segment() {
         "span 1..2 needs at most one run segment... see below"
     );
     verify_routing(&st, &arch, &nl, &p).unwrap();
+    check_all(&arch, &nl, &p, &st).unwrap();
 }
 
 #[test]
@@ -118,6 +120,7 @@ fn nets_route_in_the_bottom_and_top_edge_channels() {
         assert_eq!(req.chan_min, 3 - 1, "pins should sit in the top channel");
     }
     verify_routing(&st, &arch, &nl, &p).unwrap();
+    check_all(&arch, &nl, &p, &st).unwrap();
 }
 
 #[test]
@@ -164,6 +167,7 @@ fn fragmentation_blocks_then_rip_up_recovers() {
     st.route_incremental(&arch, &nl, &p, &cfg);
     assert_eq!(st.net_state(long), NetRouteState::Global);
     verify_routing(&st, &arch, &nl, &p).unwrap();
+    check_all(&arch, &nl, &p, &st).unwrap();
 }
 
 #[test]
@@ -240,4 +244,5 @@ fn vertical_exhaustion_is_reported_as_global_failure() {
         NetRouteState::Unrouted
     );
     verify_routing(&st, &arch, &nl, &p).unwrap();
+    check_all(&arch, &nl, &p, &st).unwrap();
 }
