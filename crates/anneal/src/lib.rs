@@ -222,6 +222,7 @@ pub struct AnnealCursor {
 /// steps is a plain-data [`AnnealCursor`]; [`Annealer::resume`] rebuilds an
 /// engine from one so a stopped run continues bit-identically — provided
 /// the caller has restored the problem state to the same boundary.
+#[derive(Debug)]
 pub struct Annealer {
     config: AnnealConfig,
     rng: StdRng,

@@ -45,6 +45,7 @@ pub struct AppliedPlacerMove {
 }
 
 /// The wirelength/congestion placement problem of the sequential flow.
+#[derive(Debug)]
 pub struct PlacerProblem<'a> {
     arch: &'a Architecture,
     netlist: &'a Netlist,

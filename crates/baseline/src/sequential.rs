@@ -116,6 +116,7 @@ impl SequentialPlaceRoute {
         label: &str,
         obs: &Obs,
     ) -> Result<LayoutResult, LayoutError> {
+        // rowfpga-lint: allow(determinism) reason=wall-clock is run telemetry only and never steers the search
         let start = Instant::now();
         obs.emit(Event::RunStart {
             flow: "sequential".into(),

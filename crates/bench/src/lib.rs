@@ -28,6 +28,7 @@ use rowfpga_netlist::{generate, paper_preset, Netlist, PaperBenchmark};
 use rowfpga_obs::Obs;
 
 /// One benchmark instance: the synthetic netlist and a chip sized for it.
+#[derive(Debug)]
 pub struct BenchProblem {
     /// The paper's name for the design.
     pub name: &'static str,

@@ -172,6 +172,16 @@ pub enum Command {
         /// Replay one saved repro instead of fuzzing.
         replay: Option<String>,
     },
+    /// Run the domain lint engine over the workspace.
+    Lint {
+        /// Emit the machine-readable JSON report instead of text.
+        json: bool,
+        /// Rewrite `lint-budget.toml` with the observed (never higher)
+        /// panic counts.
+        fix_budget: bool,
+        /// Workspace root to lint (default: current directory).
+        root: Option<String>,
+    },
     /// Print usage.
     Help,
 }
@@ -250,6 +260,7 @@ USAGE:
   rowfpga fuzz     [--seconds N] [--iters N] [--seed N] [--corpus DIR]
                    [--min-cells N] [--max-cells N]
   rowfpga fuzz     --replay FILE.repro.json
+  rowfpga lint     [--json] [--fix-budget] [--root DIR]
   rowfpga help
 
 PARALLELISM (simultaneous flow only):
@@ -289,6 +300,15 @@ FUZZING:
   `--corpus` as a `.net` + `.repro.json` pair; `--replay` re-runs one
   such pair. With neither `--seconds` nor `--iters`, 20 iterations run.
   Exit status is non-zero when any violation is found (or reproduced).
+
+LINTING:
+  rowfpga lint runs the workspace's domain lints (see DESIGN.md \u{a7}11):
+  allocation-freedom in `rowfpga-lint: hot-path` modules, HashMap/clock
+  bans in the deterministic solver crates, the per-crate panic budget
+  ratchet against lint-budget.toml, feature-gating of fault hooks, and
+  the unsafe audit. `--json` writes the CI artifact report to stdout;
+  `--fix-budget` re-records panic budgets (downward only). Exit status
+  is non-zero when any violation is found.
 ";
 
 fn parse_num<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> Result<T, ArgError> {
@@ -632,6 +652,33 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 min_cells,
                 max_cells,
                 replay,
+            })
+        }
+        "lint" => {
+            let mut json = false;
+            let mut fix_budget = false;
+            let mut root = None;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--json" => json = true,
+                    "--fix-budget" => fix_budget = true,
+                    "--root" => {
+                        root = Some(
+                            rest.get(i + 1)
+                                .ok_or_else(|| ArgError::MissingValue("--root".into()))?
+                                .clone(),
+                        );
+                        i += 1;
+                    }
+                    other => return Err(ArgError::UnknownFlag(other.into())),
+                }
+                i += 1;
+            }
+            Ok(Command::Lint {
+                json,
+                fix_budget,
+                root,
             })
         }
         other => Err(ArgError::UnknownCommand(other.into())),

@@ -39,6 +39,14 @@ pub enum CliError {
         /// How many violations were found.
         count: usize,
     },
+    /// The domain lint engine could not run (I/O, bad budget file,
+    /// attempted upward ratchet).
+    Lint(rowfpga_lint::EngineError),
+    /// The domain lint engine found violations.
+    LintViolations {
+        /// How many violations were found.
+        count: usize,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -58,6 +66,10 @@ impl fmt::Display for CliError {
             }
             CliError::FuzzViolations { count } => {
                 write!(f, "fuzzing found {count} oracle violation(s)")
+            }
+            CliError::Lint(e) => write!(f, "lint error: {e}"),
+            CliError::LintViolations { count } => {
+                write!(f, "lint found {count} violation(s)")
             }
         }
     }
@@ -360,6 +372,29 @@ pub fn run_command_with_stop(
             let result = run_layout(&arch, &netlist, opts, bench.name(), &obs, stop)?;
             print_layout_outputs(&arch, &netlist, &result, opts, out)?;
             print_obs_outputs(&obs, opts, out)
+        }
+        Command::Lint {
+            json,
+            fix_budget,
+            root,
+        } => {
+            let root = std::path::PathBuf::from(root.as_deref().unwrap_or("."));
+            let opts = rowfpga_lint::Options {
+                fix_budget: *fix_budget,
+            };
+            let report = rowfpga_lint::run_repo(&root, opts).map_err(CliError::Lint)?;
+            if *json {
+                write!(out, "{}", report.render_json())?;
+            } else {
+                write!(out, "{}", report.render_text())?;
+            }
+            if report.ok() {
+                Ok(())
+            } else {
+                Err(CliError::LintViolations {
+                    count: report.violations.len(),
+                })
+            }
         }
         Command::Fuzz {
             seconds,

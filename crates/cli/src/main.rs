@@ -24,12 +24,14 @@ mod sigint {
     extern "C" fn on_sigint(_signum: i32) {
         STOP.store(true, Ordering::SeqCst);
         // Restore the default disposition so a second ctrl-c terminates.
+        // SAFETY: resetting SIGINT to SIG_DFL from within the handler is async-signal-safe.
         unsafe {
             signal(SIGINT, SIG_DFL);
         }
     }
 
     pub fn install() {
+        // SAFETY: on_sigint only stores an AtomicBool and re-arms SIG_DFL, both async-signal-safe.
         unsafe {
             signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
         }

@@ -394,6 +394,7 @@ impl SimultaneousPlaceRoute {
         obs: &Obs,
         stop: &StopFlag,
     ) -> Result<LayoutResult, LayoutError> {
+        // rowfpga-lint: allow(determinism) reason=wall-clock is deadline/telemetry only and never steers the search
         let start = Instant::now();
         let res = &self.config.resilience;
         if obs.enabled() {
@@ -754,6 +755,7 @@ impl SimultaneousPlaceRoute {
         if threads == 1 {
             return self.run_observed(arch, netlist, label, obs);
         }
+        // rowfpga-lint: allow(determinism) reason=wall-clock is deadline/telemetry only and never steers the search
         let start = Instant::now();
         if obs.enabled() {
             obs.emit(Event::RunStart {

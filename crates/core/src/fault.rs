@@ -1,3 +1,4 @@
+// rowfpga-lint: allow-file(cfg-hygiene) reason=whole module sits behind the fault-inject feature gate in lib.rs
 //! Deterministic fault injection for the resilience test suite.
 //!
 //! Only compiled under the `fault-inject` feature. A [`FaultPlan`] is a

@@ -37,6 +37,7 @@ pub struct AppliedLayoutMove {
 
 /// The evolving layout state: placement, routing and timing, scored by the
 /// weighted cost `Wg·G + Wd·D + Wt·T`.
+#[derive(Debug)]
 pub struct LayoutProblem<'a> {
     arch: &'a Architecture,
     netlist: &'a Netlist,

@@ -34,6 +34,7 @@ pub enum BatchSize {
 }
 
 /// Collected timings for one benchmark.
+#[derive(Debug)]
 struct Samples {
     per_iter_ns: Vec<f64>,
 }
@@ -71,6 +72,7 @@ fn format_ns(ns: f64) -> String {
 }
 
 /// Passed to each benchmark closure; runs and times the routine.
+#[derive(Debug)]
 pub struct Bencher<'a> {
     samples: &'a mut Samples,
     sample_count: usize,
@@ -119,6 +121,7 @@ impl Bencher<'_> {
 }
 
 /// Benchmark driver. One per `criterion_group!` function invocation.
+#[derive(Debug)]
 pub struct Criterion {
     sample_count: usize,
     target: Duration,
@@ -164,6 +167,7 @@ impl Criterion {
 }
 
 /// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
 pub struct BenchmarkGroup<'a> {
     parent: &'a mut Criterion,
     name: String,

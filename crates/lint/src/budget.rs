@@ -1,0 +1,244 @@
+//! The panic-discipline ratchet: `lint-budget.toml`.
+//!
+//! The budget records, per crate, how many panic sites (`.unwrap()`,
+//! `.expect(`, `panic!`, `unreachable!`) its non-test library code
+//! contains. The ratchet is strict in both directions:
+//!
+//! * a count **above** budget fails — new code must use typed errors;
+//! * a count **below** budget also fails, telling you to run
+//!   `rowfpga lint --fix-budget` — so improvements get locked in and the
+//!   committed file never drifts from reality (a stale, slack budget
+//!   would quietly absorb regressions).
+//!
+//! `--fix-budget` only ever writes counts **at or below** the committed
+//! ones (or entries for new crates); it refuses to ratchet upward.
+//!
+//! The parser handles exactly the subset of TOML the file uses — one
+//! `[panics]` table of `name = integer` lines with `#` comments — so the
+//! lint engine stays dependency-free.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Parsed budget: crate name → permitted panic-site count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Per-crate ceilings, sorted by crate name.
+    pub panics: BTreeMap<String, usize>,
+}
+
+/// Budget file problems.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BudgetError {
+    /// A line that is neither a table header, a comment, nor `key = int`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// `--fix-budget` refused because a count rose.
+    RatchetUp {
+        /// Crate whose count increased.
+        krate: String,
+        /// Committed ceiling.
+        budget: usize,
+        /// Observed count.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetError::Malformed { line, text } => {
+                write!(f, "lint-budget.toml line {line}: cannot parse `{text}`")
+            }
+            BudgetError::RatchetUp {
+                krate,
+                budget,
+                actual,
+            } => write!(
+                f,
+                "refusing to ratchet upward: {krate} has {actual} panic sites, budget {budget}; \
+                 convert the new sites to typed errors instead"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BudgetError {}
+
+impl Budget {
+    /// Parses the budget file text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetError::Malformed`] on any unrecognized line.
+    pub fn parse(text: &str) -> Result<Budget, BudgetError> {
+        let mut budget = Budget::default();
+        let mut in_panics = false;
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                in_panics = name.trim() == "panics";
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(BudgetError::Malformed {
+                    line: idx + 1,
+                    text: raw.to_string(),
+                });
+            };
+            let count = value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| BudgetError::Malformed {
+                    line: idx + 1,
+                    text: raw.to_string(),
+                })?;
+            if in_panics {
+                budget
+                    .panics
+                    .insert(key.trim().trim_matches('"').to_string(), count);
+            }
+        }
+        Ok(budget)
+    }
+
+    /// Renders the budget back to file text.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "# rowfpga-lint panic-discipline budget (see DESIGN.md \u{a7}11).\n\
+             #\n\
+             # Non-test panic sites (.unwrap/.expect/panic!/unreachable!) per crate.\n\
+             # Counts may only shrink: `rowfpga lint` fails when a crate exceeds its\n\
+             # budget AND when it beats it (run `rowfpga lint --fix-budget` to lock\n\
+             # an improvement in). Never edit a number upward by hand.\n\n[panics]\n",
+        );
+        for (krate, count) in &self.panics {
+            out.push_str(&format!("{krate} = {count}\n"));
+        }
+        out
+    }
+
+    /// Compares observed counts against the budget; returns one message
+    /// per discrepancy (exceeded, improved-but-not-ratcheted, missing
+    /// entry, stale entry).
+    pub fn check(&self, actual: &BTreeMap<String, usize>) -> Vec<String> {
+        let mut problems = Vec::new();
+        for (krate, &count) in actual {
+            match self.panics.get(krate) {
+                None if count > 0 => problems.push(format!(
+                    "{krate}: {count} panic sites but no budget entry; run \
+                     `rowfpga lint --fix-budget` to record the baseline"
+                )),
+                None => {}
+                Some(&ceiling) if count > ceiling => problems.push(format!(
+                    "{krate}: {count} panic sites exceed the budget of {ceiling}; \
+                     convert the new unwrap/expect/panic sites to typed errors"
+                )),
+                Some(&ceiling) if count < ceiling => problems.push(format!(
+                    "{krate}: {count} panic sites beat the budget of {ceiling}; \
+                     run `rowfpga lint --fix-budget` to ratchet the budget down"
+                )),
+                Some(_) => {}
+            }
+        }
+        for krate in self.panics.keys() {
+            if !actual.contains_key(krate) {
+                problems.push(format!(
+                    "{krate}: budget entry for a crate the workspace no longer has; \
+                     run `rowfpga lint --fix-budget` to drop it"
+                ));
+            }
+        }
+        problems
+    }
+
+    /// Produces the re-ratcheted budget for `--fix-budget`: counts may
+    /// stay, shrink, or appear for new crates — never grow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetError::RatchetUp`] if any crate's observed count
+    /// exceeds its committed ceiling.
+    pub fn ratcheted(&self, actual: &BTreeMap<String, usize>) -> Result<Budget, BudgetError> {
+        let mut next = Budget::default();
+        for (krate, &count) in actual {
+            if let Some(&ceiling) = self.panics.get(krate) {
+                if count > ceiling {
+                    return Err(BudgetError::RatchetUp {
+                        krate: krate.clone(),
+                        budget: ceiling,
+                        actual: count,
+                    });
+                }
+            }
+            next.panics.insert(krate.clone(), count);
+        }
+        Ok(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(pairs: &[(&str, usize)]) -> BTreeMap<String, usize> {
+        pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
+    }
+
+    #[test]
+    fn round_trips() {
+        let b = Budget {
+            panics: counts(&[("rowfpga-route", 3), ("rowfpga-core", 10)]),
+        };
+        let parsed = Budget::parse(&b.render()).unwrap();
+        assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Budget::parse("[panics]\nroute three\n").is_err());
+        assert!(Budget::parse("[panics]\nroute = many\n").is_err());
+    }
+
+    #[test]
+    fn exceeding_and_beating_both_fail() {
+        let b = Budget {
+            panics: counts(&[("a", 5)]),
+        };
+        assert_eq!(b.check(&counts(&[("a", 5)])), Vec::<String>::new());
+        assert_eq!(b.check(&counts(&[("a", 6)])).len(), 1);
+        assert_eq!(b.check(&counts(&[("a", 4)])).len(), 1);
+    }
+
+    #[test]
+    fn missing_and_stale_entries_reported() {
+        let b = Budget {
+            panics: counts(&[("gone", 2)]),
+        };
+        let problems = b.check(&counts(&[("new", 1)]));
+        assert_eq!(problems.len(), 2);
+        // A new crate with zero sites needs no entry.
+        let b2 = Budget::default();
+        assert!(b2.check(&counts(&[("clean", 0)])).is_empty());
+    }
+
+    #[test]
+    fn ratchet_shrinks_but_never_grows() {
+        let b = Budget {
+            panics: counts(&[("a", 5), ("gone", 1)]),
+        };
+        let next = b.ratcheted(&counts(&[("a", 3), ("fresh", 7)])).unwrap();
+        assert_eq!(next.panics, counts(&[("a", 3), ("fresh", 7)]));
+        assert!(matches!(
+            b.ratcheted(&counts(&[("a", 6)])),
+            Err(BudgetError::RatchetUp { .. })
+        ));
+    }
+}

@@ -1,0 +1,212 @@
+//! rowfpga-lint: the workspace's domain lint engine.
+//!
+//! `cargo clippy` enforces Rust idiom; this crate enforces *rowfpga*
+//! invariants — the properties the annealer's performance and
+//! replica-determinism guarantees rest on, which no general-purpose tool
+//! knows about:
+//!
+//! * hot-path modules stay allocation-free ([`lints`] — the PR 3 move
+//!   cascade speedup survives only if nobody reintroduces a `.clone()`);
+//! * solver crates stay deterministic (no `HashMap` iteration, no wall
+//!   clocks — bit-identical K-replica annealing is a correctness
+//!   property);
+//! * panic sites in library code only ever shrink ([`budget`]);
+//! * fault-injection hooks stay feature-gated;
+//! * `unsafe` stays forbidden (and audited where fixtures use it).
+//!
+//! Like the rand/proptest/criterion shims, the engine is dependency-free
+//! and offline-safe: its own lexer ([`lexer`]), no `syn`, no registry.
+//! Run it as `rowfpga lint`; see DESIGN.md §11 for the lint catalogue and
+//! the marker/allow-list grammar.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod lexer;
+pub mod lints;
+pub mod model;
+pub mod regions;
+pub mod report;
+
+use std::fmt;
+use std::fs;
+use std::path::Path;
+
+use budget::{Budget, BudgetError};
+use lints::{analyze_source, FileRules};
+use model::WalkError;
+use report::{LintReport, Violation};
+
+/// Crates whose code must never construct or iterate hash collections:
+/// everything that runs inside (or feeds state to) the anneal loop.
+const DETERMINISTIC_CRATES: &[&str] = &[
+    "rowfpga-anneal",
+    "rowfpga-core",
+    "rowfpga-netlist",
+    "rowfpga-place",
+    "rowfpga-route",
+    "rowfpga-timing",
+];
+
+/// Crates allowed to read wall clocks and OS entropy: the observability
+/// layer, the CLI, the benchmark harness, and the offline shims (the
+/// criterion shim *is* a timer).
+const WALL_CLOCK_CRATES: &[&str] = &[
+    "rowfpga-obs",
+    "rowfpga-cli",
+    "rowfpga-bench",
+    "rand",
+    "proptest",
+    "criterion",
+];
+
+/// Engine options.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Options {
+    /// Rewrite `lint-budget.toml` with the observed (never higher)
+    /// counts instead of failing on improvements.
+    pub fix_budget: bool,
+}
+
+/// Fatal engine failures (I/O and upward ratchets). Lint *findings* are
+/// not errors — they come back inside the [`LintReport`].
+#[derive(Debug)]
+pub enum EngineError {
+    /// The workspace could not be walked or a file could not be read.
+    Walk(WalkError),
+    /// The budget file is unreadable or `--fix-budget` found an increase.
+    Budget(BudgetError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Walk(e) => write!(f, "{e}"),
+            EngineError::Budget(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Walk(e) => Some(e),
+            EngineError::Budget(e) => Some(e),
+        }
+    }
+}
+
+impl From<WalkError> for EngineError {
+    fn from(e: WalkError) -> Self {
+        EngineError::Walk(e)
+    }
+}
+
+impl From<BudgetError> for EngineError {
+    fn from(e: BudgetError) -> Self {
+        EngineError::Budget(e)
+    }
+}
+
+/// The rules the engine applies to files of the named crate.
+pub fn rules_for(crate_name: &str) -> FileRules {
+    FileRules {
+        determinism_collections: DETERMINISTIC_CRATES.contains(&crate_name),
+        determinism_time: !WALL_CLOCK_CRATES.contains(&crate_name),
+        count_panics: true,
+        cfg_hygiene: true,
+        unsafe_audit: true,
+    }
+}
+
+/// Lints the whole workspace under `root`.
+///
+/// # Errors
+///
+/// Returns [`EngineError`] on I/O failures or (with
+/// [`Options::fix_budget`]) an attempted upward ratchet. Lint violations
+/// are reported in the returned [`LintReport`], not as errors.
+pub fn run_repo(root: &Path, opts: Options) -> Result<LintReport, EngineError> {
+    let ws = model::discover(root)?;
+    let mut report = LintReport {
+        crates: ws.crates.len(),
+        ..LintReport::default()
+    };
+
+    for krate in &ws.crates {
+        let rules = rules_for(&krate.name);
+        let mut crate_panics = 0usize;
+        for rel in &krate.src_files {
+            let path = root.join(rel);
+            let src = fs::read_to_string(&path).map_err(|source| WalkError {
+                path: path.clone(),
+                source,
+            })?;
+            let label = rel.to_string_lossy().replace('\\', "/");
+            let analysis = analyze_source(&label, &src, rules);
+            report.files += 1;
+            if analysis.hot_path {
+                report.hot_path_files += 1;
+            }
+            crate_panics += analysis.panic_sites;
+            if rel.file_name().is_some_and(|f| f == "lib.rs") && !analysis.has_forbid_unsafe {
+                report.violations.push(Violation {
+                    lint: "forbid-unsafe".to_string(),
+                    file: label.clone(),
+                    line: 0,
+                    message: format!(
+                        "crate {} has dropped `#![forbid(unsafe_code)]` from its lib.rs",
+                        krate.name
+                    ),
+                });
+            }
+            report.violations.extend(analysis.violations);
+        }
+        report.panic_counts.insert(krate.name.clone(), crate_panics);
+    }
+
+    // The panic ratchet: compare against (or rewrite) lint-budget.toml.
+    let budget_path = root.join("lint-budget.toml");
+    let committed = match fs::read_to_string(&budget_path) {
+        Ok(text) => Some(Budget::parse(&text)?),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(source) => {
+            return Err(WalkError {
+                path: budget_path,
+                source,
+            }
+            .into())
+        }
+    };
+    if opts.fix_budget {
+        let next = committed
+            .unwrap_or_default()
+            .ratcheted(&report.panic_counts)?;
+        fs::write(&budget_path, next.render()).map_err(|source| WalkError {
+            path: budget_path.clone(),
+            source,
+        })?;
+    } else {
+        match committed {
+            None => report.violations.push(Violation {
+                lint: "panic-budget".to_string(),
+                file: "lint-budget.toml".to_string(),
+                line: 0,
+                message: "missing lint-budget.toml; run `rowfpga lint --fix-budget` to create it"
+                    .to_string(),
+            }),
+            Some(budget) => {
+                for problem in budget.check(&report.panic_counts) {
+                    report.violations.push(Violation {
+                        lint: "panic-budget".to_string(),
+                        file: "lint-budget.toml".to_string(),
+                        line: 0,
+                        message: problem,
+                    });
+                }
+            }
+        }
+    }
+    Ok(report)
+}

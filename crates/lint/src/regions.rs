@@ -1,0 +1,276 @@
+//! Attribute-gated region discovery over the token stream.
+//!
+//! The lints need to know which tokens live inside `#[cfg(test)]` items
+//! (exempt from everything — test code may allocate, unwrap and use
+//! `HashMap` freely) and which live inside `#[cfg(feature =
+//! "fault-inject")]` items or statements (exempt from the cfg-hygiene
+//! lint — that is exactly where fault hooks belong).
+//!
+//! The walker is syntactic, not semantic: after a matching attribute it
+//! skips any further attributes, then consumes one "item" — everything up
+//! to the first `;`, `,` or block-closing `}` at bracket depth zero
+//! (with an `else` continuation so gated `if`/`else` statements stay in
+//! one region). That covers functions, modules, impl blocks, struct
+//! fields, match arms and `let` statements, which is every shape the
+//! workspace uses.
+
+use crate::lexer::{Lexed, TokenKind};
+
+/// Which gate to mask.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Gate {
+    /// `#[cfg(test)]`
+    Test,
+    /// `#[cfg(feature = "fault-inject")]`
+    FaultInject,
+}
+
+/// Returns one bool per token: `true` when the token is inside an item or
+/// statement gated by `gate`. An inner attribute (`#![cfg(test)]`)
+/// matching the gate masks the whole file.
+pub fn gated_mask(src: &str, lx: &Lexed, gate: Gate) -> Vec<bool> {
+    let n = lx.tokens.len();
+    let mut mask = vec![false; n];
+    let mut i = 0usize;
+    while i < n {
+        if !is_punct(lx, src, i, "#") {
+            i += 1;
+            continue;
+        }
+        let inner = i + 1 < n && is_punct(lx, src, i + 1, "!");
+        let open = if inner { i + 2 } else { i + 1 };
+        if open >= n || !is_punct(lx, src, open, "[") {
+            i += 1;
+            continue;
+        }
+        let close = match matching_bracket(src, lx, open) {
+            Some(c) => c,
+            None => return mask,
+        };
+        if !attr_matches(src, lx, open + 1, close, gate) {
+            i = close + 1;
+            continue;
+        }
+        if inner {
+            for m in mask.iter_mut() {
+                *m = true;
+            }
+            return mask;
+        }
+        let start = i;
+        // Fold any further outer attributes into the region.
+        let mut k = close + 1;
+        while k + 1 < n && is_punct(lx, src, k, "#") && is_punct(lx, src, k + 1, "[") {
+            match matching_bracket(src, lx, k + 1) {
+                Some(c) => k = c + 1,
+                None => break,
+            }
+        }
+        let end = consume_item(src, lx, k);
+        for m in mask.iter_mut().take((end + 1).min(n)).skip(start) {
+            *m = true;
+        }
+        i = end + 1;
+    }
+    mask
+}
+
+fn is_punct(lx: &Lexed, src: &str, i: usize, what: &str) -> bool {
+    lx.tokens[i].kind == TokenKind::Punct && lx.text(src, i) == what
+}
+
+/// Index of the `]` matching the `[` at `open`, counting all bracket
+/// kinds so literals like `[0; 4]` inside attributes do not confuse it.
+fn matching_bracket(src: &str, lx: &Lexed, open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for i in open..lx.tokens.len() {
+        if lx.tokens[i].kind != TokenKind::Punct {
+            continue;
+        }
+        match lx.text(src, i) {
+            "[" | "(" | "{" => depth += 1,
+            "]" | ")" | "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether the attribute tokens in `(from..to)` are exactly the gate's
+/// pattern. Deliberately exact: `cfg(not(test))` and `cfg(any(test, …))`
+/// do NOT match, so negated gates are never masked out.
+fn attr_matches(src: &str, lx: &Lexed, from: usize, to: usize, gate: Gate) -> bool {
+    let texts: Vec<&str> = (from..to).map(|i| lx.text(src, i)).collect();
+    match gate {
+        Gate::Test => texts == ["cfg", "(", "test", ")"],
+        Gate::FaultInject => texts == ["cfg", "(", "feature", "=", "\"fault-inject\"", ")"],
+    }
+}
+
+/// Consumes one item/statement starting at `k`; returns the index of its
+/// final token.
+///
+/// Angle brackets are tracked heuristically (a `<` preceded by an
+/// identifier, `:` or another angle opens a generic list) only to decide
+/// whether a `,` terminates the item — `fn f<T, U>()` must not end at the
+/// comma inside its generic parameters. Over-counting merely delays
+/// termination to the next `;`/`}`, which over-masks (conservative).
+fn consume_item(src: &str, lx: &Lexed, k: usize) -> usize {
+    let n = lx.tokens.len();
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    let mut i = k;
+    while i < n {
+        if lx.tokens[i].kind == TokenKind::Punct {
+            match lx.text(src, i) {
+                "{" | "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "<" if i > k => {
+                    let prev = lx.text(src, i - 1);
+                    if lx.tokens[i - 1].kind == TokenKind::Ident
+                        || prev == ">"
+                        || prev == ":"
+                        || prev == "<"
+                    {
+                        angle += 1;
+                    }
+                }
+                ">" if i > k => {
+                    let prev = lx.text(src, i - 1);
+                    if prev != "-" && prev != "=" && angle > 0 {
+                        angle -= 1;
+                    }
+                }
+                "}" => {
+                    depth -= 1;
+                    if depth <= 0 {
+                        // `} ;` (let/const with block initializer) and
+                        // `} else` (gated if/else) continue the item.
+                        if i + 1 < n && is_punct(lx, src, i + 1, ";") {
+                            return i + 1;
+                        }
+                        if i + 1 < n && lx.text(src, i + 1) == "else" {
+                            i += 1;
+                            continue;
+                        }
+                        return i;
+                    }
+                }
+                ";" if depth == 0 => return i,
+                "," if depth == 0 && angle == 0 => return i,
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    n.saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn masked_idents(src: &str, gate: Gate) -> Vec<String> {
+        let lx = lex(src);
+        let mask = gated_mask(src, &lx, gate);
+        lx.tokens
+            .iter()
+            .enumerate()
+            .filter(|(i, t)| mask[*i] && t.kind == TokenKind::Ident)
+            .map(|(i, _)| lx.text(src, i).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn test_module_is_masked() {
+        let src = "
+fn live() { a(); }
+#[cfg(test)]
+mod tests {
+    fn helper() { b(); }
+}
+fn also_live() { c(); }
+";
+        let ids = masked_idents(src, Gate::Test);
+        assert!(ids.contains(&"helper".to_string()));
+        assert!(!ids.contains(&"live".to_string()));
+        assert!(!ids.contains(&"also_live".to_string()));
+    }
+
+    #[test]
+    fn stacked_attributes_stay_inside_the_region() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nfn t() { x(); }\nfn live() {}";
+        let ids = masked_idents(src, Gate::Test);
+        assert!(ids.contains(&"x".to_string()));
+        assert!(!ids.contains(&"live".to_string()));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(not(test))]\nfn prod() { y(); }";
+        assert!(masked_idents(src, Gate::Test).is_empty());
+    }
+
+    #[test]
+    fn gated_statement_with_block_initializer() {
+        let src = r#"
+fn f() {
+    #[cfg(feature = "fault-inject")]
+    let w = { fault_probe() };
+    after();
+}
+"#;
+        let ids = masked_idents(src, Gate::FaultInject);
+        assert!(ids.contains(&"fault_probe".to_string()));
+        assert!(!ids.contains(&"after".to_string()));
+    }
+
+    #[test]
+    fn gated_struct_field_stops_at_comma() {
+        let src = r#"
+struct S {
+    #[cfg(feature = "fault-inject")]
+    faults: Option<FaultPlan>,
+    normal: u32,
+}
+"#;
+        let ids = masked_idents(src, Gate::FaultInject);
+        assert!(ids.contains(&"FaultPlan".to_string()));
+        assert!(!ids.contains(&"normal".to_string()));
+    }
+
+    #[test]
+    fn gated_if_else_is_one_region() {
+        let src = r#"
+fn f() {
+    #[cfg(test)]
+    if cond { a() } else { b() }
+    tail();
+}
+"#;
+        let ids = masked_idents(src, Gate::Test);
+        assert!(ids.contains(&"b".to_string()));
+        assert!(!ids.contains(&"tail".to_string()));
+    }
+
+    #[test]
+    fn generic_commas_do_not_end_the_region() {
+        let src = "#[cfg(test)]\nfn pair<T, U>(a: T, b: U) { body(); }\nfn live() {}";
+        let ids = masked_idents(src, Gate::Test);
+        assert!(ids.contains(&"body".to_string()));
+        assert!(!ids.contains(&"live".to_string()));
+    }
+
+    #[test]
+    fn inner_attribute_masks_whole_file() {
+        let src = "#![cfg(test)]\nfn anything() { q(); }";
+        let ids = masked_idents(src, Gate::Test);
+        assert!(ids.contains(&"anything".to_string()));
+    }
+}

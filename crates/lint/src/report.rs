@@ -1,0 +1,156 @@
+//! Lint results: violations, the aggregate report, and its text/JSON
+//! renderings.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One lint finding, anchored to a file and line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Lint id (`hot-path`, `determinism`, `panic-budget`, `cfg-hygiene`,
+    /// `unsafe`, `forbid-unsafe`, `directive`).
+    pub lint: String,
+    /// Workspace-relative file path (or `lint-budget.toml` for ratchet
+    /// findings).
+    pub file: String,
+    /// 1-based line, 0 when the finding is file- or crate-scoped.
+    pub line: u32,
+    /// Human explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line > 0 {
+            write!(
+                f,
+                "{}:{}: [{}] {}",
+                self.file, self.line, self.lint, self.message
+            )
+        } else {
+            write!(f, "{}: [{}] {}", self.file, self.lint, self.message)
+        }
+    }
+}
+
+/// Everything one lint run produced.
+#[derive(Clone, Debug, Default)]
+pub struct LintReport {
+    /// All violations, in workspace-walk order (crate, file, line).
+    pub violations: Vec<Violation>,
+    /// Observed non-test panic sites per crate.
+    pub panic_counts: BTreeMap<String, usize>,
+    /// Crates walked.
+    pub crates: usize,
+    /// Files lexed and linted.
+    pub files: usize,
+    /// Files carrying the hot-path marker.
+    pub hot_path_files: usize,
+}
+
+impl LintReport {
+    /// Whether the run is clean.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Human-readable summary for terminal output.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&format!("{v}\n"));
+        }
+        let total: usize = self.panic_counts.values().sum();
+        out.push_str(&format!(
+            "rowfpga-lint: {} crate(s), {} file(s), {} hot-path module(s), \
+             {} budgeted panic site(s): {}\n",
+            self.crates,
+            self.files,
+            self.hot_path_files,
+            total,
+            if self.ok() {
+                "clean".to_string()
+            } else {
+                format!("{} violation(s)", self.violations.len())
+            }
+        ));
+        out
+    }
+
+    /// Machine-readable report for CI artifacts.
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\n  \"ok\": ");
+        out.push_str(if self.ok() { "true" } else { "false" });
+        out.push_str(&format!(
+            ",\n  \"crates\": {},\n  \"files\": {},\n  \"hot_path_files\": {},\n",
+            self.crates, self.files, self.hot_path_files
+        ));
+        out.push_str("  \"panic_counts\": {");
+        for (i, (krate, count)) in self.panic_counts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    {}: {count}", json_str(krate)));
+        }
+        out.push_str("\n  },\n  \"violations\": [");
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"lint\": {}, \"file\": {}, \"line\": {}, \"message\": {}}}",
+                json_str(&v.lint),
+                json_str(&v.file),
+                v.line,
+                json_str(&v.message)
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Minimal JSON string escaping (the report contains no exotic content,
+/// but backslashes and quotes do appear in messages quoting attributes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes() {
+        assert_eq!(json_str("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let mut r = LintReport::default();
+        r.panic_counts.insert("rowfpga-route".to_string(), 3);
+        r.violations.push(Violation {
+            lint: "determinism".to_string(),
+            file: "crates/x/src/lib.rs".to_string(),
+            line: 4,
+            message: "uses `HashMap`".to_string(),
+        });
+        let json = r.render_json();
+        assert!(json.contains("\"ok\": false"));
+        assert!(json.contains("\"rowfpga-route\": 3"));
+        assert!(json.contains("\"line\": 4"));
+    }
+}

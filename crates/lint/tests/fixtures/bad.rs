@@ -1,0 +1,41 @@
+// rowfpga-lint: hot-path
+//! Fixture: one genuine violation of each lint, at known lines, mixed in
+//! with the same traps `traps.rs` uses.
+
+fn hot(v: &[u32]) -> Vec<u32> {
+    v.to_vec() // line 6: hot-path
+}
+
+fn decoy() -> &'static str {
+    ".clone() in a string is fine"
+}
+
+fn ordered() {
+    let _m = std::collections::HashMap::<u32, u32>::new(); // line 14: determinism
+}
+
+fn clocky() {
+    let _t = std::time::Instant::now(); // line 18: determinism
+}
+
+fn fault_probe_ungated() {} // line 21: cfg-hygiene
+
+fn risky(x: Option<u32>) -> u32 {
+    x.unwrap() // line 24: panic site (counted, not a violation)
+}
+
+fn sharp(p: *const u32) -> u32 {
+    unsafe { *p } // line 28: unsafe without SAFETY
+}
+
+// rowfpga-lint: allow(nonsense) reason=line 31: malformed directive
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn masked() {
+        let v: Vec<u32> = (0..4).collect();
+        assert_eq!(v.clone().len(), 4);
+        None::<u32>.unwrap_or_default();
+    }
+}

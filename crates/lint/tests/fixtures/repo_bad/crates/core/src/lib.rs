@@ -1,0 +1,26 @@
+// rowfpga-lint: hot-path
+//! Fixture: deliberately violates every lint the engine runs.
+
+use std::collections::HashMap;
+
+pub fn clone_in_hot_path(v: &[u32]) -> Vec<u32> {
+    v.to_vec()
+}
+
+pub fn unordered() -> HashMap<u32, u32> {
+    HashMap::new()
+}
+
+pub fn clocky() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+pub fn fault_probe_ungated() {}
+
+pub fn risky(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn sharp(p: *const u32) -> u32 {
+    unsafe { *p }
+}

@@ -1,0 +1,7 @@
+#![forbid(unsafe_code)]
+//! Fixture: a clean crate the engine must pass.
+
+/// Adds one, deterministically and without allocating.
+pub fn add_one(x: u32) -> u32 {
+    x.saturating_add(1)
+}

@@ -1,0 +1,42 @@
+// rowfpga-lint: hot-path
+//! Fixture: every construct in this file is a trap the tokenizer must see
+//! through. Expected analysis: zero violations, zero panic sites.
+
+fn messages() -> &'static str {
+    "call .clone() then .unwrap() and maybe panic! or Vec::new()"
+}
+
+// let stale = old.clone(); — a commented-out allocation
+/* vec![1, 2, 3] and .collect() inside a block comment
+   /* nested: Box::new(()) */ still inside */
+
+fn raw() -> &'static str {
+    r#"HashMap::new() and Instant::now() in a raw "quoted" string"#
+}
+
+fn hashier() -> &'static str {
+    r##"even more hashes: format!("{}", x.unwrap())"##
+}
+
+fn lifetimes<'a>(x: &'a str) -> char {
+    let _ = x;
+    'a'
+}
+
+fn escaped() -> char {
+    '\'' // an escaped-quote char literal must not derail the lexer
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_allocate_and_panic() {
+        let v: Vec<u32> = (0..4).collect();
+        let w = v.clone();
+        assert_eq!(w.last().unwrap(), &3);
+        let m = std::collections::HashMap::<u32, u32>::new();
+        assert!(m.is_empty());
+        let boxed = Box::new(format!("{}", w.len()));
+        assert_eq!(*boxed, "4");
+    }
+}

@@ -18,7 +18,7 @@
 //! inputs than [`MAX_FANIN`] is rejected: the netlist must already be
 //! technology-mapped to module-sized cells.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -139,7 +139,7 @@ pub fn parse_blif(text: &str) -> Result<Netlist, ParseBlifError> {
     let mut inputs: Vec<String> = Vec::new();
     let mut outputs: Vec<String> = Vec::new();
     // signal -> its driving construct
-    let mut drivers: HashMap<String, Driver> = HashMap::new();
+    let mut drivers: BTreeMap<String, Driver> = BTreeMap::new();
     let mut driver_order: Vec<String> = Vec::new();
 
     for (line, text) in logical_lines(text) {
@@ -257,7 +257,7 @@ pub fn parse_blif(text: &str) -> Result<Netlist, ParseBlifError> {
     // Build cells: one per driven signal, plus a primary-output cell per
     // .outputs signal.
     let mut b = Netlist::builder();
-    let mut cell_of: HashMap<&str, CellId> = HashMap::new();
+    let mut cell_of: BTreeMap<&str, CellId> = BTreeMap::new();
     for sig in &driver_order {
         let id = b.add_cell(sig.clone(), drivers[sig.as_str()].kind);
         cell_of.insert(sig, id);
@@ -270,7 +270,7 @@ pub fn parse_blif(text: &str) -> Result<Netlist, ParseBlifError> {
 
     // Collect sinks per signal. Input pin order: a cell's i-th declared
     // input signal lands on pin i+1.
-    let mut sinks: HashMap<&str, Vec<(CellId, PinIndex)>> = HashMap::new();
+    let mut sinks: BTreeMap<&str, Vec<(CellId, PinIndex)>> = BTreeMap::new();
     for sig in &driver_order {
         let d = &drivers[sig.as_str()];
         let cell = cell_of[sig.as_str()];

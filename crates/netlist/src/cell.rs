@@ -10,7 +10,7 @@ use std::fmt;
 pub const MAX_FANIN: usize = 8;
 
 /// The kind of a technology-mapped cell.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum CellKind {
     /// Primary input (an "i" block driving one signal into the fabric).
     Input,

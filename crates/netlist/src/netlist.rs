@@ -1,6 +1,6 @@
 //! The netlist container and its builder.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -127,8 +127,8 @@ pub struct NetlistBuilder {
     cells: Vec<Cell>,
     nets: Vec<Net>,
     pin_nets: Vec<Vec<Option<NetId>>>,
-    cell_names: HashMap<String, CellId>,
-    net_names: HashMap<String, NetId>,
+    cell_names: BTreeMap<String, CellId>,
+    net_names: BTreeMap<String, NetId>,
     error: Option<BuildNetlistError>,
 }
 
@@ -294,8 +294,8 @@ pub struct Netlist {
     cells: Vec<Cell>,
     nets: Vec<Net>,
     pin_nets: Vec<Vec<Option<NetId>>>,
-    cell_names: HashMap<String, CellId>,
-    net_names: HashMap<String, NetId>,
+    cell_names: BTreeMap<String, CellId>,
+    net_names: BTreeMap<String, NetId>,
 }
 
 impl Netlist {

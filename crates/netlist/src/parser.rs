@@ -110,8 +110,8 @@ pub fn parse_netlist(text: &str) -> Result<Netlist, ParseNetlistError> {
     let mut pending_nets: Vec<PendingNet> = Vec::new();
     // Cell name -> id of its first declaration. Nets may be declared before
     // the cells they reference, so connectivity is resolved after the scan.
-    let mut names: std::collections::HashMap<String, crate::CellId> =
-        std::collections::HashMap::new();
+    let mut names: std::collections::BTreeMap<String, crate::CellId> =
+        std::collections::BTreeMap::new();
 
     for (i, raw) in text.lines().enumerate() {
         let line_no = i + 1;

@@ -27,6 +27,7 @@ impl PhaseTotal {
     }
 }
 
+#[derive(Debug)]
 struct OpenSpan {
     name: &'static str,
     started: Instant,
@@ -34,7 +35,7 @@ struct OpenSpan {
 }
 
 /// Records nested, named spans against a monotonic clock.
-#[derive(Default)]
+#[derive(Debug, Default)]
 pub struct PhaseProfiler {
     stack: Vec<OpenSpan>,
     totals: BTreeMap<&'static str, PhaseTotal>,

@@ -385,6 +385,14 @@ pub struct RunJournal<W: Write> {
     lines: u64,
 }
 
+impl<W: Write> std::fmt::Debug for RunJournal<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunJournal")
+            .field("lines", &self.lines)
+            .finish_non_exhaustive()
+    }
+}
+
 impl<W: Write> RunJournal<W> {
     /// Wraps a writer. Consider a `BufWriter` for file sinks.
     pub fn new(out: W) -> RunJournal<W> {

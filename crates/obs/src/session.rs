@@ -27,6 +27,15 @@ pub struct ObsSession {
     sink: Box<dyn Recorder>,
 }
 
+impl std::fmt::Debug for ObsSession {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ObsSession")
+            .field("metrics", &self.metrics)
+            .field("profiler", &self.profiler)
+            .finish_non_exhaustive()
+    }
+}
+
 impl ObsSession {
     /// Creates a session draining events into `sink`.
     pub fn new(sink: Box<dyn Recorder>) -> ObsSession {
@@ -51,6 +60,18 @@ impl ObsSession {
 /// Handle to an optional observability session. `Clone` is a pointer copy.
 #[derive(Clone, Default)]
 pub struct Obs(Option<Rc<RefCell<ObsSession>>>);
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Obs")
+            .field(if self.0.is_some() {
+                &"enabled"
+            } else {
+                &"disabled"
+            })
+            .finish()
+    }
+}
 
 impl Obs {
     /// The disabled handle: every operation is a no-op.

@@ -1,6 +1,6 @@
 //! The placement data structure.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -67,7 +67,7 @@ pub struct Placement {
     cell_at: Vec<Option<CellId>>,
     pinmap_choice: Vec<u16>,
     /// Palette per cell kind, shared across cells of the same kind.
-    palettes: HashMap<CellKind, Vec<Pinmap>>,
+    palettes: BTreeMap<CellKind, Vec<Pinmap>>,
 }
 
 impl Placement {
@@ -128,7 +128,7 @@ impl Placement {
             cell_at[site.index()] = Some(*cell);
         }
 
-        let mut palettes = HashMap::new();
+        let mut palettes = BTreeMap::new();
         for (_, cell) in netlist.cells() {
             palettes
                 .entry(cell.kind())
@@ -181,7 +181,7 @@ impl Placement {
                 ),
             });
         }
-        let mut palettes = HashMap::new();
+        let mut palettes = BTreeMap::new();
         for (_, cell) in netlist.cells() {
             palettes
                 .entry(cell.kind())

@@ -11,6 +11,14 @@ pub struct VecStrategy<S> {
     len: core::ops::Range<usize>,
 }
 
+impl<S> std::fmt::Debug for VecStrategy<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VecStrategy")
+            .field("len", &self.len)
+            .finish_non_exhaustive()
+    }
+}
+
 /// Generates `Vec`s whose length is drawn from `len` and whose elements are
 /// drawn from `elem`.
 pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {

@@ -68,6 +68,14 @@ pub struct OneOf<V> {
     options: Vec<BoxedStrategy<V>>,
 }
 
+impl<V> std::fmt::Debug for OneOf<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OneOf")
+            .field("options", &self.options.len())
+            .finish()
+    }
+}
+
 impl<V> OneOf<V> {
     /// Creates the union; `options` must be non-empty.
     ///
@@ -116,6 +124,12 @@ impl Arbitrary for bool {
 /// The `any::<T>()` strategy object.
 pub struct Any<T> {
     _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T> std::fmt::Debug for Any<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Any<{}>", std::any::type_name::<T>())
+    }
 }
 
 /// Full-domain strategy for `T`.

@@ -1,3 +1,4 @@
+// rowfpga-lint: hot-path
 //! Incremental detailed routing: segmented channel track assignment.
 //!
 //! The detailed router assigns each net, in each channel it crosses, a run
@@ -60,12 +61,12 @@ pub fn detail_route_pass(
         }
         // Longest spans first: they have the fewest feasible tracks.
         queue.clear();
-        queue.extend(state.ud(channel).map(|n| {
-            let (lo, hi) = state
-                .route(n)
-                .span_in(channel)
-                .expect("queued net has a span in its channel");
-            (n, lo as u32, hi as u32)
+        // A queued net always has a span in its channel; if that invariant
+        // were ever broken the net simply stays in `U_D` and surfaces as an
+        // incomplete route in the verifier, rather than panicking here.
+        queue.extend(state.ud(channel).filter_map(|n| {
+            let (lo, hi) = state.route(n).span_in(channel)?;
+            Some((n, lo as u32, hi as u32))
         }));
         queue.sort_by(|a, b| (b.2 - b.1).cmp(&(a.2 - a.1)).then(a.0.cmp(&b.0)));
 

@@ -1,3 +1,4 @@
+// rowfpga-lint: hot-path
 //! Dense index sets for the routing hot path.
 //!
 //! The unrouted-net queues (`U_G`, per-channel `U_D`) and the dirty-channel
@@ -23,6 +24,7 @@ const ABSENT: u32 = u32::MAX;
 
 impl DenseSet {
     /// The empty set over `0..capacity`.
+    // rowfpga-lint: begin-allow(hot-path) reason=one-time constructor; membership ops beyond here are allocation-free
     pub fn new(capacity: usize) -> DenseSet {
         assert!(capacity < ABSENT as usize);
         DenseSet {
@@ -30,8 +32,10 @@ impl DenseSet {
             pos: vec![ABSENT; capacity],
         }
     }
+    // rowfpga-lint: end-allow(hot-path)
 
     /// The full set `{0, …, capacity-1}`.
+    // rowfpga-lint: begin-allow(hot-path) reason=one-time constructor; membership ops beyond here are allocation-free
     pub fn full(capacity: usize) -> DenseSet {
         assert!(capacity < ABSENT as usize);
         DenseSet {
@@ -39,6 +43,7 @@ impl DenseSet {
             pos: (0..capacity as u32).collect(),
         }
     }
+    // rowfpga-lint: end-allow(hot-path)
 
     /// Number of members.
     pub fn len(&self) -> usize {
@@ -73,10 +78,13 @@ impl DenseSet {
             return false;
         }
         self.pos[i] = ABSENT;
-        let last = self.items.pop().expect("non-empty: i was a member");
-        if last as usize != i {
-            self.items[p as usize] = last;
-            self.pos[last as usize] = p;
+        // `pos[i]` was a live index, so `items` is non-empty and the pop
+        // always yields; the `if let` merely keeps this panic-free.
+        if let Some(last) = self.items.pop() {
+            if last as usize != i {
+                self.items[p as usize] = last;
+                self.pos[last as usize] = p;
+            }
         }
         true
     }

@@ -1,3 +1,4 @@
+// rowfpga-lint: hot-path
 //! Incremental global routing: feedthrough (vertical segment) assignment.
 //!
 //! Global routing for row-based FPGAs consists primarily of assigning

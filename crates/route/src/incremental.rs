@@ -1,3 +1,4 @@
+// rowfpga-lint: hot-path
 //! The combined incremental reroute: the cascade that follows every
 //! placement perturbation (paper §3.3–3.4).
 

@@ -8,7 +8,7 @@
 //! layout engines never call this in their inner loops — it exists so tests
 //! (and paranoid users) can audit any state the optimizer produces.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt;
 
@@ -103,8 +103,8 @@ pub fn verify_routing(
     netlist: &Netlist,
     placement: &Placement,
 ) -> Result<(), RouteVerifyError> {
-    let mut h_owners: HashMap<usize, NetId> = HashMap::new();
-    let mut v_owners: HashMap<usize, NetId> = HashMap::new();
+    let mut h_owners: BTreeMap<usize, NetId> = BTreeMap::new();
+    let mut v_owners: BTreeMap<usize, NetId> = BTreeMap::new();
     let mut incomplete = 0usize;
     let mut globally_unrouted = 0usize;
 
@@ -244,13 +244,13 @@ pub fn verify_routing(
                     detail: format!("routed channel {chan} has no recorded span"),
                 });
             };
-            if segs.is_empty() {
+            let (Some(&first_seg), Some(&last_seg)) = (segs.first(), segs.last()) else {
                 return Err(RouteVerifyError::BrokenRun {
                     net,
                     detail: format!("empty run in {chan}"),
                 });
-            }
-            let track = arch.hseg_track(segs[0]);
+            };
+            let track = arch.hseg_track(first_seg);
             for w in segs.windows(2) {
                 if arch.hseg_track(w[1]) != track
                     || arch.hseg_channel(w[1]) != *chan
@@ -262,14 +262,14 @@ pub fn verify_routing(
                     });
                 }
             }
-            if arch.hseg_channel(segs[0]) != *chan {
+            if arch.hseg_channel(first_seg) != *chan {
                 return Err(RouteVerifyError::BrokenRun {
                     net,
                     detail: format!("run segments not in channel {chan}"),
                 });
             }
-            let start = arch.hseg(segs[0]).start();
-            let end = arch.hseg(*segs.last().expect("non-empty run")).end();
+            let start = arch.hseg(first_seg).start();
+            let end = arch.hseg(last_seg).end();
             if start > lo || end <= hi {
                 return Err(RouteVerifyError::SpanNotCovered {
                     net,

@@ -1,3 +1,4 @@
+// rowfpga-lint: hot-path
 //! The incremental worst-case delay engine (paper §3.5, Figure 5).
 //!
 //! Cells are levelized once (levels depend only on connectivity). After a
@@ -57,6 +58,7 @@ struct CellTables {
 }
 
 impl CellTables {
+    // rowfpga-lint: begin-allow(hot-path) reason=one-time table construction before annealing starts
     fn build(arch: &Architecture, netlist: &Netlist, levels: &Levels) -> CellTables {
         let n = netlist.num_cells();
         let mut t = CellTables {
@@ -107,6 +109,7 @@ impl CellTables {
         t.fanin_start.push(t.fanin_edges.len() as u32);
         t
     }
+    // rowfpga-lint: end-allow(hot-path)
 }
 
 /// Generation-stamped undo log: the first mutation of each quantity inside
@@ -167,6 +170,7 @@ impl TimingState {
     /// # Errors
     ///
     /// Returns [`CombLoopError`] if the netlist has a combinational cycle.
+    // rowfpga-lint: begin-allow(hot-path) reason=one-time constructor sizes every buffer for the whole run
     pub fn new(
         arch: &Architecture,
         netlist: &Netlist,
@@ -209,6 +213,7 @@ impl TimingState {
         state.full_analyze(arch, netlist, placement, routing);
         Ok(state)
     }
+    // rowfpga-lint: end-allow(hot-path)
 
     /// Recomputes everything from scratch (used at construction and as a
     /// test oracle against the incremental path).

@@ -56,6 +56,9 @@ if want lint; then
 
   echo "== cargo clippy (deny warnings)"
   cargo clippy --workspace --all-targets --offline -- -D warnings
+
+  echo "== rowfpga lint (domain lints: hot-path, determinism, panic budget)"
+  run_cli lint
 fi
 
 if want test; then
