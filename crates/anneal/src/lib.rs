@@ -43,7 +43,8 @@ use rowfpga_obs::{Event, Obs, TemperatureRecord};
 mod parallel;
 
 pub use parallel::{
-    anneal_parallel, replica_seed, ParallelConfig, ParallelOutcome, ReplicaProblem, ReplicaReport,
+    anneal_parallel, anneal_parallel_observed, replica_seed, ParallelConfig, ParallelOutcome,
+    ReplicaProblem, ReplicaReport,
 };
 
 /// A combinatorial problem optimizable by the annealing engine.

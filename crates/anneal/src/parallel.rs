@@ -25,7 +25,7 @@
 
 use std::sync::{Barrier, Mutex};
 
-use rowfpga_obs::Obs;
+use rowfpga_obs::{Event, EventMeta, MetricsRegistry, Obs, PhaseProfiler, ReplaySink};
 
 use crate::{AnnealConfig, AnnealOutcome, AnnealProblem, Annealer};
 
@@ -102,6 +102,11 @@ struct Published {
 /// count, final cost, final snapshot, and exchange rounds participated in.
 type ReplicaRun<S> = (AnnealOutcome, usize, f64, S, usize);
 
+/// One replica's journal batch, keyed for the deterministic merge:
+/// `(round, replica, events)`. The final post-loop drain uses
+/// `round = u64::MAX` so it sorts after every exchange round.
+type JournalBatch = (u64, usize, Vec<(Event, EventMeta)>);
+
 /// Runs `replicas` annealing replicas of the problem `factory` builds,
 /// exchanging best layouts every [`ParallelConfig::exchange_every`]
 /// temperatures. `factory(r)` is called once, inside replica `r`'s thread,
@@ -125,19 +130,47 @@ where
     P: ReplicaProblem,
     F: Fn(usize) -> P + Sync,
 {
+    anneal_parallel_observed(factory, replicas, config, par, &Obs::disabled())
+}
+
+/// [`anneal_parallel`] with per-replica observability.
+///
+/// With an enabled `obs`, a single replica anneals directly against the
+/// caller's session (fully live journal; the RNG stream is untouched, so
+/// the bit-identical contract with the sequential [`Annealer`] holds).
+/// With `K > 1`, each replica thread records into its own buffered
+/// session — events stamped with replica id `r + 1` and span ids
+/// namespaced by `(r + 1) << 32` — and the batches are drained at every
+/// exchange barrier, then merged into the caller's journal in
+/// `(round, replica)` order after the threads join. One `exchange` event
+/// is emitted per round, and every replica's metrics and phase totals are
+/// absorbed into the caller's registry, so the merged journal and final
+/// report are pure functions of `(config, replicas)` apart from wall-clock
+/// durations.
+pub fn anneal_parallel_observed<P, F>(
+    factory: F,
+    replicas: usize,
+    config: &AnnealConfig,
+    par: &ParallelConfig,
+    obs: &Obs,
+) -> ParallelOutcome<P::Snapshot>
+where
+    P: ReplicaProblem,
+    F: Fn(usize) -> P + Sync,
+{
     assert!(replicas > 0, "at least one replica");
     let exchange_every = par.exchange_every.max(1);
 
-    // K = 1: the sequential engine on the calling thread, verbatim.
+    // K = 1: the sequential engine on the calling thread, verbatim, with
+    // the caller's own (possibly live-streaming) session.
     if replicas == 1 {
-        let obs = Obs::disabled();
         let cfg = AnnealConfig {
             seed: replica_seed(config.seed, 0),
             ..config.clone()
         };
         let mut problem = factory(0);
-        let mut engine = Annealer::start(&mut problem, &cfg, &obs);
-        while engine.step(&mut problem, &obs).is_some() {}
+        let mut engine = Annealer::start(&mut problem, &cfg, obs);
+        while engine.step(&mut problem, obs).is_some() {}
         let outcome = engine.outcome(&problem);
         let best_cost = outcome.final_cost;
         return ParallelOutcome {
@@ -152,6 +185,14 @@ where
         };
     }
 
+    /// A poisoned mutex means a replica thread panicked; that panic is
+    /// re-raised at join, so the journal/metrics state behind the lock is
+    /// still safe to read here.
+    fn lock_ignoring_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    let record = obs.enabled();
     let barrier = Barrier::new(replicas);
     let published = Mutex::new(vec![
         Published {
@@ -161,6 +202,13 @@ where
         replicas
     ]);
     let best_slot: Mutex<Option<P::Snapshot>> = Mutex::new(None);
+    // Journal batches drained at exchange barriers, exchange summaries
+    // (computed once per round by replica 0), and each replica's final
+    // metrics/profiler, all shipped back for the deterministic merge.
+    let journal_batches: Mutex<Vec<JournalBatch>> = Mutex::new(Vec::new());
+    let exchange_log: Mutex<Vec<(usize, usize, f64, usize)>> = Mutex::new(Vec::new());
+    let replica_metrics: Mutex<Vec<(usize, MetricsRegistry, PhaseProfiler)>> =
+        Mutex::new(Vec::new());
 
     let mut results: Vec<Option<ReplicaRun<P::Snapshot>>> = (0..replicas).map(|_| None).collect();
     std::thread::scope(|scope| {
@@ -170,8 +218,22 @@ where
             let barrier = &barrier;
             let published = &published;
             let best_slot = &best_slot;
+            let journal_batches = &journal_batches;
+            let exchange_log = &exchange_log;
+            let replica_metrics = &replica_metrics;
             handles.push(scope.spawn(move || {
-                let obs = Obs::disabled();
+                // The session layer is Rc-based and must be built inside
+                // the thread; the ReplaySink handle lets this thread drain
+                // its own buffer at each barrier.
+                let (obs, buffer) = if record {
+                    let buffer = ReplaySink::new();
+                    (
+                        Obs::for_replica(r as u32 + 1, Box::new(buffer.clone())),
+                        Some(buffer),
+                    )
+                } else {
+                    (Obs::disabled(), None)
+                };
                 let cfg = AnnealConfig {
                     seed: replica_seed(config.seed, r),
                     ..config.clone()
@@ -203,6 +265,24 @@ where
                                 w = i;
                             }
                         }
+                        if r == 0 && record {
+                            // Adoption is a pure function of the published
+                            // costs, so one replica can log the round for
+                            // everyone.
+                            let adopted = pubs
+                                .iter()
+                                .enumerate()
+                                .filter(|&(i, p)| {
+                                    i != w && !p.finished && p.cost.total_cmp(&pubs[w].cost).is_gt()
+                                })
+                                .count();
+                            lock_ignoring_poison(exchange_log).push((
+                                rounds,
+                                w,
+                                pubs[w].cost,
+                                adopted,
+                            ));
+                        }
                         (w, pubs[w].cost, pubs.iter().all(|p| p.finished))
                     };
                     if r == winner {
@@ -215,6 +295,12 @@ where
                         problem.adopt(slot.as_ref().expect("winner published a snapshot"));
                         adoptions += 1;
                     }
+                    if let Some(buffer) = &buffer {
+                        let batch = buffer.drain();
+                        if !batch.is_empty() {
+                            lock_ignoring_poison(journal_batches).push((rounds as u64, r, batch));
+                        }
+                    }
                     rounds += 1;
                     // Hold every replica until adoptions are done, so the
                     // winner cannot overwrite the slot next round while a
@@ -226,6 +312,19 @@ where
                 }
                 let outcome = engine.outcome(&problem);
                 let final_cost = outcome.final_cost;
+                if let Some(buffer) = &buffer {
+                    let tail = buffer.drain();
+                    if !tail.is_empty() {
+                        lock_ignoring_poison(journal_batches).push((u64::MAX, r, tail));
+                    }
+                    obs.with_session(|s| {
+                        lock_ignoring_poison(replica_metrics).push((
+                            r,
+                            std::mem::take(&mut s.metrics),
+                            std::mem::take(&mut s.profiler),
+                        ));
+                    });
+                }
                 (outcome, adoptions, final_cost, problem.snapshot(), rounds)
             }));
         }
@@ -236,6 +335,63 @@ where
             });
         }
     });
+
+    if record {
+        // Deterministic merge: batches ordered by (round, replica), with
+        // each round's exchange summary emitted after the round's events.
+        // Sequence numbers are re-stamped by the caller's session; span
+        // ids and replica attribution survive verbatim.
+        let mut batches = journal_batches
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        batches.sort_by_key(|&(round, replica, _)| (round, replica));
+        let mut exchange_rounds = exchange_log
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        exchange_rounds.sort_unstable_by_key(|&(round, ..)| round);
+        let mut exchange_iter = exchange_rounds.into_iter().peekable();
+        obs.with_session(|s| {
+            let mut last_round: Option<u64> = None;
+            for (round, _, batch) in &batches {
+                if let Some(done) = last_round.filter(|&done| done != *round) {
+                    while let Some(&(er, winner, cost, adopted)) = exchange_iter.peek() {
+                        if er as u64 > done {
+                            break;
+                        }
+                        exchange_iter.next();
+                        s.emit(&Event::Exchange {
+                            round: er,
+                            winner,
+                            winner_cost: cost,
+                            adopted,
+                        });
+                    }
+                }
+                last_round = Some(*round);
+                for (event, meta) in batch {
+                    s.emit_replayed(event, meta);
+                }
+            }
+            for (round, winner, cost, adopted) in exchange_iter {
+                s.emit(&Event::Exchange {
+                    round,
+                    winner,
+                    winner_cost: cost,
+                    adopted,
+                });
+            }
+        });
+        let mut merged = replica_metrics
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        merged.sort_by_key(|&(r, ..)| r);
+        obs.with_session(|s| {
+            for (_, metrics, profiler) in &merged {
+                s.metrics.absorb(metrics);
+                s.profiler.absorb(profiler);
+            }
+        });
+    }
 
     let mut best_replica = 0usize;
     let mut exchanges = 0usize;
@@ -398,6 +554,108 @@ mod tests {
         for r in &out.replicas {
             assert!(out.best_cost <= r.outcome.final_cost);
         }
+    }
+
+    /// Journal text with wall-clock fields removed, for determinism
+    /// comparisons.
+    fn normalized_journal(lines: &[String]) -> Vec<String> {
+        lines
+            .iter()
+            .map(|line| rowfpga_obs::json::parse(line).expect("journal line parses"))
+            .map(|doc| match doc {
+                rowfpga_obs::Json::Obj(pairs) => rowfpga_obs::Json::Obj(
+                    pairs
+                        .into_iter()
+                        .filter(|(k, _)| k != "elapsed_us" && k != "runtime_sec")
+                        .collect(),
+                )
+                .to_string_compact(),
+                other => other.to_string_compact(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn observed_parallel_journals_merge_deterministically() {
+        let observed_run = |seed: u64, k: usize| {
+            let ring = rowfpga_obs::RingSink::new(1 << 16);
+            let obs = Obs::with_sink(Box::new(ring.clone()));
+            let out = obs.span("anneal", || {
+                anneal_parallel_observed(
+                    |_| Toy::new(8),
+                    k,
+                    &cfg(seed),
+                    &ParallelConfig::default(),
+                    &obs,
+                )
+            });
+            (out, ring.snapshot())
+        };
+
+        let (out_a, lines_a) = observed_run(5, 3);
+        let (_out_b, lines_b) = observed_run(5, 3);
+        // The merged journal is a pure function of (seed, K) apart from
+        // wall-clock durations.
+        assert_eq!(normalized_journal(&lines_a), normalized_journal(&lines_b));
+
+        // Recording must not perturb the search itself.
+        let plain = run(5, 3);
+        assert_eq!(out_a.best_replica, plain.best_replica);
+        assert_eq!(out_a.best, plain.best);
+        assert_eq!(out_a.best_cost, plain.best_cost);
+        assert_eq!(out_a.exchanges, plain.exchanges);
+
+        // Replica attribution, span namespacing, exchange rounds, and a
+        // monotonic sequence all survive the merge.
+        let docs: Vec<_> = lines_a
+            .iter()
+            .map(|l| rowfpga_obs::json::parse(l).unwrap())
+            .collect();
+        let metas: Vec<EventMeta> = docs.iter().map(EventMeta::from_json).collect();
+        for (i, m) in metas.iter().enumerate() {
+            assert_eq!(m.seq, i as u64 + 1, "merged seq is monotonic");
+        }
+        let replicas_seen: std::collections::BTreeSet<u32> =
+            metas.iter().map(|m| m.replica).collect();
+        assert!(
+            replicas_seen.contains(&1) && replicas_seen.contains(&3),
+            "replica streams attributed: {replicas_seen:?}"
+        );
+        for m in &metas {
+            if m.replica > 0 && m.span != 0 {
+                assert_eq!(m.span >> 32, u64::from(m.replica), "span namespacing");
+            }
+        }
+        let exchange_count = docs
+            .iter()
+            .filter(|d| d.get("event").and_then(rowfpga_obs::Json::as_str) == Some("exchange"))
+            .count();
+        assert_eq!(exchange_count, out_a.exchanges);
+    }
+
+    #[test]
+    fn observed_parallel_merges_replica_metrics() {
+        let ring = rowfpga_obs::RingSink::new(1 << 16);
+        let obs = Obs::with_sink(Box::new(ring.clone()));
+        let out = anneal_parallel_observed(
+            |_| Toy::new(8),
+            2,
+            &cfg(7),
+            &ParallelConfig::default(),
+            &obs,
+        );
+        let total_moves: usize = out.replicas.iter().map(|r| r.outcome.total_moves).sum();
+        let counted = obs
+            .with_session(|s| {
+                s.metrics.counter("anneal.moves") + s.metrics.counter("anneal.warmup_moves")
+            })
+            .unwrap();
+        assert_eq!(counted as usize, total_moves);
+        let temp_calls = obs
+            .with_session(|s| s.profiler.total("anneal.temperature").map(|t| t.calls))
+            .unwrap()
+            .unwrap_or(0);
+        assert!(temp_calls > 0, "replica phase totals absorbed");
     }
 
     #[test]

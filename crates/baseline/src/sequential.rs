@@ -284,6 +284,7 @@ mod tests {
         impl Recorder for Capture {
             fn record(&mut self, event: &Event) {
                 self.0.borrow_mut().push(match event {
+                    Event::JournalHeader { .. } => "journal_header",
                     Event::RunStart { .. } => "run_start",
                     Event::Temperature(_) => "temperature",
                     Event::Dynamics(_) => "dynamics",
@@ -301,7 +302,8 @@ mod tests {
             .run_observed(&arch, &nl, "fixture", &obs)
             .unwrap();
         let kinds = kinds.borrow();
-        assert_eq!(kinds.first(), Some(&"run_start"));
+        assert_eq!(kinds.first(), Some(&"journal_header"));
+        assert_eq!(kinds.get(1), Some(&"run_start"));
         assert_eq!(kinds.last(), Some(&"run_end"));
         assert!(kinds.contains(&"temperature"));
         assert!(kinds.contains(&"reroute"));

@@ -2,9 +2,11 @@
 //! smoke effort with the disabled handle (the default every caller gets),
 //! metrics-only, and a full JSONL journal. The disabled handle must show no
 //! measurable slowdown against the un-instrumented baseline it replaced;
-//! the journal bounds the cost of full observability.
+//! the journal bounds the cost of full observability. A second group
+//! isolates the span API itself: a disabled handle's `span_start`/
+//! `span_end` pair must cost the same as no call at all.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 use rowfpga_bench::{problem_for, run_flow_observed, Effort, Flow};
 use rowfpga_core::SizingConfig;
@@ -40,5 +42,41 @@ fn bench_obs_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_obs_overhead);
+/// Proves the PR 1 zero-cost contract extends to causal spans: with a
+/// disabled handle, a tight loop wrapped in `span_start`/`span_end` (and
+/// a counter bump, the common instrumentation shape) must clock the same
+/// as the bare loop.
+fn bench_disabled_span_overhead(c: &mut Criterion) {
+    const ITERS: u64 = 10_000;
+    let work = |seed: u64| {
+        // Cheap but not optimizable-away: mixes the counter like the
+        // annealer's LCG step.
+        let mut x = seed;
+        for i in 0..ITERS {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(black_box(i));
+        }
+        black_box(x)
+    };
+    let mut group = c.benchmark_group("obs_disabled_span");
+    group.bench_function("bare_loop", |b| b.iter(|| work(black_box(7))));
+    group.bench_function("disabled_spans", |b| {
+        let obs = Obs::disabled();
+        b.iter(|| {
+            obs.span_start("bench.loop");
+            let x = work(black_box(7));
+            obs.inc("bench.iters");
+            obs.span_end("bench.loop");
+            x
+        })
+    });
+    group.bench_function("disabled_span_closure", |b| {
+        let obs = Obs::disabled();
+        b.iter(|| obs.span("bench.loop", || work(black_box(7))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead, bench_disabled_span_overhead);
 criterion_main!(benches);

@@ -26,6 +26,35 @@ impl FlowChoice {
     }
 }
 
+/// How many parallel annealing replicas to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ThreadsChoice {
+    /// One replica per host core, capped at the host's parallelism.
+    Auto,
+    /// An explicit replica count (always honored; oversubscription is
+    /// warned about, not rejected).
+    Count(usize),
+}
+
+impl ThreadsChoice {
+    /// The replica count to run with on a host with `host_cores` cores.
+    pub fn resolve(self, host_cores: usize) -> usize {
+        match self {
+            ThreadsChoice::Auto => host_cores.max(1),
+            ThreadsChoice::Count(n) => n.max(1),
+        }
+    }
+
+    /// Whether this choice can produce more than one replica (`auto` may,
+    /// depending on the host).
+    pub fn may_be_parallel(self) -> bool {
+        match self {
+            ThreadsChoice::Auto => true,
+            ThreadsChoice::Count(n) => n > 1,
+        }
+    }
+}
+
 /// Options shared by the layout-running subcommands.
 #[derive(Clone, Debug, PartialEq)]
 pub struct CommonOpts {
@@ -62,8 +91,9 @@ pub struct CommonOpts {
     pub audit_every: usize,
     /// Stop after this many temperature steps (deterministic deadline).
     pub temp_budget: Option<usize>,
-    /// Parallel annealing replicas (1 = sequential engine).
-    pub threads: usize,
+    /// Parallel annealing replicas (1 = sequential engine, `auto` = one
+    /// per host core).
+    pub threads: ThreadsChoice,
 }
 
 impl CommonOpts {
@@ -105,7 +135,7 @@ impl Default for CommonOpts {
             deadline: None,
             audit_every: 0,
             temp_budget: None,
-            threads: 1,
+            threads: ThreadsChoice::Count(1),
         }
     }
 }
@@ -171,6 +201,26 @@ pub enum Command {
         max_cells: usize,
         /// Replay one saved repro instead of fuzzing.
         replay: Option<String>,
+    },
+    /// Follow a run journal (file or Unix socket) and render live
+    /// progress.
+    Tail {
+        /// A journal file path, or a `unix:PATH` socket spec.
+        source: String,
+        /// For `unix:` sources: bind and accept instead of connecting
+        /// (pair with a run started with `--journal unix:PATH`).
+        listen: bool,
+        /// For file sources: keep polling for new lines after EOF.
+        follow: bool,
+    },
+    /// Fold a run journal into a convergence-analytics report.
+    Analyze {
+        /// Journal path (JSONL, as written by `--journal`).
+        journal: String,
+        /// Directory receiving the JSON / text / folded-stack reports.
+        out_dir: String,
+        /// Suppress the text report on stdout.
+        quiet: bool,
     },
     /// Run the domain lint engine over the workspace.
     Lint {
@@ -260,20 +310,34 @@ USAGE:
   rowfpga fuzz     [--seconds N] [--iters N] [--seed N] [--corpus DIR]
                    [--min-cells N] [--max-cells N]
   rowfpga fuzz     --replay FILE.repro.json
+  rowfpga tail     <journal.jsonl | unix:PATH> [--listen] [--no-follow]
+  rowfpga analyze  <journal.jsonl> [--out DIR] [--quiet]
   rowfpga lint     [--json] [--fix-budget] [--root DIR]
   rowfpga help
 
 PARALLELISM (simultaneous flow only):
-  --threads N      anneal N independent replicas on N threads, exchanging
+  --threads N|auto anneal N independent replicas on N threads, exchanging
                    the best layout at temperature boundaries; deterministic
                    for a fixed (seed, N), and N=1 is bit-identical to the
-                   sequential engine (incompatible with resilience flags)
+                   sequential engine (incompatible with resilience flags).
+                   `auto` caps the replica count at the host's cores; an
+                   explicit N above that runs anyway with a journaled
+                   `oversubscribed` warning
 
 OBSERVABILITY:
-  --journal FILE   write a structured JSONL run journal (run_start, one
-                   line per temperature, dynamics samples, reroute events,
-                   run_end with a metrics snapshot)
+  --journal DEST   write a structured JSONL run journal (schema header,
+                   run_start, causal span_start/span_end tree, one line
+                   per temperature, dynamics samples, reroute / exchange
+                   events, run_end with a metrics snapshot). DEST is a
+                   file path, or `unix:PATH` to stream to a listening
+                   `rowfpga tail unix:PATH --listen`
   --metrics        print the phase/counter/histogram report after the run
+  rowfpga tail     renders live progress (temperature, cost, acceptance,
+                   per-replica best, ETA) from a journal file or socket
+  rowfpga analyze  folds a finished journal into per-temperature
+                   acceptance, delta-cost histograms, plateau and
+                   replica-exchange analytics plus a folded-stack span
+                   profile (flamegraph-ready), written under --out
 
 RESILIENCE (simultaneous flow only):
   --checkpoint FILE     atomically snapshot the full annealer state here
@@ -415,12 +479,19 @@ fn parse_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), ArgError> 
                 i += 1;
             }
             "--threads" => {
-                opts.threads = parse_num("--threads", args.get(i + 1))?;
-                if opts.threads == 0 {
+                let v = args
+                    .get(i + 1)
+                    .ok_or_else(|| ArgError::MissingValue("--threads".into()))?;
+                opts.threads = if v == "auto" {
+                    ThreadsChoice::Auto
+                } else {
+                    ThreadsChoice::Count(parse_num("--threads", args.get(i + 1))?)
+                };
+                if opts.threads == ThreadsChoice::Count(0) {
                     return Err(ArgError::BadValue {
                         flag: "--threads".into(),
                         value: "0".into(),
-                        expected: "at least one replica".into(),
+                        expected: "at least one replica (or `auto`)".into(),
                     });
                 }
                 i += 1;
@@ -452,7 +523,7 @@ fn parse_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), ArgError> 
                 ),
             });
         }
-        if opts.threads > 1 {
+        if opts.threads.may_be_parallel() {
             return Err(ArgError::Conflict {
                 detail: "`--threads` requires the simultaneous flow; the sequential \
                          baseline anneals placement only (drop `--flow seq`)"
@@ -460,7 +531,7 @@ fn parse_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), ArgError> 
             });
         }
     }
-    if opts.threads > 1 {
+    if opts.threads.may_be_parallel() {
         if let Some(flag) = opts.resilience_flag() {
             return Err(ArgError::Conflict {
                 detail: format!(
@@ -652,6 +723,62 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 min_cells,
                 max_cells,
                 replay,
+            })
+        }
+        "tail" => {
+            let mut source = None;
+            let mut listen = false;
+            let mut follow = true;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--listen" => listen = true,
+                    "--no-follow" => follow = false,
+                    other if other.starts_with("--") => {
+                        return Err(ArgError::UnknownFlag(other.into()))
+                    }
+                    other => source = Some(other.to_owned()),
+                }
+                i += 1;
+            }
+            let source = source.ok_or(ArgError::MissingInput)?;
+            if listen && !source.starts_with("unix:") {
+                return Err(ArgError::Conflict {
+                    detail: "`--listen` needs a `unix:PATH` source to bind".into(),
+                });
+            }
+            Ok(Command::Tail {
+                source,
+                listen,
+                follow,
+            })
+        }
+        "analyze" => {
+            let mut journal = None;
+            let mut out_dir = "results".to_owned();
+            let mut quiet = false;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--out" => {
+                        out_dir = rest
+                            .get(i + 1)
+                            .ok_or_else(|| ArgError::MissingValue("--out".into()))?
+                            .clone();
+                        i += 1;
+                    }
+                    "--quiet" => quiet = true,
+                    other if other.starts_with("--") => {
+                        return Err(ArgError::UnknownFlag(other.into()))
+                    }
+                    other => journal = Some(other.to_owned()),
+                }
+                i += 1;
+            }
+            Ok(Command::Analyze {
+                journal: journal.ok_or(ArgError::MissingInput)?,
+                out_dir,
+                quiet,
             })
         }
         "lint" => {
@@ -861,14 +988,24 @@ mod tests {
     fn parses_threads() {
         let c = parse_args(&v(&["layout", "d.net", "--threads", "4"])).unwrap();
         match c {
-            Command::Layout { opts, .. } => assert_eq!(opts.threads, 4),
+            Command::Layout { opts, .. } => assert_eq!(opts.threads, ThreadsChoice::Count(4)),
             _ => panic!("wrong command"),
         }
         // Default is a single (sequential) replica.
         match parse_args(&v(&["layout", "d.net"])).unwrap() {
-            Command::Layout { opts, .. } => assert_eq!(opts.threads, 1),
+            Command::Layout { opts, .. } => assert_eq!(opts.threads, ThreadsChoice::Count(1)),
             _ => panic!("wrong command"),
         }
+        // `auto` defers the count to the host's parallelism.
+        match parse_args(&v(&["layout", "d.net", "--threads", "auto"])).unwrap() {
+            Command::Layout { opts, .. } => {
+                assert_eq!(opts.threads, ThreadsChoice::Auto);
+                assert_eq!(opts.threads.resolve(8), 8);
+                assert_eq!(opts.threads.resolve(0), 1);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert_eq!(ThreadsChoice::Count(4).resolve(1), 4, "explicit N wins");
         assert!(USAGE.contains("--threads"));
     }
 
@@ -910,6 +1047,84 @@ mod tests {
             "ck.json"
         ]))
         .is_ok());
+        // `auto` may resolve to >1 replica, so the same conflicts apply
+        // regardless of the host this parse runs on.
+        assert!(matches!(
+            parse_args(&v(&[
+                "layout",
+                "d.net",
+                "--threads",
+                "auto",
+                "--deadline",
+                "5"
+            ]))
+            .unwrap_err(),
+            ArgError::Conflict { .. }
+        ));
+        assert!(matches!(
+            parse_args(&v(&[
+                "layout",
+                "d.net",
+                "--flow",
+                "seq",
+                "--threads",
+                "auto"
+            ]))
+            .unwrap_err(),
+            ArgError::Conflict { .. }
+        ));
+    }
+
+    #[test]
+    fn parses_tail_and_analyze() {
+        match parse_args(&v(&["tail", "run.jsonl", "--no-follow"])).unwrap() {
+            Command::Tail {
+                source,
+                listen,
+                follow,
+            } => {
+                assert_eq!(source, "run.jsonl");
+                assert!(!listen);
+                assert!(!follow);
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse_args(&v(&["tail", "unix:/tmp/r.sock", "--listen"])).unwrap() {
+            Command::Tail { source, listen, .. } => {
+                assert_eq!(source, "unix:/tmp/r.sock");
+                assert!(listen);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(matches!(
+            parse_args(&v(&["tail", "run.jsonl", "--listen"])).unwrap_err(),
+            ArgError::Conflict { .. }
+        ));
+        assert!(matches!(
+            parse_args(&v(&["tail"])).unwrap_err(),
+            ArgError::MissingInput
+        ));
+        match parse_args(&v(&["analyze", "run.jsonl"])).unwrap() {
+            Command::Analyze {
+                journal,
+                out_dir,
+                quiet,
+            } => {
+                assert_eq!(journal, "run.jsonl");
+                assert_eq!(out_dir, "results");
+                assert!(!quiet);
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse_args(&v(&["analyze", "run.jsonl", "--out", "rep", "--quiet"])).unwrap() {
+            Command::Analyze { out_dir, quiet, .. } => {
+                assert_eq!(out_dir, "rep");
+                assert!(quiet);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(USAGE.contains("rowfpga tail"));
+        assert!(USAGE.contains("rowfpga analyze"));
     }
 
     #[test]

@@ -13,10 +13,10 @@ use rowfpga_netlist::{
     generate, paper_preset, parse_blif, parse_netlist, write_netlist, GenerateConfig, Netlist,
     PaperBenchmark,
 };
-use rowfpga_obs::{Obs, RunJournal};
+use rowfpga_obs::{Event, Obs};
 use rowfpga_timing::Sta;
 
-use crate::args::{Command, CommonOpts, FlowChoice, USAGE};
+use crate::args::{Command, CommonOpts, FlowChoice, ThreadsChoice, USAGE};
 
 /// Errors surfaced to the CLI user.
 #[derive(Debug)]
@@ -117,14 +117,19 @@ fn sized_arch(netlist: &Netlist, opts: &CommonOpts) -> Result<Architecture, CliE
     size_architecture(netlist, &sizing).map_err(|e| CliError::Parse(format!("sizing failed: {e}")))
 }
 
+/// The host's core count, used to resolve `--threads auto` and to warn
+/// about oversubscribed explicit counts.
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// Builds the observability handle the common flags ask for: a JSONL
-/// journal sink for `--journal`, metrics-only for bare `--metrics`, and the
-/// zero-overhead disabled handle otherwise.
+/// journal sink for `--journal` (a file path or a `unix:PATH` socket
+/// spec), metrics-only for bare `--metrics`, and the zero-overhead
+/// disabled handle otherwise.
 fn build_obs(opts: &CommonOpts) -> Result<Obs, CliError> {
-    if let Some(path) = &opts.journal {
-        let file = std::fs::File::create(path)?;
-        let journal = RunJournal::new(std::io::BufWriter::new(file));
-        Ok(Obs::with_sink(Box::new(journal)))
+    if let Some(spec) = &opts.journal {
+        Ok(Obs::with_sink(rowfpga_obs::open_sink(spec)?))
     } else if opts.metrics {
         Ok(Obs::metrics_only())
     } else {
@@ -154,9 +159,25 @@ fn run_layout(
             cfg.resilience.deadline = opts.deadline.map(std::time::Duration::from_secs_f64);
             cfg.resilience.audit_every = opts.audit_every;
             cfg.resilience.temp_budget = opts.temp_budget;
-            cfg.threads = opts.threads.max(1);
+            let cores = host_cores();
+            let threads = opts.threads.resolve(cores);
+            cfg.threads = threads;
+            if let ThreadsChoice::Count(n) = opts.threads {
+                // An explicit count always wins, but replicas beyond the
+                // host's cores time-slice instead of running concurrently.
+                if n > cores {
+                    obs.emit(Event::Warning {
+                        code: "oversubscribed".into(),
+                        detail: format!("{n} replicas on {cores} host core(s)"),
+                    });
+                    eprintln!(
+                        "warning: --threads {n} oversubscribes this {cores}-core host; \
+                         replicas will time-slice (use --threads auto to cap at the cores)"
+                    );
+                }
+            }
             let tool = SimultaneousPlaceRoute::new(cfg);
-            if opts.threads > 1 {
+            if threads > 1 {
                 // The parser rejects --threads plus resilience flags, so
                 // the parallel path never silently drops a checkpoint.
                 tool.run_parallel(arch, netlist, label, obs)?
@@ -233,9 +254,48 @@ fn print_obs_outputs(
             writeln!(out, "\n{report}")?;
         }
     }
-    if let Some(path) = &opts.journal {
-        writeln!(out, "run journal written to {path}")?;
+    if let Some(spec) = &opts.journal {
+        if spec.starts_with(rowfpga_obs::SOCKET_SPEC_PREFIX) {
+            writeln!(out, "run journal streamed to {spec}")?;
+        } else {
+            writeln!(out, "run journal written to {spec}")?;
+        }
     }
+    Ok(())
+}
+
+/// Implements `rowfpga analyze`: folds a journal into the convergence
+/// report, writing the JSON / text / folded-stack artifacts under
+/// `out_dir`.
+fn run_analyze(
+    journal: &str,
+    out_dir: &str,
+    quiet: bool,
+    out: &mut impl std::io::Write,
+) -> Result<(), CliError> {
+    let text = std::fs::read_to_string(journal)?;
+    let analysis =
+        rowfpga_obs::analyze_journal(&text).map_err(|e| CliError::Parse(e.to_string()))?;
+    std::fs::create_dir_all(out_dir)?;
+    let stem = std::path::Path::new(journal).file_stem().map_or_else(
+        || "journal".to_owned(),
+        |s| s.to_string_lossy().into_owned(),
+    );
+    let dir = std::path::Path::new(out_dir);
+    let json_path = dir.join(format!("{stem}.analysis.json"));
+    let txt_path = dir.join(format!("{stem}.analysis.txt"));
+    let folded_path = dir.join(format!("{stem}.folded"));
+    std::fs::write(&json_path, analysis.to_json().to_string_pretty() + "\n")?;
+    std::fs::write(&txt_path, analysis.render_text())?;
+    std::fs::write(&folded_path, analysis.folded_text())?;
+    if !quiet {
+        writeln!(out, "{}", analysis.render_text().trim_end())?;
+    }
+    writeln!(
+        out,
+        "analysis written to {} (+ .txt, .folded)",
+        json_path.display()
+    )?;
     Ok(())
 }
 
@@ -373,6 +433,16 @@ pub fn run_command_with_stop(
             print_layout_outputs(&arch, &netlist, &result, opts, out)?;
             print_obs_outputs(&obs, opts, out)
         }
+        Command::Tail {
+            source,
+            listen,
+            follow,
+        } => crate::tail::run_tail(source, *listen, *follow, out),
+        Command::Analyze {
+            journal,
+            out_dir,
+            quiet,
+        } => run_analyze(journal, out_dir, *quiet, out),
         Command::Lint {
             json,
             fix_budget,
@@ -674,17 +744,67 @@ verticals longlines 4 3
         let events: Vec<Event> = docs.iter().filter_map(Event::from_json).collect();
         assert_eq!(events.len(), docs.len());
         assert!(
-            matches!(&events[0], Event::RunStart { benchmark, .. } if benchmark == "s1"),
-            "journal opens with run_start"
+            matches!(&events[0], Event::JournalHeader { .. }),
+            "journal opens with the schema header"
+        );
+        assert!(
+            matches!(&events[1], Event::RunStart { benchmark, .. } if benchmark == "s1"),
+            "run_start follows the header"
         );
         assert!(
             events.iter().any(|e| matches!(e, Event::Temperature(_))),
             "journal has at least one temperature event"
         );
         assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::SpanStart { name, .. } if name == "anneal")),
+            "journal carries the causal span tree"
+        );
+        assert!(
             matches!(events.last(), Some(Event::RunEnd { .. })),
             "journal closes with run_end"
         );
+    }
+
+    #[test]
+    fn journal_analyze_and_tail_work_end_to_end() {
+        use rowfpga_obs::json;
+
+        let dir = std::env::temp_dir().join("rowfpga_cli_analyze_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal_path = dir.join("run.jsonl");
+        run(&[
+            "bench",
+            "s1",
+            "--fast",
+            "--journal",
+            journal_path.to_str().unwrap(),
+        ])
+        .unwrap();
+
+        let out = run(&[
+            "analyze",
+            journal_path.to_str().unwrap(),
+            "--out",
+            dir.to_str().unwrap(),
+        ])
+        .unwrap();
+        assert!(out.contains("per-temperature"), "{out}");
+        assert!(out.contains("analysis written to"), "{out}");
+        let json_text = std::fs::read_to_string(dir.join("run.analysis.json")).unwrap();
+        let doc = json::parse(&json_text).expect("analysis JSON parses");
+        assert_eq!(
+            doc.get("schema").and_then(json::Json::as_str),
+            Some("rowfpga.analyze/v1")
+        );
+        let folded = std::fs::read_to_string(dir.join("run.folded")).unwrap();
+        assert!(folded.contains("main;anneal"), "{folded}");
+
+        let tail_out = run(&["tail", journal_path.to_str().unwrap(), "--no-follow"]).unwrap();
+        assert!(tail_out.contains("done (converged)"), "{tail_out}");
+
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

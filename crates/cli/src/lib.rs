@@ -17,7 +17,8 @@
 
 mod args;
 mod commands;
+mod tail;
 
-pub use args::{parse_args, ArgError, Command, CommonOpts, FlowChoice};
+pub use args::{parse_args, ArgError, Command, CommonOpts, FlowChoice, ThreadsChoice};
 pub use commands::{run_command, run_command_with_stop, CliError};
 pub use rowfpga_core::StopFlag;

@@ -7,12 +7,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use rowfpga_anneal::{anneal_parallel, replica_seed, AnnealConfig, Annealer, ParallelConfig};
+use rowfpga_anneal::{
+    anneal_parallel_observed, replica_seed, AnnealConfig, Annealer, ParallelConfig,
+};
 use rowfpga_arch::Architecture;
 use rowfpga_netlist::{CombLoopError, Netlist};
 use rowfpga_obs::{Event, Json, Obs, RerouteRecord};
 use rowfpga_place::{CreatePlacementError, MoveWeights, Placement};
-use rowfpga_route::{route_batch, RouterConfig, RoutingState};
+use rowfpga_route::{route_batch_observed, RouterConfig, RoutingState};
 use rowfpga_timing::{CriticalPath, Sta};
 
 use crate::cost::CostConfig;
@@ -644,13 +646,14 @@ impl SimultaneousPlaceRoute {
                 // recover the last stragglers, exactly as a sequential flow's
                 // router would.
                 let repair = obs.span("final_repair", || {
-                    route_batch(
+                    route_batch_observed(
                         &mut routing,
                         arch,
                         netlist,
                         &placement,
                         &self.config.router,
                         self.config.final_repair_passes,
+                        obs,
                     )
                 });
                 if obs.enabled() {
@@ -678,7 +681,8 @@ impl SimultaneousPlaceRoute {
         }
 
         let sta = obs.span("final_sta", || {
-            Sta::analyze(arch, netlist, &placement, &routing).map_err(LayoutError::CombLoop)
+            Sta::analyze_observed(arch, netlist, &placement, &routing, obs)
+                .map_err(LayoutError::CombLoop)
         })?;
         let critical_path = sta.critical_path(netlist);
         if stop_reason == StopReason::Converged && repairs_total > 0 {
@@ -724,7 +728,8 @@ impl SimultaneousPlaceRoute {
 
     /// Lays out `netlist` on `arch` with [`SimPrConfig::threads`] parallel
     /// annealing replicas exchanging their best layout at temperature
-    /// boundaries (see [`anneal_parallel`]). Replica `r` starts from the
+    /// boundaries (see [`anneal_parallel_observed`]). Replica `r` starts
+    /// from the
     /// random placement seeded [`replica_seed`]`(placement_seed, r)` and
     /// anneals with seed `replica_seed(anneal.seed, r)`, so `threads == 1`
     /// reproduces the sequential flow bit-for-bit. The best replica's final
@@ -778,7 +783,7 @@ impl SimultaneousPlaceRoute {
         LayoutProblem::check_levelizable(netlist).map_err(LayoutError::CombLoop)?;
 
         obs.span_start("anneal");
-        let outcome = anneal_parallel(
+        let outcome = anneal_parallel_observed(
             |r| {
                 LayoutProblem::new(
                     arch,
@@ -793,6 +798,7 @@ impl SimultaneousPlaceRoute {
             threads,
             &anneal_cfg,
             &ParallelConfig::default(),
+            obs,
         );
         obs.span_end("anneal");
         if obs.enabled() {
@@ -842,13 +848,14 @@ impl SimultaneousPlaceRoute {
         let (placement, mut routing, dynamics) = problem.into_parts();
         if !routing.is_fully_routed() && self.config.final_repair_passes > 0 {
             let repair = obs.span("final_repair", || {
-                route_batch(
+                route_batch_observed(
                     &mut routing,
                     arch,
                     netlist,
                     &placement,
                     &self.config.router,
                     self.config.final_repair_passes,
+                    obs,
                 )
             });
             if obs.enabled() {
@@ -865,7 +872,8 @@ impl SimultaneousPlaceRoute {
         }
 
         let sta = obs.span("final_sta", || {
-            Sta::analyze(arch, netlist, &placement, &routing).map_err(LayoutError::CombLoop)
+            Sta::analyze_observed(arch, netlist, &placement, &routing, obs)
+                .map_err(LayoutError::CombLoop)
         })?;
         let critical_path = sta.critical_path(netlist);
         let best = &outcome.replicas[outcome.best_replica].outcome;
@@ -1036,7 +1044,7 @@ impl SimultaneousPlaceRoute {
 mod tests {
     use super::*;
     use rowfpga_netlist::{generate, GenerateConfig};
-    use rowfpga_route::verify_routing;
+    use rowfpga_route::{route_batch, verify_routing};
 
     fn fixture() -> (Architecture, Netlist) {
         let nl = generate(&GenerateConfig {
@@ -1184,8 +1192,19 @@ mod tests {
         );
 
         assert!(
-            matches!(&events[0], Event::RunStart { benchmark, .. } if benchmark == "fixture"),
-            "first event must be run_start"
+            matches!(&events[0], Event::JournalHeader { schema, .. }
+                if *schema == rowfpga_obs::SCHEMA_VERSION),
+            "first line must be the schema header"
+        );
+        assert!(
+            matches!(&events[1], Event::RunStart { benchmark, .. } if benchmark == "fixture"),
+            "run_start must follow the header"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::SpanStart { name, .. } if name == "anneal")),
+            "phase spans are journaled"
         );
         let temps = events
             .iter()

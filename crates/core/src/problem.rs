@@ -300,7 +300,7 @@ impl<'a> LayoutProblem<'a> {
             self.routing.rip_up_cell(self.netlist, cell);
         }
         let ripped = self.routing.globally_unrouted().saturating_sub(g0);
-        let reroute = self.obs.span("reroute.incremental", || {
+        let reroute = self.obs.span_quiet("reroute.incremental", || {
             self.routing.route_incremental(
                 self.arch,
                 self.netlist,
@@ -309,7 +309,7 @@ impl<'a> LayoutProblem<'a> {
             )
         });
         let changed = self.routing.touched_nets();
-        self.obs.span("sta.delay_update", || {
+        self.obs.span_quiet("sta.delay_update", || {
             self.timing.update_nets(
                 self.arch,
                 self.netlist,

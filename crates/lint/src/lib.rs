@@ -49,17 +49,13 @@ const DETERMINISTIC_CRATES: &[&str] = &[
     "rowfpga-timing",
 ];
 
-/// Crates allowed to read wall clocks and OS entropy: the observability
-/// layer, the CLI, the benchmark harness, and the offline shims (the
-/// criterion shim *is* a timer).
-const WALL_CLOCK_CRATES: &[&str] = &[
-    "rowfpga-obs",
-    "rowfpga-cli",
-    "rowfpga-bench",
-    "rand",
-    "proptest",
-    "criterion",
-];
+/// Crates allowed to read wall clocks and OS entropy wholesale: the
+/// benchmark harness and the offline shims (the criterion shim *is* a
+/// timer). The observability layer and the CLI are deliberately NOT
+/// here — their few legitimate clock sites (span timing, tail ETA
+/// pacing) carry reasoned `begin-allow(determinism)` regions instead,
+/// so a stray clock in new obs/cli code still fails the lint.
+const WALL_CLOCK_CRATES: &[&str] = &["rowfpga-bench", "rand", "proptest", "criterion"];
 
 /// Engine options.
 #[derive(Clone, Copy, Debug, Default)]

@@ -1,0 +1,930 @@
+//! Convergence analytics over a recorded run journal.
+//!
+//! [`analyze_journal`] folds a JSONL journal (see [`crate::record`] for the
+//! schema) into:
+//!
+//! * per-temperature acceptance rates and cost statistics, attributed to
+//!   the replica that produced them,
+//! * a delta-cost histogram over consecutive end-of-temperature costs,
+//! * stall/plateau detection on the best-cost trajectory,
+//! * replica-exchange win counts and per-replica totals, and
+//! * a folded-stack (flamegraph-compatible) span profile rebuilt from the
+//!   `span_start` / `span_end` events.
+//!
+//! [`LiveStatus`] is the incremental sibling used by `rowfpga tail`: it
+//! ingests lines one at a time and renders a one-line progress summary
+//! (current temperature, cost, acceptance, per-replica best, ETA).
+//!
+//! Both readers check the `journal_header`: journals written by a *newer*
+//! schema are rejected instead of misparsed, and header-less journals are
+//! accepted as legacy schema 1 (events they don't carry simply yield
+//! empty sections).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+
+use crate::json::{self, Json};
+use crate::record::{Event, EventMeta, TemperatureRecord, SCHEMA_VERSION};
+
+/// Why a journal could not be analyzed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AnalyzeError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for AnalyzeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for AnalyzeError {}
+
+fn err(message: impl Into<String>) -> AnalyzeError {
+    AnalyzeError {
+        message: message.into(),
+    }
+}
+
+/// Checks a parsed first line for schema compatibility. Returns the
+/// effective schema version: the header's, or 1 for legacy header-less
+/// journals.
+pub fn check_schema(first: Option<&Json>) -> Result<u32, AnalyzeError> {
+    match first.map(|doc| (doc, Event::from_json(doc))) {
+        Some((_, Some(Event::JournalHeader { schema, generator }))) => {
+            if schema > SCHEMA_VERSION {
+                Err(err(format!(
+                    "journal schema {schema} (written by {generator}) is newer than the \
+                     supported schema {SCHEMA_VERSION}; upgrade rowfpga to read it"
+                )))
+            } else {
+                Ok(schema)
+            }
+        }
+        _ => Ok(1),
+    }
+}
+
+/// One temperature summary with replica attribution.
+#[derive(Clone, Copy, Debug)]
+pub struct TempStat {
+    /// Replica the sweep ran on (0 = driver / sequential run).
+    pub replica: u32,
+    /// The temperature record as journaled.
+    pub record: TemperatureRecord,
+}
+
+impl TempStat {
+    /// Accepted / attempted moves for the sweep.
+    pub fn acceptance(&self) -> f64 {
+        if self.record.moves == 0 {
+            0.0
+        } else {
+            self.record.accepted as f64 / self.record.moves as f64
+        }
+    }
+}
+
+/// A run of temperatures where the best cost stopped improving.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Plateau {
+    /// Replica whose best-cost trajectory stalled.
+    pub replica: u32,
+    /// Temperature index the stall started at.
+    pub start: usize,
+    /// Number of consecutive stalled temperatures.
+    pub len: usize,
+    /// Best cost over the plateau.
+    pub best_cost: f64,
+}
+
+/// Totals for one replica stream.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ReplicaStat {
+    /// Replica id as journaled (0 = driver).
+    pub replica: u32,
+    /// Events attributed to the replica.
+    pub events: u64,
+    /// Temperature sweeps it completed.
+    pub temps: usize,
+    /// Moves it attempted.
+    pub moves: usize,
+    /// Best cost it reached.
+    pub best_cost: f64,
+    /// Exchange rounds it won.
+    pub wins: usize,
+}
+
+/// One signed delta-cost bin.
+#[derive(Clone, Copy, Debug)]
+pub struct DeltaBin {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Exclusive upper bound (inclusive for the last bin).
+    pub hi: f64,
+    /// Deltas that landed here.
+    pub count: u64,
+}
+
+/// The folded analytics for one journal.
+#[derive(Clone, Debug, Default)]
+pub struct Analysis {
+    /// Effective journal schema (1 = legacy, header-less).
+    pub schema: u32,
+    /// Flow name from `run_start` (empty if absent).
+    pub flow: String,
+    /// Benchmark name from `run_start`.
+    pub benchmark: String,
+    /// Seed from `run_start`.
+    pub seed: u64,
+    /// Stop reason, if the run journaled one.
+    pub stop_reason: String,
+    /// Final cost from `run_end`, if present.
+    pub final_cost: Option<f64>,
+    /// Total journal lines that parsed as events.
+    pub events: u64,
+    /// Per-temperature statistics in journal order.
+    pub temperatures: Vec<TempStat>,
+    /// Signed histogram of consecutive end-of-temperature cost deltas.
+    pub delta_bins: Vec<DeltaBin>,
+    /// Detected best-cost plateaus.
+    pub plateaus: Vec<Plateau>,
+    /// Per-replica totals, ascending replica id.
+    pub replicas: Vec<ReplicaStat>,
+    /// Raw exchange rounds: `(round, winner, winner_cost, adopted)`.
+    pub exchanges: Vec<(usize, usize, f64, usize)>,
+    /// Folded-stack lines (`path;to;span self_us`), ready for flamegraph
+    /// tooling, sorted by stack path.
+    pub folded: Vec<String>,
+}
+
+/// Minimum consecutive stalled temperatures to report as a plateau.
+const PLATEAU_MIN_LEN: usize = 5;
+/// Relative best-cost improvement below which a temperature counts as
+/// stalled.
+const PLATEAU_REL_EPS: f64 = 1e-3;
+
+/// Parses and folds a whole journal.
+pub fn analyze_journal(text: &str) -> Result<Analysis, AnalyzeError> {
+    let docs = json::parse_lines(text).map_err(|e| err(format!("journal is not JSONL: {e}")))?;
+    analyze_docs(&docs)
+}
+
+/// Folds already-parsed journal lines.
+pub fn analyze_docs(docs: &[Json]) -> Result<Analysis, AnalyzeError> {
+    let mut a = Analysis {
+        schema: check_schema(docs.first())?,
+        ..Analysis::default()
+    };
+
+    // Span-tree bookkeeping for the folded profile.
+    let mut open: BTreeMap<u64, (String, u64, u32)> = BTreeMap::new(); // id -> (name, parent, replica)
+    let mut child_us: BTreeMap<u64, u64> = BTreeMap::new();
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+
+    let mut replicas: BTreeMap<u32, ReplicaStat> = BTreeMap::new();
+
+    for doc in docs {
+        let Some(event) = Event::from_json(doc) else {
+            continue;
+        };
+        let meta = EventMeta::from_json(doc);
+        a.events += 1;
+        {
+            let r = replicas.entry(meta.replica).or_default();
+            r.replica = meta.replica;
+            r.events += 1;
+        }
+        match event {
+            Event::RunStart {
+                flow,
+                benchmark,
+                seed,
+                ..
+            } => {
+                a.flow = flow;
+                a.benchmark = benchmark;
+                a.seed = seed;
+            }
+            Event::Temperature(t) => {
+                let r = replicas.entry(meta.replica).or_default();
+                r.temps += 1;
+                r.moves += t.moves;
+                r.best_cost = if r.temps == 1 {
+                    t.best_cost
+                } else {
+                    r.best_cost.min(t.best_cost)
+                };
+                a.temperatures.push(TempStat {
+                    replica: meta.replica,
+                    record: t,
+                });
+            }
+            Event::Exchange {
+                round,
+                winner,
+                winner_cost,
+                adopted,
+            } => {
+                // Exchange winners are 0-based replica indices; their
+                // journal streams are stamped index + 1.
+                let r = replicas.entry(winner as u32 + 1).or_default();
+                r.replica = winner as u32 + 1;
+                r.wins += 1;
+                a.exchanges.push((round, winner, winner_cost, adopted));
+            }
+            Event::Stop { reason, .. } => a.stop_reason = reason,
+            Event::RunEnd { cost, .. } => a.final_cost = Some(cost),
+            Event::SpanStart { id, parent, name } => {
+                open.insert(id, (name, parent, meta.replica));
+            }
+            Event::SpanEnd { id, elapsed_us, .. } => {
+                let Some((name, parent, replica)) = open.remove(&id) else {
+                    continue; // truncated or legacy journal
+                };
+                let self_us = elapsed_us.saturating_sub(child_us.remove(&id).unwrap_or(0));
+                *child_us.entry(parent).or_default() += elapsed_us;
+                // Rebuild the stack path from the still-open ancestors.
+                let mut path = vec![name.as_str()];
+                let mut cursor = parent;
+                while let Some((pname, pparent, _)) = open.get(&cursor) {
+                    path.push(pname.as_str());
+                    cursor = *pparent;
+                }
+                let root = if replica == 0 {
+                    "main".to_string()
+                } else {
+                    format!("replica{replica}")
+                };
+                path.push(root.as_str());
+                path.reverse();
+                *folded.entry(path.join(";")).or_default() += self_us;
+            }
+            _ => {}
+        }
+    }
+
+    a.replicas = replicas.into_values().collect();
+    a.folded = folded
+        .into_iter()
+        .map(|(path, us)| format!("{path} {us}"))
+        .collect();
+    a.delta_bins = delta_histogram(&a.temperatures);
+    a.plateaus = find_plateaus(&a.temperatures);
+    Ok(a)
+}
+
+/// Buckets consecutive same-replica `current_cost` deltas into a signed
+/// histogram with edges scaled to the largest observed magnitude.
+fn delta_histogram(temps: &[TempStat]) -> Vec<DeltaBin> {
+    let mut deltas = Vec::new();
+    let mut last: BTreeMap<u32, f64> = BTreeMap::new();
+    for t in temps {
+        if let Some(prev) = last.insert(t.replica, t.record.current_cost) {
+            deltas.push(t.record.current_cost - prev);
+        }
+    }
+    if deltas.is_empty() {
+        return Vec::new();
+    }
+    let scale = deltas.iter().fold(0.0f64, |m, d| m.max(d.abs())).max(1e-12);
+    let fractions = [
+        -1.0, -0.5, -0.25, -0.1, -0.01, 0.0, 0.01, 0.1, 0.25, 0.5, 1.0,
+    ];
+    let edges: Vec<f64> = fractions.iter().map(|f| f * scale).collect();
+    let mut bins: Vec<DeltaBin> = edges
+        .windows(2)
+        .map(|w| DeltaBin {
+            lo: w[0],
+            hi: w[1],
+            count: 0,
+        })
+        .collect();
+    for d in deltas {
+        let idx = bins.iter().position(|b| d < b.hi).unwrap_or(bins.len() - 1);
+        bins[idx].count += 1;
+    }
+    bins
+}
+
+/// Finds runs of `PLATEAU_MIN_LEN`+ temperatures whose best cost improved
+/// by less than `PLATEAU_REL_EPS` relative to the cost entering the run.
+fn find_plateaus(temps: &[TempStat]) -> Vec<Plateau> {
+    let mut by_replica: BTreeMap<u32, Vec<(usize, f64)>> = BTreeMap::new();
+    for t in temps {
+        by_replica
+            .entry(t.replica)
+            .or_default()
+            .push((t.record.index, t.record.best_cost));
+    }
+    let mut plateaus = Vec::new();
+    for (replica, series) in by_replica {
+        let mut run_start = 0usize;
+        let mut run_base = f64::INFINITY;
+        let mut run_len = 0usize;
+        for (i, &(index, best)) in series.iter().enumerate() {
+            let stalled = run_len > 0 && run_base - best < PLATEAU_REL_EPS * run_base.abs();
+            if stalled {
+                run_len += 1;
+            } else {
+                if run_len >= PLATEAU_MIN_LEN {
+                    plateaus.push(Plateau {
+                        replica,
+                        start: series[run_start].0,
+                        len: run_len,
+                        best_cost: run_base,
+                    });
+                }
+                run_start = i;
+                run_base = best;
+                run_len = 1;
+            }
+            let _ = index;
+        }
+        if run_len >= PLATEAU_MIN_LEN {
+            plateaus.push(Plateau {
+                replica,
+                start: series[run_start].0,
+                len: run_len,
+                best_cost: run_base,
+            });
+        }
+    }
+    plateaus
+}
+
+impl Analysis {
+    /// The full analytics as one JSON document (the `analyze` artifact).
+    pub fn to_json(&self) -> Json {
+        let temps = Json::Arr(
+            self.temperatures
+                .iter()
+                .map(|t| {
+                    Json::obj(vec![
+                        ("replica", u64::from(t.replica).into()),
+                        ("index", t.record.index.into()),
+                        ("temperature", t.record.temperature.into()),
+                        ("moves", t.record.moves.into()),
+                        ("accepted", t.record.accepted.into()),
+                        ("acceptance", t.acceptance().into()),
+                        ("mean_cost", t.record.mean_cost.into()),
+                        ("std_cost", t.record.std_cost.into()),
+                        ("current_cost", t.record.current_cost.into()),
+                        ("best_cost", t.record.best_cost.into()),
+                    ])
+                })
+                .collect(),
+        );
+        let deltas = Json::Arr(
+            self.delta_bins
+                .iter()
+                .map(|b| {
+                    Json::obj(vec![
+                        ("lo", b.lo.into()),
+                        ("hi", b.hi.into()),
+                        ("count", b.count.into()),
+                    ])
+                })
+                .collect(),
+        );
+        let plateaus = Json::Arr(
+            self.plateaus
+                .iter()
+                .map(|p| {
+                    Json::obj(vec![
+                        ("replica", u64::from(p.replica).into()),
+                        ("start", p.start.into()),
+                        ("len", p.len.into()),
+                        ("best_cost", p.best_cost.into()),
+                    ])
+                })
+                .collect(),
+        );
+        let replicas = Json::Arr(
+            self.replicas
+                .iter()
+                .map(|r| {
+                    Json::obj(vec![
+                        ("replica", u64::from(r.replica).into()),
+                        ("events", r.events.into()),
+                        ("temps", r.temps.into()),
+                        ("moves", r.moves.into()),
+                        ("best_cost", r.best_cost.into()),
+                        ("wins", r.wins.into()),
+                    ])
+                })
+                .collect(),
+        );
+        let exchanges = Json::Arr(
+            self.exchanges
+                .iter()
+                .map(|&(round, winner, cost, adopted)| {
+                    Json::obj(vec![
+                        ("round", round.into()),
+                        ("winner", winner.into()),
+                        ("winner_cost", cost.into()),
+                        ("adopted", adopted.into()),
+                    ])
+                })
+                .collect(),
+        );
+        Json::obj(vec![
+            ("schema", Json::Str("rowfpga.analyze/v1".into())),
+            ("journal_schema", u64::from(self.schema).into()),
+            ("flow", self.flow.as_str().into()),
+            ("benchmark", self.benchmark.as_str().into()),
+            ("seed", self.seed.into()),
+            ("stop_reason", self.stop_reason.as_str().into()),
+            ("final_cost", self.final_cost.map_or(Json::Null, Json::from)),
+            ("events", self.events.into()),
+            ("temperatures", temps),
+            ("delta_cost_histogram", deltas),
+            ("plateaus", plateaus),
+            ("replicas", replicas),
+            ("exchanges", exchanges),
+            (
+                "folded",
+                Json::Arr(self.folded.iter().map(|l| l.as_str().into()).collect()),
+            ),
+        ])
+    }
+
+    /// The folded-stack profile as one flamegraph-compatible text blob.
+    pub fn folded_text(&self) -> String {
+        let mut out = String::new();
+        for line in &self.folded {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run: {} / {} (seed {}, journal schema {})",
+            self.flow, self.benchmark, self.seed, self.schema
+        );
+        if !self.stop_reason.is_empty() {
+            let _ = writeln!(out, "stop: {}", self.stop_reason);
+        }
+        if let Some(cost) = self.final_cost {
+            let _ = writeln!(out, "final cost: {cost:.3}");
+        }
+        let _ = writeln!(out, "events: {}", self.events);
+
+        if !self.temperatures.is_empty() {
+            let _ = writeln!(out, "\nper-temperature acceptance");
+            let _ = writeln!(
+                out,
+                "  {:>3} {:>5} {:>12} {:>7} {:>6} {:>12} {:>12}",
+                "rep", "idx", "temperature", "moves", "acc%", "current", "best"
+            );
+            for t in &self.temperatures {
+                let _ = writeln!(
+                    out,
+                    "  {:>3} {:>5} {:>12.4} {:>7} {:>5.1}% {:>12.3} {:>12.3}",
+                    t.replica,
+                    t.record.index,
+                    t.record.temperature,
+                    t.record.moves,
+                    100.0 * t.acceptance(),
+                    t.record.current_cost,
+                    t.record.best_cost,
+                );
+            }
+        }
+
+        if !self.delta_bins.is_empty() {
+            let _ = writeln!(out, "\ndelta-cost histogram (end-of-temperature steps)");
+            let total: u64 = self.delta_bins.iter().map(|b| b.count).sum();
+            for b in &self.delta_bins {
+                let bar = "#".repeat(if total == 0 {
+                    0
+                } else {
+                    (40 * b.count / total.max(1)) as usize
+                });
+                let _ = writeln!(
+                    out,
+                    "  [{:>12.4} .. {:>12.4}) {:>6}  {}",
+                    b.lo, b.hi, b.count, bar
+                );
+            }
+        }
+
+        if self.plateaus.is_empty() {
+            let _ = writeln!(out, "\nplateaus: none detected");
+        } else {
+            let _ = writeln!(out, "\nplateaus (best cost stalled)");
+            for p in &self.plateaus {
+                let _ = writeln!(
+                    out,
+                    "  replica {} @ temp {}: {} temps at best {:.3}",
+                    p.replica, p.start, p.len, p.best_cost
+                );
+            }
+        }
+
+        if !self.replicas.is_empty() {
+            let _ = writeln!(out, "\nreplica attribution");
+            let _ = writeln!(
+                out,
+                "  {:>7} {:>8} {:>6} {:>9} {:>12} {:>5}",
+                "replica", "events", "temps", "moves", "best", "wins"
+            );
+            for r in &self.replicas {
+                let _ = writeln!(
+                    out,
+                    "  {:>7} {:>8} {:>6} {:>9} {:>12.3} {:>5}",
+                    if r.replica == 0 {
+                        "main".to_string()
+                    } else {
+                        format!("{}", r.replica)
+                    },
+                    r.events,
+                    r.temps,
+                    r.moves,
+                    r.best_cost,
+                    r.wins,
+                );
+            }
+        }
+
+        if !self.exchanges.is_empty() {
+            let _ = writeln!(out, "\nexchanges: {} rounds", self.exchanges.len());
+        }
+
+        if !self.folded.is_empty() {
+            let _ = writeln!(out, "\nspan profile (folded stacks, self µs)");
+            for line in &self.folded {
+                let _ = writeln!(out, "  {line}");
+            }
+        }
+        out
+    }
+}
+
+/// Incremental journal reader behind `rowfpga tail`.
+#[derive(Clone, Debug, Default)]
+pub struct LiveStatus {
+    schema_checked: bool,
+    /// Benchmark name once `run_start` arrived.
+    pub benchmark: String,
+    /// Latest temperature record per replica.
+    pub latest: BTreeMap<u32, TemperatureRecord>,
+    /// Best cost per replica.
+    pub best: BTreeMap<u32, f64>,
+    /// Temperatures seen (driver stream or replica 1, whichever leads).
+    pub temps_seen: usize,
+    /// Acceptance history used for the ETA projection.
+    acceptance: Vec<f64>,
+    /// Stop reason once the run ended.
+    pub stop_reason: Option<String>,
+    /// Warnings seen so far (`code: detail`).
+    pub warnings: Vec<String>,
+    /// Events ingested.
+    pub events: u64,
+}
+
+/// Acceptance ratio the cooling schedule freezes at (the annealer stops
+/// after a few temperatures below ~this); used only to project an ETA.
+const FREEZE_ACCEPTANCE: f64 = 0.02;
+
+impl LiveStatus {
+    /// Creates an empty status.
+    pub fn new() -> LiveStatus {
+        LiveStatus::default()
+    }
+
+    /// Whether a `run_end`/`stop` has been seen.
+    pub fn done(&self) -> bool {
+        self.stop_reason.is_some()
+    }
+
+    /// Ingests one journal line. The first line is checked for schema
+    /// compatibility; later unknown kinds are ignored.
+    pub fn ingest_line(&mut self, line: &str) -> Result<(), AnalyzeError> {
+        if line.trim().is_empty() {
+            return Ok(());
+        }
+        let doc =
+            json::parse(line.trim()).map_err(|e| err(format!("journal line is not JSON: {e}")))?;
+        if !self.schema_checked {
+            self.schema_checked = true;
+            check_schema(Some(&doc))?;
+        }
+        let Some(event) = Event::from_json(&doc) else {
+            return Ok(());
+        };
+        let meta = EventMeta::from_json(&doc);
+        self.events += 1;
+        match event {
+            Event::RunStart { benchmark, .. } => self.benchmark = benchmark,
+            Event::Temperature(t) => {
+                let lead = self.latest.keys().next().copied().unwrap_or(meta.replica);
+                if meta.replica == lead {
+                    self.temps_seen += 1;
+                    self.acceptance.push(if t.moves == 0 {
+                        0.0
+                    } else {
+                        t.accepted as f64 / t.moves as f64
+                    });
+                }
+                self.best
+                    .entry(meta.replica)
+                    .and_modify(|b| *b = b.min(t.best_cost))
+                    .or_insert(t.best_cost);
+                self.latest.insert(meta.replica, t);
+            }
+            Event::Stop { reason, .. } => self.stop_reason = Some(reason),
+            Event::Warning { code, detail } => self.warnings.push(format!("{code}: {detail}")),
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Projects how many temperatures remain before the schedule freezes,
+    /// from the recent acceptance-rate trend (`None` until a downward
+    /// trend is visible).
+    pub fn eta_temps(&self) -> Option<usize> {
+        let n = self.acceptance.len();
+        if n < 6 {
+            return None;
+        }
+        let window = &self.acceptance[n - 6..];
+        let slope = (window[5] - window[0]) / 5.0;
+        let current = window[5];
+        if slope >= -1e-6 {
+            return None; // flat or rising: no projection
+        }
+        if current <= FREEZE_ACCEPTANCE {
+            return Some(0);
+        }
+        Some(((FREEZE_ACCEPTANCE - current) / slope).ceil() as usize)
+    }
+
+    /// Renders the one-line live summary. `secs_per_temp`, measured by the
+    /// caller's clock, turns the temperature ETA into a wall-clock one.
+    pub fn status_line(&self, secs_per_temp: Option<f64>) -> String {
+        if let Some(reason) = &self.stop_reason {
+            let best = self.best.values().fold(f64::INFINITY, |m, &b| m.min(b));
+            return if best.is_finite() {
+                format!("done ({reason}); best cost {best:.3}")
+            } else {
+                format!("done ({reason})")
+            };
+        }
+        let Some((&lead, t)) = self.latest.iter().next() else {
+            return format!("waiting for events ({} seen)…", self.events);
+        };
+        let mut line = format!(
+            "temp {:>4} T={:<10.4} cost {:>10.3} acc {:>5.1}%",
+            t.index,
+            t.temperature,
+            t.current_cost,
+            if t.moves == 0 {
+                0.0
+            } else {
+                100.0 * t.accepted as f64 / t.moves as f64
+            }
+        );
+        for (&replica, best) in &self.best {
+            if replica == lead && self.best.len() == 1 {
+                let _ = write!(line, " best {best:.3}");
+            } else {
+                let name = if replica == 0 {
+                    "main".to_string()
+                } else {
+                    format!("r{replica}")
+                };
+                let _ = write!(line, " {name}={best:.3}");
+            }
+        }
+        match (self.eta_temps(), secs_per_temp) {
+            (Some(temps), Some(secs)) => {
+                let _ = write!(line, " eta ~{:.0}s", temps as f64 * secs);
+            }
+            (Some(temps), None) => {
+                let _ = write!(line, " eta ~{temps} temps");
+            }
+            _ => {}
+        }
+        line
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{EventMeta, Recorder, RunJournal};
+
+    fn temp(index: usize, replica: u32, accepted: usize, current: f64, best: f64) -> (Event, u32) {
+        (
+            Event::Temperature(TemperatureRecord {
+                index,
+                temperature: 10.0 * 0.9f64.powi(index as i32),
+                moves: 100,
+                accepted,
+                mean_cost: current + 1.0,
+                std_cost: 1.0,
+                current_cost: current,
+                best_cost: best,
+            }),
+            replica,
+        )
+    }
+
+    fn journal_of(events: &[(Event, u32)]) -> String {
+        let mut j = RunJournal::new(Vec::new());
+        let header = Event::JournalHeader {
+            schema: SCHEMA_VERSION,
+            generator: "test".into(),
+        };
+        j.record_with(&header, &EventMeta::default());
+        for (seq, (e, replica)) in (2..).zip(events.iter()) {
+            let meta = EventMeta {
+                seq,
+                span: 0,
+                parent_span: 0,
+                replica: *replica,
+            };
+            j.record_with(e, &meta);
+        }
+        String::from_utf8(j.into_inner()).unwrap()
+    }
+
+    #[test]
+    fn rejects_journals_from_the_future() {
+        let text = "{\"event\":\"journal_header\",\"schema\":99,\"generator\":\"x\"}\n";
+        let e = analyze_journal(text).unwrap_err();
+        assert!(e.message.contains("newer"), "{e}");
+        let mut live = LiveStatus::new();
+        assert!(live.ingest_line(text.trim()).is_err());
+    }
+
+    #[test]
+    fn legacy_headerless_journals_read_as_schema_1() {
+        let (e, _) = temp(0, 0, 50, 10.0, 10.0);
+        let text = e.to_json().to_string_compact() + "\n";
+        let a = analyze_journal(&text).unwrap();
+        assert_eq!(a.schema, 1);
+        assert_eq!(a.temperatures.len(), 1);
+    }
+
+    #[test]
+    fn acceptance_and_replica_attribution() {
+        let events = vec![
+            (
+                Event::RunStart {
+                    flow: "simultaneous".into(),
+                    benchmark: "s1".into(),
+                    seed: 7,
+                    config: vec![],
+                },
+                0,
+            ),
+            temp(0, 1, 80, 100.0, 100.0),
+            temp(0, 2, 60, 105.0, 105.0),
+            (
+                Event::Exchange {
+                    round: 0,
+                    winner: 0,
+                    winner_cost: 100.0,
+                    adopted: 1,
+                },
+                0,
+            ),
+            temp(1, 1, 40, 90.0, 90.0),
+            temp(1, 2, 30, 95.0, 92.0),
+            (
+                Event::Stop {
+                    reason: "converged".into(),
+                    temps: 2,
+                    repairs: 0,
+                },
+                0,
+            ),
+        ];
+        let a = analyze_journal(&journal_of(&events)).unwrap();
+        assert_eq!(a.schema, SCHEMA_VERSION);
+        assert_eq!(a.benchmark, "s1");
+        assert_eq!(a.stop_reason, "converged");
+        assert_eq!(a.temperatures.len(), 4);
+        assert!((a.temperatures[0].acceptance() - 0.8).abs() < 1e-12);
+        let r1 = a.replicas.iter().find(|r| r.replica == 1).unwrap();
+        assert_eq!(r1.temps, 2);
+        assert_eq!(r1.moves, 200);
+        assert_eq!(r1.best_cost, 90.0);
+        assert_eq!(r1.wins, 1, "exchange winner 0 maps to replica stream 1");
+        assert_eq!(a.exchanges.len(), 1);
+        // Two replicas, two deltas: -10 and -10.
+        let total: u64 = a.delta_bins.iter().map(|b| b.count).sum();
+        assert_eq!(total, 2);
+    }
+
+    #[test]
+    fn plateaus_are_detected() {
+        let mut events = vec![temp(0, 0, 90, 100.0, 100.0)];
+        for i in 1..4 {
+            events.push(temp(
+                i,
+                0,
+                80,
+                100.0 - i as f64 * 10.0,
+                100.0 - i as f64 * 10.0,
+            ));
+        }
+        for i in 4..12 {
+            events.push(temp(i, 0, 10, 70.0, 70.0));
+        }
+        let a = analyze_journal(&journal_of(&events)).unwrap();
+        assert_eq!(a.plateaus.len(), 1, "{:?}", a.plateaus);
+        assert_eq!(a.plateaus[0].replica, 0);
+        assert!(a.plateaus[0].len >= PLATEAU_MIN_LEN);
+        assert_eq!(a.plateaus[0].best_cost, 70.0);
+    }
+
+    #[test]
+    fn folded_stacks_rebuild_the_span_tree() {
+        let events = vec![
+            (
+                Event::SpanStart {
+                    id: 1,
+                    parent: 0,
+                    name: "anneal".into(),
+                },
+                0,
+            ),
+            (
+                Event::SpanStart {
+                    id: 2,
+                    parent: 1,
+                    name: "sta".into(),
+                },
+                0,
+            ),
+            (
+                Event::SpanEnd {
+                    id: 2,
+                    name: "sta".into(),
+                    elapsed_us: 30,
+                },
+                0,
+            ),
+            (
+                Event::SpanEnd {
+                    id: 1,
+                    name: "anneal".into(),
+                    elapsed_us: 100,
+                },
+                0,
+            ),
+        ];
+        let a = analyze_journal(&journal_of(&events)).unwrap();
+        assert_eq!(
+            a.folded,
+            vec![
+                "main;anneal 70".to_string(),
+                "main;anneal;sta 30".to_string()
+            ],
+            "self time excludes child time"
+        );
+        assert!(a.folded_text().ends_with('\n'));
+    }
+
+    #[test]
+    fn live_status_tracks_progress_and_eta() {
+        let mut live = LiveStatus::new();
+        let header = Event::JournalHeader {
+            schema: SCHEMA_VERSION,
+            generator: "test".into(),
+        };
+        live.ingest_line(&header.to_json().to_string_compact())
+            .unwrap();
+        // Steadily falling acceptance: 90, 80, … so a projection appears.
+        for i in 0..8 {
+            let (e, _) = temp(i, 0, 90 - i * 10, 100.0 - i as f64, 100.0 - i as f64);
+            live.ingest_line(&e.to_json().to_string_compact()).unwrap();
+        }
+        assert_eq!(live.temps_seen, 8);
+        assert!(!live.done());
+        let eta = live.eta_temps().expect("falling acceptance projects");
+        assert!(eta > 0 && eta < 60, "eta={eta}");
+        let line = live.status_line(Some(0.5));
+        assert!(line.contains("temp"), "{line}");
+        assert!(line.contains("eta"), "{line}");
+        let stop = Event::Stop {
+            reason: "converged".into(),
+            temps: 8,
+            repairs: 0,
+        };
+        live.ingest_line(&stop.to_json().to_string_compact())
+            .unwrap();
+        assert!(live.done());
+        assert!(live.status_line(None).contains("done (converged)"));
+    }
+}

@@ -19,17 +19,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analyze;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod record;
 pub mod report;
 pub mod session;
+pub mod sink;
 
+pub use analyze::{analyze_journal, Analysis, AnalyzeError, LiveStatus};
 pub use json::{Json, JsonError};
 pub use metrics::{Histogram, MetricsRegistry};
-pub use profile::{PhaseProfiler, PhaseTotal};
+pub use profile::{ClosedSpan, PhaseProfiler, PhaseTotal};
 pub use record::{
-    DynamicsRecord, Event, NoopRecorder, Recorder, RerouteRecord, RunJournal, TemperatureRecord,
+    DynamicsRecord, Event, EventMeta, NoopRecorder, Recorder, RerouteRecord, RunJournal,
+    TemperatureRecord, SCHEMA_VERSION,
 };
 pub use session::{Obs, ObsSession};
+#[cfg(unix)]
+pub use sink::SocketSink;
+pub use sink::{open_sink, ReplaySink, RingSink, SOCKET_SPEC_PREFIX};

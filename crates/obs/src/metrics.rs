@@ -111,11 +111,23 @@ impl Histogram {
     /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
     /// within the bucket containing the target rank, clamped to the exact
     /// observed `[min, max]`.
-    pub fn percentile(&self, q: f64) -> f64 {
+    ///
+    /// Degenerate series are answered exactly instead of interpolated:
+    /// an empty histogram returns `None` (there is no quantile to
+    /// estimate), and a single-sample histogram returns that sample for
+    /// every `q`.
+    pub fn percentile(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile {q} out of range");
         if self.count == 0 {
-            return 0.0;
+            return None;
         }
+        if self.count == 1 {
+            return Some(self.min);
+        }
+        Some(self.percentile_estimate(q))
+    }
+
+    fn percentile_estimate(&self, q: f64) -> f64 {
         let rank = q * (self.count as f64 - 1.0);
         let mut seen = 0u64;
         for (idx, &c) in self.counts.iter().enumerate() {
@@ -145,6 +157,27 @@ impl Histogram {
             seen += c;
         }
         self.max
+    }
+
+    /// Folds another histogram's observations into this one. Both must
+    /// have identical bucket edges (they do when both came from the same
+    /// instrumentation site, e.g. a replica's copy of this registry).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge vectors differ.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.edges, other.edges,
+            "cannot merge histograms with different bucket edges"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
     }
 
     /// Per-bucket `(upper_bound, count)` pairs; the final pair uses
@@ -216,6 +249,23 @@ impl MetricsRegistry {
         self.histograms.iter().map(|(k, v)| (*k, v))
     }
 
+    /// Folds another registry into this one: counters add, histograms
+    /// merge bucket-wise (used to absorb parallel replicas' metrics into
+    /// the driver's registry).
+    pub fn absorb(&mut self, other: &MetricsRegistry) {
+        for (name, value) in other.counters() {
+            self.add(name, value);
+        }
+        for (name, histogram) in other.histograms() {
+            match self.histograms.get_mut(name) {
+                Some(mine) => mine.merge_from(histogram),
+                None => {
+                    self.histograms.insert(name, histogram.clone());
+                }
+            }
+        }
+    }
+
     /// Snapshot as a JSON object (used for the journal's `run_end` event).
     pub fn to_json(&self) -> Json {
         let counters = Json::Obj(
@@ -233,8 +283,8 @@ impl MetricsRegistry {
                         Json::obj(vec![
                             ("count", h.count().into()),
                             ("mean", h.mean().into()),
-                            ("p50", h.percentile(0.50).into()),
-                            ("p95", h.percentile(0.95).into()),
+                            ("p50", h.percentile(0.50).map_or(Json::Null, Json::from)),
+                            ("p95", h.percentile(0.95).map_or(Json::Null, Json::from)),
                             ("max", h.max().into()),
                         ]),
                     )
@@ -286,9 +336,9 @@ mod tests {
         for v in 0..100 {
             h.observe(v as f64);
         }
-        let p50 = h.percentile(0.50);
-        let p95 = h.percentile(0.95);
-        let max = h.percentile(1.0);
+        let p50 = h.percentile(0.50).unwrap();
+        let p95 = h.percentile(0.95).unwrap();
+        let max = h.percentile(1.0).unwrap();
         assert!(p50 <= p95 && p95 <= max, "p50={p50} p95={p95} max={max}");
         assert!((0.0..=99.0).contains(&p50));
         assert!(p95 >= 60.0, "p95={p95} too low for uniform 0..100");
@@ -296,21 +346,61 @@ mod tests {
     }
 
     #[test]
-    fn percentile_of_single_observation() {
+    fn percentile_of_single_observation_is_exact() {
+        // A lone sample is its own quantile for every q — no bucket
+        // interpolation, even when the sample sits mid-bucket.
         let mut h = Histogram::new(vec![10.0, 20.0]);
         h.observe(15.0);
-        assert_eq!(h.percentile(0.5), 15.0);
-        assert_eq!(h.percentile(0.0), 15.0);
-        assert_eq!(h.percentile(1.0), 15.0);
+        assert_eq!(h.percentile(0.5), Some(15.0));
+        assert_eq!(h.percentile(0.0), Some(15.0));
+        assert_eq!(h.percentile(1.0), Some(15.0));
     }
 
     #[test]
-    fn empty_histogram_reports_zeros() {
+    fn empty_histogram_has_no_percentiles() {
         let h = Histogram::new(vec![1.0]);
         assert_eq!(h.count(), 0);
         assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.percentile(0.5), 0.0);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.percentile(0.0), None);
+        assert_eq!(h.percentile(1.0), None);
         assert_eq!(h.max(), 0.0);
+        // And the JSON snapshot reports null, not a fabricated zero.
+        let mut m = MetricsRegistry::new();
+        m.histogram_with_buckets("empty", vec![1.0]);
+        let j = m.to_json();
+        let e = j.get("histograms").and_then(|h| h.get("empty")).unwrap();
+        assert_eq!(e.get("p50").unwrap(), &Json::Null);
+        assert_eq!(e.get("p95").unwrap(), &Json::Null);
+    }
+
+    #[test]
+    fn histograms_and_registries_merge() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.inc("moves");
+        b.add("moves", 4);
+        b.inc("only_b");
+        a.observe("cascade", 1.0);
+        b.observe("cascade", 3.0);
+        b.observe("frontier", 2.0);
+        a.absorb(&b);
+        assert_eq!(a.counter("moves"), 5);
+        assert_eq!(a.counter("only_b"), 1);
+        let cascade = a.histogram("cascade").unwrap();
+        assert_eq!(cascade.count(), 2);
+        assert_eq!(cascade.sum(), 4.0);
+        assert_eq!(cascade.min(), 1.0);
+        assert_eq!(cascade.max(), 3.0);
+        assert_eq!(a.histogram("frontier").unwrap().count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "different bucket edges")]
+    fn merging_mismatched_edges_panics() {
+        let mut a = Histogram::new(vec![1.0]);
+        let b = Histogram::new(vec![2.0]);
+        a.merge_from(&b);
     }
 
     #[test]

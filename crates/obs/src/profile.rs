@@ -5,8 +5,16 @@
 //! inclusive time, call count, and self time (inclusive minus time spent in
 //! child spans) are accumulated; the final report renders totals in first-
 //! started order.
+//!
+//! Beyond the aggregate totals, every span instance is also assigned a
+//! session-unique id so the journal can reconstruct the full span *tree*
+//! (`span_start` / `span_end` events, see [`crate::record`]). Ids are
+//! assigned by a deterministic counter, not the clock; parallel replicas
+//! namespace theirs via [`PhaseProfiler::set_id_base`] so merged journals
+//! never collide.
 
 use std::collections::BTreeMap;
+// rowfpga-lint: begin-allow(determinism) reason=span timing is observability wall-clock by design; durations are reported, never fed back into the search
 use std::time::{Duration, Instant};
 
 /// Accumulated timing for one span name.
@@ -27,9 +35,21 @@ impl PhaseTotal {
     }
 }
 
+/// A closed span instance, as returned by [`PhaseProfiler::end`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClosedSpan {
+    /// The id [`PhaseProfiler::start`] assigned.
+    pub id: u64,
+    /// The enclosing span's id (0 = root).
+    pub parent: u64,
+    /// Wall time the span was open.
+    pub elapsed: Duration,
+}
+
 #[derive(Debug)]
 struct OpenSpan {
     name: &'static str,
+    id: u64,
     started: Instant,
     child: Duration,
 }
@@ -40,6 +60,8 @@ pub struct PhaseProfiler {
     stack: Vec<OpenSpan>,
     totals: BTreeMap<&'static str, PhaseTotal>,
     order: Vec<&'static str>,
+    next_id: u64,
+    id_base: u64,
 }
 
 impl PhaseProfiler {
@@ -48,23 +70,35 @@ impl PhaseProfiler {
         PhaseProfiler::default()
     }
 
-    /// Opens a span. Must be balanced by [`PhaseProfiler::end`] with the
-    /// same name, in LIFO order.
-    pub fn start(&mut self, name: &'static str) {
+    /// Namespaces all ids this profiler assigns from here on (replica `r`
+    /// uses `(r as u64) << 32`). The default base is 0.
+    pub fn set_id_base(&mut self, base: u64) {
+        self.id_base = base;
+    }
+
+    /// Opens a span and returns `(id, parent_id)`. Must be balanced by
+    /// [`PhaseProfiler::end`] with the same name, in LIFO order.
+    pub fn start(&mut self, name: &'static str) -> (u64, u64) {
+        self.next_id += 1;
+        let id = self.id_base + self.next_id;
+        let parent = self.stack.last().map_or(0, |s| s.id);
         self.stack.push(OpenSpan {
             name,
+            id,
             started: Instant::now(),
             child: Duration::ZERO,
         });
+        (id, parent)
     }
 
-    /// Closes the innermost span.
+    /// Closes the innermost span and returns its identity and elapsed
+    /// time.
     ///
     /// # Panics
     ///
     /// Panics if no span is open or the innermost open span has a
     /// different name (mismatched nesting is a bug in the caller).
-    pub fn end(&mut self, name: &'static str) {
+    pub fn end(&mut self, name: &'static str) -> ClosedSpan {
         let span = self.stack.pop().unwrap_or_else(|| {
             panic!("span `{name}` ended with no span open");
         });
@@ -84,6 +118,21 @@ impl PhaseProfiler {
         if let Some(parent) = self.stack.last_mut() {
             parent.child += elapsed;
         }
+        ClosedSpan {
+            id: span.id,
+            parent: self.stack.last().map_or(0, |s| s.id),
+            elapsed,
+        }
+    }
+
+    /// `(id, parent_id)` of the innermost open span, or `(0, 0)` when no
+    /// span is open.
+    pub fn current(&self) -> (u64, u64) {
+        match self.stack.len() {
+            0 => (0, 0),
+            1 => (self.stack[0].id, 0),
+            n => (self.stack[n - 1].id, self.stack[n - 2].id),
+        }
     }
 
     /// Number of spans currently open.
@@ -100,7 +149,24 @@ impl PhaseProfiler {
     pub fn phases(&self) -> impl Iterator<Item = (&'static str, PhaseTotal)> + '_ {
         self.order.iter().map(|n| (*n, self.totals[n]))
     }
+
+    /// Folds another profiler's closed-span totals into this one (used to
+    /// merge parallel replicas' profiles into the driver's report). Open
+    /// spans on `other` are ignored; names unseen here keep `other`'s
+    /// relative order.
+    pub fn absorb(&mut self, other: &PhaseProfiler) {
+        for (name, t) in other.phases() {
+            if !self.totals.contains_key(name) {
+                self.order.push(name);
+            }
+            let entry = self.totals.entry(name).or_default();
+            entry.calls += t.calls;
+            entry.total += t.total;
+            entry.child += t.child;
+        }
+    }
 }
+// rowfpga-lint: end-allow(determinism)
 
 #[cfg(test)]
 mod tests {
@@ -146,6 +212,55 @@ mod tests {
         p.end("anneal");
         let names: Vec<_> = p.phases().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["warmup", "anneal"]);
+    }
+
+    #[test]
+    fn span_ids_form_a_tree() {
+        let mut p = PhaseProfiler::new();
+        let (outer_id, outer_parent) = p.start("outer");
+        assert_eq!(outer_parent, 0);
+        assert_eq!(p.current(), (outer_id, 0));
+        let (inner_id, inner_parent) = p.start("inner");
+        assert_eq!(inner_parent, outer_id);
+        assert_eq!(p.current(), (inner_id, outer_id));
+        let closed = p.end("inner");
+        assert_eq!(closed.id, inner_id);
+        assert_eq!(closed.parent, outer_id);
+        let closed = p.end("outer");
+        assert_eq!(closed.id, outer_id);
+        assert_eq!(closed.parent, 0);
+        assert_eq!(p.current(), (0, 0));
+        // Ids are fresh per instance even for a repeated name.
+        let (again, _) = p.start("outer");
+        assert_ne!(again, outer_id);
+        p.end("outer");
+    }
+
+    #[test]
+    fn id_base_namespaces_replica_spans() {
+        let mut p = PhaseProfiler::new();
+        p.set_id_base(2u64 << 32);
+        let (id, parent) = p.start("anneal");
+        assert_eq!(id, (2u64 << 32) + 1);
+        assert_eq!(parent, 0);
+        p.end("anneal");
+    }
+
+    #[test]
+    fn absorb_merges_totals_and_preserves_order() {
+        let mut main = PhaseProfiler::new();
+        main.start("anneal");
+        main.end("anneal");
+        let mut replica = PhaseProfiler::new();
+        replica.start("anneal");
+        replica.end("anneal");
+        replica.start("sta");
+        replica.end("sta");
+        main.absorb(&replica);
+        assert_eq!(main.total("anneal").unwrap().calls, 2);
+        assert_eq!(main.total("sta").unwrap().calls, 1);
+        let names: Vec<_> = main.phases().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["anneal", "sta"]);
     }
 
     #[test]

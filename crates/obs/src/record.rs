@@ -5,10 +5,24 @@
 //! [`NoopRecorder`] drops everything (the zero-overhead default), while
 //! [`RunJournal`] serializes each event as one JSON line.
 //!
-//! ## Journal schema
+//! ## Journal schema (version [`SCHEMA_VERSION`])
 //!
-//! Every line is an object with an `"event"` discriminator:
+//! This module doc is the single authoritative description of the journal
+//! format; DESIGN.md §12 and the README link here rather than restating it.
 //!
+//! Every line is an object with an `"event"` discriminator. A schema-2
+//! journal starts with a `journal_header` line, and every event written
+//! through an [`crate::Obs`] session additionally carries the causal
+//! envelope of [`EventMeta`]: `seq` (monotonic per journal), `span` (the
+//! innermost open span when the event fired, 0 = outside any span),
+//! `parent_span` (that span's parent, 0 = root), and `replica` (0 = the
+//! driver thread / a sequential run; parallel annealing replicas are
+//! numbered 1..=K). Readers must ignore unknown keys and unknown event
+//! kinds; [`Event::from_json`] returns `None` for kinds from the future.
+//!
+//! * `journal_header` — first line of a schema-2 journal: `schema`
+//!   (integer version) and `generator` (writer name/version). Journals
+//!   without a header are treated as legacy schema 1.
 //! * `run_start` — `flow`, `benchmark`, `seed`, plus a free-form `config`
 //!   object captured from the run configuration.
 //! * `temperature` — one line per annealing temperature: `index`,
@@ -21,6 +35,21 @@
 //!   `globally_routed`, `detail_routed`, `detail_failures`.
 //! * `run_end` — `cost`, `worst_delay`, `unrouted`, `total_moves`,
 //!   `temperatures`, `runtime_sec`, plus a `metrics` snapshot object.
+//!
+//! The tracing layer adds the span tree and diagnostics:
+//!
+//! * `span_start` — a profiler span opened: `id`, `parent` (0 = root),
+//!   `name`. Span ids are monotonic per session; parallel replicas
+//!   namespace theirs as `(replica << 32) + n` so merged journals never
+//!   collide.
+//! * `span_end` — the span closed: `id`, `name`, `elapsed_us` (wall time;
+//!   the only non-deterministic field of the pair).
+//! * `warning` — a non-fatal condition worth keeping with the run:
+//!   `code` (stable machine key, e.g. `"oversubscribed"`), `detail`.
+//! * `exchange` — one parallel-annealing exchange barrier: `round`,
+//!   `winner` (0-based replica index, matching
+//!   `ParallelOutcome::best_replica`), `winner_cost`, `adopted` (replicas
+//!   that copied the winner's layout this round).
 //!
 //! The resilience layer adds four more kinds:
 //!
@@ -36,6 +65,41 @@
 use std::io::Write;
 
 use crate::json::Json;
+
+/// Version of the journal format this crate writes. Bump when an event
+/// kind changes incompatibly; readers reject journals from the future and
+/// treat header-less journals as legacy version 1.
+pub const SCHEMA_VERSION: u32 = 2;
+
+/// The causal envelope stamped onto every event an `Obs` session emits:
+/// where in the run (sequence), where in the span tree, and on which
+/// replica the event happened.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EventMeta {
+    /// Monotonic 1-based sequence number within the journal.
+    pub seq: u64,
+    /// Innermost open span when the event fired (0 = outside any span).
+    pub span: u64,
+    /// Parent of that span (0 = root).
+    pub parent_span: u64,
+    /// Replica attribution: 0 = driver thread / sequential run, parallel
+    /// replicas are 1..=K (i.e. replica index + 1).
+    pub replica: u32,
+}
+
+impl EventMeta {
+    /// Reads the envelope back from a journal line; fields a legacy writer
+    /// did not emit default to 0.
+    pub fn from_json(j: &Json) -> EventMeta {
+        let int = |key: &str| j.get(key).and_then(Json::as_u64).unwrap_or(0);
+        EventMeta {
+            seq: int("seq"),
+            span: int("span"),
+            parent_span: int("parent_span"),
+            replica: int("replica") as u32,
+        }
+    }
+}
 
 /// One annealing-temperature summary (mirrors the anneal crate's
 /// `TemperatureStats`, restated here so this crate stays dependency-free).
@@ -92,6 +156,51 @@ pub struct RerouteRecord {
 /// A structured observation from somewhere in the layout engine.
 #[derive(Clone, Debug)]
 pub enum Event {
+    /// First line of a schema-2 journal: identifies the format version so
+    /// readers can reject or adapt instead of misparsing.
+    JournalHeader {
+        /// Journal schema version ([`SCHEMA_VERSION`] for this writer).
+        schema: u32,
+        /// Writer name/version, e.g. `"rowfpga-obs 0.1.0"`.
+        generator: String,
+    },
+    /// A profiling span opened.
+    SpanStart {
+        /// Session-unique span id (replicas namespace theirs by
+        /// `(replica << 32)`).
+        id: u64,
+        /// Enclosing span's id (0 = root).
+        parent: u64,
+        /// Static span name (`"anneal.temperature"`, `"route.batch"` …).
+        name: String,
+    },
+    /// The span closed.
+    SpanEnd {
+        /// Id assigned by the matching [`Event::SpanStart`].
+        id: u64,
+        /// Span name, repeated for line-local readability.
+        name: String,
+        /// Wall time the span was open, in microseconds.
+        elapsed_us: u64,
+    },
+    /// A non-fatal condition worth keeping with the run.
+    Warning {
+        /// Stable machine-readable key (`"oversubscribed"` …).
+        code: String,
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// One parallel-annealing exchange barrier completed.
+    Exchange {
+        /// Zero-based exchange round.
+        round: usize,
+        /// Winning replica (0-based index, as in `ParallelOutcome`).
+        winner: usize,
+        /// The winner's cost at the barrier.
+        winner_cost: f64,
+        /// Number of replicas that adopted the winner's layout.
+        adopted: usize,
+    },
     /// The run began. `config` is a free-form key/value capture of the run
     /// configuration (annealing schedule, router limits, weights …).
     RunStart {
@@ -175,9 +284,61 @@ pub enum Event {
 }
 
 impl Event {
+    /// Serializes the event to its journal-line JSON object, appending the
+    /// causal envelope (`seq`, `span`, `parent_span`, `replica`) after the
+    /// event's own fields so the `"event"` discriminator stays first.
+    pub fn to_json_with(&self, meta: &EventMeta) -> Json {
+        let mut j = self.to_json();
+        if let Json::Obj(pairs) = &mut j {
+            pairs.push(("seq".to_string(), meta.seq.into()));
+            pairs.push(("span".to_string(), meta.span.into()));
+            pairs.push(("parent_span".to_string(), meta.parent_span.into()));
+            pairs.push(("replica".to_string(), u64::from(meta.replica).into()));
+        }
+        j
+    }
+
     /// Serializes the event to its journal-line JSON object.
     pub fn to_json(&self) -> Json {
         match self {
+            Event::JournalHeader { schema, generator } => Json::obj(vec![
+                ("event", "journal_header".into()),
+                ("schema", u64::from(*schema).into()),
+                ("generator", generator.as_str().into()),
+            ]),
+            Event::SpanStart { id, parent, name } => Json::obj(vec![
+                ("event", "span_start".into()),
+                ("id", (*id).into()),
+                ("parent", (*parent).into()),
+                ("name", name.as_str().into()),
+            ]),
+            Event::SpanEnd {
+                id,
+                name,
+                elapsed_us,
+            } => Json::obj(vec![
+                ("event", "span_end".into()),
+                ("id", (*id).into()),
+                ("name", name.as_str().into()),
+                ("elapsed_us", (*elapsed_us).into()),
+            ]),
+            Event::Warning { code, detail } => Json::obj(vec![
+                ("event", "warning".into()),
+                ("code", code.as_str().into()),
+                ("detail", detail.as_str().into()),
+            ]),
+            Event::Exchange {
+                round,
+                winner,
+                winner_cost,
+                adopted,
+            } => Json::obj(vec![
+                ("event", "exchange".into()),
+                ("round", (*round).into()),
+                ("winner", (*winner).into()),
+                ("winner_cost", (*winner_cost).into()),
+                ("adopted", (*adopted).into()),
+            ]),
             Event::RunStart {
                 flow,
                 benchmark,
@@ -290,6 +451,30 @@ impl Event {
         let num = |key: &str| j.get(key).and_then(Json::as_f64);
         let int = |key: &str| j.get(key).and_then(Json::as_u64).map(|v| v as usize);
         match kind {
+            "journal_header" => Some(Event::JournalHeader {
+                schema: j.get("schema")?.as_u64()? as u32,
+                generator: j.get("generator")?.as_str()?.to_string(),
+            }),
+            "span_start" => Some(Event::SpanStart {
+                id: j.get("id")?.as_u64()?,
+                parent: j.get("parent")?.as_u64()?,
+                name: j.get("name")?.as_str()?.to_string(),
+            }),
+            "span_end" => Some(Event::SpanEnd {
+                id: j.get("id")?.as_u64()?,
+                name: j.get("name")?.as_str()?.to_string(),
+                elapsed_us: j.get("elapsed_us")?.as_u64()?,
+            }),
+            "warning" => Some(Event::Warning {
+                code: j.get("code")?.as_str()?.to_string(),
+                detail: j.get("detail")?.as_str()?.to_string(),
+            }),
+            "exchange" => Some(Event::Exchange {
+                round: int("round")?,
+                winner: int("winner")?,
+                winner_cost: num("winner_cost")?,
+                adopted: int("adopted")?,
+            }),
             "run_start" => Some(Event::RunStart {
                 flow: j.get("flow")?.as_str()?.to_string(),
                 benchmark: j.get("benchmark")?.as_str()?.to_string(),
@@ -367,6 +552,14 @@ pub trait Recorder {
     /// Handles one event.
     fn record(&mut self, event: &Event);
 
+    /// Handles one event with its causal envelope. Sinks that persist the
+    /// envelope (the journal, the socket sink) override this; the default
+    /// drops the meta and forwards to [`Recorder::record`].
+    fn record_with(&mut self, event: &Event, meta: &EventMeta) {
+        let _ = meta;
+        self.record(event);
+    }
+
     /// Flushes any buffered output (called at run end).
     fn flush(&mut self) {}
 }
@@ -410,15 +603,25 @@ impl<W: Write> RunJournal<W> {
     }
 }
 
-impl<W: Write> Recorder for RunJournal<W> {
-    fn record(&mut self, event: &Event) {
-        let mut line = event.to_json().to_string_compact();
+impl<W: Write> RunJournal<W> {
+    fn write_doc(&mut self, doc: Json) {
+        let mut line = doc.to_string_compact();
         line.push('\n');
         // Journal output is best-effort: a full disk should not abort a
         // multi-minute layout run.
         if self.out.write_all(line.as_bytes()).is_ok() {
             self.lines += 1;
         }
+    }
+}
+
+impl<W: Write> Recorder for RunJournal<W> {
+    fn record(&mut self, event: &Event) {
+        self.write_doc(event.to_json());
+    }
+
+    fn record_with(&mut self, event: &Event, meta: &EventMeta) {
+        self.write_doc(event.to_json_with(meta));
     }
 
     fn flush(&mut self) {
@@ -497,6 +700,30 @@ mod tests {
                 runtime_sec: 0.25,
                 metrics: Json::obj(vec![("counters", Json::Obj(vec![]))]),
             },
+            Event::JournalHeader {
+                schema: SCHEMA_VERSION,
+                generator: "rowfpga-obs test".into(),
+            },
+            Event::SpanStart {
+                id: 3,
+                parent: 1,
+                name: "anneal.temperature".into(),
+            },
+            Event::SpanEnd {
+                id: 3,
+                name: "anneal.temperature".into(),
+                elapsed_us: 1250,
+            },
+            Event::Warning {
+                code: "oversubscribed".into(),
+                detail: "4 replicas on 1 core".into(),
+            },
+            Event::Exchange {
+                round: 2,
+                winner: 1,
+                winner_cost: 8.75,
+                adopted: 2,
+            },
         ]
     }
 
@@ -526,6 +753,25 @@ mod tests {
         journal.record(&sample_events()[1]);
         let text = String::from_utf8(journal.into_inner()).unwrap();
         assert!(text.starts_with("{\"event\":\"temperature\""), "{text}");
+    }
+
+    #[test]
+    fn meta_envelope_round_trips_and_trails_the_payload() {
+        let meta = EventMeta {
+            seq: 42,
+            span: (3 << 32) + 7,
+            parent_span: 3 << 32,
+            replica: 3,
+        };
+        let mut journal = RunJournal::new(Vec::new());
+        journal.record_with(&sample_events()[1], &meta);
+        let text = String::from_utf8(journal.into_inner()).unwrap();
+        assert!(text.starts_with("{\"event\":\"temperature\""), "{text}");
+        let doc = json::parse(text.trim()).unwrap();
+        assert_eq!(EventMeta::from_json(&doc), meta);
+        // A meta-less (legacy) line reads back as all-zero attribution.
+        let legacy = sample_events()[1].to_json();
+        assert_eq!(EventMeta::from_json(&legacy), EventMeta::default());
     }
 
     #[test]

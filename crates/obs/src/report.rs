@@ -74,8 +74,8 @@ pub fn render(session: &mut ObsSession) -> String {
                 name,
                 h.count(),
                 h.mean(),
-                h.percentile(0.50),
-                h.percentile(0.95),
+                h.percentile(0.50).unwrap_or(0.0),
+                h.percentile(0.95).unwrap_or(0.0),
                 h.max(),
             )
         })

@@ -1,0 +1,296 @@
+//! Journal sinks beyond the plain file: in-memory ring buffer, replica
+//! replay buffer, and a Unix-domain-socket stream for live tailing.
+//!
+//! All sinks speak the same JSONL event schema (see [`crate::record`]);
+//! [`open_sink`] picks one from a `--journal` spec string: `unix:PATH`
+//! connects a [`SocketSink`] to a listener (typically `rowfpga tail
+//! --listen PATH`), anything else creates a buffered [`RunJournal`] file.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::{BufWriter, Write};
+use std::rc::Rc;
+
+use crate::record::{Event, EventMeta, Recorder, RunJournal};
+
+/// A bounded in-memory sink keeping the most recent journal lines.
+///
+/// Cloning the handle before boxing it into a session lets the owner read
+/// the buffer back after (or during) the run — the sink and the handle
+/// share one ring. Single-threaded like the rest of the session layer.
+#[derive(Clone, Debug, Default)]
+pub struct RingSink {
+    shared: Rc<RefCell<Ring>>,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    lines: VecDeque<String>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Creates a ring keeping at most `capacity` lines (older lines are
+    /// dropped, counted in [`RingSink::dropped`]).
+    pub fn new(capacity: usize) -> RingSink {
+        RingSink {
+            shared: Rc::new(RefCell::new(Ring::default())),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// The buffered lines, oldest first.
+    pub fn snapshot(&self) -> Vec<String> {
+        self.shared.borrow().lines.iter().cloned().collect()
+    }
+
+    /// Lines evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.shared.borrow().dropped
+    }
+}
+
+impl Recorder for RingSink {
+    fn record(&mut self, event: &Event) {
+        self.push(event.to_json().to_string_compact());
+    }
+
+    fn record_with(&mut self, event: &Event, meta: &EventMeta) {
+        self.push(event.to_json_with(meta).to_string_compact());
+    }
+}
+
+impl RingSink {
+    fn push(&mut self, line: String) {
+        let mut ring = self.shared.borrow_mut();
+        if ring.lines.len() == self.capacity {
+            ring.lines.pop_front();
+            ring.dropped += 1;
+        }
+        ring.lines.push_back(line);
+    }
+}
+
+/// An unbounded sink keeping events *structured* (event + meta), so a
+/// parallel replica's journal can be replayed into the driver's session
+/// at an exchange barrier with attribution intact.
+#[derive(Clone, Debug, Default)]
+pub struct ReplaySink {
+    shared: Rc<RefCell<Vec<(Event, EventMeta)>>>,
+}
+
+impl ReplaySink {
+    /// Creates an empty buffer.
+    pub fn new() -> ReplaySink {
+        ReplaySink::default()
+    }
+
+    /// Takes every buffered `(event, meta)` pair, oldest first.
+    pub fn drain(&self) -> Vec<(Event, EventMeta)> {
+        std::mem::take(&mut *self.shared.borrow_mut())
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.shared.borrow().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shared.borrow().is_empty()
+    }
+}
+
+impl Recorder for ReplaySink {
+    fn record(&mut self, event: &Event) {
+        self.record_with(event, &EventMeta::default());
+    }
+
+    fn record_with(&mut self, event: &Event, meta: &EventMeta) {
+        self.shared.borrow_mut().push((event.clone(), *meta));
+    }
+}
+
+/// Streams journal lines over a Unix-domain socket to a live listener
+/// (`rowfpga tail --listen PATH`).
+///
+/// Writes are best-effort like the file journal: if the listener goes away
+/// mid-run the sink goes quiet instead of failing the layout run.
+#[cfg(unix)]
+pub struct SocketSink {
+    out: Option<BufWriter<std::os::unix::net::UnixStream>>,
+}
+
+#[cfg(unix)]
+impl std::fmt::Debug for SocketSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SocketSink")
+            .field("connected", &self.out.is_some())
+            .finish()
+    }
+}
+
+#[cfg(unix)]
+impl SocketSink {
+    /// Connects to a listening socket at `path`.
+    pub fn connect(path: &str) -> std::io::Result<SocketSink> {
+        let stream = std::os::unix::net::UnixStream::connect(path)?;
+        Ok(SocketSink {
+            out: Some(BufWriter::new(stream)),
+        })
+    }
+
+    fn send(&mut self, mut line: String) {
+        line.push('\n');
+        let dead = match &mut self.out {
+            Some(out) => {
+                // Flush per event: tailers want lines as they happen, not
+                // when a 8 KiB buffer fills.
+                out.write_all(line.as_bytes())
+                    .and_then(|()| out.flush())
+                    .is_err()
+            }
+            None => false,
+        };
+        if dead {
+            self.out = None;
+        }
+    }
+}
+
+#[cfg(unix)]
+impl Recorder for SocketSink {
+    fn record(&mut self, event: &Event) {
+        self.send(event.to_json().to_string_compact());
+    }
+
+    fn record_with(&mut self, event: &Event, meta: &EventMeta) {
+        self.send(event.to_json_with(meta).to_string_compact());
+    }
+
+    fn flush(&mut self) {
+        if let Some(out) = &mut self.out {
+            let _ = out.flush();
+        }
+    }
+}
+
+/// Prefix selecting a [`SocketSink`] in a `--journal` spec.
+pub const SOCKET_SPEC_PREFIX: &str = "unix:";
+
+/// Opens a journal sink from a spec string: `unix:PATH` connects to a
+/// listening socket, anything else creates (truncates) a JSONL file.
+pub fn open_sink(spec: &str) -> std::io::Result<Box<dyn Recorder>> {
+    #[cfg(unix)]
+    if let Some(path) = spec.strip_prefix(SOCKET_SPEC_PREFIX) {
+        return Ok(Box::new(SocketSink::connect(path)?));
+    }
+    let file = std::fs::File::create(spec)?;
+    Ok(Box::new(RunJournal::new(BufWriter::new(file))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn warning(n: u64) -> (Event, EventMeta) {
+        (
+            Event::Warning {
+                code: format!("w{n}"),
+                detail: String::new(),
+            },
+            EventMeta {
+                seq: n,
+                span: 0,
+                parent_span: 0,
+                replica: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn ring_keeps_the_most_recent_lines() {
+        let handle = RingSink::new(2);
+        let mut sink = handle.clone();
+        for n in 0..5 {
+            let (e, m) = warning(n);
+            sink.record_with(&e, &m);
+        }
+        let lines = handle.snapshot();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"w3\""), "{lines:?}");
+        assert!(lines[1].contains("\"w4\""), "{lines:?}");
+        assert_eq!(handle.dropped(), 3);
+        let doc = json::parse(&lines[1]).unwrap();
+        assert_eq!(EventMeta::from_json(&doc).seq, 4);
+    }
+
+    #[test]
+    fn replay_buffer_preserves_events_and_meta() {
+        let handle = ReplaySink::new();
+        let mut sink = handle.clone();
+        for n in 0..3 {
+            let (e, m) = warning(n);
+            sink.record_with(&e, &m);
+        }
+        assert_eq!(handle.len(), 3);
+        let drained = handle.drain();
+        assert_eq!(drained.len(), 3);
+        assert_eq!(drained[2].1.seq, 2);
+        assert_eq!(drained[2].1.replica, 1);
+        assert!(handle.is_empty());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn socket_sink_streams_lines_to_a_listener() {
+        use std::io::{BufRead, BufReader};
+
+        let dir = std::env::temp_dir().join(format!("rowfpga-sink-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tail.sock");
+        let _ = std::fs::remove_file(&path);
+        let listener = std::os::unix::net::UnixListener::bind(&path).unwrap();
+
+        let path_str = path.to_str().unwrap().to_string();
+        let reader = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut lines = Vec::new();
+            for line in BufReader::new(stream).lines() {
+                lines.push(line.unwrap());
+            }
+            lines
+        });
+
+        let mut sink = SocketSink::connect(&path_str).unwrap();
+        for n in 0..3 {
+            let (e, m) = warning(n);
+            sink.record_with(&e, &m);
+        }
+        sink.flush();
+        drop(sink);
+
+        let lines = reader.join().unwrap();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"warning\""), "{lines:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn open_sink_writes_a_file_journal() {
+        let dir = std::env::temp_dir().join(format!("rowfpga-sink-f-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.jsonl");
+        {
+            let mut sink = open_sink(path.to_str().unwrap()).unwrap();
+            let (e, m) = warning(7);
+            sink.record_with(&e, &m);
+            sink.flush();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"w7\""));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,185 @@
+//! Golden-file coverage of the journal wire format.
+//!
+//! One line per event kind, serialized with a fixed causal envelope, and
+//! compared byte-for-byte against the committed golden journal. If this
+//! test fails after an intentional schema change, bump
+//! `record::SCHEMA_VERSION`, regenerate with `BLESS=1 cargo test -p
+//! rowfpga-obs --test golden_journal`, and describe the migration in
+//! DESIGN.md §12.
+
+use rowfpga_obs::{
+    json, DynamicsRecord, Event, EventMeta, RerouteRecord, TemperatureRecord, SCHEMA_VERSION,
+};
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/journal_v2.jsonl");
+
+/// Every journal event kind exactly once, in schema order.
+fn every_event_kind() -> Vec<Event> {
+    vec![
+        Event::JournalHeader {
+            schema: SCHEMA_VERSION,
+            generator: "rowfpga-obs golden".into(),
+        },
+        Event::RunStart {
+            flow: "simultaneous".into(),
+            benchmark: "cse".into(),
+            seed: 7,
+            config: vec![("tracks".to_string(), rowfpga_obs::Json::Num(9.0))],
+        },
+        Event::SpanStart {
+            id: 1,
+            parent: 0,
+            name: "anneal".into(),
+        },
+        Event::Temperature(TemperatureRecord {
+            index: 0,
+            temperature: 12.5,
+            moves: 100,
+            accepted: 44,
+            mean_cost: 10.0,
+            std_cost: 1.5,
+            current_cost: 9.0,
+            best_cost: 8.5,
+        }),
+        Event::Dynamics(DynamicsRecord {
+            index: 0,
+            temperature: 12.5,
+            cells_perturbed: 40,
+            nets_globally_unrouted: 2,
+            nets_unrouted: 5,
+            worst_delay: 31.25,
+            cost: 9.0,
+        }),
+        Event::Reroute {
+            scope: "final_repair".into(),
+            stats: RerouteRecord {
+                globally_routed: 3,
+                detail_routed: 11,
+                detail_failures: 1,
+            },
+        },
+        Event::Audit {
+            temp: 12,
+            ok: false,
+            detail: "incremental worst 31.2 != oracle 30.9".into(),
+        },
+        Event::Repair {
+            temp: 12,
+            attempt: 1,
+            scope: "routing".into(),
+            ok: true,
+        },
+        Event::Checkpoint {
+            temp: 16,
+            path: "/tmp/run.ckpt".into(),
+            ok: true,
+            detail: String::new(),
+        },
+        Event::Exchange {
+            round: 2,
+            winner: 1,
+            winner_cost: 8.75,
+            adopted: 2,
+        },
+        Event::Warning {
+            code: "oversubscribed".into(),
+            detail: "4 replicas on 1 core".into(),
+        },
+        Event::SpanEnd {
+            id: 1,
+            name: "anneal".into(),
+            elapsed_us: 1250,
+        },
+        Event::Stop {
+            reason: "deadline".into(),
+            temps: 17,
+            repairs: 1,
+        },
+        Event::RunEnd {
+            cost: 8.5,
+            worst_delay: 30.0,
+            unrouted: 0,
+            total_moves: 100,
+            temperatures: 1,
+            runtime_sec: 0.25,
+            metrics: rowfpga_obs::Json::obj(vec![("counters", rowfpga_obs::Json::Obj(vec![]))]),
+        },
+    ]
+}
+
+fn rendered() -> String {
+    let mut out = String::new();
+    for (i, event) in every_event_kind().iter().enumerate() {
+        let meta = EventMeta {
+            seq: i as u64 + 1,
+            span: 1,
+            parent_span: 0,
+            replica: if matches!(event, Event::Temperature(_)) {
+                2
+            } else {
+                0
+            },
+        };
+        out.push_str(&event.to_json_with(&meta).to_string_compact());
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn journal_lines_match_the_committed_golden_file() {
+    let text = rendered();
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN_PATH, &text).expect("write golden file");
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden journal committed");
+    assert_eq!(
+        text, golden,
+        "journal wire format drifted from tests/golden/journal_v2.jsonl; if \
+         intentional, bump SCHEMA_VERSION and re-bless (BLESS=1)"
+    );
+}
+
+#[test]
+fn golden_file_round_trips_through_the_parser() {
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden journal committed");
+    let docs = json::parse_lines(&golden).expect("golden parses as JSONL");
+    let events = every_event_kind();
+    assert_eq!(docs.len(), events.len(), "one line per event kind");
+    for (i, (doc, original)) in docs.iter().zip(&events).enumerate() {
+        let parsed =
+            Event::from_json(doc).unwrap_or_else(|| panic!("line {i} must parse as a known event"));
+        assert_eq!(parsed.to_json(), original.to_json(), "line {i} round-trips");
+        assert_eq!(EventMeta::from_json(doc).seq, i as u64 + 1);
+    }
+}
+
+#[test]
+fn golden_covers_every_event_kind() {
+    // A new Event variant must be added to every_event_kind() (and the
+    // golden file re-blessed): this match is a compile-time reminder.
+    let seen: Vec<&str> = every_event_kind()
+        .iter()
+        .map(|e| match e {
+            Event::JournalHeader { .. } => "journal_header",
+            Event::SpanStart { .. } => "span_start",
+            Event::SpanEnd { .. } => "span_end",
+            Event::Warning { .. } => "warning",
+            Event::Exchange { .. } => "exchange",
+            Event::RunStart { .. } => "run_start",
+            Event::Temperature(_) => "temperature",
+            Event::Dynamics(_) => "dynamics",
+            Event::Reroute { .. } => "reroute",
+            Event::Audit { .. } => "audit",
+            Event::Repair { .. } => "repair",
+            Event::Checkpoint { .. } => "checkpoint",
+            Event::Stop { .. } => "stop",
+            Event::RunEnd { .. } => "run_end",
+        })
+        .collect();
+    let mut unique = seen.clone();
+    unique.sort_unstable();
+    unique.dedup();
+    assert_eq!(unique.len(), seen.len(), "each kind appears exactly once");
+    assert_eq!(seen.len(), 14);
+}

@@ -12,6 +12,7 @@
 
 use rowfpga_arch::Architecture;
 use rowfpga_netlist::{NetId, Netlist};
+use rowfpga_obs::Obs;
 use rowfpga_place::Placement;
 
 use crate::config::RouterConfig;
@@ -50,6 +51,31 @@ pub fn route_batch(
     cfg: &RouterConfig,
     max_passes: usize,
 ) -> BatchOutcome {
+    route_batch_observed(
+        state,
+        arch,
+        netlist,
+        placement,
+        cfg,
+        max_passes,
+        &Obs::disabled(),
+    )
+}
+
+/// Like [`route_batch`], with an observability handle: an overall
+/// `route.batch` span, one `route.batch.pass` span per rip-up-and-retry
+/// round, and counters for routed / failed assignments per round.
+#[allow(clippy::too_many_arguments)]
+pub fn route_batch_observed(
+    state: &mut RoutingState,
+    arch: &Architecture,
+    netlist: &Netlist,
+    placement: &Placement,
+    cfg: &RouterConfig,
+    max_passes: usize,
+    obs: &Obs,
+) -> BatchOutcome {
+    obs.span_start("route.batch");
     for (net, _) in netlist.nets() {
         state.rip_up(net);
     }
@@ -59,11 +85,16 @@ pub fn route_batch(
     let mut detail_failures = 0;
     loop {
         passes += 1;
+        obs.span_start("route.batch.pass");
         let stats = state.route_incremental(arch, netlist, placement, cfg);
         globally_routed += stats.globally_routed;
         detail_routed += stats.detail_routed;
         detail_failures += stats.detail_failures;
+        obs.add("route.batch.globally_routed", stats.globally_routed as u64);
+        obs.add("route.batch.detail_routed", stats.detail_routed as u64);
+        obs.add("route.batch.detail_failures", stats.detail_failures as u64);
         if state.is_fully_routed() || passes >= max_passes.max(1) {
+            obs.span_end("route.batch.pass");
             break;
         }
         rip_up_blockers(state, arch, netlist);
@@ -73,7 +104,13 @@ pub fn route_batch(
         let retry = crate::detail::detail_route_pass(state, arch, cfg);
         detail_routed += retry.routed;
         detail_failures += retry.failures;
+        obs.add("route.batch.retry_routed", retry.routed as u64);
+        obs.add("route.batch.retry_failures", retry.failures as u64);
+        obs.span_end("route.batch.pass");
     }
+    obs.inc("route.batch.calls");
+    obs.observe("route.batch.passes", passes as f64);
+    obs.span_end("route.batch");
     BatchOutcome {
         fully_routed: state.is_fully_routed(),
         passes,
@@ -194,6 +231,30 @@ mod tests {
         assert_eq!(out.incomplete, st.incomplete());
         assert_eq!(out.globally_unrouted, st.globally_unrouted());
         assert!(out.detail_failures > 0, "starved chip must count failures");
+    }
+
+    #[test]
+    fn observed_batch_reports_spans_and_counters() {
+        let (arch, nl, p) = problem(24);
+        let mut st = RoutingState::new(&arch, &nl);
+        let obs = Obs::metrics_only();
+        let out = route_batch_observed(&mut st, &arch, &nl, &p, &RouterConfig::default(), 5, &obs);
+        obs.with_session(|s| {
+            assert_eq!(s.metrics.counter("route.batch.calls"), 1);
+            assert_eq!(
+                s.metrics.counter("route.batch.detail_routed") as usize,
+                out.detail_routed
+            );
+            let batch = s.profiler.total("route.batch").expect("batch span");
+            assert_eq!(batch.calls, 1);
+            let pass = s.profiler.total("route.batch.pass").expect("pass span");
+            assert_eq!(pass.calls, out.passes as u64);
+        })
+        .unwrap();
+        // Observation must not change routing decisions.
+        let mut plain = RoutingState::new(&arch, &nl);
+        let base = route_batch(&mut plain, &arch, &nl, &p, &RouterConfig::default(), 5);
+        assert_eq!(out, base);
     }
 
     #[test]

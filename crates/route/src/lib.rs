@@ -40,7 +40,7 @@ mod spans;
 mod state;
 mod verify;
 
-pub use batch::{route_batch, BatchOutcome};
+pub use batch::{route_batch, route_batch_observed, BatchOutcome};
 pub use config::RouterConfig;
 pub use detail::{detail_route_pass, DetailPassStats};
 pub use global::global_route_pass;

@@ -59,6 +59,46 @@ impl Sta {
         placement: &Placement,
         routing: &RoutingState,
     ) -> Result<Sta, CombLoopError> {
+        Self::analyze_observed(
+            arch,
+            netlist,
+            placement,
+            routing,
+            &rowfpga_obs::Obs::disabled(),
+        )
+    }
+
+    /// Like [`analyze`](Self::analyze), with an observability handle: a
+    /// `sta.full` span plus counters for the cells and endpoints visited
+    /// and a histogram of the worst endpoint arrival.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CombLoopError`] if the netlist has a combinational cycle.
+    pub fn analyze_observed(
+        arch: &Architecture,
+        netlist: &Netlist,
+        placement: &Placement,
+        routing: &RoutingState,
+        obs: &rowfpga_obs::Obs,
+    ) -> Result<Sta, CombLoopError> {
+        obs.span_start("sta.full");
+        let out = Self::analyze_inner(arch, netlist, placement, routing);
+        if let Ok(sta) = &out {
+            obs.inc("sta.full.passes");
+            obs.add("sta.full.cells", netlist.num_cells() as u64);
+            obs.observe("sta.full.worst_delay", sta.worst);
+        }
+        obs.span_end("sta.full");
+        out
+    }
+
+    fn analyze_inner(
+        arch: &Architecture,
+        netlist: &Netlist,
+        placement: &Placement,
+        routing: &RoutingState,
+    ) -> Result<Sta, CombLoopError> {
         let levels = Levels::compute(netlist)?;
         let net_delays: Vec<Vec<f64>> = netlist
             .nets()
@@ -239,6 +279,21 @@ mod tests {
         // any path passes at least one module
         assert!(sta.worst_delay() > arch.delay().t_comb.min(arch.delay().t_io));
         assert!(sta.worst_delay().is_finite());
+    }
+
+    #[test]
+    fn observed_analysis_records_span_and_metrics() {
+        let (arch, nl, p, st) = problem();
+        let obs = rowfpga_obs::Obs::metrics_only();
+        let sta = Sta::analyze_observed(&arch, &nl, &p, &st, &obs).unwrap();
+        let plain = Sta::analyze(&arch, &nl, &p, &st).unwrap();
+        assert_eq!(sta.worst_delay(), plain.worst_delay());
+        obs.with_session(|s| {
+            assert_eq!(s.metrics.counter("sta.full.passes"), 1);
+            assert_eq!(s.metrics.counter("sta.full.cells") as usize, nl.num_cells());
+            assert_eq!(s.profiler.total("sta.full").expect("span").calls, 1);
+        })
+        .unwrap();
     }
 
     #[test]

@@ -70,6 +70,20 @@ if want test; then
 
   echo "== cargo test (fault injection: fuzz-harness detection suite)"
   cargo test -p rowfpga-verify --features fault-inject --offline -q
+
+  echo "== observability smoke (journal -> tail -> analyze)"
+  obs_dir="$(mktemp -d)"
+  run_cli bench s1 --fast --journal "$obs_dir/run.jsonl" > /dev/null
+  run_cli tail "$obs_dir/run.jsonl" --no-follow > "$obs_dir/tail.out"
+  grep -q "done (converged)" "$obs_dir/tail.out" \
+    || { echo "FAIL: tail did not render run completion"; exit 1; }
+  run_cli analyze "$obs_dir/run.jsonl" --out "$obs_dir" --quiet \
+    > "$obs_dir/analyze.out"
+  grep -q "analysis written to" "$obs_dir/analyze.out" \
+    || { echo "FAIL: analyze produced no report"; exit 1; }
+  test -s "$obs_dir/run.folded" \
+    || { echo "FAIL: analyze wrote no folded-stack profile"; exit 1; }
+  rm -rf "$obs_dir"
 fi
 
 smoke_dir=""
