@@ -10,10 +10,17 @@
 //! * `worst_delay_ps` across the same rows — what the second replica and
 //!   the exchange of best layouts buy in quality.
 //!
-//! Usage: `e2e [--quick] [--seed N] [--out PATH] [--check PATH]`
+//! Usage: `e2e [--quick] [--seed N] [--threads auto|N] [--out PATH]
+//!              [--check PATH]`
 //!
 //! `--quick` switches to the smoke-effort annealing profile and drops the
 //! largest design, for CI-speed runs.
+//!
+//! `--threads auto` (the default) benchmarks 1 replica, plus 2 replicas
+//! only when the host actually has a second core — on a single-core host
+//! a 2-replica row just measures time-slicing overhead and then trips the
+//! throughput gate for no real regression. An explicit `--threads N`
+//! benchmarks exactly that replica count.
 //!
 //! `--check PATH` reads a previously committed JSON at PATH *before*
 //! overwriting anything and exits non-zero if, for any (design, threads)
@@ -91,6 +98,26 @@ fn main() {
         parse(&text).unwrap_or_else(|e| panic!("--check {path}: {e}"))
     });
 
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    // `auto` skips the 2-replica rows on a single-core host, where they
+    // would only measure time-slicing overhead (and then fail the
+    // throughput gate against a multi-core baseline).
+    let thread_counts: Vec<usize> = match arg_value(&args, "--threads").as_deref() {
+        None | Some("auto") => {
+            if host_cores >= 2 {
+                vec![1, 2]
+            } else {
+                vec![1]
+            }
+        }
+        Some(n) => vec![n.parse().unwrap_or_else(|_| {
+            eprintln!("e2e: --threads {n}: expected a count or `auto`");
+            std::process::exit(2);
+        })],
+    };
+
     let mut designs: Vec<(&'static str, Netlist)> = vec![
         ("cse", generate(&paper_preset(PaperBenchmark::Cse))),
         ("s1", generate(&paper_preset(PaperBenchmark::S1))),
@@ -102,7 +129,7 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     for (name, nl) in &designs {
         let arch = size_architecture(nl, &SizingConfig::default()).expect("preset fits sized chip");
-        for threads in [1usize, 2] {
+        for &threads in &thread_counts {
             let base = if quick {
                 SimPrConfig::fast()
             } else {
@@ -136,12 +163,9 @@ fn main() {
         }
     }
 
-    // Readers need this to interpret the wall clocks: on a single-core
-    // host, two replicas time-slice and the parallel rows measure overhead
-    // plus the doubled move budget, not speedup.
-    let host_cores = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
+    // Readers need host_cores to interpret the wall clocks: on a
+    // single-core host, replicas time-slice and parallel rows measure
+    // overhead plus the doubled move budget, not speedup.
     let json = Json::obj(vec![
         ("schema", Json::Str("bench.e2e/v1".into())),
         (

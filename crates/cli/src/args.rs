@@ -82,6 +82,9 @@ pub struct CommonOpts {
     pub checkpoint: Option<String>,
     /// Checkpoint cadence in temperature steps.
     pub checkpoint_every: usize,
+    /// Checkpoint generations to retain alongside the base file
+    /// (0 = base file only, no generation history).
+    pub checkpoint_keep: usize,
     /// Resume from this checkpoint file.
     pub resume: Option<String>,
     /// Wall-clock budget in seconds (graceful stop at the next
@@ -131,6 +134,7 @@ impl Default for CommonOpts {
             metrics: false,
             checkpoint: None,
             checkpoint_every: 5,
+            checkpoint_keep: 3,
             resume: None,
             deadline: None,
             audit_every: 0,
@@ -222,6 +226,61 @@ pub enum Command {
         /// Suppress the text report on stdout.
         quiet: bool,
     },
+    /// Run the layout-as-a-service job daemon.
+    Serve {
+        /// Unix socket to listen on.
+        socket: String,
+        /// Spool directory for durable job state.
+        spool: String,
+        /// Concurrent layout workers.
+        workers: usize,
+        /// Bounded queue capacity (full = reject with a retry hint).
+        queue: usize,
+        /// Checkpoint cadence for jobs, in temperature steps.
+        checkpoint_every: usize,
+        /// Checkpoint generations retained per job.
+        checkpoint_keep: usize,
+    },
+    /// Submit a netlist to a running daemon.
+    Submit {
+        /// Input netlist path (native format).
+        input: String,
+        /// The daemon's unix socket.
+        socket: String,
+        /// Placement seed.
+        seed: u64,
+        /// Scheduling priority (higher runs first, may evict lower).
+        priority: i64,
+        /// Execution budget in seconds (expiry completes with
+        /// best-so-far).
+        deadline: Option<f64>,
+        /// Low-effort annealing profile.
+        fast: bool,
+        /// Tracks-per-channel override.
+        tracks: Option<usize>,
+        /// Architecture description file (read and embedded in the job).
+        arch: Option<String>,
+        /// Per-job journal sink spec (file path or `unix:PATH`).
+        journal: Option<String>,
+        /// Block until the job finishes and print its result.
+        wait: bool,
+        /// Give up waiting after this many seconds.
+        timeout: f64,
+    },
+    /// List a daemon's jobs, or show one job in detail.
+    Jobs {
+        /// The daemon's unix socket.
+        socket: String,
+        /// A job id to show in detail (absent = list all).
+        job: Option<String>,
+    },
+    /// Cancel a queued or running job.
+    CancelJob {
+        /// The daemon's unix socket.
+        socket: String,
+        /// The job to cancel.
+        job: String,
+    },
     /// Run the domain lint engine over the workspace.
     Lint {
         /// Emit the machine-readable JSON report instead of text.
@@ -258,6 +317,8 @@ pub enum ArgError {
     },
     /// A required positional argument is missing.
     MissingInput,
+    /// A required flag was not given.
+    MissingFlag(String),
     /// Two flags contradict each other.
     Conflict {
         /// What contradicts what, and why.
@@ -282,6 +343,7 @@ impl fmt::Display for ArgError {
                 expected,
             } => write!(f, "bad value `{value}` for `{flag}` (expected {expected})"),
             ArgError::MissingInput => write!(f, "missing input netlist path"),
+            ArgError::MissingFlag(x) => write!(f, "required flag `{x}` is missing"),
             ArgError::Conflict { detail } => write!(f, "conflicting flags: {detail}"),
         }
     }
@@ -299,9 +361,9 @@ USAGE:
   rowfpga layout   <netlist> [--blif] [--flow sim|seq] [--fast] [--seed N]
                    [--tracks N] [--arch FILE] [--svg FILE] [--ascii]
                    [--report] [--journal FILE] [--metrics]
-                   [--checkpoint FILE] [--checkpoint-every N] [--resume FILE]
-                   [--deadline SECS] [--audit-every N] [--temp-budget N]
-                   [--threads N]
+                   [--checkpoint FILE] [--checkpoint-every N]
+                   [--checkpoint-keep N] [--resume FILE] [--deadline SECS]
+                   [--audit-every N] [--temp-budget N] [--threads N]
   rowfpga mintracks <netlist> [--blif] [--flow sim|seq] [--fast] [--seed N]
                    [--start N]
   rowfpga bench    <s1|cse|ex1|bw|s1a|big529> [--flow sim|seq] [--fast]
@@ -310,6 +372,13 @@ USAGE:
   rowfpga fuzz     [--seconds N] [--iters N] [--seed N] [--corpus DIR]
                    [--min-cells N] [--max-cells N]
   rowfpga fuzz     --replay FILE.repro.json
+  rowfpga serve    --socket PATH --spool DIR [--workers N] [--queue N]
+                   [--checkpoint-every N] [--checkpoint-keep N]
+  rowfpga submit   <netlist> --socket PATH [--seed N] [--priority N]
+                   [--deadline SECS] [--fast] [--tracks N] [--arch FILE]
+                   [--journal DEST] [--wait] [--timeout SECS]
+  rowfpga jobs     --socket PATH [JOB]
+  rowfpga cancel   --socket PATH JOB
   rowfpga tail     <journal.jsonl | unix:PATH> [--listen] [--no-follow]
   rowfpga analyze  <journal.jsonl> [--out DIR] [--quiet]
   rowfpga lint     [--json] [--fix-budget] [--root DIR]
@@ -339,9 +408,25 @@ OBSERVABILITY:
                    replica-exchange analytics plus a folded-stack span
                    profile (flamegraph-ready), written under --out
 
+SERVICE (layout-as-a-service; see DESIGN.md \u{a7}13):
+  rowfpga serve runs a crash-safe job daemon on a unix socket: a bounded
+  queue feeds a worker pool, every accepted job is durable in the spool
+  before it is acknowledged, higher-priority submissions evict running
+  jobs at a checkpoint (they resume later, bit-identically), deadline
+  expiry completes with best-so-far, and a full queue rejects with a
+  `retry_after_sec` hint. SIGTERM/SIGINT (or a client `shutdown`) drains:
+  running jobs checkpoint, the queue persists, and the daemon exits 0; a
+  restart on the same spool resumes where it left off — even after a
+  SIGKILL. `submit` sends a job (embedding the netlist and any `--arch`
+  file, so the daemon never reads the client's paths), `jobs` lists or
+  inspects them, `cancel` stops one.
+
 RESILIENCE (simultaneous flow only):
   --checkpoint FILE     atomically snapshot the full annealer state here
   --checkpoint-every N  snapshot cadence in temperature steps (default 5)
+  --checkpoint-keep N   retained checkpoint generations besides the base
+                        file (default 3; 0 = base file only); pruning
+                        never removes the only valid snapshot
   --resume FILE         restart from a checkpoint; the file must match the
                         current architecture, netlist and seed
   --deadline SECS       wall-clock budget; the run finishes the current
@@ -390,6 +475,7 @@ fn parse_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), ArgError> 
     let mut opts = CommonOpts::default();
     let mut positional = Vec::new();
     let mut cadence_given = false;
+    let mut keep_given = false;
     let mut i = 0;
     while i < args.len() {
         let a = &args[i];
@@ -450,6 +536,11 @@ fn parse_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), ArgError> 
                 cadence_given = true;
                 i += 1;
             }
+            "--checkpoint-keep" => {
+                opts.checkpoint_keep = parse_num("--checkpoint-keep", args.get(i + 1))?;
+                keep_given = true;
+                i += 1;
+            }
             "--resume" => {
                 opts.resume = Some(
                     args.get(i + 1)
@@ -505,6 +596,11 @@ fn parse_common(args: &[String]) -> Result<(CommonOpts, Vec<String>), ArgError> 
     if cadence_given && opts.checkpoint.is_none() && opts.resume.is_none() {
         return Err(ArgError::Conflict {
             detail: "`--checkpoint-every` has no effect without `--checkpoint`".into(),
+        });
+    }
+    if keep_given && opts.checkpoint.is_none() && opts.resume.is_none() {
+        return Err(ArgError::Conflict {
+            detail: "`--checkpoint-keep` has no effect without `--checkpoint`".into(),
         });
     }
     if opts.checkpoint_every == 0 {
@@ -808,8 +904,192 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
                 root,
             })
         }
+        "serve" => {
+            let mut socket = None;
+            let mut spool = None;
+            let mut workers = 1usize;
+            let mut queue = 16usize;
+            let mut checkpoint_every = 1usize;
+            let mut checkpoint_keep = 3usize;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--socket" => {
+                        socket = Some(take_value("--socket", rest.get(i + 1))?);
+                        i += 1;
+                    }
+                    "--spool" => {
+                        spool = Some(take_value("--spool", rest.get(i + 1))?);
+                        i += 1;
+                    }
+                    "--workers" => {
+                        workers = parse_num("--workers", rest.get(i + 1))?;
+                        i += 1;
+                    }
+                    "--queue" => {
+                        queue = parse_num("--queue", rest.get(i + 1))?;
+                        i += 1;
+                    }
+                    "--checkpoint-every" => {
+                        checkpoint_every = parse_num("--checkpoint-every", rest.get(i + 1))?;
+                        i += 1;
+                    }
+                    "--checkpoint-keep" => {
+                        checkpoint_keep = parse_num("--checkpoint-keep", rest.get(i + 1))?;
+                        i += 1;
+                    }
+                    other => return Err(ArgError::UnknownFlag(other.into())),
+                }
+                i += 1;
+            }
+            for (flag, value, min) in [
+                ("--workers", workers, 1),
+                ("--queue", queue, 1),
+                ("--checkpoint-every", checkpoint_every, 1),
+            ] {
+                if value < min {
+                    return Err(ArgError::BadValue {
+                        flag: flag.into(),
+                        value: "0".into(),
+                        expected: "at least 1".into(),
+                    });
+                }
+            }
+            Ok(Command::Serve {
+                socket: socket.ok_or_else(|| ArgError::MissingFlag("--socket".into()))?,
+                spool: spool.ok_or_else(|| ArgError::MissingFlag("--spool".into()))?,
+                workers,
+                queue,
+                checkpoint_every,
+                checkpoint_keep,
+            })
+        }
+        "submit" => {
+            let mut input = None;
+            let mut socket = None;
+            let mut seed = 1u64;
+            let mut priority = 0i64;
+            let mut deadline = None;
+            let mut fast = false;
+            let mut tracks = None;
+            let mut arch = None;
+            let mut journal = None;
+            let mut wait = false;
+            let mut timeout = 600.0f64;
+            let mut i = 0;
+            while i < rest.len() {
+                match rest[i].as_str() {
+                    "--socket" => {
+                        socket = Some(take_value("--socket", rest.get(i + 1))?);
+                        i += 1;
+                    }
+                    "--seed" => {
+                        seed = parse_num("--seed", rest.get(i + 1))?;
+                        i += 1;
+                    }
+                    "--priority" => {
+                        priority = parse_num("--priority", rest.get(i + 1))?;
+                        i += 1;
+                    }
+                    "--deadline" => {
+                        let secs: f64 = parse_num("--deadline", rest.get(i + 1))?;
+                        if !secs.is_finite() || secs <= 0.0 {
+                            return Err(ArgError::BadValue {
+                                flag: "--deadline".into(),
+                                value: rest[i + 1].clone(),
+                                expected: "a positive number of seconds".into(),
+                            });
+                        }
+                        deadline = Some(secs);
+                        i += 1;
+                    }
+                    "--fast" => fast = true,
+                    "--tracks" => {
+                        tracks = Some(parse_num("--tracks", rest.get(i + 1))?);
+                        i += 1;
+                    }
+                    "--arch" => {
+                        arch = Some(take_value("--arch", rest.get(i + 1))?);
+                        i += 1;
+                    }
+                    "--journal" => {
+                        journal = Some(take_value("--journal", rest.get(i + 1))?);
+                        i += 1;
+                    }
+                    "--wait" => wait = true,
+                    "--timeout" => {
+                        let secs: f64 = parse_num("--timeout", rest.get(i + 1))?;
+                        if !secs.is_finite() || secs <= 0.0 {
+                            return Err(ArgError::BadValue {
+                                flag: "--timeout".into(),
+                                value: rest[i + 1].clone(),
+                                expected: "a positive number of seconds".into(),
+                            });
+                        }
+                        timeout = secs;
+                        i += 1;
+                    }
+                    other if other.starts_with("--") => {
+                        return Err(ArgError::UnknownFlag(other.into()))
+                    }
+                    other => input = Some(other.to_owned()),
+                }
+                i += 1;
+            }
+            Ok(Command::Submit {
+                input: input.ok_or(ArgError::MissingInput)?,
+                socket: socket.ok_or_else(|| ArgError::MissingFlag("--socket".into()))?,
+                seed,
+                priority,
+                deadline,
+                fast,
+                tracks,
+                arch,
+                journal,
+                wait,
+                timeout,
+            })
+        }
+        "jobs" => {
+            let (socket, job) = parse_socket_and_job(rest)?;
+            Ok(Command::Jobs { socket, job })
+        }
+        "cancel" => {
+            let (socket, job) = parse_socket_and_job(rest)?;
+            Ok(Command::CancelJob {
+                socket,
+                job: job.ok_or(ArgError::MissingInput)?,
+            })
+        }
         other => Err(ArgError::UnknownCommand(other.into())),
     }
+}
+
+fn take_value(flag: &str, v: Option<&String>) -> Result<String, ArgError> {
+    v.cloned()
+        .ok_or_else(|| ArgError::MissingValue(flag.into()))
+}
+
+/// Parses the shared `--socket PATH [JOB]` shape of `jobs` and `cancel`.
+fn parse_socket_and_job(rest: &[String]) -> Result<(String, Option<String>), ArgError> {
+    let mut socket = None;
+    let mut job = None;
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--socket" => {
+                socket = Some(take_value("--socket", rest.get(i + 1))?);
+                i += 1;
+            }
+            other if other.starts_with("--") => return Err(ArgError::UnknownFlag(other.into())),
+            other => job = Some(other.to_owned()),
+        }
+        i += 1;
+    }
+    Ok((
+        socket.ok_or_else(|| ArgError::MissingFlag("--socket".into()))?,
+        job,
+    ))
 }
 
 #[cfg(test)]
@@ -1259,6 +1539,170 @@ mod tests {
             ArgError::UnknownFlag(_)
         ));
         assert!(USAGE.contains("rowfpga fuzz"));
+    }
+
+    #[test]
+    fn parses_checkpoint_keep() {
+        match parse_args(&v(&[
+            "layout",
+            "d.net",
+            "--checkpoint",
+            "ck.json",
+            "--checkpoint-keep",
+            "5",
+        ]))
+        .unwrap()
+        {
+            Command::Layout { opts, .. } => assert_eq!(opts.checkpoint_keep, 5),
+            _ => panic!("wrong command"),
+        }
+        // Default retention is three generations.
+        match parse_args(&v(&["layout", "d.net", "--checkpoint", "ck.json"])).unwrap() {
+            Command::Layout { opts, .. } => assert_eq!(opts.checkpoint_keep, 3),
+            _ => panic!("wrong command"),
+        }
+        // Retention without a checkpoint destination is a silent no-op.
+        assert!(matches!(
+            parse_args(&v(&["layout", "d.net", "--checkpoint-keep", "2"])).unwrap_err(),
+            ArgError::Conflict { .. }
+        ));
+        assert!(USAGE.contains("--checkpoint-keep"));
+    }
+
+    #[test]
+    fn parses_serve() {
+        match parse_args(&v(&["serve", "--socket", "/tmp/s", "--spool", "/tmp/d"])).unwrap() {
+            Command::Serve {
+                socket,
+                spool,
+                workers,
+                queue,
+                checkpoint_every,
+                checkpoint_keep,
+            } => {
+                assert_eq!(socket, "/tmp/s");
+                assert_eq!(spool, "/tmp/d");
+                assert_eq!(workers, 1);
+                assert_eq!(queue, 16);
+                assert_eq!(checkpoint_every, 1);
+                assert_eq!(checkpoint_keep, 3);
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse_args(&v(&[
+            "serve",
+            "--socket",
+            "s",
+            "--spool",
+            "d",
+            "--workers",
+            "2",
+            "--queue",
+            "4",
+        ]))
+        .unwrap()
+        {
+            Command::Serve { workers, queue, .. } => {
+                assert_eq!(workers, 2);
+                assert_eq!(queue, 4);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(matches!(
+            parse_args(&v(&["serve", "--spool", "d"])).unwrap_err(),
+            ArgError::MissingFlag(f) if f == "--socket"
+        ));
+        assert!(matches!(
+            parse_args(&v(&["serve", "--socket", "s"])).unwrap_err(),
+            ArgError::MissingFlag(f) if f == "--spool"
+        ));
+        assert!(matches!(
+            parse_args(&v(&[
+                "serve", "--socket", "s", "--spool", "d", "--queue", "0"
+            ]))
+            .unwrap_err(),
+            ArgError::BadValue { .. }
+        ));
+        assert!(USAGE.contains("rowfpga serve"));
+    }
+
+    #[test]
+    fn parses_submit_jobs_and_cancel() {
+        match parse_args(&v(&[
+            "submit",
+            "d.net",
+            "--socket",
+            "s",
+            "--seed",
+            "7",
+            "--priority",
+            "-2",
+            "--deadline",
+            "3.5",
+            "--fast",
+            "--wait",
+            "--timeout",
+            "30",
+        ]))
+        .unwrap()
+        {
+            Command::Submit {
+                input,
+                socket,
+                seed,
+                priority,
+                deadline,
+                fast,
+                wait,
+                timeout,
+                ..
+            } => {
+                assert_eq!(input, "d.net");
+                assert_eq!(socket, "s");
+                assert_eq!(seed, 7);
+                assert_eq!(priority, -2);
+                assert_eq!(deadline, Some(3.5));
+                assert!(fast);
+                assert!(wait);
+                assert_eq!(timeout, 30.0);
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(matches!(
+            parse_args(&v(&["submit", "d.net"])).unwrap_err(),
+            ArgError::MissingFlag(_)
+        ));
+        assert!(matches!(
+            parse_args(&v(&["submit", "--socket", "s"])).unwrap_err(),
+            ArgError::MissingInput
+        ));
+        assert!(matches!(
+            parse_args(&v(&["submit", "d.net", "--socket", "s", "--deadline", "0"])).unwrap_err(),
+            ArgError::BadValue { .. }
+        ));
+        match parse_args(&v(&["jobs", "--socket", "s"])).unwrap() {
+            Command::Jobs { socket, job } => {
+                assert_eq!(socket, "s");
+                assert_eq!(job, None);
+            }
+            _ => panic!("wrong command"),
+        }
+        match parse_args(&v(&["jobs", "--socket", "s", "job-000001"])).unwrap() {
+            Command::Jobs { job, .. } => assert_eq!(job.as_deref(), Some("job-000001")),
+            _ => panic!("wrong command"),
+        }
+        match parse_args(&v(&["cancel", "--socket", "s", "job-000001"])).unwrap() {
+            Command::CancelJob { socket, job } => {
+                assert_eq!(socket, "s");
+                assert_eq!(job, "job-000001");
+            }
+            _ => panic!("wrong command"),
+        }
+        assert!(matches!(
+            parse_args(&v(&["cancel", "--socket", "s"])).unwrap_err(),
+            ArgError::MissingInput
+        ));
+        assert!(USAGE.contains("rowfpga submit"));
     }
 
     #[test]

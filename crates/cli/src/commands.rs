@@ -47,6 +47,9 @@ pub enum CliError {
         /// How many violations were found.
         count: usize,
     },
+    /// A service command failed (daemon rejection, protocol error, wait
+    /// timeout, or a platform without unix sockets).
+    Service(String),
 }
 
 impl fmt::Display for CliError {
@@ -71,6 +74,7 @@ impl fmt::Display for CliError {
             CliError::LintViolations { count } => {
                 write!(f, "lint found {count} violation(s)")
             }
+            CliError::Service(e) => write!(f, "service error: {e}"),
         }
     }
 }
@@ -155,6 +159,7 @@ fn run_layout(
             let mut cfg = base.with_seed(opts.seed);
             cfg.resilience.checkpoint_path = opts.checkpoint.as_ref().map(std::path::PathBuf::from);
             cfg.resilience.checkpoint_every = opts.checkpoint_every;
+            cfg.resilience.checkpoint_keep = opts.checkpoint_keep;
             cfg.resilience.resume_path = opts.resume.as_ref().map(std::path::PathBuf::from);
             cfg.resilience.deadline = opts.deadline.map(std::time::Duration::from_secs_f64);
             cfg.resilience.audit_every = opts.audit_every;
@@ -433,6 +438,55 @@ pub fn run_command_with_stop(
             print_layout_outputs(&arch, &netlist, &result, opts, out)?;
             print_obs_outputs(&obs, opts, out)
         }
+        Command::Serve {
+            socket,
+            spool,
+            workers,
+            queue,
+            checkpoint_every,
+            checkpoint_keep,
+        } => crate::service::run_serve(
+            &crate::service::ServeOpts {
+                socket: socket.clone(),
+                spool: spool.clone(),
+                workers: *workers,
+                queue: *queue,
+                checkpoint_every: *checkpoint_every,
+                checkpoint_keep: *checkpoint_keep,
+            },
+            out,
+            stop,
+        ),
+        Command::Submit {
+            input,
+            socket,
+            seed,
+            priority,
+            deadline,
+            fast,
+            tracks,
+            arch,
+            journal,
+            wait,
+            timeout,
+        } => crate::service::run_submit(
+            socket,
+            &crate::service::SubmitOpts {
+                input: input.clone(),
+                seed: *seed,
+                priority: *priority,
+                deadline: *deadline,
+                fast: *fast,
+                tracks: *tracks,
+                arch: arch.clone(),
+                journal: journal.clone(),
+                wait: *wait,
+                timeout: *timeout,
+            },
+            out,
+        ),
+        Command::Jobs { socket, job } => crate::service::run_jobs(socket, job.as_deref(), out),
+        Command::CancelJob { socket, job } => crate::service::run_cancel(socket, job, out),
         Command::Tail {
             source,
             listen,
@@ -837,20 +891,33 @@ verticals longlines 4 3
         ])
         .unwrap();
 
-        // A zero-second deadline stops at the first temperature boundary
-        // and still leaves a loadable checkpoint behind.
+        // A three-temperature budget stops deterministically mid-anneal
+        // and leaves a loadable checkpoint behind. (A zero deadline would
+        // stop before any temperature completes, which deliberately does
+        // NOT checkpoint: the post-warmup state is not restorable.)
         let out = run(&[
             "layout",
             net_path.to_str().unwrap(),
             "--fast",
-            "--deadline",
-            "0",
+            "--temp-budget",
+            "3",
             "--checkpoint",
             ckpt.to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
+            "--checkpoint-keep",
+            "2",
         ])
         .unwrap();
         assert!(out.contains("stop: deadline"), "{out}");
         assert!(ckpt.exists(), "early stop must write a final checkpoint");
+        // Retention: per-temperature snapshots left generation siblings,
+        // pruned down to the two newest by `--checkpoint-keep 2`.
+        let gens = rowfpga_core::list_generations(&ckpt);
+        assert!(
+            (1..=2).contains(&gens.len()),
+            "expected at most 2 retained generations, found {gens:?}"
+        );
 
         // Resuming that checkpoint runs to convergence.
         let out = run(&[

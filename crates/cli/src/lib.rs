@@ -8,7 +8,9 @@
 //!   flow, printing a layout report and optionally writing an SVG plot;
 //! * `mintracks` — find the minimum tracks/channel each flow needs for
 //!   100 % wirability of a design (the paper's Table 2 methodology);
-//! * `bench` — run one of the paper's preset benchmarks by name.
+//! * `bench` — run one of the paper's preset benchmarks by name;
+//! * `serve` / `submit` / `jobs` / `cancel` — the layout-as-a-service
+//!   daemon and its clients (see `rowfpga_serve` and DESIGN.md §13).
 //!
 //! The argument parser is deliberately dependency-free; see [`parse_args`].
 
@@ -17,6 +19,7 @@
 
 mod args;
 mod commands;
+mod service;
 mod tail;
 
 pub use args::{parse_args, ArgError, Command, CommonOpts, FlowChoice, ThreadsChoice};

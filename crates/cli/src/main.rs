@@ -2,38 +2,42 @@
 
 use std::process::ExitCode;
 
-/// SIGINT (ctrl-c) handling: the handler only sets a static atomic, which
-/// the layout engine polls between temperature steps — the run finishes
-/// the current temperature, writes a final checkpoint and returns its
-/// best-so-far layout tagged `stop: interrupted`. A second ctrl-c during
-/// the wind-down kills the process the default way.
+/// SIGINT (ctrl-c) and SIGTERM handling: the handler only sets a static
+/// atomic, which the layout engine polls between temperature steps — the
+/// run finishes the current temperature, writes a final checkpoint and
+/// returns its best-so-far layout tagged `stop: interrupted`. For
+/// `rowfpga serve` the same flag starts the graceful drain: running jobs
+/// checkpoint, the queue persists, and the daemon exits 0. A second
+/// signal during the wind-down kills the process the default way.
 #[cfg(unix)]
-mod sigint {
+mod signals {
     use std::sync::atomic::{AtomicBool, Ordering};
 
     /// Set (only) by the signal handler; watched by the engine's StopFlag.
     pub static STOP: AtomicBool = AtomicBool::new(false);
 
     const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
     const SIG_DFL: usize = 0;
 
     extern "C" {
         fn signal(signum: i32, handler: usize) -> usize;
     }
 
-    extern "C" fn on_sigint(_signum: i32) {
+    extern "C" fn on_signal(signum: i32) {
         STOP.store(true, Ordering::SeqCst);
-        // Restore the default disposition so a second ctrl-c terminates.
-        // SAFETY: resetting SIGINT to SIG_DFL from within the handler is async-signal-safe.
+        // Restore the default disposition so a second signal terminates.
+        // SAFETY: resetting a signal to SIG_DFL from within its handler is async-signal-safe.
         unsafe {
-            signal(SIGINT, SIG_DFL);
+            signal(signum, SIG_DFL);
         }
     }
 
     pub fn install() {
-        // SAFETY: on_sigint only stores an AtomicBool and re-arms SIG_DFL, both async-signal-safe.
+        // SAFETY: on_signal only stores an AtomicBool and re-arms SIG_DFL, both async-signal-safe.
         unsafe {
-            signal(SIGINT, on_sigint as extern "C" fn(i32) as usize);
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
         }
     }
 }
@@ -49,8 +53,8 @@ fn main() -> ExitCode {
     };
     #[cfg(unix)]
     let stop = {
-        sigint::install();
-        rowfpga_cli::StopFlag::watching(&sigint::STOP)
+        signals::install();
+        rowfpga_cli::StopFlag::watching(&signals::STOP)
     };
     #[cfg(not(unix))]
     let stop = rowfpga_cli::StopFlag::none();

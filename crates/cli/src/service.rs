@@ -1,0 +1,282 @@
+//! The service subcommands: `serve`, `submit`, `jobs`, `cancel`.
+//!
+//! `serve` hosts the [`rowfpga_serve`] daemon in the foreground and
+//! drains it gracefully on SIGTERM/SIGINT (the signal only sets the stop
+//! flag; running jobs checkpoint, the queue persists, and the process
+//! exits 0). The client commands talk the one-line JSON protocol from
+//! DESIGN.md §13 over the daemon's unix socket.
+
+use crate::commands::CliError;
+use rowfpga_core::StopFlag;
+
+/// Parsed `rowfpga serve` options.
+#[derive(Clone, Debug)]
+pub struct ServeOpts {
+    /// Unix socket to listen on.
+    pub socket: String,
+    /// Spool directory.
+    pub spool: String,
+    /// Worker threads.
+    pub workers: usize,
+    /// Queue capacity.
+    pub queue: usize,
+    /// Checkpoint cadence in temperatures.
+    pub checkpoint_every: usize,
+    /// Retained checkpoint generations per job.
+    pub checkpoint_keep: usize,
+}
+
+/// Everything `rowfpga submit` needs besides the socket.
+#[derive(Clone, Debug)]
+pub struct SubmitOpts {
+    /// Netlist file to read and embed.
+    pub input: String,
+    /// Placement seed.
+    pub seed: u64,
+    /// Scheduling priority.
+    pub priority: i64,
+    /// Execution budget in seconds.
+    pub deadline: Option<f64>,
+    /// Low-effort profile.
+    pub fast: bool,
+    /// Tracks-per-channel override.
+    pub tracks: Option<usize>,
+    /// Architecture file to read and embed.
+    pub arch: Option<String>,
+    /// Per-job journal sink spec.
+    pub journal: Option<String>,
+    /// Block until the job finishes.
+    pub wait: bool,
+    /// Waiting budget in seconds.
+    pub timeout: f64,
+}
+
+#[cfg(unix)]
+mod unix_impl {
+    use super::{CliError, ServeOpts, StopFlag, SubmitOpts};
+    use std::io::Write;
+    use std::path::{Path, PathBuf};
+    use std::time::Duration;
+
+    use rowfpga_obs::Json;
+    use rowfpga_serve::{client, ClientError, Daemon, JobSpec, ServeConfig};
+
+    fn service_err(e: ClientError) -> CliError {
+        CliError::Service(e.to_string())
+    }
+
+    /// Runs the daemon until the stop flag fires (SIGTERM/SIGINT) or a
+    /// client requests `shutdown`, then drains and reports the counters.
+    pub fn run_serve(
+        opts: &ServeOpts,
+        out: &mut impl Write,
+        stop: &StopFlag,
+    ) -> Result<(), CliError> {
+        let mut cfg = ServeConfig::new(PathBuf::from(&opts.socket), PathBuf::from(&opts.spool));
+        cfg.workers = opts.workers;
+        cfg.queue_capacity = opts.queue;
+        cfg.checkpoint_every = opts.checkpoint_every;
+        cfg.checkpoint_keep = opts.checkpoint_keep;
+        let handle = Daemon::start(cfg)?;
+        writeln!(
+            out,
+            "serving on {} (spool {}, {} worker(s), queue {})",
+            opts.socket, opts.spool, opts.workers, opts.queue
+        )?;
+        out.flush()?;
+        while !stop.is_set() && !handle.is_closing() {
+            std::thread::sleep(Duration::from_millis(50));
+        }
+        writeln!(out, "draining: checkpointing running jobs...")?;
+        out.flush()?;
+        handle.initiate_shutdown();
+        let stats = handle.join();
+        writeln!(
+            out,
+            "drained: {} submitted, {} completed, {} failed, {} canceled, \
+             {} rejected, {} evictions, {} recovered, {} quarantined",
+            stats.submitted,
+            stats.completed,
+            stats.failed,
+            stats.canceled,
+            stats.rejected,
+            stats.evictions,
+            stats.recovered,
+            stats.quarantined
+        )?;
+        Ok(())
+    }
+
+    pub fn run_submit(
+        socket: &str,
+        opts: &SubmitOpts,
+        out: &mut impl Write,
+    ) -> Result<(), CliError> {
+        let netlist = std::fs::read_to_string(&opts.input)?;
+        let arch = opts
+            .arch
+            .as_ref()
+            .map(std::fs::read_to_string)
+            .transpose()?;
+        let spec = JobSpec {
+            netlist,
+            arch,
+            tracks: opts.tracks,
+            seed: opts.seed,
+            fast: opts.fast,
+            priority: opts.priority,
+            deadline_sec: opts.deadline,
+            journal: opts.journal.clone(),
+        };
+        let socket = Path::new(socket);
+        let id = client::submit(socket, &spec).map_err(service_err)?;
+        writeln!(out, "submitted {id}")?;
+        if opts.wait {
+            out.flush()?;
+            let done = client::wait(socket, &id, Duration::from_secs_f64(opts.timeout))
+                .map_err(service_err)?;
+            print_job(&done, out)?;
+        }
+        Ok(())
+    }
+
+    pub fn run_jobs(socket: &str, job: Option<&str>, out: &mut impl Write) -> Result<(), CliError> {
+        let socket = Path::new(socket);
+        match job {
+            Some(id) => {
+                let doc = client::status(socket, id).map_err(service_err)?;
+                print_job(&doc, out)
+            }
+            None => {
+                let doc = client::request(socket, &Json::obj(vec![("cmd", "list".into())]))
+                    .map_err(service_err)?;
+                let rows = match doc.get("jobs") {
+                    Some(Json::Arr(rows)) => rows.as_slice(),
+                    _ => &[],
+                };
+                for row in rows {
+                    let field = |k: &str| row.get(k).and_then(Json::as_str).unwrap_or("?");
+                    writeln!(
+                        out,
+                        "{}  {:<8}  priority {:>4}  {:>7.1}s spent  {} segment(s), {} eviction(s)",
+                        field("id"),
+                        field("state"),
+                        row.get("priority").and_then(Json::as_f64).unwrap_or(0.0),
+                        row.get("spent_sec").and_then(Json::as_f64).unwrap_or(0.0),
+                        row.get("segments").and_then(Json::as_u64).unwrap_or(0),
+                        row.get("evictions").and_then(Json::as_u64).unwrap_or(0),
+                    )?;
+                }
+                writeln!(out, "{} job(s)", rows.len())?;
+                Ok(())
+            }
+        }
+    }
+
+    pub fn run_cancel(socket: &str, job: &str, out: &mut impl Write) -> Result<(), CliError> {
+        let doc = client::request(
+            Path::new(socket),
+            &Json::obj(vec![("cmd", "cancel".into()), ("job", job.into())]),
+        )
+        .map_err(service_err)?;
+        let state = doc.get("state").and_then(Json::as_str).unwrap_or("?");
+        writeln!(out, "{job}: {state}")?;
+        Ok(())
+    }
+
+    /// Renders one job's `status` document: the lifecycle line, then the
+    /// result summary when one exists.
+    fn print_job(doc: &Json, out: &mut impl Write) -> Result<(), CliError> {
+        let null = Json::Null;
+        let job = doc.get("job").unwrap_or(&null);
+        let field = |k: &str| job.get(k).and_then(Json::as_str).unwrap_or("?");
+        let mut line = format!(
+            "{}  {:<8}  {:.1}s spent, {} segment(s), {} eviction(s)",
+            field("id"),
+            field("state"),
+            job.get("spent_sec").and_then(Json::as_f64).unwrap_or(0.0),
+            job.get("segments").and_then(Json::as_u64).unwrap_or(0),
+            job.get("evictions").and_then(Json::as_u64).unwrap_or(0),
+        );
+        if let Some(reason) = job.get("stop_reason").and_then(Json::as_str) {
+            line.push_str(&format!("  stop: {reason}"));
+        }
+        if let Some(err) = job.get("error").and_then(Json::as_str) {
+            line.push_str(&format!("  error: {err}"));
+        }
+        writeln!(out, "{line}")?;
+        if let Some(result) = doc.get("result") {
+            if !matches!(result, Json::Null) {
+                writeln!(
+                    out,
+                    "result: routed {} (G={}, D={}), worst path {:.2} ns, \
+                     {} temperature(s), digest {}",
+                    result
+                        .get("fully_routed")
+                        .and_then(Json::as_bool)
+                        .unwrap_or(false),
+                    result
+                        .get("globally_unrouted")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0),
+                    result.get("incomplete").and_then(Json::as_u64).unwrap_or(0),
+                    result
+                        .get("worst_delay")
+                        .and_then(Json::as_f64)
+                        .unwrap_or(0.0)
+                        / 1000.0,
+                    result
+                        .get("temperatures")
+                        .and_then(Json::as_u64)
+                        .unwrap_or(0),
+                    result.get("digest").and_then(Json::as_str).unwrap_or("?"),
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(unix)]
+pub use unix_impl::{run_cancel, run_jobs, run_serve, run_submit};
+
+#[cfg(not(unix))]
+mod portable_stub {
+    use super::{CliError, ServeOpts, StopFlag, SubmitOpts};
+    use std::io::Write;
+
+    fn unsupported() -> CliError {
+        CliError::Service("the service commands need unix domain sockets".into())
+    }
+
+    pub fn run_serve(
+        _opts: &ServeOpts,
+        _out: &mut impl Write,
+        _stop: &StopFlag,
+    ) -> Result<(), CliError> {
+        Err(unsupported())
+    }
+
+    pub fn run_submit(
+        _socket: &str,
+        _opts: &SubmitOpts,
+        _out: &mut impl Write,
+    ) -> Result<(), CliError> {
+        Err(unsupported())
+    }
+
+    pub fn run_jobs(
+        _socket: &str,
+        _job: Option<&str>,
+        _out: &mut impl Write,
+    ) -> Result<(), CliError> {
+        Err(unsupported())
+    }
+
+    pub fn run_cancel(_socket: &str, _job: &str, _out: &mut impl Write) -> Result<(), CliError> {
+        Err(unsupported())
+    }
+}
+
+#[cfg(not(unix))]
+pub use portable_stub::{run_cancel, run_jobs, run_serve, run_submit};

@@ -1,0 +1,174 @@
+//! Crash-recovery differential for the `rowfpga serve` binary.
+//!
+//! The hardest robustness contract of the service: a SIGKILL at an
+//! arbitrary instant mid-anneal loses no accepted job, and the restarted
+//! daemon resumes the interrupted job from its last checkpoint to a
+//! final layout that is bit-for-bit identical to an uninterrupted run.
+//! This drives the real binary (not the in-process daemon) so the spool,
+//! socket, signal and process-exit paths are all the production ones.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use rowfpga_core::{size_architecture, SimPrConfig, SimultaneousPlaceRoute, SizingConfig};
+use rowfpga_netlist::{generate, parse_netlist, write_netlist, GenerateConfig};
+use rowfpga_obs::Json;
+use rowfpga_serve::{client, layout_digest, JobSpec, Spool};
+
+const WAIT: Duration = Duration::from_secs(240);
+
+fn netlist_text(cells: usize) -> String {
+    write_netlist(&generate(&GenerateConfig {
+        num_cells: cells,
+        num_inputs: 8,
+        num_outputs: 6,
+        num_seq: 4,
+        ..GenerateConfig::default()
+    }))
+}
+
+/// The uninterrupted result for this netlist under the daemon's engine
+/// configuration (checkpointing on, armed stop flag — both change the
+/// engine's best-so-far tracking, so a bare run would not be comparable).
+fn reference_digest(scratch: &Path, netlist: &str, seed: u64) -> String {
+    let nl = parse_netlist(netlist).unwrap();
+    let arch = size_architecture(&nl, &SizingConfig::default()).unwrap();
+    std::fs::create_dir_all(scratch).unwrap();
+    let mut cfg = SimPrConfig::fast().with_seed(seed);
+    cfg.resilience.checkpoint_path = Some(scratch.join("checkpoint.json"));
+    cfg.resilience.checkpoint_every = 1;
+    let result = SimultaneousPlaceRoute::new(cfg)
+        .run_with_stop(
+            &arch,
+            &nl,
+            "reference",
+            &rowfpga_obs::Obs::disabled(),
+            &rowfpga_core::StopFlag::manual(),
+        )
+        .unwrap();
+    layout_digest(&nl, &result)
+}
+
+fn spawn_daemon(socket: &Path, spool: &Path) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_rowfpga"))
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--spool",
+            spool.to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn rowfpga serve")
+}
+
+fn wait_until_serving(socket: &Path) {
+    for _ in 0..1200 {
+        if client::request(socket, &Json::obj(vec![("cmd", "ping".into())])).is_ok() {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    panic!("daemon never came up on {}", socket.display());
+}
+
+fn spec(netlist: &str) -> JobSpec {
+    JobSpec {
+        netlist: netlist.to_string(),
+        fast: true,
+        ..JobSpec::default()
+    }
+}
+
+fn digest_of(status: &Json) -> String {
+    status
+        .get("result")
+        .and_then(|r| r.get("digest"))
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string()
+}
+
+#[test]
+fn sigkill_mid_job_loses_nothing_and_the_resume_is_bit_identical() {
+    let root: PathBuf =
+        std::env::temp_dir().join(format!("rowfpga-serve-crash-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    std::fs::create_dir_all(&root).unwrap();
+    let socket = root.join("sock");
+    let spool_dir = root.join("spool");
+
+    let long = netlist_text(140);
+    let quick = netlist_text(24);
+    let ref_long = reference_digest(&root.join("ref-long"), &long, 1);
+    let ref_quick = reference_digest(&root.join("ref-quick"), &quick, 1);
+
+    let mut daemon = spawn_daemon(&socket, &spool_dir);
+    wait_until_serving(&socket);
+    // Job A anneals on the single worker; job B waits in the queue, so
+    // the kill takes down one running and one queued job at once.
+    let a = client::submit(&socket, &spec(&long)).unwrap();
+    let b = client::submit(&socket, &spec(&quick)).unwrap();
+
+    // Let A reach its first durable checkpoint, then SIGKILL the daemon —
+    // no drain, no cleanup, exactly what a crash or OOM kill looks like.
+    let spool = Spool::open(&spool_dir).unwrap();
+    for _ in 0..24_000 {
+        if spool.has_checkpoint(&a) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(spool.has_checkpoint(&a), "job never wrote a checkpoint");
+    daemon.kill().unwrap();
+    daemon.wait().unwrap();
+
+    // A restart on the same socket and spool recovers both jobs without
+    // any operator intervention and runs them to completion.
+    let mut daemon = spawn_daemon(&socket, &spool_dir);
+    wait_until_serving(&socket);
+    let done_a = client::wait(&socket, &a, WAIT).unwrap();
+    let done_b = client::wait(&socket, &b, WAIT).unwrap();
+    assert_eq!(client::state_of(&done_a), Some("done"));
+    assert_eq!(client::state_of(&done_b), Some("done"));
+
+    // The interrupted job really resumed (second execution segment)
+    // rather than silently starting over...
+    let segments = done_a
+        .get("job")
+        .and_then(|j| j.get("segments"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(segments >= 2, "expected a resumed segment, got {segments}");
+    // ...and the determinism contract held across the crash.
+    assert_eq!(digest_of(&done_a), ref_long, "resumed layout diverged");
+    assert_eq!(digest_of(&done_b), ref_quick, "queued job diverged");
+
+    let stats = client::request(&socket, &Json::obj(vec![("cmd", "stats".into())])).unwrap();
+    assert_eq!(
+        stats
+            .get("stats")
+            .and_then(|s| s.get("recovered"))
+            .and_then(Json::as_u64),
+        Some(2),
+        "both interrupted jobs must be recovered: {stats:?}"
+    );
+
+    // SIGTERM drains gracefully: the daemon exits 0 and removes its
+    // socket.
+    Command::new("kill")
+        .args(["-TERM", &daemon.id().to_string()])
+        .status()
+        .unwrap();
+    let status = daemon.wait().unwrap();
+    assert!(status.success(), "drain must exit 0, got {status:?}");
+    assert!(!socket.exists(), "drain must remove the socket file");
+    let _ = std::fs::remove_dir_all(&root);
+}

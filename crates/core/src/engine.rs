@@ -176,7 +176,16 @@ pub struct ResilienceConfig {
     /// Write a checkpoint every this many temperatures (minimum 1); a
     /// final checkpoint is also written whenever a run stops early.
     pub checkpoint_every: usize,
+    /// Retention depth: keep this many snapshot generations next to
+    /// `checkpoint_path` (see [`crate::generation_path`]), deleting older
+    /// ones after each successful write. The base path always holds the
+    /// newest snapshot. `0` disables generations entirely (single-file
+    /// checkpointing); GC never deletes the only valid snapshot.
+    pub checkpoint_keep: usize,
     /// Resume from this checkpoint instead of a fresh random placement.
+    /// When the file is missing or corrupt, the newest valid retention
+    /// generation is loaded instead (corrupt generations are quarantined);
+    /// only if no generation decodes either does the resume fail.
     pub resume_path: Option<PathBuf>,
     /// Wall-clock budget; the run finishes the current temperature,
     /// checkpoints, and returns [`StopReason::Deadline`].
@@ -201,6 +210,7 @@ impl Default for ResilienceConfig {
         Self {
             checkpoint_path: None,
             checkpoint_every: 5,
+            checkpoint_keep: 3,
             resume_path: None,
             deadline: None,
             temp_budget: None,
@@ -416,7 +426,28 @@ impl SimultaneousPlaceRoute {
         // a stale or foreign checkpoint must fail fast.
         let resumed: Option<Checkpoint> = match &res.resume_path {
             Some(path) => {
-                let ck = Checkpoint::load(path).map_err(LayoutError::Checkpoint)?;
+                // The base path holds the newest snapshot; when it is
+                // missing or torn (crashed mid-promotion, disk fault),
+                // fall back to the newest retention generation that still
+                // decodes before giving up.
+                let ck = match Checkpoint::load(path) {
+                    Ok(ck) => ck,
+                    Err(primary) => match crate::snapshot::load_newest_generation(path) {
+                        Some((ck, source)) => {
+                            if obs.enabled() {
+                                obs.emit(Event::Warning {
+                                    code: "checkpoint.fallback".into(),
+                                    detail: format!(
+                                        "{primary}; resumed from generation {}",
+                                        source.display()
+                                    ),
+                                });
+                            }
+                            ck
+                        }
+                        None => return Err(LayoutError::Checkpoint(primary)),
+                    },
+                };
                 ck.validate(arch, netlist, self.config.placement_seed, anneal_cfg.seed)
                     .map_err(LayoutError::Checkpoint)?;
                 Some(ck)
@@ -582,8 +613,15 @@ impl SimultaneousPlaceRoute {
         obs.span_end("anneal");
 
         // Graceful shutdown: an early stop leaves one final checkpoint at
-        // the boundary the run actually reached.
-        if stop_reason != StopReason::Converged {
+        // the boundary the run actually reached — unless no temperature
+        // completed. The problem snapshot is only restorable at a true
+        // temperature boundary (`on_temperature` has just reset the delta
+        // statistics and perturbation flags); the post-warmup state is
+        // not one, so a temp-0 checkpoint would resume into a run that
+        // diverges from a fresh start. With zero progress there is
+        // nothing worth resuming anyway: no file means the restart runs
+        // fresh, which is bit-identical by definition.
+        if stop_reason != StopReason::Converged && annealer.temperatures_completed() > 0 {
             if let (Some(path), Some(fp)) = (&res.checkpoint_path, fingerprints) {
                 self.write_checkpoint(
                     path,
@@ -990,7 +1028,14 @@ impl SimultaneousPlaceRoute {
             problem: problem.snapshot(),
             best: best.clone(),
         };
-        let written = obs.span("checkpoint", || ck.save(path, fault));
+        let keep = self.config.resilience.checkpoint_keep;
+        let written = obs.span("checkpoint", || {
+            if keep == 0 {
+                ck.save(path, fault)
+            } else {
+                ck.save_generation(path, temp, keep, fault)
+            }
+        });
         let (ok, detail) = match written {
             Ok(()) => {
                 obs.inc("checkpoint.written");
@@ -1066,6 +1111,14 @@ mod tests {
 
     fn temp_file(name: &str) -> PathBuf {
         std::env::temp_dir().join(name)
+    }
+
+    /// Removes a checkpoint together with its retention generations.
+    fn remove_checkpoint_family(base: &Path) {
+        let _ = std::fs::remove_file(base);
+        for (_, path) in crate::list_generations(base) {
+            let _ = std::fs::remove_file(path);
+        }
     }
 
     #[test]
@@ -1294,19 +1347,25 @@ mod tests {
     }
 
     #[test]
-    fn zero_deadline_stops_immediately_and_checkpoints() {
+    fn zero_deadline_stops_immediately_and_leaves_no_temp0_checkpoint() {
         let (arch, nl) = fixture();
         let ckpt = temp_file("rowfpga_engine_zero_deadline.json");
-        let _ = std::fs::remove_file(&ckpt);
+        remove_checkpoint_family(&ckpt);
         let mut cfg = SimPrConfig::fast().with_seed(4);
         cfg.resilience.deadline = Some(Duration::ZERO);
         cfg.resilience.checkpoint_path = Some(ckpt.clone());
         let result = SimultaneousPlaceRoute::new(cfg).run(&arch, &nl).unwrap();
         assert_eq!(result.stop_reason, StopReason::Deadline);
         assert_eq!(result.temperatures, 0, "no step may start past a deadline");
-        let ck = Checkpoint::load(&ckpt).unwrap();
-        let _ = std::fs::remove_file(&ckpt);
-        assert_eq!(ck.cursor.next_index, 0);
+        // The post-warmup state is not a restorable temperature boundary
+        // (delta statistics and perturbation flags are still live), so a
+        // zero-progress stop must NOT leave a checkpoint: a restart runs
+        // fresh, which is the only bit-identical continuation.
+        assert!(
+            !ckpt.exists(),
+            "a stop before the first temperature must not checkpoint"
+        );
+        assert!(crate::snapshot::list_generations(&ckpt).is_empty());
         verify_routing(&result.routing, &arch, &nl, &result.placement).unwrap();
     }
 
@@ -1327,7 +1386,7 @@ mod tests {
     fn checkpoint_then_resume_is_bit_identical_to_an_uninterrupted_run() {
         let (arch, nl) = fixture();
         let ckpt = temp_file("rowfpga_engine_resume_identity.json");
-        let _ = std::fs::remove_file(&ckpt);
+        remove_checkpoint_family(&ckpt);
 
         let full = SimultaneousPlaceRoute::new(SimPrConfig::fast().with_seed(7))
             .run(&arch, &nl)
@@ -1346,7 +1405,7 @@ mod tests {
         let mut cfg = SimPrConfig::fast().with_seed(7);
         cfg.resilience.resume_path = Some(ckpt.clone());
         let resumed = SimultaneousPlaceRoute::new(cfg).run(&arch, &nl).unwrap();
-        let _ = std::fs::remove_file(&ckpt);
+        remove_checkpoint_family(&ckpt);
 
         assert_eq!(resumed.stop_reason, StopReason::Converged);
         assert_eq!(resumed.worst_delay, full.worst_delay);
@@ -1364,7 +1423,7 @@ mod tests {
     fn resume_rejects_a_checkpoint_for_a_different_design_or_seed() {
         let (arch, nl) = fixture();
         let ckpt = temp_file("rowfpga_engine_resume_mismatch.json");
-        let _ = std::fs::remove_file(&ckpt);
+        remove_checkpoint_family(&ckpt);
         let mut cfg = SimPrConfig::fast().with_seed(2);
         cfg.resilience.temp_budget = Some(2);
         cfg.resilience.checkpoint_path = Some(ckpt.clone());
@@ -1406,6 +1465,46 @@ mod tests {
             err,
             LayoutError::Checkpoint(CheckpointError::Io { .. })
         ));
-        let _ = std::fs::remove_file(&ckpt);
+        remove_checkpoint_family(&ckpt);
+    }
+
+    #[test]
+    fn resume_falls_back_to_a_generation_when_the_base_checkpoint_is_torn() {
+        let (arch, nl) = fixture();
+        let ckpt = temp_file("rowfpga_engine_gen_fallback.json");
+        remove_checkpoint_family(&ckpt);
+
+        let full = SimultaneousPlaceRoute::new(SimPrConfig::fast().with_seed(11))
+            .run(&arch, &nl)
+            .unwrap();
+
+        let mut cfg = SimPrConfig::fast().with_seed(11);
+        cfg.resilience.temp_budget = Some(5);
+        cfg.resilience.checkpoint_path = Some(ckpt.clone());
+        cfg.resilience.checkpoint_every = 1;
+        SimultaneousPlaceRoute::new(cfg).run(&arch, &nl).unwrap();
+
+        let gens = crate::list_generations(&ckpt);
+        assert_eq!(
+            gens.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![3, 4, 5],
+            "default retention keeps the three newest generations"
+        );
+
+        // Tear the base snapshot; the newest generation carries the run.
+        std::fs::write(&ckpt, "{\"format\":\"rowfpga-checkpoint\"").unwrap();
+        let mut cfg = SimPrConfig::fast().with_seed(11);
+        cfg.resilience.resume_path = Some(ckpt.clone());
+        let resumed = SimultaneousPlaceRoute::new(cfg).run(&arch, &nl).unwrap();
+        remove_checkpoint_family(&ckpt);
+
+        assert_eq!(resumed.stop_reason, StopReason::Converged);
+        assert_eq!(resumed.worst_delay, full.worst_delay);
+        assert_eq!(resumed.total_moves, full.total_moves);
+        assert_eq!(resumed.temperatures, full.temperatures);
+        for (id, _) in nl.cells() {
+            assert_eq!(resumed.placement.site_of(id), full.placement.site_of(id));
+        }
+        verify_routing(&resumed.routing, &arch, &nl, &resumed.placement).unwrap();
     }
 }

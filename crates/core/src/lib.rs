@@ -65,7 +65,7 @@ pub use problem::LayoutProblem;
 pub use render::{render_ascii, render_svg};
 pub use sizing::{size_architecture, SizingConfig};
 pub use snapshot::{
-    arch_fingerprint, netlist_fingerprint, temp_path as checkpoint_temp_path, BestLayout,
-    Checkpoint, CheckpointError, ProblemSnapshot, WriteFault, CHECKPOINT_FORMAT,
-    CHECKPOINT_VERSION,
+    arch_fingerprint, gc_generations, generation_path, list_generations, load_newest_generation,
+    netlist_fingerprint, probe_snapshot, temp_path as checkpoint_temp_path, BestLayout, Checkpoint,
+    CheckpointError, ProblemSnapshot, WriteFault, CHECKPOINT_FORMAT, CHECKPOINT_VERSION,
 };

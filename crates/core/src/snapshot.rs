@@ -778,6 +778,164 @@ fn write_atomic(path: &Path, text: &str, fault: Option<WriteFault>) -> Result<()
     fs::rename(&tmp, path).map_err(|e| io_err(path, e))
 }
 
+// --- Retention generations -------------------------------------------------
+//
+// Long daemon runs checkpoint thousands of times; keeping every snapshot
+// grows disk without bound, keeping only the latest loses the safety net
+// against a corrupt newest file. Retention keeps the newest `keep`
+// snapshots as sortable generation siblings of the base path
+// (`ckpt.json.g00000042` for temperature 42) while the base path itself
+// always names the newest complete snapshot, so every pre-retention
+// consumer of the base path keeps working unchanged.
+
+/// Generation sibling of `base` for the snapshot taken after `temp`
+/// completed temperatures: `<base>.gNNNNNNNN`, zero-padded so
+/// lexicographic and numeric order agree.
+pub fn generation_path(base: &Path, temp: usize) -> std::path::PathBuf {
+    let mut name = base.file_name().unwrap_or_default().to_os_string();
+    name.push(format!(".g{temp:08}"));
+    base.with_file_name(name)
+}
+
+/// The generation files of `base` present on disk, oldest first.
+pub fn list_generations(base: &Path) -> Vec<(usize, std::path::PathBuf)> {
+    let Some(name) = base.file_name().and_then(|n| n.to_str()) else {
+        return Vec::new();
+    };
+    let prefix = format!("{name}.g");
+    let dir = match base.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    let mut out = Vec::new();
+    let Ok(entries) = fs::read_dir(&dir) else {
+        return out;
+    };
+    for entry in entries.flatten() {
+        let file_name = entry.file_name();
+        let Some(file_name) = file_name.to_str() else {
+            continue;
+        };
+        let Some(digits) = file_name.strip_prefix(prefix.as_str()) else {
+            continue;
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            continue;
+        }
+        let Ok(temp) = digits.parse::<usize>() else {
+            continue;
+        };
+        out.push((temp, entry.path()));
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Quick structural probe of a snapshot file: the format marker near the
+/// head and a closing brace at the tail. Cheaper than a full parse, which
+/// is what retention GC wants when deciding whether a survivor exists.
+pub fn probe_snapshot(path: &Path) -> bool {
+    let Ok(text) = fs::read_to_string(path) else {
+        return false;
+    };
+    let head_len = text.char_indices().nth(256).map_or(text.len(), |(i, _)| i);
+    text[..head_len].contains(CHECKPOINT_FORMAT) && text.trim_end().ends_with('}')
+}
+
+/// Deletes the oldest generation files of `base` until at most
+/// `keep.max(1)` remain. Refuses to delete the only valid snapshot: when
+/// neither `base` nor any retained generation probes as valid, the newest
+/// valid eviction candidate is spared. Returns the number of files
+/// deleted; failures to delete are ignored (GC is best-effort).
+pub fn gc_generations(base: &Path, keep: usize) -> usize {
+    let keep = keep.max(1);
+    let gens = list_generations(base);
+    if gens.len() <= keep {
+        return 0;
+    }
+    let (evict, retain) = gens.split_at(gens.len() - keep);
+    let survivor_valid = probe_snapshot(base) || retain.iter().any(|(_, p)| probe_snapshot(p));
+    let spared: Option<&Path> = if survivor_valid {
+        None
+    } else {
+        evict
+            .iter()
+            .rev()
+            .find(|(_, p)| probe_snapshot(p))
+            .map(|(_, p)| p.as_path())
+    };
+    let mut deleted = 0;
+    for (_, path) in evict {
+        if Some(path.as_path()) == spared {
+            continue;
+        }
+        if fs::remove_file(path).is_ok() {
+            deleted += 1;
+        }
+    }
+    deleted
+}
+
+/// Loads the newest generation of `base` that decodes, quarantining
+/// corrupt generations along the way (renamed to a `.corrupt` sibling so
+/// they are never retried). Returns `None` when no generation decodes.
+pub fn load_newest_generation(base: &Path) -> Option<(Checkpoint, std::path::PathBuf)> {
+    for (_, path) in list_generations(base).into_iter().rev() {
+        match Checkpoint::load(&path) {
+            Ok(ck) => return Some((ck, path)),
+            Err(_) => {
+                let mut name = path.file_name().unwrap_or_default().to_os_string();
+                name.push(".corrupt");
+                let _ = fs::rename(&path, path.with_file_name(name));
+            }
+        }
+    }
+    None
+}
+
+/// Repoints `base` at the freshly written generation file without a
+/// second serialization: hard-link the generation onto the temp sibling
+/// and rename it over `base`, falling back to an independent atomic write
+/// on filesystems without hard links.
+fn promote(generation: &Path, base: &Path, text: &str) -> Result<(), CheckpointError> {
+    let tmp = temp_path(base);
+    let _ = fs::remove_file(&tmp);
+    if fs::hard_link(generation, &tmp).is_ok() {
+        fs::rename(&tmp, base).map_err(|e| io_err(base, e))
+    } else {
+        write_atomic(base, text, None)
+    }
+}
+
+impl Checkpoint {
+    /// Writes the checkpoint as a retention generation: the document goes
+    /// to [`generation_path`]`(base, temp)` atomically, `base` is
+    /// repointed at the fresh document (so `base` always names the newest
+    /// complete snapshot), and generations beyond `keep` are
+    /// garbage-collected oldest-first.
+    ///
+    /// `fault` injects a crash window into the generation write; neither
+    /// `base` nor any existing generation is touched when it fires.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError::Io`] when a filesystem step fails.
+    pub fn save_generation(
+        &self,
+        base: &Path,
+        temp: usize,
+        keep: usize,
+        fault: Option<WriteFault>,
+    ) -> Result<(), CheckpointError> {
+        let text = self.to_json().to_string_compact();
+        let generation = generation_path(base, temp);
+        write_atomic(&generation, &text, fault)?;
+        promote(&generation, base, &text)?;
+        gc_generations(base, keep);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1030,5 +1188,99 @@ mod tests {
             arch_fingerprint(&arch),
             arch_fingerprint(&arch.with_tracks(13).unwrap())
         );
+    }
+
+    fn retention_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rowfpga-ret-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn generation_paths_sort_with_temperature() {
+        let base = Path::new("/spool/job/ckpt.json");
+        let g5 = generation_path(base, 5);
+        let g40 = generation_path(base, 40);
+        assert_eq!(
+            g5.file_name().unwrap().to_str().unwrap(),
+            "ckpt.json.g00000005"
+        );
+        assert!(g5.to_str() < g40.to_str(), "zero padding keeps order");
+    }
+
+    #[test]
+    fn save_generation_promotes_base_and_gcs_oldest() {
+        let dir = retention_dir("gc");
+        let base = dir.join("ckpt.json");
+        let mut ck = sample_checkpoint();
+        for temp in 1..=5 {
+            ck.repairs = temp;
+            ck.save_generation(&base, temp, 2, None).unwrap();
+        }
+        let gens = list_generations(&base);
+        assert_eq!(
+            gens.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![4, 5],
+            "keep=2 retains the two newest generations"
+        );
+        // The base path always holds the newest snapshot.
+        assert_eq!(Checkpoint::load(&base).unwrap().repairs, 5);
+        assert_eq!(Checkpoint::load(&gens[1].1).unwrap().repairs, 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_refuses_to_delete_the_only_valid_snapshot() {
+        let dir = retention_dir("guard");
+        let base = dir.join("ckpt.json");
+        let ck = sample_checkpoint();
+        // One valid old generation; base and the newer generations are
+        // corrupt (torn tails).
+        ck.save(&generation_path(&base, 1), None).unwrap();
+        for temp in [2usize, 3, 4] {
+            fs::write(
+                generation_path(&base, temp),
+                "{\"format\":\"rowfpga-checkpoint\"",
+            )
+            .unwrap();
+        }
+        fs::write(&base, "{\"format\":\"rowfpga-checkpoint\"").unwrap();
+        let deleted = gc_generations(&base, 2);
+        let gens = list_generations(&base);
+        assert_eq!(deleted, 1, "only the corrupt evictable generation goes");
+        assert_eq!(
+            gens.iter().map(|(t, _)| *t).collect::<Vec<_>>(),
+            vec![1, 3, 4],
+            "the only valid snapshot (g1) is spared: {gens:?}"
+        );
+        assert!(probe_snapshot(&gens[0].1));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_newest_generation_quarantines_corrupt_files() {
+        let dir = retention_dir("quarantine");
+        let base = dir.join("ckpt.json");
+        let mut ck = sample_checkpoint();
+        ck.repairs = 7;
+        ck.save(&generation_path(&base, 3), None).unwrap();
+        // A newer but torn generation must be skipped and quarantined.
+        fs::write(
+            generation_path(&base, 9),
+            "{\"format\":\"rowfpga-checkpoint\"",
+        )
+        .unwrap();
+        let (loaded, source) = load_newest_generation(&base).unwrap();
+        assert_eq!(loaded.repairs, 7);
+        assert_eq!(source, generation_path(&base, 3));
+        assert!(!generation_path(&base, 9).exists());
+        let corrupt = generation_path(&base, 9).with_file_name("ckpt.json.g00000009.corrupt");
+        assert!(
+            corrupt.exists(),
+            "torn generation is quarantined, not deleted"
+        );
+        assert!(load_newest_generation(&base).is_some());
+        let _ = fs::remove_dir_all(&dir);
     }
 }

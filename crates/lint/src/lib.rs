@@ -50,12 +50,22 @@ const DETERMINISTIC_CRATES: &[&str] = &[
 ];
 
 /// Crates allowed to read wall clocks and OS entropy wholesale: the
-/// benchmark harness and the offline shims (the criterion shim *is* a
-/// timer). The observability layer and the CLI are deliberately NOT
-/// here — their few legitimate clock sites (span timing, tail ETA
-/// pacing) carry reasoned `begin-allow(determinism)` regions instead,
-/// so a stray clock in new obs/cli code still fails the lint.
-const WALL_CLOCK_CRATES: &[&str] = &["rowfpga-bench", "rand", "proptest", "criterion"];
+/// benchmark harness, the offline shims (the criterion shim *is* a
+/// timer), and the service daemon — deadlines, turnaround accounting and
+/// retry pacing are wall-clock phenomena by nature, and nothing the
+/// daemon measures feeds back into the solver (seeds and budgets cross
+/// that boundary as explicit job config). The observability layer and
+/// the CLI are deliberately NOT here — their few legitimate clock sites
+/// (span timing, tail ETA pacing) carry reasoned
+/// `begin-allow(determinism)` regions instead, so a stray clock in new
+/// obs/cli code still fails the lint.
+const WALL_CLOCK_CRATES: &[&str] = &[
+    "rowfpga-bench",
+    "rand",
+    "proptest",
+    "criterion",
+    "rowfpga-serve",
+];
 
 /// Engine options.
 #[derive(Clone, Copy, Debug, Default)]

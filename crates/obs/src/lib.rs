@@ -37,6 +37,6 @@ pub use record::{
     TemperatureRecord, SCHEMA_VERSION,
 };
 pub use session::{Obs, ObsSession};
-#[cfg(unix)]
-pub use sink::SocketSink;
 pub use sink::{open_sink, ReplaySink, RingSink, SOCKET_SPEC_PREFIX};
+#[cfg(unix)]
+pub use sink::{SocketSink, SocketSinkState};

@@ -115,46 +115,229 @@ impl Recorder for ReplaySink {
 /// Streams journal lines over a Unix-domain socket to a live listener
 /// (`rowfpga tail --listen PATH`).
 ///
-/// Writes are best-effort like the file journal: if the listener goes away
-/// mid-run the sink goes quiet instead of failing the layout run.
+/// A journal is telemetry; the layout run must never die for it. A peer
+/// that is absent at connect time (`ECONNREFUSED`) or disappears mid-run
+/// (`EPIPE`) therefore does not error: lines are buffered in a bounded
+/// ring (oldest dropped first, counted) and reconnection is retried with
+/// capped exponential backoff. Backoff is paced by *record count*, not
+/// wall clock, so the sink stays deterministic relative to the event
+/// stream. After [`SocketSink::RETRY_ATTEMPTS`] failed reconnects the
+/// sink gives up for good: a single `warning` event
+/// (`journal.socket_lost`) is appended to the backlog — inspectable via
+/// [`SocketSink::backlog`] — and every later record is counted as
+/// dropped.
 #[cfg(unix)]
 pub struct SocketSink {
+    path: String,
     out: Option<BufWriter<std::os::unix::net::UnixStream>>,
+    ring: VecDeque<String>,
+    dropped: u64,
+    records_until_retry: u64,
+    next_backoff: u64,
+    attempts_left: u32,
+    gave_up: bool,
+}
+
+/// Delivery state of a [`SocketSink`], for tests and operators.
+#[cfg(unix)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SocketSinkState {
+    /// The stream is up; lines are delivered as they happen.
+    Connected,
+    /// The peer is away; lines accumulate in the ring while reconnects
+    /// back off.
+    Buffering {
+        /// Lines currently held in the ring.
+        buffered: usize,
+        /// Lines evicted because the ring was full.
+        dropped: u64,
+    },
+    /// Reconnection was abandoned after the retry budget; one
+    /// `journal.socket_lost` warning closes the backlog.
+    GaveUp,
 }
 
 #[cfg(unix)]
 impl std::fmt::Debug for SocketSink {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SocketSink")
-            .field("connected", &self.out.is_some())
+            .field("path", &self.path)
+            .field("state", &self.state())
             .finish()
     }
 }
 
 #[cfg(unix)]
 impl SocketSink {
-    /// Connects to a listening socket at `path`.
+    /// Lines held while the peer is away; older lines are dropped first.
+    pub const RING_CAPACITY: usize = 1024;
+    /// Reconnect attempts before the sink gives up for good.
+    pub const RETRY_ATTEMPTS: u32 = 8;
+    /// Records between the first disconnect and the first retry; doubles
+    /// per failed attempt up to [`SocketSink::BACKOFF_CAP`].
+    pub const BACKOFF_START: u64 = 1;
+    /// Ceiling of the record-count backoff.
+    pub const BACKOFF_CAP: u64 = 256;
+
+    /// Opens a sink towards a listening socket at `path`.
+    ///
+    /// Never fails: when the listener is not (yet) accepting, the sink
+    /// starts in the buffering state and connects on a later record.
+    ///
+    /// # Errors
+    ///
+    /// None today; the `Result` is kept so callers are ready for
+    /// platforms where even deferred opens can fail.
     pub fn connect(path: &str) -> std::io::Result<SocketSink> {
-        let stream = std::os::unix::net::UnixStream::connect(path)?;
-        Ok(SocketSink {
-            out: Some(BufWriter::new(stream)),
-        })
+        let mut sink = SocketSink {
+            path: path.to_string(),
+            out: None,
+            ring: VecDeque::new(),
+            dropped: 0,
+            records_until_retry: 0,
+            next_backoff: Self::BACKOFF_START,
+            attempts_left: Self::RETRY_ATTEMPTS,
+            gave_up: false,
+        };
+        match std::os::unix::net::UnixStream::connect(path) {
+            Ok(stream) => sink.out = Some(BufWriter::new(stream)),
+            Err(_) => sink.arm_retry(),
+        }
+        Ok(sink)
+    }
+
+    /// The sink's delivery state.
+    pub fn state(&self) -> SocketSinkState {
+        if self.gave_up {
+            SocketSinkState::GaveUp
+        } else if self.out.is_some() {
+            SocketSinkState::Connected
+        } else {
+            SocketSinkState::Buffering {
+                buffered: self.ring.len(),
+                dropped: self.dropped,
+            }
+        }
+    }
+
+    /// Undelivered lines, oldest first (after give-up, the last line is
+    /// the `journal.socket_lost` warning).
+    pub fn backlog(&self) -> Vec<String> {
+        self.ring.iter().cloned().collect()
+    }
+
+    /// Lines lost to ring eviction or recorded after give-up.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    fn arm_retry(&mut self) {
+        self.records_until_retry = self.next_backoff;
+        self.next_backoff = (self.next_backoff * 2).min(Self::BACKOFF_CAP);
+    }
+
+    fn buffer(&mut self, line: String) {
+        if self.ring.len() == Self::RING_CAPACITY {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(line);
+    }
+
+    fn warning_line(code: &str, detail: String) -> String {
+        let mut line = Event::Warning {
+            code: code.to_string(),
+            detail,
+        }
+        .to_json()
+        .to_string_compact();
+        line.push('\n');
+        line
+    }
+
+    fn give_up(&mut self) {
+        self.gave_up = true;
+        let (buffered, dropped) = (self.ring.len(), self.dropped);
+        self.buffer(Self::warning_line(
+            "journal.socket_lost",
+            format!(
+                "gave up reconnecting to {} after {} attempts; {buffered} lines buffered, {dropped} dropped",
+                self.path,
+                Self::RETRY_ATTEMPTS,
+            ),
+        ));
+    }
+
+    /// One reconnect attempt; on success the backlog drains through the
+    /// fresh stream, led by a warning line accounting for the gap.
+    fn try_reconnect(&mut self) {
+        let Ok(stream) = std::os::unix::net::UnixStream::connect(&self.path) else {
+            self.attempts_left = self.attempts_left.saturating_sub(1);
+            if self.attempts_left == 0 {
+                self.give_up();
+            } else {
+                self.arm_retry();
+            }
+            return;
+        };
+        let mut out = BufWriter::new(stream);
+        let notice = Self::warning_line(
+            "journal.socket_reconnected",
+            format!(
+                "stream to {} restored; {} buffered lines follow, {} dropped",
+                self.path,
+                self.ring.len(),
+                self.dropped
+            ),
+        );
+        let mut delivered = out.write_all(notice.as_bytes()).is_ok();
+        while delivered {
+            let Some(line) = self.ring.pop_front() else {
+                break;
+            };
+            if out.write_all(line.as_bytes()).is_err() {
+                self.ring.push_front(line);
+                delivered = false;
+            }
+        }
+        if delivered && out.flush().is_ok() {
+            self.out = Some(out);
+            self.next_backoff = Self::BACKOFF_START;
+            self.attempts_left = Self::RETRY_ATTEMPTS;
+        } else {
+            // The peer vanished again mid-drain; burn the attempt.
+            self.attempts_left = self.attempts_left.saturating_sub(1);
+            if self.attempts_left == 0 {
+                self.give_up();
+            } else {
+                self.arm_retry();
+            }
+        }
     }
 
     fn send(&mut self, mut line: String) {
         line.push('\n');
-        let dead = match &mut self.out {
-            Some(out) => {
-                // Flush per event: tailers want lines as they happen, not
-                // when a 8 KiB buffer fills.
-                out.write_all(line.as_bytes())
-                    .and_then(|()| out.flush())
-                    .is_err()
+        if self.gave_up {
+            self.dropped += 1;
+            return;
+        }
+        if let Some(out) = &mut self.out {
+            // Flush per event: tailers want lines as they happen, not
+            // when a 8 KiB buffer fills.
+            if out
+                .write_all(line.as_bytes())
+                .and_then(|()| out.flush())
+                .is_ok()
+            {
+                return;
             }
-            None => false,
-        };
-        if dead {
             self.out = None;
+            self.arm_retry();
+        }
+        self.buffer(line);
+        self.records_until_retry = self.records_until_retry.saturating_sub(1);
+        if self.records_until_retry == 0 {
+            self.try_reconnect();
         }
     }
 }
@@ -276,6 +459,161 @@ mod tests {
         assert_eq!(lines.len(), 3);
         assert!(lines[0].contains("\"warning\""), "{lines:?}");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(unix)]
+    fn read_all_lines(
+        listener: std::os::unix::net::UnixListener,
+    ) -> std::thread::JoinHandle<Vec<String>> {
+        use std::io::{BufRead, BufReader};
+        std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            BufReader::new(stream).lines().map(|l| l.unwrap()).collect()
+        })
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn socket_sink_opens_without_a_listener_and_delivers_once_one_appears() {
+        let dir = std::env::temp_dir().join(format!("rowfpga-sink-late-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("late.sock");
+        let _ = std::fs::remove_file(&path);
+        let path_str = path.to_str().unwrap().to_string();
+
+        // ECONNREFUSED at open must not error: the sink starts buffering.
+        let mut sink = SocketSink::connect(&path_str).unwrap();
+        assert!(matches!(sink.state(), SocketSinkState::Buffering { .. }));
+        let (e, m) = warning(0);
+        sink.record_with(&e, &m); // first retry fails too — still no peer
+        assert!(matches!(
+            sink.state(),
+            SocketSinkState::Buffering { buffered: 1, .. }
+        ));
+
+        let listener = std::os::unix::net::UnixListener::bind(&path).unwrap();
+        let reader = read_all_lines(listener);
+        // Backoff is now 2 records; the second of these reconnects and
+        // drains the backlog.
+        for n in 1..3 {
+            let (e, m) = warning(n);
+            sink.record_with(&e, &m);
+        }
+        assert_eq!(sink.state(), SocketSinkState::Connected);
+        sink.flush();
+        drop(sink);
+
+        let lines = reader.join().unwrap();
+        assert!(
+            lines[0].contains("journal.socket_reconnected"),
+            "gap is accounted for first: {lines:?}"
+        );
+        assert_eq!(lines.len(), 4, "3 events + 1 reconnect notice: {lines:?}");
+        assert!(
+            lines[1].contains("\"w0\"") && lines[3].contains("\"w2\""),
+            "{lines:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn socket_sink_survives_a_peer_restart_and_redelivers_the_backlog() {
+        let dir = std::env::temp_dir().join(format!("rowfpga-sink-re-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("restart.sock");
+        let _ = std::fs::remove_file(&path);
+        let path_str = path.to_str().unwrap().to_string();
+
+        // First peer reads one line and hangs up.
+        let listener = std::os::unix::net::UnixListener::bind(&path).unwrap();
+        let first = std::thread::spawn(move || {
+            use std::io::{BufRead, BufReader};
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream);
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            line
+        });
+        let mut sink = SocketSink::connect(&path_str).unwrap();
+        let (e, m) = warning(0);
+        sink.record_with(&e, &m);
+        assert!(first.join().unwrap().contains("\"w0\""));
+
+        // The peer is gone; records buffer instead of erroring. (The
+        // kernel may accept a write or two into a dead socket before
+        // EPIPE surfaces — those lines are legitimately lost — so drive
+        // records until the sink notices.)
+        let mut first_buffered = 1u64;
+        while !matches!(sink.state(), SocketSinkState::Buffering { .. }) && first_buffered < 50 {
+            let (e, m) = warning(first_buffered);
+            sink.record_with(&e, &m);
+            first_buffered += 1;
+        }
+        assert!(
+            matches!(sink.state(), SocketSinkState::Buffering { .. }),
+            "{:?}",
+            sink.state()
+        );
+        // The record that tripped the error is itself buffered.
+        first_buffered -= 1;
+
+        // A fresh peer binds the same path; the sink reconnects within
+        // its backoff and redelivers everything it held.
+        let _ = std::fs::remove_file(&path);
+        let listener = std::os::unix::net::UnixListener::bind(&path).unwrap();
+        let reader = read_all_lines(listener);
+        let mut n = first_buffered + 1;
+        while sink.state() != SocketSinkState::Connected && n < 300 {
+            let (e, m) = warning(n);
+            sink.record_with(&e, &m);
+            n += 1;
+        }
+        assert_eq!(sink.state(), SocketSinkState::Connected);
+        sink.flush();
+        drop(sink);
+
+        let lines = reader.join().unwrap();
+        assert!(lines[0].contains("journal.socket_reconnected"), "{lines:?}");
+        // No line the sink buffered while the peer was away went missing.
+        for missing in first_buffered..n {
+            assert!(
+                lines.iter().any(|l| l.contains(&format!("\"w{missing}\""))),
+                "w{missing} lost across the restart: {lines:?}"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn socket_sink_gives_up_after_its_retry_budget_with_one_warning() {
+        let dir = std::env::temp_dir().join(format!("rowfpga-sink-gu-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("never.sock");
+        let _ = std::fs::remove_file(&path);
+
+        let mut sink = SocketSink::connect(path.to_str().unwrap()).unwrap();
+        for n in 0..300 {
+            let (e, m) = warning(n);
+            sink.record_with(&e, &m);
+        }
+        assert_eq!(sink.state(), SocketSinkState::GaveUp);
+        let backlog = sink.backlog();
+        let warnings: Vec<&String> = backlog
+            .iter()
+            .filter(|l| l.contains("journal.socket_lost"))
+            .collect();
+        assert_eq!(warnings.len(), 1, "exactly one give-up warning");
+        assert!(
+            backlog.last().unwrap().contains("journal.socket_lost"),
+            "the warning closes the backlog"
+        );
+        assert!(sink.dropped() > 0, "post-give-up records are counted");
+        // Giving up is terminal: no further reconnect attempts, no panic.
+        let (e, m) = warning(999);
+        sink.record_with(&e, &m);
+        assert_eq!(sink.state(), SocketSinkState::GaveUp);
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! A thin blocking client for the daemon's line protocol, shared by the
+//! CLI subcommands, the integration tests and the service benchmark.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write as _};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+use std::time::{Duration, Instant};
+
+use rowfpga_obs::Json;
+
+use crate::job::JobSpec;
+
+/// Client-side failures.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Connecting, writing or reading the socket failed.
+    Io(io::Error),
+    /// The daemon answered, but with `ok:false`. The retry hint is set on
+    /// backpressure rejections.
+    Remote {
+        /// The daemon's `error` detail.
+        detail: String,
+        /// `retry_after_sec`, when the daemon sent one.
+        retry_after_sec: Option<f64>,
+    },
+    /// The daemon's answer was not a protocol response.
+    Protocol(String),
+    /// [`wait`] ran out of time.
+    Timeout {
+        /// The job that did not finish.
+        id: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket i/o failed: {e}"),
+            ClientError::Remote {
+                detail,
+                retry_after_sec: Some(after),
+            } => write!(
+                f,
+                "daemon rejected the request: {detail} (retry after {after}s)"
+            ),
+            ClientError::Remote { detail, .. } => {
+                write!(f, "daemon rejected the request: {detail}")
+            }
+            ClientError::Protocol(d) => write!(f, "malformed daemon response: {d}"),
+            ClientError::Timeout { id } => write!(f, "timed out waiting for {id}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// Sends one request document and returns the daemon's `ok:true`
+/// response document.
+///
+/// # Errors
+///
+/// [`ClientError::Io`] on socket trouble, [`ClientError::Remote`] when
+/// the daemon declines, [`ClientError::Protocol`] when the answer is not
+/// a response.
+pub fn request(socket: &Path, req: &Json) -> Result<Json, ClientError> {
+    let mut stream = UnixStream::connect(socket)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(10)))?;
+    writeln!(stream, "{}", req.to_string_compact())?;
+    stream.flush()?;
+    let mut line = String::new();
+    BufReader::new(stream).read_line(&mut line)?;
+    let doc = rowfpga_obs::json::parse(&line)
+        .map_err(|e| ClientError::Protocol(format!("not JSON: {e}")))?;
+    match doc.get("ok").and_then(Json::as_bool) {
+        Some(true) => Ok(doc),
+        Some(false) => Err(ClientError::Remote {
+            detail: doc
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unspecified")
+                .to_string(),
+            retry_after_sec: doc.get("retry_after_sec").and_then(Json::as_f64),
+        }),
+        None => Err(ClientError::Protocol("response carries no 'ok'".into())),
+    }
+}
+
+/// Submits a job and returns its id.
+///
+/// # Errors
+///
+/// See [`request`]; a full queue surfaces as [`ClientError::Remote`] with
+/// `retry_after_sec` set.
+pub fn submit(socket: &Path, spec: &JobSpec) -> Result<String, ClientError> {
+    let opt_str = |v: &Option<String>| match v {
+        Some(s) => Json::Str(s.clone()),
+        None => Json::Null,
+    };
+    let req = Json::obj(vec![
+        ("cmd", "submit".into()),
+        ("netlist", spec.netlist.as_str().into()),
+        ("arch", opt_str(&spec.arch)),
+        (
+            "tracks",
+            spec.tracks.map_or(Json::Null, |t| (t as f64).into()),
+        ),
+        ("seed", Json::Str(spec.seed.to_string())),
+        ("fast", spec.fast.into()),
+        ("priority", (spec.priority as f64).into()),
+        (
+            "deadline_sec",
+            spec.deadline_sec.map_or(Json::Null, Json::from),
+        ),
+        ("journal", opt_str(&spec.journal)),
+    ]);
+    let resp = request(socket, &req)?;
+    resp.get("job")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| ClientError::Protocol("submit response carries no 'job'".into()))
+}
+
+/// Fetches one job's status document (`job` + optional `result`).
+///
+/// # Errors
+///
+/// See [`request`].
+pub fn status(socket: &Path, id: &str) -> Result<Json, ClientError> {
+    request(
+        socket,
+        &Json::obj(vec![("cmd", "status".into()), ("job", id.into())]),
+    )
+}
+
+/// The `state` string inside a status response.
+pub fn state_of(status: &Json) -> Option<&str> {
+    status.get("job")?.get("state")?.as_str()
+}
+
+/// Polls a job until it reaches a terminal state, returning its final
+/// status document.
+///
+/// # Errors
+///
+/// [`ClientError::Timeout`] when `timeout` elapses first; otherwise see
+/// [`request`].
+pub fn wait(socket: &Path, id: &str, timeout: Duration) -> Result<Json, ClientError> {
+    let start = Instant::now();
+    loop {
+        let doc = status(socket, id)?;
+        if matches!(state_of(&doc), Some("done" | "failed" | "canceled")) {
+            return Ok(doc);
+        }
+        if start.elapsed() >= timeout {
+            return Err(ClientError::Timeout { id: id.to_string() });
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}

@@ -1,0 +1,722 @@
+//! The layout service: a unix-socket daemon that runs layout jobs from a
+//! crash-safe spool with deadline-aware scheduling, checkpoint-backed
+//! preemption and graceful drain.
+//!
+//! ## Scheduler states
+//!
+//! ```text
+//!            submit                    pick                    finish
+//! (client) ─────────▶ Queued ────────────────────▶ Running ───────────▶ Done
+//!                       ▲                            │  │ │
+//!                       │   evict / crash / drain    │  │ └───────────▶ Failed
+//!                       └────────────────────────────┘  └─────────────▶ Canceled
+//! ```
+//!
+//! Every arrow is persisted to `job.json` (fsync + rename) *before* it is
+//! acknowledged, so a SIGKILL at any instant loses no accepted job: the
+//! startup scan finds each record either in its old state or its new one,
+//! re-queues anything non-terminal, and resumes from the newest valid
+//! engine checkpoint.
+//!
+//! ## Preemption
+//!
+//! One worker pool, priority scheduling. When a submission outranks every
+//! queued job and all workers are busy, the lowest-priority running job is
+//! asked to stop (cooperatively, at the next temperature boundary). The
+//! engine writes a final checkpoint and returns; the victim goes back to
+//! `Queued` and later resumes from that checkpoint — bit-identically, per
+//! the engine's resume-equivalence guarantee. Eviction latency
+//! (stop-request → worker free) is recorded in [`ServiceStats`].
+//!
+//! ## Graceful degradation
+//!
+//! A job whose execution budget expires is not an error: the engine
+//! returns its best-so-far layout tagged `deadline` and the job completes
+//! `Done`. A corrupt resume snapshot quarantines the snapshot and reruns
+//! the job from scratch. A full queue rejects with `retry_after_sec`
+//! instead of growing without bound.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, BufRead, BufReader, Write as _};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use rowfpga_arch::Architecture;
+use rowfpga_core::{
+    size_architecture, LayoutError, LayoutResult, SimPrConfig, SimultaneousPlaceRoute,
+    SizingConfig, StopFlag, StopReason,
+};
+use rowfpga_netlist::Netlist;
+use rowfpga_obs::{Json, Obs};
+
+use crate::job::{layout_digest, JobOutcome, JobRecord, JobSpec, JobState};
+use crate::proto::{self, Request};
+use crate::spool::Spool;
+
+/// Daemon configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Unix socket to listen on (a stale file is replaced).
+    pub socket: PathBuf,
+    /// Spool directory (created if needed).
+    pub spool: PathBuf,
+    /// Worker threads.
+    pub workers: usize,
+    /// Queue capacity; submissions beyond it are rejected with
+    /// `retry_after_sec` (bounded queue, explicit backpressure).
+    pub queue_capacity: usize,
+    /// Engine checkpoint cadence in temperatures.
+    pub checkpoint_every: usize,
+    /// Snapshot generations retained per job.
+    pub checkpoint_keep: usize,
+}
+
+impl ServeConfig {
+    /// Defaults for the given socket and spool paths: 1 worker, queue of
+    /// 16, checkpoint every temperature keeping 3 generations.
+    pub fn new(socket: PathBuf, spool: PathBuf) -> ServeConfig {
+        ServeConfig {
+            socket,
+            spool,
+            workers: 1,
+            queue_capacity: 16,
+            checkpoint_every: 1,
+            checkpoint_keep: 3,
+        }
+    }
+}
+
+/// Service counters, readable over the wire (`stats`) and returned by
+/// [`DaemonHandle::join`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ServiceStats {
+    /// Jobs accepted.
+    pub submitted: u64,
+    /// Jobs finished with a layout (including deadline-degraded).
+    pub completed: u64,
+    /// Jobs finished without a layout.
+    pub failed: u64,
+    /// Jobs canceled by clients.
+    pub canceled: u64,
+    /// Submissions rejected for a full queue.
+    pub rejected: u64,
+    /// Preemptions performed.
+    pub evictions: u64,
+    /// Non-terminal jobs re-queued by the startup recovery scan.
+    pub recovered: u64,
+    /// Spool entries quarantined by the startup scan.
+    pub quarantined: u64,
+    /// Per-eviction latency, stop-request → worker free, in seconds.
+    pub eviction_latency_sec: Vec<f64>,
+}
+
+impl ServiceStats {
+    /// Serializes the counters.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("submitted", self.submitted.into()),
+            ("completed", self.completed.into()),
+            ("failed", self.failed.into()),
+            ("canceled", self.canceled.into()),
+            ("rejected", self.rejected.into()),
+            ("evictions", self.evictions.into()),
+            ("recovered", self.recovered.into()),
+            ("quarantined", self.quarantined.into()),
+            (
+                "eviction_latency_sec",
+                Json::Arr(
+                    self.eviction_latency_sec
+                        .iter()
+                        .map(|&s| s.into())
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// A job currently on a worker.
+#[derive(Debug)]
+struct RunningJob {
+    stop: StopFlag,
+    priority: i64,
+    evict_started: Option<Instant>,
+    cancel: bool,
+}
+
+/// Mutable daemon core, behind one mutex.
+#[derive(Debug, Default)]
+struct Core {
+    jobs: BTreeMap<String, JobRecord>,
+    queue: Vec<String>,
+    running: BTreeMap<String, RunningJob>,
+    shutdown: bool,
+    next_seq: u64,
+    stats: ServiceStats,
+}
+
+#[derive(Debug)]
+struct Shared {
+    cfg: ServeConfig,
+    spool: Spool,
+    state: Mutex<Core>,
+    work: Condvar,
+    closing: AtomicBool,
+}
+
+impl Shared {
+    fn lock(&self) -> MutexGuard<'_, Core> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn initiate_shutdown(&self) {
+        self.closing.store(true, Ordering::SeqCst);
+        let mut core = self.lock();
+        core.shutdown = true;
+        for rj in core.running.values() {
+            rj.stop.request_stop();
+        }
+        drop(core);
+        self.work.notify_all();
+    }
+}
+
+/// A started daemon: socket listener plus worker pool.
+#[derive(Debug)]
+pub struct DaemonHandle {
+    shared: Arc<Shared>,
+    listener: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// The daemon entry point.
+#[derive(Debug)]
+pub struct Daemon;
+
+impl Daemon {
+    /// Opens the spool, recovers interrupted jobs, binds the socket and
+    /// starts the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the spool cannot be created or the socket
+    /// cannot be bound.
+    pub fn start(cfg: ServeConfig) -> io::Result<DaemonHandle> {
+        let spool = Spool::open(&cfg.spool)?;
+        let mut core = Core::default();
+        recover(&spool, &mut core);
+
+        // A previous SIGKILL leaves the socket file behind; replace it.
+        let _ = fs::remove_file(&cfg.socket);
+        let listener = UnixListener::bind(&cfg.socket)?;
+        listener.set_nonblocking(true)?;
+
+        let shared = Arc::new(Shared {
+            cfg,
+            spool,
+            state: Mutex::new(core),
+            work: Condvar::new(),
+            closing: AtomicBool::new(false),
+        });
+
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = thread::spawn(move || accept_loop(&accept_shared, &listener));
+
+        // Recovered jobs may already be runnable.
+        shared.work.notify_all();
+        Ok(DaemonHandle {
+            shared,
+            listener: Some(acceptor),
+            workers,
+        })
+    }
+}
+
+impl DaemonHandle {
+    /// Begins a graceful drain: running jobs are asked to checkpoint and
+    /// stop, the queue stays on disk, the listener closes.
+    pub fn initiate_shutdown(&self) {
+        self.shared.initiate_shutdown();
+    }
+
+    /// Whether a drain is in progress (a client may have requested it).
+    pub fn is_closing(&self) -> bool {
+        self.shared.closing.load(Ordering::SeqCst)
+    }
+
+    /// Current service counters.
+    pub fn stats(&self) -> ServiceStats {
+        self.shared.lock().stats.clone()
+    }
+
+    /// Waits for the drain to finish and returns the final counters.
+    /// Call [`DaemonHandle::initiate_shutdown`] first (or rely on a
+    /// client `shutdown` request) or this blocks until one arrives.
+    pub fn join(mut self) -> ServiceStats {
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(l) = self.listener.take() {
+            let _ = l.join();
+        }
+        let _ = fs::remove_file(&self.shared.cfg.socket);
+        self.shared.lock().stats.clone()
+    }
+
+    /// [`DaemonHandle::initiate_shutdown`] + [`DaemonHandle::join`].
+    pub fn shutdown(self) -> ServiceStats {
+        self.initiate_shutdown();
+        self.join()
+    }
+}
+
+/// Rebuilds the job table from the spool. Terminal records are kept as
+/// queryable history; anything `Queued`/`Running` at crash time goes back
+/// to the queue (persisted as `Queued` first, so a crash *during*
+/// recovery is also safe).
+fn recover(spool: &Spool, core: &mut Core) {
+    let report = spool.scan();
+    core.stats.quarantined = report.quarantined.len() as u64;
+    for mut rec in report.records {
+        core.next_seq = core.next_seq.max(rec.seq + 1);
+        if !rec.state.is_terminal() {
+            rec.state = JobState::Queued;
+            if spool.save_record(&rec).is_err() {
+                // Undurable transition: leave it out of the queue rather
+                // than run work we could not record.
+                continue;
+            }
+            core.stats.recovered += 1;
+            core.queue.push(rec.id.clone());
+        }
+        core.jobs.insert(rec.id.clone(), rec);
+    }
+    core.next_seq = core.next_seq.max(1);
+}
+
+// --- scheduling ------------------------------------------------------------
+
+/// Millisecond key for "least remaining budget first"; unbounded last.
+fn budget_key(rec: &JobRecord) -> u64 {
+    rec.remaining_budget()
+        .map_or(u64::MAX, |b| (b * 1000.0) as u64)
+}
+
+/// Removes and returns the next job to run: highest priority, then least
+/// remaining budget (deadline-aware: urgent work first), then FIFO.
+fn pick_job(core: &mut Core) -> Option<String> {
+    let mut best: Option<(usize, (i64, u64, u64))> = None;
+    for (i, id) in core.queue.iter().enumerate() {
+        let Some(rec) = core.jobs.get(id) else {
+            continue;
+        };
+        let key = (-rec.spec.priority, budget_key(rec), rec.seq);
+        if best.as_ref().is_none_or(|(_, k)| key < *k) {
+            best = Some((i, key));
+        }
+    }
+    best.map(|(i, _)| core.queue.remove(i))
+}
+
+/// If the best queued job outranks a running one and no worker is idle,
+/// ask the lowest-priority running job to stop at the next temperature
+/// boundary. Caller holds the lock.
+fn maybe_preempt(core: &mut Core, workers: usize) {
+    if core.queue.is_empty() || core.running.len() < workers.max(1) {
+        return;
+    }
+    let Some(best_queued) = core
+        .queue
+        .iter()
+        .filter_map(|id| core.jobs.get(id))
+        .map(|r| r.spec.priority)
+        .max()
+    else {
+        return;
+    };
+    let victim = core
+        .running
+        .values_mut()
+        .filter(|rj| rj.evict_started.is_none() && !rj.cancel && !rj.stop.is_set())
+        .min_by_key(|rj| rj.priority);
+    if let Some(rj) = victim {
+        if rj.priority < best_queued {
+            rj.evict_started = Some(Instant::now());
+            rj.stop.request_stop();
+        }
+    }
+}
+
+// --- worker ----------------------------------------------------------------
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let claimed = {
+            let mut core = shared.lock();
+            loop {
+                if let Some(id) = pick_job(&mut core) {
+                    break Some(claim(shared, &mut core, &id));
+                }
+                if core.shutdown {
+                    break None;
+                }
+                core = shared
+                    .work
+                    .wait(core)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        };
+        match claimed {
+            Some(Some((rec, stop))) => run_job(shared, &rec, &stop),
+            Some(None) => continue, // record vanished or persist failed
+            None => return,         // drained
+        }
+    }
+}
+
+/// Transitions a picked job to `Running` (durably) and registers its stop
+/// flag. Returns the record snapshot the segment will run from.
+fn claim(shared: &Shared, core: &mut Core, id: &str) -> Option<(JobRecord, StopFlag)> {
+    let rec = core.jobs.get_mut(id)?;
+    rec.state = JobState::Running;
+    rec.segments += 1;
+    if let Err(e) = shared.spool.save_record(rec) {
+        rec.state = JobState::Failed;
+        rec.error = Some(format!("spool write failed: {e}"));
+        core.stats.failed += 1;
+        let _ = shared.spool.save_record(rec);
+        return None;
+    }
+    let stop = StopFlag::manual();
+    core.running.insert(
+        id.to_string(),
+        RunningJob {
+            stop: stop.clone(),
+            priority: rec.spec.priority,
+            evict_started: None,
+            cancel: false,
+        },
+    );
+    Some((rec.clone(), stop))
+}
+
+/// Parses the job's inputs. Also run at submit time, so a failure here on
+/// a worker is a spool-tampering corner, not the normal path.
+fn prepare(spec: &JobSpec) -> Result<(Architecture, Netlist), String> {
+    let netlist =
+        rowfpga_netlist::parse_netlist(&spec.netlist).map_err(|e| format!("netlist: {e}"))?;
+    let arch = match &spec.arch {
+        Some(text) => {
+            let arch =
+                rowfpga_arch::parse_architecture(text).map_err(|e| format!("architecture: {e}"))?;
+            match spec.tracks {
+                Some(t) => arch.with_tracks(t).map_err(|e| format!("tracks: {e}"))?,
+                None => arch,
+            }
+        }
+        None => {
+            let mut sizing = SizingConfig::default();
+            if let Some(t) = spec.tracks {
+                sizing.tracks_per_channel = t;
+            }
+            size_architecture(&netlist, &sizing).map_err(|e| format!("sizing: {e}"))?
+        }
+    };
+    Ok((arch, netlist))
+}
+
+/// Engine configuration for one segment of `rec`.
+fn segment_config(shared: &Shared, rec: &JobRecord) -> SimPrConfig {
+    let base = if rec.spec.fast {
+        SimPrConfig::fast()
+    } else {
+        SimPrConfig::default()
+    };
+    let mut cfg = base.with_seed(rec.spec.seed);
+    let ckpt = shared.spool.checkpoint_path(&rec.id);
+    cfg.resilience.checkpoint_every = shared.cfg.checkpoint_every.max(1);
+    cfg.resilience.checkpoint_keep = shared.cfg.checkpoint_keep;
+    cfg.resilience.resume_path = shared.spool.has_checkpoint(&rec.id).then(|| ckpt.clone());
+    cfg.resilience.checkpoint_path = Some(ckpt);
+    cfg.resilience.deadline = rec.remaining_budget().map(Duration::from_secs_f64);
+    cfg
+}
+
+/// Runs one segment of a job and applies the resulting transition.
+fn run_job(shared: &Shared, rec: &JobRecord, stop: &StopFlag) {
+    let (arch, netlist) = match prepare(&rec.spec) {
+        Ok(pair) => pair,
+        Err(detail) => return fail_job(shared, &rec.id, detail),
+    };
+    let cfg = segment_config(shared, rec);
+    // A sink that cannot open must not fail the job: run unobserved.
+    let obs = match rec.spec.journal.as_deref() {
+        Some(spec) => rowfpga_obs::open_sink(spec).map_or_else(|_| Obs::disabled(), Obs::with_sink),
+        None => Obs::disabled(),
+    };
+    let resumed = cfg.resilience.resume_path.is_some();
+    let mut attempt = SimultaneousPlaceRoute::new(cfg.clone())
+        .run_with_stop(&arch, &netlist, &rec.id, &obs, stop);
+    if resumed && matches!(attempt, Err(LayoutError::Checkpoint(_))) {
+        // The snapshot exists but does not decode or match this job
+        // (validation failure): quarantine it and degrade to a fresh run
+        // instead of failing the job.
+        let base = shared.spool.checkpoint_path(&rec.id);
+        let mut quarantined = base.clone();
+        quarantined.set_extension("json.corrupt");
+        let _ = fs::rename(&base, &quarantined);
+        let mut fresh = cfg;
+        fresh.resilience.resume_path = None;
+        attempt =
+            SimultaneousPlaceRoute::new(fresh).run_with_stop(&arch, &netlist, &rec.id, &obs, stop);
+    }
+    match attempt {
+        Ok(result) => finish_job(shared, &rec.id, &netlist, &result),
+        Err(e) => fail_job(shared, &rec.id, e.to_string()),
+    }
+}
+
+/// Applies a segment's outcome under the lock and persists it.
+fn finish_job(shared: &Shared, id: &str, netlist: &Netlist, result: &LayoutResult) {
+    let mut core = shared.lock();
+    let rj = core.running.remove(id);
+    let shutdown = core.shutdown;
+    let Some(mut rec) = core.jobs.remove(id) else {
+        return;
+    };
+    rec.spent_sec += result.runtime.as_secs_f64();
+    let mut requeued = false;
+    if matches!(result.stop_reason, StopReason::Interrupted) {
+        if rj.as_ref().is_some_and(|r| r.cancel) {
+            rec.state = JobState::Canceled;
+            rec.stop_reason = Some(result.stop_reason.as_str().to_string());
+            core.stats.canceled += 1;
+        } else if shutdown {
+            // Drain: back to Queued on disk; the next start re-queues and
+            // resumes from the final checkpoint the engine just wrote.
+            rec.state = JobState::Queued;
+        } else {
+            // Evicted. Requeue; the checkpoint makes the resume seamless.
+            rec.state = JobState::Queued;
+            rec.evictions += 1;
+            core.stats.evictions += 1;
+            if let Some(t0) = rj.and_then(|r| r.evict_started) {
+                core.stats
+                    .eviction_latency_sec
+                    .push(t0.elapsed().as_secs_f64());
+            }
+            core.queue.push(id.to_string());
+            requeued = true;
+        }
+        let _ = shared.spool.save_record(&rec);
+    } else {
+        rec.state = JobState::Done;
+        rec.stop_reason = Some(result.stop_reason.as_str().to_string());
+        let outcome = JobOutcome {
+            id: id.to_string(),
+            stop_reason: result.stop_reason.as_str().to_string(),
+            worst_delay: result.worst_delay,
+            fully_routed: result.fully_routed,
+            globally_unrouted: result.globally_unrouted,
+            incomplete: result.incomplete,
+            temperatures: result.temperatures,
+            total_moves: result.total_moves,
+            spent_sec: rec.spent_sec,
+            segments: rec.segments,
+            evictions: rec.evictions,
+            digest: layout_digest(netlist, result),
+        };
+        core.stats.completed += 1;
+        let _ = shared.spool.save_record(&rec);
+        let _ = shared.spool.save_outcome(&outcome);
+    }
+    core.jobs.insert(id.to_string(), rec);
+    drop(core);
+    if requeued {
+        shared.work.notify_all();
+    }
+}
+
+fn fail_job(shared: &Shared, id: &str, detail: String) {
+    let mut core = shared.lock();
+    core.running.remove(id);
+    core.stats.failed += 1;
+    if let Some(rec) = core.jobs.get_mut(id) {
+        rec.state = JobState::Failed;
+        rec.error = Some(detail);
+        let _ = shared.spool.save_record(rec);
+    }
+}
+
+// --- listener --------------------------------------------------------------
+
+fn accept_loop(shared: &Shared, listener: &UnixListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+                let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+                serve_connection(shared, stream);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if shared.closing.load(Ordering::SeqCst) {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => {
+                if shared.closing.load(Ordering::SeqCst) {
+                    return;
+                }
+                thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// One request line in, one response line out.
+fn serve_connection(shared: &Shared, stream: UnixStream) {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    if reader.read_line(&mut line).is_err() {
+        return;
+    }
+    let response = match proto::parse_request(&line) {
+        Ok(req) => dispatch(shared, req),
+        Err(detail) => proto::err(&detail),
+    };
+    let mut stream = reader.into_inner();
+    let _ = writeln!(stream, "{}", response.to_string_compact());
+    let _ = stream.flush();
+}
+
+fn dispatch(shared: &Shared, req: Request) -> Json {
+    match req {
+        Request::Ping => proto::ok(vec![
+            ("service", "rowfpga-serve".into()),
+            ("version", crate::job::JOB_VERSION.into()),
+        ]),
+        Request::Submit(spec) => submit(shared, *spec),
+        Request::Status { id } => status(shared, &id),
+        Request::List => list(shared),
+        Request::Cancel { id } => cancel(shared, &id),
+        Request::Stats => {
+            let core = shared.lock();
+            proto::ok(vec![
+                ("stats", core.stats.to_json()),
+                ("queued", (core.queue.len() as u64).into()),
+                ("running", (core.running.len() as u64).into()),
+            ])
+        }
+        Request::Shutdown => {
+            shared.initiate_shutdown();
+            proto::ok(vec![("draining", true.into())])
+        }
+    }
+}
+
+fn submit(shared: &Shared, spec: JobSpec) -> Json {
+    // Validate inputs synchronously so bad submissions fail at the
+    // client, not minutes later on a worker.
+    if let Err(detail) = prepare(&spec) {
+        return proto::err(&detail);
+    }
+    let mut core = shared.lock();
+    if core.shutdown {
+        return proto::err("daemon is draining");
+    }
+    if core.queue.len() >= shared.cfg.queue_capacity.max(1) {
+        core.stats.rejected += 1;
+        let retry = 1.0 + core.queue.len() as f64 * 0.5;
+        return proto::err_retry("queue full", retry);
+    }
+    let seq = core.next_seq;
+    core.next_seq += 1;
+    let id = format!("job-{seq:06}");
+    let rec = JobRecord::new(id.clone(), seq, spec);
+    // Durability before acknowledgement: the record hits the spool
+    // (fsynced) before the id is handed back or a worker can see it.
+    if let Err(e) = shared.spool.save_record(&rec) {
+        return proto::err(&format!("spool write failed: {e}"));
+    }
+    core.jobs.insert(id.clone(), rec);
+    core.queue.push(id.clone());
+    core.stats.submitted += 1;
+    let queued = core.queue.len() as u64;
+    maybe_preempt(&mut core, shared.cfg.workers);
+    drop(core);
+    shared.work.notify_all();
+    proto::ok(vec![("job", id.as_str().into()), ("queued", queued.into())])
+}
+
+fn status(shared: &Shared, id: &str) -> Json {
+    let rec = {
+        let core = shared.lock();
+        core.jobs.get(id).cloned()
+    };
+    let Some(rec) = rec else {
+        return proto::err(&format!("unknown job '{id}'"));
+    };
+    let result = match shared.spool.load_outcome(id) {
+        Some(out) => out.to_json(),
+        None => Json::Null,
+    };
+    proto::ok(vec![("job", rec.to_json()), ("result", result)])
+}
+
+fn list(shared: &Shared) -> Json {
+    let core = shared.lock();
+    let rows = core
+        .jobs
+        .values()
+        .map(|rec| {
+            Json::obj(vec![
+                ("id", rec.id.as_str().into()),
+                ("state", rec.state.as_str().into()),
+                ("priority", (rec.spec.priority as f64).into()),
+                ("spent_sec", rec.spent_sec.into()),
+                ("segments", rec.segments.into()),
+                ("evictions", rec.evictions.into()),
+            ])
+        })
+        .collect();
+    proto::ok(vec![("jobs", Json::Arr(rows))])
+}
+
+fn cancel(shared: &Shared, id: &str) -> Json {
+    let mut core = shared.lock();
+    let Some(rec) = core.jobs.get(id) else {
+        return proto::err(&format!("unknown job '{id}'"));
+    };
+    match rec.state {
+        JobState::Queued => {
+            core.queue.retain(|q| q != id);
+            if let Some(rec) = core.jobs.get_mut(id) {
+                rec.state = JobState::Canceled;
+                let _ = shared.spool.save_record(rec);
+            }
+            core.stats.canceled += 1;
+            proto::ok(vec![("state", "canceled".into())])
+        }
+        JobState::Running => {
+            if let Some(rj) = core.running.get_mut(id) {
+                rj.cancel = true;
+                rj.stop.request_stop();
+            }
+            proto::ok(vec![("state", "canceling".into())])
+        }
+        state => proto::err(&format!("job is already {}", state.as_str())),
+    }
+}

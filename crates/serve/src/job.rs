@@ -1,0 +1,513 @@
+//! Job specifications, lifecycle records and result summaries.
+//!
+//! A job is everything the daemon needs to run one layout independently
+//! of the submitting client: the netlist text itself (embedded, so the
+//! spool is self-contained and survives the client's working directory
+//! disappearing), an optional architecture, the seed, the effort profile,
+//! a priority and an execution budget. The [`JobRecord`] wraps the spec
+//! with lifecycle state and accounting that must survive daemon crashes —
+//! it is (re)written atomically to `job.json` in the job's spool
+//! directory on every state transition, *before* the transition is
+//! acknowledged to anyone.
+
+use std::fmt;
+
+use rowfpga_obs::Json;
+
+/// `format` marker of a `job.json` document.
+pub const JOB_FORMAT: &str = "rowfpga-job";
+/// `format` marker of a `result.json` document.
+pub const RESULT_FORMAT: &str = "rowfpga-job-result";
+/// Current version of both documents.
+pub const JOB_VERSION: u64 = 1;
+
+/// A decode failure of a spool document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JobError(pub String);
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed job document: {}", self.0)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+/// What to run: the client-controlled half of a job.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobSpec {
+    /// Netlist text (the `.net` format of [`rowfpga_netlist::parse_netlist`]).
+    pub netlist: String,
+    /// Architecture text; when absent the fabric is auto-sized.
+    pub arch: Option<String>,
+    /// Tracks-per-channel override.
+    pub tracks: Option<usize>,
+    /// Placement seed (the anneal seed derives from it).
+    pub seed: u64,
+    /// Use the low-effort annealing profile.
+    pub fast: bool,
+    /// Scheduling priority; higher runs first and may evict lower.
+    pub priority: i64,
+    /// Execution budget in seconds, counted across preemptions and
+    /// restarts. On expiry the job *completes* with its best-so-far
+    /// layout and `stop_reason = "deadline"` (graceful degradation).
+    pub deadline_sec: Option<f64>,
+    /// Per-job journal sink spec (a file path or `unix:PATH`).
+    pub journal: Option<String>,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            netlist: String::new(),
+            arch: None,
+            tracks: None,
+            seed: 1,
+            fast: false,
+            priority: 0,
+            deadline_sec: None,
+            journal: None,
+        }
+    }
+}
+
+/// Lifecycle state of a job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted and waiting for a worker (also the state an evicted or
+    /// crash-interrupted job returns to).
+    Queued,
+    /// A worker is annealing it right now.
+    Running,
+    /// Finished with a layout (including deadline-degraded best-so-far).
+    Done,
+    /// Finished without a layout (bad input, engine error).
+    Failed,
+    /// Canceled by a client before completion.
+    Canceled,
+}
+
+impl JobState {
+    /// Wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Canceled => "canceled",
+        }
+    }
+
+    /// Parses the wire spelling.
+    pub fn parse(s: &str) -> Option<JobState> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            "canceled" => JobState::Canceled,
+            _ => return None,
+        })
+    }
+
+    /// Whether the job will never run again.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Canceled)
+    }
+}
+
+/// One job's durable record: spec + lifecycle + accounting.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRecord {
+    /// Stable id, `job-NNNNNN`.
+    pub id: String,
+    /// Admission sequence number (FIFO tiebreak).
+    pub seq: u64,
+    /// What to run.
+    pub spec: JobSpec,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Annealing seconds consumed so far, across segments and restarts.
+    pub spent_sec: f64,
+    /// Run segments started (1 for an uninterrupted job).
+    pub segments: u64,
+    /// Times this job was preempted by a higher-priority one.
+    pub evictions: u64,
+    /// Failure detail when `state == Failed`.
+    pub error: Option<String>,
+    /// Engine stop reason of the final segment, once finished.
+    pub stop_reason: Option<String>,
+}
+
+impl JobRecord {
+    /// A fresh queued record.
+    pub fn new(id: String, seq: u64, spec: JobSpec) -> JobRecord {
+        JobRecord {
+            id,
+            seq,
+            spec,
+            state: JobState::Queued,
+            spent_sec: 0.0,
+            segments: 0,
+            evictions: 0,
+            error: None,
+            stop_reason: None,
+        }
+    }
+
+    /// Remaining execution budget in seconds, `None` when unbounded.
+    pub fn remaining_budget(&self) -> Option<f64> {
+        self.spec
+            .deadline_sec
+            .map(|d| (d - self.spent_sec).max(0.0))
+    }
+
+    /// Serializes the record as one JSON document.
+    pub fn to_json(&self) -> Json {
+        let opt_str = |v: &Option<String>| match v {
+            Some(s) => Json::Str(s.clone()),
+            None => Json::Null,
+        };
+        let opt_num = |v: Option<f64>| match v {
+            Some(n) => n.into(),
+            None => Json::Null,
+        };
+        Json::obj(vec![
+            ("format", JOB_FORMAT.into()),
+            ("version", JOB_VERSION.into()),
+            ("id", self.id.as_str().into()),
+            ("seq", self.seq.into()),
+            ("netlist", self.spec.netlist.as_str().into()),
+            ("arch", opt_str(&self.spec.arch)),
+            ("tracks", opt_num(self.spec.tracks.map(|t| t as f64))),
+            ("seed", Json::Str(self.spec.seed.to_string())),
+            ("fast", self.spec.fast.into()),
+            ("priority", (self.spec.priority as f64).into()),
+            ("deadline_sec", opt_num(self.spec.deadline_sec)),
+            ("journal", opt_str(&self.spec.journal)),
+            ("state", self.state.as_str().into()),
+            ("spent_sec", self.spent_sec.into()),
+            ("segments", self.segments.into()),
+            ("evictions", self.evictions.into()),
+            ("error", opt_str(&self.error)),
+            ("stop_reason", opt_str(&self.stop_reason)),
+        ])
+    }
+
+    /// Decodes a record document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError`] on a missing or mistyped field, a foreign
+    /// format marker, or an unsupported version.
+    pub fn from_json(j: &Json) -> Result<JobRecord, JobError> {
+        if get_str(j, "format")? != JOB_FORMAT {
+            return Err(JobError(format!("not a {JOB_FORMAT} document")));
+        }
+        let version = get_u64(j, "version")?;
+        if version != JOB_VERSION {
+            return Err(JobError(format!("unsupported job version {version}")));
+        }
+        let state_str = get_str(j, "state")?;
+        let state = JobState::parse(&state_str)
+            .ok_or_else(|| JobError(format!("unknown state '{state_str}'")))?;
+        Ok(JobRecord {
+            id: get_str(j, "id")?,
+            seq: get_u64(j, "seq")?,
+            spec: JobSpec {
+                netlist: get_str(j, "netlist")?,
+                arch: opt_str_of(j, "arch")?,
+                tracks: opt_f64_of(j, "tracks")?.map(|t| t as usize),
+                seed: get_u64(j, "seed")?,
+                fast: get_bool(j, "fast")?,
+                priority: get_f64(j, "priority")? as i64,
+                deadline_sec: opt_f64_of(j, "deadline_sec")?,
+                journal: opt_str_of(j, "journal")?,
+            },
+            state,
+            spent_sec: get_f64(j, "spent_sec")?,
+            segments: get_u64(j, "segments")?,
+            evictions: get_u64(j, "evictions")?,
+            error: opt_str_of(j, "error")?,
+            stop_reason: opt_str_of(j, "stop_reason")?,
+        })
+    }
+}
+
+/// The layout summary a finished job leaves in `result.json`.
+///
+/// `digest` fingerprints the final placement (site and pinmap per cell,
+/// in cell order) together with the delay, move and temperature counts,
+/// so two runs can be compared bit-for-bit without shipping layouts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobOutcome {
+    /// Id of the job this result belongs to.
+    pub id: String,
+    /// Engine stop reason of the final segment.
+    pub stop_reason: String,
+    /// Worst-case path delay (ps).
+    pub worst_delay: f64,
+    /// Whether every net routed.
+    pub fully_routed: bool,
+    /// Nets without a global route.
+    pub globally_unrouted: usize,
+    /// Nets without a complete detailed route.
+    pub incomplete: usize,
+    /// Temperatures executed, across all segments.
+    pub temperatures: usize,
+    /// Annealing moves attempted, across all segments.
+    pub total_moves: usize,
+    /// Annealing seconds consumed, across segments and restarts.
+    pub spent_sec: f64,
+    /// Segments this job ran in.
+    pub segments: u64,
+    /// Times the job was preempted.
+    pub evictions: u64,
+    /// FNV-1a fingerprint of the final layout (hex).
+    pub digest: String,
+}
+
+impl JobOutcome {
+    /// Serializes the outcome as one JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("format", RESULT_FORMAT.into()),
+            ("version", JOB_VERSION.into()),
+            ("id", self.id.as_str().into()),
+            ("stop_reason", self.stop_reason.as_str().into()),
+            ("worst_delay", self.worst_delay.into()),
+            ("fully_routed", self.fully_routed.into()),
+            ("globally_unrouted", self.globally_unrouted.into()),
+            ("incomplete", self.incomplete.into()),
+            ("temperatures", self.temperatures.into()),
+            ("total_moves", self.total_moves.into()),
+            ("spent_sec", self.spent_sec.into()),
+            ("segments", self.segments.into()),
+            ("evictions", self.evictions.into()),
+            ("digest", self.digest.as_str().into()),
+        ])
+    }
+
+    /// Decodes an outcome document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError`] on a missing or mistyped field or a foreign
+    /// format marker.
+    pub fn from_json(j: &Json) -> Result<JobOutcome, JobError> {
+        if get_str(j, "format")? != RESULT_FORMAT {
+            return Err(JobError(format!("not a {RESULT_FORMAT} document")));
+        }
+        Ok(JobOutcome {
+            id: get_str(j, "id")?,
+            stop_reason: get_str(j, "stop_reason")?,
+            worst_delay: get_f64(j, "worst_delay")?,
+            fully_routed: get_bool(j, "fully_routed")?,
+            globally_unrouted: get_f64(j, "globally_unrouted")? as usize,
+            incomplete: get_f64(j, "incomplete")? as usize,
+            temperatures: get_f64(j, "temperatures")? as usize,
+            total_moves: get_f64(j, "total_moves")? as usize,
+            spent_sec: get_f64(j, "spent_sec")?,
+            segments: get_u64(j, "segments")?,
+            evictions: get_u64(j, "evictions")?,
+            digest: get_str(j, "digest")?,
+        })
+    }
+}
+
+/// FNV-1a 64-bit fingerprint of the final layout of `result`, taken over
+/// a canonical text of (site, pinmap) per cell plus the run counters.
+pub fn layout_digest(
+    netlist: &rowfpga_netlist::Netlist,
+    result: &rowfpga_core::LayoutResult,
+) -> String {
+    let mut text = String::new();
+    for (id, _) in netlist.cells() {
+        text.push_str(&format!(
+            "{}:{} ",
+            result.placement.site_of(id).index(),
+            result.placement.pinmap_index(id)
+        ));
+    }
+    text.push_str(&format!(
+        "delay={:016x} moves={} temps={} gu={} inc={}",
+        result.worst_delay.to_bits(),
+        result.total_moves,
+        result.temperatures,
+        result.globally_unrouted,
+        result.incomplete,
+    ));
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in text.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+// --- JSON field helpers ----------------------------------------------------
+
+pub(crate) fn get_str(j: &Json, key: &str) -> Result<String, JobError> {
+    j.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| JobError(format!("missing or non-string '{key}'")))
+}
+
+pub(crate) fn get_u64(j: &Json, key: &str) -> Result<u64, JobError> {
+    let v = j
+        .get(key)
+        .ok_or_else(|| JobError(format!("missing '{key}'")))?;
+    match v {
+        Json::Str(s) => s
+            .parse::<u64>()
+            .map_err(|_| JobError(format!("'{key}' is not a decimal u64"))),
+        _ => v
+            .as_u64()
+            .ok_or_else(|| JobError(format!("'{key}' is not a u64"))),
+    }
+}
+
+pub(crate) fn get_f64(j: &Json, key: &str) -> Result<f64, JobError> {
+    j.get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| JobError(format!("missing or non-numeric '{key}'")))
+}
+
+pub(crate) fn get_bool(j: &Json, key: &str) -> Result<bool, JobError> {
+    j.get(key)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| JobError(format!("missing or non-bool '{key}'")))
+}
+
+pub(crate) fn opt_str_of(j: &Json, key: &str) -> Result<Option<String>, JobError> {
+    match j.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(Json::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(JobError(format!("'{key}' is not a string or null"))),
+    }
+}
+
+pub(crate) fn opt_f64_of(j: &Json, key: &str) -> Result<Option<f64>, JobError> {
+    match j.get(key) {
+        None | Some(Json::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| JobError(format!("'{key}' is not a number or null"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_record() -> JobRecord {
+        JobRecord {
+            id: "job-000007".into(),
+            seq: 7,
+            spec: JobSpec {
+                netlist: "# netlist\ncell c0 comb\n".into(),
+                arch: Some("rows 4\ncols 10\n".into()),
+                tracks: Some(14),
+                seed: u64::MAX,
+                fast: true,
+                priority: -3,
+                deadline_sec: Some(2.5),
+                journal: Some("unix:/tmp/j.sock".into()),
+            },
+            state: JobState::Running,
+            spent_sec: 1.25,
+            segments: 2,
+            evictions: 1,
+            error: None,
+            stop_reason: None,
+        }
+    }
+
+    #[test]
+    fn record_round_trips_exactly() {
+        let rec = sample_record();
+        let text = rec.to_json().to_string_compact();
+        let back = JobRecord::from_json(&rowfpga_obs::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, rec);
+
+        // Optional fields absent.
+        let mut rec = sample_record();
+        rec.spec = JobSpec {
+            netlist: "n".into(),
+            ..JobSpec::default()
+        };
+        rec.state = JobState::Failed;
+        rec.error = Some("boom".into());
+        let text = rec.to_json().to_string_compact();
+        let back = JobRecord::from_json(&rowfpga_obs::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn embedded_netlist_text_survives_the_wire_format() {
+        // Newlines and quotes in the netlist must survive JSON escaping:
+        // the spool is only self-contained if the text parses back.
+        let nl = rowfpga_netlist::generate(&rowfpga_netlist::GenerateConfig {
+            num_cells: 12,
+            num_inputs: 3,
+            num_outputs: 2,
+            num_seq: 1,
+            ..rowfpga_netlist::GenerateConfig::default()
+        });
+        let mut rec = sample_record();
+        rec.spec.netlist = rowfpga_netlist::write_netlist(&nl);
+        let text = rec.to_json().to_string_compact();
+        let back = JobRecord::from_json(&rowfpga_obs::json::parse(&text).unwrap()).unwrap();
+        let reparsed = rowfpga_netlist::parse_netlist(&back.spec.netlist).unwrap();
+        assert_eq!(reparsed.num_cells(), nl.num_cells());
+        assert_eq!(reparsed.num_nets(), nl.num_nets());
+    }
+
+    #[test]
+    fn malformed_documents_are_typed_errors() {
+        let not_ours = Json::obj(vec![("format", "something".into())]);
+        assert!(JobRecord::from_json(&not_ours).is_err());
+        let mut doc = sample_record().to_json();
+        if let Json::Obj(pairs) = &mut doc {
+            pairs.retain(|(k, _)| k != "seed");
+        }
+        let err = JobRecord::from_json(&doc).unwrap_err();
+        assert!(err.to_string().contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn outcome_round_trips() {
+        let out = JobOutcome {
+            id: "job-000001".into(),
+            stop_reason: "deadline".into(),
+            worst_delay: 12345.5,
+            fully_routed: false,
+            globally_unrouted: 0,
+            incomplete: 2,
+            temperatures: 40,
+            total_moves: 123_456,
+            spent_sec: 3.5,
+            segments: 3,
+            evictions: 2,
+            digest: "00ff00ff00ff00ff".into(),
+        };
+        let text = out.to_json().to_string_compact();
+        let back = JobOutcome::from_json(&rowfpga_obs::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, out);
+    }
+
+    #[test]
+    fn remaining_budget_saturates_at_zero() {
+        let mut rec = sample_record();
+        rec.spec.deadline_sec = Some(2.0);
+        rec.spent_sec = 0.5;
+        assert_eq!(rec.remaining_budget(), Some(1.5));
+        rec.spent_sec = 3.0;
+        assert_eq!(rec.remaining_budget(), Some(0.0));
+        rec.spec.deadline_sec = None;
+        assert_eq!(rec.remaining_budget(), None);
+    }
+}

@@ -1,0 +1,206 @@
+//! The daemon's wire protocol: one JSON object per line, one request per
+//! connection, one JSON object line back.
+//!
+//! Requests (`cmd` selects):
+//!
+//! ```text
+//! {"cmd":"ping"}
+//! {"cmd":"submit","netlist":TEXT,
+//!   "arch":TEXT?,"tracks":N?,"seed":N?,"fast":BOOL?,
+//!   "priority":N?,"deadline_sec":SECS?,"journal":SPEC?}
+//! {"cmd":"status","job":"job-000001"}
+//! {"cmd":"list"}
+//! {"cmd":"cancel","job":"job-000001"}
+//! {"cmd":"stats"}
+//! {"cmd":"shutdown"}
+//! ```
+//!
+//! Responses always carry `"ok"`. Failures carry `"error"`, and — for
+//! load-shed rejections specifically — `"retry_after_sec"`, the
+//! explicit backpressure contract: the queue is bounded, a full queue
+//! rejects at admission instead of growing without bound, and the client
+//! is told when to come back.
+
+use rowfpga_obs::Json;
+
+use crate::job::{self, JobError, JobSpec};
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Admit a job.
+    Submit(Box<JobSpec>),
+    /// One job's full record (and result, when finished).
+    Status {
+        /// Job id.
+        id: String,
+    },
+    /// Brief rows for every known job.
+    List,
+    /// Cancel a queued or running job.
+    Cancel {
+        /// Job id.
+        id: String,
+    },
+    /// Service counters and latency percentiles.
+    Stats,
+    /// Graceful drain, same as SIGTERM.
+    Shutdown,
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a human-readable complaint for unknown commands or malformed
+/// fields; the daemon sends it back verbatim in the error response.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let doc = rowfpga_obs::json::parse(line).map_err(|e| format!("request is not JSON: {e}"))?;
+    let cmd = doc
+        .get("cmd")
+        .and_then(Json::as_str)
+        .ok_or_else(|| "missing 'cmd'".to_string())?;
+    match cmd {
+        "ping" => Ok(Request::Ping),
+        "submit" => parse_submit(&doc).map_err(|JobError(d)| d),
+        "status" => Ok(Request::Status { id: job_id(&doc)? }),
+        "list" => Ok(Request::List),
+        "cancel" => Ok(Request::Cancel { id: job_id(&doc)? }),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!("unknown cmd '{other}'")),
+    }
+}
+
+fn job_id(doc: &Json) -> Result<String, String> {
+    doc.get("job")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| "missing 'job'".to_string())
+}
+
+fn parse_submit(doc: &Json) -> Result<Request, JobError> {
+    let spec = JobSpec {
+        netlist: job::get_str(doc, "netlist")?,
+        arch: job::opt_str_of(doc, "arch")?,
+        tracks: job::opt_f64_of(doc, "tracks")?.map(|t| t as usize),
+        seed: match doc.get("seed") {
+            None | Some(Json::Null) => 1,
+            Some(_) => job::get_u64(doc, "seed")?,
+        },
+        fast: match doc.get("fast") {
+            None | Some(Json::Null) => false,
+            Some(_) => job::get_bool(doc, "fast")?,
+        },
+        priority: match doc.get("priority") {
+            None | Some(Json::Null) => 0,
+            Some(_) => job::get_f64(doc, "priority")? as i64,
+        },
+        deadline_sec: job::opt_f64_of(doc, "deadline_sec")?,
+        journal: job::opt_str_of(doc, "journal")?,
+    };
+    if spec.netlist.trim().is_empty() {
+        return Err(JobError("'netlist' is empty".into()));
+    }
+    if spec.deadline_sec.is_some_and(|d| d <= 0.0 || d.is_nan()) {
+        return Err(JobError("'deadline_sec' must be positive".into()));
+    }
+    Ok(Request::Submit(Box::new(spec)))
+}
+
+/// Builds a success response from extra fields.
+pub fn ok(mut fields: Vec<(&str, Json)>) -> Json {
+    let mut all = vec![("ok", Json::Bool(true))];
+    all.append(&mut fields);
+    Json::obj(all)
+}
+
+/// Builds a failure response.
+pub fn err(detail: &str) -> Json {
+    Json::obj(vec![("ok", Json::Bool(false)), ("error", detail.into())])
+}
+
+/// Builds a load-shed rejection: the client should retry no sooner than
+/// `retry_after_sec` seconds from now.
+pub fn err_retry(detail: &str, retry_after_sec: f64) -> Json {
+    Json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", detail.into()),
+        ("retry_after_sec", retry_after_sec.into()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_command() {
+        assert_eq!(parse_request("{\"cmd\":\"ping\"}").unwrap(), Request::Ping);
+        assert_eq!(parse_request("{\"cmd\":\"list\"}").unwrap(), Request::List);
+        assert_eq!(
+            parse_request("{\"cmd\":\"stats\"}").unwrap(),
+            Request::Stats
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"shutdown\"}").unwrap(),
+            Request::Shutdown
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"status\",\"job\":\"job-000009\"}").unwrap(),
+            Request::Status {
+                id: "job-000009".into()
+            }
+        );
+        assert_eq!(
+            parse_request("{\"cmd\":\"cancel\",\"job\":\"job-000001\"}").unwrap(),
+            Request::Cancel {
+                id: "job-000001".into()
+            }
+        );
+    }
+
+    #[test]
+    fn submit_defaults_and_validation() {
+        let r = parse_request("{\"cmd\":\"submit\",\"netlist\":\"cell a comb\\n\"}").unwrap();
+        let Request::Submit(spec) = r else {
+            panic!("not a submit");
+        };
+        assert_eq!(spec.seed, 1);
+        assert_eq!(spec.priority, 0);
+        assert!(!spec.fast);
+        assert_eq!(spec.deadline_sec, None);
+
+        let full = "{\"cmd\":\"submit\",\"netlist\":\"x\",\"seed\":\"9\",\"fast\":true,\
+                    \"priority\":5,\"deadline_sec\":2.5,\"tracks\":12}";
+        let Request::Submit(spec) = parse_request(full).unwrap() else {
+            panic!("not a submit");
+        };
+        assert_eq!(spec.seed, 9);
+        assert!(spec.fast);
+        assert_eq!(spec.priority, 5);
+        assert_eq!(spec.deadline_sec, Some(2.5));
+        assert_eq!(spec.tracks, Some(12));
+
+        assert!(parse_request("{\"cmd\":\"submit\",\"netlist\":\"  \"}").is_err());
+        assert!(
+            parse_request("{\"cmd\":\"submit\",\"netlist\":\"x\",\"deadline_sec\":0}").is_err()
+        );
+        assert!(parse_request("{\"cmd\":\"nope\"}").is_err());
+        assert!(parse_request("not json").is_err());
+    }
+
+    #[test]
+    fn responses_carry_ok_and_backpressure() {
+        let good = ok(vec![("job", "job-000001".into())]);
+        assert_eq!(good.get("ok").and_then(Json::as_bool), Some(true));
+        let shed = err_retry("queue full", 3.0);
+        assert_eq!(shed.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            shed.get("retry_after_sec").and_then(Json::as_f64),
+            Some(3.0)
+        );
+    }
+}

@@ -1,0 +1,299 @@
+//! The on-disk job spool: the daemon's only durable state.
+//!
+//! Layout:
+//!
+//! ```text
+//! SPOOL/
+//!   jobs/
+//!     job-000001/
+//!       job.json          # JobRecord, atomically rewritten per transition
+//!       checkpoint.json   # engine snapshot (+ .gNNNNNNNN generations)
+//!       result.json       # JobOutcome, written once on completion
+//!   quarantine/
+//!     job-000002.bad-record/   # corrupt entries moved aside, never deleted
+//! ```
+//!
+//! Every mutation follows write-temp → fsync → rename, so a SIGKILL at
+//! any instant leaves each document either old or new, never torn. The
+//! startup [`Spool::scan`] rebuilds the daemon's entire job table from
+//! this directory; anything that does not decode is quarantined (moved,
+//! not deleted — operators can inspect it) instead of taking the daemon
+//! down.
+
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+use crate::job::{JobOutcome, JobRecord};
+
+/// Handle on a spool directory (paths + I/O helpers; no in-memory state).
+#[derive(Clone, Debug)]
+pub struct Spool {
+    root: PathBuf,
+}
+
+/// What a startup scan found.
+#[derive(Debug, Default)]
+pub struct ScanReport {
+    /// Decodable job records, in admission (seq) order.
+    pub records: Vec<JobRecord>,
+    /// Entries moved to quarantine, as (directory name, reason).
+    pub quarantined: Vec<(String, String)>,
+}
+
+impl Spool {
+    /// Opens (creating if needed) a spool rooted at `root`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of creating either subdirectory.
+    pub fn open(root: &Path) -> io::Result<Spool> {
+        fs::create_dir_all(root.join("jobs"))?;
+        fs::create_dir_all(root.join("quarantine"))?;
+        Ok(Spool {
+            root: root.to_path_buf(),
+        })
+    }
+
+    /// The spool root.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Directory of one job.
+    pub fn job_dir(&self, id: &str) -> PathBuf {
+        self.root.join("jobs").join(id)
+    }
+
+    /// `job.json` of one job.
+    pub fn record_path(&self, id: &str) -> PathBuf {
+        self.job_dir(id).join("job.json")
+    }
+
+    /// Checkpoint base path of one job (generations are siblings).
+    pub fn checkpoint_path(&self, id: &str) -> PathBuf {
+        self.job_dir(id).join("checkpoint.json")
+    }
+
+    /// `result.json` of one job.
+    pub fn result_path(&self, id: &str) -> PathBuf {
+        self.job_dir(id).join("result.json")
+    }
+
+    /// Whether a resumable snapshot exists for `id`: the checkpoint base
+    /// or any retention generation probes as structurally valid.
+    pub fn has_checkpoint(&self, id: &str) -> bool {
+        let base = self.checkpoint_path(id);
+        rowfpga_core::probe_snapshot(&base)
+            || rowfpga_core::list_generations(&base)
+                .iter()
+                .any(|(_, p)| rowfpga_core::probe_snapshot(p))
+    }
+
+    /// Atomically (re)writes `job.json`. The fsync-before-rename makes
+    /// the record durable before the daemon acknowledges the transition,
+    /// which is what "zero lost accepted jobs under SIGKILL" rests on.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing filesystem step.
+    pub fn save_record(&self, rec: &JobRecord) -> io::Result<()> {
+        fs::create_dir_all(self.job_dir(&rec.id))?;
+        write_atomic(
+            &self.record_path(&rec.id),
+            &rec.to_json().to_string_compact(),
+        )
+    }
+
+    /// Atomically writes `result.json`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing filesystem step.
+    pub fn save_outcome(&self, out: &JobOutcome) -> io::Result<()> {
+        write_atomic(
+            &self.result_path(&out.id),
+            &out.to_json().to_string_compact(),
+        )
+    }
+
+    /// Loads `result.json` of a finished job, if present and decodable.
+    pub fn load_outcome(&self, id: &str) -> Option<JobOutcome> {
+        let text = fs::read_to_string(self.result_path(id)).ok()?;
+        let doc = rowfpga_obs::json::parse(&text).ok()?;
+        JobOutcome::from_json(&doc).ok()
+    }
+
+    /// Moves a job directory into quarantine instead of deleting it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rename error.
+    pub fn quarantine(&self, dir_name: &str, reason: &str) -> io::Result<PathBuf> {
+        let slug: String = reason
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() { c } else { '-' })
+            .take(32)
+            .collect();
+        let mut dest = self
+            .root
+            .join("quarantine")
+            .join(format!("{dir_name}.{slug}"));
+        let mut n = 1;
+        while dest.exists() {
+            dest = self
+                .root
+                .join("quarantine")
+                .join(format!("{dir_name}.{slug}.{n}"));
+            n += 1;
+        }
+        fs::rename(self.root.join("jobs").join(dir_name), &dest)?;
+        Ok(dest)
+    }
+
+    /// Scans the spool: decodes every `jobs/*/job.json`, quarantining
+    /// entries that are unreadable or undecodable. Never fails the
+    /// startup — a damaged spool yields a report, not an error.
+    pub fn scan(&self) -> ScanReport {
+        let mut report = ScanReport::default();
+        let Ok(entries) = fs::read_dir(self.root.join("jobs")) else {
+            return report;
+        };
+        let mut names: Vec<String> = entries
+            .flatten()
+            .filter_map(|e| e.file_name().to_str().map(str::to_string))
+            .collect();
+        names.sort_unstable();
+        for name in names {
+            let path = self.root.join("jobs").join(&name).join("job.json");
+            let outcome = fs::read_to_string(&path)
+                .map_err(|e| format!("unreadable job.json: {e}"))
+                .and_then(|text| {
+                    rowfpga_obs::json::parse(&text).map_err(|e| format!("not JSON: {e}"))
+                })
+                .and_then(|doc| JobRecord::from_json(&doc).map_err(|e| e.to_string()));
+            match outcome {
+                Ok(rec) if rec.id == name => report.records.push(rec),
+                Ok(rec) => {
+                    let reason = format!("id '{}' does not match directory '{name}'", rec.id);
+                    let _ = self.quarantine(&name, "id-mismatch");
+                    report.quarantined.push((name, reason));
+                }
+                Err(reason) => {
+                    let _ = self.quarantine(&name, "bad-record");
+                    report.quarantined.push((name, reason));
+                }
+            }
+        }
+        report.records.sort_by_key(|r| r.seq);
+        report
+    }
+}
+
+/// Write-temp → fsync → rename.
+fn write_atomic(path: &Path, text: &str) -> io::Result<()> {
+    let mut name = path.file_name().unwrap_or_default().to_os_string();
+    name.push(".tmp");
+    let tmp = path.with_file_name(name);
+    let mut file = fs::File::create(&tmp)?;
+    file.write_all(text.as_bytes())?;
+    file.write_all(b"\n")?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp, path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{JobSpec, JobState};
+
+    fn temp_spool(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rowfpga-spool-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn record(id: &str, seq: u64) -> JobRecord {
+        JobRecord::new(
+            id.to_string(),
+            seq,
+            JobSpec {
+                netlist: "# empty\n".into(),
+                ..JobSpec::default()
+            },
+        )
+    }
+
+    #[test]
+    fn records_survive_a_save_scan_round_trip() {
+        let root = temp_spool("roundtrip");
+        let spool = Spool::open(&root).unwrap();
+        let mut a = record("job-000002", 2);
+        a.state = JobState::Running;
+        a.spent_sec = 0.75;
+        spool.save_record(&a).unwrap();
+        spool.save_record(&record("job-000001", 1)).unwrap();
+
+        let report = spool.scan();
+        assert!(report.quarantined.is_empty(), "{:?}", report.quarantined);
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.records[0].seq, 1, "scan is seq-ordered");
+        assert_eq!(report.records[1], a);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_records_are_quarantined_not_fatal() {
+        let root = temp_spool("corrupt");
+        let spool = Spool::open(&root).unwrap();
+        spool.save_record(&record("job-000001", 1)).unwrap();
+        // A torn record and a directory with no record at all.
+        fs::create_dir_all(spool.job_dir("job-000002")).unwrap();
+        fs::write(
+            spool.record_path("job-000002"),
+            "{\"format\":\"rowfpga-job\"",
+        )
+        .unwrap();
+        fs::create_dir_all(spool.job_dir("job-000003")).unwrap();
+
+        let report = spool.scan();
+        assert_eq!(report.records.len(), 1);
+        assert_eq!(report.quarantined.len(), 2, "{:?}", report.quarantined);
+        assert!(!spool.job_dir("job-000002").exists());
+        // Quarantined, not deleted: the entries moved under quarantine/.
+        let moved: Vec<_> = fs::read_dir(root.join("quarantine"))
+            .unwrap()
+            .flatten()
+            .map(|e| e.file_name().to_str().unwrap().to_string())
+            .collect();
+        assert_eq!(moved.len(), 2, "{moved:?}");
+        // A rescan is clean and still serves the healthy job.
+        let again = spool.scan();
+        assert_eq!(again.records.len(), 1);
+        assert!(again.quarantined.is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn has_checkpoint_accepts_base_or_generation() {
+        let root = temp_spool("ckpt");
+        let spool = Spool::open(&root).unwrap();
+        spool.save_record(&record("job-000001", 1)).unwrap();
+        assert!(!spool.has_checkpoint("job-000001"));
+        // A valid-looking generation alone is enough (base torn).
+        let base = spool.checkpoint_path("job-000001");
+        fs::write(&base, "{\"format\":\"rowfpga-checkpoint\"").unwrap();
+        assert!(
+            !spool.has_checkpoint("job-000001"),
+            "torn base is not resumable"
+        );
+        fs::write(
+            rowfpga_core::generation_path(&base, 4),
+            "{\"format\":\"rowfpga-checkpoint\", \"version\": 1}\n",
+        )
+        .unwrap();
+        assert!(spool.has_checkpoint("job-000001"));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,329 @@
+//! In-process service tests: one daemon per test on a private socket and
+//! spool, real engine runs (small netlists, fast profile).
+//!
+//! The headline assertions are the robustness contracts from DESIGN.md
+//! §13: bounded-queue backpressure, checkpoint-backed preemption with a
+//! bit-identical final digest, graceful drain that leaves a resumable
+//! spool, deadline degradation, and quarantine-not-crash recovery.
+
+#![cfg(unix)]
+
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+use rowfpga_core::{size_architecture, SimPrConfig, SimultaneousPlaceRoute, SizingConfig};
+use rowfpga_netlist::{generate, parse_netlist, write_netlist, GenerateConfig};
+use rowfpga_obs::Json;
+use rowfpga_serve::daemon::{Daemon, ServeConfig};
+use rowfpga_serve::{client, layout_digest, JobSpec, JobState, Spool};
+
+const WAIT: Duration = Duration::from_secs(240);
+
+fn netlist_text(cells: usize) -> String {
+    write_netlist(&generate(&GenerateConfig {
+        num_cells: cells,
+        num_inputs: 8,
+        num_outputs: 6,
+        num_seq: 4,
+        ..GenerateConfig::default()
+    }))
+}
+
+fn temp_root(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rowfpga-serve-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(root: &Path) -> ServeConfig {
+    ServeConfig::new(root.join("sock"), root.join("spool"))
+}
+
+fn spec(netlist: &str) -> JobSpec {
+    JobSpec {
+        netlist: netlist.to_string(),
+        fast: true,
+        ..JobSpec::default()
+    }
+}
+
+/// What the engine produces for this spec when nothing interferes, under
+/// the daemon's own engine configuration (checkpointing on, armed stop):
+/// resilience turns on best-so-far tracking, so the service's digests are
+/// compared against a resilience-configured run, not a bare one.
+fn reference_digest(name: &str, netlist: &str, seed: u64) -> String {
+    let nl = parse_netlist(netlist).unwrap();
+    let arch = size_architecture(&nl, &SizingConfig::default()).unwrap();
+    let scratch = temp_root(&format!("ref-{name}"));
+    let mut cfg = SimPrConfig::fast().with_seed(seed);
+    cfg.resilience.checkpoint_path = Some(scratch.join("checkpoint.json"));
+    cfg.resilience.checkpoint_every = 1;
+    let result = SimultaneousPlaceRoute::new(cfg)
+        .run_with_stop(
+            &arch,
+            &nl,
+            "reference",
+            &rowfpga_obs::Obs::disabled(),
+            &rowfpga_core::StopFlag::manual(),
+        )
+        .unwrap();
+    let _ = std::fs::remove_dir_all(&scratch);
+    layout_digest(&nl, &result)
+}
+
+fn digest_of(status: &Json) -> String {
+    status
+        .get("result")
+        .and_then(|r| r.get("digest"))
+        .and_then(Json::as_str)
+        .unwrap_or_default()
+        .to_string()
+}
+
+fn poll_until_running(socket: &Path, id: &str) {
+    for _ in 0..24_000 {
+        let doc = client::status(socket, id).unwrap();
+        match client::state_of(&doc) {
+            Some("running") => return,
+            Some("queued") => std::thread::sleep(Duration::from_millis(5)),
+            other => panic!("job {id} reached {other:?} before running"),
+        }
+    }
+    panic!("job {id} never started running");
+}
+
+#[test]
+fn submit_wait_status_list_round_trip() {
+    let root = temp_root("basics");
+    let handle = Daemon::start(config(&root)).unwrap();
+    let socket = root.join("sock");
+
+    let pong = client::request(&socket, &Json::obj(vec![("cmd", "ping".into())])).unwrap();
+    assert_eq!(
+        pong.get("service").and_then(Json::as_str),
+        Some("rowfpga-serve")
+    );
+
+    let netlist = netlist_text(24);
+    let id = client::submit(&socket, &spec(&netlist)).unwrap();
+    let done = client::wait(&socket, &id, WAIT).unwrap();
+    assert_eq!(client::state_of(&done), Some("done"));
+    assert_eq!(
+        done.get("job")
+            .and_then(|j| j.get("stop_reason"))
+            .and_then(Json::as_str),
+        Some("converged")
+    );
+    assert_eq!(digest_of(&done), reference_digest("basics", &netlist, 1));
+
+    let listed = client::request(&socket, &Json::obj(vec![("cmd", "list".into())])).unwrap();
+    let rows = match listed.get("jobs") {
+        Some(Json::Arr(rows)) => rows,
+        other => panic!("jobs is not an array: {other:?}"),
+    };
+    assert!(rows
+        .iter()
+        .any(|r| r.get("id").and_then(Json::as_str) == Some(id.as_str())));
+
+    // Bad input is rejected at submit time, not on a worker.
+    let err = client::submit(&socket, &spec("definitely not a netlist")).unwrap_err();
+    assert!(err.to_string().contains("netlist"), "{err}");
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.submitted, 1);
+    assert_eq!(stats.completed, 1);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn full_queue_rejects_with_retry_after_and_cancel_works() {
+    let root = temp_root("backpressure");
+    let mut cfg = config(&root);
+    cfg.queue_capacity = 1;
+    let handle = Daemon::start(cfg).unwrap();
+    let socket = root.join("sock");
+
+    let long = netlist_text(140);
+    let quick = netlist_text(24);
+    let running = client::submit(&socket, &spec(&long)).unwrap();
+    poll_until_running(&socket, &running);
+    let queued = client::submit(&socket, &spec(&quick)).unwrap();
+
+    // The queue (capacity 1) is now full: explicit backpressure.
+    let err = client::submit(&socket, &spec(&quick)).unwrap_err();
+    let rowfpga_serve::ClientError::Remote {
+        retry_after_sec, ..
+    } = &err
+    else {
+        panic!("expected a remote rejection, got {err}");
+    };
+    assert!(retry_after_sec.is_some(), "rejection carries no retry hint");
+
+    // Canceling the queued job frees the slot immediately.
+    let resp = client::request(
+        &socket,
+        &Json::obj(vec![
+            ("cmd", "cancel".into()),
+            ("job", queued.as_str().into()),
+        ]),
+    )
+    .unwrap();
+    assert_eq!(resp.get("state").and_then(Json::as_str), Some("canceled"));
+    let third = client::submit(&socket, &spec(&quick)).unwrap();
+
+    // Canceling the running job stops it at a temperature boundary.
+    client::request(
+        &socket,
+        &Json::obj(vec![
+            ("cmd", "cancel".into()),
+            ("job", running.as_str().into()),
+        ]),
+    )
+    .unwrap();
+    let ended = client::wait(&socket, &running, WAIT).unwrap();
+    assert_eq!(client::state_of(&ended), Some("canceled"));
+    let ok = client::wait(&socket, &third, WAIT).unwrap();
+    assert_eq!(client::state_of(&ok), Some("done"));
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.rejected, 1);
+    assert_eq!(stats.canceled, 2);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn preemption_evicts_and_resumes_bit_identically() {
+    let root = temp_root("preempt");
+    let handle = Daemon::start(config(&root)).unwrap();
+    let socket = root.join("sock");
+
+    let long = netlist_text(140);
+    let quick = netlist_text(24);
+    let victim = client::submit(&socket, &spec(&long)).unwrap();
+    poll_until_running(&socket, &victim);
+    let urgent = client::submit(
+        &socket,
+        &JobSpec {
+            priority: 10,
+            ..spec(&quick)
+        },
+    )
+    .unwrap();
+
+    let urgent_done = client::wait(&socket, &urgent, WAIT).unwrap();
+    assert_eq!(client::state_of(&urgent_done), Some("done"));
+    let victim_done = client::wait(&socket, &victim, WAIT).unwrap();
+    assert_eq!(client::state_of(&victim_done), Some("done"));
+
+    let evictions = victim_done
+        .get("job")
+        .and_then(|j| j.get("evictions"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    assert!(evictions >= 1, "victim was never evicted");
+    // The determinism contract: preempted-and-resumed equals uninterrupted.
+    assert_eq!(
+        digest_of(&victim_done),
+        reference_digest("preempt-long", &long, 1)
+    );
+    assert_eq!(
+        digest_of(&urgent_done),
+        reference_digest("preempt-quick", &quick, 1)
+    );
+
+    let stats = handle.shutdown();
+    assert!(stats.evictions >= 1);
+    assert_eq!(stats.eviction_latency_sec.len() as u64, stats.evictions);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn drain_leaves_a_resumable_spool_and_the_restart_finishes_the_job() {
+    let root = temp_root("drain");
+    let handle = Daemon::start(config(&root)).unwrap();
+    let socket = root.join("sock");
+
+    let long = netlist_text(140);
+    let id = client::submit(&socket, &spec(&long)).unwrap();
+    poll_until_running(&socket, &id);
+    let spool = Spool::open(&root.join("spool")).unwrap();
+    // Wait for the first checkpoint so the drain has something to resume.
+    for _ in 0..24_000 {
+        if spool.has_checkpoint(&id) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    assert!(spool.has_checkpoint(&id), "no checkpoint before drain");
+    handle.shutdown();
+
+    // The drained job is durably Queued (not lost, not Running).
+    let report = spool.scan();
+    let rec = report.records.iter().find(|r| r.id == id).unwrap();
+    assert_eq!(rec.state, JobState::Queued);
+    assert!(rec.segments >= 1);
+
+    // A restart on the same spool re-queues and finishes it.
+    let handle = Daemon::start(config(&root)).unwrap();
+    let done = client::wait(&socket, &id, WAIT).unwrap();
+    assert_eq!(client::state_of(&done), Some("done"));
+    assert_eq!(digest_of(&done), reference_digest("drain-long", &long, 1));
+    let stats = handle.shutdown();
+    assert_eq!(stats.recovered, 1);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn deadline_expiry_degrades_to_best_so_far() {
+    let root = temp_root("deadline");
+    let handle = Daemon::start(config(&root)).unwrap();
+    let socket = root.join("sock");
+
+    let id = client::submit(
+        &socket,
+        &JobSpec {
+            deadline_sec: Some(0.05),
+            ..spec(&netlist_text(140))
+        },
+    )
+    .unwrap();
+    let done = client::wait(&socket, &id, WAIT).unwrap();
+    // Graceful degradation: the budget expiring is a completion, not a
+    // failure, and the result is the engine's best-so-far layout.
+    assert_eq!(client::state_of(&done), Some("done"));
+    assert_eq!(
+        done.get("job")
+            .and_then(|j| j.get("stop_reason"))
+            .and_then(Json::as_str),
+        Some("deadline")
+    );
+    assert!(!digest_of(&done).is_empty());
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn startup_quarantines_corrupt_spool_entries_instead_of_dying() {
+    let root = temp_root("quarantine");
+    let spool_dir = root.join("spool");
+    std::fs::create_dir_all(spool_dir.join("jobs").join("job-000001")).unwrap();
+    std::fs::write(
+        spool_dir.join("jobs").join("job-000001").join("job.json"),
+        "{\"format\":\"rowfpga-job\"",
+    )
+    .unwrap();
+
+    let handle = Daemon::start(config(&root)).unwrap();
+    let socket = root.join("sock");
+    // The daemon is alive and serving despite the damage.
+    let id = client::submit(&socket, &spec(&netlist_text(24))).unwrap();
+    let done = client::wait(&socket, &id, WAIT).unwrap();
+    assert_eq!(client::state_of(&done), Some("done"));
+
+    let stats = handle.shutdown();
+    assert_eq!(stats.quarantined, 1);
+    assert!(spool_dir.join("quarantine").read_dir().unwrap().count() == 1);
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -127,6 +127,43 @@ if want smoke; then
     || { echo "FAIL: two-replica layout not reproducible"; exit 1; }
   grep -q "routed: true" "$smoke_dir/par1.out" \
     || { echo "FAIL: two-replica layout left nets unrouted"; exit 1; }
+
+  echo "== serve smoke (daemon, deadline job, SIGTERM drain, resumable spool)"
+  cargo build --offline -q -p rowfpga-cli
+  serve_sock="$smoke_dir/serve.sock"
+  serve_spool="$smoke_dir/spool"
+  "$target_dir/debug/rowfpga" serve \
+    --socket "$serve_sock" --spool "$serve_spool" \
+    > "$smoke_dir/serve.out" &
+  serve_pid=$!
+  for _ in $(seq 1 100); do [ -S "$serve_sock" ] && break; sleep 0.1; done
+  [ -S "$serve_sock" ] || { echo "FAIL: daemon socket never appeared"; exit 1; }
+  # Graceful degradation over the wire: the 2 s budget expires mid-anneal
+  # and the job *completes* with its best-so-far layout.
+  "$target_dir/debug/rowfpga" submit "$smoke_dir/smoke.net" \
+    --socket "$serve_sock" --deadline 2 --wait --timeout 300 \
+    > "$smoke_dir/submit.out"
+  cat "$smoke_dir/submit.out"
+  grep -q "stop: deadline" "$smoke_dir/submit.out" \
+    || { echo "FAIL: service job did not degrade at its deadline"; exit 1; }
+  "$target_dir/debug/rowfpga" jobs --socket "$serve_sock" \
+    > "$smoke_dir/jobs.out"
+  grep -q "done" "$smoke_dir/jobs.out" \
+    || { echo "FAIL: jobs did not list the finished job"; exit 1; }
+  # Leave a second job in flight so the drain has work to checkpoint.
+  "$target_dir/debug/rowfpga" submit "$smoke_dir/smoke.net" \
+    --socket "$serve_sock" --seed 9 > /dev/null
+  sleep 1
+  kill -TERM "$serve_pid"
+  wait "$serve_pid" \
+    || { cat "$smoke_dir/serve.out"
+         echo "FAIL: SIGTERM drain exited non-zero"; exit 1; }
+  grep -q "drained:" "$smoke_dir/serve.out" \
+    || { echo "FAIL: daemon wrote no drain summary"; exit 1; }
+  # The drained spool is resumable: the interrupted job is durably queued
+  # (a daemon restart on this spool would pick it straight back up).
+  grep -q '"state":"queued"' "$serve_spool/jobs/job-000002/job.json" \
+    || { echo "FAIL: drained spool did not persist the in-flight job as queued"; exit 1; }
 fi
 
 if want bench; then
@@ -142,6 +179,11 @@ if want bench; then
   "$target_dir/release/e2e" --quick \
     --out "$smoke_dir/BENCH_e2e.json" \
     --check results/BENCH_e2e_quick.json
+  # The service load generator asserts internally that every job reaches
+  # `done` under queueing and preemption; there is no throughput gate
+  # because turnaround is dominated by the job mix, not the engine.
+  "$target_dir/release/serve" --quick \
+    --out "$smoke_dir/BENCH_service.json"
 fi
 
 if want fuzz; then
