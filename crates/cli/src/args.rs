@@ -288,6 +288,8 @@ pub enum Command {
         /// Rewrite `lint-budget.toml` with the observed (never higher)
         /// panic counts.
         fix_budget: bool,
+        /// Print the rationale for one lint family and exit.
+        explain: Option<String>,
         /// Workspace root to lint (default: current directory).
         root: Option<String>,
     },
@@ -381,7 +383,7 @@ USAGE:
   rowfpga cancel   --socket PATH JOB
   rowfpga tail     <journal.jsonl | unix:PATH> [--listen] [--no-follow]
   rowfpga analyze  <journal.jsonl> [--out DIR] [--quiet]
-  rowfpga lint     [--json] [--fix-budget] [--root DIR]
+  rowfpga lint     [--json] [--fix-budget] [--explain LINT] [--root DIR]
   rowfpga help
 
 PARALLELISM (simultaneous flow only):
@@ -451,13 +453,17 @@ FUZZING:
   Exit status is non-zero when any violation is found (or reproduced).
 
 LINTING:
-  rowfpga lint runs the workspace's domain lints (see DESIGN.md \u{a7}11):
-  allocation-freedom in `rowfpga-lint: hot-path` modules, HashMap/clock
-  bans in the deterministic solver crates, the per-crate panic budget
-  ratchet against lint-budget.toml, feature-gating of fault hooks, and
-  the unsafe audit. `--json` writes the CI artifact report to stdout;
-  `--fix-budget` re-records panic budgets (downward only). Exit status
-  is non-zero when any violation is found.
+  rowfpga lint runs the workspace's domain lints (see DESIGN.md \u{a7}11
+  and \u{a7}14): allocation-freedom in `rowfpga-lint: hot-path` modules,
+  HashMap/clock bans in the deterministic solver crates, the per-crate
+  panic budget ratchet against lint-budget.toml, feature-gating of
+  fault hooks, the unsafe audit, and the interprocedural analyses
+  (determinism taint, panic reachability, durability ordering, lock
+  discipline) over the workspace call graph. `--json` writes the CI
+  artifact report to stdout; `--fix-budget` re-records the panics /
+  taint / reachability budgets (downward only); `--explain LINT`
+  prints the rationale for one lint family (e.g. `--explain taint`)
+  and exits. Exit status is non-zero when any violation is found.
 ";
 
 fn parse_num<T: std::str::FromStr>(flag: &str, v: Option<&String>) -> Result<T, ArgError> {
@@ -880,12 +886,21 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
         "lint" => {
             let mut json = false;
             let mut fix_budget = false;
+            let mut explain = None;
             let mut root = None;
             let mut i = 0;
             while i < rest.len() {
                 match rest[i].as_str() {
                     "--json" => json = true,
                     "--fix-budget" => fix_budget = true,
+                    "--explain" => {
+                        explain = Some(
+                            rest.get(i + 1)
+                                .ok_or_else(|| ArgError::MissingValue("--explain".into()))?
+                                .clone(),
+                        );
+                        i += 1;
+                    }
                     "--root" => {
                         root = Some(
                             rest.get(i + 1)
@@ -901,6 +916,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, ArgError> {
             Ok(Command::Lint {
                 json,
                 fix_budget,
+                explain,
                 root,
             })
         }

@@ -47,6 +47,11 @@ pub enum CliError {
         /// How many violations were found.
         count: usize,
     },
+    /// `--explain` named a lint family the engine does not know.
+    UnknownLint {
+        /// The name the user typed.
+        lint: String,
+    },
     /// A service command failed (daemon rejection, protocol error, wait
     /// timeout, or a platform without unix sockets).
     Service(String),
@@ -73,6 +78,13 @@ impl fmt::Display for CliError {
             CliError::Lint(e) => write!(f, "lint error: {e}"),
             CliError::LintViolations { count } => {
                 write!(f, "lint found {count} violation(s)")
+            }
+            CliError::UnknownLint { lint } => {
+                write!(
+                    f,
+                    "unknown lint `{lint}` (try {})",
+                    rowfpga_lint::EXPLAINABLE.join(", ")
+                )
             }
             CliError::Service(e) => write!(f, "service error: {e}"),
         }
@@ -500,8 +512,18 @@ pub fn run_command_with_stop(
         Command::Lint {
             json,
             fix_budget,
+            explain,
             root,
         } => {
+            if let Some(lint) = explain {
+                return match rowfpga_lint::explain(lint) {
+                    Some(text) => {
+                        writeln!(out, "{lint}: {text}")?;
+                        Ok(())
+                    }
+                    None => Err(CliError::UnknownLint { lint: lint.clone() }),
+                };
+            }
             let root = std::path::PathBuf::from(root.as_deref().unwrap_or("."));
             let opts = rowfpga_lint::Options {
                 fix_budget: *fix_budget,

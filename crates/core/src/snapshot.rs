@@ -1,3 +1,4 @@
+// rowfpga-lint: durable
 //! Versioned, dependency-free checkpoints of a layout run.
 //!
 //! A checkpoint captures the full annealer state at a temperature boundary
@@ -512,29 +513,28 @@ fn pinmap_arr(values: &[Json], what: &str) -> Result<Vec<u16>, CheckpointError> 
         .collect()
 }
 
-fn layout_fields(sites: &[usize], pinmaps: &[u16], routes: &[NetRouteSnapshot]) -> Vec<Json> {
-    vec![
+/// Serializes one layout triple as `(sites, pinmaps, routes)` JSON arrays.
+fn layout_fields(
+    sites: &[usize],
+    pinmaps: &[u16],
+    routes: &[NetRouteSnapshot],
+) -> (Json, Json, Json) {
+    (
         Json::Arr(sites.iter().map(|&s| s.into()).collect()),
         Json::Arr(pinmaps.iter().map(|&p| u64::from(p).into()).collect()),
         Json::Arr(routes.iter().map(route_to_json).collect()),
-    ]
+    )
 }
 
 impl Checkpoint {
     /// Serializes the checkpoint as one JSON document.
     pub fn to_json(&self) -> Json {
         let p = &self.problem;
-        let mut layout = layout_fields(&p.sites, &p.pinmaps, &p.routes);
-        let routes = layout.pop().expect("three layout fields");
-        let pinmaps = layout.pop().expect("three layout fields");
-        let sites = layout.pop().expect("three layout fields");
+        let (sites, pinmaps, routes) = layout_fields(&p.sites, &p.pinmaps, &p.routes);
         let best = match &self.best {
             None => Json::Null,
             Some(b) => {
-                let mut fields = layout_fields(&b.sites, &b.pinmaps, &b.routes);
-                let routes = fields.pop().expect("three layout fields");
-                let pinmaps = fields.pop().expect("three layout fields");
-                let sites = fields.pop().expect("three layout fields");
+                let (sites, pinmaps, routes) = layout_fields(&b.sites, &b.pinmaps, &b.routes);
                 Json::obj(vec![
                     ("sites", sites),
                     ("pinmaps", pinmaps),

@@ -1,10 +1,18 @@
-//! The panic-discipline ratchet: `lint-budget.toml`.
+//! The discipline ratchets: `lint-budget.toml`.
 //!
-//! The budget records, per crate, how many panic sites (`.unwrap()`,
-//! `.expect(`, `panic!`, `unreachable!`) its non-test library code
-//! contains. The ratchet is strict in both directions:
+//! The budget records three per-crate counts:
 //!
-//! * a count **above** budget fails — new code must use typed errors;
+//! * `[panics]` — non-test panic sites (`.unwrap()`, `.expect(`,
+//!   `panic!`, `unreachable!`) in library code;
+//! * `[taint]` — transitive determinism leaks into solver/digest code
+//!   found by the call-graph taint analysis;
+//! * `[reachability]` — panic sites (including slice indexing) reachable
+//!   through any call path from hot-path / no-panic entry functions.
+//!
+//! Every table is strict in both directions:
+//!
+//! * a count **above** budget fails — new code must use typed errors (or
+//!   thread values in explicitly, or restore the call-path guarantee);
 //! * a count **below** budget also fails, telling you to run
 //!   `rowfpga lint --fix-budget` — so improvements get locked in and the
 //!   committed file never drifts from reality (a stale, slack budget
@@ -13,18 +21,36 @@
 //! `--fix-budget` only ever writes counts **at or below** the committed
 //! ones (or entries for new crates); it refuses to ratchet upward.
 //!
-//! The parser handles exactly the subset of TOML the file uses — one
-//! `[panics]` table of `name = integer` lines with `#` comments — so the
-//! lint engine stays dependency-free.
+//! The parser handles exactly the subset of TOML the file uses — named
+//! tables of `name = integer` lines with `#` comments — so the lint
+//! engine stays dependency-free.
 
 use std::collections::BTreeMap;
 use std::fmt;
 
-/// Parsed budget: crate name → permitted panic-site count.
+/// The three budget tables, in file order.
+const TABLES: &[&str] = &["panics", "taint", "reachability"];
+
+/// Parsed budget: per table, crate name → permitted count.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Budget {
-    /// Per-crate ceilings, sorted by crate name.
+    /// Per-crate panic-site ceilings.
     pub panics: BTreeMap<String, usize>,
+    /// Per-crate transitive determinism-leak ceilings.
+    pub taint: BTreeMap<String, usize>,
+    /// Per-crate reachable-panic-site ceilings.
+    pub reachability: BTreeMap<String, usize>,
+}
+
+/// Observed counts, mirroring the [`Budget`] tables.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Observed {
+    /// Non-test panic sites per crate.
+    pub panics: BTreeMap<String, usize>,
+    /// Transitive determinism leaks per sink crate.
+    pub taint: BTreeMap<String, usize>,
+    /// Reachable panic sites per entry crate.
+    pub reachability: BTreeMap<String, usize>,
 }
 
 /// Budget file problems.
@@ -39,6 +65,8 @@ pub enum BudgetError {
     },
     /// `--fix-budget` refused because a count rose.
     RatchetUp {
+        /// Table the increase is in.
+        table: String,
         /// Crate whose count increased.
         krate: String,
         /// Committed ceiling.
@@ -55,13 +83,14 @@ impl fmt::Display for BudgetError {
                 write!(f, "lint-budget.toml line {line}: cannot parse `{text}`")
             }
             BudgetError::RatchetUp {
+                table,
                 krate,
                 budget,
                 actual,
             } => write!(
                 f,
-                "refusing to ratchet upward: {krate} has {actual} panic sites, budget {budget}; \
-                 convert the new sites to typed errors instead"
+                "refusing to ratchet upward: [{table}] {krate} has {actual} sites, \
+                 budget {budget}; fix the regression instead"
             ),
         }
     }
@@ -70,6 +99,22 @@ impl fmt::Display for BudgetError {
 impl std::error::Error for BudgetError {}
 
 impl Budget {
+    fn table(&self, name: &str) -> &BTreeMap<String, usize> {
+        match name {
+            "taint" => &self.taint,
+            "reachability" => &self.reachability,
+            _ => &self.panics,
+        }
+    }
+
+    fn table_mut(&mut self, name: &str) -> &mut BTreeMap<String, usize> {
+        match name {
+            "taint" => &mut self.taint,
+            "reachability" => &mut self.reachability,
+            _ => &mut self.panics,
+        }
+    }
+
     /// Parses the budget file text.
     ///
     /// # Errors
@@ -77,14 +122,14 @@ impl Budget {
     /// Returns [`BudgetError::Malformed`] on any unrecognized line.
     pub fn parse(text: &str) -> Result<Budget, BudgetError> {
         let mut budget = Budget::default();
-        let mut in_panics = false;
+        let mut current: Option<&str> = None;
         for (idx, raw) in text.lines().enumerate() {
             let line = raw.split('#').next().unwrap_or("").trim();
             if line.is_empty() {
                 continue;
             }
             if let Some(name) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
-                in_panics = name.trim() == "panics";
+                current = TABLES.iter().copied().find(|t| *t == name.trim());
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
@@ -100,9 +145,9 @@ impl Budget {
                     line: idx + 1,
                     text: raw.to_string(),
                 })?;
-            if in_panics {
+            if let Some(table) = current {
                 budget
-                    .panics
+                    .table_mut(table)
                     .insert(key.trim().trim_matches('"').to_string(), count);
             }
         }
@@ -112,15 +157,22 @@ impl Budget {
     /// Renders the budget back to file text.
     pub fn render(&self) -> String {
         let mut out = String::from(
-            "# rowfpga-lint panic-discipline budget (see DESIGN.md \u{a7}11).\n\
+            "# rowfpga-lint discipline budgets (see DESIGN.md \u{a7}11 and \u{a7}14).\n\
              #\n\
-             # Non-test panic sites (.unwrap/.expect/panic!/unreachable!) per crate.\n\
+             # [panics]: non-test panic sites (.unwrap/.expect/panic!/unreachable!)\n\
+             # per crate. [taint]: transitive determinism leaks into solver/digest\n\
+             # code. [reachability]: panic sites (incl. slice indexing) reachable\n\
+             # from hot-path / no-panic entry functions, per entry crate.\n\
+             #\n\
              # Counts may only shrink: `rowfpga lint` fails when a crate exceeds its\n\
              # budget AND when it beats it (run `rowfpga lint --fix-budget` to lock\n\
-             # an improvement in). Never edit a number upward by hand.\n\n[panics]\n",
+             # an improvement in). Never edit a number upward by hand.\n",
         );
-        for (krate, count) in &self.panics {
-            out.push_str(&format!("{krate} = {count}\n"));
+        for table in TABLES {
+            out.push_str(&format!("\n[{table}]\n"));
+            for (krate, count) in self.table(table) {
+                out.push_str(&format!("{krate} = {count}\n"));
+            }
         }
         out
     }
@@ -128,33 +180,15 @@ impl Budget {
     /// Compares observed counts against the budget; returns one message
     /// per discrepancy (exceeded, improved-but-not-ratcheted, missing
     /// entry, stale entry).
-    pub fn check(&self, actual: &BTreeMap<String, usize>) -> Vec<String> {
+    pub fn check(&self, observed: &Observed) -> Vec<String> {
         let mut problems = Vec::new();
-        for (krate, &count) in actual {
-            match self.panics.get(krate) {
-                None if count > 0 => problems.push(format!(
-                    "{krate}: {count} panic sites but no budget entry; run \
-                     `rowfpga lint --fix-budget` to record the baseline"
-                )),
-                None => {}
-                Some(&ceiling) if count > ceiling => problems.push(format!(
-                    "{krate}: {count} panic sites exceed the budget of {ceiling}; \
-                     convert the new unwrap/expect/panic sites to typed errors"
-                )),
-                Some(&ceiling) if count < ceiling => problems.push(format!(
-                    "{krate}: {count} panic sites beat the budget of {ceiling}; \
-                     run `rowfpga lint --fix-budget` to ratchet the budget down"
-                )),
-                Some(_) => {}
-            }
-        }
-        for krate in self.panics.keys() {
-            if !actual.contains_key(krate) {
-                problems.push(format!(
-                    "{krate}: budget entry for a crate the workspace no longer has; \
-                     run `rowfpga lint --fix-budget` to drop it"
-                ));
-            }
+        for table in TABLES {
+            check_table(
+                table,
+                self.table(table),
+                observed.table(table),
+                &mut problems,
+            );
         }
         problems
     }
@@ -166,21 +200,77 @@ impl Budget {
     ///
     /// Returns [`BudgetError::RatchetUp`] if any crate's observed count
     /// exceeds its committed ceiling.
-    pub fn ratcheted(&self, actual: &BTreeMap<String, usize>) -> Result<Budget, BudgetError> {
+    pub fn ratcheted(&self, observed: &Observed) -> Result<Budget, BudgetError> {
         let mut next = Budget::default();
-        for (krate, &count) in actual {
-            if let Some(&ceiling) = self.panics.get(krate) {
-                if count > ceiling {
-                    return Err(BudgetError::RatchetUp {
-                        krate: krate.clone(),
-                        budget: ceiling,
-                        actual: count,
-                    });
+        for table in TABLES {
+            for (krate, &count) in observed.table(table) {
+                if let Some(&ceiling) = self.table(table).get(krate) {
+                    if count > ceiling {
+                        return Err(BudgetError::RatchetUp {
+                            table: table.to_string(),
+                            krate: krate.clone(),
+                            budget: ceiling,
+                            actual: count,
+                        });
+                    }
                 }
+                next.table_mut(table).insert(krate.clone(), count);
             }
-            next.panics.insert(krate.clone(), count);
         }
         Ok(next)
+    }
+}
+
+impl Observed {
+    fn table(&self, name: &str) -> &BTreeMap<String, usize> {
+        match name {
+            "taint" => &self.taint,
+            "reachability" => &self.reachability,
+            _ => &self.panics,
+        }
+    }
+}
+
+/// The fix hint per table, used in check messages.
+fn fix_hint(table: &str) -> &'static str {
+    match table {
+        "taint" => "thread the value in explicitly or add a reasoned allow(taint)",
+        "reachability" => "convert the reachable panic sites to typed errors or let-else",
+        _ => "convert the new unwrap/expect/panic sites to typed errors",
+    }
+}
+
+fn check_table(
+    table: &str,
+    budget: &BTreeMap<String, usize>,
+    actual: &BTreeMap<String, usize>,
+    problems: &mut Vec<String>,
+) {
+    for (krate, &count) in actual {
+        match budget.get(krate) {
+            None if count > 0 => problems.push(format!(
+                "[{table}] {krate}: {count} sites but no budget entry; run \
+                 `rowfpga lint --fix-budget` to record the baseline"
+            )),
+            None => {}
+            Some(&ceiling) if count > ceiling => problems.push(format!(
+                "[{table}] {krate}: {count} sites exceed the budget of {ceiling}; {}",
+                fix_hint(table)
+            )),
+            Some(&ceiling) if count < ceiling => problems.push(format!(
+                "[{table}] {krate}: {count} sites beat the budget of {ceiling}; \
+                 run `rowfpga lint --fix-budget` to ratchet the budget down"
+            )),
+            Some(_) => {}
+        }
+    }
+    for krate in budget.keys() {
+        if !actual.contains_key(krate) {
+            problems.push(format!(
+                "[{table}] {krate}: budget entry for a crate the workspace no longer \
+                 has; run `rowfpga lint --fix-budget` to drop it"
+            ));
+        }
     }
 }
 
@@ -192,13 +282,29 @@ mod tests {
         pairs.iter().map(|(k, v)| (k.to_string(), *v)).collect()
     }
 
+    fn observed(panics: &[(&str, usize)]) -> Observed {
+        Observed {
+            panics: counts(panics),
+            ..Observed::default()
+        }
+    }
+
     #[test]
-    fn round_trips() {
+    fn round_trips_all_three_tables() {
         let b = Budget {
             panics: counts(&[("rowfpga-route", 3), ("rowfpga-core", 10)]),
+            taint: counts(&[("rowfpga-core", 0)]),
+            reachability: counts(&[("rowfpga-route", 41)]),
         };
         let parsed = Budget::parse(&b.render()).unwrap();
         assert_eq!(parsed, b);
+    }
+
+    #[test]
+    fn parses_the_legacy_single_table_file() {
+        let b = Budget::parse("[panics]\nrowfpga-route = 3\n").unwrap();
+        assert_eq!(b.panics, counts(&[("rowfpga-route", 3)]));
+        assert!(b.taint.is_empty() && b.reachability.is_empty());
     }
 
     #[test]
@@ -211,34 +317,70 @@ mod tests {
     fn exceeding_and_beating_both_fail() {
         let b = Budget {
             panics: counts(&[("a", 5)]),
+            ..Budget::default()
         };
-        assert_eq!(b.check(&counts(&[("a", 5)])), Vec::<String>::new());
-        assert_eq!(b.check(&counts(&[("a", 6)])).len(), 1);
-        assert_eq!(b.check(&counts(&[("a", 4)])).len(), 1);
+        assert_eq!(b.check(&observed(&[("a", 5)])), Vec::<String>::new());
+        assert_eq!(b.check(&observed(&[("a", 6)])).len(), 1);
+        assert_eq!(b.check(&observed(&[("a", 4)])).len(), 1);
+    }
+
+    #[test]
+    fn tables_are_checked_independently() {
+        let b = Budget {
+            panics: counts(&[("a", 5)]),
+            taint: counts(&[("a", 0)]),
+            reachability: counts(&[("a", 7)]),
+        };
+        let ob = Observed {
+            panics: counts(&[("a", 5)]),
+            taint: counts(&[("a", 1)]),
+            reachability: counts(&[("a", 7)]),
+        };
+        let problems = b.check(&ob);
+        assert_eq!(problems.len(), 1, "{problems:?}");
+        assert!(problems[0].starts_with("[taint] a: 1 sites exceed"));
     }
 
     #[test]
     fn missing_and_stale_entries_reported() {
         let b = Budget {
             panics: counts(&[("gone", 2)]),
+            ..Budget::default()
         };
-        let problems = b.check(&counts(&[("new", 1)]));
+        let problems = b.check(&observed(&[("new", 1)]));
         assert_eq!(problems.len(), 2);
         // A new crate with zero sites needs no entry.
         let b2 = Budget::default();
-        assert!(b2.check(&counts(&[("clean", 0)])).is_empty());
+        assert!(b2.check(&observed(&[("clean", 0)])).is_empty());
     }
 
     #[test]
     fn ratchet_shrinks_but_never_grows() {
         let b = Budget {
             panics: counts(&[("a", 5), ("gone", 1)]),
+            ..Budget::default()
         };
-        let next = b.ratcheted(&counts(&[("a", 3), ("fresh", 7)])).unwrap();
+        let next = b.ratcheted(&observed(&[("a", 3), ("fresh", 7)])).unwrap();
         assert_eq!(next.panics, counts(&[("a", 3), ("fresh", 7)]));
         assert!(matches!(
-            b.ratcheted(&counts(&[("a", 6)])),
+            b.ratcheted(&observed(&[("a", 6)])),
             Err(BudgetError::RatchetUp { .. })
         ));
+    }
+
+    #[test]
+    fn ratchet_up_in_any_table_is_refused() {
+        let b = Budget {
+            reachability: counts(&[("a", 3)]),
+            ..Budget::default()
+        };
+        let ob = Observed {
+            reachability: counts(&[("a", 4)]),
+            ..Observed::default()
+        };
+        match b.ratcheted(&ob) {
+            Err(BudgetError::RatchetUp { table, .. }) => assert_eq!(table, "reachability"),
+            other => panic!("expected RatchetUp, got {other:?}"),
+        }
     }
 }

@@ -51,6 +51,13 @@ pub enum Directive {
     /// `// rowfpga-lint: hot-path` — opts the whole file into the
     /// hot-path allocation lint.
     HotPath,
+    /// `// rowfpga-lint: no-panic` — every non-test function in the file
+    /// becomes a panic-reachability entry point (like hot-path files, but
+    /// without the allocation lint — the daemon's scheduler loop uses it).
+    NoPanic,
+    /// `// rowfpga-lint: durable` — opts the whole file into the
+    /// durability-ordering typestate check (write-temp → fsync → rename).
+    Durable,
     /// `// rowfpga-lint: allow(<lint>) reason=<text>` — suppresses the
     /// named lint on this line and the next.
     Allow {
@@ -92,6 +99,8 @@ impl fmt::Display for Directive {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Directive::HotPath => write!(f, "hot-path"),
+            Directive::NoPanic => write!(f, "no-panic"),
+            Directive::Durable => write!(f, "durable"),
             Directive::Allow { lint, .. } => write!(f, "allow({lint})"),
             Directive::BeginAllow { lint, .. } => write!(f, "begin-allow({lint})"),
             Directive::EndAllow { lint } => write!(f, "end-allow({lint})"),
@@ -422,14 +431,28 @@ fn scan_comment(text: &str, line: u32, out: &mut Lexed) {
     });
 }
 
-/// The lint names that may appear in allow directives. `panic` is
-/// deliberately absent: panic sites are governed by the budget ratchet,
-/// never by inline allows.
-const ALLOWABLE: &[&str] = &["hot-path", "determinism", "cfg-hygiene", "unsafe"];
+/// The lint names that may appear in allow directives. `panic` and
+/// `reachability` are deliberately absent: panic sites are governed by
+/// the budget ratchet, never by inline allows.
+const ALLOWABLE: &[&str] = &[
+    "hot-path",
+    "determinism",
+    "cfg-hygiene",
+    "unsafe",
+    "taint",
+    "durability",
+    "locks",
+];
 
 fn parse_directive(rest: &str) -> Directive {
     if rest == "hot-path" {
         return Directive::HotPath;
+    }
+    if rest == "no-panic" {
+        return Directive::NoPanic;
+    }
+    if rest == "durable" {
+        return Directive::Durable;
     }
     for (verb, wants_reason) in [
         ("allow", true),

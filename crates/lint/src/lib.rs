@@ -14,32 +14,50 @@
 //! * fault-injection hooks stay feature-gated;
 //! * `unsafe` stays forbidden (and audited where fixtures use it).
 //!
+//! On top of the per-file token lints sits a workspace-level analyzer: a
+//! hand-rolled item parser ([`items`]) feeds a cross-crate call graph
+//! ([`callgraph`]), over which four interprocedural passes run —
+//! determinism taint and panic reachability ([`taint`]), durability
+//! ordering ([`typestate`]), and lock discipline ([`locks`]). Taint and
+//! reachability gate through the two-way budget ratchet; durability and
+//! locks report directly.
+//!
 //! Like the rand/proptest/criterion shims, the engine is dependency-free
 //! and offline-safe: its own lexer ([`lexer`]), no `syn`, no registry.
-//! Run it as `rowfpga lint`; see DESIGN.md §11 for the lint catalogue and
-//! the marker/allow-list grammar.
+//! Run it as `rowfpga lint`; see DESIGN.md §11 and §14 for the lint
+//! catalogue and the marker/allow-list grammar.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod budget;
+pub mod callgraph;
+pub mod items;
 pub mod lexer;
 pub mod lints;
+pub mod locks;
 pub mod model;
 pub mod regions;
 pub mod report;
+pub mod taint;
+pub mod typestate;
 
 use std::fmt;
 use std::fs;
 use std::path::Path;
 
-use budget::{Budget, BudgetError};
-use lints::{analyze_source, FileRules};
+use budget::{Budget, BudgetError, Observed};
+use callgraph::FileFns;
+use items::ParsedFile;
+use lexer::Lexed;
+use lints::{analyze_lexed, Allows, FileRules};
 use model::WalkError;
+use regions::{gated_mask, Gate};
 use report::{LintReport, Violation};
 
 /// Crates whose code must never construct or iterate hash collections:
 /// everything that runs inside (or feeds state to) the anneal loop.
+/// These same crates are the *sink domain* of the taint analysis.
 const DETERMINISTIC_CRATES: &[&str] = &[
     "rowfpga-anneal",
     "rowfpga-core",
@@ -67,12 +85,37 @@ const WALL_CLOCK_CRATES: &[&str] = &[
     "rowfpga-serve",
 ];
 
+/// How many detailed chain violations to surface per over-budget crate
+/// (the count tables carry the full totals).
+const DETAIL_LIMIT: usize = 3;
+
 /// Engine options.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Options {
     /// Rewrite `lint-budget.toml` with the observed (never higher)
     /// counts instead of failing on improvements.
     pub fix_budget: bool,
+}
+
+/// One source file with everything the interprocedural passes need.
+#[derive(Debug)]
+pub struct Unit {
+    /// Owning crate package name.
+    pub krate: String,
+    /// Workspace-relative path label.
+    pub label: String,
+    /// File contents.
+    pub src: String,
+    /// Token stream.
+    pub lx: Lexed,
+    /// Per-token `#[cfg(test)]` mask.
+    pub test_mask: Vec<bool>,
+    /// Allow directives, shared with the interprocedural passes.
+    pub allows: Allows,
+    /// Panic-reachability entry file (`hot-path` or `no-panic` marker).
+    pub entry: bool,
+    /// Durability typestate opt-in (`durable` marker).
+    pub durable: bool,
 }
 
 /// Fatal engine failures (I/O and upward ratchets). Lint *findings* are
@@ -126,6 +169,90 @@ pub fn rules_for(crate_name: &str) -> FileRules {
     }
 }
 
+/// Every lint family `explain` can describe, for `--explain` help text.
+pub const EXPLAINABLE: &[&str] = &[
+    "hot-path",
+    "determinism",
+    "taint",
+    "reachability",
+    "durability",
+    "locks",
+    "panic-budget",
+    "cfg-hygiene",
+    "unsafe",
+];
+
+/// One-paragraph explanations for `rowfpga lint --explain <LINT>`.
+/// Returns `None` for unknown lint names.
+pub fn explain(lint: &str) -> Option<&'static str> {
+    Some(match lint {
+        "hot-path" => {
+            "Modules marked `// rowfpga-lint: hot-path` must not allocate in steady \
+             state (Vec::new, vec![, .clone(), .collect(), .to_vec(), Box::new, \
+             format!, String::from). The PR 3 move-cascade speedup exists because the \
+             inner loop reuses scratch buffers; one stray .clone() erases it. \
+             Constructors opt out with begin-allow(hot-path)/end-allow regions."
+        }
+        "determinism" => {
+            "Solver crates (anneal/core/netlist/place/route/timing) may not construct \
+             or iterate HashMap/HashSet (run-varying order breaks bit-identical \
+             K-replica annealing) nor read wall clocks or OS entropy (Instant::now, \
+             SystemTime, thread_rng). Thread time and randomness in from the caller."
+        }
+        "taint" => {
+            "The interprocedural form of `determinism`: a wall-clock read, entropy \
+             source, or hash-order iteration anywhere in the workspace taints every \
+             function that can reach it through the call graph. A finding fires at \
+             the boundary — the solver/digest function whose call edge crosses into \
+             tainted territory — with the full chain to the source. Counts gate via \
+             the [taint] table in lint-budget.toml; bless deliberate sites with \
+             `allow(taint) reason=…` at the call, or `allow(determinism)` at the \
+             source if the source itself is benign."
+        }
+        "reachability" => {
+            "Functions in `hot-path` and `no-panic` files are entry points; every \
+             panic site (.unwrap/.expect/panic!/unreachable!/slice indexing) \
+             reachable from them through any call path is counted per entry crate \
+             against the [reachability] table in lint-budget.toml. There is no inline \
+             allow — like the panic budget, the only path is the two-way ratchet: \
+             counts may never rise, and improvements must be locked in with \
+             --fix-budget."
+        }
+        "durability" => {
+            "Files marked `// rowfpga-lint: durable` (the snapshot store, the job \
+             spool) must follow write-temp → fsync → rename: a rename that publishes \
+             an unsynced write can leave a torn file under the durable name after a \
+             crash. Calls to transitively-fsyncing helpers (write_atomic) count as \
+             sync events; pure renames (promote, quarantine) never trigger. fs::write \
+             is flagged outright — it has no handle to sync."
+        }
+        "locks" => {
+            "Lock acquisitions must form a consistent global order (a cycle in the \
+             acquired-while-holding graph is a deadlock waiting for the right \
+             interleaving), and no lock may be held across a blocking call — fsync, \
+             socket I/O, thread join, sleep, barrier wait — directly or through any \
+             callee. Condvar::wait(guard) is exempt (it releases the lock). \
+             Deliberate hold-across-fsync sites carry `allow(locks) reason=…`."
+        }
+        "panic-budget" => {
+            "Non-test panic sites per crate are counted against the [panics] table in \
+             lint-budget.toml. The ratchet is two-way: exceeding the budget fails, \
+             and beating it also fails until `rowfpga lint --fix-budget` locks the \
+             improvement in — the committed file never drifts from reality."
+        }
+        "cfg-hygiene" => {
+            "Fault-injection hooks (FaultPlan, InjectedFault, inject_fault, fault_*) \
+             must sit inside #[cfg(feature = \"fault-inject\")] so production builds \
+             cannot reach injection code."
+        }
+        "unsafe" => {
+            "Every `unsafe` token needs an adjacent `// SAFETY:` comment, and every \
+             lib crate must keep #![forbid(unsafe_code)]."
+        }
+        _ => return None,
+    })
+}
+
 /// Lints the whole workspace under `root`.
 ///
 /// # Errors
@@ -140,6 +267,10 @@ pub fn run_repo(root: &Path, opts: Options) -> Result<LintReport, EngineError> {
         ..LintReport::default()
     };
 
+    // Pass 1: per-file token lints, while accumulating the parsed units
+    // the interprocedural passes run over.
+    let mut units: Vec<Unit> = Vec::new();
+    let mut parsed: Vec<ParsedFile> = Vec::new();
     for krate in &ws.crates {
         let rules = rules_for(&krate.name);
         let mut crate_panics = 0usize;
@@ -150,7 +281,8 @@ pub fn run_repo(root: &Path, opts: Options) -> Result<LintReport, EngineError> {
                 source,
             })?;
             let label = rel.to_string_lossy().replace('\\', "/");
-            let analysis = analyze_source(&label, &src, rules);
+            let lx = lexer::lex(&src);
+            let analysis = analyze_lexed(&label, &src, &lx, rules);
             report.files += 1;
             if analysis.hot_path {
                 report.hot_path_files += 1;
@@ -165,14 +297,58 @@ pub fn run_repo(root: &Path, opts: Options) -> Result<LintReport, EngineError> {
                         "crate {} has dropped `#![forbid(unsafe_code)]` from its lib.rs",
                         krate.name
                     ),
+                    chain: Vec::new(),
                 });
             }
             report.violations.extend(analysis.violations);
+
+            let in_src = label.rsplit_once("src/").map_or(label.as_str(), |(_, t)| t);
+            let mods = items::file_module_path(in_src);
+            let test_mask = gated_mask(&src, &lx, Gate::Test);
+            parsed.push(items::parse_file(&src, &lx, &mods));
+            units.push(Unit {
+                krate: krate.name.clone(),
+                label,
+                src,
+                lx,
+                test_mask,
+                allows: analysis.allows,
+                entry: analysis.hot_path || analysis.no_panic,
+                durable: analysis.durable,
+            });
         }
         report.panic_counts.insert(krate.name.clone(), crate_panics);
     }
 
-    // The panic ratchet: compare against (or rewrite) lint-budget.toml.
+    // Pass 2: the call graph and the four interprocedural analyses.
+    let ffns: Vec<FileFns<'_>> = units
+        .iter()
+        .zip(&parsed)
+        .enumerate()
+        .map(|(i, (u, p))| FileFns {
+            file: i,
+            label: &u.label,
+            krate: &u.krate,
+            parsed: p,
+            test_mask: &u.test_mask,
+        })
+        .collect();
+    let graph = callgraph::build(&ffns);
+
+    let taint_result = taint::taint(&graph, &units, DETERMINISTIC_CRATES);
+    report.taint_counts = taint_result.counts.clone();
+    report.reach_counts = taint::reachability_counts(&graph, &units);
+    report.violations.extend(typestate::check(&graph, &units));
+    report.violations.extend(locks::check(&graph, &units));
+
+    // Pass 3: the budget ratchet — compare against (or rewrite)
+    // lint-budget.toml, then surface chain details for over-budget
+    // taint/reachability crates.
+    let observed = Observed {
+        panics: report.panic_counts.clone(),
+        taint: report.taint_counts.clone(),
+        reachability: report.reach_counts.clone(),
+    };
     let budget_path = root.join("lint-budget.toml");
     let committed = match fs::read_to_string(&budget_path) {
         Ok(text) => Some(Budget::parse(&text)?),
@@ -186,33 +362,76 @@ pub fn run_repo(root: &Path, opts: Options) -> Result<LintReport, EngineError> {
         }
     };
     if opts.fix_budget {
-        let next = committed
-            .unwrap_or_default()
-            .ratcheted(&report.panic_counts)?;
+        let next = committed.unwrap_or_default().ratcheted(&observed)?;
         fs::write(&budget_path, next.render()).map_err(|source| WalkError {
             path: budget_path.clone(),
             source,
         })?;
-    } else {
-        match committed {
-            None => report.violations.push(Violation {
-                lint: "panic-budget".to_string(),
-                file: "lint-budget.toml".to_string(),
-                line: 0,
-                message: "missing lint-budget.toml; run `rowfpga lint --fix-budget` to create it"
-                    .to_string(),
-            }),
-            Some(budget) => {
-                for problem in budget.check(&report.panic_counts) {
-                    report.violations.push(Violation {
-                        lint: "panic-budget".to_string(),
-                        file: "lint-budget.toml".to_string(),
-                        line: 0,
-                        message: problem,
-                    });
-                }
+        report.sort();
+        return Ok(report);
+    }
+    match &committed {
+        None => report.violations.push(Violation {
+            lint: "panic-budget".to_string(),
+            file: "lint-budget.toml".to_string(),
+            line: 0,
+            message: "missing lint-budget.toml; run `rowfpga lint --fix-budget` to create it"
+                .to_string(),
+            chain: Vec::new(),
+        }),
+        Some(b) => {
+            for problem in b.check(&observed) {
+                let (lint, strip) = if problem.starts_with("[taint] ") {
+                    ("taint-budget", "[taint] ")
+                } else if problem.starts_with("[reachability] ") {
+                    ("reachability-budget", "[reachability] ")
+                } else {
+                    ("panic-budget", "[panics] ")
+                };
+                let message = problem
+                    .strip_prefix(strip)
+                    .map_or(problem.as_str(), |m| m)
+                    .to_string();
+                report.violations.push(Violation {
+                    lint: lint.to_string(),
+                    file: "lint-budget.toml".to_string(),
+                    line: 0,
+                    message,
+                    chain: Vec::new(),
+                });
             }
         }
     }
+    // Chain details for crates over (or missing from) their taint /
+    // reachability ceilings, so the JSON and terminal output show *why*.
+    let ceiling = |table: &dyn Fn(&Budget) -> &std::collections::BTreeMap<String, usize>,
+                   krate: &str| {
+        committed
+            .as_ref()
+            .and_then(|b| table(b).get(krate).copied())
+    };
+    for (krate, &count) in &report.taint_counts {
+        if count > ceiling(&|b: &Budget| &b.taint, krate).unwrap_or(0) {
+            report.violations.extend(
+                taint_result
+                    .findings
+                    .iter()
+                    .filter(|f| &f.krate == krate)
+                    .take(DETAIL_LIMIT)
+                    .map(|f| f.violation.clone()),
+            );
+        }
+    }
+    for (krate, &count) in &report.reach_counts {
+        if count > ceiling(&|b: &Budget| &b.reachability, krate).unwrap_or(0) {
+            report.violations.extend(taint::reachability_details(
+                &graph,
+                &units,
+                krate,
+                DETAIL_LIMIT,
+            ));
+        }
+    }
+    report.sort();
     Ok(report)
 }

@@ -52,10 +52,18 @@ pub struct FileAnalysis {
     pub has_forbid_unsafe: bool,
     /// Whether the file opted into the hot-path lint.
     pub hot_path: bool,
+    /// Whether the file is a panic-reachability entry (`no-panic` marker).
+    pub no_panic: bool,
+    /// Whether the file opted into the durability typestate check.
+    pub durable: bool,
+    /// The allow table, kept for the interprocedural passes (taint,
+    /// durability, locks honor the same directives).
+    pub allows: Allows,
 }
 
 /// Per-file allow state assembled from the comment directives.
-struct Allows {
+#[derive(Clone, Debug, Default)]
+pub struct Allows {
     /// (lint, line) pairs from single-line `allow` directives; each
     /// covers its own line and the next.
     lines: Vec<(String, u32)>,
@@ -66,7 +74,8 @@ struct Allows {
 }
 
 impl Allows {
-    fn permits(&self, lint: &str, line: u32) -> bool {
+    /// Whether an allow directive suppresses `lint` at `line`.
+    pub fn permits(&self, lint: &str, line: u32) -> bool {
         self.whole_file.iter().any(|l| l == lint)
             || self
                 .lines
@@ -81,22 +90,36 @@ impl Allows {
 
 /// Runs every applicable lint over one source file.
 pub fn analyze_source(file: &str, src: &str, rules: FileRules) -> FileAnalysis {
-    let lx = lex(src);
-    let test_mask = gated_mask(src, &lx, Gate::Test);
+    analyze_lexed(file, src, &lex(src), rules)
+}
+
+/// [`analyze_source`] over an already-lexed file, so the engine can
+/// share one token stream between the per-file lints and the
+/// interprocedural passes.
+pub fn analyze_lexed(file: &str, src: &str, lx: &Lexed, rules: FileRules) -> FileAnalysis {
+    let test_mask = gated_mask(src, lx, Gate::Test);
     let gate_mask = if rules.cfg_hygiene {
-        gated_mask(src, &lx, Gate::FaultInject)
+        gated_mask(src, lx, Gate::FaultInject)
     } else {
         Vec::new()
     };
     let mut out = FileAnalysis {
-        has_forbid_unsafe: has_forbid_unsafe(src, &lx),
+        has_forbid_unsafe: has_forbid_unsafe(src, lx),
         ..FileAnalysis::default()
     };
-    let allows = collect_allows(file, &lx, &mut out);
+    let allows = collect_allows(file, lx, &mut out);
     out.hot_path = lx
         .directives
         .iter()
         .any(|d| matches!(d.directive, Directive::HotPath));
+    out.no_panic = lx
+        .directives
+        .iter()
+        .any(|d| matches!(d.directive, Directive::NoPanic));
+    out.durable = lx
+        .directives
+        .iter()
+        .any(|d| matches!(d.directive, Directive::Durable));
 
     let push = |violations: &mut Vec<Violation>, lint: &str, line: u32, message: String| {
         if !allows.permits(lint, line) {
@@ -105,6 +128,7 @@ pub fn analyze_source(file: &str, src: &str, rules: FileRules) -> FileAnalysis {
                 file: file.to_string(),
                 line,
                 message,
+                chain: Vec::new(),
             });
         }
     };
@@ -117,7 +141,7 @@ pub fn analyze_source(file: &str, src: &str, rules: FileRules) -> FileAnalysis {
         let line = lx.tokens[i].line;
 
         if out.hot_path {
-            if let Some(what) = hot_path_pattern(src, &lx, i) {
+            if let Some(what) = hot_path_pattern(src, lx, i) {
                 push(
                     &mut violations,
                     "hot-path",
@@ -146,7 +170,7 @@ pub fn analyze_source(file: &str, src: &str, rules: FileRules) -> FileAnalysis {
         }
 
         if rules.determinism_time {
-            if let Some(what) = time_pattern(src, &lx, i) {
+            if let Some(what) = time_pattern(src, lx, i) {
                 push(
                     &mut violations,
                     "determinism",
@@ -159,12 +183,12 @@ pub fn analyze_source(file: &str, src: &str, rules: FileRules) -> FileAnalysis {
             }
         }
 
-        if rules.count_panics && panic_pattern(src, &lx, i).is_some() {
+        if rules.count_panics && panic_pattern(src, lx, i).is_some() {
             out.panic_sites += 1;
         }
 
         if rules.cfg_hygiene && !gate_mask[i] {
-            if let Some(what) = injection_hook(src, &lx, i) {
+            if let Some(what) = injection_hook(src, lx, i) {
                 push(
                     &mut violations,
                     "cfg-hygiene",
@@ -196,21 +220,18 @@ pub fn analyze_source(file: &str, src: &str, rules: FileRules) -> FileAnalysis {
         }
     }
     out.violations.extend(violations);
+    out.allows = allows;
     out
 }
 
 /// Builds the allow table, reporting malformed directives and unbalanced
 /// begin/end pairs as violations in their own right.
 fn collect_allows(file: &str, lx: &Lexed, out: &mut FileAnalysis) -> Allows {
-    let mut allows = Allows {
-        lines: Vec::new(),
-        ranges: Vec::new(),
-        whole_file: Vec::new(),
-    };
+    let mut allows = Allows::default();
     let mut open: Vec<(String, u32)> = Vec::new();
     for d in &lx.directives {
         match &d.directive {
-            Directive::HotPath => {}
+            Directive::HotPath | Directive::NoPanic | Directive::Durable => {}
             Directive::Allow { lint, .. } => allows.lines.push((lint.clone(), d.line)),
             Directive::AllowFile { lint, .. } => allows.whole_file.push(lint.clone()),
             Directive::BeginAllow { lint, .. } => open.push((lint.clone(), d.line)),
@@ -224,6 +245,7 @@ fn collect_allows(file: &str, lx: &Lexed, out: &mut FileAnalysis) -> Allows {
                     file: file.to_string(),
                     line: d.line,
                     message: format!("`end-allow({lint})` without a matching begin-allow"),
+                    chain: Vec::new(),
                 }),
             },
             Directive::Malformed { detail } => out.violations.push(Violation {
@@ -231,6 +253,7 @@ fn collect_allows(file: &str, lx: &Lexed, out: &mut FileAnalysis) -> Allows {
                 file: file.to_string(),
                 line: d.line,
                 message: format!("malformed rowfpga-lint directive: {detail}"),
+                chain: Vec::new(),
             }),
         }
     }
@@ -240,16 +263,17 @@ fn collect_allows(file: &str, lx: &Lexed, out: &mut FileAnalysis) -> Allows {
             file: file.to_string(),
             line,
             message: format!("`begin-allow({lint})` is never closed by end-allow"),
+            chain: Vec::new(),
         });
     }
     allows
 }
 
-fn tok<'a>(src: &'a str, lx: &Lexed, i: usize) -> Option<(&'a str, TokenKind)> {
+pub(crate) fn tok<'a>(src: &'a str, lx: &Lexed, i: usize) -> Option<(&'a str, TokenKind)> {
     lx.tokens.get(i).map(|t| (lx.text(src, i), t.kind))
 }
 
-fn seq(src: &str, lx: &Lexed, i: usize, want: &[&str]) -> bool {
+pub(crate) fn seq(src: &str, lx: &Lexed, i: usize, want: &[&str]) -> bool {
     want.iter()
         .enumerate()
         .all(|(k, w)| matches!(tok(src, lx, i + k), Some((t, _)) if t == *w))

@@ -1,0 +1,136 @@
+//! Durability ordering: a typestate walk over file-handle call
+//! sequences in `// rowfpga-lint: durable` files.
+//!
+//! The crash-safety contract for the snapshot store and the job spool is
+//! write-temp → fsync → rename: a rename publishes the file under its
+//! final name, and if the data was not flushed first a crash can leave a
+//! torn file *with the durable name* — the exact corruption the
+//! temp-file dance exists to prevent. The walk is per function, in token
+//! order, with interprocedural credit: a call to a function that
+//! (transitively) fsyncs counts as a sync event, so helpers like
+//! `write_atomic` satisfy callers. Pure renames (promote, quarantine)
+//! never trigger — only a rename with an unsynced write before it.
+//!
+//! `fs::write` is flagged unconditionally in durable files: it has no
+//! handle to fsync, so it cannot participate in the contract.
+
+use crate::callgraph::{reach_reverse, Graph};
+use crate::lints::seq;
+use crate::report::Violation;
+use crate::Unit;
+
+/// Whether token `i` starts a sync call (`.sync_all(` / `.sync_data(`).
+fn sync_at(src: &str, unit: &Unit, i: usize) -> bool {
+    seq(src, &unit.lx, i, &[".", "sync_all", "("])
+        || seq(src, &unit.lx, i, &[".", "sync_data", "("])
+}
+
+/// Whether a function body contains a direct sync call.
+fn directly_syncs(g: &Graph, units: &[Unit], fi: usize) -> bool {
+    let info = &g.fns[fi];
+    let unit = &units[info.file];
+    let hi = info.def.body.1.min(unit.lx.tokens.len().saturating_sub(1));
+    (info.def.body.0..=hi).any(|i| !unit.test_mask[i] && sync_at(&unit.src, unit, i))
+}
+
+/// Per-function flag: does this function sync, directly or through any
+/// call path?
+pub fn sync_summaries(g: &Graph, units: &[Unit]) -> Vec<bool> {
+    let seeds: Vec<usize> = (0..g.fns.len())
+        .filter(|&fi| directly_syncs(g, units, fi))
+        .collect();
+    let next = reach_reverse(g, &seeds);
+    (0..g.fns.len())
+        .map(|fi| seeds.contains(&fi) || next[fi].is_some())
+        .collect()
+}
+
+/// Runs the durability typestate check over every durable-marked file.
+pub fn check(g: &Graph, units: &[Unit]) -> Vec<Violation> {
+    if !units.iter().any(|u| u.durable) {
+        return Vec::new();
+    }
+    let syncs = sync_summaries(g, units);
+    let mut out = Vec::new();
+
+    for (fi, info) in g.fns.iter().enumerate() {
+        let unit = &units[info.file];
+        if !unit.durable || info.is_test {
+            continue;
+        }
+        let lx = &unit.lx;
+        let src = unit.src.as_str();
+        let hi = info.def.body.1.min(lx.tokens.len().saturating_sub(1));
+
+        // Call sites that resolve to a transitively-syncing function,
+        // by token index.
+        let sync_calls: Vec<usize> = g.edges[fi]
+            .iter()
+            .filter(|e| syncs[e.callee])
+            .map(|e| e.tok)
+            .collect();
+
+        let mut unsynced_write: Option<u32> = None;
+        let mut i = info.def.body.0;
+        while i <= hi {
+            if unit.test_mask[i] {
+                i += 1;
+                continue;
+            }
+            let line = lx.tokens[i].line;
+            if seq(src, lx, i, &["fs", ":", ":", "write", "("]) {
+                if !unit.allows.permits("durability", line) {
+                    out.push(Violation {
+                        lint: "durability".to_string(),
+                        file: info.file_label.clone(),
+                        line,
+                        message: "`fs::write` in a durable file cannot be fsynced; \
+                                  open a handle, write, sync_all, then rename"
+                            .to_string(),
+                        chain: Vec::new(),
+                    });
+                }
+                i += 5;
+                continue;
+            }
+            if seq(src, lx, i, &[".", "write_all", "("]) || seq(src, lx, i, &[".", "write", "("]) {
+                unsynced_write = Some(line);
+                i += 3;
+                continue;
+            }
+            if sync_at(src, unit, i) {
+                unsynced_write = None;
+                i += 3;
+                continue;
+            }
+            if sync_calls.contains(&i) {
+                unsynced_write = None;
+                i += 1;
+                continue;
+            }
+            let renames =
+                seq(src, lx, i, &["rename", "("]) && lx.text(src, i.wrapping_sub(1)) == ":";
+            if renames {
+                if let Some(wline) = unsynced_write {
+                    if !unit.allows.permits("durability", line) {
+                        out.push(Violation {
+                            lint: "durability".to_string(),
+                            file: info.file_label.clone(),
+                            line,
+                            message: format!(
+                                "rename publishes a file whose write at line {wline} was \
+                                 never fsynced; call sync_all() before the rename \
+                                 (in `{}`)",
+                                info.display()
+                            ),
+                            chain: Vec::new(),
+                        });
+                    }
+                    unsynced_write = None;
+                }
+            }
+            i += 1;
+        }
+    }
+    out
+}

@@ -94,6 +94,75 @@ fn bad_repo_fails_every_lint_family() {
     }
 }
 
+/// One seeded violation per interprocedural analysis, each reported
+/// with the call chain that proves it.
+#[test]
+fn interproc_repo_fires_each_analysis_with_a_chain() {
+    let report = run_repo(&fixture("repo_interproc"), Options::default()).unwrap();
+    assert!(!report.ok());
+
+    // Transitive clock read: the boundary is `helper` in the solver
+    // crate; the chain walks into rowfpga-bench and down to the clock.
+    let taint = report
+        .violations
+        .iter()
+        .find(|v| v.lint == "taint")
+        .unwrap_or_else(|| panic!("no taint finding in {:?}", report.violations));
+    assert!(taint.file.ends_with("solver/src/lib.rs"), "{taint:?}");
+    assert!(
+        taint.chain.iter().any(|f| f.contains("stamp")),
+        "chain misses the tainted helper: {:?}",
+        taint.chain
+    );
+    assert!(
+        taint.chain.iter().any(|f| f.contains("now_impl")),
+        "chain misses the clock read: {:?}",
+        taint.chain
+    );
+
+    // Hot-path unwrap two calls deep: drive -> step1 -> step2.
+    let reach = report
+        .violations
+        .iter()
+        .find(|v| v.lint == "reachability")
+        .unwrap_or_else(|| panic!("no reachability finding in {:?}", report.violations));
+    assert!(reach.message.contains("drive"), "{reach:?}");
+    for hop in ["drive", "step1", "step2"] {
+        assert!(
+            reach.chain.iter().any(|f| f.contains(hop)),
+            "chain misses {hop}: {:?}",
+            reach.chain
+        );
+    }
+
+    // Rename before fsync in the durable store crate.
+    let durability = report
+        .violations
+        .iter()
+        .find(|v| v.lint == "durability")
+        .unwrap_or_else(|| panic!("no durability finding in {:?}", report.violations));
+    assert!(
+        durability.file.ends_with("store/src/lib.rs"),
+        "{durability:?}"
+    );
+    assert!(
+        durability.message.contains("never fsynced"),
+        "{durability:?}"
+    );
+
+    // Inverted lock order between `forward` and `backward`.
+    let locks = report
+        .violations
+        .iter()
+        .find(|v| v.lint == "locks")
+        .unwrap_or_else(|| panic!("no locks finding in {:?}", report.violations));
+    assert!(locks.file.ends_with("svc/src/lib.rs"), "{locks:?}");
+    assert!(
+        locks.message.contains("jobs") && locks.message.contains("stats"),
+        "{locks:?}"
+    );
+}
+
 /// Builds a throwaway one-crate repo under the OS temp dir.
 fn scratch_repo(tag: &str, panic_sites: usize, budget: &str) -> PathBuf {
     let root = std::env::temp_dir().join(format!("rowfpga-lint-{}-{tag}", std::process::id()));
@@ -138,10 +207,12 @@ fn fix_budget_refuses_an_upward_ratchet() {
     let err = run_repo(&root, Options { fix_budget: true }).unwrap_err();
     match err {
         EngineError::Budget(BudgetError::RatchetUp {
+            table,
             krate,
             budget,
             actual,
         }) => {
+            assert_eq!(table, "panics");
             assert_eq!(krate, "demo");
             assert_eq!((budget, actual), (1, 3));
         }

@@ -1,0 +1,22 @@
+// rowfpga-lint: durable
+//! Correct durability discipline: write-temp, fsync, then rename. The
+//! typestate pass must accept this file untouched.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::Path;
+
+/// Atomically publishes `data` at `path`.
+pub fn publish(path: &Path, data: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(data)?;
+    f.sync_all()?;
+    fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// A pure rename (no prior write in this function) is also clean.
+pub fn adopt(from: &Path, to: &Path) -> std::io::Result<()> {
+    fs::rename(from, to)
+}

@@ -1,0 +1,7 @@
+// rowfpga-lint: hot-path
+//! Hot-path entry whose panic sits two calls away.
+
+/// Inner-loop driver: the unwrap it can reach lives in `step2`.
+pub fn drive(x: Option<u32>) -> u32 {
+    crate::step1(x)
+}

@@ -1,0 +1,24 @@
+#![forbid(unsafe_code)]
+//! Deterministic solver crate. Seeds two interprocedural violations:
+//! a transitive clock read (taint, two calls from the sink) and a
+//! hot-path unwrap two calls deep (reachability).
+
+mod hot;
+
+/// A solver step that leaks wall-clock time through a helper.
+pub fn anneal_step() -> u64 {
+    helper()
+}
+
+fn helper() -> u64 {
+    rowfpga_bench::stamp()
+}
+
+/// First hop of the hot-path chain.
+pub fn step1(x: Option<u32>) -> u32 {
+    step2(x)
+}
+
+fn step2(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

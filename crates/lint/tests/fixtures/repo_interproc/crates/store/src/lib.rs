@@ -1,0 +1,18 @@
+// rowfpga-lint: durable
+#![forbid(unsafe_code)]
+//! Seeded durability violation: the temp file is renamed into place
+//! before it is ever fsynced, so a crash can publish torn bytes.
+
+use std::fs::{self, File};
+use std::io::Write;
+use std::path::Path;
+
+/// Publishes `data` at `path` — wrongly: rename precedes the fsync.
+pub fn save(path: &Path, data: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    let mut f = File::create(&tmp)?;
+    f.write_all(data)?;
+    fs::rename(&tmp, path)?;
+    f.sync_all()?;
+    Ok(())
+}

@@ -1,0 +1,27 @@
+#![forbid(unsafe_code)]
+//! Seeded lock-order inversion: `forward` takes jobs then stats,
+//! `backward` takes stats then jobs — a deadlock waiting for load.
+
+use std::sync::Mutex;
+
+/// Two independently locked tables.
+pub struct Svc {
+    /// Pending work.
+    pub jobs: Mutex<u32>,
+    /// Counters.
+    pub stats: Mutex<u32>,
+}
+
+/// Takes `jobs` before `stats`.
+pub fn forward(s: &Svc) -> u32 {
+    let Ok(ga) = s.jobs.lock() else { return 0 };
+    let Ok(gb) = s.stats.lock() else { return 0 };
+    *ga + *gb
+}
+
+/// Takes `stats` before `jobs` — the inversion.
+pub fn backward(s: &Svc) -> u32 {
+    let Ok(gb) = s.stats.lock() else { return 0 };
+    let Ok(ga) = s.jobs.lock() else { return 0 };
+    *ga + *gb
+}

@@ -1,0 +1,14 @@
+#![forbid(unsafe_code)]
+//! Helper crate outside the deterministic domain. `stamp` is tainted
+//! transitively: the clock read sits one more call down, so only an
+//! interprocedural pass can see it.
+
+/// Milliseconds since some epoch — looks innocent from the signature.
+pub fn stamp() -> u64 {
+    now_impl()
+}
+
+fn now_impl() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_millis() as u64
+}

@@ -1,3 +1,4 @@
+// rowfpga-lint: durable
 //! The on-disk job spool: the daemon's only durable state.
 //!
 //! Layout:

@@ -85,7 +85,10 @@ pub fn elmore_sink_delays(
 /// [`elmore_sink_delays`] writing into a reusable output buffer with
 /// reusable internal scratch — the hot-path form. Returns whether the net
 /// was fully embedded; `out` holds the sink delays (in sink order) exactly
-/// when it returns true, and is untouched otherwise.
+/// when it returns true, and is untouched otherwise. A net whose route
+/// violates the embedding invariants (a sink channel without a run, a
+/// chain that reaches no routed channel) is reported as not embedded
+/// rather than aborting the process.
 pub fn elmore_sink_delays_into(
     arch: &Architecture,
     netlist: &Netlist,
@@ -100,7 +103,9 @@ pub fn elmore_sink_delays_into(
         return false;
     }
     let p = arch.delay();
-    let driver_pin = netlist.net(net).pins().next().expect("net has a driver");
+    let Some(driver_pin) = netlist.net(net).pins().next() else {
+        return false; // a driverless net has no delay tree
+    };
     let driver_loc = pin_loc(arch, netlist, placement, driver_pin);
 
     scratch.nodes.clear();
@@ -112,11 +117,13 @@ pub fn elmore_sink_delays_into(
     // 1. The driver's channel run hangs off the driver through its output
     //    resistance and one cross antifuse.
     let driver_chan = driver_loc.channel;
-    let driver_run = route
-        .hsegs_in(driver_chan)
-        .expect("detailed net is routed in its driver channel");
+    let Some(driver_run) = route.hsegs_in(driver_chan) else {
+        return false; // detailed nets are routed in their driver channel
+    };
     // Index of the run segment covering the driver's column.
-    let tap = run_tap_index(arch, driver_run, driver_loc.col.index());
+    let Some(tap) = run_tap_index(arch, driver_run, driver_loc.col.index()) else {
+        return false;
+    };
     let dr_start = scratch.idx.len();
     scratch.idx.resize(dr_start + driver_run.len(), usize::MAX);
     scratch.idx[dr_start + tap] = add_node(
@@ -138,8 +145,12 @@ pub fn elmore_sink_delays_into(
     // 2. The vertical chain (if any) hangs off the driver run at the
     //    feedthrough column; the remaining runs hang off the chain.
     if !route.vsegs().is_empty() {
-        let vcol = route.vcol().expect("vertical net has a feedthrough column");
-        let driver_tap = run_tap_index(arch, driver_run, vcol.index());
+        let Some(vcol) = route.vcol() else {
+            return false; // vertical nets carry a feedthrough column
+        };
+        let Some(driver_tap) = run_tap_index(arch, driver_run, vcol.index()) else {
+            return false;
+        };
         // Chain node per vertical segment, wired in chain order; the parent
         // of the first chain node is the run segment at the feedthrough.
         // Which chain segment taps the driver channel: the first that
@@ -148,11 +159,13 @@ pub fn elmore_sink_delays_into(
         scratch
             .idx
             .resize(ch_start + route.vsegs().len(), usize::MAX);
-        let start = route
+        let Some(start) = route
             .vsegs()
             .iter()
             .position(|v| arch.vseg(*v).reaches(driver_chan))
-            .expect("chain reaches the driver channel");
+        else {
+            return false; // the chain always reaches the driver channel
+        };
         scratch.idx[ch_start + start] = add_node(
             &mut scratch.nodes,
             Some(scratch.idx[dr_start + driver_tap]),
@@ -182,12 +195,16 @@ pub fn elmore_sink_delays_into(
             if *chan == driver_chan {
                 continue;
             }
-            let chain_idx = route
+            let Some(chain_idx) = route
                 .vsegs()
                 .iter()
                 .position(|v| arch.vseg(*v).reaches(*chan))
-                .expect("chain reaches every routed channel");
-            let tap = run_tap_index(arch, run, vcol.index());
+            else {
+                return false; // the chain reaches every routed channel
+            };
+            let Some(tap) = run_tap_index(arch, run, vcol.index()) else {
+                return false;
+            };
             let r_start = scratch.idx.len();
             scratch.idx.resize(r_start + run.len(), usize::MAX);
             scratch.idx[r_start + tap] = add_node(
@@ -211,13 +228,16 @@ pub fn elmore_sink_delays_into(
     // 3. Sinks load their channel's run through a cross antifuse.
     for pin in netlist.net(net).pins().skip(1) {
         let sink = pin_loc(arch, netlist, placement, pin);
-        let &(_, r_start) = scratch
-            .seg_ranges
-            .iter()
-            .find(|(c, _)| *c == sink.channel)
-            .expect("sink channel is routed");
-        let run = route.hsegs_in(sink.channel).expect("sink channel routed");
-        let tap = run_tap_index(arch, run, sink.col.index());
+        let Some(&(_, r_start)) = scratch.seg_ranges.iter().find(|(c, _)| *c == sink.channel)
+        else {
+            return false; // every sink channel carries a routed run
+        };
+        let Some(run) = route.hsegs_in(sink.channel) else {
+            return false;
+        };
+        let Some(tap) = run_tap_index(arch, run, sink.col.index()) else {
+            return false;
+        };
         let node = add_node(
             &mut scratch.nodes,
             Some(scratch.idx[r_start + tap]),
@@ -250,19 +270,14 @@ pub fn elmore_sink_delays_into(
     true
 }
 
-/// Index within `run` of the segment covering `col`.
-///
-/// # Panics
-///
-/// Panics if no run segment covers `col` — the routing invariant guarantees
-/// runs cover their spans, which include every tap column.
-fn run_tap_index(arch: &Architecture, run: &[rowfpga_arch::HSegId], col: usize) -> usize {
-    run.iter()
-        .position(|h| {
-            let s = arch.hseg(*h);
-            s.start() <= col && col < s.end()
-        })
-        .expect("run covers the tap column")
+/// Index within `run` of the segment covering `col`, or `None` when the
+/// run does not cover it (a broken embedding; the caller treats the net
+/// as not fully embedded).
+fn run_tap_index(arch: &Architecture, run: &[rowfpga_arch::HSegId], col: usize) -> Option<usize> {
+    run.iter().position(|h| {
+        let s = arch.hseg(*h);
+        s.start() <= col && col < s.end()
+    })
 }
 
 /// Adds the rest of a channel run to the tree, growing from the already
